@@ -1,0 +1,73 @@
+// Ablation: the individual pruning techniques.
+//   * DMC-imp: the 100%-rule phase + column cutoff (§4.3) on/off.
+//   * DMC-sim: column-density pruning (§5.1) and maximum-hits pruning
+//     (§5.2) on/off, in all four combinations.
+// All variants produce identical rule sets (guaranteed by the property
+// tests); the table shows what each technique buys in memory and time.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace dmc;
+  const double scale = bench::ParseScale(argc, argv);
+
+  bench::PrintHeader("Ablation: 100%-rule phase + cutoff (§4.3), DMC-imp"
+                     " @ 90% (scale=" + std::to_string(scale) + ")");
+  std::printf("%-8s %-14s %14s %12s %10s %10s\n", "Data", "variant",
+              "peak MB", "peak cands", "time [s]", "rules");
+  for (const auto& maker :
+       {bench::MakeWlog, bench::MakeNewsSet, bench::MakeDicD}) {
+    const bench::Dataset d = maker(scale);
+    for (bool hundred : {true, false}) {
+      ImplicationMiningOptions o;
+      o.min_confidence = 0.9;
+      o.policy.hundred_percent_phase = hundred;
+      o.policy.memory_threshold_bytes = size_t{2} << 20;
+      MiningStats s;
+      auto rules = MineImplications(d.matrix, o, &s);
+      if (!rules.ok()) continue;
+      std::printf("%-8s %-14s %14.3f %12zu %10.3f %10zu\n",
+                  d.name.c_str(), hundred ? "with-100%" : "without",
+                  s.peak_counter_bytes / (1024.0 * 1024.0),
+                  s.peak_candidates, s.total_seconds, rules->size());
+      std::fflush(stdout);
+    }
+  }
+
+  bench::PrintHeader("Ablation: §5.1/§5.2 pruning, DMC-sim @ 80%");
+  std::printf("%-8s %-22s %14s %12s %10s %10s\n", "Data", "variant",
+              "peak MB", "peak cands", "time [s]", "pairs");
+  for (const auto& maker :
+       {bench::MakeWlog, bench::MakePlinkT, bench::MakeDicD}) {
+    const bench::Dataset d = maker(scale);
+    for (bool density : {true, false}) {
+      for (bool maxhits : {true, false}) {
+        SimilarityMiningOptions o;
+        o.min_similarity = 0.8;
+        o.policy.column_density_pruning = density;
+        o.policy.max_hits_pruning = maxhits;
+        o.policy.memory_threshold_bytes = size_t{2} << 20;
+        MiningStats s;
+        auto pairs = MineSimilarities(d.matrix, o, &s);
+        if (!pairs.ok()) continue;
+        char variant[32];
+        std::snprintf(variant, sizeof(variant), "density=%d maxhits=%d",
+                      density, maxhits);
+        std::printf("%-8s %-22s %14.3f %12zu %10.3f %10zu\n",
+                    d.name.c_str(), variant,
+                    s.peak_counter_bytes / (1024.0 * 1024.0),
+                    s.peak_candidates, s.total_seconds, pairs->size());
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  std::printf(
+      "\nExpectation: every variant yields the same rule/pair count (the\n"
+      "prunings are lossless); memory and time improve with each pruning\n"
+      "enabled.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "datagen/dictionary_gen.h"
+#include "datagen/linkgraph_gen.h"
+#include "datagen/weblog_gen.h"
+#include "matrix/column_stats.h"
+
+namespace dmc {
+namespace bench {
+
+double ParseScale(int argc, char** argv, double def) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      return std::atof(argv[i] + 8);
+    }
+  }
+  return def;
+}
+
+Dataset MakeWlog(double scale) {
+  WebLogOptions o;
+  o.num_clients = static_cast<uint32_t>(40000 * scale);
+  o.num_urls = static_cast<uint32_t>(8000 * scale);
+  o.num_sections = 40;
+  o.num_crawlers = 5;
+  o.max_pages_per_client = 300;
+  return Dataset{"Wlog", GenerateWebLog(o), 218518, 74957};
+}
+
+Dataset MakeWlogP(double scale) {
+  Dataset d = MakeWlog(scale);
+  d.name = "WlogP";
+  d.paper_rows = 203185;
+  d.paper_columns = 13087;
+  d.matrix = SupportPruneColumns(d.matrix, 11).matrix;
+  return d;
+}
+
+Dataset MakePlinkF(double scale) {
+  LinkGraphOptions o;
+  o.num_pages = static_cast<uint32_t>(40000 * scale);
+  return Dataset{"plinkF", GenerateLinkGraph(o), 173338, 697824};
+}
+
+Dataset MakePlinkT(double scale) {
+  Dataset d = MakePlinkF(scale);
+  d.name = "plinkT";
+  d.paper_rows = 695280;
+  d.paper_columns = 688747;
+  d.matrix = d.matrix.Transposed();
+  return d;
+}
+
+Dataset MakeNewsSet(double scale) {
+  NewsOptions o;
+  o.num_docs = static_cast<uint32_t>(40000 * scale);
+  o.num_topics = 60;
+  o.background_vocab = static_cast<uint32_t>(15000 * scale);
+  return Dataset{"News", GenerateNews(o).matrix, 84672, 170372};
+}
+
+Dataset MakeDicD(double scale) {
+  DictionaryOptions o;
+  o.num_head_words = static_cast<uint32_t>(18000 * scale);
+  o.num_definition_words = static_cast<uint32_t>(8000 * scale);
+  o.num_synonym_groups = static_cast<uint32_t>(500 * scale);
+  return Dataset{"dicD", GenerateDictionary(o).matrix, 45418, 96540};
+}
+
+std::vector<Dataset> MakeAllDatasets(double scale) {
+  std::vector<Dataset> out;
+  out.push_back(MakeWlog(scale));
+  out.push_back(MakeWlogP(scale));
+  out.push_back(MakePlinkF(scale));
+  out.push_back(MakePlinkT(scale));
+  out.push_back(MakeNewsSet(scale));
+  out.push_back(MakeDicD(scale));
+  return out;
+}
+
+Dataset MakeNewsP(double scale, NewsData* news_out) {
+  // Tuned so the support window leaves thousands of columns — the regime
+  // where a-priori's quadratic counter array becomes the bottleneck, as
+  // in the paper's 9518-column NewsP.
+  NewsOptions o;
+  o.num_docs = static_cast<uint32_t>(16000 * scale);
+  o.num_topics = 30;
+  o.background_vocab = static_cast<uint32_t>(12000 * scale);
+  o.background_zipf_theta = 0.65;
+  o.background_words_min = 20;
+  o.background_words_max = 300;
+  o.background_len_alpha = 1.5;
+  NewsData news = GenerateNews(o);
+  // The paper's window: min support 0.2% of docs, max 20% of docs.
+  const uint64_t min_sup =
+      static_cast<uint64_t>(0.002 * news.matrix.num_rows()) + 1;
+  const uint64_t max_sup =
+      static_cast<uint64_t>(0.20 * news.matrix.num_rows());
+  Dataset d{"NewsP",
+            SupportPruneColumns(news.matrix, min_sup, max_sup).matrix,
+            16392, 9518};
+  if (news_out != nullptr) *news_out = std::move(news);
+  return d;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintSubHeader(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace dmc

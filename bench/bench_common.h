@@ -1,0 +1,57 @@
+// Shared helpers for the reproduction benches: the six Table-1 data-set
+// analogues at a configurable scale, plus small table-printing utilities.
+//
+// Every bench accepts `--scale=<float>` (default 1.0). Scale 1 keeps the
+// whole suite in the minutes range on a laptop; larger scales approach
+// the paper's sizes.
+
+#ifndef DMC_BENCH_BENCH_COMMON_H_
+#define DMC_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/news_gen.h"
+#include "matrix/binary_matrix.h"
+
+namespace dmc {
+namespace bench {
+
+/// Parses --scale=<float> from argv; returns `def` if absent.
+double ParseScale(int argc, char** argv, double def = 1.0);
+
+/// One benchmark data set.
+struct Dataset {
+  std::string name;
+  BinaryMatrix matrix;
+  /// The corresponding row of the paper's Table 1 (rows, columns), for
+  /// side-by-side printing.
+  uint64_t paper_rows = 0;
+  uint64_t paper_columns = 0;
+};
+
+// The six evaluation sets of §6.2 (synthetic analogues; see DESIGN.md).
+Dataset MakeWlog(double scale);
+Dataset MakeWlogP(double scale);   // Wlog with columns of <= 10 ones removed
+Dataset MakePlinkF(double scale);
+Dataset MakePlinkT(double scale);
+Dataset MakeNewsSet(double scale);
+Dataset MakeDicD(double scale);
+
+/// All six, in the paper's Table-1 order.
+std::vector<Dataset> MakeAllDatasets(double scale);
+
+/// The NewsP preparation of §6.2: a smaller news corpus support-pruned to
+/// the [0.2%, 20%] window so a-priori's counters fit in memory. Returns
+/// the pruned matrix; `news_out`, when non-null, receives the unpruned
+/// corpus metadata.
+Dataset MakeNewsP(double scale, NewsData* news_out = nullptr);
+
+/// printf-style row helpers keeping the bench outputs uniform.
+void PrintHeader(const std::string& title);
+void PrintSubHeader(const std::string& title);
+
+}  // namespace bench
+}  // namespace dmc
+
+#endif  // DMC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,57 @@
+// Reproduces Fig. 6(c) and 6(d): the execution-time breakdown for the
+// Wlog analogue — pre-scan, 100%-rule phase, and sub-100% phase — for
+// DMC-imp (c) and DMC-sim (d). Paper shape: the pre-scan and 100% phase
+// are small and roughly constant; the sub-100% phase dominates and grows
+// as the threshold drops.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace dmc;
+  const double scale = bench::ParseScale(argc, argv);
+  const bench::Dataset wlog = bench::MakeWlog(scale);
+
+  constexpr double kThresholds[] = {0.70, 0.75, 0.80, 0.85, 0.90, 0.95};
+
+  bench::PrintHeader("Fig. 6(c): DMC-imp breakdown on Wlog [s] (scale=" +
+                     std::to_string(scale) + ")");
+  std::printf("%-8s %10s %12s %12s %10s\n", "minconf", "pre-scan",
+              "100% rules", "<100% rules", "total");
+  for (double t : kThresholds) {
+    ImplicationMiningOptions o;
+    o.min_confidence = t;
+    o.policy.memory_threshold_bytes = size_t{2} << 20;
+    MiningStats s;
+    auto rules = MineImplications(wlog.matrix, o, &s);
+    if (!rules.ok()) continue;
+    std::printf("%-8.0f %10.3f %12.3f %12.3f %10.3f   (rules=%zu)\n",
+                t * 100, s.prescan_seconds, s.hundred_seconds(),
+                s.sub_seconds(), s.total_seconds, rules->size());
+    std::fflush(stdout);
+  }
+
+  bench::PrintHeader("Fig. 6(d): DMC-sim breakdown on Wlog [s]");
+  std::printf("%-8s %10s %12s %12s %10s\n", "minsim", "pre-scan",
+              "100% rules", "<100% rules", "total");
+  for (double t : kThresholds) {
+    SimilarityMiningOptions o;
+    o.min_similarity = t;
+    o.policy.memory_threshold_bytes = size_t{2} << 20;
+    MiningStats s;
+    auto pairs = MineSimilarities(wlog.matrix, o, &s);
+    if (!pairs.ok()) continue;
+    std::printf("%-8.0f %10.3f %12.3f %12.3f %10.3f   (pairs=%zu)\n",
+                t * 100, s.prescan_seconds, s.hundred_seconds(),
+                s.sub_seconds(), s.total_seconds, pairs->size());
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nShape check (paper): pre-scan and 100%%-rule phases small and\n"
+      "flat; the sub-100%% phase dominates and grows as the threshold\n"
+      "drops.\n");
+  return 0;
+}

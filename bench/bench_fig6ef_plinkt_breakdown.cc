@@ -1,0 +1,79 @@
+// Reproduces Fig. 6(e) and 6(f): the DMC-base vs DMC-bitmap time split on
+// the plinkT analogue. The paper's finding: the DMC-bitmap time jumps up
+// when the threshold drops past the point where frequency-4 columns can
+// no longer be cut off (80% -> 75% on their data), while the DMC-base
+// time moves smoothly.
+//
+// The cutoff kept a column only if maxmis >= 1, i.e. ones >= 1/(1-t); at
+// t = 0.80 that is ones >= 5, at 0.75 it is ones >= 4 — so the mass of
+// frequency-4 columns floods the sub-100% phase below 80%, exactly as in
+// the paper.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "matrix/column_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace dmc;
+  const double scale = bench::ParseScale(argc, argv);
+  const bench::Dataset plink_t = bench::MakePlinkT(scale);
+
+  {
+    const auto hist = ComputeColumnDensityHistogram(plink_t.matrix);
+    uint64_t freq4 = 0;
+    for (const auto& e : hist.entries) {
+      if (e.ones == 4) freq4 = e.columns;
+    }
+    std::printf("plinkT analogue: %u columns, %llu with frequency 4\n",
+                plink_t.matrix.num_columns(),
+                static_cast<unsigned long long>(freq4));
+  }
+
+  constexpr double kThresholds[] = {0.70, 0.75, 0.80, 0.85, 0.90};
+
+  bench::PrintHeader("Fig. 6(e): DMC-imp base vs bitmap on plinkT [s]"
+                     " (scale=" + std::to_string(scale) + ")");
+  std::printf("%-8s %10s %12s %12s %12s %12s %12s\n", "minconf",
+              "pre-scan", "100% phase", "sub base", "sub bitmap",
+              "cut cols", "total");
+  for (double t : kThresholds) {
+    ImplicationMiningOptions o;
+    o.min_confidence = t;
+    o.policy.memory_threshold_bytes = size_t{1} << 20;
+    MiningStats s;
+    auto rules = MineImplications(plink_t.matrix, o, &s);
+    if (!rules.ok()) continue;
+    std::printf("%-8.0f %10.3f %12.3f %12.3f %12.3f %12zu %12.3f\n",
+                t * 100, s.prescan_seconds, s.hundred_seconds(),
+                s.sub_base_seconds, s.sub_bitmap_seconds,
+                s.columns_cut_off, s.total_seconds);
+    std::fflush(stdout);
+  }
+
+  bench::PrintHeader("Fig. 6(f): DMC-sim base vs bitmap on plinkT [s]");
+  std::printf("%-8s %10s %12s %12s %12s %12s %12s\n", "minsim",
+              "pre-scan", "100% phase", "sub base", "sub bitmap",
+              "cut cols", "total");
+  for (double t : kThresholds) {
+    SimilarityMiningOptions o;
+    o.min_similarity = t;
+    o.policy.memory_threshold_bytes = size_t{1} << 20;
+    MiningStats s;
+    auto pairs = MineSimilarities(plink_t.matrix, o, &s);
+    if (!pairs.ok()) continue;
+    std::printf("%-8.0f %10.3f %12.3f %12.3f %12.3f %12zu %12.3f\n",
+                t * 100, s.prescan_seconds, s.hundred_seconds(),
+                s.sub_base_seconds, s.sub_bitmap_seconds,
+                s.columns_cut_off, s.total_seconds);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nShape check (paper): the bitmap phase jumps up once the\n"
+      "threshold crosses the frequency-4 cutoff boundary (between 80%%\n"
+      "and 75%%), while the base-scan time moves smoothly; the cut-column\n"
+      "count drops sharply at the same boundary.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Fig. 6(g) and 6(h): the peak size of the counter array
+// (candidate ids + miss counters) versus the threshold, for DMC-imp (g)
+// and DMC-sim (h). Paper shape: DMC-sim needs much less memory than
+// DMC-imp thanks to column-density and maximum-hits pruning (§5), and the
+// bitmap fallback keeps the requirement from exploding as the threshold
+// drops.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace dmc;
+  const double scale = bench::ParseScale(argc, argv);
+  auto datasets = bench::MakeAllDatasets(scale);
+
+  constexpr double kThresholds[] = {0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00};
+
+  bench::PrintHeader("Fig. 6(g): DMC-imp peak counter-array MB vs minconf"
+                     " (scale=" + std::to_string(scale) + ")");
+  std::printf("%-8s", "Data");
+  for (double t : kThresholds) std::printf(" %8.0f%%", t * 100);
+  std::printf("\n");
+  for (const auto& d : datasets) {
+    std::printf("%-8s", d.name.c_str());
+    for (double t : kThresholds) {
+      ImplicationMiningOptions o;
+      o.min_confidence = t;
+      o.policy.memory_threshold_bytes = size_t{2} << 20;
+      MiningStats s;
+      auto rules = MineImplications(d.matrix, o, &s);
+      std::printf(" %9.3f",
+                  rules.ok() ? s.peak_counter_bytes / (1024.0 * 1024.0)
+                             : -1.0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  bench::PrintHeader("Fig. 6(h): DMC-sim peak counter-array MB vs minsim");
+  std::printf("%-8s", "Data");
+  for (double t : kThresholds) std::printf(" %8.0f%%", t * 100);
+  std::printf("\n");
+  for (const auto& d : datasets) {
+    std::printf("%-8s", d.name.c_str());
+    for (double t : kThresholds) {
+      SimilarityMiningOptions o;
+      o.min_similarity = t;
+      o.policy.memory_threshold_bytes = size_t{2} << 20;
+      MiningStats s;
+      auto pairs = MineSimilarities(d.matrix, o, &s);
+      std::printf(" %9.3f",
+                  pairs.ok() ? s.peak_counter_bytes / (1024.0 * 1024.0)
+                             : -1.0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nShape check (paper): DMC-sim uses far less memory than DMC-imp\n"
+      "at the same threshold; memory grows as the threshold drops but\n"
+      "stays bounded thanks to the bitmap switch.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) of the kernels the mining engines
+// sit on: bit-vector popcount kernels, candidate-list merging, min-hash
+// signature construction, and the workload generators.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/minhash.h"
+#include "core/engine.h"
+#include "core/miss_counter_table.h"
+#include "datagen/news_gen.h"
+#include "datagen/quest_gen.h"
+#include "datagen/weblog_gen.h"
+#include "util/bitvector.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace dmc {
+namespace {
+
+void BM_BitVectorAndNotCount(benchmark::State& state) {
+  const size_t n = state.range(0);
+  BitVector a(n), b(n);
+  Rng rng(1);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) a.Set(i);
+    if (rng.Bernoulli(0.3)) b.Set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.AndNotCount(b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BitVectorAndNotCount)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfSampler zipf(state.range(0), 1.0);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+void BM_MinHashSignatures(benchmark::State& state) {
+  QuestOptions q;
+  q.num_transactions = 2000;
+  q.num_items = 500;
+  const BinaryMatrix m = GenerateQuest(q);
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeMinHashSignatures(m, k, 7));
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_ones() * k);
+}
+BENCHMARK(BM_MinHashSignatures)->Arg(32)->Arg(128);
+
+void BM_MineImplicationsQuest(benchmark::State& state) {
+  QuestOptions q;
+  q.num_transactions = static_cast<uint32_t>(state.range(0));
+  q.num_items = 400;
+  const BinaryMatrix m = GenerateQuest(q);
+  ImplicationMiningOptions o;
+  o.min_confidence = 0.9;
+  for (auto _ : state) {
+    auto rules = MineImplications(m, o);
+    benchmark::DoNotOptimize(rules);
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_ones());
+}
+BENCHMARK(BM_MineImplicationsQuest)->Arg(1000)->Arg(4000);
+
+void BM_MineSimilaritiesQuest(benchmark::State& state) {
+  QuestOptions q;
+  q.num_transactions = static_cast<uint32_t>(state.range(0));
+  q.num_items = 400;
+  const BinaryMatrix m = GenerateQuest(q);
+  SimilarityMiningOptions o;
+  o.min_similarity = 0.8;
+  for (auto _ : state) {
+    auto pairs = MineSimilarities(m, o);
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_ones());
+}
+BENCHMARK(BM_MineSimilaritiesQuest)->Arg(1000)->Arg(4000);
+
+void BM_GenerateWebLog(benchmark::State& state) {
+  WebLogOptions o;
+  o.num_clients = static_cast<uint32_t>(state.range(0));
+  o.num_urls = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateWebLog(o));
+  }
+}
+BENCHMARK(BM_GenerateWebLog)->Arg(2000);
+
+void BM_GenerateNews(benchmark::State& state) {
+  NewsOptions o;
+  o.num_docs = static_cast<uint32_t>(state.range(0));
+  o.background_vocab = 2000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateNews(o));
+  }
+}
+BENCHMARK(BM_GenerateNews)->Arg(2000);
+
+void BM_Transpose(benchmark::State& state) {
+  QuestOptions q;
+  q.num_transactions = 5000;
+  q.num_items = 2000;
+  const BinaryMatrix m = GenerateQuest(q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Transposed());
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_ones());
+}
+BENCHMARK(BM_Transpose);
+
+}  // namespace
+}  // namespace dmc
+
+BENCHMARK_MAIN();

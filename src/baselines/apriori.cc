@@ -1,0 +1,161 @@
+#include "baselines/apriori.h"
+
+#include <vector>
+
+#include "core/thresholds.h"
+#include "rules/rule.h"
+#include "util/stopwatch.h"
+
+namespace dmc {
+
+namespace {
+
+// Pass-1 result: the dense renumbering of frequent columns.
+struct FrequentColumns {
+  std::vector<ColumnId> dense_to_col;           // dense id -> column id
+  std::vector<int32_t> col_to_dense;            // column id -> dense id or -1
+};
+
+FrequentColumns SelectFrequent(const BinaryMatrix& m,
+                               const AprioriOptions& options) {
+  FrequentColumns f;
+  f.col_to_dense.assign(m.num_columns(), -1);
+  const auto& ones = m.column_ones();
+  for (ColumnId c = 0; c < m.num_columns(); ++c) {
+    if (ones[c] >= options.min_support && ones[c] <= options.max_support) {
+      f.col_to_dense[c] = static_cast<int32_t>(f.dense_to_col.size());
+      f.dense_to_col.push_back(c);
+    }
+  }
+  return f;
+}
+
+// Triangular index of the dense pair (i, j), i < j, over `n` columns.
+inline size_t TriIndex(size_t i, size_t j, size_t n) {
+  return i * (2 * n - i - 1) / 2 + (j - i - 1);
+}
+
+// Counts all pairs of frequent columns. Returns false if the counter
+// array would exceed the budget.
+bool CountPairs(const BinaryMatrix& m, const FrequentColumns& f,
+                size_t max_counter_bytes, std::vector<uint32_t>* counters,
+                AprioriStats* stats) {
+  const size_t n = f.dense_to_col.size();
+  const size_t num_counters = n < 2 ? 0 : n * (n - 1) / 2;
+  if (num_counters * sizeof(uint32_t) > max_counter_bytes) return false;
+  counters->assign(num_counters, 0);
+  stats->counter_bytes = num_counters * sizeof(uint32_t);
+
+  std::vector<uint32_t> dense_row;
+  for (RowId r = 0; r < m.num_rows(); ++r) {
+    dense_row.clear();
+    for (ColumnId c : m.Row(r)) {
+      if (f.col_to_dense[c] >= 0) {
+        dense_row.push_back(static_cast<uint32_t>(f.col_to_dense[c]));
+      }
+    }
+    for (size_t i = 0; i < dense_row.size(); ++i) {
+      for (size_t j = i + 1; j < dense_row.size(); ++j) {
+        ++(*counters)[TriIndex(dense_row[i], dense_row[j], n)];
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<ImplicationRuleSet> AprioriImplications(const BinaryMatrix& m,
+                                                 const AprioriOptions& options,
+                                                 double min_confidence,
+                                                 AprioriStats* stats,
+                                                 size_t max_counter_bytes) {
+  AprioriStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = AprioriStats{};
+  Stopwatch total_sw;
+
+  Stopwatch pass1_sw;
+  const FrequentColumns f = SelectFrequent(m, options);
+  stats->pass1_seconds = pass1_sw.ElapsedSeconds();
+  stats->frequent_columns = f.dense_to_col.size();
+
+  Stopwatch pass2_sw;
+  std::vector<uint32_t> counters;
+  if (!CountPairs(m, f, max_counter_bytes, &counters, stats)) {
+    return ResourceExhaustedError(
+        "a-priori pair counters exceed the memory budget");
+  }
+
+  const auto& ones = m.column_ones();
+  const size_t n = f.dense_to_col.size();
+  ImplicationRuleSet out;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const uint32_t hits = counters[TriIndex(i, j, n)];
+      if (hits == 0) continue;
+      ++stats->occupied_counters;
+      const ColumnId a = f.dense_to_col[i];
+      const ColumnId b = f.dense_to_col[j];
+      const ColumnId lhs = SparserFirst(ones[a], a, ones[b], b) ? a : b;
+      const ColumnId rhs = lhs == a ? b : a;
+      const uint32_t misses = ones[lhs] - hits;
+      if (static_cast<int64_t>(misses) <=
+          MaxMissesForConfidence(ones[lhs], min_confidence)) {
+        out.Add(ImplicationRule{lhs, rhs, ones[lhs], misses});
+      }
+    }
+  }
+  stats->pass2_seconds = pass2_sw.ElapsedSeconds();
+  out.Canonicalize();
+  stats->total_seconds = total_sw.ElapsedSeconds();
+  return out;
+}
+
+StatusOr<SimilarityRuleSet> AprioriSimilarities(const BinaryMatrix& m,
+                                                const AprioriOptions& options,
+                                                double min_similarity,
+                                                AprioriStats* stats,
+                                                size_t max_counter_bytes) {
+  AprioriStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = AprioriStats{};
+  Stopwatch total_sw;
+
+  Stopwatch pass1_sw;
+  const FrequentColumns f = SelectFrequent(m, options);
+  stats->pass1_seconds = pass1_sw.ElapsedSeconds();
+  stats->frequent_columns = f.dense_to_col.size();
+
+  Stopwatch pass2_sw;
+  std::vector<uint32_t> counters;
+  if (!CountPairs(m, f, max_counter_bytes, &counters, stats)) {
+    return ResourceExhaustedError(
+        "a-priori pair counters exceed the memory budget");
+  }
+
+  const auto& ones = m.column_ones();
+  const size_t n = f.dense_to_col.size();
+  SimilarityRuleSet out;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const uint32_t hits = counters[TriIndex(i, j, n)];
+      if (hits == 0) continue;
+      ++stats->occupied_counters;
+      const ColumnId a = f.dense_to_col[i];
+      const ColumnId b = f.dense_to_col[j];
+      const ColumnId lo = SparserFirst(ones[a], a, ones[b], b) ? a : b;
+      const ColumnId hi = lo == a ? b : a;
+      if (static_cast<int64_t>(hits) >=
+          MinHitsForSimilarity(ones[lo], ones[hi], min_similarity)) {
+        out.Add(SimilarityPair{lo, hi, ones[lo], ones[hi], hits});
+      }
+    }
+  }
+  stats->pass2_seconds = pass2_sw.ElapsedSeconds();
+  out.Canonicalize();
+  stats->total_seconds = total_sw.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace dmc

@@ -1,0 +1,61 @@
+// A-priori pair mining [Agrawal et al. 93/94] — the paper's primary
+// comparator (§3.1, Fig. 6(i,j)).
+//
+// Two passes: (1) count singleton supports and keep columns inside the
+// support window, (2) count all pairs of frequent columns in a triangular
+// counter array, then filter by confidence or similarity. The triangular
+// array is exactly the "m(m-1)/2 counters" cost the paper criticizes —
+// its size is reported in the stats so the memory comparison can be
+// reproduced.
+
+#ifndef DMC_BASELINES_APRIORI_H_
+#define DMC_BASELINES_APRIORI_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "matrix/binary_matrix.h"
+#include "rules/rule_set.h"
+#include "util/statusor.h"
+
+namespace dmc {
+
+struct AprioriOptions {
+  /// Support window [min_support, max_support] on ones(c); columns outside
+  /// are pruned in pass 1 (max_support implements stop-word pruning, as in
+  /// the paper's NewsP preparation).
+  uint64_t min_support = 1;
+  uint64_t max_support = std::numeric_limits<uint64_t>::max();
+};
+
+struct AprioriStats {
+  double pass1_seconds = 0.0;
+  double pass2_seconds = 0.0;
+  double total_seconds = 0.0;
+  /// Columns surviving the support window.
+  size_t frequent_columns = 0;
+  /// Bytes of the triangular pair-counter array.
+  size_t counter_bytes = 0;
+  /// Pairs with non-zero co-occurrence.
+  size_t occupied_counters = 0;
+};
+
+/// All implication rules with confidence >= min_confidence among columns
+/// inside the support window. Fails if the counter array would exceed
+/// `max_counter_bytes` (mirrors the paper's observation that a-priori
+/// simply cannot run when the counters do not fit).
+StatusOr<ImplicationRuleSet> AprioriImplications(
+    const BinaryMatrix& m, const AprioriOptions& options,
+    double min_confidence, AprioriStats* stats = nullptr,
+    size_t max_counter_bytes = size_t{8} << 30);
+
+/// All similarity pairs with similarity >= min_similarity among columns
+/// inside the support window.
+StatusOr<SimilarityRuleSet> AprioriSimilarities(
+    const BinaryMatrix& m, const AprioriOptions& options,
+    double min_similarity, AprioriStats* stats = nullptr,
+    size_t max_counter_bytes = size_t{8} << 30);
+
+}  // namespace dmc
+
+#endif  // DMC_BASELINES_APRIORI_H_

@@ -1,0 +1,72 @@
+#include "baselines/bruteforce.h"
+
+#include <unordered_map>
+
+#include "core/thresholds.h"
+#include "rules/rule.h"
+
+namespace dmc {
+
+namespace {
+
+// Pair key with the smaller id in the high word for stable iteration.
+inline uint64_t PairKey(ColumnId a, ColumnId b) {
+  if (a > b) std::swap(a, b);
+  return (uint64_t{a} << 32) | b;
+}
+
+std::unordered_map<uint64_t, uint32_t> CountCoOccurrences(
+    const BinaryMatrix& m) {
+  std::unordered_map<uint64_t, uint32_t> inter;
+  for (RowId r = 0; r < m.num_rows(); ++r) {
+    const auto row = m.Row(r);
+    for (size_t i = 0; i < row.size(); ++i) {
+      for (size_t j = i + 1; j < row.size(); ++j) {
+        ++inter[PairKey(row[i], row[j])];
+      }
+    }
+  }
+  return inter;
+}
+
+}  // namespace
+
+ImplicationRuleSet BruteForceImplications(const BinaryMatrix& m,
+                                          double min_confidence) {
+  const auto& ones = m.column_ones();
+  ImplicationRuleSet out;
+  for (const auto& [key, hits] : CountCoOccurrences(m)) {
+    const ColumnId a = static_cast<ColumnId>(key >> 32);
+    const ColumnId b = static_cast<ColumnId>(key & 0xffffffffu);
+    // Only sparser => denser (ties by id), as defined in §2.
+    const ColumnId lhs = SparserFirst(ones[a], a, ones[b], b) ? a : b;
+    const ColumnId rhs = lhs == a ? b : a;
+    const uint32_t misses = ones[lhs] - hits;
+    if (static_cast<int64_t>(misses) <=
+        MaxMissesForConfidence(ones[lhs], min_confidence)) {
+      out.Add(ImplicationRule{lhs, rhs, ones[lhs], misses});
+    }
+  }
+  out.Canonicalize();
+  return out;
+}
+
+SimilarityRuleSet BruteForceSimilarities(const BinaryMatrix& m,
+                                         double min_similarity) {
+  const auto& ones = m.column_ones();
+  SimilarityRuleSet out;
+  for (const auto& [key, hits] : CountCoOccurrences(m)) {
+    const ColumnId a = static_cast<ColumnId>(key >> 32);
+    const ColumnId b = static_cast<ColumnId>(key & 0xffffffffu);
+    const ColumnId lo = SparserFirst(ones[a], a, ones[b], b) ? a : b;
+    const ColumnId hi = lo == a ? b : a;
+    if (static_cast<int64_t>(hits) >=
+        MinHitsForSimilarity(ones[lo], ones[hi], min_similarity)) {
+      out.Add(SimilarityPair{lo, hi, ones[lo], ones[hi], hits});
+    }
+  }
+  out.Canonicalize();
+  return out;
+}
+
+}  // namespace dmc

@@ -1,0 +1,28 @@
+// Exact brute-force miner — the ground-truth oracle for the test suite.
+//
+// Counts co-occurrences of every pair that actually co-occurs (hash map
+// over pairs, quadratic in row density) and applies the same integer
+// thresholds as the DMC engines, so results are comparable exactly.
+// Intended for small matrices; the DMC engines are the scalable path.
+
+#ifndef DMC_BASELINES_BRUTEFORCE_H_
+#define DMC_BASELINES_BRUTEFORCE_H_
+
+#include "matrix/binary_matrix.h"
+#include "rules/rule_set.h"
+
+namespace dmc {
+
+/// All implication rules with confidence >= min_confidence, canonical
+/// order, exact counts.
+ImplicationRuleSet BruteForceImplications(const BinaryMatrix& m,
+                                          double min_confidence);
+
+/// All similarity pairs with similarity >= min_similarity, canonical
+/// orientation, exact counts.
+SimilarityRuleSet BruteForceSimilarities(const BinaryMatrix& m,
+                                         double min_similarity);
+
+}  // namespace dmc
+
+#endif  // DMC_BASELINES_BRUTEFORCE_H_

@@ -1,0 +1,99 @@
+#include "baselines/dhp.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/thresholds.h"
+#include "rules/rule.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace dmc {
+
+namespace {
+
+inline uint64_t PairKey(ColumnId a, ColumnId b) {
+  if (a > b) std::swap(a, b);
+  return (uint64_t{a} << 32) | b;
+}
+
+inline size_t Bucket(uint64_t key, size_t num_buckets) {
+  return Mix64(key) % num_buckets;
+}
+
+}  // namespace
+
+ImplicationRuleSet DhpImplications(const BinaryMatrix& m,
+                                   const DhpOptions& options,
+                                   double min_confidence, DhpStats* stats) {
+  DhpStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = DhpStats{};
+  Stopwatch total_sw;
+
+  const auto& ones = m.column_ones();
+
+  // Pass 1: singleton supports come from the matrix; hash every pair of
+  // every row into the bucket filter.
+  Stopwatch pass1_sw;
+  std::vector<uint32_t> buckets(options.num_buckets, 0);
+  for (RowId r = 0; r < m.num_rows(); ++r) {
+    const auto row = m.Row(r);
+    for (size_t i = 0; i < row.size(); ++i) {
+      for (size_t j = i + 1; j < row.size(); ++j) {
+        ++buckets[Bucket(PairKey(row[i], row[j]), options.num_buckets)];
+      }
+    }
+  }
+  std::vector<uint8_t> frequent(m.num_columns(), 0);
+  for (ColumnId c = 0; c < m.num_columns(); ++c) {
+    frequent[c] =
+        ones[c] >= options.min_support && ones[c] <= options.max_support;
+    stats->frequent_columns += frequent[c];
+  }
+  stats->pass1_seconds = pass1_sw.ElapsedSeconds();
+
+  // Pass 2: exact counters only for pairs of frequent columns whose
+  // bucket passed the support filter.
+  Stopwatch pass2_sw;
+  std::unordered_map<uint64_t, uint32_t> exact;
+  std::vector<ColumnId> filtered;
+  for (RowId r = 0; r < m.num_rows(); ++r) {
+    filtered.clear();
+    for (ColumnId c : m.Row(r)) {
+      if (frequent[c]) filtered.push_back(c);
+    }
+    for (size_t i = 0; i < filtered.size(); ++i) {
+      for (size_t j = i + 1; j < filtered.size(); ++j) {
+        const uint64_t key = PairKey(filtered[i], filtered[j]);
+        if (buckets[Bucket(key, options.num_buckets)] >=
+            options.min_support) {
+          ++exact[key];
+        }
+      }
+    }
+  }
+  stats->exact_counters = exact.size();
+  stats->counter_bytes = options.num_buckets * sizeof(uint32_t) +
+                         exact.size() * (sizeof(uint64_t) + sizeof(uint32_t));
+
+  ImplicationRuleSet out;
+  for (const auto& [key, hits] : exact) {
+    if (hits < options.min_support) continue;  // pair-level support prune
+    const ColumnId a = static_cast<ColumnId>(key >> 32);
+    const ColumnId b = static_cast<ColumnId>(key & 0xffffffffu);
+    const ColumnId lhs = SparserFirst(ones[a], a, ones[b], b) ? a : b;
+    const ColumnId rhs = lhs == a ? b : a;
+    const uint32_t misses = ones[lhs] - hits;
+    if (static_cast<int64_t>(misses) <=
+        MaxMissesForConfidence(ones[lhs], min_confidence)) {
+      out.Add(ImplicationRule{lhs, rhs, ones[lhs], misses});
+    }
+  }
+  stats->pass2_seconds = pass2_sw.ElapsedSeconds();
+  out.Canonicalize();
+  stats->total_seconds = total_sw.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace dmc

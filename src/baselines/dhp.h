@@ -1,0 +1,50 @@
+// DHP [Park, Chen, Yu SIGMOD'95] — the hash-based candidate-pruning
+// refinement of a-priori the paper discusses in §3.1.
+//
+// Pass 1 counts singleton supports AND hashes every pair of the row into
+// a small bucket-count array. Pass 2 only allocates exact counters for
+// pairs of frequent columns whose bucket reached min_support (a pair
+// cannot be frequent if its bucket is not). This prunes most counters on
+// sparse data but, as the paper notes, does not fix the fundamental
+// m^2 problem when many columns survive.
+
+#ifndef DMC_BASELINES_DHP_H_
+#define DMC_BASELINES_DHP_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "matrix/binary_matrix.h"
+#include "rules/rule_set.h"
+
+namespace dmc {
+
+struct DhpOptions {
+  uint64_t min_support = 1;
+  uint64_t max_support = std::numeric_limits<uint64_t>::max();
+  /// Number of hash buckets for the pair filter.
+  size_t num_buckets = 1 << 20;
+};
+
+struct DhpStats {
+  double pass1_seconds = 0.0;
+  double pass2_seconds = 0.0;
+  double total_seconds = 0.0;
+  size_t frequent_columns = 0;
+  /// Exact pair counters allocated in pass 2.
+  size_t exact_counters = 0;
+  /// Bytes: bucket array + exact counter map.
+  size_t counter_bytes = 0;
+};
+
+/// All implication rules with confidence >= min_confidence whose pair
+/// support reaches min_support (DHP prunes pairs below min_support, so —
+/// unlike DMC — low-support rules are lost by design).
+ImplicationRuleSet DhpImplications(const BinaryMatrix& m,
+                                   const DhpOptions& options,
+                                   double min_confidence,
+                                   DhpStats* stats = nullptr);
+
+}  // namespace dmc
+
+#endif  // DMC_BASELINES_DHP_H_

@@ -1,0 +1,98 @@
+#include "baselines/kmin.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "baselines/minhash.h"
+#include "core/thresholds.h"
+#include "rules/rule.h"
+#include "util/stopwatch.h"
+
+namespace dmc {
+
+namespace {
+
+inline uint64_t PairKey(ColumnId a, ColumnId b) {
+  if (a > b) std::swap(a, b);
+  return (uint64_t{a} << 32) | b;
+}
+
+}  // namespace
+
+ImplicationRuleSet KMinImplications(const BinaryMatrix& m,
+                                    const KMinOptions& options,
+                                    double min_confidence,
+                                    KMinStats* stats) {
+  KMinStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = KMinStats{};
+  Stopwatch total_sw;
+
+  const auto& ones = m.column_ones();
+  const std::vector<uint64_t> sig =
+      ComputeMinHashSignatures(m, options.num_hashes, options.seed);
+
+  // Candidate pairs by shared min-hash values (same sort-based grouping
+  // as MinHash).
+  std::unordered_map<uint64_t, uint32_t> votes;
+  votes.reserve(size_t{1} << 20);
+  std::vector<std::pair<uint64_t, ColumnId>> keyed;
+  keyed.reserve(m.num_columns());
+  for (uint32_t t = 0; t < options.num_hashes; ++t) {
+    keyed.clear();
+    for (ColumnId c = 0; c < m.num_columns(); ++c) {
+      if (ones[c] < options.min_support) continue;
+      const uint64_t v = sig[size_t{c} * options.num_hashes + t];
+      if (v == std::numeric_limits<uint64_t>::max()) continue;
+      keyed.emplace_back(v, c);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    size_t i = 0;
+    while (i < keyed.size()) {
+      size_t j = i + 1;
+      while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
+      if (j - i <= options.max_group) {
+        for (size_t a = i; a < j; ++a) {
+          for (size_t b = a + 1; b < j; ++b) {
+            ++votes[PairKey(keyed[a].second, keyed[b].second)];
+          }
+        }
+      }
+      i = j;
+    }
+  }
+  stats->candidate_pairs = votes.size();
+
+  // A c_lhs => c_rhs candidate with confidence p has similarity at least
+  // p*|lhs| / (|lhs| + |rhs|) >= p/2; prune votes below that to keep the
+  // estimation pass linear in the candidate count.
+  ImplicationRuleSet out;
+  for (const auto& [key, v] : votes) {
+    const ColumnId a = static_cast<ColumnId>(key >> 32);
+    const ColumnId b = static_cast<ColumnId>(key & 0xffffffffu);
+    const double est_sim = double(v) / double(options.num_hashes);
+    const double est_inter =
+        est_sim / (1.0 + est_sim) * (double(ones[a]) + double(ones[b]));
+    const ColumnId lhs = SparserFirst(ones[a], a, ones[b], b) ? a : b;
+    const ColumnId rhs = lhs == a ? b : a;
+    if (ones[lhs] == 0) continue;
+    const double est_conf = est_inter / double(ones[lhs]);
+    if (est_conf >= min_confidence - options.candidate_slack) {
+      ImplicationRule r;
+      r.lhs = lhs;
+      r.rhs = rhs;
+      r.lhs_ones = ones[lhs];
+      const uint32_t est_hits = std::min(
+          ones[lhs], static_cast<uint32_t>(est_inter + 0.5));
+      r.misses = ones[lhs] - est_hits;
+      out.Add(r);
+    }
+  }
+  stats->rules_reported = out.size();
+  out.Canonicalize();
+  stats->total_seconds = total_sw.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace dmc

@@ -1,0 +1,47 @@
+// K-Min: the Min-Hash variant for implication rules used in Fig. 6(i).
+//
+// From min-hash signatures, estimate the Jaccard similarity s_est of a
+// candidate pair, convert it to an intersection estimate
+// |a∩b| ≈ s/(1+s) * (|a|+|b|), and derive an estimated confidence
+// |a∩b| / |lhs|. The paper plots K-Min at the point where its false-
+// negative rate is below 10% — it "could not extract complete sets of
+// true rules"; this implementation reproduces that behaviour (and its
+// stats expose the knobs the bench sweeps to hit the 10% target).
+
+#ifndef DMC_BASELINES_KMIN_H_
+#define DMC_BASELINES_KMIN_H_
+
+#include <cstdint>
+
+#include "matrix/binary_matrix.h"
+#include "rules/rule_set.h"
+
+namespace dmc {
+
+struct KMinOptions {
+  uint32_t num_hashes = 100;
+  /// Pairs with estimated confidence >= min_confidence - candidate_slack
+  /// are reported (no exact verification — that is the point of K-Min).
+  double candidate_slack = 0.05;
+  uint64_t min_support = 1;
+  uint64_t seed = 0x5eedbeef;
+  size_t max_group = 4096;
+};
+
+struct KMinStats {
+  double total_seconds = 0.0;
+  size_t candidate_pairs = 0;
+  size_t rules_reported = 0;
+};
+
+/// Implication rules with *estimated* confidence >= min_confidence.
+/// Counts inside the returned rules are estimates; the result may contain
+/// both false positives and false negatives.
+ImplicationRuleSet KMinImplications(const BinaryMatrix& m,
+                                    const KMinOptions& options,
+                                    double min_confidence,
+                                    KMinStats* stats = nullptr);
+
+}  // namespace dmc
+
+#endif  // DMC_BASELINES_KMIN_H_

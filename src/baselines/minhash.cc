@@ -1,0 +1,165 @@
+#include "baselines/minhash.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "core/thresholds.h"
+#include "rules/verifier.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace dmc {
+
+namespace {
+
+inline uint64_t PairKey(ColumnId a, ColumnId b) {
+  if (a > b) std::swap(a, b);
+  return (uint64_t{a} << 32) | b;
+}
+
+// Hash of row r under hash function t.
+inline uint64_t RowHash(uint64_t seed, uint32_t t, RowId r) {
+  return Mix64(seed ^ (uint64_t{t} * 0x9e3779b97f4a7c15ULL) ^
+               (uint64_t{r} << 24 | r));
+}
+
+}  // namespace
+
+std::vector<uint64_t> ComputeMinHashSignatures(const BinaryMatrix& m,
+                                               uint32_t num_hashes,
+                                               uint64_t seed) {
+  std::vector<uint64_t> sig(
+      size_t{m.num_columns()} * num_hashes,
+      std::numeric_limits<uint64_t>::max());
+  for (RowId r = 0; r < m.num_rows(); ++r) {
+    const auto row = m.Row(r);
+    if (row.empty()) continue;
+    for (uint32_t t = 0; t < num_hashes; ++t) {
+      const uint64_t h = RowHash(seed, t, r);
+      for (ColumnId c : row) {
+        uint64_t& slot = sig[size_t{c} * num_hashes + t];
+        if (h < slot) slot = h;
+      }
+    }
+  }
+  return sig;
+}
+
+double EstimateSimilarity(const std::vector<uint64_t>& signatures,
+                          uint32_t num_hashes, ColumnId a, ColumnId b) {
+  uint32_t agree = 0;
+  for (uint32_t t = 0; t < num_hashes; ++t) {
+    if (signatures[size_t{a} * num_hashes + t] ==
+        signatures[size_t{b} * num_hashes + t]) {
+      ++agree;
+    }
+  }
+  return num_hashes == 0 ? 0.0 : double(agree) / double(num_hashes);
+}
+
+SimilarityRuleSet MinHashSimilarities(const BinaryMatrix& m,
+                                      const MinHashOptions& options,
+                                      double min_similarity,
+                                      MinHashStats* stats) {
+  MinHashStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = MinHashStats{};
+  Stopwatch total_sw;
+
+  const auto& ones = m.column_ones();
+
+  Stopwatch sig_sw;
+  const std::vector<uint64_t> sig =
+      ComputeMinHashSignatures(m, options.num_hashes, options.seed);
+  stats->signature_seconds = sig_sw.ElapsedSeconds();
+  stats->signature_bytes = sig.size() * sizeof(uint64_t);
+
+  // Vote counting: under each hash function, columns sharing the same
+  // min-hash value vote for every pair inside the group.
+  Stopwatch cand_sw;
+  std::unordered_map<uint64_t, uint32_t> votes;
+  votes.reserve(size_t{1} << 20);
+  // Sort-based grouping: columns sharing a min-hash value form a
+  // contiguous run of the sorted (value, column) sequence.
+  std::vector<std::pair<uint64_t, ColumnId>> keyed;
+  keyed.reserve(m.num_columns());
+  for (uint32_t t = 0; t < options.num_hashes; ++t) {
+    keyed.clear();
+    for (ColumnId c = 0; c < m.num_columns(); ++c) {
+      if (ones[c] < options.min_support) continue;
+      const uint64_t v = sig[size_t{c} * options.num_hashes + t];
+      if (v == std::numeric_limits<uint64_t>::max()) continue;  // empty col
+      keyed.emplace_back(v, c);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    size_t i = 0;
+    while (i < keyed.size()) {
+      size_t j = i + 1;
+      while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
+      if (j - i > options.max_group) {
+        ++stats->skipped_groups;
+      } else {
+        for (size_t a = i; a < j; ++a) {
+          for (size_t b = a + 1; b < j; ++b) {
+            ++votes[PairKey(keyed[a].second, keyed[b].second)];
+          }
+        }
+      }
+      i = j;
+    }
+  }
+
+  // Candidate selection by estimated similarity.
+  const double cutoff =
+      (min_similarity - options.candidate_slack) * options.num_hashes;
+  std::vector<std::pair<ColumnId, ColumnId>> candidates;
+  for (const auto& [key, v] : votes) {
+    if (static_cast<double>(v) >= cutoff) {
+      candidates.emplace_back(static_cast<ColumnId>(key >> 32),
+                              static_cast<ColumnId>(key & 0xffffffffu));
+    }
+  }
+  stats->candidate_pairs = candidates.size();
+  stats->candidate_seconds = cand_sw.ElapsedSeconds();
+
+  SimilarityRuleSet out;
+  Stopwatch verify_sw;
+  if (options.verify) {
+    RuleVerifier verifier(m);
+    for (const auto& [a, b] : candidates) {
+      const SimilarityPair p = verifier.MakeSimilarity(a, b);
+      if (static_cast<int64_t>(p.intersection) >=
+          MinHitsForSimilarity(p.ones_a, p.ones_b, min_similarity)) {
+        out.Add(p);
+      } else {
+        ++stats->false_positives_removed;
+      }
+    }
+  } else {
+    // Unverified output: counts are estimates derived from the vote
+    // fraction (|intersection| = s/(1+s) * (|a|+|b|)).
+    for (const auto& [a, b] : candidates) {
+      const double est = EstimateSimilarity(sig, options.num_hashes, a, b);
+      SimilarityPair p;
+      p.a = a;
+      p.b = b;
+      p.ones_a = ones[a];
+      p.ones_b = ones[b];
+      if (!SparserFirst(p.ones_a, p.a, p.ones_b, p.b)) {
+        std::swap(p.a, p.b);
+        std::swap(p.ones_a, p.ones_b);
+      }
+      p.intersection = static_cast<uint32_t>(
+          est / (1.0 + est) * (double(p.ones_a) + double(p.ones_b)) + 0.5);
+      p.intersection = std::min(p.intersection, p.ones_a);
+      if (p.similarity() >= min_similarity - kThresholdEpsilon) out.Add(p);
+    }
+  }
+  stats->verify_seconds = verify_sw.ElapsedSeconds();
+  out.Canonicalize();
+  stats->total_seconds = total_sw.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace dmc

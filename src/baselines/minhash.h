@@ -1,0 +1,74 @@
+// Min-Hash similarity mining [Cohen 97; Cohen et al. ICDE'00] — the
+// randomized comparator of §3.2 and Fig. 6(j).
+//
+// k min-hash values per column estimate Jaccard similarity; candidate
+// pairs are collected by vote counting (columns sharing a min-hash value
+// under one hash function vote for the pair), then optionally verified
+// exactly. Without verification the output may contain false positives;
+// even with verification, pairs that never share a min-hash value are
+// false negatives — exactly the behaviour the paper contrasts DMC against.
+
+#ifndef DMC_BASELINES_MINHASH_H_
+#define DMC_BASELINES_MINHASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/binary_matrix.h"
+#include "rules/rule_set.h"
+
+namespace dmc {
+
+struct MinHashOptions {
+  /// Number of independent min-hash functions (k).
+  uint32_t num_hashes = 100;
+  /// Candidate threshold slack: pairs with estimated similarity >=
+  /// min_similarity - candidate_slack become candidates.
+  double candidate_slack = 0.05;
+  /// Verify candidates against the matrix (removes all false positives).
+  bool verify = true;
+  /// Columns with fewer 1s than this are ignored (support pruning knob
+  /// used in the Fig. 6(i,j) comparison).
+  uint64_t min_support = 1;
+  uint64_t seed = 0x5eedcafe;
+  /// Groups of columns sharing one min-hash value larger than this are
+  /// skipped when voting (guards against quadratic blowup on degenerate
+  /// groups; counted in stats).
+  size_t max_group = 4096;
+};
+
+struct MinHashStats {
+  double signature_seconds = 0.0;
+  double candidate_seconds = 0.0;
+  double verify_seconds = 0.0;
+  double total_seconds = 0.0;
+  size_t candidate_pairs = 0;
+  size_t false_positives_removed = 0;
+  size_t skipped_groups = 0;
+  /// Bytes of the signature matrix.
+  size_t signature_bytes = 0;
+};
+
+/// Similarity pairs with (estimated, or exact when verifying) similarity
+/// >= min_similarity. With verify=true all reported pairs are true pairs
+/// with exact counts; false negatives remain possible with probability
+/// decreasing in num_hashes.
+SimilarityRuleSet MinHashSimilarities(const BinaryMatrix& m,
+                                      const MinHashOptions& options,
+                                      double min_similarity,
+                                      MinHashStats* stats = nullptr);
+
+/// The per-column min-hash signature matrix (column-major:
+/// signatures[c * num_hashes + t]). Exposed for tests of the estimator's
+/// statistical contract.
+std::vector<uint64_t> ComputeMinHashSignatures(const BinaryMatrix& m,
+                                               uint32_t num_hashes,
+                                               uint64_t seed);
+
+/// Estimated Jaccard similarity of columns (a, b) from signatures.
+double EstimateSimilarity(const std::vector<uint64_t>& signatures,
+                          uint32_t num_hashes, ColumnId a, ColumnId b);
+
+}  // namespace dmc
+
+#endif  // DMC_BASELINES_MINHASH_H_

@@ -1,0 +1,286 @@
+#include "core/dmc_base.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/miss_counter_table.h"
+#include "util/bitvector.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace dmc {
+
+namespace {
+
+class ImplicationScan {
+ public:
+  ImplicationScan(const ImplicationPassInput& in, ImplicationRuleSet* out)
+      : in_(in),
+        out_(out),
+        m_(*in.matrix),
+        ones_(m_.column_ones()),
+        maxmis_(*in.max_misses),
+        active_(*in.active),
+        policy_(*in.policy),
+        cnt_(m_.num_columns(), 0),
+        table_(m_.num_columns(), in.bytes_per_entry, in.tracker) {
+    all_active_ = std::all_of(active_.begin(), active_.end(),
+                              [](uint8_t a) { return a != 0; });
+  }
+
+  ImplicationPassResult Run() {
+    ImplicationPassResult result;
+    Stopwatch base_sw;
+    const size_t n = in_.order.size();
+    size_t idx = 0;
+    bool to_bitmap = false;
+    for (; idx < n; ++idx) {
+      if (policy_.bitmap_fallback &&
+          n - idx <= policy_.bitmap_max_remaining_rows &&
+          table_.bytes() >= policy_.memory_threshold_bytes) {
+        to_bitmap = true;
+        break;
+      }
+      const auto row = FilteredRow(in_.order[idx]);
+      // Step 3(a): update/extend every candidate list touched by this row.
+      for (ColumnId cj : row) {
+        if (!LhsOk(cj)) continue;
+        if (static_cast<int64_t>(cnt_[cj]) <= maxmis_[cj]) {
+          MergeWithAdd(cj, row);
+        } else if (table_.HasList(cj)) {
+          MergeMissOnly(cj, row);
+        }
+      }
+      // Step 3(b): bump counters; flush columns that are complete.
+      for (ColumnId cj : row) {
+        ++cnt_[cj];
+        if (cnt_[cj] == ones_[cj] && table_.HasList(cj)) FlushColumn(cj);
+      }
+      result.peak_entries =
+          std::max(result.peak_entries, table_.total_entries());
+      RecordHistory();
+    }
+    result.base_seconds = base_sw.ElapsedSeconds();
+
+    if (to_bitmap) {
+      Stopwatch bitmap_sw;
+      RunBitmapPhases(idx);
+      result.bitmap_used = true;
+      result.bitmap_rows = n - idx;
+      result.bitmap_seconds = bitmap_sw.ElapsedSeconds();
+    }
+    return result;
+  }
+
+ private:
+  // Whether this pass owns column `c` as an antecedent (parallel
+  // sharding; null shard = all).
+  bool LhsOk(ColumnId c) const {
+    return in_.lhs_shard == nullptr || (*in_.lhs_shard)[c] != 0;
+  }
+
+  // The paper's candidate ordering (§2): rules go from the sparser column
+  // to the denser one, ties broken by id.
+  bool Qualifies(ColumnId ck, ColumnId cj) const {
+    return ones_[ck] > ones_[cj] ||
+           (ones_[ck] == ones_[cj] && ck > cj);
+  }
+
+  // Row `r` restricted to active columns (no copy when all are active).
+  std::span<const ColumnId> FilteredRow(RowId r) {
+    const auto row = m_.Row(r);
+    if (all_active_) return row;
+    scratch_row_.clear();
+    for (ColumnId c : row) {
+      if (active_[c]) scratch_row_.push_back(c);
+    }
+    return scratch_row_;
+  }
+
+  // Case cnt(cj) <= maxmis(cj): linear merge of cand(cj) with the row.
+  // Row-only qualifying columns join with miss = cnt(cj) (they missed all
+  // earlier occurrences of cj — exact, because a prior co-occurrence would
+  // have added them already); list-only entries take a miss and are
+  // dropped the moment they exceed the budget.
+  void MergeWithAdd(ColumnId cj, std::span<const ColumnId> row) {
+    if (!table_.HasList(cj)) table_.Create(cj);
+    const auto& list = table_.List(cj);
+    scratch_.clear();
+    const uint32_t base_miss = cnt_[cj];
+    const int64_t budget = maxmis_[cj];
+    size_t i = 0, j = 0;
+    while (i < row.size() || j < list.size()) {
+      if (j >= list.size() ||
+          (i < row.size() && row[i] < list[j].cand)) {
+        const ColumnId ck = row[i++];
+        if (ck != cj && Qualifies(ck, cj)) {
+          scratch_.push_back({ck, base_miss});
+        }
+      } else if (i >= row.size() || list[j].cand < row[i]) {
+        CandidateEntry e = list[j++];
+        if (static_cast<int64_t>(e.miss) + 1 <= budget) {
+          ++e.miss;
+          scratch_.push_back(e);
+        }
+      } else {  // in both: a hit, entry unchanged
+        scratch_.push_back(list[j]);
+        ++i;
+        ++j;
+      }
+    }
+    table_.Replace(cj, scratch_);
+  }
+
+  // Case cnt(cj) > maxmis(cj): no additions are possible any more; only
+  // count misses against existing candidates.
+  void MergeMissOnly(ColumnId cj, std::span<const ColumnId> row) {
+    const auto& list = table_.List(cj);
+    if (list.empty()) return;
+    scratch_.clear();
+    const int64_t budget = maxmis_[cj];
+    size_t i = 0;
+    for (size_t j = 0; j < list.size(); ++j) {
+      while (i < row.size() && row[i] < list[j].cand) ++i;
+      if (i < row.size() && row[i] == list[j].cand) {
+        scratch_.push_back(list[j]);
+      } else {
+        CandidateEntry e = list[j];
+        if (static_cast<int64_t>(e.miss) + 1 <= budget) {
+          ++e.miss;
+          scratch_.push_back(e);
+        }
+      }
+    }
+    table_.Replace(cj, scratch_);
+  }
+
+  // cnt(cj) == ones(cj): every surviving candidate is a rule (its miss
+  // count is final and within budget).
+  void FlushColumn(ColumnId cj) {
+    for (const CandidateEntry& e : table_.List(cj)) {
+      EmitRule(cj, e.cand, e.miss);
+    }
+    table_.Release(cj);
+  }
+
+  void EmitRule(ColumnId lhs, ColumnId rhs, uint32_t misses) {
+    if (!in_.emit_zero_miss && misses == 0) return;
+    out_->Add(ImplicationRule{lhs, rhs, ones_[lhs], misses});
+  }
+
+  void RecordHistory() {
+    if (in_.memory_history != nullptr) {
+      in_.memory_history->push_back(table_.bytes());
+    }
+    if (in_.candidate_history != nullptr) {
+      in_.candidate_history->push_back(table_.total_entries());
+    }
+  }
+
+  // Algorithm 4.1. `start` is the index (into the order) of the first row
+  // the base scan did not process.
+  void RunBitmapPhases(size_t start) {
+    const size_t n = in_.order.size();
+    const size_t tn = n - start;
+    // Materialize the tail rows (active columns only) and per-column
+    // bitmaps over them.
+    std::vector<std::vector<ColumnId>> tail;
+    tail.reserve(tn);
+    std::vector<int32_t> bm_index(m_.num_columns(), -1);
+    std::vector<BitVector> bitmaps;
+    for (size_t t = 0; t < tn; ++t) {
+      const auto row = FilteredRow(in_.order[start + t]);
+      tail.emplace_back(row.begin(), row.end());
+      for (ColumnId c : row) {
+        if (bm_index[c] < 0) {
+          bm_index[c] = static_cast<int32_t>(bitmaps.size());
+          bitmaps.emplace_back(tn);
+        }
+        bitmaps[bm_index[c]].Set(t);
+      }
+    }
+
+    const ColumnId num_cols = m_.num_columns();
+    // Phase 1: columns that can no longer gain candidates. Finish their
+    // existing candidates by exact bitmap miss-counting.
+    for (ColumnId c = 0; c < num_cols; ++c) {
+      if (!table_.HasList(c)) continue;
+      if (static_cast<int64_t>(cnt_[c]) <= maxmis_[c]) continue;
+      const BitVector* bj = bm_index[c] >= 0 ? &bitmaps[bm_index[c]] : nullptr;
+      for (const CandidateEntry& e : table_.List(c)) {
+        size_t extra = 0;
+        if (bj != nullptr) {
+          extra = bm_index[e.cand] >= 0
+                      ? bj->AndNotCount(bitmaps[bm_index[e.cand]])
+                      : bj->Count();
+        }
+        const int64_t total = static_cast<int64_t>(e.miss) + extra;
+        if (total <= maxmis_[c]) {
+          EmitRule(c, e.cand, static_cast<uint32_t>(total));
+        }
+      }
+      table_.Release(c);
+    }
+
+    // Phase 2: columns that may still gain candidates. Count hits over
+    // the tail (seeded with the exact head hits of listed candidates) and
+    // test every qualifying partner.
+    std::unordered_map<ColumnId, uint32_t> hits;
+    for (ColumnId c = 0; c < num_cols; ++c) {
+      if (!active_[c] || ones_[c] == 0 || !LhsOk(c)) continue;
+      if (static_cast<int64_t>(cnt_[c]) > maxmis_[c]) continue;
+      hits.clear();
+      if (table_.HasList(c)) {
+        for (const CandidateEntry& e : table_.List(c)) {
+          hits[e.cand] = cnt_[c] - e.miss;
+        }
+      }
+      if (bm_index[c] >= 0) {
+        for (uint32_t t : bitmaps[bm_index[c]].ToIndices()) {
+          for (ColumnId ck : tail[t]) {
+            if (ck != c) ++hits[ck];
+          }
+        }
+      }
+      const int64_t min_hits = static_cast<int64_t>(ones_[c]) - maxmis_[c];
+      for (const auto& [ck, h] : hits) {
+        if (!Qualifies(ck, c)) continue;
+        if (static_cast<int64_t>(h) >= min_hits) {
+          EmitRule(c, ck, ones_[c] - h);
+        }
+      }
+      if (table_.HasList(c)) table_.Release(c);
+    }
+  }
+
+  const ImplicationPassInput& in_;
+  ImplicationRuleSet* out_;
+  const BinaryMatrix& m_;
+  const std::vector<uint32_t>& ones_;
+  const std::vector<int64_t>& maxmis_;
+  const std::vector<uint8_t>& active_;
+  const DmcPolicy& policy_;
+  bool all_active_ = false;
+  std::vector<uint32_t> cnt_;
+  MissCounterTable table_;
+  std::vector<ColumnId> scratch_row_;
+  std::vector<CandidateEntry> scratch_;
+};
+
+}  // namespace
+
+ImplicationPassResult RunImplicationPass(const ImplicationPassInput& input,
+                                         ImplicationRuleSet* out) {
+  DMC_CHECK(input.matrix != nullptr);
+  DMC_CHECK(input.max_misses != nullptr);
+  DMC_CHECK(input.active != nullptr);
+  DMC_CHECK(input.policy != nullptr);
+  DMC_CHECK(input.tracker != nullptr);
+  DMC_CHECK(out != nullptr);
+  DMC_CHECK_EQ(input.max_misses->size(), input.matrix->num_columns());
+  DMC_CHECK_EQ(input.active->size(), input.matrix->num_columns());
+  ImplicationScan scan(input, out);
+  return scan.Run();
+}
+
+}  // namespace dmc

@@ -1,0 +1,74 @@
+// DMC-base (Algorithm 3.1) and DMC-bitmap (Algorithm 4.1) for implication
+// rules: one "pass" = the second data scan, with an optional switch to the
+// low-memory bitmap algorithm near the end of the scan.
+//
+// The pass is parameterized by a per-column miss budget and an active-
+// column mask, so the same code runs both the 100%-confidence phase
+// (budgets all zero, id-only candidate entries — the §4.3 simplification)
+// and the general sub-100% phase of DMC-imp.
+
+#ifndef DMC_CORE_DMC_BASE_H_
+#define DMC_CORE_DMC_BASE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dmc_options.h"
+#include "matrix/binary_matrix.h"
+#include "rules/rule_set.h"
+#include "util/memory_tracker.h"
+
+namespace dmc {
+
+/// Inputs of one implication pass over the data.
+struct ImplicationPassInput {
+  const BinaryMatrix* matrix = nullptr;
+  /// Row visit order for the second scan (§4.1).
+  std::span<const RowId> order;
+  /// maxmis(c) per column; rules from c may have at most this many misses.
+  const std::vector<int64_t>* max_misses = nullptr;
+  /// Columns participating in this pass; inactive columns are invisible.
+  const std::vector<uint8_t>* active = nullptr;
+  /// Optional antecedent shard (parallel divide-and-conquer, §7 future
+  /// work): when set, only these columns keep candidate lists / emit
+  /// rules as LHS; all active columns still serve as RHS candidates.
+  /// Running the pass once per shard of a partition and unioning the
+  /// outputs yields exactly the unsharded result.
+  const std::vector<uint8_t>* lhs_shard = nullptr;
+  /// When false, rules with zero misses are suppressed (they were already
+  /// produced by the 100% phase).
+  bool emit_zero_miss = true;
+  /// Candidate-entry accounting size: kEntryBytesIdOnly for the 100%
+  /// phase, kEntryBytesWithCounters otherwise.
+  size_t bytes_per_entry = 8;
+  const DmcPolicy* policy = nullptr;
+  /// Shared tracker for counter-array accounting (peaks compose across
+  /// phases).
+  MemoryTracker* tracker = nullptr;
+  /// Optional per-row history sinks (Fig. 3 / Example 3.1 traces).
+  std::vector<size_t>* memory_history = nullptr;
+  std::vector<size_t>* candidate_history = nullptr;
+};
+
+/// Outcome of one pass.
+struct ImplicationPassResult {
+  /// Whether the DMC-bitmap fallback fired.
+  bool bitmap_used = false;
+  /// Rows handled by the bitmap fallback.
+  size_t bitmap_rows = 0;
+  double base_seconds = 0.0;
+  double bitmap_seconds = 0.0;
+  /// Peak live candidate entries during this pass.
+  size_t peak_entries = 0;
+};
+
+/// Runs DMC-base over `input.order`, switching to DMC-bitmap when the
+/// policy's memory/remaining-row conditions are met, and appends every
+/// discovered rule (with exact miss counts) to `out`.
+ImplicationPassResult RunImplicationPass(const ImplicationPassInput& input,
+                                         ImplicationRuleSet* out);
+
+}  // namespace dmc
+
+#endif  // DMC_CORE_DMC_BASE_H_

@@ -1,0 +1,67 @@
+// Tuning knobs shared by the DMC engines.
+
+#ifndef DMC_CORE_DMC_OPTIONS_H_
+#define DMC_CORE_DMC_OPTIONS_H_
+
+#include <cstddef>
+
+namespace dmc {
+
+/// Which order the second pass visits rows in (§4.1).
+enum class RowOrderPolicy {
+  /// Original row order (re-ordering disabled; ablation baseline).
+  kIdentity,
+  /// The paper's density buckets [2^i, 2^{i+1}), sparsest bucket first.
+  kDensityBuckets,
+  /// Exact sparsest-first sort (upper bound for the bucket approximation).
+  kExactSort,
+};
+
+/// Policy knobs common to DMC-imp and DMC-sim. Defaults reproduce the
+/// paper's configuration (§4.4): density-bucket re-ordering, a 100%-rule
+/// pre-phase, and a switch to DMC-bitmap when <= 64 rows remain and the
+/// counter array exceeds 50 MB.
+struct DmcPolicy {
+  RowOrderPolicy row_order = RowOrderPolicy::kDensityBuckets;
+
+  /// Run the dedicated 100%-confidence (resp. identical-column) phase
+  /// first, then cut off columns that can only produce 100% rules (§4.3,
+  /// DMC-imp/DMC-sim step 3).
+  bool hundred_percent_phase = true;
+
+  /// Allow switching to the low-memory DMC-bitmap algorithm (§4.2).
+  bool bitmap_fallback = true;
+  /// Counter-array bytes above which the switch is considered.
+  size_t memory_threshold_bytes = size_t{50} << 20;
+  /// The switch happens only once this few rows remain, regardless of
+  /// memory (§4.4: 64 rows).
+  size_t bitmap_max_remaining_rows = 64;
+
+  /// DMC-sim only: §5.1 column-density pruning (skip pairs whose 1-count
+  /// ratio is below the similarity threshold).
+  bool column_density_pruning = true;
+  /// DMC-sim only: §5.2 maximum-hits pruning.
+  bool max_hits_pruning = true;
+
+  /// Record per-row memory/candidate history into MiningStats (Fig. 3 and
+  /// the Example 3.1 traces). O(rows) extra memory; off by default.
+  bool record_history = false;
+};
+
+/// Options for MineImplications.
+struct ImplicationMiningOptions {
+  /// minconf in (0, 1].
+  double min_confidence = 0.9;
+  DmcPolicy policy;
+};
+
+/// Options for MineSimilarities.
+struct SimilarityMiningOptions {
+  /// minsim in (0, 1].
+  double min_similarity = 0.9;
+  DmcPolicy policy;
+};
+
+}  // namespace dmc
+
+#endif  // DMC_CORE_DMC_OPTIONS_H_

@@ -1,0 +1,362 @@
+#include "core/dmc_sim_pass.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/miss_counter_table.h"
+#include "core/thresholds.h"
+#include "util/bitvector.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace dmc {
+
+namespace {
+
+class SimilarityScan {
+ public:
+  SimilarityScan(const SimilarityPassInput& in, SimilarityRuleSet* out)
+      : in_(in),
+        out_(out),
+        m_(*in.matrix),
+        ones_(m_.column_ones()),
+        active_(*in.active),
+        policy_(*in.policy),
+        s_(in.min_similarity),
+        cnt_(m_.num_columns(), 0),
+        table_(m_.num_columns(), in.bytes_per_entry, in.tracker) {
+    all_active_ = std::all_of(active_.begin(), active_.end(),
+                              [](uint8_t a) { return a != 0; });
+    col_budget_.resize(m_.num_columns());
+    for (ColumnId c = 0; c < m_.num_columns(); ++c) {
+      col_budget_[c] = ColumnMaxMissesForSimilarity(ones_[c], s_);
+    }
+  }
+
+  SimilarityPassResult Run() {
+    SimilarityPassResult result;
+    Stopwatch base_sw;
+    const size_t n = in_.order.size();
+    size_t idx = 0;
+    bool to_bitmap = false;
+    for (; idx < n; ++idx) {
+      if (policy_.bitmap_fallback &&
+          n - idx <= policy_.bitmap_max_remaining_rows &&
+          table_.bytes() >= policy_.memory_threshold_bytes) {
+        to_bitmap = true;
+        break;
+      }
+      const auto row = FilteredRow(in_.order[idx]);
+      for (ColumnId cj : row) {
+        if (!LhsOk(cj)) continue;
+        if (static_cast<int64_t>(cnt_[cj]) <= col_budget_[cj]) {
+          MergeWithAdd(cj, row);
+        } else if (table_.HasList(cj)) {
+          MergeMissOnly(cj, row);
+        }
+      }
+      for (ColumnId cj : row) {
+        ++cnt_[cj];
+        if (cnt_[cj] == ones_[cj] && table_.HasList(cj)) FlushColumn(cj);
+      }
+      result.peak_entries =
+          std::max(result.peak_entries, table_.total_entries());
+      RecordHistory();
+    }
+    result.base_seconds = base_sw.ElapsedSeconds();
+
+    if (to_bitmap) {
+      Stopwatch bitmap_sw;
+      RunBitmapPhases(idx);
+      result.bitmap_used = true;
+      result.bitmap_rows = n - idx;
+      result.bitmap_seconds = bitmap_sw.ElapsedSeconds();
+    }
+    return result;
+  }
+
+ private:
+  // Whether this pass owns column `c` as the list-keeping (sparser) side.
+  bool LhsOk(ColumnId c) const {
+    return in_.lhs_shard == nullptr || (*in_.lhs_shard)[c] != 0;
+  }
+
+  bool Qualifies(ColumnId ck, ColumnId cj) const {
+    return ones_[ck] > ones_[cj] ||
+           (ones_[ck] == ones_[cj] && ck > cj);
+  }
+
+  int64_t PairBudget(ColumnId ci, ColumnId ck) const {
+    return MaxMissesForSimilarity(ones_[ci], ones_[ck], s_);
+  }
+
+  std::span<const ColumnId> FilteredRow(RowId r) {
+    const auto row = m_.Row(r);
+    if (all_active_) return row;
+    scratch_row_.clear();
+    for (ColumnId c : row) {
+      if (active_[c]) scratch_row_.push_back(c);
+    }
+    return scratch_row_;
+  }
+
+  // §5.2 maximum-hits bound, evaluated while processing a row where cj
+  // and ck are BOTH present (or ck is being added). Counters are pre-row,
+  // so the remaining-1s terms still include the current row — matching
+  // Example 5.1's arithmetic exactly.
+  bool SurvivesMaxHitsOnHit(ColumnId cj, ColumnId ck, uint32_t miss) const {
+    const int64_t rem_j = static_cast<int64_t>(ones_[cj]) - cnt_[cj];
+    const int64_t rem_k = static_cast<int64_t>(ones_[ck]) - cnt_[ck];
+    const int64_t hits_so_far = static_cast<int64_t>(cnt_[cj]) - miss;
+    const int64_t best_hits = hits_so_far + std::min(rem_j, rem_k);
+    return best_hits >= MinHitsForSimilarity(ones_[cj], ones_[ck], s_);
+  }
+
+  // Same bound on a row where cj is present but ck is NOT (`new_miss`
+  // already includes this row's miss). The current row cannot be a future
+  // hit: it consumes one of cj's remaining 1s and none of ck's.
+  bool SurvivesMaxHitsOnMiss(ColumnId cj, ColumnId ck,
+                             uint32_t new_miss) const {
+    const int64_t rem_j = static_cast<int64_t>(ones_[cj]) - cnt_[cj] - 1;
+    const int64_t rem_k = static_cast<int64_t>(ones_[ck]) - cnt_[ck];
+    const int64_t hits_so_far =
+        static_cast<int64_t>(cnt_[cj]) - (static_cast<int64_t>(new_miss) - 1);
+    const int64_t best_hits = hits_so_far + std::min(rem_j, rem_k);
+    return best_hits >= MinHitsForSimilarity(ones_[cj], ones_[ck], s_);
+  }
+
+  void MergeWithAdd(ColumnId cj, std::span<const ColumnId> row) {
+    if (!table_.HasList(cj)) table_.Create(cj);
+    const auto& list = table_.List(cj);
+    scratch_.clear();
+    const uint32_t base_miss = cnt_[cj];
+    size_t i = 0, j = 0;
+    while (i < row.size() || j < list.size()) {
+      if (j >= list.size() ||
+          (i < row.size() && row[i] < list[j].cand)) {
+        const ColumnId ck = row[i++];
+        if (ck == cj || !Qualifies(ck, cj)) continue;
+        // §5.1 column-density pruning: a negative budget means the ratio
+        // ones(cj)/ones(ck) is below s and the pair can never qualify; a
+        // budget below cnt(cj) means it is dead on arrival. With the
+        // pruning disabled (ablation) such pairs are still added and left
+        // to the regular miss counting + flush guard, costing memory but
+        // never changing the output.
+        if (policy_.column_density_pruning) {
+          const int64_t budget = PairBudget(cj, ck);
+          if (budget < 0 || static_cast<int64_t>(base_miss) > budget) {
+            continue;
+          }
+        }
+        if (policy_.max_hits_pruning &&
+            !SurvivesMaxHitsOnHit(cj, ck, base_miss)) {
+          continue;
+        }
+        scratch_.push_back({ck, base_miss});
+      } else if (i >= row.size() || list[j].cand < row[i]) {
+        CandidateEntry e = list[j++];
+        ++e.miss;
+        if (static_cast<int64_t>(e.miss) > PairBudget(cj, e.cand)) continue;
+        if (policy_.max_hits_pruning &&
+            !SurvivesMaxHitsOnMiss(cj, e.cand, e.miss)) {
+          continue;
+        }
+        scratch_.push_back(e);
+      } else {  // hit
+        const CandidateEntry e = list[j];
+        ++i;
+        ++j;
+        if (policy_.max_hits_pruning &&
+            !SurvivesMaxHitsOnHit(cj, e.cand, e.miss)) {
+          continue;
+        }
+        scratch_.push_back(e);
+      }
+    }
+    table_.Replace(cj, scratch_);
+  }
+
+  void MergeMissOnly(ColumnId cj, std::span<const ColumnId> row) {
+    const auto& list = table_.List(cj);
+    if (list.empty()) return;
+    scratch_.clear();
+    size_t i = 0;
+    for (size_t j = 0; j < list.size(); ++j) {
+      while (i < row.size() && row[i] < list[j].cand) ++i;
+      CandidateEntry e = list[j];
+      const bool hit = i < row.size() && row[i] == e.cand;
+      if (!hit) {
+        ++e.miss;
+        if (static_cast<int64_t>(e.miss) > PairBudget(cj, e.cand)) continue;
+        if (policy_.max_hits_pruning &&
+            !SurvivesMaxHitsOnMiss(cj, e.cand, e.miss)) {
+          continue;
+        }
+      } else if (policy_.max_hits_pruning &&
+                 !SurvivesMaxHitsOnHit(cj, e.cand, e.miss)) {
+        continue;
+      }
+      scratch_.push_back(e);
+    }
+    table_.Replace(cj, scratch_);
+  }
+
+  void FlushColumn(ColumnId cj) {
+    for (const CandidateEntry& e : table_.List(cj)) {
+      // Guard for the ablation mode with density pruning off: a pair with
+      // a negative budget may linger in the list if it never missed.
+      if (static_cast<int64_t>(e.miss) > PairBudget(cj, e.cand)) continue;
+      EmitPair(cj, e.cand, ones_[cj] - e.miss);
+    }
+    table_.Release(cj);
+  }
+
+  void EmitPair(ColumnId ci, ColumnId ck, uint32_t intersection) {
+    const bool identical =
+        ones_[ci] == ones_[ck] && intersection == ones_[ci];
+    if (!in_.emit_identical && identical) return;
+    out_->Add(SimilarityPair{ci, ck, ones_[ci], ones_[ck], intersection});
+  }
+
+  void RecordHistory() {
+    if (in_.memory_history != nullptr) {
+      in_.memory_history->push_back(table_.bytes());
+    }
+    if (in_.candidate_history != nullptr) {
+      in_.candidate_history->push_back(table_.total_entries());
+    }
+  }
+
+  void RunBitmapPhases(size_t start) {
+    const size_t n = in_.order.size();
+    const size_t tn = n - start;
+    std::vector<std::vector<ColumnId>> tail;
+    tail.reserve(tn);
+    std::vector<int32_t> bm_index(m_.num_columns(), -1);
+    std::vector<BitVector> bitmaps;
+    for (size_t t = 0; t < tn; ++t) {
+      const auto row = FilteredRow(in_.order[start + t]);
+      tail.emplace_back(row.begin(), row.end());
+      for (ColumnId c : row) {
+        if (bm_index[c] < 0) {
+          bm_index[c] = static_cast<int32_t>(bitmaps.size());
+          bitmaps.emplace_back(tn);
+        }
+        bitmaps[bm_index[c]].Set(t);
+      }
+    }
+
+    const ColumnId num_cols = m_.num_columns();
+    // Phase 1: columns past their column-level budget — finish the listed
+    // candidates exactly.
+    for (ColumnId c = 0; c < num_cols; ++c) {
+      if (!table_.HasList(c)) continue;
+      if (static_cast<int64_t>(cnt_[c]) <= col_budget_[c]) continue;
+      const BitVector* bj = bm_index[c] >= 0 ? &bitmaps[bm_index[c]] : nullptr;
+      for (const CandidateEntry& e : table_.List(c)) {
+        size_t extra = 0;
+        if (bj != nullptr) {
+          extra = bm_index[e.cand] >= 0
+                      ? bj->AndNotCount(bitmaps[bm_index[e.cand]])
+                      : bj->Count();
+        }
+        const int64_t total = static_cast<int64_t>(e.miss) + extra;
+        if (total <= PairBudget(c, e.cand)) {
+          EmitPair(c, e.cand, ones_[c] - static_cast<uint32_t>(total));
+        }
+      }
+      table_.Release(c);
+    }
+
+    // Identical-column fast path (Algorithm 5.1 step 2): at minsim = 1
+    // every phase-2 column has cnt = 0 (its column budget is 0), so its
+    // support lies entirely in the tail and identical pairs are exactly
+    // the equal-bitmap groups — "extract those column pairs that have the
+    // same bitmap instead of counting", as the paper prescribes.
+    if (s_ == 1.0) {
+      std::unordered_map<uint64_t, std::vector<ColumnId>> by_hash;
+      for (ColumnId c = 0; c < num_cols; ++c) {
+        if (!active_[c] || ones_[c] == 0) continue;
+        if (static_cast<int64_t>(cnt_[c]) > col_budget_[c]) continue;
+        if (table_.HasList(c)) table_.Release(c);
+        if (cnt_[c] != 0 || bm_index[c] < 0) continue;
+        by_hash[bitmaps[bm_index[c]].Hash()].push_back(c);
+      }
+      for (const auto& [hash, cols] : by_hash) {
+        for (size_t i = 0; i < cols.size(); ++i) {
+          for (size_t j = i + 1; j < cols.size(); ++j) {
+            // The canonical antecedent of an identical pair is the lower
+            // id; in sharded runs only its owner emits the pair. Hash
+            // collisions are possible, so confirm exact equality.
+            if (!LhsOk(std::min(cols[i], cols[j]))) continue;
+            if (bitmaps[bm_index[cols[i]]] == bitmaps[bm_index[cols[j]]]) {
+              EmitPair(cols[i], cols[j], ones_[cols[i]]);
+            }
+          }
+        }
+      }
+      return;
+    }
+
+    // Phase 2: columns that may still gain candidates — count hits over
+    // the tail, seeded with the exact head hits of listed candidates.
+    std::unordered_map<ColumnId, uint32_t> hits;
+    for (ColumnId c = 0; c < num_cols; ++c) {
+      if (!active_[c] || ones_[c] == 0 || !LhsOk(c)) continue;
+      if (static_cast<int64_t>(cnt_[c]) > col_budget_[c]) continue;
+      hits.clear();
+      if (table_.HasList(c)) {
+        for (const CandidateEntry& e : table_.List(c)) {
+          hits[e.cand] = cnt_[c] - e.miss;
+        }
+      }
+      if (bm_index[c] >= 0) {
+        for (uint32_t t : bitmaps[bm_index[c]].ToIndices()) {
+          for (ColumnId ck : tail[t]) {
+            if (ck != c) ++hits[ck];
+          }
+        }
+      }
+      for (const auto& [ck, h] : hits) {
+        if (!Qualifies(ck, c)) continue;
+        if (static_cast<int64_t>(h) >=
+            MinHitsForSimilarity(ones_[c], ones_[ck], s_)) {
+          EmitPair(c, ck, h);
+        }
+      }
+      if (table_.HasList(c)) table_.Release(c);
+    }
+  }
+
+  const SimilarityPassInput& in_;
+  SimilarityRuleSet* out_;
+  const BinaryMatrix& m_;
+  const std::vector<uint32_t>& ones_;
+  const std::vector<uint8_t>& active_;
+  const DmcPolicy& policy_;
+  const double s_;
+  bool all_active_ = false;
+  std::vector<uint32_t> cnt_;
+  std::vector<int64_t> col_budget_;
+  MissCounterTable table_;
+  std::vector<ColumnId> scratch_row_;
+  std::vector<CandidateEntry> scratch_;
+};
+
+}  // namespace
+
+SimilarityPassResult RunSimilarityPass(const SimilarityPassInput& input,
+                                       SimilarityRuleSet* out) {
+  DMC_CHECK(input.matrix != nullptr);
+  DMC_CHECK(input.active != nullptr);
+  DMC_CHECK(input.policy != nullptr);
+  DMC_CHECK(input.tracker != nullptr);
+  DMC_CHECK(out != nullptr);
+  DMC_CHECK_GT(input.min_similarity, 0.0);
+  DMC_CHECK_LE(input.min_similarity, 1.0);
+  DMC_CHECK_EQ(input.active->size(), input.matrix->num_columns());
+  SimilarityScan scan(input, out);
+  return scan.Run();
+}
+
+}  // namespace dmc

@@ -1,0 +1,63 @@
+// The DMC-sim data scan (Algorithm 5.1 steps 2/4) and its DMC-bitmap
+// fallback.
+//
+// Differences from the implication pass:
+//  * the miss budget is per *pair*, not per column: with a = ones(c_i) <=
+//    b = ones(c_j), Sim >= s iff mis(c_i against c_j) <= (a - s*b)/(1+s),
+//    so the one-sided miss count kept on the sparser column determines
+//    the similarity exactly;
+//  * column-density pruning (§5.1) skips pairs with a/b < s outright;
+//  * maximum-hits pruning (§5.2) deletes a candidate as soon as its best
+//    achievable similarity falls below the threshold, even on hit rows.
+
+#ifndef DMC_CORE_DMC_SIM_PASS_H_
+#define DMC_CORE_DMC_SIM_PASS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dmc_options.h"
+#include "matrix/binary_matrix.h"
+#include "rules/rule_set.h"
+#include "util/memory_tracker.h"
+
+namespace dmc {
+
+/// Inputs of one similarity pass over the data.
+struct SimilarityPassInput {
+  const BinaryMatrix* matrix = nullptr;
+  std::span<const RowId> order;
+  /// minsim in (0, 1]. Running with 1.0 is exactly the identical-column
+  /// phase (step 2 of Algorithm 5.1).
+  double min_similarity = 1.0;
+  const std::vector<uint8_t>* active = nullptr;
+  /// Optional shard over the sparser (list-owning) column; see
+  /// ImplicationPassInput::lhs_shard.
+  const std::vector<uint8_t>* lhs_shard = nullptr;
+  /// When false, identical pairs (equal 1-counts, zero misses) are
+  /// suppressed — they were produced by the 100%-similarity phase.
+  bool emit_identical = true;
+  size_t bytes_per_entry = 8;
+  const DmcPolicy* policy = nullptr;
+  MemoryTracker* tracker = nullptr;
+  std::vector<size_t>* memory_history = nullptr;
+  std::vector<size_t>* candidate_history = nullptr;
+};
+
+struct SimilarityPassResult {
+  bool bitmap_used = false;
+  size_t bitmap_rows = 0;
+  double base_seconds = 0.0;
+  double bitmap_seconds = 0.0;
+  size_t peak_entries = 0;
+};
+
+/// Runs the scan, appending every pair with similarity >= min_similarity
+/// (exact intersection counts) to `out`.
+SimilarityPassResult RunSimilarityPass(const SimilarityPassInput& input,
+                                       SimilarityRuleSet* out);
+
+}  // namespace dmc
+
+#endif  // DMC_CORE_DMC_SIM_PASS_H_

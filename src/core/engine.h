@@ -1,0 +1,21 @@
+// Umbrella header for the DMC mining engines — the library's primary
+// public API.
+//
+//   #include "core/engine.h"
+//
+//   dmc::ImplicationMiningOptions opts;
+//   opts.min_confidence = 0.9;
+//   auto rules = dmc::MineImplications(matrix, opts);
+//   if (rules.ok()) rules->Print(std::cout);
+
+#ifndef DMC_CORE_ENGINE_H_
+#define DMC_CORE_ENGINE_H_
+
+#include "core/dmc_imp.h"      // IWYU pragma: export
+#include "core/dmc_options.h"  // IWYU pragma: export
+#include "core/dmc_sim.h"      // IWYU pragma: export
+#include "core/mining_stats.h" // IWYU pragma: export
+#include "core/parallel_dmc.h" // IWYU pragma: export
+#include "core/thresholds.h"   // IWYU pragma: export
+
+#endif  // DMC_CORE_ENGINE_H_

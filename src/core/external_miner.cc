@@ -1,0 +1,196 @@
+#include "core/external_miner.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "core/streaming_imp.h"
+#include "core/streaming_sim.h"
+#include "matrix/matrix_io.h"
+#include "util/stopwatch.h"
+
+namespace dmc {
+
+namespace {
+
+// Bucket index of a row with `density` ones (densities 0/1 share 0).
+int BucketIndex(size_t density) {
+  int b = 0;
+  while (density > 1) {
+    density >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+std::string BucketPath(const std::string& work_dir, int bucket) {
+  return work_dir + "/dmc_bucket_" + std::to_string(bucket) + ".txt";
+}
+
+// Shared setup/teardown of the two-pass disk pipeline.
+class ExternalRun {
+ public:
+  ExternalRun(std::string path, std::string work_dir, bool bucketed)
+      : path_(std::move(path)),
+        work_dir_(std::move(work_dir)),
+        bucketed_(bucketed) {}
+
+  ~ExternalRun() {
+    for (int b : used_buckets_) {
+      std::error_code ec;
+      std::filesystem::remove(BucketPath(work_dir_, b), ec);
+    }
+  }
+
+  ExternalRun(const ExternalRun&) = delete;
+  ExternalRun& operator=(const ExternalRun&) = delete;
+
+  /// Pass 1 + (optional) bucket partitioning.
+  Status Prepare(ExternalMiningStats* stats) {
+    Stopwatch pass1_sw;
+    {
+      std::ifstream in(path_);
+      if (!in) return IOError("cannot open " + path_);
+      auto scanned = ScanMatrixText(in);
+      if (!scanned.ok()) return scanned.status();
+      first_pass_ = std::move(scanned).value();
+    }
+    stats->pass1_seconds = pass1_sw.ElapsedSeconds();
+    stats->rows = first_pass_.num_rows;
+    stats->columns = first_pass_.num_columns;
+
+    Stopwatch partition_sw;
+    if (bucketed_) {
+      constexpr int kMaxBuckets = 33;
+      std::vector<std::ofstream> outs(kMaxBuckets);
+      std::vector<uint8_t> seen(kMaxBuckets, 0);
+      std::ifstream in(path_);
+      if (!in) return IOError("cannot reopen " + path_);
+      const Status scan = ForEachRowText(
+          in, [&](std::span<const ColumnId> row) -> Status {
+            const int b = BucketIndex(row.size());
+            if (!seen[b]) {
+              seen[b] = 1;
+              outs[b].open(BucketPath(work_dir_, b));
+              if (!outs[b]) {
+                return IOError("cannot create bucket file in " + work_dir_);
+              }
+              used_buckets_.push_back(b);
+            }
+            bool first = true;
+            for (ColumnId c : row) {
+              if (!first) outs[b] << ' ';
+              outs[b] << c;
+              first = false;
+            }
+            outs[b] << '\n';
+            return Status::OK();
+          });
+      if (!scan.ok()) return scan;
+      for (int b : used_buckets_) {
+        outs[b].close();
+        if (!outs[b]) return IOError("bucket write failed");
+      }
+      std::sort(used_buckets_.begin(), used_buckets_.end());
+      stats->bucket_files = used_buckets_.size();
+    }
+    stats->partition_seconds = partition_sw.ElapsedSeconds();
+    return Status::OK();
+  }
+
+  const FirstPassStats& first_pass() const { return first_pass_; }
+
+  /// One replay over the data in mining order; sets `status` on IO error.
+  template <typename Sink>
+  void Replay(Sink&& sink, Status* status) {
+    if (!status->ok()) return;
+    if (!bucketed_) {
+      std::ifstream in(path_);
+      if (!in) {
+        *status = IOError("cannot reopen " + path_);
+        return;
+      }
+      *status = ForEachRowText(in, [&sink](std::span<const ColumnId> row) {
+        sink(row);
+        return Status::OK();
+      });
+      return;
+    }
+    for (int b : used_buckets_) {
+      std::ifstream in(BucketPath(work_dir_, b));
+      if (!in) {
+        *status = IOError("cannot open bucket " + std::to_string(b));
+        return;
+      }
+      *status = ForEachRowText(in, [&sink](std::span<const ColumnId> row) {
+        sink(row);
+        return Status::OK();
+      });
+      if (!status->ok()) return;
+    }
+  }
+
+ private:
+  std::string path_;
+  std::string work_dir_;
+  bool bucketed_;
+  FirstPassStats first_pass_;
+  std::vector<int> used_buckets_;
+};
+
+}  // namespace
+
+StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
+    const std::string& path, const ImplicationMiningOptions& options,
+    const std::string& work_dir, ExternalMiningStats* stats) {
+  ExternalMiningStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = ExternalMiningStats{};
+  Stopwatch total_sw;
+
+  ExternalRun run(path, work_dir,
+                  options.policy.row_order != RowOrderPolicy::kIdentity);
+  DMC_RETURN_IF_ERROR(run.Prepare(stats));
+
+  Stopwatch mine_sw;
+  Status replay_status = Status::OK();
+  auto rules = StreamImplications(
+      run.first_pass().num_columns, run.first_pass().column_ones,
+      run.first_pass().num_rows, options, [&](auto&& sink) {
+        run.Replay(sink, &replay_status);
+      });
+  stats->mine_seconds = mine_sw.ElapsedSeconds();
+  if (!replay_status.ok()) return replay_status;
+  if (!rules.ok()) return rules.status();
+  stats->total_seconds = total_sw.ElapsedSeconds();
+  return rules;
+}
+
+StatusOr<SimilarityRuleSet> MineSimilaritiesFromFile(
+    const std::string& path, const SimilarityMiningOptions& options,
+    const std::string& work_dir, ExternalMiningStats* stats) {
+  ExternalMiningStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = ExternalMiningStats{};
+  Stopwatch total_sw;
+
+  ExternalRun run(path, work_dir,
+                  options.policy.row_order != RowOrderPolicy::kIdentity);
+  DMC_RETURN_IF_ERROR(run.Prepare(stats));
+
+  Stopwatch mine_sw;
+  Status replay_status = Status::OK();
+  auto pairs = StreamSimilarities(
+      run.first_pass().num_columns, run.first_pass().column_ones,
+      run.first_pass().num_rows, options, [&](auto&& sink) {
+        run.Replay(sink, &replay_status);
+      });
+  stats->mine_seconds = mine_sw.ElapsedSeconds();
+  if (!replay_status.ok()) return replay_status;
+  if (!pairs.ok()) return pairs.status();
+  stats->total_seconds = total_sw.ElapsedSeconds();
+  return pairs;
+}
+
+}  // namespace dmc

@@ -1,0 +1,52 @@
+// Disk-based two-pass DMC — the form the paper actually ran.
+//
+// Pass 1 streams the transaction text file once, collecting ones(c) and
+// row densities, and partitions the rows into density-bucket files
+// [2^i, 2^{i+1}) in a working directory (§4.1: "we divide the original
+// data according to the number of 1's in each row ... then, in the next
+// scan, we read the lower density buckets first").
+//
+// Pass 2 streams the bucket files sparsest-first through the streaming
+// DMC-imp pipeline (once per phase), never materializing the matrix.
+// Resident memory is the counter array plus, if the DMC-bitmap fallback
+// fires, the last <= bitmap_max_remaining_rows rows.
+
+#ifndef DMC_CORE_EXTERNAL_MINER_H_
+#define DMC_CORE_EXTERNAL_MINER_H_
+
+#include <string>
+
+#include "core/dmc_options.h"
+#include "rules/rule_set.h"
+#include "util/statusor.h"
+
+namespace dmc {
+
+struct ExternalMiningStats {
+  double pass1_seconds = 0.0;
+  double partition_seconds = 0.0;
+  double mine_seconds = 0.0;
+  double total_seconds = 0.0;
+  uint64_t rows = 0;
+  uint32_t columns = 0;
+  /// Non-empty density-bucket files written.
+  size_t bucket_files = 0;
+};
+
+/// Mines implication rules from a transaction text file at `path`.
+/// Bucket files are created under `work_dir` (which must exist) and
+/// removed afterwards. RowOrderPolicy::kIdentity skips the partitioning
+/// and streams the original file directly.
+StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
+    const std::string& path, const ImplicationMiningOptions& options,
+    const std::string& work_dir, ExternalMiningStats* stats = nullptr);
+
+/// Mines similarity pairs from a transaction text file; same mechanics
+/// as MineImplicationsFromFile.
+StatusOr<SimilarityRuleSet> MineSimilaritiesFromFile(
+    const std::string& path, const SimilarityMiningOptions& options,
+    const std::string& work_dir, ExternalMiningStats* stats = nullptr);
+
+}  // namespace dmc
+
+#endif  // DMC_CORE_EXTERNAL_MINER_H_

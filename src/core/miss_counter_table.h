@@ -1,0 +1,137 @@
+// The counter array: per-column candidate lists with miss counters.
+//
+// This is the central data structure of the paper — "the counter array
+// that keeps both miss counters and candidate lists for each column"
+// (§4.4). Its byte footprint is what the 50 MB bitmap-switch rule and the
+// memory figures (Fig. 3, Fig. 6(g,h)) measure, so the table keeps its own
+// accounting through a MemoryTracker:
+//   * a fixed overhead per live (non-NULL) list, and
+//   * a configurable cost per candidate entry — 8 bytes in the general
+//     case (column id + miss counter), 4 bytes when the phase needs no
+//     miss counters (the 100%-rule simplification of §4.3).
+
+#ifndef DMC_CORE_MISS_COUNTER_TABLE_H_
+#define DMC_CORE_MISS_COUNTER_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/binary_matrix.h"
+#include "util/logging.h"
+#include "util/memory_tracker.h"
+
+namespace dmc {
+
+/// One candidate in a column's list: the partner column and the number of
+/// misses counted against it so far.
+struct CandidateEntry {
+  ColumnId cand;
+  uint32_t miss;
+};
+
+/// Per-column candidate lists, kept sorted by candidate id so the DMC scan
+/// can merge a list with a (sorted) row in linear time. Lists are NULL
+/// until created, matching the paper's cand(c) = NULL initial state.
+class MissCounterTable {
+ public:
+  /// Accounted per live list (vector header + table bookkeeping).
+  static constexpr size_t kPerListOverheadBytes = 32;
+  /// Entry cost with miss counters (id + counter).
+  static constexpr size_t kEntryBytesWithCounters = 8;
+  /// Entry cost for 100%-rule phases (id only, §4.3).
+  static constexpr size_t kEntryBytesIdOnly = 4;
+
+  /// `tracker` must outlive the table; it accumulates this table's bytes
+  /// (several tables in one mining run may share one tracker, so peaks
+  /// compose correctly).
+  MissCounterTable(ColumnId num_columns, size_t bytes_per_entry,
+                   MemoryTracker* tracker)
+      : lists_(num_columns),
+        created_(num_columns, 0),
+        bytes_per_entry_(bytes_per_entry),
+        tracker_(tracker) {}
+
+  ~MissCounterTable() { ReleaseEverything(); }
+
+  MissCounterTable(const MissCounterTable&) = delete;
+  MissCounterTable& operator=(const MissCounterTable&) = delete;
+
+  bool HasList(ColumnId c) const { return created_[c] != 0; }
+
+  /// Creates an empty list for `c`. Must not already exist.
+  void Create(ColumnId c) {
+    DMC_CHECK(!created_[c]);
+    created_[c] = 1;
+    ++live_lists_;
+    tracker_->Add(kPerListOverheadBytes);
+  }
+
+  /// The list for `c`; valid only when HasList(c).
+  const std::vector<CandidateEntry>& List(ColumnId c) const {
+    return lists_[c];
+  }
+
+  /// Replaces the list for `c` with `entries` (swapped in; `entries` is
+  /// left with the old contents). Updates accounting by the size delta.
+  void Replace(ColumnId c, std::vector<CandidateEntry>& entries) {
+    DMC_CHECK(created_[c]);
+    const size_t old_size = lists_[c].size();
+    const size_t new_size = entries.size();
+    lists_[c].swap(entries);
+    total_entries_ += new_size;
+    total_entries_ -= old_size;
+    if (new_size > old_size) {
+      tracker_->Add((new_size - old_size) * bytes_per_entry_);
+    } else {
+      tracker_->Sub((old_size - new_size) * bytes_per_entry_);
+    }
+  }
+
+  /// Frees the list for `c` (back to NULL).
+  void Release(ColumnId c) {
+    DMC_CHECK(created_[c]);
+    tracker_->Sub(lists_[c].size() * bytes_per_entry_ +
+                  kPerListOverheadBytes);
+    total_entries_ -= lists_[c].size();
+    --live_lists_;
+    std::vector<CandidateEntry>().swap(lists_[c]);
+    created_[c] = 0;
+  }
+
+  /// Releases every live list.
+  void ReleaseEverything() {
+    for (ColumnId c = 0; c < created_.size(); ++c) {
+      if (created_[c]) Release(c);
+    }
+  }
+
+  ColumnId num_columns() const {
+    return static_cast<ColumnId>(lists_.size());
+  }
+
+  /// Live candidate entries across all lists.
+  size_t total_entries() const { return total_entries_; }
+
+  /// Accounted bytes for this table alone. O(1).
+  size_t bytes() const {
+    return live_lists_ * kPerListOverheadBytes +
+           total_entries_ * bytes_per_entry_;
+  }
+
+  /// Number of live (non-NULL) lists.
+  size_t live_lists() const { return live_lists_; }
+
+  MemoryTracker* tracker() const { return tracker_; }
+
+ private:
+  std::vector<std::vector<CandidateEntry>> lists_;
+  std::vector<uint8_t> created_;
+  size_t bytes_per_entry_;
+  size_t total_entries_ = 0;
+  size_t live_lists_ = 0;
+  MemoryTracker* tracker_;
+};
+
+}  // namespace dmc
+
+#endif  // DMC_CORE_MISS_COUNTER_TABLE_H_

@@ -1,0 +1,139 @@
+#include "core/parallel_dmc.h"
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+
+#include "util/stopwatch.h"
+
+namespace dmc {
+
+std::vector<std::vector<uint8_t>> MakeColumnShards(
+    const std::vector<uint32_t>& column_ones, uint32_t num_shards) {
+  std::vector<std::vector<uint8_t>> shards(
+      num_shards, std::vector<uint8_t>(column_ones.size(), 0));
+  // Greedy balanced partition by 1-count (longest-processing-time rule).
+  std::vector<ColumnId> order(column_ones.size());
+  std::iota(order.begin(), order.end(), ColumnId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&column_ones](ColumnId a, ColumnId b) {
+                     return column_ones[a] > column_ones[b];
+                   });
+  std::vector<uint64_t> load(num_shards, 0);
+  for (ColumnId c : order) {
+    const uint32_t target = static_cast<uint32_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    shards[target][c] = 1;
+    load[target] += column_ones[c] + 1;
+  }
+  return shards;
+}
+
+namespace {
+
+uint32_t ResolveThreads(const ParallelOptions& parallel) {
+  if (parallel.num_threads > 0) return parallel.num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 2 : hw;
+}
+
+// Runs `mine(shard, &stats)` for every shard on its own thread and
+// merges rule sets + aggregate stats. MineShard must be callable as
+// StatusOr<RuleSetT>(const std::vector<uint8_t>&, MiningStats*).
+template <typename RuleSetT, typename MineShard>
+StatusOr<RuleSetT> RunSharded(const std::vector<uint32_t>& column_ones,
+                              uint32_t num_threads, MineShard mine,
+                              ParallelMiningStats* stats) {
+  ParallelMiningStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = ParallelMiningStats{};
+  Stopwatch total_sw;
+
+  const auto shards = MakeColumnShards(column_ones, num_threads);
+  stats->shards = num_threads;
+
+  std::vector<StatusOr<RuleSetT>> results(num_threads,
+                                          StatusOr<RuleSetT>(RuleSetT{}));
+  std::vector<MiningStats> shard_stats(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t]() {
+      results[t] = mine(shards[t], &shard_stats[t]);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  RuleSetT merged;
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    if (!results[t].ok()) return results[t].status();
+    for (const auto& rule : *results[t]) merged.Add(rule);
+    stats->max_shard_seconds =
+        std::max(stats->max_shard_seconds, shard_stats[t].total_seconds);
+    stats->sum_shard_seconds += shard_stats[t].total_seconds;
+    stats->sum_peak_counter_bytes += shard_stats[t].peak_counter_bytes;
+    stats->max_peak_counter_bytes = std::max(
+        stats->max_peak_counter_bytes, shard_stats[t].peak_counter_bytes);
+  }
+  merged.Canonicalize();
+  stats->total_seconds = total_sw.ElapsedSeconds();
+  return merged;
+}
+
+}  // namespace
+
+StatusOr<ImplicationRuleSet> MineImplicationsParallel(
+    const BinaryMatrix& matrix, const ImplicationMiningOptions& options,
+    const ParallelOptions& parallel, ParallelMiningStats* stats) {
+  const uint32_t threads = ResolveThreads(parallel);
+  if (threads <= 1 || matrix.num_columns() < 2) {
+    MiningStats serial_stats;
+    auto out = MineImplications(matrix, options, &serial_stats);
+    if (stats != nullptr) {
+      *stats = ParallelMiningStats{};
+      stats->shards = 1;
+      stats->total_seconds = serial_stats.total_seconds;
+      stats->max_shard_seconds = serial_stats.total_seconds;
+      stats->sum_shard_seconds = serial_stats.total_seconds;
+      stats->sum_peak_counter_bytes = serial_stats.peak_counter_bytes;
+      stats->max_peak_counter_bytes = serial_stats.peak_counter_bytes;
+    }
+    return out;
+  }
+  return RunSharded<ImplicationRuleSet>(
+      matrix.column_ones(), threads,
+      [&matrix, &options](const std::vector<uint8_t>& shard,
+                          MiningStats* shard_stats) {
+        return MineImplicationsSharded(matrix, options, shard, shard_stats);
+      },
+      stats);
+}
+
+StatusOr<SimilarityRuleSet> MineSimilaritiesParallel(
+    const BinaryMatrix& matrix, const SimilarityMiningOptions& options,
+    const ParallelOptions& parallel, ParallelMiningStats* stats) {
+  const uint32_t threads = ResolveThreads(parallel);
+  if (threads <= 1 || matrix.num_columns() < 2) {
+    MiningStats serial_stats;
+    auto out = MineSimilarities(matrix, options, &serial_stats);
+    if (stats != nullptr) {
+      *stats = ParallelMiningStats{};
+      stats->shards = 1;
+      stats->total_seconds = serial_stats.total_seconds;
+      stats->max_shard_seconds = serial_stats.total_seconds;
+      stats->sum_shard_seconds = serial_stats.total_seconds;
+      stats->sum_peak_counter_bytes = serial_stats.peak_counter_bytes;
+      stats->max_peak_counter_bytes = serial_stats.peak_counter_bytes;
+    }
+    return out;
+  }
+  return RunSharded<SimilarityRuleSet>(
+      matrix.column_ones(), threads,
+      [&matrix, &options](const std::vector<uint8_t>& shard,
+                          MiningStats* shard_stats) {
+        return MineSimilaritiesSharded(matrix, options, shard, shard_stats);
+      },
+      stats);
+}
+
+}  // namespace dmc

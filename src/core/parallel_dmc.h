@@ -1,0 +1,66 @@
+// Parallel DMC — the divide-and-conquer extension the paper's conclusion
+// calls for ("a parallel algorithm based on a divide-and-conquer
+// technique, such as FDM for a-priori, is necessary").
+//
+// Columns are partitioned into shards balanced by 1-count; each worker
+// thread runs the full DMC pipeline over the shared (read-only) matrix,
+// owning candidate lists only for its shard's columns as antecedents.
+// The shard outputs are disjoint (a rule belongs to its antecedent's
+// shard), so the union is exactly the serial result — the same guarantee
+// the property tests enforce.
+
+#ifndef DMC_CORE_PARALLEL_DMC_H_
+#define DMC_CORE_PARALLEL_DMC_H_
+
+#include <cstdint>
+
+#include "core/dmc_imp.h"
+#include "core/dmc_sim.h"
+
+namespace dmc {
+
+struct ParallelOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  uint32_t num_threads = 0;
+};
+
+/// Aggregate statistics of a parallel run.
+struct ParallelMiningStats {
+  /// Wall-clock time of the whole parallel run.
+  double total_seconds = 0.0;
+  /// Slowest single shard (the critical path).
+  double max_shard_seconds = 0.0;
+  /// Sum of per-shard times (the serial-equivalent work).
+  double sum_shard_seconds = 0.0;
+  /// Sum of per-shard counter-array peaks — an upper bound on the
+  /// concurrent peak (shards run simultaneously).
+  size_t sum_peak_counter_bytes = 0;
+  /// Largest single shard's counter-array peak — the per-machine memory
+  /// requirement in a distributed (FDM-style) deployment, which is the
+  /// paper's motivation for parallelizing (§7: the News run outgrowing
+  /// 256 MB).
+  size_t max_peak_counter_bytes = 0;
+  uint32_t shards = 0;
+};
+
+/// Parallel MineImplications. Identical output to the serial engine.
+StatusOr<ImplicationRuleSet> MineImplicationsParallel(
+    const BinaryMatrix& matrix, const ImplicationMiningOptions& options,
+    const ParallelOptions& parallel,
+    ParallelMiningStats* stats = nullptr);
+
+/// Parallel MineSimilarities. Identical output to the serial engine.
+StatusOr<SimilarityRuleSet> MineSimilaritiesParallel(
+    const BinaryMatrix& matrix, const SimilarityMiningOptions& options,
+    const ParallelOptions& parallel,
+    ParallelMiningStats* stats = nullptr);
+
+/// The shard assignment used by the miners, exposed for tests: columns
+/// are sorted by descending 1-count and dealt greedily to the currently
+/// lightest shard, balancing expected scan work.
+std::vector<std::vector<uint8_t>> MakeColumnShards(
+    const std::vector<uint32_t>& column_ones, uint32_t num_shards);
+
+}  // namespace dmc
+
+#endif  // DMC_CORE_PARALLEL_DMC_H_

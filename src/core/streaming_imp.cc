@@ -1,0 +1,212 @@
+#include "core/streaming_imp.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/bitvector.h"
+#include "util/logging.h"
+
+namespace dmc {
+
+StreamingImplicationPass::StreamingImplicationPass(Config config)
+    : config_(std::move(config)),
+      table_(config_.num_columns, config_.bytes_per_entry, &tracker_),
+      cnt_(config_.num_columns, 0) {
+  DMC_CHECK_EQ(config_.ones.size(), config_.num_columns);
+  DMC_CHECK_EQ(config_.max_misses.size(), config_.num_columns);
+  all_active_ =
+      config_.active.empty() ||
+      std::all_of(config_.active.begin(), config_.active.end(),
+                  [](uint8_t a) { return a != 0; });
+}
+
+bool StreamingImplicationPass::Qualifies(ColumnId ck, ColumnId cj) const {
+  return config_.ones[ck] > config_.ones[cj] ||
+         (config_.ones[ck] == config_.ones[cj] && ck > cj);
+}
+
+std::span<const ColumnId> StreamingImplicationPass::FilteredRow(
+    std::span<const ColumnId> row) {
+  if (all_active_) return row;
+  scratch_row_.clear();
+  for (ColumnId c : row) {
+    if (config_.active[c]) scratch_row_.push_back(c);
+  }
+  return scratch_row_;
+}
+
+void StreamingImplicationPass::ProcessRow(std::span<const ColumnId> row) {
+  DMC_CHECK(!finished_);
+  DMC_CHECK_LT(rows_seen_, config_.total_rows);
+  const auto filtered = FilteredRow(row);
+
+  if (!bitmap_mode_ && config_.policy.bitmap_fallback &&
+      config_.total_rows - rows_seen_ <=
+          config_.policy.bitmap_max_remaining_rows &&
+      table_.bytes() >= config_.policy.memory_threshold_bytes) {
+    bitmap_mode_ = true;
+  }
+
+  if (bitmap_mode_) {
+    tail_.emplace_back(filtered.begin(), filtered.end());
+    ++rows_seen_;
+    return;
+  }
+
+  for (ColumnId cj : filtered) {
+    if (static_cast<int64_t>(cnt_[cj]) <= config_.max_misses[cj]) {
+      MergeWithAdd(cj, filtered);
+    } else if (table_.HasList(cj)) {
+      MergeMissOnly(cj, filtered);
+    }
+  }
+  for (ColumnId cj : filtered) {
+    ++cnt_[cj];
+    if (cnt_[cj] == config_.ones[cj] && table_.HasList(cj)) {
+      FlushColumn(cj);
+    }
+  }
+  ++rows_seen_;
+}
+
+void StreamingImplicationPass::MergeWithAdd(ColumnId cj,
+                                            std::span<const ColumnId> row) {
+  if (!table_.HasList(cj)) table_.Create(cj);
+  const auto& list = table_.List(cj);
+  scratch_.clear();
+  const uint32_t base_miss = cnt_[cj];
+  const int64_t budget = config_.max_misses[cj];
+  size_t i = 0, j = 0;
+  while (i < row.size() || j < list.size()) {
+    if (j >= list.size() || (i < row.size() && row[i] < list[j].cand)) {
+      const ColumnId ck = row[i++];
+      if (ck != cj && Qualifies(ck, cj)) {
+        scratch_.push_back({ck, base_miss});
+      }
+    } else if (i >= row.size() || list[j].cand < row[i]) {
+      CandidateEntry e = list[j++];
+      if (static_cast<int64_t>(e.miss) + 1 <= budget) {
+        ++e.miss;
+        scratch_.push_back(e);
+      }
+    } else {
+      scratch_.push_back(list[j]);
+      ++i;
+      ++j;
+    }
+  }
+  table_.Replace(cj, scratch_);
+}
+
+void StreamingImplicationPass::MergeMissOnly(ColumnId cj,
+                                             std::span<const ColumnId> row) {
+  const auto& list = table_.List(cj);
+  if (list.empty()) return;
+  scratch_.clear();
+  const int64_t budget = config_.max_misses[cj];
+  size_t i = 0;
+  for (size_t j = 0; j < list.size(); ++j) {
+    while (i < row.size() && row[i] < list[j].cand) ++i;
+    if (i < row.size() && row[i] == list[j].cand) {
+      scratch_.push_back(list[j]);
+    } else {
+      CandidateEntry e = list[j];
+      if (static_cast<int64_t>(e.miss) + 1 <= budget) {
+        ++e.miss;
+        scratch_.push_back(e);
+      }
+    }
+  }
+  table_.Replace(cj, scratch_);
+}
+
+void StreamingImplicationPass::FlushColumn(ColumnId cj) {
+  for (const CandidateEntry& e : table_.List(cj)) {
+    EmitRule(cj, e.cand, e.miss);
+  }
+  table_.Release(cj);
+}
+
+void StreamingImplicationPass::EmitRule(ColumnId lhs, ColumnId rhs,
+                                        uint32_t misses) {
+  if (!config_.emit_zero_miss && misses == 0) return;
+  out_.Add(ImplicationRule{lhs, rhs, config_.ones[lhs], misses});
+}
+
+void StreamingImplicationPass::RunBitmapPhases() {
+  const size_t tn = tail_.size();
+  std::vector<int32_t> bm_index(config_.num_columns, -1);
+  std::vector<BitVector> bitmaps;
+  for (size_t t = 0; t < tn; ++t) {
+    for (ColumnId c : tail_[t]) {
+      if (bm_index[c] < 0) {
+        bm_index[c] = static_cast<int32_t>(bitmaps.size());
+        bitmaps.emplace_back(tn);
+      }
+      bitmaps[bm_index[c]].Set(t);
+    }
+  }
+
+  // Phase 1: columns past their budget — finish listed candidates.
+  for (ColumnId c = 0; c < config_.num_columns; ++c) {
+    if (!table_.HasList(c)) continue;
+    if (static_cast<int64_t>(cnt_[c]) <= config_.max_misses[c]) continue;
+    const BitVector* bj = bm_index[c] >= 0 ? &bitmaps[bm_index[c]] : nullptr;
+    for (const CandidateEntry& e : table_.List(c)) {
+      size_t extra = 0;
+      if (bj != nullptr) {
+        extra = bm_index[e.cand] >= 0
+                    ? bj->AndNotCount(bitmaps[bm_index[e.cand]])
+                    : bj->Count();
+      }
+      const int64_t total = static_cast<int64_t>(e.miss) + extra;
+      if (total <= config_.max_misses[c]) {
+        EmitRule(c, e.cand, static_cast<uint32_t>(total));
+      }
+    }
+    table_.Release(c);
+  }
+
+  // Phase 2: columns that may still gain candidates.
+  std::unordered_map<ColumnId, uint32_t> hits;
+  for (ColumnId c = 0; c < config_.num_columns; ++c) {
+    if (!ActiveOk(c) || config_.ones[c] == 0) continue;
+    if (static_cast<int64_t>(cnt_[c]) > config_.max_misses[c]) continue;
+    hits.clear();
+    if (table_.HasList(c)) {
+      for (const CandidateEntry& e : table_.List(c)) {
+        hits[e.cand] = cnt_[c] - e.miss;
+      }
+    }
+    if (bm_index[c] >= 0) {
+      for (uint32_t t : bitmaps[bm_index[c]].ToIndices()) {
+        for (ColumnId ck : tail_[t]) {
+          if (ck != c) ++hits[ck];
+        }
+      }
+    }
+    const int64_t min_hits =
+        static_cast<int64_t>(config_.ones[c]) - config_.max_misses[c];
+    for (const auto& [ck, h] : hits) {
+      if (!Qualifies(ck, c)) continue;
+      if (static_cast<int64_t>(h) >= min_hits) {
+        EmitRule(c, ck, config_.ones[c] - h);
+      }
+    }
+    if (table_.HasList(c)) table_.Release(c);
+  }
+}
+
+StatusOr<ImplicationRuleSet> StreamingImplicationPass::Finish() {
+  DMC_CHECK(!finished_);
+  finished_ = true;
+  if (rows_seen_ != config_.total_rows) {
+    return FailedPreconditionError(
+        "stream ended early: saw " + std::to_string(rows_seen_) +
+        " rows, expected " + std::to_string(config_.total_rows));
+  }
+  if (bitmap_mode_) RunBitmapPhases();
+  return std::move(out_);
+}
+
+}  // namespace dmc

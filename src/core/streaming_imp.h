@@ -1,0 +1,171 @@
+// Streaming DMC for implication rules: the same algorithm as the batch
+// engine (DMC-base + DMC-bitmap), consuming rows one at a time — the form
+// the paper actually ran against disk-resident data. Feed rows in the
+// desired order (the external pipeline feeds density buckets sparsest
+// first), then Finish().
+//
+// The batch engine remains the reference; the test suite pins this
+// implementation to it exactly.
+
+#ifndef DMC_CORE_STREAMING_IMP_H_
+#define DMC_CORE_STREAMING_IMP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dmc_options.h"
+#include "core/mining_stats.h"
+#include "core/miss_counter_table.h"
+#include "core/thresholds.h"
+#include "matrix/binary_matrix.h"
+#include "rules/rule_set.h"
+#include "util/memory_tracker.h"
+#include "util/statusor.h"
+
+namespace dmc {
+
+/// One streamed pass (either the 100%-rule phase or the sub-100% phase).
+/// Construction needs the pass-1 statistics: exact ones(c) and the total
+/// number of rows that will be streamed.
+class StreamingImplicationPass {
+ public:
+  struct Config {
+    ColumnId num_columns = 0;
+    /// Exact pass-1 counts; size num_columns.
+    std::vector<uint32_t> ones;
+    /// Rows that will be streamed (pass 1 row count).
+    uint64_t total_rows = 0;
+    /// Per-column miss budgets (MaxMissesForConfidence, or all zero for
+    /// the 100% phase).
+    std::vector<int64_t> max_misses;
+    /// Active columns; empty = all active.
+    std::vector<uint8_t> active;
+    bool emit_zero_miss = true;
+    size_t bytes_per_entry = MissCounterTable::kEntryBytesWithCounters;
+    /// Bitmap-fallback policy (row_order is ignored — the caller owns
+    /// the order of the stream).
+    DmcPolicy policy;
+  };
+
+  explicit StreamingImplicationPass(Config config);
+
+  StreamingImplicationPass(const StreamingImplicationPass&) = delete;
+  StreamingImplicationPass& operator=(const StreamingImplicationPass&) =
+      delete;
+
+  /// Feeds the next row (sorted, deduplicated column ids — rows from
+  /// BinaryMatrix or ReadMatrixText already satisfy this).
+  void ProcessRow(std::span<const ColumnId> row);
+
+  /// Rows consumed so far.
+  uint64_t rows_seen() const { return rows_seen_; }
+
+  /// Whether the pass has switched to tail-collection (DMC-bitmap) mode.
+  bool bitmap_mode() const { return bitmap_mode_; }
+
+  /// Current counter-array bytes.
+  size_t counter_bytes() const { return table_.bytes(); }
+
+  /// Completes the pass (runs the bitmap phases if triggered) and
+  /// returns all discovered rules. Fails if fewer rows were streamed
+  /// than promised.
+  StatusOr<ImplicationRuleSet> Finish();
+
+  /// Peak counter bytes observed.
+  size_t peak_counter_bytes() const { return tracker_.peak_bytes(); }
+
+ private:
+  bool LhsOk(ColumnId c) const { return true; }
+  bool ActiveOk(ColumnId c) const {
+    return config_.active.empty() || config_.active[c] != 0;
+  }
+  bool Qualifies(ColumnId ck, ColumnId cj) const;
+  std::span<const ColumnId> FilteredRow(std::span<const ColumnId> row);
+  void MergeWithAdd(ColumnId cj, std::span<const ColumnId> row);
+  void MergeMissOnly(ColumnId cj, std::span<const ColumnId> row);
+  void FlushColumn(ColumnId cj);
+  void EmitRule(ColumnId lhs, ColumnId rhs, uint32_t misses);
+  void RunBitmapPhases();
+
+  Config config_;
+  bool all_active_ = true;
+  MemoryTracker tracker_;
+  MissCounterTable table_;
+  std::vector<uint32_t> cnt_;
+  uint64_t rows_seen_ = 0;
+  bool bitmap_mode_ = false;
+  bool finished_ = false;
+  std::vector<std::vector<ColumnId>> tail_;
+  ImplicationRuleSet out_;
+  std::vector<ColumnId> scratch_row_;
+  std::vector<CandidateEntry> scratch_;
+};
+
+/// Convenience driver: streams the full DMC-imp pipeline (100% phase +
+/// cutoff + sub-100% phase) over a row source that can be replayed. The
+/// functor `replay(sink)` must invoke `sink(std::span<const ColumnId>)`
+/// once per row, in the same order on every call; it is invoked once per
+/// phase (the paper's implementation likewise re-reads the bucketed data
+/// for each phase).
+template <typename Replay>
+StatusOr<ImplicationRuleSet> StreamImplications(
+    ColumnId num_columns, const std::vector<uint32_t>& ones,
+    uint64_t total_rows, const ImplicationMiningOptions& options,
+    Replay&& replay) {
+  if (!(options.min_confidence > 0.0) || options.min_confidence > 1.0) {
+    return InvalidArgumentError("min_confidence must be in (0, 1]");
+  }
+  const double minconf = options.min_confidence;
+  const bool run_hundred =
+      options.policy.hundred_percent_phase || minconf == 1.0;
+  ImplicationRuleSet out;
+
+  if (run_hundred) {
+    StreamingImplicationPass::Config cfg;
+    cfg.num_columns = num_columns;
+    cfg.ones = ones;
+    cfg.total_rows = total_rows;
+    cfg.max_misses.assign(num_columns, 0);
+    cfg.active.resize(num_columns);
+    for (ColumnId c = 0; c < num_columns; ++c) cfg.active[c] = ones[c] > 0;
+    cfg.emit_zero_miss = true;
+    cfg.bytes_per_entry = MissCounterTable::kEntryBytesIdOnly;
+    cfg.policy = options.policy;
+    StreamingImplicationPass pass(std::move(cfg));
+    replay([&pass](std::span<const ColumnId> row) { pass.ProcessRow(row); });
+    auto rules = pass.Finish();
+    if (!rules.ok()) return rules.status();
+    for (const auto& r : *rules) out.Add(r);
+  }
+
+  if (minconf < 1.0) {
+    StreamingImplicationPass::Config cfg;
+    cfg.num_columns = num_columns;
+    cfg.ones = ones;
+    cfg.total_rows = total_rows;
+    cfg.max_misses.resize(num_columns);
+    cfg.active.resize(num_columns);
+    for (ColumnId c = 0; c < num_columns; ++c) {
+      cfg.max_misses[c] = MaxMissesForConfidence(ones[c], minconf);
+      cfg.active[c] =
+          ones[c] > 0 &&
+          (!run_hundred || ColumnSurvivesConfidenceCutoff(ones[c], minconf));
+    }
+    cfg.emit_zero_miss = !run_hundred;
+    cfg.bytes_per_entry = MissCounterTable::kEntryBytesWithCounters;
+    cfg.policy = options.policy;
+    StreamingImplicationPass pass(std::move(cfg));
+    replay([&pass](std::span<const ColumnId> row) { pass.ProcessRow(row); });
+    auto rules = pass.Finish();
+    if (!rules.ok()) return rules.status();
+    for (const auto& r : *rules) out.Add(r);
+  }
+
+  out.Canonicalize();
+  return out;
+}
+
+}  // namespace dmc
+
+#endif  // DMC_CORE_STREAMING_IMP_H_

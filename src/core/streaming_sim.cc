@@ -1,0 +1,291 @@
+#include "core/streaming_sim.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/bitvector.h"
+#include "util/logging.h"
+
+namespace dmc {
+
+StreamingSimilarityPass::StreamingSimilarityPass(Config config)
+    : config_(std::move(config)),
+      table_(config_.num_columns, config_.bytes_per_entry, &tracker_),
+      cnt_(config_.num_columns, 0) {
+  DMC_CHECK_EQ(config_.ones.size(), config_.num_columns);
+  DMC_CHECK_GT(config_.min_similarity, 0.0);
+  DMC_CHECK_LE(config_.min_similarity, 1.0);
+  all_active_ =
+      config_.active.empty() ||
+      std::all_of(config_.active.begin(), config_.active.end(),
+                  [](uint8_t a) { return a != 0; });
+  col_budget_.resize(config_.num_columns);
+  for (ColumnId c = 0; c < config_.num_columns; ++c) {
+    col_budget_[c] =
+        ColumnMaxMissesForSimilarity(config_.ones[c], config_.min_similarity);
+  }
+}
+
+bool StreamingSimilarityPass::Qualifies(ColumnId ck, ColumnId cj) const {
+  return config_.ones[ck] > config_.ones[cj] ||
+         (config_.ones[ck] == config_.ones[cj] && ck > cj);
+}
+
+int64_t StreamingSimilarityPass::PairBudget(ColumnId ci,
+                                            ColumnId ck) const {
+  return MaxMissesForSimilarity(config_.ones[ci], config_.ones[ck],
+                                config_.min_similarity);
+}
+
+bool StreamingSimilarityPass::SurvivesMaxHitsOnHit(ColumnId cj, ColumnId ck,
+                                                   uint32_t miss) const {
+  const int64_t rem_j = static_cast<int64_t>(config_.ones[cj]) - cnt_[cj];
+  const int64_t rem_k = static_cast<int64_t>(config_.ones[ck]) - cnt_[ck];
+  const int64_t hits_so_far = static_cast<int64_t>(cnt_[cj]) - miss;
+  return hits_so_far + std::min(rem_j, rem_k) >=
+         MinHitsForSimilarity(config_.ones[cj], config_.ones[ck],
+                              config_.min_similarity);
+}
+
+bool StreamingSimilarityPass::SurvivesMaxHitsOnMiss(
+    ColumnId cj, ColumnId ck, uint32_t new_miss) const {
+  const int64_t rem_j =
+      static_cast<int64_t>(config_.ones[cj]) - cnt_[cj] - 1;
+  const int64_t rem_k = static_cast<int64_t>(config_.ones[ck]) - cnt_[ck];
+  const int64_t hits_so_far = static_cast<int64_t>(cnt_[cj]) -
+                              (static_cast<int64_t>(new_miss) - 1);
+  return hits_so_far + std::min(rem_j, rem_k) >=
+         MinHitsForSimilarity(config_.ones[cj], config_.ones[ck],
+                              config_.min_similarity);
+}
+
+std::span<const ColumnId> StreamingSimilarityPass::FilteredRow(
+    std::span<const ColumnId> row) {
+  if (all_active_) return row;
+  scratch_row_.clear();
+  for (ColumnId c : row) {
+    if (config_.active[c]) scratch_row_.push_back(c);
+  }
+  return scratch_row_;
+}
+
+void StreamingSimilarityPass::ProcessRow(std::span<const ColumnId> row) {
+  DMC_CHECK(!finished_);
+  DMC_CHECK_LT(rows_seen_, config_.total_rows);
+  const auto filtered = FilteredRow(row);
+
+  if (!bitmap_mode_ && config_.policy.bitmap_fallback &&
+      config_.total_rows - rows_seen_ <=
+          config_.policy.bitmap_max_remaining_rows &&
+      table_.bytes() >= config_.policy.memory_threshold_bytes) {
+    bitmap_mode_ = true;
+  }
+
+  if (bitmap_mode_) {
+    tail_.emplace_back(filtered.begin(), filtered.end());
+    ++rows_seen_;
+    return;
+  }
+
+  for (ColumnId cj : filtered) {
+    if (static_cast<int64_t>(cnt_[cj]) <= col_budget_[cj]) {
+      MergeWithAdd(cj, filtered);
+    } else if (table_.HasList(cj)) {
+      MergeMissOnly(cj, filtered);
+    }
+  }
+  for (ColumnId cj : filtered) {
+    ++cnt_[cj];
+    if (cnt_[cj] == config_.ones[cj] && table_.HasList(cj)) {
+      FlushColumn(cj);
+    }
+  }
+  ++rows_seen_;
+}
+
+void StreamingSimilarityPass::MergeWithAdd(ColumnId cj,
+                                           std::span<const ColumnId> row) {
+  if (!table_.HasList(cj)) table_.Create(cj);
+  const auto& list = table_.List(cj);
+  scratch_.clear();
+  const uint32_t base_miss = cnt_[cj];
+  size_t i = 0, j = 0;
+  while (i < row.size() || j < list.size()) {
+    if (j >= list.size() || (i < row.size() && row[i] < list[j].cand)) {
+      const ColumnId ck = row[i++];
+      if (ck == cj || !Qualifies(ck, cj)) continue;
+      if (config_.policy.column_density_pruning) {
+        const int64_t budget = PairBudget(cj, ck);
+        if (budget < 0 || static_cast<int64_t>(base_miss) > budget) {
+          continue;
+        }
+      }
+      if (config_.policy.max_hits_pruning &&
+          !SurvivesMaxHitsOnHit(cj, ck, base_miss)) {
+        continue;
+      }
+      scratch_.push_back({ck, base_miss});
+    } else if (i >= row.size() || list[j].cand < row[i]) {
+      CandidateEntry e = list[j++];
+      ++e.miss;
+      if (static_cast<int64_t>(e.miss) > PairBudget(cj, e.cand)) continue;
+      if (config_.policy.max_hits_pruning &&
+          !SurvivesMaxHitsOnMiss(cj, e.cand, e.miss)) {
+        continue;
+      }
+      scratch_.push_back(e);
+    } else {
+      const CandidateEntry e = list[j];
+      ++i;
+      ++j;
+      if (config_.policy.max_hits_pruning &&
+          !SurvivesMaxHitsOnHit(cj, e.cand, e.miss)) {
+        continue;
+      }
+      scratch_.push_back(e);
+    }
+  }
+  table_.Replace(cj, scratch_);
+}
+
+void StreamingSimilarityPass::MergeMissOnly(ColumnId cj,
+                                            std::span<const ColumnId> row) {
+  const auto& list = table_.List(cj);
+  if (list.empty()) return;
+  scratch_.clear();
+  size_t i = 0;
+  for (size_t j = 0; j < list.size(); ++j) {
+    while (i < row.size() && row[i] < list[j].cand) ++i;
+    CandidateEntry e = list[j];
+    const bool hit = i < row.size() && row[i] == e.cand;
+    if (!hit) {
+      ++e.miss;
+      if (static_cast<int64_t>(e.miss) > PairBudget(cj, e.cand)) continue;
+      if (config_.policy.max_hits_pruning &&
+          !SurvivesMaxHitsOnMiss(cj, e.cand, e.miss)) {
+        continue;
+      }
+    } else if (config_.policy.max_hits_pruning &&
+               !SurvivesMaxHitsOnHit(cj, e.cand, e.miss)) {
+      continue;
+    }
+    scratch_.push_back(e);
+  }
+  table_.Replace(cj, scratch_);
+}
+
+void StreamingSimilarityPass::FlushColumn(ColumnId cj) {
+  for (const CandidateEntry& e : table_.List(cj)) {
+    if (static_cast<int64_t>(e.miss) > PairBudget(cj, e.cand)) continue;
+    EmitPair(cj, e.cand, config_.ones[cj] - e.miss);
+  }
+  table_.Release(cj);
+}
+
+void StreamingSimilarityPass::EmitPair(ColumnId ci, ColumnId ck,
+                                       uint32_t intersection) {
+  const bool identical = config_.ones[ci] == config_.ones[ck] &&
+                         intersection == config_.ones[ci];
+  if (!config_.emit_identical && identical) return;
+  out_.Add(SimilarityPair{ci, ck, config_.ones[ci], config_.ones[ck],
+                          intersection});
+}
+
+void StreamingSimilarityPass::RunBitmapPhases() {
+  const size_t tn = tail_.size();
+  std::vector<int32_t> bm_index(config_.num_columns, -1);
+  std::vector<BitVector> bitmaps;
+  for (size_t t = 0; t < tn; ++t) {
+    for (ColumnId c : tail_[t]) {
+      if (bm_index[c] < 0) {
+        bm_index[c] = static_cast<int32_t>(bitmaps.size());
+        bitmaps.emplace_back(tn);
+      }
+      bitmaps[bm_index[c]].Set(t);
+    }
+  }
+
+  for (ColumnId c = 0; c < config_.num_columns; ++c) {
+    if (!table_.HasList(c)) continue;
+    if (static_cast<int64_t>(cnt_[c]) <= col_budget_[c]) continue;
+    const BitVector* bj = bm_index[c] >= 0 ? &bitmaps[bm_index[c]] : nullptr;
+    for (const CandidateEntry& e : table_.List(c)) {
+      size_t extra = 0;
+      if (bj != nullptr) {
+        extra = bm_index[e.cand] >= 0
+                    ? bj->AndNotCount(bitmaps[bm_index[e.cand]])
+                    : bj->Count();
+      }
+      const int64_t total = static_cast<int64_t>(e.miss) + extra;
+      if (total <= PairBudget(c, e.cand)) {
+        EmitPair(c, e.cand,
+                 config_.ones[c] - static_cast<uint32_t>(total));
+      }
+    }
+    table_.Release(c);
+  }
+
+  if (config_.min_similarity == 1.0) {
+    // Identical-column fast path (Algorithm 5.1 step 2).
+    std::unordered_map<uint64_t, std::vector<ColumnId>> by_hash;
+    for (ColumnId c = 0; c < config_.num_columns; ++c) {
+      if (!ActiveOk(c) || config_.ones[c] == 0) continue;
+      if (static_cast<int64_t>(cnt_[c]) > col_budget_[c]) continue;
+      if (table_.HasList(c)) table_.Release(c);
+      if (cnt_[c] != 0 || bm_index[c] < 0) continue;
+      by_hash[bitmaps[bm_index[c]].Hash()].push_back(c);
+    }
+    for (const auto& [hash, cols] : by_hash) {
+      for (size_t i = 0; i < cols.size(); ++i) {
+        for (size_t j = i + 1; j < cols.size(); ++j) {
+          if (bitmaps[bm_index[cols[i]]] == bitmaps[bm_index[cols[j]]]) {
+            EmitPair(cols[i], cols[j], config_.ones[cols[i]]);
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  std::unordered_map<ColumnId, uint32_t> hits;
+  for (ColumnId c = 0; c < config_.num_columns; ++c) {
+    if (!ActiveOk(c) || config_.ones[c] == 0) continue;
+    if (static_cast<int64_t>(cnt_[c]) > col_budget_[c]) continue;
+    hits.clear();
+    if (table_.HasList(c)) {
+      for (const CandidateEntry& e : table_.List(c)) {
+        hits[e.cand] = cnt_[c] - e.miss;
+      }
+    }
+    if (bm_index[c] >= 0) {
+      for (uint32_t t : bitmaps[bm_index[c]].ToIndices()) {
+        for (ColumnId ck : tail_[t]) {
+          if (ck != c) ++hits[ck];
+        }
+      }
+    }
+    for (const auto& [ck, h] : hits) {
+      if (!Qualifies(ck, c)) continue;
+      if (static_cast<int64_t>(h) >=
+          MinHitsForSimilarity(config_.ones[c], config_.ones[ck],
+                               config_.min_similarity)) {
+        EmitPair(c, ck, h);
+      }
+    }
+    if (table_.HasList(c)) table_.Release(c);
+  }
+}
+
+StatusOr<SimilarityRuleSet> StreamingSimilarityPass::Finish() {
+  DMC_CHECK(!finished_);
+  finished_ = true;
+  if (rows_seen_ != config_.total_rows) {
+    return FailedPreconditionError(
+        "stream ended early: saw " + std::to_string(rows_seen_) +
+        " rows, expected " + std::to_string(config_.total_rows));
+  }
+  if (bitmap_mode_) RunBitmapPhases();
+  return std::move(out_);
+}
+
+}  // namespace dmc

@@ -1,0 +1,145 @@
+// Streaming DMC for similarity pairs — the DMC-sim counterpart of
+// streaming_imp.h, with pair-specific budgets, column-density pruning and
+// maximum-hits pruning. Pinned to the batch engine by the test suite.
+
+#ifndef DMC_CORE_STREAMING_SIM_H_
+#define DMC_CORE_STREAMING_SIM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dmc_options.h"
+#include "core/miss_counter_table.h"
+#include "core/thresholds.h"
+#include "matrix/binary_matrix.h"
+#include "rules/rule_set.h"
+#include "util/memory_tracker.h"
+#include "util/statusor.h"
+
+namespace dmc {
+
+/// One streamed similarity pass (identical-column phase when
+/// min_similarity == 1, or the sub-100% phase).
+class StreamingSimilarityPass {
+ public:
+  struct Config {
+    ColumnId num_columns = 0;
+    std::vector<uint32_t> ones;
+    uint64_t total_rows = 0;
+    double min_similarity = 1.0;
+    /// Active columns; empty = all active.
+    std::vector<uint8_t> active;
+    bool emit_identical = true;
+    size_t bytes_per_entry = MissCounterTable::kEntryBytesWithCounters;
+    DmcPolicy policy;
+  };
+
+  explicit StreamingSimilarityPass(Config config);
+
+  StreamingSimilarityPass(const StreamingSimilarityPass&) = delete;
+  StreamingSimilarityPass& operator=(const StreamingSimilarityPass&) =
+      delete;
+
+  void ProcessRow(std::span<const ColumnId> row);
+  uint64_t rows_seen() const { return rows_seen_; }
+  bool bitmap_mode() const { return bitmap_mode_; }
+  size_t counter_bytes() const { return table_.bytes(); }
+  size_t peak_counter_bytes() const { return tracker_.peak_bytes(); }
+
+  StatusOr<SimilarityRuleSet> Finish();
+
+ private:
+  bool ActiveOk(ColumnId c) const {
+    return config_.active.empty() || config_.active[c] != 0;
+  }
+  bool Qualifies(ColumnId ck, ColumnId cj) const;
+  int64_t PairBudget(ColumnId ci, ColumnId ck) const;
+  bool SurvivesMaxHitsOnHit(ColumnId cj, ColumnId ck, uint32_t miss) const;
+  bool SurvivesMaxHitsOnMiss(ColumnId cj, ColumnId ck,
+                             uint32_t new_miss) const;
+  std::span<const ColumnId> FilteredRow(std::span<const ColumnId> row);
+  void MergeWithAdd(ColumnId cj, std::span<const ColumnId> row);
+  void MergeMissOnly(ColumnId cj, std::span<const ColumnId> row);
+  void FlushColumn(ColumnId cj);
+  void EmitPair(ColumnId ci, ColumnId ck, uint32_t intersection);
+  void RunBitmapPhases();
+
+  Config config_;
+  bool all_active_ = true;
+  MemoryTracker tracker_;
+  MissCounterTable table_;
+  std::vector<uint32_t> cnt_;
+  std::vector<int64_t> col_budget_;
+  uint64_t rows_seen_ = 0;
+  bool bitmap_mode_ = false;
+  bool finished_ = false;
+  std::vector<std::vector<ColumnId>> tail_;
+  SimilarityRuleSet out_;
+  std::vector<ColumnId> scratch_row_;
+  std::vector<CandidateEntry> scratch_;
+};
+
+/// Streams the full DMC-sim pipeline (identical phase + cutoff +
+/// sub-100% phase); `replay(sink)` is invoked once per phase and must
+/// deliver the same rows in the same order each time.
+template <typename Replay>
+StatusOr<SimilarityRuleSet> StreamSimilarities(
+    ColumnId num_columns, const std::vector<uint32_t>& ones,
+    uint64_t total_rows, const SimilarityMiningOptions& options,
+    Replay&& replay) {
+  if (!(options.min_similarity > 0.0) || options.min_similarity > 1.0) {
+    return InvalidArgumentError("min_similarity must be in (0, 1]");
+  }
+  const double minsim = options.min_similarity;
+  const bool run_hundred =
+      options.policy.hundred_percent_phase || minsim == 1.0;
+  SimilarityRuleSet out;
+
+  if (run_hundred) {
+    StreamingSimilarityPass::Config cfg;
+    cfg.num_columns = num_columns;
+    cfg.ones = ones;
+    cfg.total_rows = total_rows;
+    cfg.min_similarity = 1.0;
+    cfg.active.resize(num_columns);
+    for (ColumnId c = 0; c < num_columns; ++c) cfg.active[c] = ones[c] > 0;
+    cfg.emit_identical = true;
+    cfg.bytes_per_entry = MissCounterTable::kEntryBytesIdOnly;
+    cfg.policy = options.policy;
+    StreamingSimilarityPass pass(std::move(cfg));
+    replay([&pass](std::span<const ColumnId> row) { pass.ProcessRow(row); });
+    auto pairs = pass.Finish();
+    if (!pairs.ok()) return pairs.status();
+    for (const auto& p : *pairs) out.Add(p);
+  }
+
+  if (minsim < 1.0) {
+    StreamingSimilarityPass::Config cfg;
+    cfg.num_columns = num_columns;
+    cfg.ones = ones;
+    cfg.total_rows = total_rows;
+    cfg.min_similarity = minsim;
+    cfg.active.resize(num_columns);
+    for (ColumnId c = 0; c < num_columns; ++c) {
+      cfg.active[c] =
+          ones[c] > 0 &&
+          (!run_hundred || ColumnSurvivesSimilarityCutoff(ones[c], minsim));
+    }
+    cfg.emit_identical = !run_hundred;
+    cfg.bytes_per_entry = MissCounterTable::kEntryBytesWithCounters;
+    cfg.policy = options.policy;
+    StreamingSimilarityPass pass(std::move(cfg));
+    replay([&pass](std::span<const ColumnId> row) { pass.ProcessRow(row); });
+    auto pairs = pass.Finish();
+    if (!pairs.ok()) return pairs.status();
+    for (const auto& p : *pairs) out.Add(p);
+  }
+
+  out.Canonicalize();
+  return out;
+}
+
+}  // namespace dmc
+
+#endif  // DMC_CORE_STREAMING_SIM_H_

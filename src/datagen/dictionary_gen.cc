@@ -1,0 +1,74 @@
+#include "datagen/dictionary_gen.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace dmc {
+
+DictionaryData GenerateDictionary(const DictionaryOptions& options) {
+  Rng rng(options.seed);
+  const ZipfSampler word_sampler(options.num_definition_words,
+                                 options.def_zipf_theta);
+  const PowerLawSampler def_len(options.def_len_min, options.def_len_max,
+                                options.def_len_alpha);
+
+  DictionaryData data;
+  // definitions[h] = set of definition-word row ids for head word h.
+  std::vector<std::vector<RowId>> definitions(options.num_head_words);
+
+  const uint32_t grouped_heads =
+      options.num_synonym_groups * options.synonym_group_size;
+  DMC_CHECK_LE(grouped_heads, options.num_head_words);
+
+  // Synonym groups occupy the first columns: each group shares a base
+  // definition with per-member noise.
+  std::vector<RowId> base;
+  for (uint32_t g = 0; g < options.num_synonym_groups; ++g) {
+    base.clear();
+    const uint64_t len = std::max<uint64_t>(def_len.Sample(rng), 4);
+    for (uint64_t i = 0; i < len; ++i) {
+      base.push_back(static_cast<RowId>(word_sampler.Sample(rng)));
+    }
+    std::sort(base.begin(), base.end());
+    base.erase(std::unique(base.begin(), base.end()), base.end());
+    data.synonym_groups.emplace_back();
+    for (uint32_t k = 0; k < options.synonym_group_size; ++k) {
+      const ColumnId head = g * options.synonym_group_size + k;
+      data.synonym_groups.back().push_back(head);
+      for (RowId w : base) {
+        if (rng.Bernoulli(options.synonym_overlap)) {
+          definitions[head].push_back(w);
+        }
+      }
+      // One member-specific word ("brother" vs "sister").
+      definitions[head].push_back(
+          static_cast<RowId>(word_sampler.Sample(rng)));
+    }
+  }
+
+  // Remaining head words get independent definitions.
+  for (ColumnId head = grouped_heads; head < options.num_head_words;
+       ++head) {
+    const uint64_t len = def_len.Sample(rng);
+    for (uint64_t i = 0; i < len; ++i) {
+      definitions[head].push_back(
+          static_cast<RowId>(word_sampler.Sample(rng)));
+    }
+  }
+
+  // Assemble rows (definition words) from the per-column sets.
+  std::vector<std::vector<ColumnId>> rows(options.num_definition_words);
+  for (ColumnId head = 0; head < options.num_head_words; ++head) {
+    for (RowId w : definitions[head]) {
+      rows[w].push_back(head);
+    }
+  }
+  data.matrix = BinaryMatrix::FromRows(options.num_head_words,
+                                       std::move(rows));
+  return data;
+}
+
+}  // namespace dmc

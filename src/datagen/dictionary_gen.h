@@ -1,0 +1,46 @@
+// Synthetic dictionary — the dicD analogue.
+//
+// Columns are head words (words being defined), rows are definition words
+// (§6.1). Synonym groups share most of their definition vocabulary, so
+// their columns come out highly similar — the "brother-in-law" ~
+// "sister-in-law" pairs the paper extracts.
+
+#ifndef DMC_DATAGEN_DICTIONARY_GEN_H_
+#define DMC_DATAGEN_DICTIONARY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/binary_matrix.h"
+
+namespace dmc {
+
+struct DictionaryOptions {
+  /// Columns.
+  uint32_t num_head_words = 8000;
+  /// Rows.
+  uint32_t num_definition_words = 4000;
+  uint32_t def_len_min = 3;
+  uint32_t def_len_max = 30;
+  double def_len_alpha = 1.6;
+  double def_zipf_theta = 1.0;
+  /// Synonym clusters of head words sharing definitions.
+  uint32_t num_synonym_groups = 150;
+  uint32_t synonym_group_size = 2;
+  /// Probability each base definition word is kept by a group member.
+  double synonym_overlap = 0.95;
+  uint64_t seed = 19130101;
+};
+
+struct DictionaryData {
+  /// Rows = definition words, columns = head words.
+  BinaryMatrix matrix;
+  /// Head-word columns of each synonym group.
+  std::vector<std::vector<ColumnId>> synonym_groups;
+};
+
+DictionaryData GenerateDictionary(const DictionaryOptions& options);
+
+}  // namespace dmc
+
+#endif  // DMC_DATAGEN_DICTIONARY_GEN_H_

@@ -1,0 +1,81 @@
+#include "datagen/linkgraph_gen.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace dmc {
+
+BinaryMatrix GenerateLinkGraph(const LinkGraphOptions& options) {
+  DMC_CHECK_GE(options.num_pages, 4u);
+  Rng rng(options.seed);
+  const PowerLawSampler degree(options.min_out_degree,
+                               options.max_out_degree,
+                               options.out_degree_alpha);
+
+  std::vector<std::vector<ColumnId>> out_links(options.num_pages);
+  // Degree-biased sampling pool: every link appends its destination, so a
+  // uniform draw from the pool is preferential attachment.
+  std::vector<ColumnId> pref_pool;
+  pref_pool.reserve(options.num_pages * 8);
+  // twin[p] = the mirror of destination p, if any.
+  std::vector<int64_t> twin(options.num_pages, -1);
+
+  // Seed pages link to each other in a small ring.
+  const uint32_t kSeedPages = 4;
+  for (uint32_t p = 0; p < kSeedPages; ++p) {
+    const ColumnId dst = (p + 1) % kSeedPages;
+    out_links[p].push_back(dst);
+    pref_pool.push_back(dst);
+  }
+
+  auto add_link = [&](uint32_t src, ColumnId dst) {
+    out_links[src].push_back(dst);
+    pref_pool.push_back(dst);
+    if (twin[dst] >= 0 && rng.Bernoulli(options.twin_follow_prob)) {
+      const ColumnId t = static_cast<ColumnId>(twin[dst]);
+      out_links[src].push_back(t);
+      pref_pool.push_back(t);
+    }
+  };
+
+  for (uint32_t p = kSeedPages; p < options.num_pages; ++p) {
+    const uint32_t prototype = static_cast<uint32_t>(rng.Uniform(p));
+    const bool mirror = rng.Bernoulli(options.mirror_fraction) &&
+                        !out_links[prototype].empty();
+    if (mirror) {
+      // Near-exact copy of the prototype's out-links; this page becomes
+      // the prototype's twin as a destination.
+      for (ColumnId dst : out_links[prototype]) {
+        if (rng.Bernoulli(options.mirror_noise)) continue;
+        out_links[p].push_back(dst);
+        pref_pool.push_back(dst);
+      }
+      if (twin[prototype] < 0) {
+        twin[prototype] = p;
+        twin[p] = prototype;
+      }
+      continue;
+    }
+    const uint64_t k = degree.Sample(rng);
+    for (uint64_t e = 0; e < k; ++e) {
+      ColumnId dst;
+      if (!out_links[prototype].empty() && rng.Bernoulli(options.copy_prob)) {
+        dst = out_links[prototype][rng.Uniform(out_links[prototype].size())];
+      } else if (rng.Bernoulli(options.uniform_prob)) {
+        dst = static_cast<ColumnId>(rng.Uniform(p));
+      } else {
+        dst = pref_pool[rng.Uniform(pref_pool.size())];
+      }
+      if (dst == p) continue;
+      add_link(p, dst);
+    }
+  }
+
+  return BinaryMatrix::FromRows(options.num_pages, std::move(out_links));
+}
+
+}  // namespace dmc

@@ -1,0 +1,51 @@
+// Synthetic web page-link graph — the plinkF / plinkT analogue.
+//
+// Preferential attachment plus a copy model: each new page picks a
+// prototype and copies a fraction of its out-links, otherwise linking to
+// degree-biased targets. A fraction of pages are "mirrors": their
+// out-links nearly duplicate the prototype's (similar columns in plinkT),
+// and pages linking to a mirrored destination usually link to its twin
+// too (similar columns in plinkF). Hub pages give the dense rows/columns
+// the paper's memory experiments rely on.
+
+#ifndef DMC_DATAGEN_LINKGRAPH_GEN_H_
+#define DMC_DATAGEN_LINKGRAPH_GEN_H_
+
+#include <cstdint>
+
+#include "matrix/binary_matrix.h"
+
+namespace dmc {
+
+struct LinkGraphOptions {
+  uint32_t num_pages = 20000;
+  /// Out-degree power law ("most pages are linked to ten or so pages",
+  /// §1 — the mean out-degree lands in the high single digits).
+  double out_degree_alpha = 1.6;
+  uint32_t min_out_degree = 2;
+  uint32_t max_out_degree = 80;
+  /// Probability a link is copied from the prototype rather than sampled
+  /// by preferential attachment.
+  double copy_prob = 0.35;
+  /// Among non-copied links, probability of a uniform-random target
+  /// instead of a degree-biased one (keeps the graph from collapsing onto
+  /// a handful of hubs).
+  double uniform_prob = 0.5;
+  /// Fraction of pages that are near-mirrors of their prototype.
+  double mirror_fraction = 0.02;
+  /// Per-link probability a mirror drops/replaces a copied link.
+  double mirror_noise = 0.05;
+  /// When a page links to a destination with a twin, probability it also
+  /// links to the twin.
+  double twin_follow_prob = 0.8;
+  uint64_t seed = 19991231;
+};
+
+/// The forward matrix plinkF: row = source page, column = destination
+/// page; entry 1 iff the source links to the destination. plinkT is
+/// `GenerateLinkGraph(o).Transposed()`.
+BinaryMatrix GenerateLinkGraph(const LinkGraphOptions& options);
+
+}  // namespace dmc
+
+#endif  // DMC_DATAGEN_LINKGRAPH_GEN_H_

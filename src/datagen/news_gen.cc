@@ -1,0 +1,129 @@
+#include "datagen/news_gen.h"
+
+#include <array>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace dmc {
+
+namespace {
+
+// Flavour names for topic 0, echoing the paper's Fig. 7.
+constexpr std::array<const char*, 8> kChessEntities = {
+    "polgar", "judit", "garri", "kasparov",
+    "karpov", "anand",  "shirov", "kramnik"};
+constexpr std::array<const char*, 16> kChessThemes = {
+    "chess",        "champion", "soviet",  "grandmaster",
+    "championship", "game",     "players", "federation",
+    "ranked",       "top",      "world",   "title",
+    "match",        "moscow",   "hungary", "youngest"};
+
+}  // namespace
+
+NewsData GenerateNews(const NewsOptions& options) {
+  DMC_CHECK_GE(options.num_topics, 1u);
+  Rng rng(options.seed);
+
+  NewsData data;
+  // Column layout: [theme words by topic][entity words by topic]
+  // [background vocabulary].
+  const uint32_t theme_base = 0;
+  const uint32_t entity_base = options.num_topics * options.words_per_topic;
+  const uint32_t colloc_base =
+      entity_base + options.num_topics * options.entities_per_topic;
+  const uint32_t background_base =
+      colloc_base + options.num_topics * options.collocations_per_topic * 2;
+  const uint32_t num_columns = background_base + options.background_vocab;
+
+  data.theme_columns.resize(options.num_topics);
+  data.entity_columns.resize(options.num_topics);
+  data.words.resize(num_columns);
+  for (uint32_t t = 0; t < options.num_topics; ++t) {
+    for (uint32_t w = 0; w < options.words_per_topic; ++w) {
+      const ColumnId c = theme_base + t * options.words_per_topic + w;
+      data.theme_columns[t].push_back(c);
+      data.words[c] = (t == 0 && w < kChessThemes.size())
+                          ? kChessThemes[w]
+                          : "theme" + std::to_string(t) + "_" +
+                                std::to_string(w);
+    }
+    for (uint32_t e = 0; e < options.entities_per_topic; ++e) {
+      const ColumnId c = entity_base + t * options.entities_per_topic + e;
+      data.entity_columns[t].push_back(c);
+      data.words[c] = (t == 0 && e < kChessEntities.size())
+                          ? kChessEntities[e]
+                          : "entity" + std::to_string(t) + "_" +
+                                std::to_string(e);
+    }
+  }
+  data.collocations.resize(options.num_topics);
+  for (uint32_t t = 0; t < options.num_topics; ++t) {
+    for (uint32_t k = 0; k < options.collocations_per_topic; ++k) {
+      const ColumnId first =
+          colloc_base + (t * options.collocations_per_topic + k) * 2;
+      data.collocations[t].emplace_back(first, first + 1);
+      data.words[first] =
+          "bigramA" + std::to_string(t) + "_" + std::to_string(k);
+      data.words[first + 1] =
+          "bigramB" + std::to_string(t) + "_" + std::to_string(k);
+    }
+  }
+  for (uint32_t b = 0; b < options.background_vocab; ++b) {
+    data.words[background_base + b] = "word" + std::to_string(b);
+  }
+
+  const ZipfSampler topic_sampler(options.num_topics, 0.7);
+  const ZipfSampler background_sampler(options.background_vocab,
+                                       options.background_zipf_theta);
+  const PowerLawSampler doc_len(options.background_words_min,
+                                options.background_words_max,
+                                options.background_len_alpha);
+
+  MatrixBuilder builder(num_columns);
+  std::vector<ColumnId> row;
+  for (uint32_t d = 0; d < options.num_docs; ++d) {
+    row.clear();
+    const uint32_t topic =
+        static_cast<uint32_t>(topic_sampler.Sample(rng));
+    bool entity_present = false;
+    if (rng.Bernoulli(options.entity_prob)) {
+      for (ColumnId e : data.entity_columns[topic]) {
+        if (rng.Bernoulli(options.entity_comention_prob)) {
+          row.push_back(e);
+          entity_present = true;
+        }
+      }
+    }
+    const double theme_prob = entity_present
+                                  ? options.entity_implies_theme_prob
+                                  : options.topic_word_prob;
+    for (ColumnId w : data.theme_columns[topic]) {
+      if (rng.Bernoulli(theme_prob)) row.push_back(w);
+    }
+    for (const auto& [first, second] : data.collocations[topic]) {
+      if (!rng.Bernoulli(options.collocation_prob)) continue;
+      // Both members with probability `stickiness`, otherwise one member
+      // alone — the pair's Jaccard similarity converges to stickiness.
+      if (rng.Bernoulli(options.collocation_stickiness)) {
+        row.push_back(first);
+        row.push_back(second);
+      } else if (rng.Bernoulli(0.5)) {
+        row.push_back(first);
+      } else {
+        row.push_back(second);
+      }
+    }
+    const uint64_t len = doc_len.Sample(rng);
+    for (uint64_t i = 0; i < len; ++i) {
+      row.push_back(background_base +
+                    static_cast<ColumnId>(background_sampler.Sample(rng)));
+    }
+    builder.AddRow(row);
+  }
+  data.matrix = builder.Build();
+  return data;
+}
+
+}  // namespace dmc

@@ -1,0 +1,75 @@
+// Synthetic news corpus — the News / NewsP analogue.
+//
+// Rows are documents, columns are words. A topic model reproduces the
+// paper's motivating structure: rare entity words (the "polgar", "judit",
+// "garri" of Fig. 7) appear only in their topic's documents and imply the
+// topic's theme words with high confidence but LOW support — the rules
+// support pruning destroys and DMC is built to find. Background
+// vocabulary is Zipf-distributed, giving the Fig. 4 density shape.
+
+#ifndef DMC_DATAGEN_NEWS_GEN_H_
+#define DMC_DATAGEN_NEWS_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/binary_matrix.h"
+
+namespace dmc {
+
+struct NewsOptions {
+  uint32_t num_docs = 16000;
+  uint32_t num_topics = 40;
+  /// Theme words per topic (moderately frequent).
+  uint32_t words_per_topic = 12;
+  /// Rare entity words per topic (low support, high confidence).
+  uint32_t entities_per_topic = 4;
+  /// Background vocabulary size.
+  uint32_t background_vocab = 8000;
+  double background_zipf_theta = 1.05;
+  uint32_t background_words_min = 5;
+  uint32_t background_words_max = 120;
+  double background_len_alpha = 1.8;
+  /// Probability each theme word appears in a document of its topic.
+  double topic_word_prob = 0.6;
+  /// Probability a topic document mentions the topic's entity cluster.
+  double entity_prob = 0.08;
+  /// Given a mention, probability each individual entity appears —
+  /// entities of one topic co-occur ("judit" with "polgar"), giving the
+  /// entity => entity rules of Fig. 7.
+  double entity_comention_prob = 0.9;
+  /// When an entity appears, each theme word of the topic is forced in
+  /// with this probability (the entity => theme confidence).
+  double entity_implies_theme_prob = 0.95;
+  /// Collocation pairs per topic: two words that (almost) always appear
+  /// together — "garri"/"kasparov"-style bigrams. They produce the
+  /// high-similarity column pairs of Fig. 6(j).
+  uint32_t collocations_per_topic = 2;
+  /// Probability a topic document carries a given collocation.
+  double collocation_prob = 0.3;
+  /// Probability the second member accompanies the first.
+  double collocation_stickiness = 0.95;
+  uint64_t seed = 19970215;
+};
+
+/// Generated corpus plus the ground-truth wiring the tests and Fig. 7
+/// bench use.
+struct NewsData {
+  BinaryMatrix matrix;
+  /// Human-readable name of every column (entities of topic 0 get
+  /// chess-flavoured names so the Fig. 7 output reads like the paper's).
+  std::vector<std::string> words;
+  /// Column ids of all entity words, grouped by topic.
+  std::vector<std::vector<ColumnId>> entity_columns;
+  /// Column ids of all theme words, grouped by topic.
+  std::vector<std::vector<ColumnId>> theme_columns;
+  /// Column-id pairs of the planted collocations, grouped by topic.
+  std::vector<std::vector<std::pair<ColumnId, ColumnId>>> collocations;
+};
+
+NewsData GenerateNews(const NewsOptions& options);
+
+}  // namespace dmc
+
+#endif  // DMC_DATAGEN_NEWS_GEN_H_

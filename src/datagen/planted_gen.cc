@@ -1,0 +1,117 @@
+#include "datagen/planted_gen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rules/rule.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace dmc {
+
+namespace {
+
+// `count` distinct row ids, shuffled from [0, n).
+std::vector<RowId> SampleRows(uint32_t count, uint32_t n, Rng& rng) {
+  DMC_CHECK_LE(count, n);
+  // Partial Fisher-Yates over an index vector.
+  std::vector<RowId> all(n);
+  std::iota(all.begin(), all.end(), RowId{0});
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t j = i + rng.Uniform(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  return all;
+}
+
+}  // namespace
+
+PlantedData GeneratePlanted(const PlantedOptions& options) {
+  DMC_CHECK_LE(options.implication_hits, options.implication_lhs_ones);
+  DMC_CHECK_LE(options.sim_intersection, options.sim_ones_a);
+  DMC_CHECK_LE(options.sim_ones_a, options.sim_ones_b);
+  Rng rng(options.seed);
+
+  const ColumnId imp_base = options.num_noise_columns;
+  const ColumnId sim_base = imp_base + 2 * options.num_implications;
+  const ColumnId num_columns = sim_base + 2 * options.num_similarities;
+
+  std::vector<std::vector<ColumnId>> rows(options.num_rows);
+
+  // Background noise.
+  for (RowId r = 0; r < options.num_rows; ++r) {
+    for (ColumnId c = 0; c < options.num_noise_columns; ++c) {
+      if (rng.Bernoulli(options.noise_density)) rows[r].push_back(c);
+    }
+  }
+
+  PlantedData data;
+
+  // Planted implications: lhs has implication_lhs_ones rows, of which
+  // exactly implication_hits also carry rhs; rhs gets extra rows so
+  // ones(lhs) < ones(rhs) and the rule direction is canonical.
+  for (uint32_t k = 0; k < options.num_implications; ++k) {
+    const ColumnId lhs = imp_base + 2 * k;
+    const ColumnId rhs = lhs + 1;
+    const uint32_t rhs_ones =
+        options.implication_hits + options.implication_rhs_extra;
+    const auto picked = SampleRows(
+        options.implication_lhs_ones + options.implication_rhs_extra,
+        options.num_rows, rng);
+    // First lhs_ones rows: lhs; first `hits` of them also rhs; the
+    // remaining picked rows: rhs only.
+    for (uint32_t i = 0; i < options.implication_lhs_ones; ++i) {
+      rows[picked[i]].push_back(lhs);
+      if (i < options.implication_hits) rows[picked[i]].push_back(rhs);
+    }
+    for (uint32_t i = options.implication_lhs_ones; i < picked.size();
+         ++i) {
+      rows[picked[i]].push_back(rhs);
+    }
+    ImplicationRule rule;
+    rule.lhs = lhs;
+    rule.rhs = rhs;
+    rule.lhs_ones = options.implication_lhs_ones;
+    rule.misses = options.implication_lhs_ones - options.implication_hits;
+    data.implications.Add(rule);
+    (void)rhs_ones;
+  }
+
+  // Planted similarity pairs with exact intersection.
+  for (uint32_t k = 0; k < options.num_similarities; ++k) {
+    const ColumnId a = sim_base + 2 * k;
+    const ColumnId b = a + 1;
+    const uint32_t total = options.sim_ones_a + options.sim_ones_b -
+                           options.sim_intersection;
+    const auto picked = SampleRows(total, options.num_rows, rng);
+    // Layout: [intersection][a only][b only].
+    uint32_t idx = 0;
+    for (uint32_t i = 0; i < options.sim_intersection; ++i, ++idx) {
+      rows[picked[idx]].push_back(a);
+      rows[picked[idx]].push_back(b);
+    }
+    for (uint32_t i = options.sim_intersection; i < options.sim_ones_a;
+         ++i, ++idx) {
+      rows[picked[idx]].push_back(a);
+    }
+    for (uint32_t i = options.sim_intersection; i < options.sim_ones_b;
+         ++i, ++idx) {
+      rows[picked[idx]].push_back(b);
+    }
+    SimilarityPair pair;
+    pair.a = a;
+    pair.b = b;
+    pair.ones_a = options.sim_ones_a;
+    pair.ones_b = options.sim_ones_b;
+    pair.intersection = options.sim_intersection;
+    data.similarities.Add(pair);
+  }
+
+  data.matrix = BinaryMatrix::FromRows(num_columns, std::move(rows));
+  data.implications.Canonicalize();
+  data.similarities.Canonicalize();
+  return data;
+}
+
+}  // namespace dmc

@@ -1,0 +1,55 @@
+// Planted-truth generator: a noise matrix with column pairs engineered to
+// have EXACT confidence / similarity values. Used by tests (recall and
+// precision against known truth) and by the ablation benches.
+
+#ifndef DMC_DATAGEN_PLANTED_GEN_H_
+#define DMC_DATAGEN_PLANTED_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/binary_matrix.h"
+#include "rules/rule_set.h"
+
+namespace dmc {
+
+struct PlantedOptions {
+  uint32_t num_rows = 2000;
+  /// Background (noise) columns.
+  uint32_t num_noise_columns = 200;
+  double noise_density = 0.01;
+
+  /// Planted implication pairs (each consumes two dedicated columns).
+  uint32_t num_implications = 15;
+  /// ones(lhs) of each planted implication.
+  uint32_t implication_lhs_ones = 40;
+  /// Exact hits out of implication_lhs_ones (confidence = hits/ones).
+  uint32_t implication_hits = 36;
+  /// Extra rhs-only rows.
+  uint32_t implication_rhs_extra = 20;
+
+  /// Planted similarity pairs (two dedicated columns each).
+  uint32_t num_similarities = 10;
+  /// |S_a|, |S_b| and |S_a intersect S_b| of each planted pair.
+  uint32_t sim_ones_a = 40;
+  uint32_t sim_ones_b = 44;
+  uint32_t sim_intersection = 38;
+
+  uint64_t seed = 77;
+};
+
+struct PlantedData {
+  BinaryMatrix matrix;
+  /// The planted implications with their exact counts.
+  ImplicationRuleSet implications;
+  /// The planted similarity pairs with their exact counts.
+  SimilarityRuleSet similarities;
+};
+
+/// Builds the matrix. Planted columns receive no background noise, so the
+/// returned rule counts are exact by construction.
+PlantedData GeneratePlanted(const PlantedOptions& options);
+
+}  // namespace dmc
+
+#endif  // DMC_DATAGEN_PLANTED_GEN_H_

@@ -1,0 +1,49 @@
+#include "datagen/quest_gen.h"
+
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace dmc {
+
+BinaryMatrix GenerateQuest(const QuestOptions& options) {
+  DMC_CHECK_GE(options.num_patterns, 1u);
+  Rng rng(options.seed);
+
+  // Pattern pool: Zipf-weighted popularity, Poisson lengths, items drawn
+  // by Zipf so some items are shared across patterns (cross support).
+  const ZipfSampler item_sampler(options.num_items, 0.8);
+  const ZipfSampler pattern_sampler(options.num_patterns, 0.9);
+  std::vector<std::vector<ColumnId>> patterns(options.num_patterns);
+  for (auto& pattern : patterns) {
+    const uint64_t len =
+        1 + rng.Poisson(options.avg_pattern_len > 1
+                            ? options.avg_pattern_len - 1
+                            : 0);
+    for (uint64_t i = 0; i < len; ++i) {
+      pattern.push_back(static_cast<ColumnId>(item_sampler.Sample(rng)));
+    }
+  }
+
+  MatrixBuilder builder(options.num_items);
+  std::vector<ColumnId> row;
+  for (uint32_t t = 0; t < options.num_transactions; ++t) {
+    row.clear();
+    const uint64_t k =
+        1 + rng.Poisson(options.avg_patterns_per_transaction > 1
+                            ? options.avg_patterns_per_transaction - 1
+                            : 0);
+    for (uint64_t i = 0; i < k; ++i) {
+      const auto& pattern = patterns[pattern_sampler.Sample(rng)];
+      for (ColumnId item : pattern) {
+        if (!rng.Bernoulli(options.corruption)) row.push_back(item);
+      }
+    }
+    builder.AddRow(row);
+  }
+  return builder.Build();
+}
+
+}  // namespace dmc

@@ -1,0 +1,32 @@
+// IBM Quest-style market-basket generator [Agrawal & Srikant VLDB'94].
+//
+// The classic synthetic workload a-priori was designed for: a pool of
+// "potentially large itemsets" (patterns); each transaction draws a few
+// patterns and keeps each item with (1 - corruption) probability. Used by
+// the comparison benches and the a-priori tests.
+
+#ifndef DMC_DATAGEN_QUEST_GEN_H_
+#define DMC_DATAGEN_QUEST_GEN_H_
+
+#include <cstdint>
+
+#include "matrix/binary_matrix.h"
+
+namespace dmc {
+
+struct QuestOptions {
+  uint32_t num_transactions = 10000;
+  uint32_t num_items = 1000;
+  uint32_t num_patterns = 300;
+  uint32_t avg_pattern_len = 4;
+  uint32_t avg_patterns_per_transaction = 3;
+  /// Per-item drop probability when a pattern is instantiated.
+  double corruption = 0.15;
+  uint64_t seed = 1994;
+};
+
+BinaryMatrix GenerateQuest(const QuestOptions& options);
+
+}  // namespace dmc
+
+#endif  // DMC_DATAGEN_QUEST_GEN_H_

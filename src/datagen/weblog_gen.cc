@@ -1,0 +1,84 @@
+#include "datagen/weblog_gen.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace dmc {
+
+BinaryMatrix GenerateWebLog(const WebLogOptions& options) {
+  DMC_CHECK_GE(options.num_urls, options.num_sections);
+  DMC_CHECK_GE(options.num_sections, 1u);
+  Rng rng(options.seed);
+
+  const uint32_t pages_per_section =
+      options.num_urls / options.num_sections;
+  const ZipfSampler section_sampler(options.num_sections, 0.8);
+  const ZipfSampler page_sampler(pages_per_section, options.url_zipf_theta);
+  const PowerLawSampler activity(
+      options.min_pages_per_client,
+      std::min<uint64_t>(options.max_pages_per_client, options.num_urls),
+      options.client_activity_alpha);
+
+  std::vector<std::vector<ColumnId>> all_rows;
+  all_rows.reserve(options.num_clients);
+  std::vector<ColumnId> row;
+  const uint32_t regular_clients =
+      options.num_clients > options.num_crawlers
+          ? options.num_clients - options.num_crawlers
+          : options.num_clients;
+
+  for (uint32_t client = 0; client < regular_clients; ++client) {
+    row.clear();
+    const uint64_t pages = activity.Sample(rng);
+    // A client browses 1-3 sections; pages cluster within them.
+    const uint32_t sections = 1 + static_cast<uint32_t>(rng.Uniform(3));
+    for (uint64_t p = 0; p < pages; ++p) {
+      const uint32_t section_slot = static_cast<uint32_t>(
+          rng.Uniform(sections));
+      // Deterministic per-client section choice seeded by slot.
+      uint64_t mix = options.seed ^ (uint64_t{client} << 20) ^ section_slot;
+      const uint32_t section =
+          (section_slot == 0)
+              ? static_cast<uint32_t>(section_sampler.Sample(rng))
+              : static_cast<uint32_t>(Mix64(mix) % options.num_sections);
+      const uint32_t page_rank =
+          static_cast<uint32_t>(page_sampler.Sample(rng));
+      const ColumnId url = section + page_rank * options.num_sections;
+      if (url >= options.num_urls) continue;
+      row.push_back(url);
+      // Section index page: URL ids [0, num_sections) are the indexes.
+      if (url >= options.num_sections &&
+          rng.Bernoulli(options.index_visit_prob)) {
+        row.push_back(section);
+      }
+    }
+    all_rows.push_back(row);
+  }
+
+  // Crawlers: nearly full rows.
+  for (uint32_t k = 0;
+       k < options.num_crawlers && regular_clients + k < options.num_clients;
+       ++k) {
+    row.clear();
+    for (ColumnId url = 0; url < options.num_urls; ++url) {
+      if (rng.Bernoulli(options.crawler_coverage)) row.push_back(url);
+    }
+    all_rows.push_back(row);
+  }
+
+  // Real logs intersperse crawler sessions with regular traffic;
+  // shuffle so dense rows land at arbitrary scan positions (this is what
+  // makes the §4.1 re-ordering matter).
+  for (size_t i = all_rows.size(); i > 1; --i) {
+    const size_t j = rng.Uniform(i);
+    std::swap(all_rows[i - 1], all_rows[j]);
+  }
+
+  return BinaryMatrix::FromRows(options.num_urls, std::move(all_rows));
+}
+
+}  // namespace dmc

@@ -1,0 +1,49 @@
+// Synthetic web-access log — the Wlog analogue.
+//
+// Rows are clients, columns are URLs (paper §6.1). Reproduced structure:
+//   * Zipf URL popularity and power-law client activity, giving the
+//     heavy-tailed column-density distribution of Fig. 4;
+//   * a small crawler population visiting almost every URL — the very
+//     dense rows responsible for the Fig. 3 memory explosion;
+//   * site sections with index pages that co-occur with their section's
+//     pages, creating high-confidence page => index implication rules.
+
+#ifndef DMC_DATAGEN_WEBLOG_GEN_H_
+#define DMC_DATAGEN_WEBLOG_GEN_H_
+
+#include <cstdint>
+
+#include "matrix/binary_matrix.h"
+
+namespace dmc {
+
+struct WebLogOptions {
+  /// Rows (distinct client IPs).
+  uint32_t num_clients = 20000;
+  /// Columns (URLs).
+  uint32_t num_urls = 6000;
+  /// Site sections; URL u belongs to section u % num_sections, and URL
+  /// s < num_sections is section s's index page.
+  uint32_t num_sections = 40;
+  /// Zipf exponent of within-section page popularity.
+  double url_zipf_theta = 0.9;
+  /// Power-law exponent of pages-per-client.
+  double client_activity_alpha = 2.0;
+  uint32_t min_pages_per_client = 1;
+  uint32_t max_pages_per_client = 400;
+  /// Probability that visiting a section page also hits the section
+  /// index (drives the page => index rules).
+  double index_visit_prob = 0.97;
+  /// Clients that behave like crawlers.
+  uint32_t num_crawlers = 4;
+  /// Fraction of all URLs a crawler visits.
+  double crawler_coverage = 0.9;
+  uint64_t seed = 20000701;
+};
+
+/// Generates the access-log matrix (clients x URLs).
+BinaryMatrix GenerateWebLog(const WebLogOptions& options);
+
+}  // namespace dmc
+
+#endif  // DMC_DATAGEN_WEBLOG_GEN_H_

@@ -1,0 +1,87 @@
+#include "matrix/binary_matrix.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dmc {
+
+BinaryMatrix BinaryMatrix::FromRows(ColumnId num_columns,
+                                    std::vector<std::vector<ColumnId>> rows) {
+  BinaryMatrix m;
+  m.num_columns_ = num_columns;
+  m.column_ones_.assign(num_columns, 0);
+  m.row_offsets_.reserve(rows.size() + 1);
+  size_t total = 0;
+  for (const auto& row : rows) total += row.size();
+  m.column_ids_.reserve(total);
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    for (ColumnId c : row) {
+      DMC_CHECK_LT(c, num_columns);
+      m.column_ids_.push_back(c);
+      ++m.column_ones_[c];
+    }
+    m.row_offsets_.push_back(m.column_ids_.size());
+  }
+  return m;
+}
+
+bool BinaryMatrix::Get(RowId r, ColumnId c) const {
+  const auto row = Row(r);
+  return std::binary_search(row.begin(), row.end(), c);
+}
+
+BinaryMatrix BinaryMatrix::Transposed() const {
+  std::vector<std::vector<ColumnId>> cols(num_columns_);
+  for (ColumnId c = 0; c < num_columns_; ++c) {
+    cols[c].reserve(column_ones_[c]);
+  }
+  const RowId n = num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    for (ColumnId c : Row(r)) {
+      cols[c].push_back(static_cast<ColumnId>(r));
+    }
+  }
+  return FromRows(static_cast<ColumnId>(n), std::move(cols));
+}
+
+BitVector BinaryMatrix::ColumnBitmap(ColumnId c) const {
+  DMC_CHECK_LT(c, num_columns_);
+  BitVector bv(num_rows());
+  const RowId n = num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    if (Get(r, c)) bv.Set(r);
+  }
+  return bv;
+}
+
+std::vector<BitVector> BinaryMatrix::AllColumnBitmaps() const {
+  std::vector<BitVector> bitmaps(num_columns_, BitVector(num_rows()));
+  const RowId n = num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    for (ColumnId c : Row(r)) bitmaps[c].Set(r);
+  }
+  return bitmaps;
+}
+
+void MatrixBuilder::AddRow(std::vector<ColumnId> cols) {
+  for (ColumnId c : cols) {
+    if (fixed_columns_) {
+      DMC_CHECK_LT(c, num_columns_);
+    } else if (c >= num_columns_) {
+      num_columns_ = c + 1;
+    }
+  }
+  rows_.push_back(std::move(cols));
+}
+
+BinaryMatrix MatrixBuilder::Build() {
+  BinaryMatrix m = BinaryMatrix::FromRows(num_columns_, std::move(rows_));
+  rows_.clear();
+  if (!fixed_columns_) num_columns_ = 0;
+  return m;
+}
+
+}  // namespace dmc

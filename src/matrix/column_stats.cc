@@ -1,0 +1,69 @@
+#include "matrix/column_stats.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dmc {
+
+uint64_t ColumnDensityHistogram::ColumnsWithAtLeast(uint64_t min_ones) const {
+  uint64_t total = 0;
+  for (const Entry& e : entries) {
+    if (e.ones >= min_ones) total += e.columns;
+  }
+  return total;
+}
+
+ColumnDensityHistogram ComputeColumnDensityHistogram(const BinaryMatrix& m) {
+  std::map<uint64_t, uint64_t> counts;
+  for (uint32_t ones : m.column_ones()) ++counts[ones];
+  ColumnDensityHistogram hist;
+  hist.entries.reserve(counts.size());
+  for (const auto& [ones, columns] : counts) {
+    hist.entries.push_back({ones, columns});
+  }
+  return hist;
+}
+
+MatrixSummary Summarize(const BinaryMatrix& m) {
+  MatrixSummary s;
+  s.rows = m.num_rows();
+  s.columns = m.num_columns();
+  s.ones = m.num_ones();
+  for (RowId r = 0; r < s.rows; ++r) {
+    s.max_row_density = std::max(s.max_row_density, m.RowSize(r));
+  }
+  for (uint32_t ones : m.column_ones()) {
+    s.max_column_ones = std::max<size_t>(s.max_column_ones, ones);
+  }
+  s.mean_row_density = s.rows == 0 ? 0.0 : double(s.ones) / double(s.rows);
+  s.mean_column_ones =
+      s.columns == 0 ? 0.0 : double(s.ones) / double(s.columns);
+  return s;
+}
+
+PrunedMatrix SupportPruneColumns(const BinaryMatrix& m, uint64_t min_ones,
+                                 uint64_t max_ones) {
+  PrunedMatrix result;
+  const auto& ones = m.column_ones();
+  std::vector<ColumnId> new_id(m.num_columns(),
+                               std::numeric_limits<ColumnId>::max());
+  for (ColumnId c = 0; c < m.num_columns(); ++c) {
+    if (ones[c] >= min_ones && ones[c] <= max_ones) {
+      new_id[c] = static_cast<ColumnId>(result.original_column.size());
+      result.original_column.push_back(c);
+    }
+  }
+  std::vector<std::vector<ColumnId>> rows(m.num_rows());
+  for (RowId r = 0; r < m.num_rows(); ++r) {
+    for (ColumnId c : m.Row(r)) {
+      if (new_id[c] != std::numeric_limits<ColumnId>::max()) {
+        rows[r].push_back(new_id[c]);
+      }
+    }
+  }
+  result.matrix = BinaryMatrix::FromRows(
+      static_cast<ColumnId>(result.original_column.size()), std::move(rows));
+  return result;
+}
+
+}  // namespace dmc

@@ -1,0 +1,64 @@
+// Column-density statistics and support-based column pruning.
+//
+// The paper plots the column-density distribution of all four data sets
+// (Fig. 4) and derives pruned variants (WlogP, NewsP) by dropping columns
+// outside a support window; both operations live here.
+
+#ifndef DMC_MATRIX_COLUMN_STATS_H_
+#define DMC_MATRIX_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "matrix/binary_matrix.h"
+
+namespace dmc {
+
+/// Histogram over exact column densities: entry {k, count} means `count`
+/// columns have exactly `k` ones. Sorted by k ascending; zero-count
+/// densities are omitted. This is the data behind Fig. 4.
+struct ColumnDensityHistogram {
+  struct Entry {
+    uint64_t ones;
+    uint64_t columns;
+  };
+  std::vector<Entry> entries;
+
+  /// Number of columns with >= `min_ones` ones.
+  uint64_t ColumnsWithAtLeast(uint64_t min_ones) const;
+};
+
+ColumnDensityHistogram ComputeColumnDensityHistogram(const BinaryMatrix& m);
+
+/// Summary statistics printed by the Table-1 bench.
+struct MatrixSummary {
+  RowId rows = 0;
+  ColumnId columns = 0;
+  size_t ones = 0;
+  double mean_row_density = 0.0;
+  size_t max_row_density = 0;
+  double mean_column_ones = 0.0;
+  size_t max_column_ones = 0;
+};
+
+MatrixSummary Summarize(const BinaryMatrix& m);
+
+/// Result of support pruning: the reduced matrix plus the mapping from new
+/// column ids back to the original ids.
+struct PrunedMatrix {
+  BinaryMatrix matrix;
+  /// original_column[new_id] = old_id.
+  std::vector<ColumnId> original_column;
+};
+
+/// Keeps only columns whose 1-count lies in [min_ones, max_ones]; rows are
+/// preserved (they may become empty). This is how the paper derives WlogP
+/// (min 11) and NewsP (support window [35, 3278]).
+PrunedMatrix SupportPruneColumns(
+    const BinaryMatrix& m, uint64_t min_ones,
+    uint64_t max_ones = std::numeric_limits<uint64_t>::max());
+
+}  // namespace dmc
+
+#endif  // DMC_MATRIX_COLUMN_STATS_H_

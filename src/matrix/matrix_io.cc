@@ -1,0 +1,142 @@
+#include "matrix/matrix_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace dmc {
+
+namespace {
+
+// Parses one text line into column ids. Returns false on malformed input
+// and fills `error`.
+bool ParseLine(std::string_view line, std::vector<ColumnId>* cols,
+               std::string* error) {
+  cols->clear();
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r')) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    const size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    uint32_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(line.data() + start, line.data() + i, value);
+    if (ec != std::errc() || ptr != line.data() + i) {
+      *error = "malformed column id '" +
+               std::string(line.substr(start, i - start)) + "'";
+      return false;
+    }
+    cols->push_back(value);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status WriteMatrixText(const BinaryMatrix& m, std::ostream& os) {
+  os << "# dmc matrix: rows=" << m.num_rows()
+     << " columns=" << m.num_columns() << "\n";
+  for (RowId r = 0; r < m.num_rows(); ++r) {
+    bool first = true;
+    for (ColumnId c : m.Row(r)) {
+      if (!first) os << ' ';
+      os << c;
+      first = false;
+    }
+    os << '\n';
+  }
+  if (!os) return IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteMatrixTextFile(const BinaryMatrix& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return IOError("cannot open for write: " + path);
+  return WriteMatrixText(m, out);
+}
+
+StatusOr<BinaryMatrix> ReadMatrixText(std::istream& is) {
+  MatrixBuilder builder;
+  std::string line;
+  std::vector<ColumnId> cols;
+  std::string error;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] == '#') continue;
+    if (!ParseLine(line, &cols, &error)) {
+      return InvalidArgumentError("line " + std::to_string(line_no) + ": " +
+                                  error);
+    }
+    builder.AddRow(cols);
+  }
+  return builder.Build();
+}
+
+StatusOr<BinaryMatrix> ReadMatrixTextFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return IOError("cannot open for read: " + path);
+  return ReadMatrixText(in);
+}
+
+Status ForEachRowText(
+    std::istream& is,
+    const std::function<Status(std::span<const ColumnId>)>& callback) {
+  std::string line;
+  std::vector<ColumnId> cols;
+  std::string error;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] == '#') continue;
+    if (!ParseLine(line, &cols, &error)) {
+      return InvalidArgumentError("line " + std::to_string(line_no) + ": " +
+                                  error);
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    DMC_RETURN_IF_ERROR(callback(cols));
+  }
+  return Status::OK();
+}
+
+StatusOr<FirstPassStats> ScanMatrixText(std::istream& is) {
+  FirstPassStats stats;
+  std::string line;
+  std::vector<ColumnId> cols;
+  std::string error;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] == '#') continue;
+    if (!ParseLine(line, &cols, &error)) {
+      return InvalidArgumentError("line " + std::to_string(line_no) + ": " +
+                                  error);
+    }
+    // Deduplicate within the row so ones(c) matches FromRows semantics.
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    for (ColumnId c : cols) {
+      if (c >= stats.num_columns) {
+        stats.num_columns = c + 1;
+        stats.column_ones.resize(stats.num_columns, 0);
+      }
+      ++stats.column_ones[c];
+    }
+    stats.row_density.push_back(static_cast<uint32_t>(cols.size()));
+    ++stats.num_rows;
+  }
+  return stats;
+}
+
+}  // namespace dmc

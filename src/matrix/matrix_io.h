@@ -1,0 +1,54 @@
+// Matrix serialization and a streaming first-pass reader.
+//
+// Text format ("transaction format"): one row per line, space-separated
+// column ids; blank lines are empty rows; lines starting with '#' are
+// comments. This matches common association-rule data sets and keeps the
+// examples/CLI self-contained.
+
+#ifndef DMC_MATRIX_MATRIX_IO_H_
+#define DMC_MATRIX_MATRIX_IO_H_
+
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "matrix/binary_matrix.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace dmc {
+
+/// Writes `m` in transaction text format.
+Status WriteMatrixText(const BinaryMatrix& m, std::ostream& os);
+Status WriteMatrixTextFile(const BinaryMatrix& m, const std::string& path);
+
+/// Parses transaction text format. Fails on malformed tokens.
+StatusOr<BinaryMatrix> ReadMatrixText(std::istream& is);
+StatusOr<BinaryMatrix> ReadMatrixTextFile(const std::string& path);
+
+/// First-pass statistics obtainable from a single stream scan without
+/// materializing the matrix: ones(c) per column and per-row densities.
+/// This mirrors the paper's first disk pass (count 1s, assign rows to
+/// density buckets).
+struct FirstPassStats {
+  ColumnId num_columns = 0;
+  RowId num_rows = 0;
+  std::vector<uint32_t> column_ones;
+  std::vector<uint32_t> row_density;
+};
+
+StatusOr<FirstPassStats> ScanMatrixText(std::istream& is);
+
+/// Streams rows from transaction text without materializing the matrix:
+/// `callback(row)` is invoked once per row with sorted, deduplicated
+/// column ids; a non-OK return aborts the scan. This is the primitive the
+/// external (disk-based) miner is built on.
+Status ForEachRowText(
+    std::istream& is,
+    const std::function<Status(std::span<const ColumnId>)>& callback);
+
+}  // namespace dmc
+
+#endif  // DMC_MATRIX_MATRIX_IO_H_

@@ -1,0 +1,57 @@
+#include "matrix/row_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dmc {
+
+std::vector<RowId> IdentityOrder(const BinaryMatrix& m) {
+  std::vector<RowId> order(m.num_rows());
+  std::iota(order.begin(), order.end(), RowId{0});
+  return order;
+}
+
+std::vector<RowId> SortedByDensityOrder(const BinaryMatrix& m) {
+  std::vector<RowId> order = IdentityOrder(m);
+  std::stable_sort(order.begin(), order.end(), [&m](RowId a, RowId b) {
+    return m.RowSize(a) < m.RowSize(b);
+  });
+  return order;
+}
+
+namespace {
+// Bucket index for a row with `density` ones: floor(log2(density)), with
+// densities 0 and 1 sharing bucket 0.
+int BucketIndex(size_t density) {
+  if (density <= 1) return 0;
+  int b = 0;
+  while (density > 1) {
+    density >>= 1;
+    ++b;
+  }
+  return b;
+}
+}  // namespace
+
+BucketedOrder DensityBucketOrder(const BinaryMatrix& m) {
+  constexpr int kMaxBuckets = 33;  // densities fit in 32 bits
+  std::vector<std::vector<RowId>> buckets(kMaxBuckets);
+  const RowId n = m.num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    buckets[BucketIndex(m.RowSize(r))].push_back(r);
+  }
+
+  BucketedOrder result;
+  result.order.reserve(n);
+  for (int b = 0; b < kMaxBuckets; ++b) {
+    if (buckets[b].empty()) continue;
+    const size_t begin = result.order.size();
+    result.order.insert(result.order.end(), buckets[b].begin(),
+                        buckets[b].end());
+    result.bucket_ranges.emplace_back(begin, result.order.size());
+    result.bucket_min_density.push_back(b == 0 ? 0 : (uint64_t{1} << b));
+  }
+  return result;
+}
+
+}  // namespace dmc

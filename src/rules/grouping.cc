@@ -1,0 +1,119 @@
+#include "rules/grouping.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dmc {
+
+ImplicationRuleSet ExpandFromSeed(const ImplicationRuleSet& rules,
+                                  ColumnId seed, uint32_t max_depth) {
+  // Index rules by lhs.
+  std::unordered_map<ColumnId, std::vector<size_t>> by_lhs;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    by_lhs[rules.rules()[i].lhs].push_back(i);
+  }
+
+  ImplicationRuleSet out;
+  std::unordered_set<ColumnId> visited{seed};
+  std::unordered_set<size_t> emitted;
+  std::deque<std::pair<ColumnId, uint32_t>> frontier{{seed, 0}};
+  while (!frontier.empty()) {
+    const auto [col, depth] = frontier.front();
+    frontier.pop_front();
+    if (max_depth != 0 && depth >= max_depth) continue;
+    const auto it = by_lhs.find(col);
+    if (it == by_lhs.end()) continue;
+    for (size_t idx : it->second) {
+      if (!emitted.insert(idx).second) continue;
+      const ImplicationRule& r = rules.rules()[idx];
+      out.Add(r);
+      if (visited.insert(r.rhs).second) {
+        frontier.emplace_back(r.rhs, depth + 1);
+      }
+    }
+  }
+  out.Canonicalize();
+  return out;
+}
+
+namespace {
+
+// Union-find over arbitrary column ids.
+class UnionFind {
+ public:
+  ColumnId Find(ColumnId x) {
+    if (parent_.emplace(x, x).second) return x;
+    ColumnId root = x;
+    while (parent_[root] != root) root = parent_[root];
+    // Path compression.
+    while (parent_[x] != root) {
+      const ColumnId next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  void Union(ColumnId a, ColumnId b) {
+    const ColumnId ra = Find(a);
+    const ColumnId rb = Find(b);
+    if (ra != rb) parent_[ra] = rb;
+  }
+
+ private:
+  std::unordered_map<ColumnId, ColumnId> parent_;
+};
+
+template <typename GetEdge>
+std::vector<ColumnGroup> GroupEdges(size_t num_edges, GetEdge get_edge) {
+  UnionFind uf;
+  for (size_t i = 0; i < num_edges; ++i) {
+    const auto [u, v] = get_edge(i);
+    uf.Union(u, v);
+  }
+  std::unordered_map<ColumnId, size_t> root_to_group;
+  std::vector<ColumnGroup> groups;
+  std::unordered_map<ColumnId, bool> seen_column;
+  for (size_t i = 0; i < num_edges; ++i) {
+    const auto [u, v] = get_edge(i);
+    const ColumnId root = uf.Find(u);
+    auto [it, inserted] = root_to_group.emplace(root, groups.size());
+    if (inserted) groups.emplace_back();
+    ColumnGroup& g = groups[it->second];
+    g.rule_indices.push_back(i);
+    for (ColumnId c : {u, v}) {
+      if (!seen_column[c]) {
+        seen_column[c] = true;
+        g.columns.push_back(c);
+      }
+    }
+  }
+  for (auto& g : groups) std::sort(g.columns.begin(), g.columns.end());
+  std::sort(groups.begin(), groups.end(),
+            [](const ColumnGroup& a, const ColumnGroup& b) {
+              return a.columns.size() > b.columns.size();
+            });
+  return groups;
+}
+
+}  // namespace
+
+std::vector<ColumnGroup> GroupByConnectedComponents(
+    const ImplicationRuleSet& rules) {
+  return GroupEdges(rules.size(), [&rules](size_t i) {
+    const ImplicationRule& r = rules.rules()[i];
+    return std::pair<ColumnId, ColumnId>(r.lhs, r.rhs);
+  });
+}
+
+std::vector<ColumnGroup> GroupByConnectedComponents(
+    const SimilarityRuleSet& pairs) {
+  return GroupEdges(pairs.size(), [&pairs](size_t i) {
+    const SimilarityPair& p = pairs.pairs()[i];
+    return std::pair<ColumnId, ColumnId>(p.a, p.b);
+  });
+}
+
+}  // namespace dmc

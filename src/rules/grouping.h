@@ -1,0 +1,47 @@
+// Rule grouping — the paper's §6.3 / Fig. 7 workflow and its "future work"
+// extension to multi-attribute structure.
+//
+// Fig. 7 was produced by "selecting all rules related to keyword Polgar
+// and its successors, recursively": a breadth-first expansion over the
+// implication-rule graph from a seed column. The conclusion proposes
+// grouping rules to approximate rules among more than two attributes;
+// connected components over the rule graph provide that grouping.
+
+#ifndef DMC_RULES_GROUPING_H_
+#define DMC_RULES_GROUPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rules/rule_set.h"
+
+namespace dmc {
+
+/// Rules reachable from `seed`: starts with all rules whose lhs is `seed`,
+/// then recursively adds rules whose lhs is any rhs already reached
+/// (breadth-first; `max_depth` 0 means unlimited). This reproduces the
+/// Fig. 7 extraction.
+ImplicationRuleSet ExpandFromSeed(const ImplicationRuleSet& rules,
+                                  ColumnId seed, uint32_t max_depth = 0);
+
+/// One group of mutually related columns.
+struct ColumnGroup {
+  /// Sorted member column ids.
+  std::vector<ColumnId> columns;
+  /// Indices (into the input rule set) of the rules inside this group.
+  std::vector<size_t> rule_indices;
+};
+
+/// Connected components of the undirected graph whose edges are the rule
+/// pairs. Groups are returned largest first; singleton columns (no rules)
+/// are omitted.
+std::vector<ColumnGroup> GroupByConnectedComponents(
+    const ImplicationRuleSet& rules);
+
+/// Same over similarity pairs.
+std::vector<ColumnGroup> GroupByConnectedComponents(
+    const SimilarityRuleSet& pairs);
+
+}  // namespace dmc
+
+#endif  // DMC_RULES_GROUPING_H_

@@ -1,0 +1,65 @@
+#include "rules/multiattr.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "rules/grouping.h"
+#include "util/bitvector.h"
+
+namespace dmc {
+
+std::vector<MultiAttributeGroup> SummarizeRuleGroups(
+    const BinaryMatrix& matrix, const ImplicationRuleSet& rules,
+    const MultiAttributeOptions& options) {
+  const auto components = GroupByConnectedComponents(rules);
+  std::vector<MultiAttributeGroup> out;
+  out.reserve(components.size());
+
+  for (const ColumnGroup& component : components) {
+    MultiAttributeGroup g;
+    g.columns = component.columns;
+    g.rule_indices = component.rule_indices;
+    for (size_t idx : g.rule_indices) {
+      g.min_rule_confidence = std::min(
+          g.min_rule_confidence, rules.rules()[idx].confidence());
+    }
+
+    if (g.columns.size() > options.max_exact_group) {
+      g.joint_support = 0;
+      g.cohesion = -1.0;
+      out.push_back(std::move(g));
+      continue;
+    }
+
+    // Exact joint support: intersect member bitmaps, sparsest first so
+    // the running intersection shrinks quickly.
+    std::vector<ColumnId> by_ones = g.columns;
+    std::sort(by_ones.begin(), by_ones.end(),
+              [&matrix](ColumnId a, ColumnId b) {
+                return matrix.column_ones()[a] < matrix.column_ones()[b];
+              });
+    BitVector joint = matrix.ColumnBitmap(by_ones.front());
+    for (size_t i = 1; i < by_ones.size() && joint.Count() > 0; ++i) {
+      const BitVector other = matrix.ColumnBitmap(by_ones[i]);
+      // joint &= other, via AND-count-preserving rebuild.
+      BitVector next(joint.size());
+      for (uint32_t r : joint.ToIndices()) {
+        if (other.Test(r)) next.Set(r);
+      }
+      joint = std::move(next);
+    }
+    g.joint_support = static_cast<uint32_t>(joint.Count());
+    const uint32_t sparsest = matrix.column_ones()[by_ones.front()];
+    g.cohesion =
+        sparsest == 0 ? 0.0 : double(g.joint_support) / double(sparsest);
+    out.push_back(std::move(g));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const MultiAttributeGroup& a, const MultiAttributeGroup& b) {
+              return a.columns.size() > b.columns.size();
+            });
+  return out;
+}
+
+}  // namespace dmc

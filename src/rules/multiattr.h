@@ -1,0 +1,52 @@
+// Multi-attribute structure from pair rules — the paper's first future-
+// work item: "by grouping similarity and implication rules as showed in
+// Sec. 6.3, we can get useful groups of rules among more than two
+// attributes."
+//
+// Groups are the connected components of the rule graph; this module
+// upgrades them to quantified multi-attribute summaries by computing the
+// EXACT joint support of each group (rows where every member is 1) and
+// the weakest pairwise link inside it, via column bitmaps.
+
+#ifndef DMC_RULES_MULTIATTR_H_
+#define DMC_RULES_MULTIATTR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/binary_matrix.h"
+#include "rules/rule_set.h"
+
+namespace dmc {
+
+struct MultiAttributeGroup {
+  /// Sorted member columns.
+  std::vector<ColumnId> columns;
+  /// Pair rules inside the group (indices into the input rule set).
+  std::vector<size_t> rule_indices;
+  /// Exact |S_{c1} ∩ ... ∩ S_{ck}| — rows carrying the whole group.
+  uint32_t joint_support = 0;
+  /// The weakest pairwise confidence among the group's rules.
+  double min_rule_confidence = 1.0;
+  /// Joint support / smallest member support: how close the group is to
+  /// a true multi-attribute implication (1.0 = the sparsest member
+  /// implies the whole group).
+  double cohesion = 0.0;
+};
+
+struct MultiAttributeOptions {
+  /// Groups larger than this are summarized without the (expensive)
+  /// joint-support intersection; their joint_support is 0 and cohesion
+  /// is -1 to mark the skip.
+  size_t max_exact_group = 32;
+};
+
+/// Builds quantified group summaries from the mined pair rules, ordered
+/// by descending group size.
+std::vector<MultiAttributeGroup> SummarizeRuleGroups(
+    const BinaryMatrix& matrix, const ImplicationRuleSet& rules,
+    const MultiAttributeOptions& options = {});
+
+}  // namespace dmc
+
+#endif  // DMC_RULES_MULTIATTR_H_

@@ -1,0 +1,22 @@
+#include "rules/rule.h"
+
+#include <cstdio>
+
+namespace dmc {
+
+std::string ImplicationRule::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "c%u => c%u (conf=%.4f, ones=%u, miss=%u)",
+                lhs, rhs, confidence(), lhs_ones, misses);
+  return buf;
+}
+
+std::string SimilarityPair::ToString() const {
+  char buf[112];
+  std::snprintf(buf, sizeof(buf),
+                "c%u ~ c%u (sim=%.4f, |a|=%u, |b|=%u, inter=%u)", a, b,
+                similarity(), ones_a, ones_b, intersection);
+  return buf;
+}
+
+}  // namespace dmc

@@ -1,0 +1,88 @@
+// Rule value types.
+//
+// Both rule kinds carry the exact counts they were derived from, not just
+// the ratio, so confidence/similarity are reproducible and verifiable.
+
+#ifndef DMC_RULES_RULE_H_
+#define DMC_RULES_RULE_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "matrix/binary_matrix.h"
+
+namespace dmc {
+
+/// An implication rule lhs => rhs with confidence
+/// |S_lhs intersect S_rhs| / |S_lhs| (§2). Stored as the antecedent's
+/// 1-count plus the number of misses (rows where lhs=1 but rhs=0), which
+/// is what DMC actually counts.
+struct ImplicationRule {
+  ColumnId lhs = 0;
+  ColumnId rhs = 0;
+  /// ones(lhs) = |S_lhs|.
+  uint32_t lhs_ones = 0;
+  /// Rows where lhs is 1 and rhs is 0; confidence = 1 - misses/lhs_ones.
+  uint32_t misses = 0;
+
+  double confidence() const {
+    return lhs_ones == 0
+               ? 0.0
+               : double(lhs_ones - misses) / double(lhs_ones);
+  }
+
+  /// |S_lhs intersect S_rhs|.
+  uint32_t hits() const { return lhs_ones - misses; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const ImplicationRule& a, const ImplicationRule& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs && a.lhs_ones == b.lhs_ones &&
+           a.misses == b.misses;
+  }
+  friend bool operator<(const ImplicationRule& a, const ImplicationRule& b) {
+    return std::tie(a.lhs, a.rhs) < std::tie(b.lhs, b.rhs);
+  }
+};
+
+/// A similarity pair a ~ b with similarity
+/// |S_a intersect S_b| / |S_a union S_b| (Jaccard, §2). Canonical form has
+/// (ones_a, a) <= (ones_b, b) in the paper's ordering: the sparser column
+/// first, ties broken by id.
+struct SimilarityPair {
+  ColumnId a = 0;
+  ColumnId b = 0;
+  uint32_t ones_a = 0;
+  uint32_t ones_b = 0;
+  /// |S_a intersect S_b|.
+  uint32_t intersection = 0;
+
+  double similarity() const {
+    const uint64_t uni =
+        uint64_t{ones_a} + uint64_t{ones_b} - uint64_t{intersection};
+    return uni == 0 ? 0.0 : double(intersection) / double(uni);
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const SimilarityPair& x, const SimilarityPair& y) {
+    return x.a == y.a && x.b == y.b && x.ones_a == y.ones_a &&
+           x.ones_b == y.ones_b && x.intersection == y.intersection;
+  }
+  friend bool operator<(const SimilarityPair& x, const SimilarityPair& y) {
+    return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+  }
+};
+
+/// True iff the paper's candidate-ordering predicate holds: rules are only
+/// considered from the sparser column to the denser one —
+/// ones(i) < ones(j), ties broken by i < j (§2).
+inline bool SparserFirst(uint32_t ones_i, ColumnId i, uint32_t ones_j,
+                         ColumnId j) {
+  return ones_i < ones_j || (ones_i == ones_j && i < j);
+}
+
+}  // namespace dmc
+
+#endif  // DMC_RULES_RULE_H_

@@ -1,0 +1,88 @@
+// Containers for mined rules with the operations tests and benches need:
+// canonical sorting, equality as sets, filtering, and text output.
+
+#ifndef DMC_RULES_RULE_SET_H_
+#define DMC_RULES_RULE_SET_H_
+
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace dmc {
+
+/// A set of implication rules. Thin wrapper over a vector; Canonicalize()
+/// establishes the sorted/deduplicated form used for comparisons.
+class ImplicationRuleSet {
+ public:
+  ImplicationRuleSet() = default;
+  explicit ImplicationRuleSet(std::vector<ImplicationRule> rules)
+      : rules_(std::move(rules)) {}
+
+  void Add(const ImplicationRule& rule) { rules_.push_back(rule); }
+
+  size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+  const std::vector<ImplicationRule>& rules() const { return rules_; }
+  std::vector<ImplicationRule>& mutable_rules() { return rules_; }
+
+  auto begin() const { return rules_.begin(); }
+  auto end() const { return rules_.end(); }
+
+  /// Sorts by (lhs, rhs) and removes duplicates.
+  void Canonicalize();
+
+  /// (lhs, rhs) pairs in canonical order — the comparison key used by the
+  /// exactness tests (counts are checked separately by the verifier).
+  std::vector<std::pair<ColumnId, ColumnId>> Pairs() const;
+
+  /// Rules with confidence >= min_confidence.
+  ImplicationRuleSet FilterByConfidence(double min_confidence) const;
+
+  /// Sorted copy, highest confidence first (ties by ids).
+  ImplicationRuleSet SortedByConfidence() const;
+
+  void Print(std::ostream& os, size_t limit = 0) const;
+
+ private:
+  std::vector<ImplicationRule> rules_;
+};
+
+/// A set of similarity pairs, same design as ImplicationRuleSet.
+class SimilarityRuleSet {
+ public:
+  SimilarityRuleSet() = default;
+  explicit SimilarityRuleSet(std::vector<SimilarityPair> pairs)
+      : pairs_(std::move(pairs)) {}
+
+  void Add(const SimilarityPair& pair) { pairs_.push_back(pair); }
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+  const std::vector<SimilarityPair>& pairs() const { return pairs_; }
+  std::vector<SimilarityPair>& mutable_pairs() { return pairs_; }
+
+  auto begin() const { return pairs_.begin(); }
+  auto end() const { return pairs_.end(); }
+
+  /// Puts every pair in canonical orientation (sparser column first, ties
+  /// by id), sorts by (a, b), and removes duplicates.
+  void Canonicalize();
+
+  /// (a, b) pairs in canonical order.
+  std::vector<std::pair<ColumnId, ColumnId>> Pairs() const;
+
+  SimilarityRuleSet FilterBySimilarity(double min_similarity) const;
+
+  SimilarityRuleSet SortedBySimilarity() const;
+
+  void Print(std::ostream& os, size_t limit = 0) const;
+
+ private:
+  std::vector<SimilarityPair> pairs_;
+};
+
+}  // namespace dmc
+
+#endif  // DMC_RULES_RULE_SET_H_

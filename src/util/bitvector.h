@@ -1,0 +1,72 @@
+// Fixed-size bit vector with the kernels DMC-bitmap needs:
+// popcount, AND, AND-NOT popcount, and equality hashing.
+
+#ifndef DMC_UTIL_BITVECTOR_H_
+#define DMC_UTIL_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dmc {
+
+/// Densely packed bit vector of a fixed logical size. Bits beyond size()
+/// in the last word are kept zero (class invariant), so whole-word
+/// popcounts are exact.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// All bits start cleared.
+  explicit BitVector(size_t num_bits);
+
+  BitVector(const BitVector&) = default;
+  BitVector& operator=(const BitVector&) = default;
+  BitVector(BitVector&&) = default;
+  BitVector& operator=(BitVector&&) = default;
+
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Test(size_t i) const;
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// popcount(*this & other). Sizes must match.
+  size_t AndCount(const BitVector& other) const;
+
+  /// popcount(*this & ~other) — the DMC-bitmap "miss count" kernel
+  /// (rows where this column is 1 and the other is 0). Sizes must match.
+  size_t AndNotCount(const BitVector& other) const;
+
+  /// In-place OR. Sizes must match.
+  void OrWith(const BitVector& other);
+
+  /// Resets all bits to 0.
+  void Reset();
+
+  /// Heap bytes used by the word storage.
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// 64-bit content hash (used to bucket identical columns in DMC-sim's
+  /// 100%-similarity phase).
+  uint64_t Hash() const;
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+  /// Indices of all set bits, ascending.
+  std::vector<uint32_t> ToIndices() const;
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace dmc
+
+#endif  // DMC_UTIL_BITVECTOR_H_

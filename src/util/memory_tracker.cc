@@ -1,0 +1,4 @@
+#include "util/memory_tracker.h"
+
+// MemoryTracker is header-only today; this translation unit exists so the
+// header keeps a stable home if out-of-line methods are added later.

@@ -1,0 +1,102 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dmc {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // All-zero state is invalid for xoshiro; SplitMix64 of any seed cannot
+  // produce four zeros, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  DMC_CHECK_GT(bound, 0u);
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DMC_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Gaussian() {
+  // Box-Muller; avoid log(0) by nudging u1 away from zero.
+  double u1 = UniformDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+uint64_t Rng::Geometric(double p) {
+  DMC_CHECK_GT(p, 0.0);
+  if (p >= 1.0) return 0;
+  double u = UniformDouble();
+  if (u < 1e-300) u = 1e-300;
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+uint64_t Rng::Poisson(double mean) {
+  DMC_CHECK_GE(mean, 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double prod = UniformDouble();
+    while (prod > limit) {
+      ++k;
+      prod *= UniformDouble();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double v = mean + std::sqrt(mean) * Gaussian() + 0.5;
+  return v <= 0.0 ? 0 : static_cast<uint64_t>(v);
+}
+
+}  // namespace dmc

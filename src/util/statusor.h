@@ -1,0 +1,72 @@
+// StatusOr<T>: a Status or a value of type T.
+
+#ifndef DMC_UTIL_STATUSOR_H_
+#define DMC_UTIL_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace dmc {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of a non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK (an OK status with no
+  /// value is meaningless); enforced with a CHECK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    DMC_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DMC_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    DMC_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    DMC_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr), propagating the error to the caller, and
+/// otherwise assigns the value to `lhs`.
+#define DMC_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  auto DMC_CONCAT_(_dmc_sor_, __LINE__) = (rexpr);       \
+  if (!DMC_CONCAT_(_dmc_sor_, __LINE__).ok())            \
+    return DMC_CONCAT_(_dmc_sor_, __LINE__).status();    \
+  lhs = std::move(DMC_CONCAT_(_dmc_sor_, __LINE__)).value()
+
+#define DMC_CONCAT_INNER_(a, b) a##b
+#define DMC_CONCAT_(a, b) DMC_CONCAT_INNER_(a, b)
+
+}  // namespace dmc
+
+#endif  // DMC_UTIL_STATUSOR_H_

@@ -1,0 +1,68 @@
+#include "baselines/bruteforce.h"
+
+#include <gtest/gtest.h>
+
+#include "rules/verifier.h"
+
+namespace dmc {
+namespace {
+
+BinaryMatrix Sample() {
+  // c0: rows 0,1 (2); c1: rows 0,1,2 (3); c2: rows 0,3 (2).
+  return BinaryMatrix::FromRows(3, {{0, 1, 2}, {0, 1}, {1}, {2}});
+}
+
+TEST(BruteForceTest, ImplicationsAtHalf) {
+  const auto rules = BruteForceImplications(Sample(), 0.5);
+  // Candidates (sparser => denser): c0=>c1 conf 1.0; c0=>c2 conf 0.5
+  // (ones equal, id order); c2=>c1 conf 0.5.
+  const auto pairs = rules.Pairs();
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], std::make_pair(ColumnId{0}, ColumnId{1}));
+  EXPECT_EQ(pairs[1], std::make_pair(ColumnId{0}, ColumnId{2}));
+  EXPECT_EQ(pairs[2], std::make_pair(ColumnId{2}, ColumnId{1}));
+}
+
+TEST(BruteForceTest, ImplicationsAtFull) {
+  const auto rules = BruteForceImplications(Sample(), 1.0);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules.rules()[0].lhs, 0u);
+  EXPECT_EQ(rules.rules()[0].rhs, 1u);
+  EXPECT_EQ(rules.rules()[0].misses, 0u);
+}
+
+TEST(BruteForceTest, RespectsSparserFirstOrdering) {
+  // Never emits denser => sparser.
+  const auto rules = BruteForceImplications(Sample(), 0.01);
+  for (const auto& r : rules) {
+    const RuleVerifier v(Sample());
+    EXPECT_TRUE(SparserFirst(v.ones(r.lhs), r.lhs, v.ones(r.rhs), r.rhs))
+        << r.ToString();
+  }
+}
+
+TEST(BruteForceTest, SimilaritiesExactCounts) {
+  const auto pairs = BruteForceSimilarities(Sample(), 0.5);
+  // (0,1): 2/3; (0,2): 1/3; (1,2): 1/4. Only (0,1) >= 0.5.
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs.pairs()[0].a, 0u);
+  EXPECT_EQ(pairs.pairs()[0].b, 1u);
+  EXPECT_EQ(pairs.pairs()[0].intersection, 2u);
+}
+
+TEST(BruteForceTest, CountsVerifiedAgainstBitmaps) {
+  const BinaryMatrix m = Sample();
+  const RuleVerifier v(m);
+  EXPECT_TRUE(
+      v.VerifyImplications(BruteForceImplications(m, 0.3), 0.3).ok());
+  EXPECT_TRUE(
+      v.VerifySimilarities(BruteForceSimilarities(m, 0.2), 0.2).ok());
+}
+
+TEST(BruteForceTest, EmptyMatrix) {
+  EXPECT_TRUE(BruteForceImplications(BinaryMatrix(), 0.5).empty());
+  EXPECT_TRUE(BruteForceSimilarities(BinaryMatrix(), 0.5).empty());
+}
+
+}  // namespace
+}  // namespace dmc

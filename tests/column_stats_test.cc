@@ -1,0 +1,78 @@
+#include "matrix/column_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace dmc {
+namespace {
+
+BinaryMatrix Sample() {
+  // ones per column: c0=3, c1=1, c2=1, c3=2, c4=0.
+  return BinaryMatrix::FromRows(5, {{0, 1}, {0, 3}, {0, 2, 3}});
+}
+
+TEST(ColumnStatsTest, DensityHistogram) {
+  const auto hist = ComputeColumnDensityHistogram(Sample());
+  // densities: 0 -> 1 column, 1 -> 2 columns, 2 -> 1, 3 -> 1.
+  ASSERT_EQ(hist.entries.size(), 4u);
+  EXPECT_EQ(hist.entries[0].ones, 0u);
+  EXPECT_EQ(hist.entries[0].columns, 1u);
+  EXPECT_EQ(hist.entries[1].ones, 1u);
+  EXPECT_EQ(hist.entries[1].columns, 2u);
+  EXPECT_EQ(hist.entries[2].ones, 2u);
+  EXPECT_EQ(hist.entries[2].columns, 1u);
+  EXPECT_EQ(hist.entries[3].ones, 3u);
+  EXPECT_EQ(hist.entries[3].columns, 1u);
+}
+
+TEST(ColumnStatsTest, ColumnsWithAtLeast) {
+  const auto hist = ComputeColumnDensityHistogram(Sample());
+  EXPECT_EQ(hist.ColumnsWithAtLeast(0), 5u);
+  EXPECT_EQ(hist.ColumnsWithAtLeast(1), 4u);
+  EXPECT_EQ(hist.ColumnsWithAtLeast(2), 2u);
+  EXPECT_EQ(hist.ColumnsWithAtLeast(4), 0u);
+}
+
+TEST(ColumnStatsTest, Summarize) {
+  const MatrixSummary s = Summarize(Sample());
+  EXPECT_EQ(s.rows, 3u);
+  EXPECT_EQ(s.columns, 5u);
+  EXPECT_EQ(s.ones, 7u);
+  EXPECT_EQ(s.max_row_density, 3u);
+  EXPECT_EQ(s.max_column_ones, 3u);
+  EXPECT_DOUBLE_EQ(s.mean_row_density, 7.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_column_ones, 7.0 / 5.0);
+}
+
+TEST(ColumnStatsTest, SupportPruneKeepsWindow) {
+  const PrunedMatrix p = SupportPruneColumns(Sample(), 2);
+  // Columns with >= 2 ones: c0 (3), c3 (2).
+  ASSERT_EQ(p.original_column.size(), 2u);
+  EXPECT_EQ(p.original_column[0], 0u);
+  EXPECT_EQ(p.original_column[1], 3u);
+  EXPECT_EQ(p.matrix.num_columns(), 2u);
+  EXPECT_EQ(p.matrix.num_rows(), 3u);
+  // Row 2 was {0,2,3} -> {new0, new1}.
+  EXPECT_EQ(p.matrix.RowSize(2), 2u);
+  // ones preserved under renaming.
+  EXPECT_EQ(p.matrix.column_ones()[0], 3u);
+  EXPECT_EQ(p.matrix.column_ones()[1], 2u);
+}
+
+TEST(ColumnStatsTest, SupportPruneMaxWindow) {
+  const PrunedMatrix p = SupportPruneColumns(Sample(), 1, 2);
+  // Columns with ones in [1,2]: c1, c2, c3.
+  ASSERT_EQ(p.original_column.size(), 3u);
+  EXPECT_EQ(p.original_column[0], 1u);
+  EXPECT_EQ(p.original_column[1], 2u);
+  EXPECT_EQ(p.original_column[2], 3u);
+}
+
+TEST(ColumnStatsTest, SupportPruneAllRemoved) {
+  const PrunedMatrix p = SupportPruneColumns(Sample(), 10);
+  EXPECT_EQ(p.matrix.num_columns(), 0u);
+  EXPECT_EQ(p.matrix.num_rows(), 3u);
+  EXPECT_EQ(p.matrix.num_ones(), 0u);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "datagen/dictionary_gen.h"
+#include "datagen/linkgraph_gen.h"
+#include "datagen/news_gen.h"
+#include "datagen/planted_gen.h"
+#include "datagen/quest_gen.h"
+#include "datagen/weblog_gen.h"
+#include "matrix/column_stats.h"
+#include "rules/verifier.h"
+
+namespace dmc {
+namespace {
+
+// Small option presets keep the suite fast.
+WebLogOptions SmallWebLog() {
+  WebLogOptions o;
+  o.num_clients = 800;
+  o.num_urls = 300;
+  o.num_sections = 10;
+  o.num_crawlers = 2;
+  return o;
+}
+
+TEST(WebLogGenTest, ShapeAndDeterminism) {
+  const WebLogOptions o = SmallWebLog();
+  const BinaryMatrix a = GenerateWebLog(o);
+  const BinaryMatrix b = GenerateWebLog(o);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.num_rows(), o.num_clients);
+  EXPECT_EQ(a.num_columns(), o.num_urls);
+  EXPECT_GT(a.num_ones(), 0u);
+}
+
+TEST(WebLogGenTest, CrawlersAreDenseRows) {
+  const WebLogOptions o = SmallWebLog();
+  const BinaryMatrix m = GenerateWebLog(o);
+  // Exactly num_crawlers rows cover more than half of all URLs; they are
+  // shuffled into arbitrary positions.
+  size_t dense_rows = 0;
+  for (RowId r = 0; r < m.num_rows(); ++r) {
+    dense_rows += m.RowSize(r) > size_t(o.num_urls / 2);
+  }
+  EXPECT_EQ(dense_rows, o.num_crawlers);
+}
+
+TEST(WebLogGenTest, HeavyTailedColumnDensity) {
+  const BinaryMatrix m = GenerateWebLog(SmallWebLog());
+  const auto hist = ComputeColumnDensityHistogram(m);
+  const auto summary = Summarize(m);
+  // Most columns are far below the max (Fig. 4 shape).
+  const uint64_t above_half =
+      hist.ColumnsWithAtLeast(summary.max_column_ones / 2);
+  EXPECT_LT(above_half, m.num_columns() / 4);
+}
+
+TEST(WebLogGenTest, ProducesPageToIndexRules) {
+  WebLogOptions o = SmallWebLog();
+  o.num_crawlers = 0;
+  const BinaryMatrix m = GenerateWebLog(o);
+  ImplicationMiningOptions mine;
+  mine.min_confidence = 0.9;
+  auto rules = MineImplications(m, mine);
+  ASSERT_TRUE(rules.ok());
+  // Expect at least one rule pointing at a section index (columns
+  // 0..num_sections-1).
+  bool to_index = false;
+  for (const auto& r : *rules) to_index |= r.rhs < o.num_sections;
+  EXPECT_TRUE(to_index);
+}
+
+TEST(LinkGraphGenTest, ShapeAndDeterminism) {
+  LinkGraphOptions o;
+  o.num_pages = 600;
+  const BinaryMatrix a = GenerateLinkGraph(o);
+  const BinaryMatrix b = GenerateLinkGraph(o);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.num_rows(), o.num_pages);
+  EXPECT_EQ(a.num_columns(), o.num_pages);
+}
+
+TEST(LinkGraphGenTest, MirrorsYieldSimilarColumnsInTranspose) {
+  LinkGraphOptions o;
+  o.num_pages = 800;
+  o.mirror_fraction = 0.05;
+  const BinaryMatrix forward = GenerateLinkGraph(o);
+  // plinkT: columns = source pages, i.e. out-link profiles.
+  const BinaryMatrix plink_t = forward.Transposed();
+  SimilarityMiningOptions mine;
+  mine.min_similarity = 0.8;
+  auto pairs = MineSimilarities(plink_t, mine);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_GT(pairs->size(), 0u);
+}
+
+TEST(LinkGraphGenTest, PreferentialAttachmentCreatesHubs) {
+  LinkGraphOptions o;
+  o.num_pages = 1000;
+  const BinaryMatrix m = GenerateLinkGraph(o);
+  const auto summary = Summarize(m);
+  // Hubs: max in-degree far above the mean.
+  EXPECT_GT(summary.max_column_ones, 10 * summary.mean_column_ones);
+}
+
+NewsOptions SmallNews() {
+  NewsOptions o;
+  o.num_docs = 3000;
+  o.num_topics = 8;
+  o.background_vocab = 1500;
+  return o;
+}
+
+TEST(NewsGenTest, ShapeAndNames) {
+  const NewsData d = GenerateNews(SmallNews());
+  EXPECT_EQ(d.matrix.num_rows(), 3000u);
+  EXPECT_EQ(d.words.size(), d.matrix.num_columns());
+  EXPECT_EQ(d.words[d.entity_columns[0][0]], "polgar");
+  EXPECT_EQ(d.words[d.theme_columns[0][0]], "chess");
+}
+
+TEST(NewsGenTest, EntitiesAreLowSupport) {
+  const NewsData d = GenerateNews(SmallNews());
+  const auto& ones = d.matrix.column_ones();
+  // Entities appear in at most entity_prob of their topic's docs.
+  for (const auto& topic : d.entity_columns) {
+    for (ColumnId e : topic) {
+      EXPECT_LT(ones[e], d.matrix.num_rows() / 20);
+    }
+  }
+}
+
+TEST(NewsGenTest, EntityImpliesThemeWithHighConfidence) {
+  const NewsData d = GenerateNews(SmallNews());
+  const RuleVerifier v(d.matrix);
+  // Average entity->theme confidence across topic 0 should be near the
+  // configured 0.95.
+  double total = 0.0;
+  int count = 0;
+  for (ColumnId e : d.entity_columns[0]) {
+    for (ColumnId w : d.theme_columns[0]) {
+      total += v.Confidence(e, w);
+      ++count;
+    }
+  }
+  EXPECT_GT(total / count, 0.85);
+}
+
+TEST(DictionaryGenTest, SynonymsAreSimilar) {
+  DictionaryOptions o;
+  o.num_head_words = 600;
+  o.num_definition_words = 500;
+  o.num_synonym_groups = 30;
+  const DictionaryData d = GenerateDictionary(o);
+  EXPECT_EQ(d.matrix.num_columns(), o.num_head_words);
+  EXPECT_EQ(d.matrix.num_rows(), o.num_definition_words);
+  ASSERT_EQ(d.synonym_groups.size(), 30u);
+  const RuleVerifier v(d.matrix);
+  double total = 0.0;
+  int count = 0;
+  for (const auto& group : d.synonym_groups) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        total += v.Similarity(group[i], group[j]);
+        ++count;
+      }
+    }
+  }
+  // Mean synonym similarity well above random pairs.
+  EXPECT_GT(total / count, 0.6);
+}
+
+TEST(QuestGenTest, ShapeAndDeterminism) {
+  QuestOptions o;
+  o.num_transactions = 500;
+  o.num_items = 100;
+  const BinaryMatrix a = GenerateQuest(o);
+  const BinaryMatrix b = GenerateQuest(o);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.num_rows(), 500u);
+  EXPECT_EQ(a.num_columns(), 100u);
+  const auto summary = Summarize(a);
+  EXPECT_GT(summary.mean_row_density, 1.0);
+}
+
+TEST(PlantedGenTest, CountsAreExact) {
+  PlantedOptions o;
+  o.seed = 101;
+  const PlantedData d = GeneratePlanted(o);
+  const RuleVerifier v(d.matrix);
+  for (const ImplicationRule& r : d.implications) {
+    EXPECT_EQ(v.ones(r.lhs), r.lhs_ones);
+    EXPECT_EQ(v.Intersection(r.lhs, r.rhs), r.hits());
+  }
+  for (const SimilarityPair& p : d.similarities) {
+    EXPECT_EQ(v.ones(p.a), p.ones_a);
+    EXPECT_EQ(v.ones(p.b), p.ones_b);
+    EXPECT_EQ(v.Intersection(p.a, p.b), p.intersection);
+  }
+}
+
+TEST(PlantedGenTest, DifferentSeedsDiffer) {
+  PlantedOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_FALSE(GeneratePlanted(a).matrix == GeneratePlanted(b).matrix);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,87 @@
+#include "baselines/dhp.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/apriori.h"
+#include "baselines/bruteforce.h"
+#include "datagen/quest_gen.h"
+
+namespace dmc {
+namespace {
+
+BinaryMatrix Workload(uint64_t seed) {
+  QuestOptions q;
+  q.num_transactions = 500;
+  q.num_items = 60;
+  q.seed = seed;
+  return GenerateQuest(q);
+}
+
+TEST(DhpTest, WithSupportOneMatchesBruteForce) {
+  const BinaryMatrix m = Workload(11);
+  DhpOptions o;  // min_support = 1
+  for (double conf : {0.5, 0.9}) {
+    auto rules = DhpImplications(m, o, conf);
+    EXPECT_EQ(rules.Pairs(), BruteForceImplications(m, conf).Pairs())
+        << conf;
+  }
+}
+
+TEST(DhpTest, MatchesAprioriUnderPairSupportFloor) {
+  // DHP prunes pairs with support < min_support; filtering a-priori's
+  // result by the same pair-support floor must give the same rules.
+  const BinaryMatrix m = Workload(12);
+  DhpOptions dhp_opts;
+  dhp_opts.min_support = 5;
+  const auto dhp_rules = DhpImplications(m, dhp_opts, 0.6);
+
+  AprioriOptions ap_opts;
+  ap_opts.min_support = 5;
+  auto ap = AprioriImplications(m, ap_opts, 0.6);
+  ASSERT_TRUE(ap.ok());
+  ImplicationRuleSet filtered;
+  for (const auto& r : *ap) {
+    if (r.hits() >= 5) filtered.Add(r);
+  }
+  filtered.Canonicalize();
+  EXPECT_EQ(dhp_rules.Pairs(), filtered.Pairs());
+}
+
+TEST(DhpTest, BucketFilterPrunesCounters) {
+  const BinaryMatrix m = Workload(13);
+  DhpOptions coarse;
+  coarse.min_support = 8;
+  coarse.num_buckets = 1 << 16;
+  DhpStats stats;
+  (void)DhpImplications(m, coarse, 0.6, &stats);
+  // The exact counters must be far fewer than all pairs of frequent
+  // columns.
+  const size_t all_pairs =
+      stats.frequent_columns * (stats.frequent_columns - 1) / 2;
+  EXPECT_LT(stats.exact_counters, all_pairs);
+  EXPECT_GT(stats.exact_counters, 0u);
+}
+
+TEST(DhpTest, TinyBucketCountStillSound) {
+  // With very few buckets almost nothing is pruned, but results must
+  // still be correct (bucket filter only ever over-approximates).
+  const BinaryMatrix m = Workload(14);
+  DhpOptions o;
+  o.min_support = 3;
+  o.num_buckets = 4;
+  const auto rules = DhpImplications(m, o, 0.7);
+
+  AprioriOptions ap_opts;
+  ap_opts.min_support = 3;
+  auto ap = AprioriImplications(m, ap_opts, 0.7);
+  ASSERT_TRUE(ap.ok());
+  ImplicationRuleSet filtered;
+  for (const auto& r : *ap) {
+    if (r.hits() >= 3) filtered.Add(r);
+  }
+  filtered.Canonicalize();
+  EXPECT_EQ(rules.Pairs(), filtered.Pairs());
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,300 @@
+#include "core/dmc_imp.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/bruteforce.h"
+#include "core/engine.h"
+#include "matrix/binary_matrix.h"
+#include "rules/verifier.h"
+
+namespace dmc {
+namespace {
+
+ImplicationMiningOptions PlainOptions(double minconf) {
+  ImplicationMiningOptions o;
+  o.min_confidence = minconf;
+  o.policy.row_order = RowOrderPolicy::kIdentity;
+  o.policy.hundred_percent_phase = false;
+  o.policy.bitmap_fallback = false;
+  return o;
+}
+
+// ---------------------------------------------------------------------
+// Example 1.2 (Fig. 1): the 4x3 matrix of the introduction. At 100%
+// confidence, with the §2 ordering (only sparser => denser), exactly
+// c3 => c2 survives. 0-indexed: columns c1,c2,c3 -> 0,1,2.
+BinaryMatrix Example12Matrix() {
+  return BinaryMatrix::FromRows(3, {{1, 2}, {0, 1, 2}, {0}, {1}});
+}
+
+TEST(DmcImpTest, PaperExample12HundredPercent) {
+  auto rules = MineImplications(Example12Matrix(), PlainOptions(1.0));
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 1u);
+  EXPECT_EQ(rules->rules()[0].lhs, 2u);  // c3
+  EXPECT_EQ(rules->rules()[0].rhs, 1u);  // c2
+  EXPECT_EQ(rules->rules()[0].misses, 0u);
+  EXPECT_DOUBLE_EQ(rules->rules()[0].confidence(), 1.0);
+}
+
+TEST(DmcImpTest, PaperExample12MatchesBruteForce) {
+  const BinaryMatrix m = Example12Matrix();
+  for (double minconf : {0.4, 0.5, 0.85, 1.0}) {
+    auto rules = MineImplications(m, PlainOptions(minconf));
+    ASSERT_TRUE(rules.ok());
+    EXPECT_EQ(rules->Pairs(), BruteForceImplications(m, minconf).Pairs())
+        << "minconf=" << minconf;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Example 3.1 (Fig. 2): rows r1..r4 are given verbatim in the paper's
+// prose; every column has exactly five 1s, minconf = 80% -> one miss
+// allowed. The tail rows below complete the column sums; the candidate
+// history through r5 (1,4,4,7,9) matches the paper's §4.1 trace exactly
+// (it is independent of the tail). The paper's final history element is
+// 2 because Fig. 2 keeps flushed survivor lists on display; this engine
+// releases a list the moment its column completes, so the trace ends 0.
+BinaryMatrix Example31Matrix() {
+  return BinaryMatrix::FromRows(6, {
+                                       {1, 5},           // r1
+                                       {2, 3, 4},        // r2
+                                       {2, 4},           // r3
+                                       {0, 1, 2, 5},     // r4
+                                       {0, 3, 5},        // r5
+                                       {0, 3, 4, 5},     // r6
+                                       {0, 1, 2, 3, 4, 5},  // r7
+                                       {1, 4},           // r8
+                                       {0, 1, 2, 3},     // r9
+                                   });
+}
+
+TEST(DmcImpTest, PaperExample31OnesAndBudgets) {
+  const BinaryMatrix m = Example31Matrix();
+  for (ColumnId c = 0; c < 6; ++c) {
+    EXPECT_EQ(m.column_ones()[c], 5u) << "c" << c + 1;
+    EXPECT_EQ(MaxMissesForConfidence(5, 0.8), 1);
+  }
+}
+
+TEST(DmcImpTest, PaperExample31CandidateHistory) {
+  const BinaryMatrix m = Example31Matrix();
+  ImplicationMiningOptions o = PlainOptions(0.8);
+  o.policy.record_history = true;
+  MiningStats stats;
+  auto rules = MineImplications(m, o, &stats);
+  ASSERT_TRUE(rules.ok());
+  const std::vector<size_t> expected{1, 4, 4, 7, 9, 7, 7, 6, 0};
+  EXPECT_EQ(stats.candidate_history, expected);
+  EXPECT_EQ(stats.peak_candidates, 9u);
+}
+
+TEST(DmcImpTest, PaperExample31MatchesBruteForce) {
+  const BinaryMatrix m = Example31Matrix();
+  auto rules = MineImplications(m, PlainOptions(0.8));
+  ASSERT_TRUE(rules.ok());
+  const auto truth = BruteForceImplications(m, 0.8);
+  EXPECT_EQ(rules->Pairs(), truth.Pairs());
+  const RuleVerifier verifier(m);
+  EXPECT_TRUE(verifier.VerifyImplications(*rules, 0.8).ok());
+}
+
+TEST(DmcImpTest, PaperExample31SparserFirstLowersPeak) {
+  const BinaryMatrix m = Example31Matrix();
+  ImplicationMiningOptions original = PlainOptions(0.8);
+  original.policy.record_history = true;
+  ImplicationMiningOptions sorted_order = original;
+  sorted_order.policy.row_order = RowOrderPolicy::kExactSort;
+
+  MiningStats stats_orig, stats_sorted;
+  auto r1 = MineImplications(m, original, &stats_orig);
+  auto r2 = MineImplications(m, sorted_order, &stats_sorted);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  // §4.1's point: sparsest-first never changes the answer but shrinks
+  // the candidate peak (9 -> 8 on this matrix).
+  EXPECT_EQ(r1->Pairs(), r2->Pairs());
+  EXPECT_LT(stats_sorted.peak_candidates, stats_orig.peak_candidates);
+}
+
+// ---------------------------------------------------------------------
+// Engine behaviour.
+
+TEST(DmcImpTest, RejectsInvalidThreshold) {
+  const BinaryMatrix m = Example12Matrix();
+  EXPECT_FALSE(MineImplications(m, PlainOptions(0.0)).ok());
+  EXPECT_FALSE(MineImplications(m, PlainOptions(1.5)).ok());
+  EXPECT_FALSE(MineImplications(m, PlainOptions(-0.1)).ok());
+}
+
+TEST(DmcImpTest, EmptyMatrix) {
+  const BinaryMatrix m;
+  auto rules = MineImplications(m, PlainOptions(0.9));
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+TEST(DmcImpTest, SingleColumnNoRules) {
+  const BinaryMatrix m = BinaryMatrix::FromRows(1, {{0}, {0}, {}});
+  auto rules = MineImplications(m, PlainOptions(0.5));
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+TEST(DmcImpTest, DuplicateColumnsProduceOneDirectedRule) {
+  // Identical columns: only i<j orientation is reported.
+  const BinaryMatrix m =
+      BinaryMatrix::FromRows(2, {{0, 1}, {0, 1}, {0, 1}});
+  auto rules = MineImplications(m, PlainOptions(1.0));
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 1u);
+  EXPECT_EQ(rules->rules()[0].lhs, 0u);
+  EXPECT_EQ(rules->rules()[0].rhs, 1u);
+}
+
+TEST(DmcImpTest, HundredPhasePlusCutoffLosesNoRules) {
+  const BinaryMatrix m = Example31Matrix();
+  ImplicationMiningOptions plain = PlainOptions(0.8);
+  ImplicationMiningOptions full = PlainOptions(0.8);
+  full.policy.hundred_percent_phase = true;
+  auto r_plain = MineImplications(m, plain);
+  auto r_full = MineImplications(m, full);
+  ASSERT_TRUE(r_plain.ok());
+  ASSERT_TRUE(r_full.ok());
+  EXPECT_EQ(r_plain->Pairs(), r_full->Pairs());
+}
+
+TEST(DmcImpTest, CutoffRemovesColumnsAtNinetyPercent) {
+  // Columns with < 10 ones tolerate no miss at 90%; the cutoff must
+  // remove them from the sub-100% phase without losing rules.
+  MatrixBuilder b(4);
+  // c0 subset of c1: ones(c0)=5 (100% rule only), c2 ~ c3 with one miss.
+  for (int i = 0; i < 5; ++i) b.AddRow({0, 1});
+  for (int i = 0; i < 7; ++i) b.AddRow({1});
+  for (int i = 0; i < 18; ++i) b.AddRow({2, 3});
+  b.AddRow({2});
+  b.AddRow({2});
+  b.AddRow({3, 1});
+  const BinaryMatrix m = b.Build();
+
+  ImplicationMiningOptions o = PlainOptions(0.9);
+  o.policy.hundred_percent_phase = true;
+  MiningStats stats;
+  auto rules = MineImplications(m, o, &stats);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_GT(stats.columns_cut_off, 0u);
+  EXPECT_EQ(rules->Pairs(), BruteForceImplications(m, 0.9).Pairs());
+}
+
+TEST(DmcImpTest, BitmapFallbackProducesSameRules) {
+  const BinaryMatrix m = Example31Matrix();
+  ImplicationMiningOptions with_bitmap = PlainOptions(0.8);
+  with_bitmap.policy.bitmap_fallback = true;
+  with_bitmap.policy.memory_threshold_bytes = 1;  // force the switch
+  with_bitmap.policy.bitmap_max_remaining_rows = 5;
+  MiningStats stats;
+  auto rules = MineImplications(m, with_bitmap, &stats);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(stats.sub_bitmap_triggered);
+  EXPECT_EQ(stats.sub_bitmap_rows, 5u);
+  EXPECT_EQ(rules->Pairs(), BruteForceImplications(m, 0.8).Pairs());
+}
+
+TEST(DmcImpTest, BitmapFallbackWholeMatrix) {
+  const BinaryMatrix m = Example31Matrix();
+  ImplicationMiningOptions o = PlainOptions(0.8);
+  o.policy.bitmap_fallback = true;
+  o.policy.memory_threshold_bytes = 0;   // switch allowed immediately
+  o.policy.bitmap_max_remaining_rows = 100;  // covers all rows
+  auto rules = MineImplications(m, o);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules->Pairs(), BruteForceImplications(m, 0.8).Pairs());
+}
+
+TEST(DmcImpTest, StatsTimeBreakdownIsConsistent) {
+  const BinaryMatrix m = Example31Matrix();
+  ImplicationMiningOptions o = PlainOptions(0.8);
+  o.policy.hundred_percent_phase = true;
+  MiningStats stats;
+  ASSERT_TRUE(MineImplications(m, o, &stats).ok());
+  EXPECT_GE(stats.total_seconds,
+            stats.hundred_seconds() + stats.sub_seconds());
+  EXPECT_GT(stats.peak_counter_bytes, 0u);
+}
+
+TEST(DmcImpTest, RulesCarryExactCounts) {
+  const BinaryMatrix m = Example31Matrix();
+  for (double minconf : {0.6, 0.8, 1.0}) {
+    auto rules = MineImplications(m, PlainOptions(minconf));
+    ASSERT_TRUE(rules.ok());
+    const RuleVerifier verifier(m);
+    EXPECT_TRUE(verifier.VerifyImplications(*rules, minconf).ok())
+        << "minconf=" << minconf << ": "
+        << verifier.VerifyImplications(*rules, minconf).ToString();
+  }
+}
+
+TEST(DmcImpTest, NoCandidatesAddedAfterBudgetExhausted) {
+  // Example 1.3's second point: once cnt(c_i) exceeds maxmis(c_i), no new
+  // candidate is ever added for c_i — a column first co-occurring with it
+  // after that point has already missed too often.
+  // c0: 20 ones, minconf 0.85 -> maxmis = 3. c1 co-occurs with c0 only
+  // from c0's 5th row onwards (4 misses already) -> never a candidate,
+  // and the candidate count must not grow after row 4.
+  MatrixBuilder b(2);
+  for (int i = 0; i < 4; ++i) b.AddRow({0});
+  for (int i = 0; i < 16; ++i) b.AddRow({0, 1});
+  for (int i = 0; i < 10; ++i) b.AddRow({1});
+  const BinaryMatrix m = b.Build();
+
+  ImplicationMiningOptions o = PlainOptions(0.85);
+  o.policy.record_history = true;
+  MiningStats stats;
+  auto rules = MineImplications(m, o, &stats);
+  ASSERT_TRUE(rules.ok());
+  // conf(c0 => c1) = 16/20 = 0.8 < 0.85: correctly absent.
+  EXPECT_TRUE(rules->empty());
+  // After c0's budget is gone (row 4, cnt=4 > maxmis=3), no candidates
+  // ever appear for it.
+  ASSERT_EQ(stats.candidate_history.size(), m.num_rows());
+  for (size_t r = 4; r < stats.candidate_history.size(); ++r) {
+    EXPECT_EQ(stats.candidate_history[r], 0u) << "row " << r;
+  }
+  // Sanity: at 0.8 the rule is present.
+  auto at80 = MineImplications(m, PlainOptions(0.8));
+  ASSERT_TRUE(at80.ok());
+  EXPECT_EQ(at80->size(), 1u);
+}
+
+TEST(DmcImpTest, DeletedCandidateCannotResurrect) {
+  // §3.3's monotonicity argument: once a candidate is deleted its column
+  // can never re-add it, even if they co-occur heavily afterwards.
+  // c0/c1: 3 early misses (budget 2), then 20 joint rows.
+  MatrixBuilder b(2);
+  for (int i = 0; i < 3; ++i) b.AddRow({0});
+  for (int i = 0; i < 20; ++i) b.AddRow({0, 1});
+  for (int i = 0; i < 4; ++i) b.AddRow({1});
+  const BinaryMatrix m = b.Build();
+  // ones(c0)=23 < ones(c1)=24, so the canonical rule is c0 => c1;
+  // minconf=0.9 -> maxmis=2 < the 3 early misses.
+  auto rules = MineImplications(m, PlainOptions(0.9));
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+  EXPECT_EQ(rules->Pairs(), BruteForceImplications(m, 0.9).Pairs());
+}
+
+TEST(DmcImpTest, RowReorderingNeverChangesRules) {
+  const BinaryMatrix m = Example31Matrix();
+  for (auto order : {RowOrderPolicy::kIdentity,
+                     RowOrderPolicy::kDensityBuckets,
+                     RowOrderPolicy::kExactSort}) {
+    ImplicationMiningOptions o = PlainOptions(0.8);
+    o.policy.row_order = order;
+    auto rules = MineImplications(m, o);
+    ASSERT_TRUE(rules.ok());
+    EXPECT_EQ(rules->Pairs(), BruteForceImplications(m, 0.8).Pairs());
+  }
+}
+
+}  // namespace
+}  // namespace dmc

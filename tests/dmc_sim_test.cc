@@ -1,0 +1,199 @@
+#include "core/dmc_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/bruteforce.h"
+#include "core/engine.h"
+#include "matrix/binary_matrix.h"
+#include "rules/verifier.h"
+
+namespace dmc {
+namespace {
+
+SimilarityMiningOptions PlainOptions(double minsim) {
+  SimilarityMiningOptions o;
+  o.min_similarity = minsim;
+  o.policy.row_order = RowOrderPolicy::kIdentity;
+  o.policy.hundred_percent_phase = false;
+  o.policy.bitmap_fallback = false;
+  return o;
+}
+
+// ---------------------------------------------------------------------
+// Example 5.1 (Fig. 5): two columns, ones(c1)=4 and ones(c2)=5.
+// Reconstructed from the prose: before r4, cnt(c1)=1 and cnt(c2)=3 with
+// one hit at r2; r3 has c2 but not c1; r4 has both. Completion: one more
+// joint row and one c1-only row to reach the column sums. True
+// similarity = 3/6 = 0.5 < 0.75, so the pair must NOT be reported, and
+// §5.2's maximum-hits bound already proves that at r4.
+BinaryMatrix Example51Matrix() {
+  return BinaryMatrix::FromRows(2, {
+                                       {1},     // r1
+                                       {0, 1},  // r2
+                                       {1},     // r3
+                                       {0, 1},  // r4
+                                       {0, 1},  // r5
+                                       {0},     // r6
+                                   });
+}
+
+TEST(DmcSimTest, PaperExample51PairRejected) {
+  const BinaryMatrix m = Example51Matrix();
+  EXPECT_EQ(m.column_ones()[0], 4u);
+  EXPECT_EQ(m.column_ones()[1], 5u);
+  auto pairs = MineSimilarities(m, PlainOptions(0.75));
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+}
+
+TEST(DmcSimTest, PaperExample51MaxHitsBound) {
+  // The quantities the example computes by hand: before r4, remaining 1s
+  // are 3 and 2, hits so far 1, so best-possible hits = 3 and
+  // best-possible similarity = 3/(4+5-3) = 0.5.
+  const uint32_t ones_a = 4, ones_b = 5;
+  const uint32_t cnt_a = 1, cnt_b = 3, miss_a = 0;
+  const int64_t rem_a = ones_a - cnt_a;  // 3
+  const int64_t rem_b = ones_b - cnt_b;  // 2
+  const int64_t best_hits = (cnt_a - miss_a) + std::min(rem_a, rem_b);
+  EXPECT_EQ(best_hits, 3);
+  EXPECT_DOUBLE_EQ(double(best_hits) / (ones_a + ones_b - best_hits), 0.5);
+  // And the engine's integer form of the same test:
+  EXPECT_LT(best_hits, MinHitsForSimilarity(ones_a, ones_b, 0.75));
+}
+
+TEST(DmcSimTest, PaperExample51LowerThresholdAccepts) {
+  // At minsim = 0.5 the same pair qualifies (sim = 0.5 exactly).
+  const BinaryMatrix m = Example51Matrix();
+  auto pairs = MineSimilarities(m, PlainOptions(0.5));
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ(pairs->pairs()[0].a, 0u);
+  EXPECT_EQ(pairs->pairs()[0].b, 1u);
+  EXPECT_EQ(pairs->pairs()[0].intersection, 3u);
+  EXPECT_DOUBLE_EQ(pairs->pairs()[0].similarity(), 0.5);
+}
+
+// ---------------------------------------------------------------------
+
+TEST(DmcSimTest, IdenticalColumnsFoundAtHundredPercent) {
+  const BinaryMatrix m = BinaryMatrix::FromRows(
+      4, {{0, 1, 2}, {0, 1}, {0, 1, 3}, {2, 3}});
+  auto pairs = MineSimilarities(m, PlainOptions(1.0));
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ(pairs->pairs()[0].a, 0u);
+  EXPECT_EQ(pairs->pairs()[0].b, 1u);
+  EXPECT_DOUBLE_EQ(pairs->pairs()[0].similarity(), 1.0);
+}
+
+TEST(DmcSimTest, HundredPhasePlusCutoffLosesNoPairs) {
+  const BinaryMatrix m = BinaryMatrix::FromRows(
+      5, {{0, 1, 2, 3}, {0, 1, 2}, {0, 1}, {2, 3, 4}, {2, 3}, {0, 1, 4}});
+  for (double s : {0.5, 0.75, 0.9}) {
+    SimilarityMiningOptions plain = PlainOptions(s);
+    SimilarityMiningOptions full = PlainOptions(s);
+    full.policy.hundred_percent_phase = true;
+    auto a = MineSimilarities(m, plain);
+    auto b = MineSimilarities(m, full);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->Pairs(), b->Pairs()) << "s=" << s;
+    EXPECT_EQ(a->Pairs(), BruteForceSimilarities(m, s).Pairs());
+  }
+}
+
+TEST(DmcSimTest, PruningFlagsNeverChangeOutput) {
+  const BinaryMatrix m = BinaryMatrix::FromRows(
+      6,
+      {{0, 1, 2, 3, 4}, {0, 1, 2}, {0, 1, 5}, {2, 3, 4, 5}, {2, 3}, {0, 4, 5},
+       {1, 2, 3}, {0, 1, 2, 3, 4, 5}});
+  for (double s : {0.4, 0.6, 0.8}) {
+    const auto truth = BruteForceSimilarities(m, s).Pairs();
+    for (bool density : {false, true}) {
+      for (bool maxhits : {false, true}) {
+        SimilarityMiningOptions o = PlainOptions(s);
+        o.policy.column_density_pruning = density;
+        o.policy.max_hits_pruning = maxhits;
+        auto pairs = MineSimilarities(m, o);
+        ASSERT_TRUE(pairs.ok());
+        EXPECT_EQ(pairs->Pairs(), truth)
+            << "s=" << s << " density=" << density
+            << " maxhits=" << maxhits;
+      }
+    }
+  }
+}
+
+TEST(DmcSimTest, MaxHitsPruningShrinksPeak) {
+  // Example 5.1's matrix: with pruning the candidate dies at r4; without
+  // it, it lives until c1 completes.
+  const BinaryMatrix m = Example51Matrix();
+  SimilarityMiningOptions with = PlainOptions(0.75);
+  SimilarityMiningOptions without = PlainOptions(0.75);
+  without.policy.max_hits_pruning = false;
+  MiningStats s_with, s_without;
+  ASSERT_TRUE(MineSimilarities(m, with, &s_with).ok());
+  ASSERT_TRUE(MineSimilarities(m, without, &s_without).ok());
+  EXPECT_LE(s_with.peak_candidates, s_without.peak_candidates);
+}
+
+TEST(DmcSimTest, BitmapFallbackProducesSamePairs) {
+  const BinaryMatrix m = BinaryMatrix::FromRows(
+      5, {{0, 1, 2, 3}, {0, 1, 2}, {0, 1}, {2, 3, 4}, {2, 3}, {0, 1, 4},
+          {1, 2}, {3, 4, 0}});
+  for (double s : {0.4, 0.7}) {
+    SimilarityMiningOptions o = PlainOptions(s);
+    o.policy.bitmap_fallback = true;
+    o.policy.memory_threshold_bytes = 1;
+    o.policy.bitmap_max_remaining_rows = 4;
+    MiningStats stats;
+    auto pairs = MineSimilarities(m, o, &stats);
+    ASSERT_TRUE(pairs.ok());
+    EXPECT_TRUE(stats.sub_bitmap_triggered);
+    EXPECT_EQ(pairs->Pairs(), BruteForceSimilarities(m, s).Pairs())
+        << "s=" << s;
+  }
+}
+
+TEST(DmcSimTest, RejectsInvalidThreshold) {
+  const BinaryMatrix m = Example51Matrix();
+  EXPECT_FALSE(MineSimilarities(m, PlainOptions(0.0)).ok());
+  EXPECT_FALSE(MineSimilarities(m, PlainOptions(1.0001)).ok());
+}
+
+TEST(DmcSimTest, EmptyMatrix) {
+  auto pairs = MineSimilarities(BinaryMatrix(), PlainOptions(0.9));
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+}
+
+TEST(DmcSimTest, PairsCarryExactCounts) {
+  const BinaryMatrix m = BinaryMatrix::FromRows(
+      5, {{0, 1, 2}, {0, 1}, {0, 1, 3}, {2, 3, 4}, {2, 3}, {0, 4}});
+  for (double s : {0.3, 0.5, 0.8, 1.0}) {
+    auto pairs = MineSimilarities(m, PlainOptions(s));
+    ASSERT_TRUE(pairs.ok());
+    const RuleVerifier verifier(m);
+    EXPECT_TRUE(verifier.VerifySimilarities(*pairs, s).ok()) << "s=" << s;
+  }
+}
+
+TEST(DmcSimTest, ColumnDensityPruningIsSound) {
+  // c0 strictly contained in c1, ratio 2/6 < 0.5: must never qualify at
+  // s = 0.5 even though every c0-row hits.
+  MatrixBuilder b(2);
+  b.AddRow({0, 1});
+  b.AddRow({0, 1});
+  for (int i = 0; i < 4; ++i) b.AddRow({1});
+  const BinaryMatrix m = b.Build();
+  auto pairs = MineSimilarities(m, PlainOptions(0.5));
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+  // At the exact ratio the pair qualifies: sim = 2/6 = 1/3.
+  auto low = MineSimilarities(m, PlainOptions(1.0 / 3.0));
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(low->size(), 1u);
+}
+
+}  // namespace
+}  // namespace dmc

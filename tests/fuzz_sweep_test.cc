@@ -1,0 +1,145 @@
+// Randomized differential sweep: many small random matrices with random
+// shapes/densities/thresholds, each checked across engines —
+// batch / streaming / parallel DMC against the brute-force oracle.
+// Complements property_test.cc's curated cases with breadth.
+
+#include <gtest/gtest.h>
+
+#include "baselines/bruteforce.h"
+#include "core/engine.h"
+#include "core/streaming_imp.h"
+#include "core/streaming_sim.h"
+#include "matrix/row_order.h"
+#include "util/random.h"
+
+namespace dmc {
+namespace {
+
+BinaryMatrix RandomMatrix(Rng& rng) {
+  const uint32_t rows = 5 + static_cast<uint32_t>(rng.Uniform(120));
+  const uint32_t cols = 2 + static_cast<uint32_t>(rng.Uniform(24));
+  const double density = 0.03 + rng.UniformDouble() * 0.45;
+  MatrixBuilder b(cols);
+  std::vector<ColumnId> row;
+  for (uint32_t r = 0; r < rows; ++r) {
+    row.clear();
+    for (ColumnId c = 0; c < cols; ++c) {
+      if (rng.Bernoulli(density)) row.push_back(c);
+    }
+    b.AddRow(row);
+  }
+  return b.Build();
+}
+
+double RandomThreshold(Rng& rng) {
+  // Mix exact rational thresholds with arbitrary ones.
+  switch (rng.Uniform(4)) {
+    case 0:
+      return (1 + rng.Uniform(20)) / 20.0;  // 0.05 .. 1.00
+    case 1:
+      return 1.0;
+    case 2:
+      return 0.5 + rng.UniformDouble() * 0.5;
+    default:
+      return 0.05 + rng.UniformDouble() * 0.95;
+  }
+}
+
+DmcPolicy RandomPolicy(Rng& rng) {
+  DmcPolicy p;
+  p.row_order = static_cast<RowOrderPolicy>(rng.Uniform(3));
+  p.hundred_percent_phase = rng.Bernoulli(0.5);
+  p.bitmap_fallback = rng.Bernoulli(0.5);
+  p.memory_threshold_bytes = rng.Uniform(2048);
+  p.bitmap_max_remaining_rows = rng.Uniform(80);
+  p.column_density_pruning = rng.Bernoulli(0.5);
+  p.max_hits_pruning = rng.Bernoulli(0.5);
+  return p;
+}
+
+TEST(FuzzSweepTest, ImplicationsAcrossEnginesMatchOracle) {
+  Rng rng(0xF122);
+  for (int trial = 0; trial < 120; ++trial) {
+    const BinaryMatrix m = RandomMatrix(rng);
+    ImplicationMiningOptions o;
+    o.min_confidence = RandomThreshold(rng);
+    o.policy = RandomPolicy(rng);
+    const auto truth = BruteForceImplications(m, o.min_confidence).Pairs();
+
+    auto batch = MineImplications(m, o);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(batch->Pairs(), truth) << "trial " << trial;
+
+    const auto order = SortedByDensityOrder(m);
+    auto streamed = StreamImplications(
+        m.num_columns(), m.column_ones(), m.num_rows(), o,
+        [&](auto&& sink) {
+          for (RowId r : order) sink(m.Row(r));
+        });
+    ASSERT_TRUE(streamed.ok());
+    ASSERT_EQ(streamed->Pairs(), truth) << "trial " << trial;
+
+    ParallelOptions par;
+    par.num_threads = 1 + static_cast<uint32_t>(rng.Uniform(4));
+    auto parallel = MineImplicationsParallel(m, o, par);
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_EQ(parallel->Pairs(), truth) << "trial " << trial;
+  }
+}
+
+TEST(FuzzSweepTest, SimilaritiesAcrossEnginesMatchOracle) {
+  Rng rng(0xF133);
+  for (int trial = 0; trial < 120; ++trial) {
+    const BinaryMatrix m = RandomMatrix(rng);
+    SimilarityMiningOptions o;
+    o.min_similarity = RandomThreshold(rng);
+    o.policy = RandomPolicy(rng);
+    const auto truth = BruteForceSimilarities(m, o.min_similarity).Pairs();
+
+    auto batch = MineSimilarities(m, o);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(batch->Pairs(), truth) << "trial " << trial;
+
+    const auto order = DensityBucketOrder(m).order;
+    auto streamed = StreamSimilarities(
+        m.num_columns(), m.column_ones(), m.num_rows(), o,
+        [&](auto&& sink) {
+          for (RowId r : order) sink(m.Row(r));
+        });
+    ASSERT_TRUE(streamed.ok());
+    ASSERT_EQ(streamed->Pairs(), truth) << "trial " << trial;
+
+    ParallelOptions par;
+    par.num_threads = 1 + static_cast<uint32_t>(rng.Uniform(4));
+    auto parallel = MineSimilaritiesParallel(m, o, par);
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_EQ(parallel->Pairs(), truth) << "trial " << trial;
+  }
+}
+
+TEST(FuzzSweepTest, DegenerateMatrices) {
+  // All-zero, single-row, single-column, duplicate-row matrices.
+  const std::vector<BinaryMatrix> cases = {
+      BinaryMatrix::FromRows(3, {{}, {}, {}}),
+      BinaryMatrix::FromRows(4, {{0, 1, 2, 3}}),
+      BinaryMatrix::FromRows(1, {{0}, {0}, {0}}),
+      BinaryMatrix::FromRows(2, {{0, 1}, {0, 1}, {0, 1}, {0, 1}}),
+  };
+  for (const auto& m : cases) {
+    for (double t : {0.5, 1.0}) {
+      ImplicationMiningOptions io;
+      io.min_confidence = t;
+      auto rules = MineImplications(m, io);
+      ASSERT_TRUE(rules.ok());
+      EXPECT_EQ(rules->Pairs(), BruteForceImplications(m, t).Pairs());
+      SimilarityMiningOptions so;
+      so.min_similarity = t;
+      auto pairs = MineSimilarities(m, so);
+      ASSERT_TRUE(pairs.ok());
+      EXPECT_EQ(pairs->Pairs(), BruteForceSimilarities(m, t).Pairs());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,91 @@
+#include "rules/grouping.h"
+
+#include <gtest/gtest.h>
+
+namespace dmc {
+namespace {
+
+ImplicationRule R(ColumnId lhs, ColumnId rhs) {
+  return ImplicationRule{lhs, rhs, 10, 1};
+}
+
+TEST(ExpandFromSeedTest, FollowsSuccessorsRecursively) {
+  ImplicationRuleSet rules;
+  rules.Add(R(0, 1));
+  rules.Add(R(1, 2));
+  rules.Add(R(2, 3));
+  rules.Add(R(7, 8));  // unrelated
+  const auto expanded = ExpandFromSeed(rules, 0);
+  EXPECT_EQ(expanded.size(), 3u);
+  const auto pairs = expanded.Pairs();
+  EXPECT_EQ(pairs[0], std::make_pair(ColumnId{0}, ColumnId{1}));
+  EXPECT_EQ(pairs[1], std::make_pair(ColumnId{1}, ColumnId{2}));
+  EXPECT_EQ(pairs[2], std::make_pair(ColumnId{2}, ColumnId{3}));
+}
+
+TEST(ExpandFromSeedTest, RespectsMaxDepth) {
+  ImplicationRuleSet rules;
+  rules.Add(R(0, 1));
+  rules.Add(R(1, 2));
+  rules.Add(R(2, 3));
+  EXPECT_EQ(ExpandFromSeed(rules, 0, 1).size(), 1u);
+  EXPECT_EQ(ExpandFromSeed(rules, 0, 2).size(), 2u);
+  EXPECT_EQ(ExpandFromSeed(rules, 0, 3).size(), 3u);
+}
+
+TEST(ExpandFromSeedTest, HandlesCycles) {
+  ImplicationRuleSet rules;
+  rules.Add(R(0, 1));
+  rules.Add(R(1, 0));
+  const auto expanded = ExpandFromSeed(rules, 0);
+  EXPECT_EQ(expanded.size(), 2u);
+}
+
+TEST(ExpandFromSeedTest, UnknownSeedYieldsEmpty) {
+  ImplicationRuleSet rules;
+  rules.Add(R(0, 1));
+  EXPECT_TRUE(ExpandFromSeed(rules, 99).empty());
+}
+
+TEST(GroupingTest, ConnectedComponentsOverImplications) {
+  ImplicationRuleSet rules;
+  rules.Add(R(0, 1));
+  rules.Add(R(1, 2));
+  rules.Add(R(5, 6));
+  const auto groups = GroupByConnectedComponents(rules);
+  ASSERT_EQ(groups.size(), 2u);
+  // Largest first.
+  EXPECT_EQ(groups[0].columns, (std::vector<ColumnId>{0, 1, 2}));
+  EXPECT_EQ(groups[0].rule_indices.size(), 2u);
+  EXPECT_EQ(groups[1].columns, (std::vector<ColumnId>{5, 6}));
+}
+
+TEST(GroupingTest, ConnectedComponentsOverSimilarities) {
+  SimilarityRuleSet pairs;
+  pairs.Add({0, 1, 5, 5, 4});
+  pairs.Add({1, 2, 5, 5, 4});
+  pairs.Add({8, 9, 5, 5, 4});
+  const auto groups = GroupByConnectedComponents(pairs);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].columns, (std::vector<ColumnId>{0, 1, 2}));
+}
+
+TEST(GroupingTest, EmptyInput) {
+  EXPECT_TRUE(GroupByConnectedComponents(ImplicationRuleSet()).empty());
+  EXPECT_TRUE(GroupByConnectedComponents(SimilarityRuleSet()).empty());
+}
+
+TEST(GroupingTest, MergingChains) {
+  // Two chains merged by a bridging rule.
+  ImplicationRuleSet rules;
+  rules.Add(R(0, 1));
+  rules.Add(R(2, 3));
+  rules.Add(R(1, 2));
+  const auto groups = GroupByConnectedComponents(rules);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].columns.size(), 4u);
+  EXPECT_EQ(groups[0].rule_indices.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dmc

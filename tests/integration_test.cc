@@ -1,0 +1,214 @@
+// End-to-end pipelines across modules: generator -> (pruning) -> miner ->
+// verifier / baseline cross-checks, on each of the paper's four workload
+// analogues at test scale.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/apriori.h"
+#include "baselines/bruteforce.h"
+#include "baselines/minhash.h"
+#include "core/engine.h"
+#include "datagen/dictionary_gen.h"
+#include "datagen/linkgraph_gen.h"
+#include "datagen/news_gen.h"
+#include "datagen/weblog_gen.h"
+#include "matrix/column_stats.h"
+#include "matrix/matrix_io.h"
+#include "rules/grouping.h"
+#include "rules/verifier.h"
+
+namespace dmc {
+namespace {
+
+TEST(IntegrationTest, WebLogPipelineMatchesBruteForce) {
+  WebLogOptions gen;
+  gen.num_clients = 400;
+  gen.num_urls = 120;
+  gen.num_sections = 8;
+  gen.num_crawlers = 2;
+  const BinaryMatrix m = GenerateWebLog(gen);
+
+  for (double conf : {0.85, 1.0}) {
+    ImplicationMiningOptions o;
+    o.min_confidence = conf;
+    MiningStats stats;
+    auto rules = MineImplications(m, o, &stats);
+    ASSERT_TRUE(rules.ok());
+    EXPECT_EQ(rules->Pairs(), BruteForceImplications(m, conf).Pairs());
+    EXPECT_TRUE(
+        RuleVerifier(m).VerifyImplications(*rules, conf).ok());
+  }
+}
+
+TEST(IntegrationTest, WebLogWithSupportPruning) {
+  // The WlogP preparation: drop columns with <= 10 ones, then mine.
+  WebLogOptions gen;
+  gen.num_clients = 500;
+  gen.num_urls = 150;
+  const BinaryMatrix m = GenerateWebLog(gen);
+  const PrunedMatrix pruned = SupportPruneColumns(m, 11);
+  EXPECT_LT(pruned.matrix.num_columns(), m.num_columns());
+
+  ImplicationMiningOptions o;
+  o.min_confidence = 0.9;
+  auto rules = MineImplications(pruned.matrix, o);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules->Pairs(),
+            BruteForceImplications(pruned.matrix, 0.9).Pairs());
+}
+
+TEST(IntegrationTest, LinkGraphBothOrientations) {
+  LinkGraphOptions gen;
+  gen.num_pages = 350;
+  const BinaryMatrix plink_f = GenerateLinkGraph(gen);
+  const BinaryMatrix plink_t = plink_f.Transposed();
+
+  SimilarityMiningOptions o;
+  o.min_similarity = 0.7;
+  for (const BinaryMatrix* m : {&plink_f, &plink_t}) {
+    auto pairs = MineSimilarities(*m, o);
+    ASSERT_TRUE(pairs.ok());
+    EXPECT_EQ(pairs->Pairs(), BruteForceSimilarities(*m, 0.7).Pairs());
+  }
+}
+
+TEST(IntegrationTest, NewsRuleGroupsContainTopicStructure) {
+  NewsOptions gen;
+  gen.num_docs = 2500;
+  gen.num_topics = 6;
+  gen.background_vocab = 800;
+  const NewsData news = GenerateNews(gen);
+
+  ImplicationMiningOptions o;
+  o.min_confidence = 0.85;
+  auto rules = MineImplications(news.matrix, o);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_GT(rules->size(), 0u);
+
+  // Fig. 7 workflow: expand from the "polgar" column.
+  const ColumnId polgar = news.entity_columns[0][0];
+  const auto expanded = ExpandFromSeed(*rules, polgar);
+  // polgar's successors should be dominated by topic-0 vocabulary.
+  size_t topic0 = 0;
+  for (const auto& r : expanded) {
+    for (ColumnId w : news.theme_columns[0]) topic0 += r.rhs == w;
+  }
+  if (!expanded.empty()) {
+    EXPECT_GT(topic0, 0u);
+  }
+}
+
+TEST(IntegrationTest, DictionarySimilarityFindsSynonyms) {
+  DictionaryOptions gen;
+  gen.num_head_words = 400;
+  gen.num_definition_words = 300;
+  gen.num_synonym_groups = 25;
+  gen.synonym_overlap = 0.97;
+  const DictionaryData dict = GenerateDictionary(gen);
+
+  SimilarityMiningOptions o;
+  o.min_similarity = 0.75;
+  auto pairs = MineSimilarities(dict.matrix, o);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->Pairs(),
+            BruteForceSimilarities(dict.matrix, 0.75).Pairs());
+  // Most reported pairs should be within synonym groups.
+  size_t in_group = 0;
+  for (const auto& p : *pairs) {
+    for (const auto& g : dict.synonym_groups) {
+      bool has_a = false, has_b = false;
+      for (ColumnId c : g) {
+        has_a |= c == p.a;
+        has_b |= c == p.b;
+      }
+      in_group += has_a && has_b;
+    }
+  }
+  EXPECT_GT(in_group, pairs->size() / 2);
+}
+
+TEST(IntegrationTest, DmcAgreesWithAprioriOnitsHomeTurf) {
+  // On a support-pruned matrix (a-priori's best case), both must produce
+  // the same rule set.
+  NewsOptions gen;
+  gen.num_docs = 1500;
+  gen.num_topics = 5;
+  gen.background_vocab = 600;
+  const NewsData news = GenerateNews(gen);
+  const PrunedMatrix pruned =
+      SupportPruneColumns(news.matrix, 5, news.matrix.num_rows() / 5);
+
+  ImplicationMiningOptions dmc_opts;
+  dmc_opts.min_confidence = 0.85;
+  auto dmc_rules = MineImplications(pruned.matrix, dmc_opts);
+  ASSERT_TRUE(dmc_rules.ok());
+
+  auto apriori_rules =
+      AprioriImplications(pruned.matrix, AprioriOptions{}, 0.85);
+  ASSERT_TRUE(apriori_rules.ok());
+  EXPECT_EQ(dmc_rules->Pairs(), apriori_rules->Pairs());
+}
+
+TEST(IntegrationTest, MinHashVerifiedIsSubsetOfDmc) {
+  DictionaryOptions gen;
+  gen.num_head_words = 300;
+  gen.num_definition_words = 250;
+  const DictionaryData dict = GenerateDictionary(gen);
+
+  SimilarityMiningOptions o;
+  o.min_similarity = 0.8;
+  auto dmc_pairs = MineSimilarities(dict.matrix, o);
+  ASSERT_TRUE(dmc_pairs.ok());
+
+  MinHashOptions mh;
+  mh.num_hashes = 150;
+  const auto mh_pairs = MinHashSimilarities(dict.matrix, mh, 0.8);
+
+  // Verified Min-Hash results must be a subset of DMC's exact set.
+  const auto exact = dmc_pairs->Pairs();
+  for (const auto& p : mh_pairs.Pairs()) {
+    EXPECT_TRUE(std::find(exact.begin(), exact.end(), p) != exact.end());
+  }
+}
+
+TEST(IntegrationTest, SerializeMineRoundTrip) {
+  WebLogOptions gen;
+  gen.num_clients = 200;
+  gen.num_urls = 80;
+  const BinaryMatrix m = GenerateWebLog(gen);
+
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMatrixText(m, ss).ok());
+  auto loaded = ReadMatrixText(ss);
+  ASSERT_TRUE(loaded.ok());
+
+  ImplicationMiningOptions o;
+  o.min_confidence = 0.9;
+  auto a = MineImplications(m, o);
+  auto b = MineImplications(*loaded, o);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Pairs(), b->Pairs());
+}
+
+TEST(IntegrationTest, FirstPassScanFeedsBucketedMining) {
+  // Demonstrates the two-pass disk workflow: pass 1 scans text for stats,
+  // pass 2 loads and mines with bucketed order.
+  WebLogOptions gen;
+  gen.num_clients = 150;
+  gen.num_urls = 60;
+  const BinaryMatrix m = GenerateWebLog(gen);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMatrixText(m, ss).ok());
+  auto stats = ScanMatrixText(ss);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_rows, m.num_rows());
+  for (ColumnId c = 0; c < m.num_columns(); ++c) {
+    EXPECT_EQ(stats->column_ones[c], m.column_ones()[c]);
+  }
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,98 @@
+#include "baselines/kmin.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/bruteforce.h"
+#include "datagen/planted_gen.h"
+
+namespace dmc {
+namespace {
+
+TEST(KMinTest, FindsObviousHighConfidenceRules) {
+  // c0 subset of c1 with conf 1.0 and high similarity.
+  MatrixBuilder b(2);
+  for (int i = 0; i < 40; ++i) b.AddRow({0, 1});
+  for (int i = 0; i < 5; ++i) b.AddRow({1});
+  const BinaryMatrix m = b.Build();
+  KMinOptions o;
+  o.num_hashes = 200;
+  const auto rules = KMinImplications(m, o, 0.9);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules.rules()[0].lhs, 0u);
+  EXPECT_EQ(rules.rules()[0].rhs, 1u);
+}
+
+TEST(KMinTest, BoundedFalseNegativesOnPlantedRules) {
+  // The paper plots K-Min at the setting where its false-negative rate is
+  // below 10%. With enough hash functions and slack, the planted rules
+  // (conf 0.9, sim ~0.8) are nearly all found.
+  PlantedOptions p;
+  p.seed = 77;
+  p.num_implications = 20;
+  const PlantedData data = GeneratePlanted(p);
+  const double conf =
+      double(p.implication_hits) / p.implication_lhs_ones;  // 0.9
+  KMinOptions o;
+  o.num_hashes = 300;
+  o.candidate_slack = 0.05;
+  const auto rules = KMinImplications(data.matrix, o, conf);
+  const auto found = rules.Pairs();
+  size_t hits = 0;
+  for (const ImplicationRule& planted : data.implications) {
+    for (const auto& [lhs, rhs] : found) {
+      if (lhs == planted.lhs && rhs == planted.rhs) ++hits;
+    }
+  }
+  const double fn_rate =
+      1.0 - double(hits) / double(data.implications.size());
+  EXPECT_LE(fn_rate, 0.10);
+}
+
+TEST(KMinTest, CanProduceFalseNegativesWithFewHashes) {
+  // With very few hash functions and no slack, the estimator is noisy and
+  // some true rules are missed — the behaviour the paper criticizes.
+  PlantedOptions p;
+  p.seed = 78;
+  p.num_implications = 30;
+  const PlantedData data = GeneratePlanted(p);
+  const double conf =
+      double(p.implication_hits) / p.implication_lhs_ones;
+  KMinOptions o;
+  o.num_hashes = 8;
+  o.candidate_slack = 0.0;
+  const auto rules = KMinImplications(data.matrix, o, conf);
+  const auto truth = BruteForceImplications(data.matrix, conf);
+  // It should find strictly fewer pairs than the truth contains
+  // (overwhelmingly likely at k=8).
+  size_t matched = 0;
+  const auto found = rules.Pairs();
+  for (const auto& pr : truth.Pairs()) {
+    for (const auto& f : found) {
+      if (f == pr) ++matched;
+    }
+  }
+  EXPECT_LT(matched, truth.Pairs().size());
+}
+
+TEST(KMinTest, DeterministicForSeed) {
+  PlantedOptions p;
+  p.seed = 79;
+  const PlantedData data = GeneratePlanted(p);
+  KMinOptions o;
+  const auto a = KMinImplications(data.matrix, o, 0.85);
+  const auto b = KMinImplications(data.matrix, o, 0.85);
+  EXPECT_EQ(a.Pairs(), b.Pairs());
+}
+
+TEST(KMinTest, StatsPopulated) {
+  PlantedOptions p;
+  const PlantedData data = GeneratePlanted(p);
+  KMinOptions o;
+  KMinStats stats;
+  const auto rules = KMinImplications(data.matrix, o, 0.85, &stats);
+  EXPECT_EQ(stats.rules_reported, rules.size());
+  EXPECT_GT(stats.candidate_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,133 @@
+#include "baselines/minhash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/bruteforce.h"
+#include "datagen/planted_gen.h"
+#include "rules/verifier.h"
+#include "util/random.h"
+
+namespace dmc {
+namespace {
+
+// Two columns with controlled Jaccard similarity.
+BinaryMatrix PairWithSimilarity(uint32_t inter, uint32_t a_only,
+                                uint32_t b_only) {
+  MatrixBuilder b(2);
+  for (uint32_t i = 0; i < inter; ++i) b.AddRow({0, 1});
+  for (uint32_t i = 0; i < a_only; ++i) b.AddRow({0});
+  for (uint32_t i = 0; i < b_only; ++i) b.AddRow({1});
+  return b.Build();
+}
+
+TEST(MinHashTest, EstimatorIsUnbiased) {
+  // sim = 60 / 100 = 0.6; with k=400 the estimate should be within a few
+  // standard deviations (sigma = sqrt(0.6*0.4/400) ~ 0.024).
+  const BinaryMatrix m = PairWithSimilarity(60, 20, 20);
+  const auto sig = ComputeMinHashSignatures(m, 400, 12345);
+  const double est = EstimateSimilarity(sig, 400, 0, 1);
+  EXPECT_NEAR(est, 0.6, 5 * 0.0245);
+}
+
+TEST(MinHashTest, IdenticalColumnsAgreeEverywhere) {
+  const BinaryMatrix m = PairWithSimilarity(50, 0, 0);
+  const auto sig = ComputeMinHashSignatures(m, 100, 7);
+  EXPECT_DOUBLE_EQ(EstimateSimilarity(sig, 100, 0, 1), 1.0);
+}
+
+TEST(MinHashTest, DisjointColumnsRarelyAgree) {
+  const BinaryMatrix m = PairWithSimilarity(0, 50, 50);
+  const auto sig = ComputeMinHashSignatures(m, 200, 9);
+  EXPECT_LT(EstimateSimilarity(sig, 200, 0, 1), 0.05);
+}
+
+TEST(MinHashTest, VerifiedOutputHasNoFalsePositives) {
+  PlantedOptions p;
+  p.seed = 55;
+  const PlantedData data = GeneratePlanted(p);
+  const double s = 0.7;
+  MinHashOptions o;
+  o.num_hashes = 200;
+  o.verify = true;
+  MinHashStats stats;
+  const auto pairs = MinHashSimilarities(data.matrix, o, s, &stats);
+  const RuleVerifier v(data.matrix);
+  EXPECT_TRUE(v.VerifySimilarities(pairs, s).ok());
+}
+
+TEST(MinHashTest, FindsThePlantedPairs) {
+  PlantedOptions p;
+  p.seed = 56;
+  // Planted sim = 38 / 46 ~ 0.826.
+  const PlantedData data = GeneratePlanted(p);
+  MinHashOptions o;
+  o.num_hashes = 300;
+  const auto pairs = MinHashSimilarities(data.matrix, o, 0.8);
+  const auto found = pairs.Pairs();
+  size_t hits = 0;
+  for (const SimilarityPair& planted : data.similarities) {
+    for (const auto& [a, b] : found) {
+      if (a == std::min(planted.a, planted.b) &&
+          b == std::max(planted.a, planted.b)) {
+        ++hits;
+      }
+    }
+  }
+  // Min-Hash may miss pairs (false negatives are its documented flaw),
+  // but at k=300 and slack 0.05 it should find nearly all of these.
+  EXPECT_GE(hits, data.similarities.size() - 1);
+}
+
+TEST(MinHashTest, UnverifiedMayReportEstimates) {
+  const BinaryMatrix m = PairWithSimilarity(90, 5, 5);  // sim = 0.9
+  MinHashOptions o;
+  o.num_hashes = 200;
+  o.verify = false;
+  MinHashStats stats;
+  const auto pairs = MinHashSimilarities(m, o, 0.8, &stats);
+  ASSERT_EQ(pairs.size(), 1u);
+  // Estimated intersection should be near the true value 90.
+  EXPECT_NEAR(pairs.pairs()[0].intersection, 90, 8);
+  EXPECT_EQ(stats.false_positives_removed, 0u);
+}
+
+TEST(MinHashTest, StatsAccounting) {
+  const BinaryMatrix m = PairWithSimilarity(40, 10, 10);
+  MinHashOptions o;
+  o.num_hashes = 64;
+  MinHashStats stats;
+  (void)MinHashSimilarities(m, o, 0.5, &stats);
+  EXPECT_EQ(stats.signature_bytes, 2 * 64 * sizeof(uint64_t));
+  EXPECT_GE(stats.total_seconds, 0.0);
+}
+
+TEST(MinHashTest, MinSupportFiltersColumns) {
+  MatrixBuilder b(3);
+  b.AddRow({0, 1, 2});
+  b.AddRow({0, 1});
+  for (int i = 0; i < 20; ++i) b.AddRow({0, 1});
+  const BinaryMatrix m = b.Build();
+  MinHashOptions o;
+  o.num_hashes = 100;
+  o.min_support = 5;  // column 2 (1 one) excluded
+  const auto pairs = MinHashSimilarities(m, o, 0.5);
+  for (const auto& p : pairs) {
+    EXPECT_NE(p.a, 2u);
+    EXPECT_NE(p.b, 2u);
+  }
+  EXPECT_EQ(pairs.size(), 1u);  // (0,1)
+}
+
+TEST(MinHashTest, DeterministicForSeed) {
+  const BinaryMatrix m = PairWithSimilarity(30, 10, 10);
+  MinHashOptions o;
+  o.num_hashes = 50;
+  const auto a = MinHashSimilarities(m, o, 0.5);
+  const auto b = MinHashSimilarities(m, o, 0.5);
+  EXPECT_EQ(a.Pairs(), b.Pairs());
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,104 @@
+#include "core/miss_counter_table.h"
+
+#include <gtest/gtest.h>
+
+namespace dmc {
+namespace {
+
+TEST(MissCounterTableTest, StartsEmpty) {
+  MemoryTracker tracker;
+  MissCounterTable t(10, 8, &tracker);
+  for (ColumnId c = 0; c < 10; ++c) EXPECT_FALSE(t.HasList(c));
+  EXPECT_EQ(t.total_entries(), 0u);
+  EXPECT_EQ(t.bytes(), 0u);
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+}
+
+TEST(MissCounterTableTest, CreateAccountsOverhead) {
+  MemoryTracker tracker;
+  MissCounterTable t(4, 8, &tracker);
+  t.Create(2);
+  EXPECT_TRUE(t.HasList(2));
+  EXPECT_EQ(t.bytes(), MissCounterTable::kPerListOverheadBytes);
+  EXPECT_EQ(tracker.current_bytes(), t.bytes());
+  EXPECT_EQ(t.live_lists(), 1u);
+}
+
+TEST(MissCounterTableTest, ReplaceTracksEntryDelta) {
+  MemoryTracker tracker;
+  MissCounterTable t(4, 8, &tracker);
+  t.Create(0);
+  std::vector<CandidateEntry> entries{{1, 0}, {2, 1}, {3, 0}};
+  t.Replace(0, entries);
+  EXPECT_EQ(t.total_entries(), 3u);
+  EXPECT_EQ(t.bytes(), MissCounterTable::kPerListOverheadBytes + 3 * 8);
+  ASSERT_EQ(t.List(0).size(), 3u);
+  EXPECT_EQ(t.List(0)[1].cand, 2u);
+  EXPECT_EQ(t.List(0)[1].miss, 1u);
+
+  std::vector<CandidateEntry> smaller{{2, 2}};
+  t.Replace(0, smaller);
+  EXPECT_EQ(t.total_entries(), 1u);
+  EXPECT_EQ(t.bytes(), MissCounterTable::kPerListOverheadBytes + 8);
+  EXPECT_EQ(tracker.current_bytes(), t.bytes());
+  // Peak saw the 3-entry state.
+  EXPECT_EQ(tracker.peak_bytes(),
+            MissCounterTable::kPerListOverheadBytes + 3 * 8);
+}
+
+TEST(MissCounterTableTest, ReleaseFreesEverything) {
+  MemoryTracker tracker;
+  MissCounterTable t(4, 8, &tracker);
+  t.Create(1);
+  std::vector<CandidateEntry> entries{{2, 0}, {3, 0}};
+  t.Replace(1, entries);
+  t.Release(1);
+  EXPECT_FALSE(t.HasList(1));
+  EXPECT_EQ(t.total_entries(), 0u);
+  EXPECT_EQ(t.bytes(), 0u);
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+}
+
+TEST(MissCounterTableTest, IdOnlyEntryCost) {
+  MemoryTracker tracker;
+  MissCounterTable t(4, MissCounterTable::kEntryBytesIdOnly, &tracker);
+  t.Create(0);
+  std::vector<CandidateEntry> entries{{1, 0}, {2, 0}};
+  t.Replace(0, entries);
+  EXPECT_EQ(t.bytes(), MissCounterTable::kPerListOverheadBytes + 2 * 4);
+}
+
+TEST(MissCounterTableTest, SharedTrackerComposesPeaks) {
+  MemoryTracker tracker;
+  {
+    MissCounterTable a(4, 8, &tracker);
+    a.Create(0);
+    std::vector<CandidateEntry> e{{1, 0}};
+    a.Replace(0, e);
+  }  // destructor releases a's bytes
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+  MissCounterTable b(4, 8, &tracker);
+  b.Create(0);
+  EXPECT_EQ(tracker.current_bytes(),
+            MissCounterTable::kPerListOverheadBytes);
+  EXPECT_GE(tracker.peak_bytes(),
+            MissCounterTable::kPerListOverheadBytes + 8);
+}
+
+TEST(MissCounterTableTest, ReleaseEverything) {
+  MemoryTracker tracker;
+  MissCounterTable t(8, 8, &tracker);
+  for (ColumnId c = 0; c < 8; c += 2) {
+    t.Create(c);
+    std::vector<CandidateEntry> e{{ColumnId(c + 1), 0}};
+    t.Replace(c, e);
+  }
+  EXPECT_EQ(t.live_lists(), 4u);
+  t.ReleaseEverything();
+  EXPECT_EQ(t.live_lists(), 0u);
+  EXPECT_EQ(t.total_entries(), 0u);
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,94 @@
+#include "rules/multiattr.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dmc_imp.h"
+#include "datagen/news_gen.h"
+
+namespace dmc {
+namespace {
+
+TEST(MultiAttrTest, JointSupportIsExact) {
+  // c0, c1, c2 co-occur in exactly 4 rows; c0/c1 and c1/c2 additionally
+  // co-occur elsewhere.
+  MatrixBuilder b(3);
+  for (int i = 0; i < 4; ++i) b.AddRow({0, 1, 2});
+  b.AddRow({0, 1});
+  b.AddRow({1, 2});
+  const BinaryMatrix m = b.Build();
+
+  ImplicationRuleSet rules;
+  rules.Add({0, 1, 5, 0});
+  rules.Add({2, 1, 5, 0});
+  const auto groups = SummarizeRuleGroups(m, rules);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].columns, (std::vector<ColumnId>{0, 1, 2}));
+  EXPECT_EQ(groups[0].joint_support, 4u);
+  // Sparsest member has 5 ones -> cohesion 4/5.
+  EXPECT_DOUBLE_EQ(groups[0].cohesion, 0.8);
+  EXPECT_DOUBLE_EQ(groups[0].min_rule_confidence, 1.0);
+}
+
+TEST(MultiAttrTest, MinRuleConfidence) {
+  MatrixBuilder b(3);
+  for (int i = 0; i < 8; ++i) b.AddRow({0, 1, 2});
+  b.AddRow({0});
+  b.AddRow({0});
+  const BinaryMatrix m = b.Build();
+  ImplicationRuleSet rules;
+  rules.Add({0, 1, 10, 2});  // conf 0.8
+  rules.Add({1, 2, 8, 0});   // conf 1.0
+  const auto groups = SummarizeRuleGroups(m, rules);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_DOUBLE_EQ(groups[0].min_rule_confidence, 0.8);
+}
+
+TEST(MultiAttrTest, LargeGroupsAreSkipped) {
+  MatrixBuilder b(40);
+  std::vector<ColumnId> all;
+  for (ColumnId c = 0; c < 40; ++c) all.push_back(c);
+  for (int i = 0; i < 3; ++i) b.AddRow(all);
+  const BinaryMatrix m = b.Build();
+  ImplicationRuleSet rules;
+  for (ColumnId c = 0; c + 1 < 40; ++c) rules.Add({c, ColumnId(c + 1), 3, 0});
+  MultiAttributeOptions o;
+  o.max_exact_group = 16;
+  const auto groups = SummarizeRuleGroups(m, rules, o);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].cohesion, -1.0);
+}
+
+TEST(MultiAttrTest, NewsTopicsFormCohesiveGroups) {
+  NewsOptions gen;
+  gen.num_docs = 2000;
+  gen.num_topics = 5;
+  gen.background_vocab = 500;
+  const NewsData news = GenerateNews(gen);
+  ImplicationMiningOptions o;
+  o.min_confidence = 0.9;
+  auto rules = MineImplications(news.matrix, o);
+  ASSERT_TRUE(rules.ok());
+  const auto groups = SummarizeRuleGroups(news.matrix, *rules);
+  ASSERT_FALSE(groups.empty());
+  // The largest group should contain at least one whole entity cluster
+  // and have positive joint support (entities co-occur by construction).
+  bool cluster_found = false;
+  for (const auto& g : groups) {
+    for (const auto& entities : news.entity_columns) {
+      size_t members = 0;
+      for (ColumnId e : entities) {
+        members += std::count(g.columns.begin(), g.columns.end(), e) > 0;
+      }
+      if (members >= 2 && g.joint_support > 0) cluster_found = true;
+    }
+  }
+  EXPECT_TRUE(cluster_found);
+}
+
+TEST(MultiAttrTest, EmptyRules) {
+  const BinaryMatrix m = BinaryMatrix::FromRows(2, {{0, 1}});
+  EXPECT_TRUE(SummarizeRuleGroups(m, ImplicationRuleSet()).empty());
+}
+
+}  // namespace
+}  // namespace dmc

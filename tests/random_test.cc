@@ -1,0 +1,123 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dmc {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  bool all_equal = true;
+  bool any_diff_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    const uint64_t vb = b.Next();
+    const uint64_t vc = c.Next();
+    all_equal &= (va == vb);
+    any_diff_from_c |= (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_from_c);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Uniform(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.Uniform(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, 0.05 * kSamples / kBuckets);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  constexpr int kSamples = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.03);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(17);
+  for (const double mean : {0.5, 4.0, 50.0}) {
+    double sum = 0.0;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i) sum += rng.Poisson(mean);
+    EXPECT_NEAR(sum / kSamples, mean, 0.05 * mean + 0.05);
+  }
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(19);
+  const double p = 0.25;
+  double sum = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.Geometric(p);
+  // Mean of failures-before-success geometric: (1-p)/p = 3.
+  EXPECT_NEAR(sum / kSamples, 3.0, 0.15);
+}
+
+TEST(MixTest, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(123), Mix64(123));
+  EXPECT_NE(Mix64(123), Mix64(124));
+}
+
+}  // namespace
+}  // namespace dmc

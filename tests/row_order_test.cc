@@ -1,0 +1,113 @@
+#include "matrix/row_order.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace dmc {
+namespace {
+
+BinaryMatrix VariedMatrix() {
+  // Densities: 2, 3, 0, 1, 5, 2, 4.
+  return BinaryMatrix::FromRows(5, {{0, 1},
+                                    {0, 1, 2},
+                                    {},
+                                    {4},
+                                    {0, 1, 2, 3, 4},
+                                    {2, 3},
+                                    {0, 2, 3, 4}});
+}
+
+TEST(RowOrderTest, IdentityOrder) {
+  const BinaryMatrix m = VariedMatrix();
+  const auto order = IdentityOrder(m);
+  ASSERT_EQ(order.size(), 7u);
+  for (RowId r = 0; r < 7; ++r) EXPECT_EQ(order[r], r);
+}
+
+TEST(RowOrderTest, SortedByDensityIsMonotoneAndStable) {
+  const BinaryMatrix m = VariedMatrix();
+  const auto order = SortedByDensityOrder(m);
+  ASSERT_EQ(order.size(), 7u);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(m.RowSize(order[i - 1]), m.RowSize(order[i]));
+  }
+  // Stability: rows 0 and 5 both have density 2, original order kept.
+  const auto pos = [&](RowId r) {
+    return std::find(order.begin(), order.end(), r) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(5));
+}
+
+TEST(RowOrderTest, OrdersArePermutations) {
+  const BinaryMatrix m = VariedMatrix();
+  for (auto order : {IdentityOrder(m), SortedByDensityOrder(m),
+                     DensityBucketOrder(m).order}) {
+    std::sort(order.begin(), order.end());
+    for (RowId r = 0; r < m.num_rows(); ++r) EXPECT_EQ(order[r], r);
+  }
+}
+
+TEST(RowOrderTest, BucketRangesCoverOrder) {
+  const BinaryMatrix m = VariedMatrix();
+  const BucketedOrder b = DensityBucketOrder(m);
+  ASSERT_FALSE(b.bucket_ranges.empty());
+  EXPECT_EQ(b.bucket_ranges.front().first, 0u);
+  EXPECT_EQ(b.bucket_ranges.back().second, b.order.size());
+  for (size_t i = 1; i < b.bucket_ranges.size(); ++i) {
+    EXPECT_EQ(b.bucket_ranges[i].first, b.bucket_ranges[i - 1].second);
+  }
+}
+
+TEST(RowOrderTest, BucketsAreDensityRanges) {
+  const BinaryMatrix m = VariedMatrix();
+  const BucketedOrder b = DensityBucketOrder(m);
+  for (size_t k = 0; k < b.bucket_ranges.size(); ++k) {
+    const auto [begin, end] = b.bucket_ranges[k];
+    const uint64_t lo = b.bucket_min_density[k];
+    const uint64_t hi = lo == 0 ? 1 : lo * 2 - 1;
+    for (size_t i = begin; i < end; ++i) {
+      const size_t d = m.RowSize(b.order[i]);
+      EXPECT_GE(d, lo == 0 ? 0 : lo);
+      EXPECT_LE(d, hi);
+    }
+  }
+}
+
+TEST(RowOrderTest, BucketOrderIsSparserFirstAcrossBuckets) {
+  const BinaryMatrix m = VariedMatrix();
+  const BucketedOrder b = DensityBucketOrder(m);
+  for (size_t k = 1; k < b.bucket_min_density.size(); ++k) {
+    EXPECT_LT(b.bucket_min_density[k - 1], b.bucket_min_density[k]);
+  }
+}
+
+TEST(RowOrderTest, BucketCountIsLogBounded) {
+  Rng rng(7);
+  MatrixBuilder builder(1000);
+  for (int r = 0; r < 300; ++r) {
+    std::vector<ColumnId> row;
+    const size_t d = rng.Uniform(1000);
+    for (size_t i = 0; i < d; ++i) {
+      row.push_back(static_cast<ColumnId>(rng.Uniform(1000)));
+    }
+    builder.AddRow(row);
+  }
+  const BinaryMatrix m = builder.Build();
+  const BucketedOrder b = DensityBucketOrder(m);
+  // ceil(log2(1000)) + 1 = 11.
+  EXPECT_LE(b.bucket_ranges.size(), 11u);
+}
+
+TEST(RowOrderTest, PreservesOriginalOrderWithinBucket) {
+  const BinaryMatrix m = BinaryMatrix::FromRows(
+      4, {{0, 1}, {2, 3}, {0, 3}, {1, 2}});  // all density 2
+  const BucketedOrder b = DensityBucketOrder(m);
+  ASSERT_EQ(b.order.size(), 4u);
+  for (RowId r = 0; r < 4; ++r) EXPECT_EQ(b.order[r], r);
+}
+
+}  // namespace
+}  // namespace dmc

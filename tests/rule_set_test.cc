@@ -1,0 +1,101 @@
+#include "rules/rule_set.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dmc {
+namespace {
+
+TEST(ImplicationRuleSetTest, CanonicalizeSortsAndDedupes) {
+  ImplicationRuleSet s;
+  s.Add({2, 3, 10, 1});
+  s.Add({1, 2, 10, 0});
+  s.Add({2, 3, 10, 1});
+  s.Canonicalize();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.rules()[0].lhs, 1u);
+  EXPECT_EQ(s.rules()[1].lhs, 2u);
+}
+
+TEST(ImplicationRuleSetTest, PairsSortedUnique) {
+  ImplicationRuleSet s;
+  s.Add({5, 1, 10, 0});
+  s.Add({0, 1, 10, 0});
+  s.Add({5, 1, 10, 2});
+  const auto pairs = s.Pairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], std::make_pair(ColumnId{0}, ColumnId{1}));
+  EXPECT_EQ(pairs[1], std::make_pair(ColumnId{5}, ColumnId{1}));
+}
+
+TEST(ImplicationRuleSetTest, FilterByConfidence) {
+  ImplicationRuleSet s;
+  s.Add({0, 1, 10, 0});  // 1.0
+  s.Add({1, 2, 10, 2});  // 0.8
+  s.Add({2, 3, 10, 5});  // 0.5
+  const auto filtered = s.FilterByConfidence(0.8);
+  EXPECT_EQ(filtered.size(), 2u);
+}
+
+TEST(ImplicationRuleSetTest, SortedByConfidence) {
+  ImplicationRuleSet s;
+  s.Add({1, 2, 10, 2});
+  s.Add({0, 1, 10, 0});
+  s.Add({2, 3, 10, 5});
+  const auto sorted = s.SortedByConfidence();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted.rules()[0].misses, 0u);
+  EXPECT_EQ(sorted.rules()[2].misses, 5u);
+}
+
+TEST(ImplicationRuleSetTest, PrintRespectsLimit) {
+  ImplicationRuleSet s;
+  for (ColumnId i = 0; i < 5; ++i) s.Add({i, ColumnId(i + 1), 10, 0});
+  std::stringstream ss;
+  s.Print(ss, 2);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("more"), std::string::npos);
+}
+
+TEST(SimilarityRuleSetTest, CanonicalizeOrientsSparserFirst) {
+  SimilarityRuleSet s;
+  // Stored denser-first; canonicalization must flip it.
+  s.Add({7, 3, 20, 10, 9});
+  s.Canonicalize();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.pairs()[0].a, 3u);
+  EXPECT_EQ(s.pairs()[0].b, 7u);
+  EXPECT_EQ(s.pairs()[0].ones_a, 10u);
+  EXPECT_EQ(s.pairs()[0].ones_b, 20u);
+}
+
+TEST(SimilarityRuleSetTest, CanonicalizeDedupesAcrossOrientation) {
+  SimilarityRuleSet s;
+  s.Add({3, 7, 10, 20, 9});
+  s.Add({7, 3, 20, 10, 9});
+  s.Canonicalize();
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SimilarityRuleSetTest, PairsAreOrientationInsensitive) {
+  SimilarityRuleSet s;
+  s.Add({9, 2, 5, 5, 4});  // ones equal: canonical orientation is 2,9
+  const auto pairs = s.Pairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(ColumnId{2}, ColumnId{9}));
+}
+
+TEST(SimilarityRuleSetTest, FilterAndSort) {
+  SimilarityRuleSet s;
+  s.Add({0, 1, 10, 10, 10});  // 1.0
+  s.Add({2, 3, 10, 10, 8});   // 8/12
+  s.Add({4, 5, 10, 10, 5});   // 5/15
+  EXPECT_EQ(s.FilterBySimilarity(0.6).size(), 2u);
+  const auto sorted = s.SortedBySimilarity();
+  EXPECT_EQ(sorted.pairs()[0].intersection, 10u);
+  EXPECT_EQ(sorted.pairs()[2].intersection, 5u);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,57 @@
+#include "rules/rule.h"
+
+#include <gtest/gtest.h>
+
+namespace dmc {
+namespace {
+
+TEST(ImplicationRuleTest, Confidence) {
+  ImplicationRule r{1, 2, 100, 15};
+  EXPECT_DOUBLE_EQ(r.confidence(), 0.85);
+  EXPECT_EQ(r.hits(), 85u);
+}
+
+TEST(ImplicationRuleTest, ZeroMissesIsFullConfidence) {
+  ImplicationRule r{0, 1, 7, 0};
+  EXPECT_DOUBLE_EQ(r.confidence(), 1.0);
+}
+
+TEST(ImplicationRuleTest, EmptyLhsHasZeroConfidence) {
+  ImplicationRule r{0, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(r.confidence(), 0.0);
+}
+
+TEST(ImplicationRuleTest, ToStringContainsIds) {
+  ImplicationRule r{3, 9, 10, 1};
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("c3"), std::string::npos);
+  EXPECT_NE(s.find("c9"), std::string::npos);
+  EXPECT_NE(s.find("0.9"), std::string::npos);
+}
+
+TEST(SimilarityPairTest, Similarity) {
+  SimilarityPair p{1, 2, 40, 44, 38};
+  // 38 / (40 + 44 - 38) = 38/46.
+  EXPECT_DOUBLE_EQ(p.similarity(), 38.0 / 46.0);
+}
+
+TEST(SimilarityPairTest, IdenticalColumns) {
+  SimilarityPair p{0, 1, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(p.similarity(), 1.0);
+}
+
+TEST(SimilarityPairTest, EmptyColumns) {
+  SimilarityPair p{0, 1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(p.similarity(), 0.0);
+}
+
+TEST(SparserFirstTest, OrdersByOnesThenId) {
+  EXPECT_TRUE(SparserFirst(3, 9, 5, 1));   // fewer ones wins
+  EXPECT_FALSE(SparserFirst(5, 1, 3, 9));
+  EXPECT_TRUE(SparserFirst(4, 1, 4, 2));   // tie: lower id wins
+  EXPECT_FALSE(SparserFirst(4, 2, 4, 1));
+  EXPECT_FALSE(SparserFirst(4, 1, 4, 1));  // strict
+}
+
+}  // namespace
+}  // namespace dmc

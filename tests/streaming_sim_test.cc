@@ -1,0 +1,119 @@
+#include "core/streaming_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/bruteforce.h"
+#include "core/dmc_sim.h"
+#include "core/external_miner.h"
+#include "datagen/dictionary_gen.h"
+#include "datagen/quest_gen.h"
+#include "matrix/matrix_io.h"
+#include "matrix/row_order.h"
+
+namespace dmc {
+namespace {
+
+BinaryMatrix Workload(uint64_t seed) {
+  QuestOptions q;
+  q.num_transactions = 1200;
+  q.num_items = 180;
+  q.seed = seed;
+  return GenerateQuest(q);
+}
+
+auto MatrixReplay(const BinaryMatrix& m, const std::vector<RowId>& order) {
+  return [&m, &order](auto&& sink) {
+    for (RowId r : order) sink(m.Row(r));
+  };
+}
+
+TEST(StreamingSimTest, MatchesBatchEngine) {
+  const BinaryMatrix m = Workload(41);
+  const auto order = DensityBucketOrder(m).order;
+  for (double s : {0.5, 0.8, 1.0}) {
+    SimilarityMiningOptions o;
+    o.min_similarity = s;
+    auto batch = MineSimilarities(m, o);
+    ASSERT_TRUE(batch.ok());
+    auto streamed =
+        StreamSimilarities(m.num_columns(), m.column_ones(), m.num_rows(),
+                           o, MatrixReplay(m, order));
+    ASSERT_TRUE(streamed.ok()) << streamed.status();
+    EXPECT_EQ(streamed->Pairs(), batch->Pairs()) << s;
+  }
+}
+
+TEST(StreamingSimTest, BitmapModeMatches) {
+  const BinaryMatrix m = Workload(42);
+  const auto order = DensityBucketOrder(m).order;
+  SimilarityMiningOptions o;
+  o.min_similarity = 0.7;
+  o.policy.bitmap_fallback = true;
+  o.policy.memory_threshold_bytes = 1;
+  o.policy.bitmap_max_remaining_rows = 200;
+  auto streamed =
+      StreamSimilarities(m.num_columns(), m.column_ones(), m.num_rows(), o,
+                         MatrixReplay(m, order));
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(streamed->Pairs(), BruteForceSimilarities(m, 0.7).Pairs());
+}
+
+TEST(StreamingSimTest, PruningFlagsMatch) {
+  const BinaryMatrix m = Workload(43);
+  const auto order = IdentityOrder(m);
+  const auto truth = BruteForceSimilarities(m, 0.6).Pairs();
+  for (bool density : {false, true}) {
+    for (bool maxhits : {false, true}) {
+      SimilarityMiningOptions o;
+      o.min_similarity = 0.6;
+      o.policy.column_density_pruning = density;
+      o.policy.max_hits_pruning = maxhits;
+      auto streamed = StreamSimilarities(
+          m.num_columns(), m.column_ones(), m.num_rows(), o,
+          MatrixReplay(m, order));
+      ASSERT_TRUE(streamed.ok());
+      EXPECT_EQ(streamed->Pairs(), truth)
+          << density << " " << maxhits;
+    }
+  }
+}
+
+TEST(StreamingSimTest, RejectsShortStream) {
+  const BinaryMatrix m = Workload(44);
+  SimilarityMiningOptions o;
+  o.min_similarity = 0.8;
+  auto truncated = [&m](auto&& sink) {
+    for (RowId r = 0; r + 1 < m.num_rows(); ++r) sink(m.Row(r));
+  };
+  auto streamed = StreamSimilarities(
+      m.num_columns(), m.column_ones(), m.num_rows(), o, truncated);
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_EQ(streamed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ExternalSimMinerTest, MatchesInMemoryMining) {
+  DictionaryOptions gen;
+  gen.num_head_words = 400;
+  gen.num_definition_words = 300;
+  gen.num_synonym_groups = 20;
+  const BinaryMatrix m = GenerateDictionary(gen).matrix;
+
+  const std::string dir = testing::TempDir();
+  const std::string path = dir + "/external_sim_test.txt";
+  ASSERT_TRUE(WriteMatrixTextFile(m, path).ok());
+
+  for (double s : {0.8, 1.0}) {
+    SimilarityMiningOptions o;
+    o.min_similarity = s;
+    auto in_memory = MineSimilarities(m, o);
+    ASSERT_TRUE(in_memory.ok());
+    ExternalMiningStats stats;
+    auto external = MineSimilaritiesFromFile(path, o, dir, &stats);
+    ASSERT_TRUE(external.ok()) << external.status();
+    EXPECT_EQ(external->Pairs(), in_memory->Pairs()) << s;
+    EXPECT_EQ(stats.rows, m.num_rows());
+  }
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,157 @@
+#include "core/streaming_imp.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "baselines/bruteforce.h"
+#include "core/dmc_imp.h"
+#include "core/external_miner.h"
+#include "datagen/quest_gen.h"
+#include "datagen/weblog_gen.h"
+#include "matrix/matrix_io.h"
+#include "matrix/row_order.h"
+
+namespace dmc {
+namespace {
+
+BinaryMatrix Workload(uint64_t seed) {
+  QuestOptions q;
+  q.num_transactions = 1500;
+  q.num_items = 200;
+  q.seed = seed;
+  return GenerateQuest(q);
+}
+
+// Replays the in-memory matrix in a given order.
+auto MatrixReplay(const BinaryMatrix& m, const std::vector<RowId>& order) {
+  return [&m, &order](auto&& sink) {
+    for (RowId r : order) sink(m.Row(r));
+  };
+}
+
+TEST(StreamingImpTest, MatchesBatchEngine) {
+  const BinaryMatrix m = Workload(31);
+  const auto order = DensityBucketOrder(m).order;
+  for (double conf : {0.7, 0.9, 1.0}) {
+    ImplicationMiningOptions o;
+    o.min_confidence = conf;
+    auto batch = MineImplications(m, o);
+    ASSERT_TRUE(batch.ok());
+    auto streamed =
+        StreamImplications(m.num_columns(), m.column_ones(), m.num_rows(),
+                           o, MatrixReplay(m, order));
+    ASSERT_TRUE(streamed.ok()) << streamed.status();
+    EXPECT_EQ(streamed->Pairs(), batch->Pairs()) << conf;
+  }
+}
+
+TEST(StreamingImpTest, BitmapModeMatches) {
+  const BinaryMatrix m = Workload(32);
+  const auto order = DensityBucketOrder(m).order;
+  ImplicationMiningOptions o;
+  o.min_confidence = 0.85;
+  o.policy.bitmap_fallback = true;
+  o.policy.memory_threshold_bytes = 1;
+  o.policy.bitmap_max_remaining_rows = 300;
+  auto streamed =
+      StreamImplications(m.num_columns(), m.column_ones(), m.num_rows(), o,
+                         MatrixReplay(m, order));
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(streamed->Pairs(), BruteForceImplications(m, 0.85).Pairs());
+}
+
+TEST(StreamingImpTest, RejectsShortStream) {
+  const BinaryMatrix m = Workload(33);
+  ImplicationMiningOptions o;
+  o.min_confidence = 0.9;
+  auto truncated = [&m](auto&& sink) {
+    for (RowId r = 0; r + 1 < m.num_rows(); ++r) sink(m.Row(r));
+  };
+  auto streamed = StreamImplications(
+      m.num_columns(), m.column_ones(), m.num_rows(), o, truncated);
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_EQ(streamed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamingImpTest, PassExposesProgress) {
+  const BinaryMatrix m = Workload(34);
+  StreamingImplicationPass::Config cfg;
+  cfg.num_columns = m.num_columns();
+  cfg.ones = m.column_ones();
+  cfg.total_rows = m.num_rows();
+  cfg.max_misses.assign(m.num_columns(), 0);
+  StreamingImplicationPass pass(std::move(cfg));
+  EXPECT_EQ(pass.rows_seen(), 0u);
+  pass.ProcessRow(m.Row(0));
+  EXPECT_EQ(pass.rows_seen(), 1u);
+  EXPECT_FALSE(pass.bitmap_mode());
+}
+
+TEST(ExternalMinerTest, MatchesInMemoryMining) {
+  WebLogOptions gen;
+  gen.num_clients = 600;
+  gen.num_urls = 150;
+  gen.num_crawlers = 2;
+  const BinaryMatrix m = GenerateWebLog(gen);
+
+  const std::string dir = testing::TempDir();
+  const std::string path = dir + "/external_miner_test.txt";
+  ASSERT_TRUE(WriteMatrixTextFile(m, path).ok());
+
+  for (double conf : {0.85, 1.0}) {
+    ImplicationMiningOptions o;
+    o.min_confidence = conf;
+    auto in_memory = MineImplications(m, o);
+    ASSERT_TRUE(in_memory.ok());
+
+    ExternalMiningStats stats;
+    auto external = MineImplicationsFromFile(path, o, dir, &stats);
+    ASSERT_TRUE(external.ok()) << external.status();
+    EXPECT_EQ(external->Pairs(), in_memory->Pairs()) << conf;
+    EXPECT_EQ(stats.rows, m.num_rows());
+    EXPECT_GT(stats.bucket_files, 1u);
+  }
+}
+
+TEST(ExternalMinerTest, IdentityOrderSkipsPartitioning) {
+  const BinaryMatrix m = Workload(35);
+  const std::string dir = testing::TempDir();
+  const std::string path = dir + "/external_identity_test.txt";
+  ASSERT_TRUE(WriteMatrixTextFile(m, path).ok());
+
+  ImplicationMiningOptions o;
+  o.min_confidence = 0.9;
+  o.policy.row_order = RowOrderPolicy::kIdentity;
+  ExternalMiningStats stats;
+  auto external = MineImplicationsFromFile(path, o, dir, &stats);
+  ASSERT_TRUE(external.ok());
+  EXPECT_EQ(stats.bucket_files, 0u);
+  auto in_memory = MineImplications(m, o);
+  ASSERT_TRUE(in_memory.ok());
+  EXPECT_EQ(external->Pairs(), in_memory->Pairs());
+}
+
+TEST(ExternalMinerTest, MissingFileFails) {
+  ImplicationMiningOptions o;
+  auto result = MineImplicationsFromFile("/no/such/file.txt", o,
+                                         testing::TempDir());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(ExternalMinerTest, CleansUpBucketFiles) {
+  const BinaryMatrix m = Workload(36);
+  const std::string dir = testing::TempDir();
+  const std::string path = dir + "/external_cleanup_test.txt";
+  ASSERT_TRUE(WriteMatrixTextFile(m, path).ok());
+  ImplicationMiningOptions o;
+  o.min_confidence = 0.9;
+  ASSERT_TRUE(MineImplicationsFromFile(path, o, dir).ok());
+  // No bucket files left behind.
+  std::ifstream probe(dir + "/dmc_bucket_0.txt");
+  EXPECT_FALSE(probe.good());
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,85 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace dmc {
+namespace {
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfSampler z(10, 0.0);
+  for (uint64_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(z.Pmf(r), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(100, 1.2);
+  double total = 0.0;
+  for (uint64_t r = 0; r < 100; ++r) total += z.Pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroMostPopular) {
+  ZipfSampler z(50, 1.0);
+  for (uint64_t r = 1; r < 50; ++r) {
+    EXPECT_GT(z.Pmf(0), z.Pmf(r));
+    EXPECT_GE(z.Pmf(r - 1), z.Pmf(r));
+  }
+}
+
+TEST(ZipfTest, EmpiricalMatchesPmf) {
+  ZipfSampler z(20, 1.0);
+  Rng rng(31);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[z.Sample(rng)];
+  for (uint64_t r = 0; r < 20; ++r) {
+    EXPECT_NEAR(counts[r] / double(kSamples), z.Pmf(r),
+                0.1 * z.Pmf(r) + 0.002);
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfSampler z(1, 2.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.Sample(rng), 0u);
+}
+
+TEST(PowerLawTest, StaysInRange) {
+  PowerLawSampler p(2, 64, 2.0);
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t k = p.Sample(rng);
+    EXPECT_GE(k, 2u);
+    EXPECT_LE(k, 64u);
+  }
+}
+
+TEST(PowerLawTest, HeavyTailShape) {
+  PowerLawSampler p(1, 1000, 2.0);
+  Rng rng(43);
+  constexpr int kSamples = 100000;
+  int small = 0, large = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t k = p.Sample(rng);
+    small += k <= 2;
+    large += k >= 100;
+  }
+  // For alpha=2 most mass is at tiny values, but the tail is non-empty.
+  EXPECT_GT(small, kSamples / 2);
+  EXPECT_GT(large, 0);
+  EXPECT_LT(large, kSamples / 20);
+}
+
+TEST(PowerLawTest, DegenerateRange) {
+  PowerLawSampler p(5, 5, 1.5);
+  Rng rng(47);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(p.Sample(rng), 5u);
+}
+
+}  // namespace
+}  // namespace dmc

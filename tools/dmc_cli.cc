@@ -1,0 +1,328 @@
+// dmc_cli — command-line front end for the whole library.
+//
+//   dmc_cli mine-imp  --input=FILE --minconf=0.9 [options]
+//   dmc_cli mine-sim  --input=FILE --minsim=0.8  [options]
+//   dmc_cli stats     --input=FILE
+//   dmc_cli generate  --kind=weblog|linkgraph|news|dictionary|quest
+//                     --output=FILE [--rows=N] [--cols=N] [--seed=N]
+//
+// Common mining options:
+//   --order=buckets|identity|sort   row order for the second pass
+//   --no-hundred-phase              disable the 100%-rule pre-phase
+//   --no-bitmap                     disable the DMC-bitmap fallback
+//   --min-support=N --max-support=N support window (column pruning)
+//   --threads=N                     parallel divide-and-conquer shards
+//   --external --workdir=DIR        disk-based two-pass (mine-imp only)
+//   --top=N                         print only the N strongest rules
+//   --output=FILE                   write all rules to FILE
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/engine.h"
+#include "core/external_miner.h"
+#include "datagen/dictionary_gen.h"
+#include "datagen/linkgraph_gen.h"
+#include "datagen/news_gen.h"
+#include "datagen/quest_gen.h"
+#include "datagen/weblog_gen.h"
+#include "matrix/column_stats.h"
+#include "matrix/matrix_io.h"
+
+namespace dmc {
+namespace {
+
+// Minimal flag parsing: --name=value and boolean --name.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& name, const std::string& def = "") const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+  double GetDouble(const std::string& name, double def) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+  uint64_t GetInt(const std::string& name, uint64_t def) const {
+    const auto it = values_.find(name);
+    return it == values_.end()
+               ? def
+               : static_cast<uint64_t>(std::atoll(it->second.c_str()));
+  }
+  bool GetBool(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dmc_cli <mine-imp|mine-sim|stats|generate> "
+               "[--flag=value ...]\n(see the header of tools/dmc_cli.cc "
+               "for the full flag list)\n");
+  return 2;
+}
+
+DmcPolicy PolicyFromFlags(const Flags& flags) {
+  DmcPolicy policy;
+  const std::string order = flags.Get("order", "buckets");
+  if (order == "identity") {
+    policy.row_order = RowOrderPolicy::kIdentity;
+  } else if (order == "sort") {
+    policy.row_order = RowOrderPolicy::kExactSort;
+  } else {
+    policy.row_order = RowOrderPolicy::kDensityBuckets;
+  }
+  policy.hundred_percent_phase = !flags.GetBool("no-hundred-phase");
+  policy.bitmap_fallback = !flags.GetBool("no-bitmap");
+  return policy;
+}
+
+StatusOr<BinaryMatrix> LoadInput(const Flags& flags) {
+  const std::string input = flags.Get("input");
+  if (input.empty()) {
+    return InvalidArgumentError("--input=FILE is required");
+  }
+  DMC_ASSIGN_OR_RETURN(BinaryMatrix m, ReadMatrixTextFile(input));
+  const uint64_t min_support = flags.GetInt("min-support", 0);
+  const uint64_t max_support =
+      flags.GetInt("max-support", std::numeric_limits<uint64_t>::max());
+  if (min_support > 0 ||
+      max_support != std::numeric_limits<uint64_t>::max()) {
+    PrunedMatrix pruned = SupportPruneColumns(m, min_support, max_support);
+    std::fprintf(stderr, "support window [%llu, %llu]: %u of %u columns\n",
+                 (unsigned long long)min_support,
+                 (unsigned long long)max_support,
+                 pruned.matrix.num_columns(), m.num_columns());
+    m = std::move(pruned.matrix);
+  }
+  return m;
+}
+
+void ReportStats(const MiningStats& stats) {
+  std::fprintf(stderr,
+               "pre-scan %.3fs | 100%% phase %.3fs | sub-100%% %.3fs | "
+               "total %.3fs\npeak counter memory %.2f MB (%zu candidates); "
+               "bitmap fallback: %s\n",
+               stats.prescan_seconds, stats.hundred_seconds(),
+               stats.sub_seconds(), stats.total_seconds,
+               stats.peak_counter_bytes / (1024.0 * 1024.0),
+               stats.peak_candidates,
+               stats.hundred_bitmap_triggered || stats.sub_bitmap_triggered
+                   ? "used"
+                   : "not needed");
+}
+
+template <typename RuleSetT>
+int EmitRules(const RuleSetT& sorted, const Flags& flags) {
+  const uint64_t top = flags.GetInt("top", 20);
+  sorted.Print(std::cout, top);
+  const std::string output = flags.Get("output");
+  if (!output.empty()) {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", output.c_str());
+      return 1;
+    }
+    sorted.Print(out, 0);
+    std::fprintf(stderr, "wrote %zu rules to %s\n", sorted.size(),
+                 output.c_str());
+  }
+  return 0;
+}
+
+int MineImp(const Flags& flags) {
+  ImplicationMiningOptions options;
+  options.min_confidence = flags.GetDouble("minconf", 0.9);
+  options.policy = PolicyFromFlags(flags);
+
+  if (flags.GetBool("external")) {
+    const std::string input = flags.Get("input");
+    const std::string work_dir = flags.Get("workdir", "/tmp");
+    ExternalMiningStats stats;
+    auto rules =
+        MineImplicationsFromFile(input, options, work_dir, &stats);
+    if (!rules.ok()) {
+      std::fprintf(stderr, "%s\n", rules.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "external: pass1 %.3fs, partition %.3fs (%zu buckets), "
+                 "mine %.3fs\n",
+                 stats.pass1_seconds, stats.partition_seconds,
+                 stats.bucket_files, stats.mine_seconds);
+    std::fprintf(stderr, "%zu rules\n", rules->size());
+    return EmitRules(rules->SortedByConfidence(), flags);
+  }
+
+  auto matrix = LoadInput(flags);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "%s\n", matrix.status().ToString().c_str());
+    return 1;
+  }
+  const uint32_t threads =
+      static_cast<uint32_t>(flags.GetInt("threads", 1));
+  MiningStats stats;
+  StatusOr<ImplicationRuleSet> rules = ImplicationRuleSet{};
+  if (threads > 1) {
+    ParallelOptions p;
+    p.num_threads = threads;
+    ParallelMiningStats pstats;
+    rules = MineImplicationsParallel(*matrix, options, p, &pstats);
+    std::fprintf(stderr, "parallel: %u shards, wall %.3fs (work %.3fs)\n",
+                 pstats.shards, pstats.total_seconds,
+                 pstats.sum_shard_seconds);
+  } else {
+    rules = MineImplications(*matrix, options, &stats);
+    if (rules.ok()) ReportStats(stats);
+  }
+  if (!rules.ok()) {
+    std::fprintf(stderr, "%s\n", rules.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%zu rules at confidence >= %.3f\n", rules->size(),
+               options.min_confidence);
+  return EmitRules(rules->SortedByConfidence(), flags);
+}
+
+int MineSim(const Flags& flags) {
+  SimilarityMiningOptions options;
+  options.min_similarity = flags.GetDouble("minsim", 0.8);
+  options.policy = PolicyFromFlags(flags);
+  auto matrix = LoadInput(flags);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "%s\n", matrix.status().ToString().c_str());
+    return 1;
+  }
+  const uint32_t threads =
+      static_cast<uint32_t>(flags.GetInt("threads", 1));
+  StatusOr<SimilarityRuleSet> pairs = SimilarityRuleSet{};
+  if (threads > 1) {
+    ParallelOptions p;
+    p.num_threads = threads;
+    pairs = MineSimilaritiesParallel(*matrix, options, p);
+  } else {
+    MiningStats stats;
+    pairs = MineSimilarities(*matrix, options, &stats);
+    if (pairs.ok()) ReportStats(stats);
+  }
+  if (!pairs.ok()) {
+    std::fprintf(stderr, "%s\n", pairs.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%zu pairs at similarity >= %.3f\n", pairs->size(),
+               options.min_similarity);
+  return EmitRules(pairs->SortedBySimilarity(), flags);
+}
+
+int Stats(const Flags& flags) {
+  auto matrix = LoadInput(flags);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "%s\n", matrix.status().ToString().c_str());
+    return 1;
+  }
+  const MatrixSummary s = Summarize(*matrix);
+  std::printf("rows: %u\ncolumns: %u\nones: %zu\n", s.rows, s.columns,
+              s.ones);
+  std::printf("row density: mean %.2f, max %zu\n", s.mean_row_density,
+              s.max_row_density);
+  std::printf("column ones: mean %.2f, max %zu\n", s.mean_column_ones,
+              s.max_column_ones);
+  const auto hist = ComputeColumnDensityHistogram(*matrix);
+  std::printf("columns with >= 2 ones: %llu, >= 10: %llu, >= 100: %llu\n",
+              (unsigned long long)hist.ColumnsWithAtLeast(2),
+              (unsigned long long)hist.ColumnsWithAtLeast(10),
+              (unsigned long long)hist.ColumnsWithAtLeast(100));
+  return 0;
+}
+
+int Generate(const Flags& flags) {
+  const std::string kind = flags.Get("kind", "quest");
+  const std::string output = flags.Get("output");
+  if (output.empty()) {
+    std::fprintf(stderr, "--output=FILE is required\n");
+    return 2;
+  }
+  const uint64_t rows = flags.GetInt("rows", 10000);
+  const uint64_t cols = flags.GetInt("cols", 2000);
+  const uint64_t seed = flags.GetInt("seed", 42);
+
+  BinaryMatrix m;
+  if (kind == "weblog") {
+    WebLogOptions o;
+    o.num_clients = static_cast<uint32_t>(rows);
+    o.num_urls = static_cast<uint32_t>(cols);
+    o.seed = seed;
+    m = GenerateWebLog(o);
+  } else if (kind == "linkgraph") {
+    LinkGraphOptions o;
+    o.num_pages = static_cast<uint32_t>(rows);
+    o.seed = seed;
+    m = GenerateLinkGraph(o);
+  } else if (kind == "news") {
+    NewsOptions o;
+    o.num_docs = static_cast<uint32_t>(rows);
+    o.background_vocab = static_cast<uint32_t>(cols);
+    o.seed = seed;
+    m = GenerateNews(o).matrix;
+  } else if (kind == "dictionary") {
+    DictionaryOptions o;
+    o.num_head_words = static_cast<uint32_t>(cols);
+    o.num_definition_words = static_cast<uint32_t>(rows);
+    o.seed = seed;
+    m = GenerateDictionary(o).matrix;
+  } else if (kind == "quest") {
+    QuestOptions o;
+    o.num_transactions = static_cast<uint32_t>(rows);
+    o.num_items = static_cast<uint32_t>(cols);
+    o.seed = seed;
+    m = GenerateQuest(o);
+  } else {
+    std::fprintf(stderr, "unknown --kind=%s\n", kind.c_str());
+    return 2;
+  }
+  const Status st = WriteMatrixTextFile(m, output);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %u x %u matrix (%zu ones) to %s\n",
+               m.num_rows(), m.num_columns(), m.num_ones(), output.c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv);
+  if (command == "mine-imp") return MineImp(flags);
+  if (command == "mine-sim") return MineSim(flags);
+  if (command == "stats") return Stats(flags);
+  if (command == "generate") return Generate(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace dmc
+
+int main(int argc, char** argv) { return dmc::Run(argc, argv); }
