@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_memory_explosion.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig3_memory_explosion.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig3_memory_explosion.dir/bench_fig3_memory_explosion.cc.o"
+  "CMakeFiles/bench_fig3_memory_explosion.dir/bench_fig3_memory_explosion.cc.o.d"
+  "bench_fig3_memory_explosion"
+  "bench_fig3_memory_explosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_memory_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

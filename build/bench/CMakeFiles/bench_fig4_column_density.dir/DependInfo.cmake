@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cc" "bench/CMakeFiles/bench_fig4_column_density.dir/bench_common.cc.o" "gcc" "bench/CMakeFiles/bench_fig4_column_density.dir/bench_common.cc.o.d"
+  "/root/repo/bench/bench_fig4_column_density.cc" "bench/CMakeFiles/bench_fig4_column_density.dir/bench_fig4_column_density.cc.o" "gcc" "bench/CMakeFiles/bench_fig4_column_density.dir/bench_fig4_column_density.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/dmc_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dmc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/dmc_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/dmc_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

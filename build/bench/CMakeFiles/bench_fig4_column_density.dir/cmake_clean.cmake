@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_column_density.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig4_column_density.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig4_column_density.dir/bench_fig4_column_density.cc.o"
+  "CMakeFiles/bench_fig4_column_density.dir/bench_fig4_column_density.cc.o.d"
+  "bench_fig4_column_density"
+  "bench_fig4_column_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_column_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6ab_threshold_sweep.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig6ab_threshold_sweep.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig6ab_threshold_sweep.dir/bench_fig6ab_threshold_sweep.cc.o"
+  "CMakeFiles/bench_fig6ab_threshold_sweep.dir/bench_fig6ab_threshold_sweep.cc.o.d"
+  "bench_fig6ab_threshold_sweep"
+  "bench_fig6ab_threshold_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6ab_threshold_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

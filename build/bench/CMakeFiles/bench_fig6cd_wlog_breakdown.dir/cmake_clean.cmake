@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6cd_wlog_breakdown.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig6cd_wlog_breakdown.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig6cd_wlog_breakdown.dir/bench_fig6cd_wlog_breakdown.cc.o"
+  "CMakeFiles/bench_fig6cd_wlog_breakdown.dir/bench_fig6cd_wlog_breakdown.cc.o.d"
+  "bench_fig6cd_wlog_breakdown"
+  "bench_fig6cd_wlog_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6cd_wlog_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6ef_plinkt_breakdown.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig6ef_plinkt_breakdown.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig6ef_plinkt_breakdown.dir/bench_fig6ef_plinkt_breakdown.cc.o"
+  "CMakeFiles/bench_fig6ef_plinkt_breakdown.dir/bench_fig6ef_plinkt_breakdown.cc.o.d"
+  "bench_fig6ef_plinkt_breakdown"
+  "bench_fig6ef_plinkt_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6ef_plinkt_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6gh_memory.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig6gh_memory.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig6gh_memory.dir/bench_fig6gh_memory.cc.o"
+  "CMakeFiles/bench_fig6gh_memory.dir/bench_fig6gh_memory.cc.o.d"
+  "bench_fig6gh_memory"
+  "bench_fig6gh_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6gh_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6ij_comparison.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig6ij_comparison.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig6ij_comparison.dir/bench_fig6ij_comparison.cc.o"
+  "CMakeFiles/bench_fig6ij_comparison.dir/bench_fig6ij_comparison.cc.o.d"
+  "bench_fig6ij_comparison"
+  "bench_fig6ij_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6ij_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

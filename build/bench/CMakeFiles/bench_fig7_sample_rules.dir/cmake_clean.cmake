@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sample_rules.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig7_sample_rules.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig7_sample_rules.dir/bench_fig7_sample_rules.cc.o"
+  "CMakeFiles/bench_fig7_sample_rules.dir/bench_fig7_sample_rules.cc.o.d"
+  "bench_fig7_sample_rules"
+  "bench_fig7_sample_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sample_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

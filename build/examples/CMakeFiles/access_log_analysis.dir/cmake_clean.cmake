@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_log_analysis.dir/access_log_analysis.cpp.o"
+  "CMakeFiles/access_log_analysis.dir/access_log_analysis.cpp.o.d"
+  "access_log_analysis"
+  "access_log_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_log_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

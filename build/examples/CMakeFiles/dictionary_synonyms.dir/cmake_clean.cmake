@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dictionary_synonyms.dir/dictionary_synonyms.cpp.o"
+  "CMakeFiles/dictionary_synonyms.dir/dictionary_synonyms.cpp.o.d"
+  "dictionary_synonyms"
+  "dictionary_synonyms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dictionary_synonyms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

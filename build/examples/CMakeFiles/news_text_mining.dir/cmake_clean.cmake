@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_text_mining.dir/news_text_mining.cpp.o"
+  "CMakeFiles/news_text_mining.dir/news_text_mining.cpp.o.d"
+  "news_text_mining"
+  "news_text_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_text_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

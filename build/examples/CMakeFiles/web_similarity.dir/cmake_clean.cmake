@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_similarity.dir/web_similarity.cpp.o"
+  "CMakeFiles/web_similarity.dir/web_similarity.cpp.o.d"
+  "web_similarity"
+  "web_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

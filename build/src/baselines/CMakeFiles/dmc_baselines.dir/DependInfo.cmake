@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/apriori.cc" "src/baselines/CMakeFiles/dmc_baselines.dir/apriori.cc.o" "gcc" "src/baselines/CMakeFiles/dmc_baselines.dir/apriori.cc.o.d"
+  "/root/repo/src/baselines/bruteforce.cc" "src/baselines/CMakeFiles/dmc_baselines.dir/bruteforce.cc.o" "gcc" "src/baselines/CMakeFiles/dmc_baselines.dir/bruteforce.cc.o.d"
+  "/root/repo/src/baselines/dhp.cc" "src/baselines/CMakeFiles/dmc_baselines.dir/dhp.cc.o" "gcc" "src/baselines/CMakeFiles/dmc_baselines.dir/dhp.cc.o.d"
+  "/root/repo/src/baselines/kmin.cc" "src/baselines/CMakeFiles/dmc_baselines.dir/kmin.cc.o" "gcc" "src/baselines/CMakeFiles/dmc_baselines.dir/kmin.cc.o.d"
+  "/root/repo/src/baselines/lsh.cc" "src/baselines/CMakeFiles/dmc_baselines.dir/lsh.cc.o" "gcc" "src/baselines/CMakeFiles/dmc_baselines.dir/lsh.cc.o.d"
+  "/root/repo/src/baselines/minhash.cc" "src/baselines/CMakeFiles/dmc_baselines.dir/minhash.cc.o" "gcc" "src/baselines/CMakeFiles/dmc_baselines.dir/minhash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/dmc_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/dmc_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc_baselines.dir/apriori.cc.o"
+  "CMakeFiles/dmc_baselines.dir/apriori.cc.o.d"
+  "CMakeFiles/dmc_baselines.dir/bruteforce.cc.o"
+  "CMakeFiles/dmc_baselines.dir/bruteforce.cc.o.d"
+  "CMakeFiles/dmc_baselines.dir/dhp.cc.o"
+  "CMakeFiles/dmc_baselines.dir/dhp.cc.o.d"
+  "CMakeFiles/dmc_baselines.dir/kmin.cc.o"
+  "CMakeFiles/dmc_baselines.dir/kmin.cc.o.d"
+  "CMakeFiles/dmc_baselines.dir/lsh.cc.o"
+  "CMakeFiles/dmc_baselines.dir/lsh.cc.o.d"
+  "CMakeFiles/dmc_baselines.dir/minhash.cc.o"
+  "CMakeFiles/dmc_baselines.dir/minhash.cc.o.d"
+  "libdmc_baselines.a"
+  "libdmc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dmc_base.cc" "src/core/CMakeFiles/dmc_core.dir/dmc_base.cc.o" "gcc" "src/core/CMakeFiles/dmc_core.dir/dmc_base.cc.o.d"
+  "/root/repo/src/core/dmc_imp.cc" "src/core/CMakeFiles/dmc_core.dir/dmc_imp.cc.o" "gcc" "src/core/CMakeFiles/dmc_core.dir/dmc_imp.cc.o.d"
+  "/root/repo/src/core/dmc_sim.cc" "src/core/CMakeFiles/dmc_core.dir/dmc_sim.cc.o" "gcc" "src/core/CMakeFiles/dmc_core.dir/dmc_sim.cc.o.d"
+  "/root/repo/src/core/dmc_sim_pass.cc" "src/core/CMakeFiles/dmc_core.dir/dmc_sim_pass.cc.o" "gcc" "src/core/CMakeFiles/dmc_core.dir/dmc_sim_pass.cc.o.d"
+  "/root/repo/src/core/external_miner.cc" "src/core/CMakeFiles/dmc_core.dir/external_miner.cc.o" "gcc" "src/core/CMakeFiles/dmc_core.dir/external_miner.cc.o.d"
+  "/root/repo/src/core/parallel_dmc.cc" "src/core/CMakeFiles/dmc_core.dir/parallel_dmc.cc.o" "gcc" "src/core/CMakeFiles/dmc_core.dir/parallel_dmc.cc.o.d"
+  "/root/repo/src/core/streaming_imp.cc" "src/core/CMakeFiles/dmc_core.dir/streaming_imp.cc.o" "gcc" "src/core/CMakeFiles/dmc_core.dir/streaming_imp.cc.o.d"
+  "/root/repo/src/core/streaming_sim.cc" "src/core/CMakeFiles/dmc_core.dir/streaming_sim.cc.o" "gcc" "src/core/CMakeFiles/dmc_core.dir/streaming_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/dmc_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/dmc_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc_core.dir/dmc_base.cc.o"
+  "CMakeFiles/dmc_core.dir/dmc_base.cc.o.d"
+  "CMakeFiles/dmc_core.dir/dmc_imp.cc.o"
+  "CMakeFiles/dmc_core.dir/dmc_imp.cc.o.d"
+  "CMakeFiles/dmc_core.dir/dmc_sim.cc.o"
+  "CMakeFiles/dmc_core.dir/dmc_sim.cc.o.d"
+  "CMakeFiles/dmc_core.dir/dmc_sim_pass.cc.o"
+  "CMakeFiles/dmc_core.dir/dmc_sim_pass.cc.o.d"
+  "CMakeFiles/dmc_core.dir/external_miner.cc.o"
+  "CMakeFiles/dmc_core.dir/external_miner.cc.o.d"
+  "CMakeFiles/dmc_core.dir/parallel_dmc.cc.o"
+  "CMakeFiles/dmc_core.dir/parallel_dmc.cc.o.d"
+  "CMakeFiles/dmc_core.dir/streaming_imp.cc.o"
+  "CMakeFiles/dmc_core.dir/streaming_imp.cc.o.d"
+  "CMakeFiles/dmc_core.dir/streaming_sim.cc.o"
+  "CMakeFiles/dmc_core.dir/streaming_sim.cc.o.d"
+  "libdmc_core.a"
+  "libdmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dictionary_gen.cc" "src/datagen/CMakeFiles/dmc_datagen.dir/dictionary_gen.cc.o" "gcc" "src/datagen/CMakeFiles/dmc_datagen.dir/dictionary_gen.cc.o.d"
+  "/root/repo/src/datagen/linkgraph_gen.cc" "src/datagen/CMakeFiles/dmc_datagen.dir/linkgraph_gen.cc.o" "gcc" "src/datagen/CMakeFiles/dmc_datagen.dir/linkgraph_gen.cc.o.d"
+  "/root/repo/src/datagen/news_gen.cc" "src/datagen/CMakeFiles/dmc_datagen.dir/news_gen.cc.o" "gcc" "src/datagen/CMakeFiles/dmc_datagen.dir/news_gen.cc.o.d"
+  "/root/repo/src/datagen/planted_gen.cc" "src/datagen/CMakeFiles/dmc_datagen.dir/planted_gen.cc.o" "gcc" "src/datagen/CMakeFiles/dmc_datagen.dir/planted_gen.cc.o.d"
+  "/root/repo/src/datagen/quest_gen.cc" "src/datagen/CMakeFiles/dmc_datagen.dir/quest_gen.cc.o" "gcc" "src/datagen/CMakeFiles/dmc_datagen.dir/quest_gen.cc.o.d"
+  "/root/repo/src/datagen/weblog_gen.cc" "src/datagen/CMakeFiles/dmc_datagen.dir/weblog_gen.cc.o" "gcc" "src/datagen/CMakeFiles/dmc_datagen.dir/weblog_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/dmc_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/dmc_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc_datagen.dir/dictionary_gen.cc.o"
+  "CMakeFiles/dmc_datagen.dir/dictionary_gen.cc.o.d"
+  "CMakeFiles/dmc_datagen.dir/linkgraph_gen.cc.o"
+  "CMakeFiles/dmc_datagen.dir/linkgraph_gen.cc.o.d"
+  "CMakeFiles/dmc_datagen.dir/news_gen.cc.o"
+  "CMakeFiles/dmc_datagen.dir/news_gen.cc.o.d"
+  "CMakeFiles/dmc_datagen.dir/planted_gen.cc.o"
+  "CMakeFiles/dmc_datagen.dir/planted_gen.cc.o.d"
+  "CMakeFiles/dmc_datagen.dir/quest_gen.cc.o"
+  "CMakeFiles/dmc_datagen.dir/quest_gen.cc.o.d"
+  "CMakeFiles/dmc_datagen.dir/weblog_gen.cc.o"
+  "CMakeFiles/dmc_datagen.dir/weblog_gen.cc.o.d"
+  "libdmc_datagen.a"
+  "libdmc_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

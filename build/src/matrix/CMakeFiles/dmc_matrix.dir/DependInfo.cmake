@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/binary_matrix.cc" "src/matrix/CMakeFiles/dmc_matrix.dir/binary_matrix.cc.o" "gcc" "src/matrix/CMakeFiles/dmc_matrix.dir/binary_matrix.cc.o.d"
+  "/root/repo/src/matrix/column_stats.cc" "src/matrix/CMakeFiles/dmc_matrix.dir/column_stats.cc.o" "gcc" "src/matrix/CMakeFiles/dmc_matrix.dir/column_stats.cc.o.d"
+  "/root/repo/src/matrix/matrix_io.cc" "src/matrix/CMakeFiles/dmc_matrix.dir/matrix_io.cc.o" "gcc" "src/matrix/CMakeFiles/dmc_matrix.dir/matrix_io.cc.o.d"
+  "/root/repo/src/matrix/row_order.cc" "src/matrix/CMakeFiles/dmc_matrix.dir/row_order.cc.o" "gcc" "src/matrix/CMakeFiles/dmc_matrix.dir/row_order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc_matrix.dir/binary_matrix.cc.o"
+  "CMakeFiles/dmc_matrix.dir/binary_matrix.cc.o.d"
+  "CMakeFiles/dmc_matrix.dir/column_stats.cc.o"
+  "CMakeFiles/dmc_matrix.dir/column_stats.cc.o.d"
+  "CMakeFiles/dmc_matrix.dir/matrix_io.cc.o"
+  "CMakeFiles/dmc_matrix.dir/matrix_io.cc.o.d"
+  "CMakeFiles/dmc_matrix.dir/row_order.cc.o"
+  "CMakeFiles/dmc_matrix.dir/row_order.cc.o.d"
+  "libdmc_matrix.a"
+  "libdmc_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/grouping.cc" "src/rules/CMakeFiles/dmc_rules.dir/grouping.cc.o" "gcc" "src/rules/CMakeFiles/dmc_rules.dir/grouping.cc.o.d"
+  "/root/repo/src/rules/multiattr.cc" "src/rules/CMakeFiles/dmc_rules.dir/multiattr.cc.o" "gcc" "src/rules/CMakeFiles/dmc_rules.dir/multiattr.cc.o.d"
+  "/root/repo/src/rules/rule.cc" "src/rules/CMakeFiles/dmc_rules.dir/rule.cc.o" "gcc" "src/rules/CMakeFiles/dmc_rules.dir/rule.cc.o.d"
+  "/root/repo/src/rules/rule_set.cc" "src/rules/CMakeFiles/dmc_rules.dir/rule_set.cc.o" "gcc" "src/rules/CMakeFiles/dmc_rules.dir/rule_set.cc.o.d"
+  "/root/repo/src/rules/verifier.cc" "src/rules/CMakeFiles/dmc_rules.dir/verifier.cc.o" "gcc" "src/rules/CMakeFiles/dmc_rules.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/dmc_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc_rules.dir/grouping.cc.o"
+  "CMakeFiles/dmc_rules.dir/grouping.cc.o.d"
+  "CMakeFiles/dmc_rules.dir/multiattr.cc.o"
+  "CMakeFiles/dmc_rules.dir/multiattr.cc.o.d"
+  "CMakeFiles/dmc_rules.dir/rule.cc.o"
+  "CMakeFiles/dmc_rules.dir/rule.cc.o.d"
+  "CMakeFiles/dmc_rules.dir/rule_set.cc.o"
+  "CMakeFiles/dmc_rules.dir/rule_set.cc.o.d"
+  "CMakeFiles/dmc_rules.dir/verifier.cc.o"
+  "CMakeFiles/dmc_rules.dir/verifier.cc.o.d"
+  "libdmc_rules.a"
+  "libdmc_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc_util.dir/bitvector.cc.o"
+  "CMakeFiles/dmc_util.dir/bitvector.cc.o.d"
+  "CMakeFiles/dmc_util.dir/logging.cc.o"
+  "CMakeFiles/dmc_util.dir/logging.cc.o.d"
+  "CMakeFiles/dmc_util.dir/memory_tracker.cc.o"
+  "CMakeFiles/dmc_util.dir/memory_tracker.cc.o.d"
+  "CMakeFiles/dmc_util.dir/random.cc.o"
+  "CMakeFiles/dmc_util.dir/random.cc.o.d"
+  "CMakeFiles/dmc_util.dir/status.cc.o"
+  "CMakeFiles/dmc_util.dir/status.cc.o.d"
+  "CMakeFiles/dmc_util.dir/zipf.cc.o"
+  "CMakeFiles/dmc_util.dir/zipf.cc.o.d"
+  "libdmc_util.a"
+  "libdmc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

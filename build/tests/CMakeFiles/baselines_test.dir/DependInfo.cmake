@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apriori_test.cc" "tests/CMakeFiles/baselines_test.dir/apriori_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/apriori_test.cc.o.d"
+  "/root/repo/tests/bruteforce_test.cc" "tests/CMakeFiles/baselines_test.dir/bruteforce_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/bruteforce_test.cc.o.d"
+  "/root/repo/tests/dhp_test.cc" "tests/CMakeFiles/baselines_test.dir/dhp_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/dhp_test.cc.o.d"
+  "/root/repo/tests/kmin_test.cc" "tests/CMakeFiles/baselines_test.dir/kmin_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/kmin_test.cc.o.d"
+  "/root/repo/tests/lsh_test.cc" "tests/CMakeFiles/baselines_test.dir/lsh_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/lsh_test.cc.o.d"
+  "/root/repo/tests/minhash_test.cc" "tests/CMakeFiles/baselines_test.dir/minhash_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/minhash_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/dmc_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dmc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/dmc_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/dmc_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

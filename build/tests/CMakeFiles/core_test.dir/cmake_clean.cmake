@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/dmc_imp_test.cc.o"
+  "CMakeFiles/core_test.dir/dmc_imp_test.cc.o.d"
+  "CMakeFiles/core_test.dir/dmc_sim_test.cc.o"
+  "CMakeFiles/core_test.dir/dmc_sim_test.cc.o.d"
+  "CMakeFiles/core_test.dir/edge_cases_test.cc.o"
+  "CMakeFiles/core_test.dir/edge_cases_test.cc.o.d"
+  "CMakeFiles/core_test.dir/miss_counter_table_test.cc.o"
+  "CMakeFiles/core_test.dir/miss_counter_table_test.cc.o.d"
+  "CMakeFiles/core_test.dir/thresholds_test.cc.o"
+  "CMakeFiles/core_test.dir/thresholds_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

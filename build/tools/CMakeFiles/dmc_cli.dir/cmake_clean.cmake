@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc_cli.dir/dmc_cli.cc.o"
+  "CMakeFiles/dmc_cli.dir/dmc_cli.cc.o.d"
+  "dmc_cli"
+  "dmc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
