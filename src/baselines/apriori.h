@@ -44,14 +44,14 @@ struct AprioriStats {
 /// inside the support window. Fails if the counter array would exceed
 /// `max_counter_bytes` (mirrors the paper's observation that a-priori
 /// simply cannot run when the counters do not fit).
-StatusOr<ImplicationRuleSet> AprioriImplications(
+[[nodiscard]] StatusOr<ImplicationRuleSet> AprioriImplications(
     const BinaryMatrix& m, const AprioriOptions& options,
     double min_confidence, AprioriStats* stats = nullptr,
     size_t max_counter_bytes = size_t{8} << 30);
 
 /// All similarity pairs with similarity >= min_similarity among columns
 /// inside the support window.
-StatusOr<SimilarityRuleSet> AprioriSimilarities(
+[[nodiscard]] StatusOr<SimilarityRuleSet> AprioriSimilarities(
     const BinaryMatrix& m, const AprioriOptions& options,
     double min_similarity, AprioriStats* stats = nullptr,
     size_t max_counter_bytes = size_t{8} << 30);

@@ -21,7 +21,7 @@ namespace dmc {
 /// false positives, no false negatives. Rules carry exact miss counts.
 ///
 /// `stats`, when non-null, receives the phase/time/memory breakdown.
-StatusOr<ImplicationRuleSet> MineImplications(
+[[nodiscard]] StatusOr<ImplicationRuleSet> MineImplications(
     const BinaryMatrix& matrix, const ImplicationMiningOptions& options,
     MiningStats* stats = nullptr);
 
@@ -30,7 +30,7 @@ StatusOr<ImplicationRuleSet> MineImplications(
 /// partition reproduces the unsharded result exactly — the building block
 /// of the parallel divide-and-conquer miner (§7 future work; see
 /// parallel_dmc.h).
-StatusOr<ImplicationRuleSet> MineImplicationsSharded(
+[[nodiscard]] StatusOr<ImplicationRuleSet> MineImplicationsSharded(
     const BinaryMatrix& matrix, const ImplicationMiningOptions& options,
     const std::vector<uint8_t>& lhs_shard, MiningStats* stats = nullptr);
 

@@ -19,13 +19,13 @@ namespace dmc {
 /// Finds ALL column pairs with similarity >= options.min_similarity, in
 /// canonical orientation (sparser column first): no false positives, no
 /// false negatives. Pairs carry exact intersection counts.
-StatusOr<SimilarityRuleSet> MineSimilarities(
+[[nodiscard]] StatusOr<SimilarityRuleSet> MineSimilarities(
     const BinaryMatrix& matrix, const SimilarityMiningOptions& options,
     MiningStats* stats = nullptr);
 
 /// Advanced: restricts the list-keeping (sparser) side of each pair to
 /// the columns marked in `lhs_shard`; see MineImplicationsSharded.
-StatusOr<SimilarityRuleSet> MineSimilaritiesSharded(
+[[nodiscard]] StatusOr<SimilarityRuleSet> MineSimilaritiesSharded(
     const BinaryMatrix& matrix, const SimilarityMiningOptions& options,
     const std::vector<uint8_t>& lhs_shard, MiningStats* stats = nullptr);
 

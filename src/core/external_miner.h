@@ -37,13 +37,13 @@ struct ExternalMiningStats {
 /// Bucket files are created under `work_dir` (which must exist) and
 /// removed afterwards. RowOrderPolicy::kIdentity skips the partitioning
 /// and streams the original file directly.
-StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
+[[nodiscard]] StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
     const std::string& path, const ImplicationMiningOptions& options,
     const std::string& work_dir, ExternalMiningStats* stats = nullptr);
 
 /// Mines similarity pairs from a transaction text file; same mechanics
 /// as MineImplicationsFromFile.
-StatusOr<SimilarityRuleSet> MineSimilaritiesFromFile(
+[[nodiscard]] StatusOr<SimilarityRuleSet> MineSimilaritiesFromFile(
     const std::string& path, const SimilarityMiningOptions& options,
     const std::string& work_dir, ExternalMiningStats* stats = nullptr);
 

@@ -44,13 +44,13 @@ struct ParallelMiningStats {
 };
 
 /// Parallel MineImplications. Identical output to the serial engine.
-StatusOr<ImplicationRuleSet> MineImplicationsParallel(
+[[nodiscard]] StatusOr<ImplicationRuleSet> MineImplicationsParallel(
     const BinaryMatrix& matrix, const ImplicationMiningOptions& options,
     const ParallelOptions& parallel,
     ParallelMiningStats* stats = nullptr);
 
 /// Parallel MineSimilarities. Identical output to the serial engine.
-StatusOr<SimilarityRuleSet> MineSimilaritiesParallel(
+[[nodiscard]] StatusOr<SimilarityRuleSet> MineSimilaritiesParallel(
     const BinaryMatrix& matrix, const SimilarityMiningOptions& options,
     const ParallelOptions& parallel,
     ParallelMiningStats* stats = nullptr);

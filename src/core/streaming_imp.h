@@ -70,13 +70,13 @@ class StreamingImplicationPass {
   /// Completes the pass (runs the bitmap phases if triggered) and
   /// returns all discovered rules. Fails if fewer rows were streamed
   /// than promised.
-  StatusOr<ImplicationRuleSet> Finish();
+  [[nodiscard]] StatusOr<ImplicationRuleSet> Finish();
 
   /// Peak counter bytes observed.
   size_t peak_counter_bytes() const { return tracker_.peak_bytes(); }
 
  private:
-  bool LhsOk(ColumnId c) const { return true; }
+  bool LhsOk(ColumnId /*c*/) const { return true; }
   bool ActiveOk(ColumnId c) const {
     return config_.active.empty() || config_.active[c] != 0;
   }
@@ -109,7 +109,7 @@ class StreamingImplicationPass {
 /// phase (the paper's implementation likewise re-reads the bucketed data
 /// for each phase).
 template <typename Replay>
-StatusOr<ImplicationRuleSet> StreamImplications(
+[[nodiscard]] StatusOr<ImplicationRuleSet> StreamImplications(
     ColumnId num_columns, const std::vector<uint32_t>& ones,
     uint64_t total_rows, const ImplicationMiningOptions& options,
     Replay&& replay) {

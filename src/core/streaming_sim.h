@@ -47,7 +47,7 @@ class StreamingSimilarityPass {
   size_t counter_bytes() const { return table_.bytes(); }
   size_t peak_counter_bytes() const { return tracker_.peak_bytes(); }
 
-  StatusOr<SimilarityRuleSet> Finish();
+  [[nodiscard]] StatusOr<SimilarityRuleSet> Finish();
 
  private:
   bool ActiveOk(ColumnId c) const {
@@ -84,7 +84,7 @@ class StreamingSimilarityPass {
 /// sub-100% phase); `replay(sink)` is invoked once per phase and must
 /// deliver the same rows in the same order each time.
 template <typename Replay>
-StatusOr<SimilarityRuleSet> StreamSimilarities(
+[[nodiscard]] StatusOr<SimilarityRuleSet> StreamSimilarities(
     ColumnId num_columns, const std::vector<uint32_t>& ones,
     uint64_t total_rows, const SimilarityMiningOptions& options,
     Replay&& replay) {

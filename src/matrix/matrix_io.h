@@ -21,12 +21,12 @@
 namespace dmc {
 
 /// Writes `m` in transaction text format.
-Status WriteMatrixText(const BinaryMatrix& m, std::ostream& os);
-Status WriteMatrixTextFile(const BinaryMatrix& m, const std::string& path);
+[[nodiscard]] Status WriteMatrixText(const BinaryMatrix& m, std::ostream& os);
+[[nodiscard]] Status WriteMatrixTextFile(const BinaryMatrix& m, const std::string& path);
 
 /// Parses transaction text format. Fails on malformed tokens.
-StatusOr<BinaryMatrix> ReadMatrixText(std::istream& is);
-StatusOr<BinaryMatrix> ReadMatrixTextFile(const std::string& path);
+[[nodiscard]] StatusOr<BinaryMatrix> ReadMatrixText(std::istream& is);
+[[nodiscard]] StatusOr<BinaryMatrix> ReadMatrixTextFile(const std::string& path);
 
 /// First-pass statistics obtainable from a single stream scan without
 /// materializing the matrix: ones(c) per column and per-row densities.
@@ -39,13 +39,13 @@ struct FirstPassStats {
   std::vector<uint32_t> row_density;
 };
 
-StatusOr<FirstPassStats> ScanMatrixText(std::istream& is);
+[[nodiscard]] StatusOr<FirstPassStats> ScanMatrixText(std::istream& is);
 
 /// Streams rows from transaction text without materializing the matrix:
 /// `callback(row)` is invoked once per row with sorted, deduplicated
 /// column ids; a non-OK return aborts the scan. This is the primitive the
 /// external (disk-based) miner is built on.
-Status ForEachRowText(
+[[nodiscard]] Status ForEachRowText(
     std::istream& is,
     const std::function<Status(std::span<const ColumnId>)>& callback);
 

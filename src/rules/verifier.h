@@ -36,11 +36,11 @@ class RuleVerifier {
 
   /// Checks that every rule's stored counts match the matrix and that its
   /// confidence reaches `min_confidence`. Returns the first violation.
-  Status VerifyImplications(const ImplicationRuleSet& rules,
+  [[nodiscard]] Status VerifyImplications(const ImplicationRuleSet& rules,
                             double min_confidence) const;
 
   /// Same for similarity pairs.
-  Status VerifySimilarities(const SimilarityRuleSet& pairs,
+  [[nodiscard]] Status VerifySimilarities(const SimilarityRuleSet& pairs,
                             double min_similarity) const;
 
   /// Builds an ImplicationRule with exact counts for (i, j).

@@ -33,7 +33,7 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// Cheap to copy in the OK case (no allocation); error states carry a
 /// std::string message.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -48,7 +48,7 @@ class Status {
 
   static Status OK() { return Status(); }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

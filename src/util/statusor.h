@@ -14,7 +14,7 @@ namespace dmc {
 /// Holds either a value of type T or a non-OK Status explaining why the
 /// value is absent. Accessing the value of a non-OK StatusOr aborts.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from an error status. Must not be OK (an OK status with no
   /// value is meaningless); enforced with a CHECK.
@@ -30,7 +30,7 @@ class StatusOr {
   StatusOr(StatusOr&&) = default;
   StatusOr& operator=(StatusOr&&) = default;
 
-  bool ok() const { return status_.ok(); }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {

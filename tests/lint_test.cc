@@ -1,0 +1,203 @@
+#include "tools/lint_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dmc {
+namespace lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(DMC_TESTDATA_DIR) + "/lint/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+size_t CountRule(const std::vector<Finding>& findings,
+                 const std::string& rule) {
+  size_t n = 0;
+  for (const auto& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+TEST(ScrubSourceTest, BlanksCommentsAndStringsKeepsNewlines) {
+  const std::string src =
+      "int x; // rand()\n"
+      "const char* s = \"srand(1)\";\n"
+      "/* std::cout\n   rand() */ int y;\n";
+  const std::string scrubbed = ScrubSource(src);
+  EXPECT_EQ(scrubbed.find("rand"), std::string::npos);
+  EXPECT_EQ(scrubbed.find("cout"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int x;"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int y;"), std::string::npos);
+  EXPECT_EQ(std::count(scrubbed.begin(), scrubbed.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+}
+
+TEST(ScrubSourceTest, EscapedQuoteStaysInsideString) {
+  const std::string scrubbed =
+      ScrubSource("const char* s = \"a\\\"rand()\"; int z;");
+  EXPECT_EQ(scrubbed.find("rand"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int z;"), std::string::npos);
+}
+
+TEST(CollectStatusFunctionsTest, HarvestsDeclarations) {
+  const auto names = CollectStatusFunctions(
+      "Status WriteThing(int x);\n"
+      "StatusOr<std::vector<int>> ReadThing();\n"
+      "  [[nodiscard]] StatusOr<Matrix> Load(const std::string& p);\n");
+  EXPECT_TRUE(names.count("WriteThing"));
+  EXPECT_TRUE(names.count("ReadThing"));
+  EXPECT_TRUE(names.count("Load"));
+  EXPECT_EQ(names.size(), 3u);
+}
+
+TEST(CollectStatusFunctionsTest, SkipsNonFunctions) {
+  const auto names = CollectStatusFunctions(
+      "StatusCode code();\n"        // different type
+      "Status st = Foo();\n"        // variable, not a declaration
+      "enum class Status { kA };\n");
+  EXPECT_TRUE(names.empty());
+}
+
+// --- fixture files: each violating fixture fires its rule exactly once ---
+
+TEST(LintFixtureTest, BannedRandFiresExactlyOnce) {
+  const auto findings =
+      LintFile("uses_rand.cc", ReadFile(FixturePath("uses_rand.cc")), {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-rand");
+  EXPECT_EQ(findings[0].line, 10);
+}
+
+TEST(LintFixtureTest, MissingGuardFiresExactlyOnce) {
+  const auto findings = LintFile(
+      "missing_guard.h", ReadFile(FixturePath("missing_guard.h")), {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-guard");
+}
+
+TEST(LintFixtureTest, IgnoredStatusFiresExactlyOnce) {
+  const std::string content = ReadFile(FixturePath("ignored_status.cc"));
+  // Registry harvested from the fixture's own declarations.
+  const auto registry = CollectStatusFunctions(content);
+  EXPECT_TRUE(registry.count("Frob"));
+  EXPECT_TRUE(registry.count("Other"));
+  const auto findings = LintFile("ignored_status.cc", content, registry);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "discarded-status");
+  EXPECT_EQ(findings[0].line, 15);
+  EXPECT_NE(findings[0].message.find("Frob"), std::string::npos);
+}
+
+TEST(LintFixtureTest, BannedStdioFiresExactlyOnce) {
+  const auto findings =
+      LintFile("uses_stdio.cc", ReadFile(FixturePath("uses_stdio.cc")), {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-stdio");
+}
+
+TEST(LintFixtureTest, CleanFilesPass) {
+  EXPECT_TRUE(
+      LintFile("clean.h", ReadFile(FixturePath("clean.h")), {}).empty());
+  EXPECT_TRUE(
+      LintFile("clean.cc", ReadFile(FixturePath("clean.cc")), {}).empty());
+}
+
+TEST(LintFixtureTest, TreeWalkFindsOnePerViolatingFixture) {
+  const auto findings = LintTree(std::string(DMC_TESTDATA_DIR) + "/lint");
+  EXPECT_EQ(CountRule(findings, "banned-rand"), 1u);
+  EXPECT_EQ(CountRule(findings, "include-guard"), 1u);
+  EXPECT_EQ(CountRule(findings, "discarded-status"), 1u);
+  EXPECT_EQ(CountRule(findings, "banned-stdio"), 1u);
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+// --- rule details on inline content ---
+
+TEST(LintRuleTest, PragmaOnceSatisfiesGuardRule) {
+  EXPECT_TRUE(LintFile("x.h", "#pragma once\nint v;\n", {}).empty());
+}
+
+TEST(LintRuleTest, MismatchedGuardMacroFails) {
+  const auto findings =
+      LintFile("x.h", "#ifndef A_H_\n#define B_H_\nint v;\n#endif\n", {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-guard");
+}
+
+TEST(LintRuleTest, GuardRuleIgnoresNonHeaders) {
+  EXPECT_TRUE(LintFile("x.cc", "int v;\n", {}).empty());
+}
+
+TEST(LintRuleTest, LoggingBackendMayUseStdio) {
+  const std::string body = "#include <cstdio>\nvoid F(){fprintf(stderr, x);}\n";
+  EXPECT_TRUE(LintFile("src/util/logging.cc", body, {}).empty());
+  EXPECT_EQ(LintFile("src/core/engine.cc", body, {}).size(), 1u);
+}
+
+TEST(LintRuleTest, QualifiedNonStdRandIsAllowed) {
+  EXPECT_TRUE(LintFile("x.cc", "int v = Legacy::rand();\n", {}).empty());
+  EXPECT_EQ(LintFile("x.cc", "int v = std::rand();\n", {}).size(), 1u);
+}
+
+TEST(LintRuleTest, DiscardInsideIfBodyIsFlagged) {
+  const std::set<std::string> registry{"Frob"};
+  const auto findings =
+      LintFile("x.cc", "void F(bool b){ if (b) Frob(); }\n", registry);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "discarded-status");
+}
+
+TEST(LintRuleTest, MemberCallDiscardIsFlagged) {
+  const std::set<std::string> registry{"VerifyImplications"};
+  const auto findings = LintFile(
+      "x.cc", "void F(V& v){ v.VerifyImplications(r, m); }\n", registry);
+  ASSERT_EQ(findings.size(), 1u);
+}
+
+TEST(LintRuleTest, CheckedUsesAreNotFlagged) {
+  const std::set<std::string> registry{"Frob"};
+  const std::string body =
+      "Status G() {\n"
+      "  Status s = Frob();\n"
+      "  if (!Frob().ok()) return s;\n"
+      "  (void)Frob();\n"
+      "  return Frob();\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("x.cc", body, registry).empty());
+}
+
+TEST(LintRuleTest, IgnoreFileSuppressesEverything) {
+  const auto findings = LintFile(
+      "x.cc", "// dmc_lint: ignore-file\nvoid F(){ srand(7); }\n", {});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRuleTest, LineSuppressionWorks) {
+  const auto findings = LintFile(
+      "x.cc", "void F(){ srand(7); }  // dmc_lint: ignore\n", {});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRuleTest, FormatFindingIsStable) {
+  const Finding f{"a/b.cc", 12, "banned-rand", "no"};
+  EXPECT_EQ(FormatFinding(f), "a/b.cc:12: [banned-rand] no");
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace dmc

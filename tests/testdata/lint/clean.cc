@@ -1,0 +1,13 @@
+// Fixture: a fully clean translation unit — no rule may fire, including
+// the suppressed violation below.
+#include <cstdlib>
+
+#include "clean.h"
+
+namespace dmc_fixture {
+
+int LegacySeed() {
+  return rand();  // dmc_lint: ignore — fixture exercises line suppression
+}
+
+}  // namespace dmc_fixture

@@ -1,0 +1,12 @@
+// Fixture: a fully clean header — no rule may fire.
+
+#ifndef DMC_TESTS_TESTDATA_LINT_CLEAN_H_
+#define DMC_TESTS_TESTDATA_LINT_CLEAN_H_
+
+namespace dmc_fixture {
+
+inline int Twice(int x) { return 2 * x; }
+
+}  // namespace dmc_fixture
+
+#endif  // DMC_TESTS_TESTDATA_LINT_CLEAN_H_

@@ -1,0 +1,25 @@
+// Fixture: exactly one discarded-status violation (the bare Frob() call).
+// Every other use checks, propagates, returns, or (void)-casts the result.
+
+namespace dmc_fixture {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Frob();
+Status Other();
+
+void Ignorer() {
+  Frob();  // <- the one violation
+}
+
+Status FineUses() {
+  Status s = Frob();
+  if (!s.ok()) return s;
+  (void)Other();
+  return Other();
+}
+
+}  // namespace dmc_fixture

@@ -1,0 +1,8 @@
+// Fixture: exactly one include-guard violation (no #pragma once and no
+// #ifndef/#define pair at the top of the header).
+
+namespace dmc_fixture {
+
+inline int Answer() { return 42; }
+
+}  // namespace dmc_fixture

@@ -1,0 +1,15 @@
+// Fixture: exactly one banned-rand violation (the call below).
+// "rand()" in this comment and "srand(1)" in the string must not fire.
+#include <cstdlib>
+
+namespace dmc_fixture {
+
+const char* kDecoy = "calls srand(1) and rand()";
+
+int Roll() {
+  return rand();
+}
+
+int BrandNew() { return 7; }  // `brand`-like identifiers are not matches
+
+}  // namespace dmc_fixture

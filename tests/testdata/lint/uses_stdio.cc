@@ -1,0 +1,16 @@
+// Fixture: exactly one banned-stdio violation (the std::cout line).
+// snprintf is string formatting, not output, and stays legal.
+#include <cstdio>
+#include <iostream>
+
+namespace dmc_fixture {
+
+void Shout() {
+  std::cout << "library code must not write to stdout\n";
+}
+
+void Format(char* buf, unsigned long n) {
+  std::snprintf(buf, n, "ok");
+}
+
+}  // namespace dmc_fixture

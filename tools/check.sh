@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# check.sh — one-shot correctness gate. Runs, in order:
+#
+#   (a) warnings-as-errors build + full ctest        (preset: default)
+#   (b) ASan+UBSan build + full ctest                (preset: asan-ubsan)
+#   (c) TSan build + parallel_test + parallel_stress_test  (preset: tsan)
+#   (d) dmc_lint over src/
+#
+# Exits nonzero on the first failure. Pass --fast to skip the sanitizer
+# stages (a + d only), e.g. for a pre-commit hook.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+step "(a) werror build + ctest"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "${jobs}"
+ctest --preset default -j "${jobs}"
+
+if [[ "${fast}" -eq 0 ]]; then
+  step "(b) asan-ubsan build + ctest"
+  cmake --preset asan-ubsan >/dev/null
+  cmake --build --preset asan-ubsan -j "${jobs}"
+  ctest --preset asan-ubsan -j "${jobs}"
+
+  step "(c) tsan build + parallel tests + stress test"
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "${jobs}"
+  ctest --test-dir build-tsan -R 'Parallel|ColumnShards' \
+    -j "${jobs}" --output-on-failure
+fi
+
+step "(d) dmc_lint over src/"
+DMC_BUILD_DIR="${repo_root}/build" "${repo_root}/tools/dmc_check.sh"
+
+step "all checks passed"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# dmc_check.sh — build (if needed) and run the dmc_lint static checker
+# over the library tree. Usage:
+#
+#   tools/dmc_check.sh [path ...]      # default path: src/
+#
+# Exits nonzero when any lint rule fires. See tools/lint_lib.h for the
+# rule list and the suppression syntax.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${DMC_BUILD_DIR:-${repo_root}/build}"
+
+if [[ ! -x "${build_dir}/tools/dmc_lint" ]]; then
+  cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+  cmake --build "${build_dir}" --target dmc_lint -j >/dev/null
+fi
+
+targets=("$@")
+if [[ ${#targets[@]} -eq 0 ]]; then
+  targets=("${repo_root}/src")
+fi
+
+exec "${build_dir}/tools/dmc_lint" "${targets[@]}"

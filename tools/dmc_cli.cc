@@ -44,12 +44,15 @@ class Flags {
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) continue;
+      // Build key/value as named locals: assigning substr() temporaries
+      // straight into the map trips a GCC 12 -Wrestrict false positive
+      // (inlined basic_string::operator= self-overlap check).
       const size_t eq = arg.find('=');
-      if (eq == std::string::npos) {
-        values_[arg.substr(2)] = "1";
-      } else {
-        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-      }
+      std::string key = arg.substr(2, eq == std::string::npos
+                                          ? std::string::npos
+                                          : eq - 2);
+      std::string value = eq == std::string::npos ? "1" : arg.substr(eq + 1);
+      values_[std::move(key)] = std::move(value);
     }
   }
 

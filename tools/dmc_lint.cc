@@ -1,0 +1,42 @@
+// dmc_lint: static checker for DMC project invariants.
+//
+// Usage: dmc_lint <file-or-dir> [<file-or-dir> ...]
+//
+// Walks each argument (recursively for directories), lints every
+// .h/.cc/.cpp file against the rules in tools/lint_lib.h, prints one
+// line per finding, and exits nonzero when anything fires. Registered
+// as the `dmc_lint` ctest over the whole src/ tree, so tier-1 fails on
+// violations.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint_lib.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dmc_lint <file-or-dir> [<file-or-dir> ...]\n"
+                 "rules: include-guard banned-rand banned-stdio "
+                 "discarded-status\n"
+                 "suppress one line with `// dmc_lint: ignore`, a file "
+                 "with `dmc_lint: ignore-file`\n");
+    return 2;
+  }
+  std::vector<dmc::lint::Finding> findings;
+  for (int i = 1; i < argc; ++i) {
+    auto tree_findings = dmc::lint::LintTree(argv[i]);
+    findings.insert(findings.end(), tree_findings.begin(),
+                    tree_findings.end());
+  }
+  for (const auto& f : findings) {
+    std::fprintf(stderr, "%s\n", dmc::lint::FormatFinding(f).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "dmc_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  std::printf("dmc_lint: clean\n");
+  return 0;
+}

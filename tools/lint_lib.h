@@ -1,0 +1,69 @@
+// Project-invariant static checker ("dmc_lint") — rule engine.
+//
+// Lints the DMC source tree for invariants the compiler cannot (or does
+// not, on every toolchain) enforce:
+//
+//   include-guard     every header has #pragma once or a matching
+//                     #ifndef/#define guard near the top
+//   banned-rand       no rand()/srand() — randomized code must go through
+//                     dmc::Rng (util/random.h) so runs are reproducible
+//   banned-stdio      no std::cout/std::cerr/printf-family output in
+//                     library code — use DMC_LOG (util/logging.h); the
+//                     logging backend itself is whitelisted
+//   discarded-status  a call to a Status/StatusOr-returning function used
+//                     as a bare statement (result ignored)
+//
+// Suppression: append `// dmc_lint: ignore` to a line to skip it, or put
+// `dmc_lint: ignore-file` anywhere in a file to skip the whole file.
+//
+// The engine is a library so the lint test suite can drive individual
+// rules against fixture files; the `dmc_lint` binary wraps LintTree().
+
+#ifndef DMC_TOOLS_LINT_LIB_H_
+#define DMC_TOOLS_LINT_LIB_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dmc {
+namespace lint {
+
+/// One rule violation at a specific source line.
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// Returns `content` with comments and string/char literals blanked out
+/// (replaced by spaces, newlines preserved) so token scans cannot match
+/// inside them. Exposed for tests.
+std::string ScrubSource(const std::string& content);
+
+/// Harvests the names of functions declared to return Status or
+/// StatusOr<...> from (scrubbed or raw) source text.
+std::set<std::string> CollectStatusFunctions(const std::string& content);
+
+/// Lints one file's content. `path` selects which rules apply (header
+/// rules for .h, stdio rules outside the logging backend, ...);
+/// `status_functions` is the registry used by the discarded-status rule.
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& content,
+                              const std::set<std::string>& status_functions);
+
+/// Walks `root` (a directory or a single file), harvests the
+/// Status-function registry from every source file, then lints every
+/// .h/.cc/.cpp file. Findings are sorted by (file, line).
+std::vector<Finding> LintTree(const std::string& root);
+
+/// "file:line: [rule] message" for diagnostics.
+std::string FormatFinding(const Finding& f);
+
+}  // namespace lint
+}  // namespace dmc
+
+#endif  // DMC_TOOLS_LINT_LIB_H_
