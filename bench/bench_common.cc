@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "datagen/dictionary_gen.h"
 #include "datagen/linkgraph_gen.h"
@@ -19,6 +20,32 @@ double ParseScale(int argc, char** argv, double def) {
     }
   }
   return def;
+}
+
+std::string ParseMetricsJsonl(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-jsonl=", 16) == 0) {
+      return argv[i] + 16;
+    }
+  }
+  return "";
+}
+
+bool AppendMetricsJsonl(const MetricsRegistry& registry,
+                        const std::string& path) {
+  if (path.empty()) return true;
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  registry.WriteJsonl(out);
+  if (!out) {
+    std::fprintf(stderr, "metrics write failed: %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "appended metrics to %s\n", path.c_str());
+  return true;
 }
 
 Dataset MakeWlog(double scale) {

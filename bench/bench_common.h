@@ -13,12 +13,23 @@
 
 #include "datagen/news_gen.h"
 #include "matrix/binary_matrix.h"
+#include "observe/metrics.h"
 
 namespace dmc {
 namespace bench {
 
 /// Parses --scale=<float> from argv; returns `def` if absent.
 double ParseScale(int argc, char** argv, double def = 1.0);
+
+/// Parses --metrics-jsonl=<path> from argv; empty when absent.
+std::string ParseMetricsJsonl(int argc, char** argv);
+
+/// Appends the registry's flat JSONL dump (one {"kind","name",...} object
+/// per line, see MetricsRegistry::WriteJsonl) to `path`, so repeated
+/// bench runs accumulate one machine-readable log. No-op when `path` is
+/// empty; returns false on IO failure.
+bool AppendMetricsJsonl(const MetricsRegistry& registry,
+                        const std::string& path);
 
 /// One benchmark data set.
 struct Dataset {

@@ -1,5 +1,8 @@
 // Reproduces Table 1 of the paper: the sizes of all evaluation data sets
 // (here: their synthetic analogues), printed next to the paper's numbers.
+//
+// --metrics-jsonl=FILE appends every printed quantity as one JSONL gauge
+// per line for machine consumption.
 
 #include <cstdio>
 
@@ -9,6 +12,8 @@
 int main(int argc, char** argv) {
   using namespace dmc;
   const double scale = bench::ParseScale(argc, argv);
+  const std::string metrics_path = bench::ParseMetricsJsonl(argc, argv);
+  MetricsRegistry registry;
 
   bench::PrintHeader("Table 1: data sets (synthetic analogues, scale=" +
                      std::to_string(scale) + ")");
@@ -26,6 +31,10 @@ int main(int argc, char** argv) {
                 s.rows, s.columns, s.ones,
                 static_cast<unsigned long>(d.paper_rows),
                 static_cast<unsigned long>(d.paper_columns));
+    registry.SetGauge("table1." + d.name + ".rows", s.rows);
+    registry.SetGauge("table1." + d.name + ".columns", s.columns);
+    registry.SetGauge("table1." + d.name + ".ones",
+                      static_cast<double>(s.ones));
   }
 
   bench::PrintSubHeader("shape details (not in the paper's table)");
@@ -36,6 +45,10 @@ int main(int argc, char** argv) {
     std::printf("%-8s %16.2f %16zu %16.2f %16zu\n", d.name.c_str(),
                 s.mean_row_density, s.max_row_density, s.mean_column_ones,
                 s.max_column_ones);
+    registry.SetGauge("table1." + d.name + ".mean_row_density",
+                      s.mean_row_density);
+    registry.SetGauge("table1." + d.name + ".mean_column_ones",
+                      s.mean_column_ones);
   }
-  return 0;
+  return bench::AppendMetricsJsonl(registry, metrics_path) ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 
 #include "core/engine.h"
 #include "matrix/matrix_io.h"
+#include "observe/metrics.h"
 #include "rules/verifier.h"
 
 int main(int argc, char** argv) {
@@ -36,8 +37,12 @@ int main(int argc, char** argv) {
               matrix.num_rows(), matrix.num_columns(), matrix.num_ones());
 
   // --- implication rules -------------------------------------------
+  // The observe hooks are optional; hooking a registry in makes the
+  // engine mirror its stats under "imp.*" (see README "Observability").
+  MetricsRegistry registry;
   ImplicationMiningOptions imp_options;
   imp_options.min_confidence = 0.8;
+  imp_options.policy.observe.metrics = &registry;
   MiningStats imp_stats;
   auto rules = MineImplications(matrix, imp_options, &imp_stats);
   if (!rules.ok()) {
@@ -73,5 +78,9 @@ int main(int argc, char** argv) {
   std::printf("\nverification: implications %s, similarities %s\n",
               imp_ok.ok() ? "OK" : imp_ok.ToString().c_str(),
               sim_ok.ok() ? "OK" : sim_ok.ToString().c_str());
+
+  // --- machine-readable telemetry ----------------------------------
+  std::printf("\nmetrics recorded by the engine (JSONL):\n");
+  registry.WriteJsonl(std::cout);
   return imp_ok.ok() && sim_ok.ok() ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/thresholds.h"
+#include "observe/trace.h"
 #include "rules/rule.h"
 #include "util/stopwatch.h"
 
@@ -35,19 +36,27 @@ inline size_t TriIndex(size_t i, size_t j, size_t n) {
   return i * (2 * n - i - 1) / 2 + (j - i - 1);
 }
 
-// Counts all pairs of frequent columns. Returns false if the counter
-// array would exceed the budget.
-bool CountPairs(const BinaryMatrix& m, const FrequentColumns& f,
-                size_t max_counter_bytes, std::vector<uint32_t>* counters,
-                AprioriStats* stats) {
+enum class CountOutcome { kOk, kOverBudget, kCancelled };
+
+// Counts all pairs of frequent columns.
+CountOutcome CountPairs(const BinaryMatrix& m, const FrequentColumns& f,
+                        const ObserveContext& obs, size_t max_counter_bytes,
+                        std::vector<uint32_t>* counters,
+                        AprioriStats* stats) {
   const size_t n = f.dense_to_col.size();
   const size_t num_counters = n < 2 ? 0 : n * (n - 1) / 2;
-  if (num_counters * sizeof(uint32_t) > max_counter_bytes) return false;
+  if (num_counters * sizeof(uint32_t) > max_counter_bytes) {
+    return CountOutcome::kOverBudget;
+  }
   counters->assign(num_counters, 0);
   stats->counter_bytes = num_counters * sizeof(uint32_t);
 
   std::vector<uint32_t> dense_row;
   for (RowId r = 0; r < m.num_rows(); ++r) {
+    if (!CheckProgress(obs, "pair_count", r, m.num_rows(), 0,
+                       stats->counter_bytes)) {
+      return CountOutcome::kCancelled;
+    }
     dense_row.clear();
     for (ColumnId c : m.Row(r)) {
       if (f.col_to_dense[c] >= 0) {
@@ -60,7 +69,15 @@ bool CountPairs(const BinaryMatrix& m, const FrequentColumns& f,
       }
     }
   }
-  return true;
+  return CountOutcome::kOk;
+}
+
+Status CountOutcomeError(CountOutcome outcome) {
+  if (outcome == CountOutcome::kCancelled) {
+    return CancelledError("a-priori cancelled in pair_count");
+  }
+  return ResourceExhaustedError(
+      "a-priori pair counters exceed the memory budget");
 }
 
 }  // namespace
@@ -82,9 +99,13 @@ StatusOr<ImplicationRuleSet> AprioriImplications(const BinaryMatrix& m,
 
   Stopwatch pass2_sw;
   std::vector<uint32_t> counters;
-  if (!CountPairs(m, f, max_counter_bytes, &counters, stats)) {
-    return ResourceExhaustedError(
-        "a-priori pair counters exceed the memory budget");
+  {
+    ScopedSpan span(options.observe.trace, "apriori/pair_count",
+                    options.observe.trace_lane);
+    const CountOutcome outcome =
+        CountPairs(m, f, options.observe, max_counter_bytes, &counters,
+                   stats);
+    if (outcome != CountOutcome::kOk) return CountOutcomeError(outcome);
   }
 
   const auto& ones = m.column_ones();
@@ -129,9 +150,13 @@ StatusOr<SimilarityRuleSet> AprioriSimilarities(const BinaryMatrix& m,
 
   Stopwatch pass2_sw;
   std::vector<uint32_t> counters;
-  if (!CountPairs(m, f, max_counter_bytes, &counters, stats)) {
-    return ResourceExhaustedError(
-        "a-priori pair counters exceed the memory budget");
+  {
+    ScopedSpan span(options.observe.trace, "apriori/pair_count",
+                    options.observe.trace_lane);
+    const CountOutcome outcome =
+        CountPairs(m, f, options.observe, max_counter_bytes, &counters,
+                   stats);
+    if (outcome != CountOutcome::kOk) return CountOutcomeError(outcome);
   }
 
   const auto& ones = m.column_ones();

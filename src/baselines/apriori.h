@@ -15,6 +15,7 @@
 #include <limits>
 
 #include "matrix/binary_matrix.h"
+#include "observe/progress.h"
 #include "rules/rule_set.h"
 #include "util/statusor.h"
 
@@ -26,6 +27,10 @@ struct AprioriOptions {
   /// the paper's NewsP preparation).
   uint64_t min_support = 1;
   uint64_t max_support = std::numeric_limits<uint64_t>::max();
+  /// Observability hooks (progress/cancel fires during the pass-2 row
+  /// scan with phase "pair_count"); cancellation returns
+  /// Status(kCancelled).
+  ObserveContext observe;
 };
 
 struct AprioriStats {

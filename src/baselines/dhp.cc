@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/thresholds.h"
+#include "observe/trace.h"
 #include "rules/rule.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -32,16 +33,28 @@ ImplicationRuleSet DhpImplications(const BinaryMatrix& m,
   Stopwatch total_sw;
 
   const auto& ones = m.column_ones();
+  const ObserveContext& obs = options.observe;
+  const size_t bucket_bytes = options.num_buckets * sizeof(uint32_t);
 
   // Pass 1: singleton supports come from the matrix; hash every pair of
   // every row into the bucket filter.
   Stopwatch pass1_sw;
   std::vector<uint32_t> buckets(options.num_buckets, 0);
-  for (RowId r = 0; r < m.num_rows(); ++r) {
-    const auto row = m.Row(r);
-    for (size_t i = 0; i < row.size(); ++i) {
-      for (size_t j = i + 1; j < row.size(); ++j) {
-        ++buckets[Bucket(PairKey(row[i], row[j]), options.num_buckets)];
+  {
+    ScopedSpan span(obs.trace, "dhp/pass1", obs.trace_lane);
+    for (RowId r = 0; r < m.num_rows(); ++r) {
+      if (!CheckProgress(obs, "dhp_pass1", r, m.num_rows(), 0,
+                         bucket_bytes)) {
+        stats->cancelled = true;
+        stats->pass1_seconds = pass1_sw.ElapsedSeconds();
+        stats->total_seconds = total_sw.ElapsedSeconds();
+        return ImplicationRuleSet{};
+      }
+      const auto row = m.Row(r);
+      for (size_t i = 0; i < row.size(); ++i) {
+        for (size_t j = i + 1; j < row.size(); ++j) {
+          ++buckets[Bucket(PairKey(row[i], row[j]), options.num_buckets)];
+        }
       }
     }
   }
@@ -58,17 +71,27 @@ ImplicationRuleSet DhpImplications(const BinaryMatrix& m,
   Stopwatch pass2_sw;
   std::unordered_map<uint64_t, uint32_t> exact;
   std::vector<ColumnId> filtered;
-  for (RowId r = 0; r < m.num_rows(); ++r) {
-    filtered.clear();
-    for (ColumnId c : m.Row(r)) {
-      if (frequent[c]) filtered.push_back(c);
-    }
-    for (size_t i = 0; i < filtered.size(); ++i) {
-      for (size_t j = i + 1; j < filtered.size(); ++j) {
-        const uint64_t key = PairKey(filtered[i], filtered[j]);
-        if (buckets[Bucket(key, options.num_buckets)] >=
-            options.min_support) {
-          ++exact[key];
+  {
+    ScopedSpan span(obs.trace, "dhp/pass2", obs.trace_lane);
+    for (RowId r = 0; r < m.num_rows(); ++r) {
+      if (!CheckProgress(obs, "dhp_pass2", r, m.num_rows(), exact.size(),
+                         bucket_bytes)) {
+        stats->cancelled = true;
+        stats->pass2_seconds = pass2_sw.ElapsedSeconds();
+        stats->total_seconds = total_sw.ElapsedSeconds();
+        return ImplicationRuleSet{};
+      }
+      filtered.clear();
+      for (ColumnId c : m.Row(r)) {
+        if (frequent[c]) filtered.push_back(c);
+      }
+      for (size_t i = 0; i < filtered.size(); ++i) {
+        for (size_t j = i + 1; j < filtered.size(); ++j) {
+          const uint64_t key = PairKey(filtered[i], filtered[j]);
+          if (buckets[Bucket(key, options.num_buckets)] >=
+              options.min_support) {
+            ++exact[key];
+          }
         }
       }
     }

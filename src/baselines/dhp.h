@@ -15,6 +15,7 @@
 #include <limits>
 
 #include "matrix/binary_matrix.h"
+#include "observe/progress.h"
 #include "rules/rule_set.h"
 
 namespace dmc {
@@ -24,6 +25,9 @@ struct DhpOptions {
   uint64_t max_support = std::numeric_limits<uint64_t>::max();
   /// Number of hash buckets for the pair filter.
   size_t num_buckets = 1 << 20;
+  /// Observability hooks; on cancellation the miner returns an empty
+  /// rule set with stats->cancelled set.
+  ObserveContext observe;
 };
 
 struct DhpStats {
@@ -35,6 +39,8 @@ struct DhpStats {
   size_t exact_counters = 0;
   /// Bytes: bucket array + exact counter map.
   size_t counter_bytes = 0;
+  /// Set when the progress callback cancelled the mine (result empty).
+  bool cancelled = false;
 };
 
 /// All implication rules with confidence >= min_confidence whose pair

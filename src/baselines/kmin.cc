@@ -6,6 +6,7 @@
 
 #include "baselines/minhash.h"
 #include "core/thresholds.h"
+#include "observe/trace.h"
 #include "rules/rule.h"
 #include "util/stopwatch.h"
 
@@ -30,8 +31,17 @@ ImplicationRuleSet KMinImplications(const BinaryMatrix& m,
   Stopwatch total_sw;
 
   const auto& ones = m.column_ones();
-  const std::vector<uint64_t> sig =
-      ComputeMinHashSignatures(m, options.num_hashes, options.seed);
+  const ObserveContext& obs = options.observe;
+  std::vector<uint64_t> sig;
+  {
+    ScopedSpan span(obs.trace, "kmin/signatures", obs.trace_lane);
+    sig = ComputeMinHashSignatures(m, options.num_hashes, options.seed, obs,
+                                   "kmin_signatures", &stats->cancelled);
+  }
+  if (stats->cancelled) {
+    stats->total_seconds = total_sw.ElapsedSeconds();
+    return ImplicationRuleSet{};
+  }
 
   // Candidate pairs by shared min-hash values (same sort-based grouping
   // as MinHash).
@@ -39,28 +49,41 @@ ImplicationRuleSet KMinImplications(const BinaryMatrix& m,
   votes.reserve(size_t{1} << 20);
   std::vector<std::pair<uint64_t, ColumnId>> keyed;
   keyed.reserve(m.num_columns());
-  for (uint32_t t = 0; t < options.num_hashes; ++t) {
-    keyed.clear();
-    for (ColumnId c = 0; c < m.num_columns(); ++c) {
-      if (ones[c] < options.min_support) continue;
-      const uint64_t v = sig[size_t{c} * options.num_hashes + t];
-      if (v == std::numeric_limits<uint64_t>::max()) continue;
-      keyed.emplace_back(v, c);
-    }
-    std::sort(keyed.begin(), keyed.end());
-    size_t i = 0;
-    while (i < keyed.size()) {
-      size_t j = i + 1;
-      while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
-      if (j - i <= options.max_group) {
-        for (size_t a = i; a < j; ++a) {
-          for (size_t b = a + 1; b < j; ++b) {
-            ++votes[PairKey(keyed[a].second, keyed[b].second)];
+  {
+    ScopedSpan span(obs.trace, "kmin/votes", obs.trace_lane);
+    for (uint32_t t = 0; t < options.num_hashes; ++t) {
+      if (!CheckProgress(obs, "kmin_votes", t, options.num_hashes,
+                         votes.size(),
+                         sig.size() * sizeof(uint64_t))) {
+        stats->cancelled = true;
+        break;
+      }
+      keyed.clear();
+      for (ColumnId c = 0; c < m.num_columns(); ++c) {
+        if (ones[c] < options.min_support) continue;
+        const uint64_t v = sig[size_t{c} * options.num_hashes + t];
+        if (v == std::numeric_limits<uint64_t>::max()) continue;
+        keyed.emplace_back(v, c);
+      }
+      std::sort(keyed.begin(), keyed.end());
+      size_t i = 0;
+      while (i < keyed.size()) {
+        size_t j = i + 1;
+        while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
+        if (j - i <= options.max_group) {
+          for (size_t a = i; a < j; ++a) {
+            for (size_t b = a + 1; b < j; ++b) {
+              ++votes[PairKey(keyed[a].second, keyed[b].second)];
+            }
           }
         }
+        i = j;
       }
-      i = j;
     }
+  }
+  if (stats->cancelled) {
+    stats->total_seconds = total_sw.ElapsedSeconds();
+    return ImplicationRuleSet{};
   }
   stats->candidate_pairs = votes.size();
 

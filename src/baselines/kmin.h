@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "matrix/binary_matrix.h"
+#include "observe/progress.h"
 #include "rules/rule_set.h"
 
 namespace dmc {
@@ -26,12 +27,17 @@ struct KMinOptions {
   uint64_t min_support = 1;
   uint64_t seed = 0x5eedbeef;
   size_t max_group = 4096;
+  /// Observability hooks; on cancellation the miner returns an empty
+  /// rule set with stats->cancelled set.
+  ObserveContext observe;
 };
 
 struct KMinStats {
   double total_seconds = 0.0;
   size_t candidate_pairs = 0;
   size_t rules_reported = 0;
+  /// Set when the progress callback cancelled the mine (result empty).
+  bool cancelled = false;
 };
 
 /// Implication rules with *estimated* confidence >= min_confidence.

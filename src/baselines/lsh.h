@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "matrix/binary_matrix.h"
+#include "observe/progress.h"
 #include "rules/rule_set.h"
 
 namespace dmc {
@@ -31,6 +32,9 @@ struct LshOptions {
   uint64_t seed = 0x15aCafe;
   /// Bucket groups larger than this are skipped (degenerate collisions).
   size_t max_group = 4096;
+  /// Observability hooks; on cancellation the miner returns an empty
+  /// rule set with stats->cancelled set.
+  ObserveContext observe;
 };
 
 struct LshStats {
@@ -41,6 +45,8 @@ struct LshStats {
   size_t candidate_pairs = 0;
   size_t false_positives_removed = 0;
   size_t skipped_groups = 0;
+  /// Set when the progress callback cancelled the mine (result empty).
+  bool cancelled = false;
 };
 
 /// Pairs with exact similarity >= min_similarity among the LSH

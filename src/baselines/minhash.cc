@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/thresholds.h"
+#include "observe/trace.h"
 #include "rules/verifier.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -29,10 +30,22 @@ inline uint64_t RowHash(uint64_t seed, uint32_t t, RowId r) {
 std::vector<uint64_t> ComputeMinHashSignatures(const BinaryMatrix& m,
                                                uint32_t num_hashes,
                                                uint64_t seed) {
+  return ComputeMinHashSignatures(m, num_hashes, seed, ObserveContext{},
+                                  "signatures", nullptr);
+}
+
+std::vector<uint64_t> ComputeMinHashSignatures(
+    const BinaryMatrix& m, uint32_t num_hashes, uint64_t seed,
+    const ObserveContext& observe, const char* phase, bool* cancelled) {
   std::vector<uint64_t> sig(
       size_t{m.num_columns()} * num_hashes,
       std::numeric_limits<uint64_t>::max());
+  const uint64_t sig_bytes = sig.size() * sizeof(uint64_t);
   for (RowId r = 0; r < m.num_rows(); ++r) {
+    if (!CheckProgress(observe, phase, r, m.num_rows(), 0, sig_bytes)) {
+      if (cancelled != nullptr) *cancelled = true;
+      return sig;
+    }
     const auto row = m.Row(r);
     if (row.empty()) continue;
     for (uint32_t t = 0; t < num_hashes; ++t) {
@@ -68,12 +81,22 @@ SimilarityRuleSet MinHashSimilarities(const BinaryMatrix& m,
   Stopwatch total_sw;
 
   const auto& ones = m.column_ones();
+  const ObserveContext& obs = options.observe;
 
   Stopwatch sig_sw;
-  const std::vector<uint64_t> sig =
-      ComputeMinHashSignatures(m, options.num_hashes, options.seed);
+  std::vector<uint64_t> sig;
+  {
+    ScopedSpan span(obs.trace, "minhash/signatures", obs.trace_lane);
+    sig = ComputeMinHashSignatures(m, options.num_hashes, options.seed, obs,
+                                   "minhash_signatures",
+                                   &stats->cancelled);
+  }
   stats->signature_seconds = sig_sw.ElapsedSeconds();
   stats->signature_bytes = sig.size() * sizeof(uint64_t);
+  if (stats->cancelled) {
+    stats->total_seconds = total_sw.ElapsedSeconds();
+    return SimilarityRuleSet{};
+  }
 
   // Vote counting: under each hash function, columns sharing the same
   // min-hash value vote for every pair inside the group.
@@ -84,30 +107,43 @@ SimilarityRuleSet MinHashSimilarities(const BinaryMatrix& m,
   // contiguous run of the sorted (value, column) sequence.
   std::vector<std::pair<uint64_t, ColumnId>> keyed;
   keyed.reserve(m.num_columns());
-  for (uint32_t t = 0; t < options.num_hashes; ++t) {
-    keyed.clear();
-    for (ColumnId c = 0; c < m.num_columns(); ++c) {
-      if (ones[c] < options.min_support) continue;
-      const uint64_t v = sig[size_t{c} * options.num_hashes + t];
-      if (v == std::numeric_limits<uint64_t>::max()) continue;  // empty col
-      keyed.emplace_back(v, c);
-    }
-    std::sort(keyed.begin(), keyed.end());
-    size_t i = 0;
-    while (i < keyed.size()) {
-      size_t j = i + 1;
-      while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
-      if (j - i > options.max_group) {
-        ++stats->skipped_groups;
-      } else {
-        for (size_t a = i; a < j; ++a) {
-          for (size_t b = a + 1; b < j; ++b) {
-            ++votes[PairKey(keyed[a].second, keyed[b].second)];
+  {
+    ScopedSpan span(obs.trace, "minhash/votes", obs.trace_lane);
+    for (uint32_t t = 0; t < options.num_hashes; ++t) {
+      if (!CheckProgress(obs, "minhash_votes", t, options.num_hashes,
+                         votes.size(), stats->signature_bytes)) {
+        stats->cancelled = true;
+        break;
+      }
+      keyed.clear();
+      for (ColumnId c = 0; c < m.num_columns(); ++c) {
+        if (ones[c] < options.min_support) continue;
+        const uint64_t v = sig[size_t{c} * options.num_hashes + t];
+        if (v == std::numeric_limits<uint64_t>::max()) continue;  // empty
+        keyed.emplace_back(v, c);
+      }
+      std::sort(keyed.begin(), keyed.end());
+      size_t i = 0;
+      while (i < keyed.size()) {
+        size_t j = i + 1;
+        while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
+        if (j - i > options.max_group) {
+          ++stats->skipped_groups;
+        } else {
+          for (size_t a = i; a < j; ++a) {
+            for (size_t b = a + 1; b < j; ++b) {
+              ++votes[PairKey(keyed[a].second, keyed[b].second)];
+            }
           }
         }
+        i = j;
       }
-      i = j;
     }
+  }
+  if (stats->cancelled) {
+    stats->candidate_seconds = cand_sw.ElapsedSeconds();
+    stats->total_seconds = total_sw.ElapsedSeconds();
+    return SimilarityRuleSet{};
   }
 
   // Candidate selection by estimated similarity.
@@ -125,6 +161,7 @@ SimilarityRuleSet MinHashSimilarities(const BinaryMatrix& m,
 
   SimilarityRuleSet out;
   Stopwatch verify_sw;
+  ScopedSpan verify_span(obs.trace, "minhash/verify", obs.trace_lane);
   if (options.verify) {
     RuleVerifier verifier(m);
     for (const auto& [a, b] : candidates) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "matrix/binary_matrix.h"
+#include "observe/progress.h"
 #include "rules/rule_set.h"
 
 namespace dmc {
@@ -35,6 +36,9 @@ struct MinHashOptions {
   /// skipped when voting (guards against quadratic blowup on degenerate
   /// groups; counted in stats).
   size_t max_group = 4096;
+  /// Observability hooks; on cancellation the miner returns an empty
+  /// rule set with stats->cancelled set.
+  ObserveContext observe;
 };
 
 struct MinHashStats {
@@ -47,6 +51,8 @@ struct MinHashStats {
   size_t skipped_groups = 0;
   /// Bytes of the signature matrix.
   size_t signature_bytes = 0;
+  /// Set when the progress callback cancelled the mine (result empty).
+  bool cancelled = false;
 };
 
 /// Similarity pairs with (estimated, or exact when verifying) similarity
@@ -64,6 +70,13 @@ SimilarityRuleSet MinHashSimilarities(const BinaryMatrix& m,
 std::vector<uint64_t> ComputeMinHashSignatures(const BinaryMatrix& m,
                                                uint32_t num_hashes,
                                                uint64_t seed);
+
+/// Cancellable form shared by the MinHash/K-Min/LSH baselines: checks
+/// `observe` once per progress interval with the given phase label and
+/// stops early (setting *cancelled, if non-null) when asked.
+std::vector<uint64_t> ComputeMinHashSignatures(
+    const BinaryMatrix& m, uint32_t num_hashes, uint64_t seed,
+    const ObserveContext& observe, const char* phase, bool* cancelled);
 
 /// Estimated Jaccard similarity of columns (a, b) from signatures.
 double EstimateSimilarity(const std::vector<uint64_t>& signatures,

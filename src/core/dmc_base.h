@@ -49,6 +49,9 @@ struct ImplicationPassInput {
   /// Optional per-row history sinks (Fig. 3 / Example 3.1 traces).
   std::vector<size_t>* memory_history = nullptr;
   std::vector<size_t>* candidate_history = nullptr;
+  /// Phase label for progress updates and trace spans ("hundred_phase",
+  /// "sub_phase").
+  const char* phase = "pass";
 };
 
 /// Outcome of one pass.
@@ -61,6 +64,12 @@ struct ImplicationPassResult {
   double bitmap_seconds = 0.0;
   /// Peak live candidate entries during this pass.
   size_t peak_entries = 0;
+  /// Rows of the order this pass consumed before finishing or being
+  /// cancelled.
+  size_t rows_processed = 0;
+  /// The progress callback asked to stop; `out` holds partial results
+  /// the caller must discard.
+  bool cancelled = false;
 };
 
 /// Runs DMC-base over `input.order`, switching to DMC-bitmap when the

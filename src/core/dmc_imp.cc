@@ -6,6 +6,8 @@
 #include "core/miss_counter_table.h"
 #include "core/thresholds.h"
 #include "matrix/row_order.h"
+#include "observe/stats_export.h"
+#include "observe/trace.h"
 #include "util/memory_tracker.h"
 #include "util/stopwatch.h"
 
@@ -40,6 +42,7 @@ StatusOr<ImplicationRuleSet> MineImplicationsImpl(
   *stats = MiningStats{};
 
   const DmcPolicy& policy = options.policy;
+  const ObserveContext& obs = policy.observe;
   const double minconf = options.min_confidence;
   const ColumnId num_cols = matrix.num_columns();
   const auto& ones = matrix.column_ones();
@@ -49,7 +52,11 @@ StatusOr<ImplicationRuleSet> MineImplicationsImpl(
   // ones(c), bucket rows by density); here ones(c) comes with the matrix
   // and the pre-scan cost is the order construction.
   Stopwatch prescan_sw;
-  const std::vector<RowId> order = MakeOrder(matrix, policy.row_order);
+  std::vector<RowId> order;
+  {
+    ScopedSpan span(obs.trace, "imp/prescan", obs.trace_lane);
+    order = MakeOrder(matrix, policy.row_order);
+  }
   stats->prescan_seconds = prescan_sw.ElapsedSeconds();
 
   MemoryTracker tracker;
@@ -76,13 +83,22 @@ StatusOr<ImplicationRuleSet> MineImplicationsImpl(
       input.memory_history = &stats->memory_history;
       input.candidate_history = &stats->candidate_history;
     }
-    const ImplicationPassResult res = RunImplicationPass(input, &out);
+    input.phase = "hundred_phase";
+    ImplicationPassResult res;
+    {
+      ScopedSpan span(obs.trace, "imp/hundred_phase", obs.trace_lane);
+      res = RunImplicationPass(input, &out);
+    }
     stats->hundred_base_seconds = res.base_seconds;
     stats->hundred_bitmap_seconds = res.bitmap_seconds;
     stats->hundred_bitmap_triggered = res.bitmap_used;
     stats->peak_candidates =
         std::max(stats->peak_candidates, res.peak_entries);
     stats->rules_from_hundred_phase = out.size();
+    if (res.cancelled) {
+      return CancelledError("mine cancelled in hundred_phase after " +
+                            std::to_string(res.rows_processed) + " rows");
+    }
   }
 
   if (minconf < 1.0) {
@@ -116,8 +132,13 @@ StatusOr<ImplicationRuleSet> MineImplicationsImpl(
       input.memory_history = &stats->memory_history;
       input.candidate_history = &stats->candidate_history;
     }
+    input.phase = "sub_phase";
     const size_t before = out.size();
-    const ImplicationPassResult res = RunImplicationPass(input, &out);
+    ImplicationPassResult res;
+    {
+      ScopedSpan span(obs.trace, "imp/sub_phase", obs.trace_lane);
+      res = RunImplicationPass(input, &out);
+    }
     stats->sub_base_seconds = res.base_seconds;
     stats->sub_bitmap_seconds = res.bitmap_seconds;
     stats->sub_bitmap_triggered = res.bitmap_used;
@@ -125,11 +146,16 @@ StatusOr<ImplicationRuleSet> MineImplicationsImpl(
     stats->peak_candidates =
         std::max(stats->peak_candidates, res.peak_entries);
     stats->rules_from_sub_phase = out.size() - before;
+    if (res.cancelled) {
+      return CancelledError("mine cancelled in sub_phase after " +
+                            std::to_string(res.rows_processed) + " rows");
+    }
   }
 
   out.Canonicalize();
   stats->peak_counter_bytes = tracker.peak_bytes();
   stats->total_seconds = total_sw.ElapsedSeconds();
+  RecordToRegistry(obs.metrics, "imp", *stats);
   return out;
 }
 

@@ -5,6 +5,8 @@
 
 #include <cstddef>
 
+#include "observe/progress.h"
+
 namespace dmc {
 
 /// Which order the second pass visits rows in (§4.1).
@@ -46,6 +48,12 @@ struct DmcPolicy {
   /// Record per-row memory/candidate history into MiningStats (Fig. 3 and
   /// the Example 3.1 traces). O(rows) extra memory; off by default.
   bool record_history = false;
+
+  /// Observability hooks (metrics registry, trace sink, progress/cancel
+  /// callback); all null/empty by default, i.e. fully disabled. Carried
+  /// here so the hooks flow through the batch, streaming, external and
+  /// parallel engines without any signature changes.
+  ObserveContext observe;
 };
 
 /// Options for MineImplications.

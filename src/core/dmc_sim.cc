@@ -6,6 +6,8 @@
 #include "core/miss_counter_table.h"
 #include "core/thresholds.h"
 #include "matrix/row_order.h"
+#include "observe/stats_export.h"
+#include "observe/trace.h"
 #include "util/memory_tracker.h"
 #include "util/stopwatch.h"
 
@@ -40,13 +42,18 @@ StatusOr<SimilarityRuleSet> MineSimilaritiesImpl(
   *stats = MiningStats{};
 
   const DmcPolicy& policy = options.policy;
+  const ObserveContext& obs = policy.observe;
   const double minsim = options.min_similarity;
   const ColumnId num_cols = matrix.num_columns();
   const auto& ones = matrix.column_ones();
 
   Stopwatch total_sw;
   Stopwatch prescan_sw;
-  const std::vector<RowId> order = MakeOrder(matrix, policy.row_order);
+  std::vector<RowId> order;
+  {
+    ScopedSpan span(obs.trace, "sim/prescan", obs.trace_lane);
+    order = MakeOrder(matrix, policy.row_order);
+  }
   stats->prescan_seconds = prescan_sw.ElapsedSeconds();
 
   MemoryTracker tracker;
@@ -75,13 +82,22 @@ StatusOr<SimilarityRuleSet> MineSimilaritiesImpl(
       input.memory_history = &stats->memory_history;
       input.candidate_history = &stats->candidate_history;
     }
-    const SimilarityPassResult res = RunSimilarityPass(input, &out);
+    input.phase = "hundred_phase";
+    SimilarityPassResult res;
+    {
+      ScopedSpan span(obs.trace, "sim/hundred_phase", obs.trace_lane);
+      res = RunSimilarityPass(input, &out);
+    }
     stats->hundred_base_seconds = res.base_seconds;
     stats->hundred_bitmap_seconds = res.bitmap_seconds;
     stats->hundred_bitmap_triggered = res.bitmap_used;
     stats->peak_candidates =
         std::max(stats->peak_candidates, res.peak_entries);
     stats->rules_from_hundred_phase = out.size();
+    if (res.cancelled) {
+      return CancelledError("mine cancelled in hundred_phase after " +
+                            std::to_string(res.rows_processed) + " rows");
+    }
   }
 
   if (minsim < 1.0) {
@@ -113,8 +129,13 @@ StatusOr<SimilarityRuleSet> MineSimilaritiesImpl(
       input.memory_history = &stats->memory_history;
       input.candidate_history = &stats->candidate_history;
     }
+    input.phase = "sub_phase";
     const size_t before = out.size();
-    const SimilarityPassResult res = RunSimilarityPass(input, &out);
+    SimilarityPassResult res;
+    {
+      ScopedSpan span(obs.trace, "sim/sub_phase", obs.trace_lane);
+      res = RunSimilarityPass(input, &out);
+    }
     stats->sub_base_seconds = res.base_seconds;
     stats->sub_bitmap_seconds = res.bitmap_seconds;
     stats->sub_bitmap_triggered = res.bitmap_used;
@@ -122,11 +143,16 @@ StatusOr<SimilarityRuleSet> MineSimilaritiesImpl(
     stats->peak_candidates =
         std::max(stats->peak_candidates, res.peak_entries);
     stats->rules_from_sub_phase = out.size() - before;
+    if (res.cancelled) {
+      return CancelledError("mine cancelled in sub_phase after " +
+                            std::to_string(res.rows_processed) + " rows");
+    }
   }
 
   out.Canonicalize();
   stats->peak_counter_bytes = tracker.peak_bytes();
   stats->total_seconds = total_sw.ElapsedSeconds();
+  RecordToRegistry(obs.metrics, "sim", *stats);
   return out;
 }
 

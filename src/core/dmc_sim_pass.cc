@@ -5,6 +5,8 @@
 
 #include "core/miss_counter_table.h"
 #include "core/thresholds.h"
+#include "observe/progress.h"
+#include "observe/trace.h"
 #include "util/bitvector.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -37,9 +39,20 @@ class SimilarityScan {
     SimilarityPassResult result;
     Stopwatch base_sw;
     const size_t n = in_.order.size();
+    const ObserveContext& obs = policy_.observe;
+    const bool check_progress = obs.has_progress();
+    const uint64_t interval =
+        obs.progress_interval_rows > 0 ? obs.progress_interval_rows : 1;
     size_t idx = 0;
     bool to_bitmap = false;
     for (; idx < n; ++idx) {
+      if (check_progress && idx % interval == 0 &&
+          !ReportProgress(obs, idx, n)) {
+        result.cancelled = true;
+        result.rows_processed = idx;
+        result.base_seconds = base_sw.ElapsedSeconds();
+        return result;
+      }
       if (policy_.bitmap_fallback &&
           n - idx <= policy_.bitmap_max_remaining_rows &&
           table_.bytes() >= policy_.memory_threshold_bytes) {
@@ -64,13 +77,22 @@ class SimilarityScan {
       RecordHistory();
     }
     result.base_seconds = base_sw.ElapsedSeconds();
+    result.rows_processed = n;
 
     if (to_bitmap) {
       Stopwatch bitmap_sw;
-      RunBitmapPhases(idx);
+      {
+        ScopedSpan span(obs.trace, std::string(in_.phase) + "/dmc_bitmap",
+                        obs.trace_lane);
+        RunBitmapPhases(idx);
+      }
       result.bitmap_used = true;
       result.bitmap_rows = n - idx;
       result.bitmap_seconds = bitmap_sw.ElapsedSeconds();
+    }
+    if (check_progress) {
+      // Final update so watchers see 100%; too late to cancel.
+      (void)ReportProgress(obs, n, n);
     }
     return result;
   }
@@ -218,9 +240,25 @@ class SimilarityScan {
     out_->Add(SimilarityPair{ci, ck, ones_[ci], ones_[ck], intersection});
   }
 
+  // Delivers one progress sample; returns false when the callback asks
+  // to cancel.
+  bool ReportProgress(const ObserveContext& obs, size_t idx, size_t n) {
+    ProgressUpdate update;
+    update.phase = in_.phase;
+    update.rows_processed = idx;
+    update.total_rows = n;
+    update.live_candidates = table_.total_entries();
+    update.counter_bytes = table_.bytes();
+    update.shard = obs.shard;
+    return obs.progress(update);
+  }
+
   void RecordHistory() {
     if (in_.memory_history != nullptr) {
-      in_.memory_history->push_back(table_.bytes());
+      // Per-row *peak*, not end-of-row value: candidate lists can grow
+      // and then shrink within one row, and the exported invariant
+      // max(memory_history) == peak_counter_bytes must hold exactly.
+      in_.memory_history->push_back(in_.tracker->TakeIntervalPeak());
     }
     if (in_.candidate_history != nullptr) {
       in_.candidate_history->push_back(table_.total_entries());

@@ -43,6 +43,8 @@ struct SimilarityPassInput {
   MemoryTracker* tracker = nullptr;
   std::vector<size_t>* memory_history = nullptr;
   std::vector<size_t>* candidate_history = nullptr;
+  /// Phase label for progress updates and trace spans.
+  const char* phase = "pass";
 };
 
 struct SimilarityPassResult {
@@ -51,6 +53,12 @@ struct SimilarityPassResult {
   double base_seconds = 0.0;
   double bitmap_seconds = 0.0;
   size_t peak_entries = 0;
+  /// Rows of the order this pass consumed before finishing or being
+  /// cancelled.
+  size_t rows_processed = 0;
+  /// The progress callback asked to stop; `out` holds partial results
+  /// the caller must discard.
+  bool cancelled = false;
 };
 
 /// Runs the scan, appending every pair with similarity >= min_similarity

@@ -8,6 +8,8 @@
 #include "core/streaming_imp.h"
 #include "core/streaming_sim.h"
 #include "matrix/matrix_io.h"
+#include "observe/stats_export.h"
+#include "observe/trace.h"
 #include "util/stopwatch.h"
 
 namespace dmc {
@@ -63,7 +65,9 @@ class ExternalRun {
     Stopwatch partition_sw;
     if (bucketed_) {
       constexpr int kMaxBuckets = 33;
-      std::vector<std::ofstream> outs(kMaxBuckets);
+      // The bucket partitioner is the one core component that genuinely
+      // writes files (the paper's disk pipeline).
+      std::vector<std::ofstream> outs(kMaxBuckets);  // dmc_lint: ignore
       std::vector<uint8_t> seen(kMaxBuckets, 0);
       std::ifstream in(path_);
       if (!in) return IOError("cannot reopen " + path_);
@@ -149,9 +153,13 @@ StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
   *stats = ExternalMiningStats{};
   Stopwatch total_sw;
 
+  const ObserveContext& obs = options.policy.observe;
   ExternalRun run(path, work_dir,
                   options.policy.row_order != RowOrderPolicy::kIdentity);
-  DMC_RETURN_IF_ERROR(run.Prepare(stats));
+  {
+    ScopedSpan span(obs.trace, "external/prepare", obs.trace_lane);
+    DMC_RETURN_IF_ERROR(run.Prepare(stats));
+  }
 
   Stopwatch mine_sw;
   Status replay_status = Status::OK();
@@ -164,6 +172,7 @@ StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
   if (!replay_status.ok()) return replay_status;
   if (!rules.ok()) return rules.status();
   stats->total_seconds = total_sw.ElapsedSeconds();
+  RecordToRegistry(obs.metrics, "external", *stats);
   return rules;
 }
 
@@ -175,9 +184,13 @@ StatusOr<SimilarityRuleSet> MineSimilaritiesFromFile(
   *stats = ExternalMiningStats{};
   Stopwatch total_sw;
 
+  const ObserveContext& obs = options.policy.observe;
   ExternalRun run(path, work_dir,
                   options.policy.row_order != RowOrderPolicy::kIdentity);
-  DMC_RETURN_IF_ERROR(run.Prepare(stats));
+  {
+    ScopedSpan span(obs.trace, "external/prepare", obs.trace_lane);
+    DMC_RETURN_IF_ERROR(run.Prepare(stats));
+  }
 
   Stopwatch mine_sw;
   Status replay_status = Status::OK();
@@ -190,6 +203,7 @@ StatusOr<SimilarityRuleSet> MineSimilaritiesFromFile(
   if (!replay_status.ok()) return replay_status;
   if (!pairs.ok()) return pairs.status();
   stats->total_seconds = total_sw.ElapsedSeconds();
+  RecordToRegistry(obs.metrics, "external", *stats);
   return pairs;
 }
 

@@ -1,9 +1,14 @@
 #include "core/parallel_dmc.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <numeric>
 #include <thread>
 
+#include "observe/progress.h"
+#include "observe/stats_export.h"
+#include "observe/trace.h"
 #include "util/stopwatch.h"
 
 namespace dmc {
@@ -37,12 +42,34 @@ uint32_t ResolveThreads(const ParallelOptions& parallel) {
   return hw == 0 ? 2 : hw;
 }
 
-// Runs `mine(shard, &stats)` for every shard on its own thread and
+// Per-shard observability context: spans land on lane t+1, progress
+// updates are stamped with the shard index, and one shard's cancel
+// request (or the user callback returning false) stops every shard at
+// its next progress interval via the shared flag.
+ObserveContext ShardContext(const ObserveContext& base, int shard,
+                            const std::shared_ptr<std::atomic<bool>>& cancel) {
+  ObserveContext ctx = base;
+  ctx.shard = shard;
+  ctx.trace_lane = shard + 1;
+  if (base.has_progress()) {
+    ProgressCallback inner = base.progress;
+    ctx.progress = [inner, cancel](const ProgressUpdate& update) {
+      if (cancel->load(std::memory_order_relaxed)) return false;
+      if (inner(update)) return true;
+      cancel->store(true, std::memory_order_relaxed);
+      return false;
+    };
+  }
+  return ctx;
+}
+
+// Runs `mine(shard, t, &stats)` for every shard on its own thread and
 // merges rule sets + aggregate stats. MineShard must be callable as
-// StatusOr<RuleSetT>(const std::vector<uint8_t>&, MiningStats*).
+// StatusOr<RuleSetT>(const std::vector<uint8_t>&, uint32_t, MiningStats*).
 template <typename RuleSetT, typename MineShard>
 StatusOr<RuleSetT> RunSharded(const std::vector<uint32_t>& column_ones,
-                              uint32_t num_threads, MineShard mine,
+                              uint32_t num_threads,
+                              const ObserveContext& obs, MineShard mine,
                               ParallelMiningStats* stats) {
   ParallelMiningStats local;
   if (stats == nullptr) stats = &local;
@@ -55,18 +82,32 @@ StatusOr<RuleSetT> RunSharded(const std::vector<uint32_t>& column_ones,
   std::vector<StatusOr<RuleSetT>> results(num_threads,
                                           StatusOr<RuleSetT>(RuleSetT{}));
   std::vector<MiningStats> shard_stats(num_threads);
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (uint32_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&, t]() {
-      results[t] = mine(shards[t], &shard_stats[t]);
-    });
+  {
+    // Parent span on lane 0; per-shard engine spans use lanes 1..N.
+    ScopedSpan parent(obs.trace, "parallel/mine", 0);
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (uint32_t t = 0; t < num_threads; ++t) {
+      workers.emplace_back([&, t]() {
+        results[t] = mine(shards[t], t, &shard_stats[t]);
+      });
+    }
+    for (auto& w : workers) w.join();
   }
-  for (auto& w : workers) w.join();
 
   RuleSetT merged;
+  Status first_error = Status::OK();
   for (uint32_t t = 0; t < num_threads; ++t) {
-    if (!results[t].ok()) return results[t].status();
+    if (!results[t].ok()) {
+      // Prefer a non-Cancelled error; with cooperative cancellation
+      // every shard reports kCancelled, and any one of them will do.
+      if (first_error.ok() ||
+          (first_error.code() == StatusCode::kCancelled &&
+           results[t].status().code() != StatusCode::kCancelled)) {
+        first_error = results[t].status();
+      }
+      continue;
+    }
     for (const auto& rule : *results[t]) merged.Add(rule);
     stats->max_shard_seconds =
         std::max(stats->max_shard_seconds, shard_stats[t].total_seconds);
@@ -75,9 +116,26 @@ StatusOr<RuleSetT> RunSharded(const std::vector<uint32_t>& column_ones,
     stats->max_peak_counter_bytes = std::max(
         stats->max_peak_counter_bytes, shard_stats[t].peak_counter_bytes);
   }
+  if (!first_error.ok()) return first_error;
+  stats->per_shard = std::move(shard_stats);
   merged.Canonicalize();
   stats->total_seconds = total_sw.ElapsedSeconds();
+  RecordToRegistry(obs.metrics, "parallel", *stats);
   return merged;
+}
+
+// Serial fallback bookkeeping shared by both miners.
+void FillSerialStats(const MiningStats& serial_stats,
+                     ParallelMiningStats* stats) {
+  if (stats == nullptr) return;
+  *stats = ParallelMiningStats{};
+  stats->shards = 1;
+  stats->total_seconds = serial_stats.total_seconds;
+  stats->max_shard_seconds = serial_stats.total_seconds;
+  stats->sum_shard_seconds = serial_stats.total_seconds;
+  stats->sum_peak_counter_bytes = serial_stats.peak_counter_bytes;
+  stats->max_peak_counter_bytes = serial_stats.peak_counter_bytes;
+  stats->per_shard.push_back(serial_stats);
 }
 
 }  // namespace
@@ -89,22 +147,19 @@ StatusOr<ImplicationRuleSet> MineImplicationsParallel(
   if (threads <= 1 || matrix.num_columns() < 2) {
     MiningStats serial_stats;
     auto out = MineImplications(matrix, options, &serial_stats);
-    if (stats != nullptr) {
-      *stats = ParallelMiningStats{};
-      stats->shards = 1;
-      stats->total_seconds = serial_stats.total_seconds;
-      stats->max_shard_seconds = serial_stats.total_seconds;
-      stats->sum_shard_seconds = serial_stats.total_seconds;
-      stats->sum_peak_counter_bytes = serial_stats.peak_counter_bytes;
-      stats->max_peak_counter_bytes = serial_stats.peak_counter_bytes;
-    }
+    if (out.ok()) FillSerialStats(serial_stats, stats);
     return out;
   }
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
   return RunSharded<ImplicationRuleSet>(
-      matrix.column_ones(), threads,
-      [&matrix, &options](const std::vector<uint8_t>& shard,
-                          MiningStats* shard_stats) {
-        return MineImplicationsSharded(matrix, options, shard, shard_stats);
+      matrix.column_ones(), threads, options.policy.observe,
+      [&matrix, &options, &cancel](const std::vector<uint8_t>& shard,
+                                   uint32_t t, MiningStats* shard_stats) {
+        ImplicationMiningOptions shard_options = options;
+        shard_options.policy.observe = ShardContext(
+            options.policy.observe, static_cast<int>(t), cancel);
+        return MineImplicationsSharded(matrix, shard_options, shard,
+                                       shard_stats);
       },
       stats);
 }
@@ -116,22 +171,19 @@ StatusOr<SimilarityRuleSet> MineSimilaritiesParallel(
   if (threads <= 1 || matrix.num_columns() < 2) {
     MiningStats serial_stats;
     auto out = MineSimilarities(matrix, options, &serial_stats);
-    if (stats != nullptr) {
-      *stats = ParallelMiningStats{};
-      stats->shards = 1;
-      stats->total_seconds = serial_stats.total_seconds;
-      stats->max_shard_seconds = serial_stats.total_seconds;
-      stats->sum_shard_seconds = serial_stats.total_seconds;
-      stats->sum_peak_counter_bytes = serial_stats.peak_counter_bytes;
-      stats->max_peak_counter_bytes = serial_stats.peak_counter_bytes;
-    }
+    if (out.ok()) FillSerialStats(serial_stats, stats);
     return out;
   }
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
   return RunSharded<SimilarityRuleSet>(
-      matrix.column_ones(), threads,
-      [&matrix, &options](const std::vector<uint8_t>& shard,
-                          MiningStats* shard_stats) {
-        return MineSimilaritiesSharded(matrix, options, shard, shard_stats);
+      matrix.column_ones(), threads, options.policy.observe,
+      [&matrix, &options, &cancel](const std::vector<uint8_t>& shard,
+                                   uint32_t t, MiningStats* shard_stats) {
+        SimilarityMiningOptions shard_options = options;
+        shard_options.policy.observe = ShardContext(
+            options.policy.observe, static_cast<int>(t), cancel);
+        return MineSimilaritiesSharded(matrix, shard_options, shard,
+                                       shard_stats);
       },
       stats);
 }

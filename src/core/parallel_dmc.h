@@ -13,9 +13,11 @@
 #define DMC_CORE_PARALLEL_DMC_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/dmc_imp.h"
 #include "core/dmc_sim.h"
+#include "core/mining_stats.h"
 
 namespace dmc {
 
@@ -41,6 +43,10 @@ struct ParallelMiningStats {
   /// 256 MB).
   size_t max_peak_counter_bytes = 0;
   uint32_t shards = 0;
+  /// Full per-shard engine stats, in shard order. The aggregate fields
+  /// above are derived from these; exported under "per_shard" so the
+  /// invariant tests can cross-check the aggregation.
+  std::vector<MiningStats> per_shard;
 };
 
 /// Parallel MineImplications. Identical output to the serial engine.

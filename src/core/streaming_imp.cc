@@ -1,8 +1,10 @@
 #include "core/streaming_imp.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 
+#include "observe/progress.h"
 #include "util/bitvector.h"
 #include "util/logging.h"
 
@@ -38,6 +40,29 @@ std::span<const ColumnId> StreamingImplicationPass::FilteredRow(
 void StreamingImplicationPass::ProcessRow(std::span<const ColumnId> row) {
   DMC_CHECK(!finished_);
   DMC_CHECK_LT(rows_seen_, config_.total_rows);
+
+  const ObserveContext& obs = config_.policy.observe;
+  if (!cancelled_ && obs.has_progress()) {
+    const uint64_t interval =
+        obs.progress_interval_rows > 0 ? obs.progress_interval_rows : 1;
+    if (rows_seen_ % interval == 0) {
+      ProgressUpdate update;
+      update.phase = config_.phase;
+      update.rows_processed = rows_seen_;
+      update.total_rows = config_.total_rows;
+      update.live_candidates = table_.total_entries();
+      update.counter_bytes = table_.bytes();
+      update.shard = obs.shard;
+      if (!obs.progress(update)) cancelled_ = true;
+    }
+  }
+  if (cancelled_) {
+    // Keep counting rows so the caller's replay loop stays consistent,
+    // but stop doing any work; Finish() reports the cancellation.
+    ++rows_seen_;
+    return;
+  }
+
   const auto filtered = FilteredRow(row);
 
   if (!bitmap_mode_ && config_.policy.bitmap_fallback &&
@@ -200,6 +225,11 @@ void StreamingImplicationPass::RunBitmapPhases() {
 StatusOr<ImplicationRuleSet> StreamingImplicationPass::Finish() {
   DMC_CHECK(!finished_);
   finished_ = true;
+  if (cancelled_) {
+    return CancelledError("stream cancelled in " +
+                          std::string(config_.phase) + " after " +
+                          std::to_string(rows_seen_) + " rows");
+  }
   if (rows_seen_ != config_.total_rows) {
     return FailedPreconditionError(
         "stream ended early: saw " + std::to_string(rows_seen_) +

@@ -19,6 +19,7 @@
 #include "core/miss_counter_table.h"
 #include "core/thresholds.h"
 #include "matrix/binary_matrix.h"
+#include "observe/trace.h"
 #include "rules/rule_set.h"
 #include "util/memory_tracker.h"
 #include "util/statusor.h"
@@ -44,8 +45,10 @@ class StreamingImplicationPass {
     bool emit_zero_miss = true;
     size_t bytes_per_entry = MissCounterTable::kEntryBytesWithCounters;
     /// Bitmap-fallback policy (row_order is ignored — the caller owns
-    /// the order of the stream).
+    /// the order of the stream). Carries the ObserveContext hooks.
     DmcPolicy policy;
+    /// Phase label for progress updates ("hundred_phase", "sub_phase").
+    const char* phase = "pass";
   };
 
   explicit StreamingImplicationPass(Config config);
@@ -63,6 +66,11 @@ class StreamingImplicationPass {
 
   /// Whether the pass has switched to tail-collection (DMC-bitmap) mode.
   bool bitmap_mode() const { return bitmap_mode_; }
+
+  /// Whether the progress callback asked to cancel; once set, further
+  /// rows are counted but not processed and Finish() returns
+  /// Status(kCancelled).
+  bool cancelled() const { return cancelled_; }
 
   /// Current counter-array bytes.
   size_t counter_bytes() const { return table_.bytes(); }
@@ -96,6 +104,7 @@ class StreamingImplicationPass {
   uint64_t rows_seen_ = 0;
   bool bitmap_mode_ = false;
   bool finished_ = false;
+  bool cancelled_ = false;
   std::vector<std::vector<ColumnId>> tail_;
   ImplicationRuleSet out_;
   std::vector<ColumnId> scratch_row_;
@@ -132,7 +141,10 @@ template <typename Replay>
     cfg.emit_zero_miss = true;
     cfg.bytes_per_entry = MissCounterTable::kEntryBytesIdOnly;
     cfg.policy = options.policy;
+    cfg.phase = "hundred_phase";
     StreamingImplicationPass pass(std::move(cfg));
+    ScopedSpan span(options.policy.observe.trace, "stream_imp/hundred_phase",
+                    options.policy.observe.trace_lane);
     replay([&pass](std::span<const ColumnId> row) { pass.ProcessRow(row); });
     auto rules = pass.Finish();
     if (!rules.ok()) return rules.status();
@@ -155,7 +167,10 @@ template <typename Replay>
     cfg.emit_zero_miss = !run_hundred;
     cfg.bytes_per_entry = MissCounterTable::kEntryBytesWithCounters;
     cfg.policy = options.policy;
+    cfg.phase = "sub_phase";
     StreamingImplicationPass pass(std::move(cfg));
+    ScopedSpan span(options.policy.observe.trace, "stream_imp/sub_phase",
+                    options.policy.observe.trace_lane);
     replay([&pass](std::span<const ColumnId> row) { pass.ProcessRow(row); });
     auto rules = pass.Finish();
     if (!rules.ok()) return rules.status();

@@ -13,6 +13,7 @@
 #include "core/miss_counter_table.h"
 #include "core/thresholds.h"
 #include "matrix/binary_matrix.h"
+#include "observe/trace.h"
 #include "rules/rule_set.h"
 #include "util/memory_tracker.h"
 #include "util/statusor.h"
@@ -33,6 +34,8 @@ class StreamingSimilarityPass {
     bool emit_identical = true;
     size_t bytes_per_entry = MissCounterTable::kEntryBytesWithCounters;
     DmcPolicy policy;
+    /// Phase label for progress updates ("hundred_phase", "sub_phase").
+    const char* phase = "pass";
   };
 
   explicit StreamingSimilarityPass(Config config);
@@ -44,6 +47,9 @@ class StreamingSimilarityPass {
   void ProcessRow(std::span<const ColumnId> row);
   uint64_t rows_seen() const { return rows_seen_; }
   bool bitmap_mode() const { return bitmap_mode_; }
+  /// Whether the progress callback asked to cancel; see
+  /// StreamingImplicationPass::cancelled().
+  bool cancelled() const { return cancelled_; }
   size_t counter_bytes() const { return table_.bytes(); }
   size_t peak_counter_bytes() const { return tracker_.peak_bytes(); }
 
@@ -74,6 +80,7 @@ class StreamingSimilarityPass {
   uint64_t rows_seen_ = 0;
   bool bitmap_mode_ = false;
   bool finished_ = false;
+  bool cancelled_ = false;
   std::vector<std::vector<ColumnId>> tail_;
   SimilarityRuleSet out_;
   std::vector<ColumnId> scratch_row_;
@@ -107,7 +114,10 @@ template <typename Replay>
     cfg.emit_identical = true;
     cfg.bytes_per_entry = MissCounterTable::kEntryBytesIdOnly;
     cfg.policy = options.policy;
+    cfg.phase = "hundred_phase";
     StreamingSimilarityPass pass(std::move(cfg));
+    ScopedSpan span(options.policy.observe.trace, "stream_sim/hundred_phase",
+                    options.policy.observe.trace_lane);
     replay([&pass](std::span<const ColumnId> row) { pass.ProcessRow(row); });
     auto pairs = pass.Finish();
     if (!pairs.ok()) return pairs.status();
@@ -129,7 +139,10 @@ template <typename Replay>
     cfg.emit_identical = !run_hundred;
     cfg.bytes_per_entry = MissCounterTable::kEntryBytesWithCounters;
     cfg.policy = options.policy;
+    cfg.phase = "sub_phase";
     StreamingSimilarityPass pass(std::move(cfg));
+    ScopedSpan span(options.policy.observe.trace, "stream_sim/sub_phase",
+                    options.policy.observe.trace_lane);
     replay([&pass](std::span<const ColumnId> row) { pass.ProcessRow(row); });
     auto pairs = pass.Finish();
     if (!pairs.ok()) return pairs.status();

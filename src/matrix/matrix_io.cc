@@ -60,7 +60,9 @@ Status WriteMatrixText(const BinaryMatrix& m, std::ostream& os) {
 }
 
 Status WriteMatrixTextFile(const BinaryMatrix& m, const std::string& path) {
-  std::ofstream out(path);
+  // Matrix serialization is a data format, not a metrics export, so it
+  // opens its own stream.
+  std::ofstream out(path);  // dmc_lint: ignore
   if (!out) return IOError("cannot open for write: " + path);
   return WriteMatrixText(m, out);
 }

@@ -24,6 +24,7 @@ class MemoryTracker {
   void Add(size_t bytes) {
     current_ += bytes;
     if (current_ > peak_) peak_ = current_;
+    if (current_ > interval_peak_) interval_peak_ = current_;
   }
 
   void Sub(size_t bytes) {
@@ -36,6 +37,17 @@ class MemoryTracker {
   size_t current_bytes() const { return current_; }
   size_t peak_bytes() const { return peak_; }
 
+  /// Returns the highest usage seen since the previous TakeIntervalPeak()
+  /// (or since construction/Reset), then re-arms the interval at the
+  /// current usage. With one take per row, max over all takes equals
+  /// peak_bytes() exactly — even when lists shrink mid-row — which is the
+  /// invariant the exported Fig. 3 memory curves are checked against.
+  size_t TakeIntervalPeak() {
+    const size_t p = interval_peak_;
+    interval_peak_ = current_;
+    return p;
+  }
+
   /// Appends the current usage to the history (one sample per processed
   /// row when history recording is enabled by the caller).
   void RecordSample() { history_.push_back(current_); }
@@ -45,12 +57,14 @@ class MemoryTracker {
   void Reset() {
     current_ = 0;
     peak_ = 0;
+    interval_peak_ = 0;
     history_.clear();
   }
 
  private:
   size_t current_ = 0;
   size_t peak_ = 0;
+  size_t interval_peak_ = 0;
   std::vector<size_t> history_;
 };
 

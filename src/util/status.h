@@ -23,6 +23,7 @@ enum class StatusCode {
   kFailedPrecondition = 5,
   kInternal = 6,
   kUnimplemented = 7,
+  kCancelled = 8,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
@@ -76,6 +77,7 @@ Status ResourceExhaustedError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
+Status CancelledError(std::string message);
 
 /// Propagates a non-OK status to the caller. Usable only in functions
 /// returning Status.

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+
 #include "baselines/bruteforce.h"
 #include "core/engine.h"
 #include "core/streaming_imp.h"
@@ -115,6 +118,170 @@ TEST(FuzzSweepTest, SimilaritiesAcrossEnginesMatchOracle) {
     ASSERT_TRUE(parallel.ok());
     ASSERT_EQ(parallel->Pairs(), truth) << "trial " << trial;
   }
+}
+
+// A cancelling progress callback: returns false from invocation
+// `cancel_after` onwards (sticky, thread-safe for the parallel miners).
+struct Canceller {
+  explicit Canceller(uint64_t cancel_after) : remaining(cancel_after) {}
+
+  ProgressCallback Callback() {
+    return [this](const ProgressUpdate&) {
+      // fetch_sub on 0 wraps, so test-and-decrement in two steps.
+      uint64_t cur = remaining.load(std::memory_order_relaxed);
+      while (cur > 0 &&
+             !remaining.compare_exchange_weak(cur, cur - 1,
+                                              std::memory_order_relaxed)) {
+      }
+      if (cur == 0) {
+        requested.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      return true;
+    };
+  }
+
+  std::atomic<uint64_t> remaining;
+  std::atomic<bool> requested{false};
+};
+
+// Cancels each engine at a random point in its progress stream. Either
+// the engine got cancelled (clean kCancelled, no partial results) or it
+// outran the cancellation and must still match the oracle exactly.
+TEST(FuzzSweepTest, ImplicationCancellationAtRandomRowsIsClean) {
+  Rng rng(0xF144);
+  for (int trial = 0; trial < 40; ++trial) {
+    const BinaryMatrix m = RandomMatrix(rng);
+    ImplicationMiningOptions o;
+    o.min_confidence = RandomThreshold(rng);
+    o.policy = RandomPolicy(rng);
+    o.policy.observe.progress_interval_rows = 1 + rng.Uniform(8);
+    const uint64_t cancel_after = rng.Uniform(2 * m.num_rows() + 2);
+    const auto truth = BruteForceImplications(m, o.min_confidence).Pairs();
+
+    {
+      Canceller cancel(cancel_after);
+      o.policy.observe.progress = cancel.Callback();
+      auto batch = MineImplications(m, o);
+      if (batch.ok()) {
+        EXPECT_EQ(batch->Pairs(), truth) << "trial " << trial;
+      } else {
+        EXPECT_EQ(batch.status().code(), StatusCode::kCancelled)
+            << "trial " << trial << ": " << batch.status().message();
+        EXPECT_TRUE(cancel.requested.load());
+      }
+    }
+    {
+      Canceller cancel(cancel_after);
+      o.policy.observe.progress = cancel.Callback();
+      const auto order = SortedByDensityOrder(m);
+      auto streamed = StreamImplications(
+          m.num_columns(), m.column_ones(), m.num_rows(), o,
+          [&](auto&& sink) {
+            for (RowId r : order) sink(m.Row(r));
+          });
+      if (streamed.ok()) {
+        EXPECT_EQ(streamed->Pairs(), truth) << "trial " << trial;
+      } else {
+        EXPECT_EQ(streamed.status().code(), StatusCode::kCancelled)
+            << "trial " << trial;
+        EXPECT_TRUE(cancel.requested.load());
+      }
+    }
+    {
+      Canceller cancel(cancel_after);
+      o.policy.observe.progress = cancel.Callback();
+      ParallelOptions par;
+      par.num_threads = 1 + static_cast<uint32_t>(rng.Uniform(4));
+      auto parallel = MineImplicationsParallel(m, o, par);
+      if (parallel.ok()) {
+        EXPECT_EQ(parallel->Pairs(), truth) << "trial " << trial;
+      } else {
+        EXPECT_EQ(parallel.status().code(), StatusCode::kCancelled)
+            << "trial " << trial;
+        EXPECT_TRUE(cancel.requested.load());
+      }
+    }
+  }
+}
+
+TEST(FuzzSweepTest, SimilarityCancellationAtRandomRowsIsClean) {
+  Rng rng(0xF155);
+  for (int trial = 0; trial < 40; ++trial) {
+    const BinaryMatrix m = RandomMatrix(rng);
+    SimilarityMiningOptions o;
+    o.min_similarity = RandomThreshold(rng);
+    o.policy = RandomPolicy(rng);
+    o.policy.observe.progress_interval_rows = 1 + rng.Uniform(8);
+    const uint64_t cancel_after = rng.Uniform(2 * m.num_rows() + 2);
+    const auto truth = BruteForceSimilarities(m, o.min_similarity).Pairs();
+
+    {
+      Canceller cancel(cancel_after);
+      o.policy.observe.progress = cancel.Callback();
+      auto batch = MineSimilarities(m, o);
+      if (batch.ok()) {
+        EXPECT_EQ(batch->Pairs(), truth) << "trial " << trial;
+      } else {
+        EXPECT_EQ(batch.status().code(), StatusCode::kCancelled)
+            << "trial " << trial;
+        EXPECT_TRUE(cancel.requested.load());
+      }
+    }
+    {
+      Canceller cancel(cancel_after);
+      o.policy.observe.progress = cancel.Callback();
+      const auto order = DensityBucketOrder(m).order;
+      auto streamed = StreamSimilarities(
+          m.num_columns(), m.column_ones(), m.num_rows(), o,
+          [&](auto&& sink) {
+            for (RowId r : order) sink(m.Row(r));
+          });
+      if (streamed.ok()) {
+        EXPECT_EQ(streamed->Pairs(), truth) << "trial " << trial;
+      } else {
+        EXPECT_EQ(streamed.status().code(), StatusCode::kCancelled)
+            << "trial " << trial;
+        EXPECT_TRUE(cancel.requested.load());
+      }
+    }
+    {
+      Canceller cancel(cancel_after);
+      o.policy.observe.progress = cancel.Callback();
+      ParallelOptions par;
+      par.num_threads = 1 + static_cast<uint32_t>(rng.Uniform(4));
+      auto parallel = MineSimilaritiesParallel(m, o, par);
+      if (parallel.ok()) {
+        EXPECT_EQ(parallel->Pairs(), truth) << "trial " << trial;
+      } else {
+        EXPECT_EQ(parallel.status().code(), StatusCode::kCancelled)
+            << "trial " << trial;
+        EXPECT_TRUE(cancel.requested.load());
+      }
+    }
+  }
+}
+
+// Cancelling on the very first progress sample must cancel every engine
+// deterministically (a row-level check always precedes completion on
+// non-empty matrices).
+TEST(FuzzSweepTest, ImmediateCancellationAlwaysCancels) {
+  Rng rng(0xF166);
+  const BinaryMatrix m = RandomMatrix(rng);
+  ImplicationMiningOptions io;
+  io.min_confidence = 0.8;
+  io.policy.observe.progress_interval_rows = 1;
+  io.policy.observe.progress = [](const ProgressUpdate&) { return false; };
+  auto imp = MineImplications(m, io);
+  ASSERT_FALSE(imp.ok());
+  EXPECT_EQ(imp.status().code(), StatusCode::kCancelled);
+
+  SimilarityMiningOptions so;
+  so.min_similarity = 0.7;
+  so.policy.observe = io.policy.observe;
+  auto sim = MineSimilarities(m, so);
+  ASSERT_FALSE(sim.ok());
+  EXPECT_EQ(sim.status().code(), StatusCode::kCancelled);
 }
 
 TEST(FuzzSweepTest, DegenerateMatrices) {

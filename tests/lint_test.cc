@@ -110,6 +110,15 @@ TEST(LintFixtureTest, BannedStdioFiresExactlyOnce) {
   EXPECT_EQ(findings[0].rule, "banned-stdio");
 }
 
+TEST(LintFixtureTest, BannedFileStreamFiresExactlyOnce) {
+  const auto findings = LintFile("uses_ofstream.cc",
+                                 ReadFile(FixturePath("uses_ofstream.cc")), {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-file-stream");
+  EXPECT_EQ(findings[0].line, 10);
+  EXPECT_NE(findings[0].message.find("observe"), std::string::npos);
+}
+
 TEST(LintFixtureTest, CleanFilesPass) {
   EXPECT_TRUE(
       LintFile("clean.h", ReadFile(FixturePath("clean.h")), {}).empty());
@@ -123,7 +132,8 @@ TEST(LintFixtureTest, TreeWalkFindsOnePerViolatingFixture) {
   EXPECT_EQ(CountRule(findings, "include-guard"), 1u);
   EXPECT_EQ(CountRule(findings, "discarded-status"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-stdio"), 1u);
-  EXPECT_EQ(findings.size(), 4u);
+  EXPECT_EQ(CountRule(findings, "banned-file-stream"), 1u);
+  EXPECT_EQ(findings.size(), 5u);
 }
 
 // --- rule details on inline content ---
@@ -147,6 +157,29 @@ TEST(LintRuleTest, LoggingBackendMayUseStdio) {
   const std::string body = "#include <cstdio>\nvoid F(){fprintf(stderr, x);}\n";
   EXPECT_TRUE(LintFile("src/util/logging.cc", body, {}).empty());
   EXPECT_EQ(LintFile("src/core/engine.cc", body, {}).size(), 1u);
+}
+
+TEST(LintRuleTest, ObserveExportMayOpenFileStreams) {
+  const std::string body =
+      "#include <fstream>\nvoid F(){ std::ofstream out(\"x\"); }\n";
+  EXPECT_TRUE(LintFile("src/observe/stats_export.cc", body, {}).empty());
+  const auto findings = LintFile("src/core/engine.cc", body, {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-file-stream");
+}
+
+TEST(LintRuleTest, FileStreamLineSuppressionWorks) {
+  const std::string body =
+      "#include <fstream>\n"
+      "void F(){ std::ofstream out(\"x\"); }  // dmc_lint: ignore\n";
+  EXPECT_TRUE(LintFile("src/core/engine.cc", body, {}).empty());
+}
+
+TEST(LintRuleTest, FopenRequiresCallToFire) {
+  EXPECT_EQ(LintFile("x.cc", "void F(){ fopen(\"a\", \"w\"); }\n", {}).size(),
+            1u);
+  // A mention without a call (e.g. a symbol named fopen_mode) is legal.
+  EXPECT_TRUE(LintFile("x.cc", "int fopen_mode = 0;\n", {}).empty());
 }
 
 TEST(LintRuleTest, QualifiedNonStdRandIsAllowed) {

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -125,6 +126,64 @@ TEST(ParallelStressTest, BitmapFallbackUnderManyThreads) {
     auto parallel = MineSimilaritiesParallel(m, o, p);
     ASSERT_TRUE(parallel.ok()) << "iter " << iter;
     EXPECT_EQ(parallel->Pairs(), serial->Pairs()) << "iter " << iter;
+  }
+}
+
+TEST(ParallelStressTest, MidMineCancellationUnderManyThreads) {
+  // Cancels from the (thread-shared) progress callback at varying points
+  // while 16 shard workers are mid-scan. The run must end in a clean
+  // kCancelled status — no crash, no race (TSan), no partial rule set —
+  // or, when the miner outruns the late cancellation, in the exact
+  // serial result.
+  const BinaryMatrix m = StressWorkload(105);
+  ImplicationMiningOptions o;
+  o.min_confidence = 0.8;
+  auto serial = MineImplications(m, o);
+  ASSERT_TRUE(serial.ok());
+  for (int iter = 0; iter < 8; ++iter) {
+    std::atomic<uint64_t> calls{0};
+    const uint64_t cancel_after = static_cast<uint64_t>(iter) * 113;
+    o.policy.observe.progress_interval_rows = 1 + iter;
+    o.policy.observe.progress = [&calls,
+                                 cancel_after](const ProgressUpdate&) {
+      return calls.fetch_add(1, std::memory_order_relaxed) < cancel_after;
+    };
+    ParallelOptions p;
+    p.num_threads = 16;
+    auto parallel = MineImplicationsParallel(m, o, p);
+    if (parallel.ok()) {
+      EXPECT_EQ(parallel->Pairs(), serial->Pairs()) << "iter " << iter;
+    } else {
+      EXPECT_EQ(parallel.status().code(), StatusCode::kCancelled)
+          << "iter " << iter << ": " << parallel.status().message();
+    }
+    // iter 0 cancels on the first sample, which always lands on a
+    // row-level check: that run can never complete.
+    if (iter == 0) {
+      EXPECT_FALSE(parallel.ok());
+    }
+  }
+}
+
+TEST(ParallelStressTest, CancelledSimilarityShardsShutDownCleanly) {
+  const BinaryMatrix m = StressWorkload(106);
+  SimilarityMiningOptions o;
+  o.min_similarity = 0.6;
+  o.policy.observe.progress_interval_rows = 1;
+  std::atomic<uint64_t> updates{0};
+  o.policy.observe.progress = [&updates](const ProgressUpdate& u) {
+    updates.fetch_add(1, std::memory_order_relaxed);
+    // Let every shard report a few samples, then pull the plug.
+    return updates.load(std::memory_order_relaxed) < 64 || u.shard < 0;
+  };
+  for (int iter = 0; iter < 4; ++iter) {
+    updates.store(0);
+    ParallelOptions p;
+    p.num_threads = 12;
+    auto parallel = MineSimilaritiesParallel(m, o, p);
+    ASSERT_FALSE(parallel.ok()) << "iter " << iter;
+    EXPECT_EQ(parallel.status().code(), StatusCode::kCancelled)
+        << "iter " << iter;
   }
 }
 

@@ -31,6 +31,7 @@ TEST(StatusTest, FactoryCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -1,0 +1,19 @@
+// Fixture: exactly one banned-file-stream violation (the std::ofstream
+// line). Reading via std::ifstream is legal — the rule only guards
+// output streams.
+#include <fstream>
+#include <string>
+
+namespace dmc_fixture {
+
+void Dump(const std::string& path) {
+  std::ofstream out(path);
+  out << "library code must hand exports to src/observe\n";
+}
+
+bool Probe(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+}  // namespace dmc_fixture

@@ -3,8 +3,9 @@
 #
 #   (a) warnings-as-errors build + full ctest        (preset: default)
 #   (b) ASan+UBSan build + full ctest                (preset: asan-ubsan)
-#   (c) TSan build + parallel_test + parallel_stress_test  (preset: tsan)
+#   (c) TSan build + parallel/observe/cancellation tests   (preset: tsan)
 #   (d) dmc_lint over src/
+#   (e) metrics-schema smoke check (dmc_cli --metrics-out)
 #
 # Exits nonzero on the first failure. Pass --fast to skip the sanitizer
 # stages (a + d only), e.g. for a pre-commit hook.
@@ -29,14 +30,29 @@ if [[ "${fast}" -eq 0 ]]; then
   cmake --build --preset asan-ubsan -j "${jobs}"
   ctest --preset asan-ubsan -j "${jobs}"
 
-  step "(c) tsan build + parallel tests + stress test"
+  step "(c) tsan build + parallel/observe/cancellation tests"
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "${jobs}"
-  ctest --test-dir build-tsan -R 'Parallel|ColumnShards' \
+  ctest --test-dir build-tsan -R 'Parallel|ColumnShards|Observe|Cancel' \
     -j "${jobs}" --output-on-failure
 fi
 
 step "(d) dmc_lint over src/"
 DMC_BUILD_DIR="${repo_root}/build" "${repo_root}/tools/dmc_check.sh"
+
+step "(e) metrics-schema smoke check"
+metrics_tmp="$(mktemp -d)"
+trap 'rm -rf "${metrics_tmp}"' EXIT
+"${repo_root}/build/tools/dmc_cli" mine-imp \
+  --input="${repo_root}/tests/testdata/metrics/fixture_matrix.txt" \
+  --minconf=0.8 --metrics-out="${metrics_tmp}/metrics.json" >/dev/null
+for field in '"schema_version": 1' '"mining"' '"peak_counter_bytes"' \
+             '"rules_total"'; do
+  grep -qF "${field}" "${metrics_tmp}/metrics.json" || {
+    echo "metrics schema smoke check failed: missing ${field}" >&2
+    exit 1
+  }
+done
+echo "metrics schema OK"
 
 step "all checks passed"

@@ -15,6 +15,15 @@
 //   --external --workdir=DIR        disk-based two-pass (mine-imp only)
 //   --top=N                         print only the N strongest rules
 //   --output=FILE                   write all rules to FILE
+//
+// Observability options (mine-imp / mine-sim):
+//   --metrics-out=FILE              write the run's metrics document
+//                                   (schema_version 1 JSON; see
+//                                   src/observe/stats_export.h)
+//   --trace-out=FILE                write a Chrome-tracing JSON of the
+//                                   mining phases (load in ui.perfetto.dev)
+//   --progress[=ROWS]               print progress to stderr every ROWS
+//                                   rows (default 65536)
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +35,9 @@
 
 #include "core/engine.h"
 #include "core/external_miner.h"
+#include "observe/metrics.h"
+#include "observe/stats_export.h"
+#include "observe/trace.h"
 #include "datagen/dictionary_gen.h"
 #include "datagen/linkgraph_gen.h"
 #include "datagen/news_gen.h"
@@ -101,6 +113,68 @@ DmcPolicy PolicyFromFlags(const Flags& flags) {
   return policy;
 }
 
+// Owns the registry/sink behind --metrics-out / --trace-out and hooks
+// them (plus --progress) into the policy's ObserveContext.
+class Observability {
+ public:
+  void Configure(const Flags& flags, DmcPolicy* policy) {
+    metrics_out_ = flags.Get("metrics-out");
+    trace_out_ = flags.Get("trace-out");
+    if (!metrics_out_.empty()) policy->observe.metrics = &registry_;
+    if (!trace_out_.empty()) policy->observe.trace = &trace_;
+    if (flags.GetBool("progress")) {
+      const uint64_t interval = flags.GetInt("progress", 1);
+      policy->observe.progress_interval_rows =
+          interval > 1 ? interval : 65536;
+      policy->observe.progress = [](const ProgressUpdate& u) {
+        std::fprintf(stderr,
+                     "progress: %s %llu/%llu rows, %llu candidates, "
+                     "%.2f MB%s\n",
+                     u.phase, (unsigned long long)u.rows_processed,
+                     (unsigned long long)u.total_rows,
+                     (unsigned long long)u.live_candidates,
+                     u.counter_bytes / (1024.0 * 1024.0),
+                     u.shard >= 0 ? " (shard)" : "");
+        return true;
+      };
+    }
+  }
+
+  /// Writes the requested output files; returns non-zero on failure.
+  int Finish(MetricsReport report) {
+    if (!metrics_out_.empty()) {
+      report.metrics = &registry_;
+      const Status st = ExportMetricsJsonFile(report, metrics_out_);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_out_.c_str());
+    }
+    if (!trace_out_.empty()) {
+      std::ofstream out(trace_out_);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", trace_out_.c_str());
+        return 1;
+      }
+      trace_.WriteChromeJson(out);
+      if (!out) {
+        std::fprintf(stderr, "trace write failed: %s\n",
+                     trace_out_.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote trace to %s\n", trace_out_.c_str());
+    }
+    return 0;
+  }
+
+ private:
+  MetricsRegistry registry_;
+  TraceSink trace_;
+  std::string metrics_out_;
+  std::string trace_out_;
+};
+
 StatusOr<BinaryMatrix> LoadInput(const Flags& flags) {
   const std::string input = flags.Get("input");
   if (input.empty()) {
@@ -158,6 +232,13 @@ int MineImp(const Flags& flags) {
   ImplicationMiningOptions options;
   options.min_confidence = flags.GetDouble("minconf", 0.9);
   options.policy = PolicyFromFlags(flags);
+  Observability observe;
+  observe.Configure(flags, &options.policy);
+
+  MetricsReport report;
+  report.tool = "dmc_cli";
+  report.dataset = flags.Get("input");
+  report.labels["command"] = "mine-imp";
 
   if (flags.GetBool("external")) {
     const std::string input = flags.Get("input");
@@ -175,7 +256,11 @@ int MineImp(const Flags& flags) {
                  stats.pass1_seconds, stats.partition_seconds,
                  stats.bucket_files, stats.mine_seconds);
     std::fprintf(stderr, "%zu rules\n", rules->size());
-    return EmitRules(rules->SortedByConfidence(), flags);
+    report.external = &stats;
+    report.rules_total = static_cast<int64_t>(rules->size());
+    const int rc = EmitRules(rules->SortedByConfidence(), flags);
+    const int observe_rc = observe.Finish(report);
+    return rc != 0 ? rc : observe_rc;
   }
 
   auto matrix = LoadInput(flags);
@@ -186,18 +271,20 @@ int MineImp(const Flags& flags) {
   const uint32_t threads =
       static_cast<uint32_t>(flags.GetInt("threads", 1));
   MiningStats stats;
+  ParallelMiningStats pstats;
   StatusOr<ImplicationRuleSet> rules = ImplicationRuleSet{};
   if (threads > 1) {
     ParallelOptions p;
     p.num_threads = threads;
-    ParallelMiningStats pstats;
     rules = MineImplicationsParallel(*matrix, options, p, &pstats);
     std::fprintf(stderr, "parallel: %u shards, wall %.3fs (work %.3fs)\n",
                  pstats.shards, pstats.total_seconds,
                  pstats.sum_shard_seconds);
+    report.parallel = &pstats;
   } else {
     rules = MineImplications(*matrix, options, &stats);
     if (rules.ok()) ReportStats(stats);
+    report.mining = &stats;
   }
   if (!rules.ok()) {
     std::fprintf(stderr, "%s\n", rules.status().ToString().c_str());
@@ -205,13 +292,24 @@ int MineImp(const Flags& flags) {
   }
   std::fprintf(stderr, "%zu rules at confidence >= %.3f\n", rules->size(),
                options.min_confidence);
-  return EmitRules(rules->SortedByConfidence(), flags);
+  report.rules_total = static_cast<int64_t>(rules->size());
+  const int rc = EmitRules(rules->SortedByConfidence(), flags);
+  const int observe_rc = observe.Finish(report);
+  return rc != 0 ? rc : observe_rc;
 }
 
 int MineSim(const Flags& flags) {
   SimilarityMiningOptions options;
   options.min_similarity = flags.GetDouble("minsim", 0.8);
   options.policy = PolicyFromFlags(flags);
+  Observability observe;
+  observe.Configure(flags, &options.policy);
+
+  MetricsReport report;
+  report.tool = "dmc_cli";
+  report.dataset = flags.Get("input");
+  report.labels["command"] = "mine-sim";
+
   auto matrix = LoadInput(flags);
   if (!matrix.ok()) {
     std::fprintf(stderr, "%s\n", matrix.status().ToString().c_str());
@@ -219,15 +317,18 @@ int MineSim(const Flags& flags) {
   }
   const uint32_t threads =
       static_cast<uint32_t>(flags.GetInt("threads", 1));
+  MiningStats stats;
+  ParallelMiningStats pstats;
   StatusOr<SimilarityRuleSet> pairs = SimilarityRuleSet{};
   if (threads > 1) {
     ParallelOptions p;
     p.num_threads = threads;
-    pairs = MineSimilaritiesParallel(*matrix, options, p);
+    pairs = MineSimilaritiesParallel(*matrix, options, p, &pstats);
+    report.parallel = &pstats;
   } else {
-    MiningStats stats;
     pairs = MineSimilarities(*matrix, options, &stats);
     if (pairs.ok()) ReportStats(stats);
+    report.mining = &stats;
   }
   if (!pairs.ok()) {
     std::fprintf(stderr, "%s\n", pairs.status().ToString().c_str());
@@ -235,7 +336,10 @@ int MineSim(const Flags& flags) {
   }
   std::fprintf(stderr, "%zu pairs at similarity >= %.3f\n", pairs->size(),
                options.min_similarity);
-  return EmitRules(pairs->SortedBySimilarity(), flags);
+  report.rules_total = static_cast<int64_t>(pairs->size());
+  const int rc = EmitRules(pairs->SortedBySimilarity(), flags);
+  const int observe_rc = observe.Finish(report);
+  return rc != 0 ? rc : observe_rc;
 }
 
 int Stats(const Flags& flags) {

@@ -241,14 +241,28 @@ void CheckBannedTokens(const std::string& path, const std::string& scrubbed,
        "std::cout in library code is banned; use DMC_LOG (util/logging.h)"},
       {"cerr", false, "banned-stdio",
        "std::cerr in library code is banned; use DMC_LOG (util/logging.h)"},
+      {"ofstream", false, "banned-file-stream",
+       "opening output streams in library code is banned; route exports "
+       "through src/observe (stats_export.h)"},
+      {"fopen", true, "banned-file-stream",
+       "opening output streams in library code is banned; route exports "
+       "through src/observe (stats_export.h)"},
   };
   // The logging backend is the one translation unit allowed to write to
   // stderr directly.
   const bool is_logging_backend =
       path.find("util/logging.") != std::string::npos;
+  // The observe export layer is the one library component allowed to open
+  // output files; everything else must hand data to it.
+  const bool is_observe_export =
+      path.find("observe/") != std::string::npos;
   for (const Ban& ban : kBans) {
     if (is_logging_backend &&
         std::string(ban.rule) == "banned-stdio") {
+      continue;
+    }
+    if (is_observe_export &&
+        std::string(ban.rule) == "banned-file-stream") {
       continue;
     }
     const size_t len = std::strlen(ban.token);

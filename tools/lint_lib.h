@@ -10,6 +10,9 @@
 //   banned-stdio      no std::cout/std::cerr/printf-family output in
 //                     library code — use DMC_LOG (util/logging.h); the
 //                     logging backend itself is whitelisted
+//   banned-file-stream  no std::ofstream/fopen in library code — file
+//                     exports go through src/observe (stats_export.h),
+//                     which is the one whitelisted component
 //   discarded-status  a call to a Status/StatusOr-returning function used
 //                     as a bare statement (result ignored)
 //
