@@ -1,0 +1,101 @@
+// Checkpoint/resume for the external (disk-based) miner.
+//
+// Pass 1 of the external pipeline (ones(c) + density-bucket partitioning)
+// is a full scan of the input; on big inputs it dominates wall-clock when
+// a run dies midway. A checkpoint persists everything pass 1 produced —
+// the first-pass statistics and the bucket inventory — so a restarted run
+// can validate it and jump straight to pass 2 over the surviving bucket
+// files.
+//
+// On-disk format (little-endian):
+//
+//   offset 0   8 bytes   magic "DMCCKPT\n"
+//          8   u32       version (1)
+//         12   u64       input file byte size     \ fingerprint of the
+//         20   u64       input file FNV-1a hash   / original input
+//         28   u8        bucketed flag
+//         29   u32       num_columns
+//         33   u64       num_rows
+//         41   u32 * num_columns   column_ones
+//        ...   u32       bucket count
+//        ...   per bucket: i32 id, u64 rows, u64 bytes
+//        ...   u64       FNV-1a checksum of every byte above
+//        ...   4 bytes   end magic "DMCE"
+//
+// The reader treats any structural problem or checksum mismatch as
+// kDataLoss; ValidateCheckpoint additionally re-fingerprints the input
+// and stats the bucket files so a stale or torn checkpoint degrades to a
+// fresh run instead of silently mining the wrong data.
+
+#ifndef DMC_CORE_CHECKPOINT_H_
+#define DMC_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/binary_matrix.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace dmc {
+
+/// Cheap identity of a file: byte size + FNV-1a of the raw content.
+struct FileFingerprint {
+  uint64_t bytes = 0;
+  uint64_t hash = 0;
+
+  friend bool operator==(const FileFingerprint& a, const FileFingerprint& b) {
+    return a.bytes == b.bytes && a.hash == b.hash;
+  }
+};
+
+/// Streams `path` once and returns its fingerprint.
+[[nodiscard]] StatusOr<FileFingerprint> FingerprintFile(
+    const std::string& path);
+
+/// Everything pass 1 of the external miner produces.
+struct ExternalCheckpoint {
+  FileFingerprint input;
+  /// Whether the rows were partitioned into density buckets (false =
+  /// identity order, pass 2 streams the original file).
+  bool bucketed = false;
+  ColumnId num_columns = 0;
+  uint64_t num_rows = 0;
+  std::vector<uint32_t> column_ones;
+
+  struct Bucket {
+    int32_t id = 0;
+    uint64_t rows = 0;
+    /// Byte size of the bucket file at checkpoint time; used to detect
+    /// torn or tampered bucket files before resuming.
+    uint64_t bytes = 0;
+  };
+  std::vector<Bucket> buckets;
+};
+
+/// Path of density bucket `bucket` under `work_dir` (shared between the
+/// external miner and checkpoint validation).
+std::string ExternalBucketPath(const std::string& work_dir, int bucket);
+
+/// Atomically writes `cp` to `path` (temp + fsync + rename).
+[[nodiscard]] Status WriteCheckpointFile(const ExternalCheckpoint& cp,
+                                         const std::string& path);
+
+/// Parses a checkpoint file. Corruption, truncation or a checksum
+/// mismatch yields kDataLoss; a missing file yields kIOError.
+[[nodiscard]] StatusOr<ExternalCheckpoint> ReadCheckpointFile(
+    const std::string& path);
+
+/// Confirms `cp` still describes reality: the input at `input_path`
+/// fingerprints identically and every bucket file under `work_dir`
+/// exists with its recorded byte size. Returns kFailedPrecondition when
+/// the input changed and kDataLoss when a bucket file is missing or the
+/// wrong size.
+[[nodiscard]] Status ValidateCheckpoint(const ExternalCheckpoint& cp,
+                                        const std::string& input_path,
+                                        const std::string& work_dir);
+
+}  // namespace dmc
+
+#endif  // DMC_CORE_CHECKPOINT_H_

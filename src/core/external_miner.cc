@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/streaming_imp.h"
 #include "core/streaming_sim.h"
 #include "matrix/matrix_io.h"
+#include "observe/metrics.h"
 #include "observe/stats_export.h"
 #include "observe/trace.h"
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 
 namespace dmc {
@@ -26,80 +30,61 @@ int BucketIndex(size_t density) {
   return b;
 }
 
-std::string BucketPath(const std::string& work_dir, int bucket) {
-  return work_dir + "/dmc_bucket_" + std::to_string(bucket) + ".txt";
-}
-
 // Shared setup/teardown of the two-pass disk pipeline.
 class ExternalRun {
  public:
-  ExternalRun(std::string path, std::string work_dir, bool bucketed)
+  ExternalRun(std::string path, std::string work_dir, bool bucketed,
+              const ExternalIoOptions& io, const ObserveContext& obs,
+              ExternalMiningStats* stats)
       : path_(std::move(path)),
         work_dir_(std::move(work_dir)),
-        bucketed_(bucketed) {}
+        bucketed_(bucketed),
+        io_(io),
+        obs_(obs),
+        stats_(stats) {}
 
   ~ExternalRun() {
+    // Artifacts survive when checkpointing (a later run resumes from
+    // them) or when the caller asked to keep them; otherwise every exit
+    // path — success or failure — cleans up.
+    if (io_.keep_artifacts || !io_.checkpoint_path.empty()) return;
     for (int b : used_buckets_) {
       std::error_code ec;
-      std::filesystem::remove(BucketPath(work_dir_, b), ec);
+      std::filesystem::remove(ExternalBucketPath(work_dir_, b), ec);
     }
   }
 
   ExternalRun(const ExternalRun&) = delete;
   ExternalRun& operator=(const ExternalRun&) = delete;
 
-  /// Pass 1 + (optional) bucket partitioning.
-  Status Prepare(ExternalMiningStats* stats) {
+  /// Pass 1 + (optional) bucket partitioning, or a checkpoint resume.
+  Status Prepare() {
+    if (io_.resume && !io_.checkpoint_path.empty() && TryResume()) {
+      return Status::OK();
+    }
+
     Stopwatch pass1_sw;
     {
-      std::ifstream in(path_);
-      if (!in) return IOError("cannot open " + path_);
+      std::ifstream in;
+      DMC_RETURN_IF_ERROR(OpenForRead("external.pass1.open", path_, &in));
       auto scanned = ScanMatrixText(in);
       if (!scanned.ok()) return scanned.status();
       first_pass_ = std::move(scanned).value();
     }
-    stats->pass1_seconds = pass1_sw.ElapsedSeconds();
-    stats->rows = first_pass_.num_rows;
-    stats->columns = first_pass_.num_columns;
+    stats_->pass1_seconds = pass1_sw.ElapsedSeconds();
+    stats_->rows = first_pass_.num_rows;
+    stats_->columns = first_pass_.num_columns;
 
     Stopwatch partition_sw;
     if (bucketed_) {
-      constexpr int kMaxBuckets = 33;
-      // The bucket partitioner is the one core component that genuinely
-      // writes files (the paper's disk pipeline).
-      std::vector<std::ofstream> outs(kMaxBuckets);  // dmc_lint: ignore
-      std::vector<uint8_t> seen(kMaxBuckets, 0);
-      std::ifstream in(path_);
-      if (!in) return IOError("cannot reopen " + path_);
-      const Status scan = ForEachRowText(
-          in, [&](std::span<const ColumnId> row) -> Status {
-            const int b = BucketIndex(row.size());
-            if (!seen[b]) {
-              seen[b] = 1;
-              outs[b].open(BucketPath(work_dir_, b));
-              if (!outs[b]) {
-                return IOError("cannot create bucket file in " + work_dir_);
-              }
-              used_buckets_.push_back(b);
-            }
-            bool first = true;
-            for (ColumnId c : row) {
-              if (!first) outs[b] << ' ';
-              outs[b] << c;
-              first = false;
-            }
-            outs[b] << '\n';
-            return Status::OK();
-          });
-      if (!scan.ok()) return scan;
-      for (int b : used_buckets_) {
-        outs[b].close();
-        if (!outs[b]) return IOError("bucket write failed");
-      }
-      std::sort(used_buckets_.begin(), used_buckets_.end());
-      stats->bucket_files = used_buckets_.size();
+      DMC_RETURN_IF_ERROR(Partition());
+      stats_->bucket_files = used_buckets_.size();
     }
-    stats->partition_seconds = partition_sw.ElapsedSeconds();
+    stats_->partition_seconds = partition_sw.ElapsedSeconds();
+
+    if (!io_.checkpoint_path.empty()) {
+      DMC_RETURN_IF_ERROR(WriteCheckpoint());
+    }
     return Status::OK();
   }
 
@@ -110,11 +95,9 @@ class ExternalRun {
   void Replay(Sink&& sink, Status* status) {
     if (!status->ok()) return;
     if (!bucketed_) {
-      std::ifstream in(path_);
-      if (!in) {
-        *status = IOError("cannot reopen " + path_);
-        return;
-      }
+      std::ifstream in;
+      *status = OpenForRead("external.replay.open", path_, &in);
+      if (!status->ok()) return;
       *status = ForEachRowText(in, [&sink](std::span<const ColumnId> row) {
         sink(row);
         return Status::OK();
@@ -122,11 +105,11 @@ class ExternalRun {
       return;
     }
     for (int b : used_buckets_) {
-      std::ifstream in(BucketPath(work_dir_, b));
-      if (!in) {
-        *status = IOError("cannot open bucket " + std::to_string(b));
-        return;
-      }
+      std::ifstream in;
+      *status =
+          OpenForRead("external.replay.open", ExternalBucketPath(work_dir_, b),
+                      &in);
+      if (!status->ok()) return;
       *status = ForEachRowText(in, [&sink](std::span<const ColumnId> row) {
         sink(row);
         return Status::OK();
@@ -136,18 +119,168 @@ class ExternalRun {
   }
 
  private:
+  /// Opens `file_path` for reading, retrying transient failures under the
+  /// configured policy; `site` is the failpoint checked per attempt.
+  Status OpenForRead(const char* site, const std::string& file_path,
+                     std::ifstream* in) {
+    return RetryOp([&]() -> Status {
+      if (fail::Enabled()) {
+        DMC_RETURN_IF_ERROR(fail::InjectStatus(site));
+      }
+      if (in->is_open()) in->close();
+      in->clear();
+      in->open(file_path);
+      if (!*in) return IOError("cannot open " + file_path);
+      return Status::OK();
+    });
+  }
+
+  /// Runs `op` under the retry policy, counting retries and recoveries
+  /// into the stats and the metrics registry.
+  Status RetryOp(const std::function<Status()>& op) {
+    uint64_t retries = 0;
+    const Status st =
+        RetryWithBackoff(io_.retry, op, [&](int, const Status& failed) {
+          ++retries;
+          if (obs_.metrics != nullptr) {
+            obs_.metrics->IncrCounter("dmc.faults.retried");
+            if (fail::IsInjectedFault(failed)) {
+              obs_.metrics->IncrCounter("dmc.faults.injected");
+            }
+          }
+        });
+    stats_->io_retries += retries;
+    if (st.ok() && retries > 0 && obs_.metrics != nullptr) {
+      obs_.metrics->IncrCounter("dmc.faults.recovered");
+    }
+    return st;
+  }
+
+  /// Streams the input once more, spilling each row into its density
+  /// bucket file. Bucket writes carry a failpoint site and are verified
+  /// through the stream state after every row.
+  Status Partition() {
+    constexpr int kMaxBuckets = 33;
+    // The bucket partitioner is the one core component that genuinely
+    // writes files (the paper's disk pipeline).
+    std::vector<std::ofstream> outs(kMaxBuckets);  // dmc_lint: ignore
+    std::vector<uint8_t> seen(kMaxBuckets, 0);
+    std::vector<uint64_t> rows_in_bucket(kMaxBuckets, 0);
+    std::ifstream in;
+    DMC_RETURN_IF_ERROR(OpenForRead("external.partition.open", path_, &in));
+    const bool inject = fail::Enabled();
+    const Status scan = ForEachRowText(
+        in, [&](std::span<const ColumnId> row) -> Status {
+          if (inject) {
+            DMC_RETURN_IF_ERROR(fail::InjectStatus("external.spill.write"));
+          }
+          const int b = BucketIndex(row.size());
+          if (!seen[b]) {
+            seen[b] = 1;
+            outs[b].open(ExternalBucketPath(work_dir_, b));
+            if (!outs[b]) {
+              return IOError("cannot create bucket file in " + work_dir_);
+            }
+            used_buckets_.push_back(b);
+          }
+          bool first = true;
+          for (ColumnId c : row) {
+            if (!first) outs[b] << ' ';
+            outs[b] << c;
+            first = false;
+          }
+          outs[b] << '\n';
+          if (!outs[b]) {
+            return IOError("write failed for bucket " + std::to_string(b) +
+                           " in " + work_dir_);
+          }
+          ++rows_in_bucket[b];
+          return Status::OK();
+        });
+    if (!scan.ok()) return scan;
+    for (int b : used_buckets_) {
+      outs[b].close();
+      if (!outs[b]) {
+        return IOError("bucket close failed for bucket " + std::to_string(b));
+      }
+    }
+    std::sort(used_buckets_.begin(), used_buckets_.end());
+    bucket_rows_.assign(kMaxBuckets, 0);
+    for (int b : used_buckets_) bucket_rows_[b] = rows_in_bucket[b];
+    return Status::OK();
+  }
+
+  /// Captures pass-1 state into the checkpoint file (atomic write).
+  Status WriteCheckpoint() {
+    ExternalCheckpoint cp;
+    auto fp = FingerprintFile(path_);
+    if (!fp.ok()) return fp.status();
+    cp.input = *fp;
+    cp.bucketed = bucketed_;
+    cp.num_columns = first_pass_.num_columns;
+    cp.num_rows = first_pass_.num_rows;
+    cp.column_ones = first_pass_.column_ones;
+    for (int b : used_buckets_) {
+      const std::string bucket_path = ExternalBucketPath(work_dir_, b);
+      std::error_code ec;
+      const uint64_t size = std::filesystem::file_size(bucket_path, ec);
+      if (ec) {
+        return IOError("cannot stat bucket file " + bucket_path);
+      }
+      cp.buckets.push_back(
+          {b, bucket_rows_.empty() ? 0 : bucket_rows_[b], size});
+    }
+    return WriteCheckpointFile(cp, io_.checkpoint_path);
+  }
+
+  /// Attempts a checkpoint resume. Returns true (and fills first-pass
+  /// state) only when the checkpoint reads cleanly and validates against
+  /// the current input and bucket files; anything else means "run
+  /// fresh".
+  bool TryResume() {
+    auto cp = ReadCheckpointFile(io_.checkpoint_path);
+    if (!cp.ok()) return false;
+    if (cp->bucketed != bucketed_) return false;
+    if (!ValidateCheckpoint(*cp, path_, work_dir_).ok()) return false;
+    first_pass_ = FirstPassStats{};
+    first_pass_.num_columns = cp->num_columns;
+    first_pass_.num_rows = static_cast<RowId>(cp->num_rows);
+    first_pass_.column_ones = cp->column_ones;
+    used_buckets_.clear();
+    for (const auto& b : cp->buckets) used_buckets_.push_back(b.id);
+    std::sort(used_buckets_.begin(), used_buckets_.end());
+    stats_->rows = cp->num_rows;
+    stats_->columns = cp->num_columns;
+    stats_->bucket_files = used_buckets_.size();
+    stats_->resumed = true;
+    return true;
+  }
+
   std::string path_;
   std::string work_dir_;
   bool bucketed_;
+  ExternalIoOptions io_;
+  const ObserveContext& obs_;
+  ExternalMiningStats* stats_;
   FirstPassStats first_pass_;
   std::vector<int> used_buckets_;
+  std::vector<uint64_t> bucket_rows_;
 };
+
+// Counts a surfaced injected fault so dashboards can tell "engine error"
+// from "fault-injection harness did its job".
+void CountInjected(const ObserveContext& obs, const Status& status) {
+  if (obs.metrics != nullptr && fail::IsInjectedFault(status)) {
+    obs.metrics->IncrCounter("dmc.faults.injected");
+  }
+}
 
 }  // namespace
 
 StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
     const std::string& path, const ImplicationMiningOptions& options,
-    const std::string& work_dir, ExternalMiningStats* stats) {
+    const std::string& work_dir, const ExternalIoOptions& io,
+    ExternalMiningStats* stats) {
   ExternalMiningStats local;
   if (stats == nullptr) stats = &local;
   *stats = ExternalMiningStats{};
@@ -155,10 +288,15 @@ StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
 
   const ObserveContext& obs = options.policy.observe;
   ExternalRun run(path, work_dir,
-                  options.policy.row_order != RowOrderPolicy::kIdentity);
+                  options.policy.row_order != RowOrderPolicy::kIdentity, io,
+                  obs, stats);
   {
     ScopedSpan span(obs.trace, "external/prepare", obs.trace_lane);
-    DMC_RETURN_IF_ERROR(run.Prepare(stats));
+    const Status prepared = run.Prepare();
+    if (!prepared.ok()) {
+      CountInjected(obs, prepared);
+      return prepared;
+    }
   }
 
   Stopwatch mine_sw;
@@ -169,16 +307,30 @@ StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
         run.Replay(sink, &replay_status);
       });
   stats->mine_seconds = mine_sw.ElapsedSeconds();
-  if (!replay_status.ok()) return replay_status;
-  if (!rules.ok()) return rules.status();
+  if (!replay_status.ok()) {
+    CountInjected(obs, replay_status);
+    return replay_status;
+  }
+  if (!rules.ok()) {
+    CountInjected(obs, rules.status());
+    return rules.status();
+  }
   stats->total_seconds = total_sw.ElapsedSeconds();
   RecordToRegistry(obs.metrics, "external", *stats);
   return rules;
 }
 
+StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
+    const std::string& path, const ImplicationMiningOptions& options,
+    const std::string& work_dir, ExternalMiningStats* stats) {
+  return MineImplicationsFromFile(path, options, work_dir,
+                                  ExternalIoOptions{}, stats);
+}
+
 StatusOr<SimilarityRuleSet> MineSimilaritiesFromFile(
     const std::string& path, const SimilarityMiningOptions& options,
-    const std::string& work_dir, ExternalMiningStats* stats) {
+    const std::string& work_dir, const ExternalIoOptions& io,
+    ExternalMiningStats* stats) {
   ExternalMiningStats local;
   if (stats == nullptr) stats = &local;
   *stats = ExternalMiningStats{};
@@ -186,10 +338,15 @@ StatusOr<SimilarityRuleSet> MineSimilaritiesFromFile(
 
   const ObserveContext& obs = options.policy.observe;
   ExternalRun run(path, work_dir,
-                  options.policy.row_order != RowOrderPolicy::kIdentity);
+                  options.policy.row_order != RowOrderPolicy::kIdentity, io,
+                  obs, stats);
   {
     ScopedSpan span(obs.trace, "external/prepare", obs.trace_lane);
-    DMC_RETURN_IF_ERROR(run.Prepare(stats));
+    const Status prepared = run.Prepare();
+    if (!prepared.ok()) {
+      CountInjected(obs, prepared);
+      return prepared;
+    }
   }
 
   Stopwatch mine_sw;
@@ -200,11 +357,24 @@ StatusOr<SimilarityRuleSet> MineSimilaritiesFromFile(
         run.Replay(sink, &replay_status);
       });
   stats->mine_seconds = mine_sw.ElapsedSeconds();
-  if (!replay_status.ok()) return replay_status;
-  if (!pairs.ok()) return pairs.status();
+  if (!replay_status.ok()) {
+    CountInjected(obs, replay_status);
+    return replay_status;
+  }
+  if (!pairs.ok()) {
+    CountInjected(obs, pairs.status());
+    return pairs.status();
+  }
   stats->total_seconds = total_sw.ElapsedSeconds();
   RecordToRegistry(obs.metrics, "external", *stats);
   return pairs;
+}
+
+StatusOr<SimilarityRuleSet> MineSimilaritiesFromFile(
+    const std::string& path, const SimilarityMiningOptions& options,
+    const std::string& work_dir, ExternalMiningStats* stats) {
+  return MineSimilaritiesFromFile(path, options, work_dir, ExternalIoOptions{},
+                                  stats);
 }
 
 }  // namespace dmc

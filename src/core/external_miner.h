@@ -10,6 +10,12 @@
 // DMC-imp pipeline (once per phase), never materializing the matrix.
 // Resident memory is the counter array plus, if the DMC-bitmap fallback
 // fires, the last <= bitmap_max_remaining_rows rows.
+//
+// Robustness: every file operation sits behind a failpoint site and a
+// bounded retry policy; pass-1 results can be checkpointed
+// (core/checkpoint.h) so a killed run restarted with resume=true skips
+// pass 1 and replays the surviving bucket files after validating them
+// against the checkpoint's fingerprints.
 
 #ifndef DMC_CORE_EXTERNAL_MINER_H_
 #define DMC_CORE_EXTERNAL_MINER_H_
@@ -18,9 +24,27 @@
 
 #include "core/dmc_options.h"
 #include "rules/rule_set.h"
+#include "util/retry.h"
 #include "util/statusor.h"
 
 namespace dmc {
+
+/// Fault-tolerance knobs for the external miner's disk pipeline.
+struct ExternalIoOptions {
+  /// Checkpoint file path; empty disables checkpointing. When set, pass-1
+  /// artifacts (bucket files + checkpoint) are written and kept after the
+  /// run so a later invocation can resume.
+  std::string checkpoint_path;
+  /// Try to resume from `checkpoint_path`: if the checkpoint reads
+  /// cleanly, its input fingerprint matches `path`, and every bucket file
+  /// it names is intact, pass 1 is skipped. Any validation failure falls
+  /// back to a fresh run (never an error).
+  bool resume = false;
+  /// Keep bucket files after the run even without checkpointing.
+  bool keep_artifacts = false;
+  /// Bounded retry-with-backoff for transient I/O failures (file opens).
+  RetryPolicy retry;
+};
 
 struct ExternalMiningStats {
   double pass1_seconds = 0.0;
@@ -31,21 +55,34 @@ struct ExternalMiningStats {
   uint32_t columns = 0;
   /// Non-empty density-bucket files written.
   size_t bucket_files = 0;
+  /// True when pass 1 was skipped by resuming from a valid checkpoint.
+  bool resumed = false;
+  /// Transient I/O failures that were retried (see ExternalIoOptions).
+  uint64_t io_retries = 0;
 };
 
 /// Mines implication rules from a transaction text file at `path`.
 /// Bucket files are created under `work_dir` (which must exist) and
-/// removed afterwards. RowOrderPolicy::kIdentity skips the partitioning
-/// and streams the original file directly.
+/// removed afterwards unless the io options keep them. RowOrderPolicy::
+/// kIdentity skips the partitioning and streams the original file
+/// directly.
 [[nodiscard]] StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
     const std::string& path, const ImplicationMiningOptions& options,
     const std::string& work_dir, ExternalMiningStats* stats = nullptr);
+[[nodiscard]] StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
+    const std::string& path, const ImplicationMiningOptions& options,
+    const std::string& work_dir, const ExternalIoOptions& io,
+    ExternalMiningStats* stats = nullptr);
 
 /// Mines similarity pairs from a transaction text file; same mechanics
 /// as MineImplicationsFromFile.
 [[nodiscard]] StatusOr<SimilarityRuleSet> MineSimilaritiesFromFile(
     const std::string& path, const SimilarityMiningOptions& options,
     const std::string& work_dir, ExternalMiningStats* stats = nullptr);
+[[nodiscard]] StatusOr<SimilarityRuleSet> MineSimilaritiesFromFile(
+    const std::string& path, const SimilarityMiningOptions& options,
+    const std::string& work_dir, const ExternalIoOptions& io,
+    ExternalMiningStats* stats = nullptr);
 
 }  // namespace dmc
 

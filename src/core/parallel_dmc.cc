@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <thread>
 
+#include "observe/metrics.h"
 #include "observe/progress.h"
 #include "observe/stats_export.h"
 #include "observe/trace.h"
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 
 namespace dmc {
@@ -63,12 +66,26 @@ ObserveContext ShardContext(const ObserveContext& base, int shard,
   return ctx;
 }
 
+// A shard error is worth another attempt only when it's transient;
+// malformed input or cancellation will fail identically every time.
+bool ShardRetryable(const Status& status) {
+  return status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
 // Runs `mine(shard, t, &stats)` for every shard on its own thread and
 // merges rule sets + aggregate stats. MineShard must be callable as
 // StatusOr<RuleSetT>(const std::vector<uint8_t>&, uint32_t, MiningStats*).
+//
+// Failure containment: a shard whose mining fails with a transient error
+// is retried in-thread up to parallel.max_shard_retries times; shards
+// still failing after that are re-mined serially on the calling thread
+// (when parallel.degrade_to_serial). Only if that also fails does the
+// run return an error. Every failed attempt lands in stats->shard_errors.
 template <typename RuleSetT, typename MineShard>
 StatusOr<RuleSetT> RunSharded(const std::vector<uint32_t>& column_ones,
                               uint32_t num_threads,
+                              const ParallelOptions& parallel,
                               const ObserveContext& obs, MineShard mine,
                               ParallelMiningStats* stats) {
   ParallelMiningStats local;
@@ -82,18 +99,89 @@ StatusOr<RuleSetT> RunSharded(const std::vector<uint32_t>& column_ones,
   std::vector<StatusOr<RuleSetT>> results(num_threads,
                                           StatusOr<RuleSetT>(RuleSetT{}));
   std::vector<MiningStats> shard_stats(num_threads);
+  std::mutex errors_mu;
+  std::vector<std::string> shard_errors;
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint32_t> failed{0};
+
+  auto record_error = [&](uint32_t t, const Status& st) {
+    std::lock_guard<std::mutex> lock(errors_mu);
+    shard_errors.push_back("shard " + std::to_string(t) + ": " +
+                           st.ToString());
+  };
+  // One mining attempt chain for shard t: initial try plus bounded
+  // in-thread retries of transient failures.
+  auto attempt_shard = [&](uint32_t t) {
+    bool failed_before = false;
+    for (uint32_t attempt = 0;; ++attempt) {
+      results[t] = mine(shards[t], t, &shard_stats[t]);
+      if (results[t].ok()) {
+        if (failed_before && obs.metrics != nullptr) {
+          obs.metrics->IncrCounter("dmc.faults.recovered");
+        }
+        return;
+      }
+      const Status& st = results[t].status();
+      if (st.code() == StatusCode::kCancelled) return;
+      if (!failed_before) {
+        failed_before = true;
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      record_error(t, st);
+      if (obs.metrics != nullptr && fail::IsInjectedFault(st)) {
+        obs.metrics->IncrCounter("dmc.faults.injected");
+      }
+      if (!ShardRetryable(st) || attempt >= parallel.max_shard_retries) {
+        return;
+      }
+      retries.fetch_add(1, std::memory_order_relaxed);
+      if (obs.metrics != nullptr) {
+        obs.metrics->IncrCounter("dmc.faults.retried");
+      }
+    }
+  };
+
   {
     // Parent span on lane 0; per-shard engine spans use lanes 1..N.
     ScopedSpan parent(obs.trace, "parallel/mine", 0);
     std::vector<std::thread> workers;
     workers.reserve(num_threads);
     for (uint32_t t = 0; t < num_threads; ++t) {
-      workers.emplace_back([&, t]() {
-        results[t] = mine(shards[t], t, &shard_stats[t]);
-      });
+      workers.emplace_back([&attempt_shard, t]() { attempt_shard(t); });
     }
     for (auto& w : workers) w.join();
   }
+
+  // Degradation pass: surviving shards already hold their results; each
+  // shard that exhausted its retries gets one serial attempt with the
+  // whole machine to itself.
+  if (parallel.degrade_to_serial) {
+    for (uint32_t t = 0; t < num_threads; ++t) {
+      if (results[t].ok() ||
+          results[t].status().code() == StatusCode::kCancelled ||
+          !ShardRetryable(results[t].status())) {
+        continue;
+      }
+      ScopedSpan span(obs.trace, "parallel/degraded_shard", 0);
+      results[t] = mine(shards[t], t, &shard_stats[t]);
+      if (results[t].ok()) {
+        ++stats->shards_degraded;
+        if (obs.metrics != nullptr) {
+          obs.metrics->IncrCounter("dmc.faults.recovered");
+        }
+      } else {
+        record_error(t, results[t].status());
+        if (obs.metrics != nullptr &&
+            fail::IsInjectedFault(results[t].status())) {
+          obs.metrics->IncrCounter("dmc.faults.injected");
+        }
+      }
+    }
+  }
+
+  stats->shards_failed = failed.load(std::memory_order_relaxed);
+  stats->shard_retries = retries.load(std::memory_order_relaxed);
+  stats->shard_errors = std::move(shard_errors);
 
   RuleSetT merged;
   Status first_error = Status::OK();
@@ -152,9 +240,14 @@ StatusOr<ImplicationRuleSet> MineImplicationsParallel(
   }
   auto cancel = std::make_shared<std::atomic<bool>>(false);
   return RunSharded<ImplicationRuleSet>(
-      matrix.column_ones(), threads, options.policy.observe,
+      matrix.column_ones(), threads, parallel, options.policy.observe,
       [&matrix, &options, &cancel](const std::vector<uint8_t>& shard,
-                                   uint32_t t, MiningStats* shard_stats) {
+                                   uint32_t t, MiningStats* shard_stats)
+          -> StatusOr<ImplicationRuleSet> {
+        if (fail::Enabled()) {
+          Status injected = fail::InjectStatus("parallel.shard.mine");
+          if (!injected.ok()) return injected;
+        }
         ImplicationMiningOptions shard_options = options;
         shard_options.policy.observe = ShardContext(
             options.policy.observe, static_cast<int>(t), cancel);
@@ -176,9 +269,14 @@ StatusOr<SimilarityRuleSet> MineSimilaritiesParallel(
   }
   auto cancel = std::make_shared<std::atomic<bool>>(false);
   return RunSharded<SimilarityRuleSet>(
-      matrix.column_ones(), threads, options.policy.observe,
+      matrix.column_ones(), threads, parallel, options.policy.observe,
       [&matrix, &options, &cancel](const std::vector<uint8_t>& shard,
-                                   uint32_t t, MiningStats* shard_stats) {
+                                   uint32_t t, MiningStats* shard_stats)
+          -> StatusOr<SimilarityRuleSet> {
+        if (fail::Enabled()) {
+          Status injected = fail::InjectStatus("parallel.shard.mine");
+          if (!injected.ok()) return injected;
+        }
         SimilarityMiningOptions shard_options = options;
         shard_options.policy.observe = ShardContext(
             options.policy.observe, static_cast<int>(t), cancel);

@@ -13,6 +13,7 @@
 #define DMC_CORE_PARALLEL_DMC_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/dmc_imp.h"
@@ -24,6 +25,15 @@ namespace dmc {
 struct ParallelOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   uint32_t num_threads = 0;
+  /// In-thread re-attempts of a shard whose mining fails with a
+  /// transient error (kIOError / kResourceExhausted) before containment
+  /// escalates. Cancellation is never retried.
+  uint32_t max_shard_retries = 2;
+  /// After retries are exhausted, failed shards are re-mined one at a
+  /// time on the calling thread (degraded mode: slower, but a shard
+  /// that failed under concurrent memory pressure usually fits alone).
+  /// When false, the first shard failure fails the whole run.
+  bool degrade_to_serial = true;
 };
 
 /// Aggregate statistics of a parallel run.
@@ -43,6 +53,16 @@ struct ParallelMiningStats {
   /// 256 MB).
   size_t max_peak_counter_bytes = 0;
   uint32_t shards = 0;
+  /// Shards whose mining failed at least once (before any recovery).
+  uint32_t shards_failed = 0;
+  /// Total in-thread re-attempts across all shards.
+  uint64_t shard_retries = 0;
+  /// Shards recovered by the serial degradation pass.
+  uint32_t shards_degraded = 0;
+  /// Failure log: one "shard N: <status>" line per failed attempt, in
+  /// observation order. Non-empty even when every shard eventually
+  /// recovered, so operators can see contained faults.
+  std::vector<std::string> shard_errors;
   /// Full per-shard engine stats, in shard order. The aggregate fields
   /// above are derived from these; exported under "per_shard" so the
   /// invariant tests can cross-check the aggregation.

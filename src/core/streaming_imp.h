@@ -72,6 +72,11 @@ class StreamingImplicationPass {
   /// Status(kCancelled).
   bool cancelled() const { return cancelled_; }
 
+  /// Whether an injected fault hit the pass (failpoint site
+  /// "streaming.imp.row"); once set, further rows are counted but not
+  /// processed and Finish() returns the fault.
+  bool faulted() const { return !fault_.ok(); }
+
   /// Current counter-array bytes.
   size_t counter_bytes() const { return table_.bytes(); }
 
@@ -105,6 +110,7 @@ class StreamingImplicationPass {
   bool bitmap_mode_ = false;
   bool finished_ = false;
   bool cancelled_ = false;
+  Status fault_ = Status::OK();
   std::vector<std::vector<ColumnId>> tail_;
   ImplicationRuleSet out_;
   std::vector<ColumnId> scratch_row_;

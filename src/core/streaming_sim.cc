@@ -6,6 +6,7 @@
 
 #include "observe/progress.h"
 #include "util/bitvector.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace dmc {
@@ -74,6 +75,17 @@ std::span<const ColumnId> StreamingSimilarityPass::FilteredRow(
 void StreamingSimilarityPass::ProcessRow(std::span<const ColumnId> row) {
   DMC_CHECK(!finished_);
   DMC_CHECK_LT(rows_seen_, config_.total_rows);
+
+  if (fault_.ok() && fail::Enabled()) {
+    Status injected = fail::InjectStatus("streaming.sim.row");
+    if (!injected.ok()) fault_ = std::move(injected);
+  }
+  if (!fault_.ok()) {
+    // Same contract as cancellation: count rows so the replay loop stays
+    // consistent, do no work; Finish() surfaces the fault.
+    ++rows_seen_;
+    return;
+  }
 
   const ObserveContext& obs = config_.policy.observe;
   if (!cancelled_ && obs.has_progress()) {
@@ -304,6 +316,7 @@ void StreamingSimilarityPass::RunBitmapPhases() {
 StatusOr<SimilarityRuleSet> StreamingSimilarityPass::Finish() {
   DMC_CHECK(!finished_);
   finished_ = true;
+  if (!fault_.ok()) return fault_;
   if (cancelled_) {
     return CancelledError("stream cancelled in " +
                           std::string(config_.phase) + " after " +

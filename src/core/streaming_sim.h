@@ -50,6 +50,9 @@ class StreamingSimilarityPass {
   /// Whether the progress callback asked to cancel; see
   /// StreamingImplicationPass::cancelled().
   bool cancelled() const { return cancelled_; }
+  /// Whether an injected fault hit the pass (failpoint site
+  /// "streaming.sim.row"); see StreamingImplicationPass::faulted().
+  bool faulted() const { return !fault_.ok(); }
   size_t counter_bytes() const { return table_.bytes(); }
   size_t peak_counter_bytes() const { return tracker_.peak_bytes(); }
 
@@ -81,6 +84,7 @@ class StreamingSimilarityPass {
   bool bitmap_mode_ = false;
   bool finished_ = false;
   bool cancelled_ = false;
+  Status fault_ = Status::OK();
   std::vector<std::vector<ColumnId>> tail_;
   SimilarityRuleSet out_;
   std::vector<ColumnId> scratch_row_;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstring>
 #include <fstream>
 #include <sstream>
-#include <string_view>
 #include <vector>
+
+#include "util/atomic_io.h"
+#include "util/failpoint.h"
 
 namespace dmc {
 
@@ -41,6 +44,112 @@ bool ParseLine(std::string_view line, std::vector<ColumnId>* cols,
   return true;
 }
 
+std::string LineContext(size_t line_no, uint64_t byte_offset) {
+  return "line " + std::to_string(line_no) + " (byte " +
+         std::to_string(byte_offset) + ")";
+}
+
+// Range check + strictness check (or sort/dedup when normalizing).
+// `byte_offset` is the offset of the line start in the stream.
+Status ValidateOrNormalizeRow(std::vector<ColumnId>* cols,
+                              const TextReadOptions& options, size_t line_no,
+                              uint64_t byte_offset) {
+  for (ColumnId c : *cols) {
+    if (c > options.max_column_id) {
+      return InvalidArgumentError(
+          LineContext(line_no, byte_offset) + ": column id " +
+          std::to_string(c) + " exceeds the configured maximum " +
+          std::to_string(options.max_column_id));
+    }
+  }
+  if (options.normalize) {
+    std::sort(cols->begin(), cols->end());
+    cols->erase(std::unique(cols->begin(), cols->end()), cols->end());
+    return Status::OK();
+  }
+  for (size_t i = 1; i < cols->size(); ++i) {
+    const ColumnId prev = (*cols)[i - 1];
+    const ColumnId cur = (*cols)[i];
+    if (cur == prev) {
+      return InvalidArgumentError(LineContext(line_no, byte_offset) +
+                                  ": duplicate column id " +
+                                  std::to_string(cur));
+    }
+    if (cur < prev) {
+      return InvalidArgumentError(
+          LineContext(line_no, byte_offset) + ": column ids not sorted (" +
+          std::to_string(cur) + " after " + std::to_string(prev) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+// Shared line loop for the three text readers: handles comments, byte
+// offsets, parse errors, validation and the per-row failpoint.
+Status ForEachValidatedRow(
+    std::istream& is, const TextReadOptions& options,
+    const std::function<Status(std::vector<ColumnId>&)>& per_row) {
+  std::string line;
+  std::vector<ColumnId> cols;
+  std::string error;
+  size_t line_no = 0;
+  uint64_t byte_offset = 0;
+  const bool inject = fail::Enabled();
+  while (std::getline(is, line)) {
+    ++line_no;
+    const uint64_t line_start = byte_offset;
+    byte_offset += line.size() + 1;
+    if (!line.empty() && line[0] == '#') continue;
+    if (inject) {
+      DMC_RETURN_IF_ERROR(fail::InjectStatus("matrix.text.row"));
+    }
+    if (!ParseLine(line, &cols, &error)) {
+      return InvalidArgumentError(LineContext(line_no, line_start) + ": " +
+                                  error);
+    }
+    DMC_RETURN_IF_ERROR(
+        ValidateOrNormalizeRow(&cols, options, line_no, line_start));
+    DMC_RETURN_IF_ERROR(per_row(cols));
+  }
+  if (is.bad()) {
+    return IOError("read failed at " + LineContext(line_no, byte_offset));
+  }
+  return Status::OK();
+}
+
+constexpr char kBinaryMagic[8] = {'D', 'M', 'C', 'B', 'I', 'N', '1', '\n'};
+constexpr char kBinaryEndMagic[4] = {'D', 'M', 'C', 'E'};
+
+uint64_t Fnv1a(std::string_view data) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <typename T>
+void AppendLE(std::string* out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+// Reads a little-endian integer at `*offset`, advancing it. Returns false
+// when the buffer is too short.
+template <typename T>
+bool ReadLE(std::string_view data, size_t* offset, T* value) {
+  if (data.size() - *offset < sizeof(T)) return false;
+  std::memcpy(value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+std::string ByteContext(size_t offset) {
+  return "byte " + std::to_string(offset);
+}
+
 }  // namespace
 
 Status WriteMatrixText(const BinaryMatrix& m, std::ostream& os) {
@@ -60,85 +169,194 @@ Status WriteMatrixText(const BinaryMatrix& m, std::ostream& os) {
 }
 
 Status WriteMatrixTextFile(const BinaryMatrix& m, const std::string& path) {
-  // Matrix serialization is a data format, not a metrics export, so it
-  // opens its own stream.
-  std::ofstream out(path);  // dmc_lint: ignore
-  if (!out) return IOError("cannot open for write: " + path);
-  return WriteMatrixText(m, out);
+  if (fail::Enabled()) {
+    DMC_RETURN_IF_ERROR(fail::InjectStatus("matrix.text.write"));
+  }
+  std::ostringstream out;
+  DMC_RETURN_IF_ERROR(WriteMatrixText(m, out));
+  return AtomicWriteFile(path, out.str());
 }
 
-StatusOr<BinaryMatrix> ReadMatrixText(std::istream& is) {
+StatusOr<BinaryMatrix> ReadMatrixText(std::istream& is,
+                                      const TextReadOptions& options) {
   MatrixBuilder builder;
-  std::string line;
-  std::vector<ColumnId> cols;
-  std::string error;
-  size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (!line.empty() && line[0] == '#') continue;
-    if (!ParseLine(line, &cols, &error)) {
-      return InvalidArgumentError("line " + std::to_string(line_no) + ": " +
-                                  error);
-    }
-    builder.AddRow(cols);
-  }
+  DMC_RETURN_IF_ERROR(
+      ForEachValidatedRow(is, options, [&](std::vector<ColumnId>& cols) {
+        builder.AddRow(cols);
+        return Status::OK();
+      }));
   return builder.Build();
 }
 
-StatusOr<BinaryMatrix> ReadMatrixTextFile(const std::string& path) {
+StatusOr<BinaryMatrix> ReadMatrixTextFile(const std::string& path,
+                                          const TextReadOptions& options) {
+  if (fail::Enabled()) {
+    DMC_RETURN_IF_ERROR(fail::InjectStatus("matrix.text.open"));
+  }
   std::ifstream in(path);
   if (!in) return IOError("cannot open for read: " + path);
-  return ReadMatrixText(in);
+  return ReadMatrixText(in, options);
 }
 
 Status ForEachRowText(
     std::istream& is,
-    const std::function<Status(std::span<const ColumnId>)>& callback) {
-  std::string line;
-  std::vector<ColumnId> cols;
-  std::string error;
-  size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (!line.empty() && line[0] == '#') continue;
-    if (!ParseLine(line, &cols, &error)) {
-      return InvalidArgumentError("line " + std::to_string(line_no) + ": " +
-                                  error);
-    }
-    std::sort(cols.begin(), cols.end());
-    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
-    DMC_RETURN_IF_ERROR(callback(cols));
-  }
-  return Status::OK();
+    const std::function<Status(std::span<const ColumnId>)>& callback,
+    const TextReadOptions& options) {
+  return ForEachValidatedRow(is, options,
+                             [&](std::vector<ColumnId>& cols) {
+                               return callback(cols);
+                             });
 }
 
-StatusOr<FirstPassStats> ScanMatrixText(std::istream& is) {
+StatusOr<FirstPassStats> ScanMatrixText(std::istream& is,
+                                        const TextReadOptions& options) {
   FirstPassStats stats;
-  std::string line;
-  std::vector<ColumnId> cols;
-  std::string error;
-  size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (!line.empty() && line[0] == '#') continue;
-    if (!ParseLine(line, &cols, &error)) {
-      return InvalidArgumentError("line " + std::to_string(line_no) + ": " +
-                                  error);
-    }
-    // Deduplicate within the row so ones(c) matches FromRows semantics.
-    std::sort(cols.begin(), cols.end());
-    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
-    for (ColumnId c : cols) {
-      if (c >= stats.num_columns) {
-        stats.num_columns = c + 1;
-        stats.column_ones.resize(stats.num_columns, 0);
-      }
-      ++stats.column_ones[c];
-    }
-    stats.row_density.push_back(static_cast<uint32_t>(cols.size()));
-    ++stats.num_rows;
-  }
+  DMC_RETURN_IF_ERROR(
+      ForEachValidatedRow(is, options, [&](std::vector<ColumnId>& cols) {
+        for (ColumnId c : cols) {
+          if (c >= stats.num_columns) {
+            stats.num_columns = c + 1;
+            stats.column_ones.resize(stats.num_columns, 0);
+          }
+          ++stats.column_ones[c];
+        }
+        stats.row_density.push_back(static_cast<uint32_t>(cols.size()));
+        ++stats.num_rows;
+        return Status::OK();
+      }));
   return stats;
+}
+
+std::string SerializeMatrixBinary(const BinaryMatrix& m) {
+  std::string out;
+  out.reserve(sizeof(kBinaryMagic) + 12 + m.num_ones() * sizeof(ColumnId) +
+              m.num_rows() * sizeof(uint32_t) + 12);
+  out.append(kBinaryMagic, sizeof(kBinaryMagic));
+  AppendLE<uint32_t>(&out, m.num_columns());
+  AppendLE<uint64_t>(&out, m.num_rows());
+  for (RowId r = 0; r < m.num_rows(); ++r) {
+    const auto row = m.Row(r);
+    AppendLE<uint32_t>(&out, static_cast<uint32_t>(row.size()));
+    for (ColumnId c : row) AppendLE<uint32_t>(&out, c);
+  }
+  AppendLE<uint64_t>(&out, Fnv1a(out));
+  out.append(kBinaryEndMagic, sizeof(kBinaryEndMagic));
+  return out;
+}
+
+Status WriteMatrixBinaryFile(const BinaryMatrix& m, const std::string& path) {
+  if (fail::Enabled()) {
+    DMC_RETURN_IF_ERROR(fail::InjectStatus("matrix.binary.write"));
+  }
+  return AtomicWriteFile(path, SerializeMatrixBinary(m));
+}
+
+StatusOr<BinaryMatrix> ReadMatrixBinary(std::string_view data) {
+  size_t offset = 0;
+  if (data.size() < sizeof(kBinaryMagic) + 12 + 12) {
+    return DataLossError("binary matrix truncated: only " +
+                         std::to_string(data.size()) +
+                         " bytes, smaller than the minimal container");
+  }
+  if (std::memcmp(data.data(), kBinaryMagic, sizeof(kBinaryMagic)) != 0) {
+    return DataLossError("binary matrix has bad magic at byte 0");
+  }
+  offset = sizeof(kBinaryMagic);
+  uint32_t num_columns = 0;
+  uint64_t num_rows = 0;
+  (void)ReadLE(data, &offset, &num_columns);  // length pre-checked above
+  (void)ReadLE(data, &offset, &num_rows);
+  if (num_rows > static_cast<uint64_t>(UINT32_MAX)) {
+    return DataLossError("binary matrix header claims " +
+                         std::to_string(num_rows) +
+                         " rows, beyond the 32-bit row-id space (byte " +
+                         std::to_string(sizeof(kBinaryMagic) + 4) + ")");
+  }
+  MatrixBuilder builder(num_columns);
+  std::vector<ColumnId> cols;
+  const bool inject = fail::Enabled();
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    const size_t row_start = offset;
+    if (inject) {
+      DMC_RETURN_IF_ERROR(fail::InjectStatus("matrix.binary.row"));
+    }
+    uint32_t count = 0;
+    if (!ReadLE(data, &offset, &count)) {
+      return DataLossError("binary matrix truncated in row " +
+                           std::to_string(r) + " at " +
+                           ByteContext(row_start));
+    }
+    if (count > num_columns) {
+      return DataLossError("binary matrix row " + std::to_string(r) + " at " +
+                           ByteContext(row_start) + " claims " +
+                           std::to_string(count) + " ids but there are only " +
+                           std::to_string(num_columns) + " columns");
+    }
+    cols.clear();
+    cols.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t id = 0;
+      if (!ReadLE(data, &offset, &id)) {
+        return DataLossError("binary matrix truncated in row " +
+                             std::to_string(r) + " at " + ByteContext(offset));
+      }
+      if (id >= num_columns) {
+        return DataLossError("binary matrix row " + std::to_string(r) +
+                             " at " + ByteContext(offset - sizeof(uint32_t)) +
+                             ": column id " + std::to_string(id) +
+                             " out of range (columns=" +
+                             std::to_string(num_columns) + ")");
+      }
+      if (!cols.empty() && id <= cols.back()) {
+        return DataLossError("binary matrix row " + std::to_string(r) +
+                             " at " + ByteContext(offset - sizeof(uint32_t)) +
+                             ": column id " + std::to_string(id) +
+                             " not strictly increasing after " +
+                             std::to_string(cols.back()));
+      }
+      cols.push_back(id);
+    }
+    builder.AddRow(cols);
+  }
+  const size_t body_end = offset;
+  uint64_t stored_checksum = 0;
+  if (!ReadLE(data, &offset, &stored_checksum)) {
+    return DataLossError("binary matrix truncated before checksum at " +
+                         ByteContext(body_end));
+  }
+  const uint64_t actual = Fnv1a(data.substr(0, body_end));
+  if (stored_checksum != actual) {
+    return DataLossError("binary matrix checksum mismatch at " +
+                         ByteContext(body_end) + ": stored " +
+                         std::to_string(stored_checksum) + ", computed " +
+                         std::to_string(actual));
+  }
+  if (data.size() - offset < sizeof(kBinaryEndMagic) ||
+      std::memcmp(data.data() + offset, kBinaryEndMagic,
+                  sizeof(kBinaryEndMagic)) != 0) {
+    return DataLossError("binary matrix missing end magic at " +
+                         ByteContext(offset));
+  }
+  offset += sizeof(kBinaryEndMagic);
+  if (offset != data.size()) {
+    return DataLossError("binary matrix has " +
+                         std::to_string(data.size() - offset) +
+                         " trailing bytes after the end magic at " +
+                         ByteContext(offset));
+  }
+  return builder.Build();
+}
+
+StatusOr<BinaryMatrix> ReadMatrixBinaryFile(const std::string& path) {
+  if (fail::Enabled()) {
+    DMC_RETURN_IF_ERROR(fail::InjectStatus("matrix.binary.open"));
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IOError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return IOError("read failed for " + path);
+  return ReadMatrixBinary(buffer.str());
 }
 
 }  // namespace dmc

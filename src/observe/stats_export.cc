@@ -1,12 +1,13 @@
 #include "observe/stats_export.h"
 
-#include <fstream>
+#include <sstream>
 
 #include "core/external_miner.h"
 #include "core/mining_stats.h"
 #include "core/parallel_dmc.h"
 #include "observe/json_writer.h"
 #include "observe/metrics.h"
+#include "util/atomic_io.h"
 
 namespace dmc {
 
@@ -69,6 +70,18 @@ void WriteJson(JsonWriter& w, const ParallelMiningStats& stats) {
   w.Value(stats.max_peak_counter_bytes);
   w.Key("shards");
   w.Value(stats.shards);
+  w.Key("shards_failed");
+  w.Value(stats.shards_failed);
+  w.Key("shard_retries");
+  w.Value(stats.shard_retries);
+  w.Key("shards_degraded");
+  w.Value(stats.shards_degraded);
+  if (!stats.shard_errors.empty()) {
+    w.Key("shard_errors");
+    w.BeginArray();
+    for (const std::string& e : stats.shard_errors) w.Value(e);
+    w.EndArray();
+  }
   if (!stats.per_shard.empty()) {
     w.Key("per_shard");
     w.BeginArray();
@@ -94,6 +107,10 @@ void WriteJson(JsonWriter& w, const ExternalMiningStats& stats) {
   w.Value(stats.columns);
   w.Key("bucket_files");
   w.Value(stats.bucket_files);
+  w.Key("resumed");
+  w.Value(stats.resumed);
+  w.Key("io_retries");
+  w.Value(stats.io_retries);
   w.EndObject();
 }
 
@@ -141,12 +158,12 @@ Status ExportMetricsJson(const MetricsReport& report, std::ostream& os) {
 
 Status ExportMetricsJsonFile(const MetricsReport& report,
                              const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return IOError("cannot open metrics output file: " + path);
-  DMC_RETURN_IF_ERROR(ExportMetricsJson(report, out));
-  out.close();
-  if (!out.good()) return IOError("write failed: " + path);
-  return Status::OK();
+  // Serialize to memory first so the on-disk file is replaced atomically:
+  // a crash mid-export leaves the previous document (or none), never a
+  // truncated one.
+  std::ostringstream buffer;
+  DMC_RETURN_IF_ERROR(ExportMetricsJson(report, buffer));
+  return AtomicWriteFile(path, buffer.str());
 }
 
 void RecordToRegistry(MetricsRegistry* registry, const std::string& prefix,
@@ -191,6 +208,9 @@ void RecordToRegistry(MetricsRegistry* registry, const std::string& prefix,
   registry->MaxGauge(prefix + ".max_peak_counter_bytes",
                      static_cast<double>(stats.max_peak_counter_bytes));
   registry->SetGauge(prefix + ".shards", stats.shards);
+  registry->IncrCounter(prefix + ".shards_failed", stats.shards_failed);
+  registry->IncrCounter(prefix + ".shard_retries", stats.shard_retries);
+  registry->IncrCounter(prefix + ".shards_degraded", stats.shards_degraded);
 }
 
 void RecordToRegistry(MetricsRegistry* registry, const std::string& prefix,
@@ -205,6 +225,8 @@ void RecordToRegistry(MetricsRegistry* registry, const std::string& prefix,
   registry->SetGauge(prefix + ".columns", stats.columns);
   registry->SetGauge(prefix + ".bucket_files",
                      static_cast<double>(stats.bucket_files));
+  registry->SetGauge(prefix + ".resumed", stats.resumed ? 1.0 : 0.0);
+  registry->IncrCounter(prefix + ".io_retries", stats.io_retries);
 }
 
 }  // namespace dmc

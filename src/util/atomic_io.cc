@@ -1,0 +1,181 @@
+#include "util/atomic_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <system_error>
+
+#include "util/failpoint.h"
+
+namespace dmc {
+
+namespace {
+
+std::string ErrnoMessage(int err) {
+  return std::error_code(err, std::generic_category()).message();
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// Writes all of `data` to `fd`, retrying on EINTR and partial writes.
+Status WriteAll(int fd, std::string_view data, const std::string& temp_path) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      return err == ENOSPC
+                 ? ResourceExhaustedError("no space left writing " +
+                                          temp_path + ": " +
+                                          ErrnoMessage(err))
+                 : IOError("write failed for " + temp_path + ": " +
+                           ErrnoMessage(err));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// Makes the rename durable by fsyncing the containing directory. Best
+// effort on filesystems that reject directory fsync (EINVAL).
+Status FsyncDir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) {
+    return IOError("open failed for directory " + dir + ": " +
+                   ErrnoMessage(errno));
+  }
+  const int rc = ::fsync(dfd);
+  const int err = errno;
+  ::close(dfd);
+  if (rc != 0 && err != EINVAL && err != EROFS) {
+    return IOError("fsync failed for directory " + dir + ": " +
+                   ErrnoMessage(err));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+AtomicFileWriter::~AtomicFileWriter() { Abort(); }
+
+Status AtomicFileWriter::Open(const std::string& path) {
+  if (is_open()) {
+    return FailedPreconditionError("AtomicFileWriter already open for " +
+                                   path_);
+  }
+  if (fail::Enabled()) {
+    DMC_RETURN_IF_ERROR(fail::InjectStatus("atomic_io.open"));
+  }
+  // Unique per process and per writer so concurrent shards can replace
+  // files in the same directory without colliding.
+  static std::atomic<uint64_t> counter{0};
+  path_ = path;
+  temp_path_ = path + ".tmp." + std::to_string(::getpid()) + "." +
+               std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  fd_ = ::open(temp_path_.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) {
+    const Status st = IOError("open failed for " + temp_path_ + ": " +
+                              ErrnoMessage(errno));
+    path_.clear();
+    temp_path_.clear();
+    return st;
+  }
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Write(std::string_view data) {
+  if (!is_open()) {
+    return FailedPreconditionError("AtomicFileWriter::Write before Open");
+  }
+  if (fail::Enabled()) {
+    const fail::Mode mode = fail::Fire("atomic_io.write");
+    if (mode == fail::Mode::kShortWrite) {
+      // Persist a truncated prefix, then fail — models a torn write.
+      (void)WriteAll(fd_, data.substr(0, data.size() / 2), temp_path_);
+      Abort();
+      return fail::StatusFor(mode, "atomic_io.write");
+    }
+    if (mode != fail::Mode::kOff) {
+      Abort();
+      return fail::StatusFor(mode, "atomic_io.write");
+    }
+  }
+  const Status st = WriteAll(fd_, data, temp_path_);
+  if (!st.ok()) Abort();
+  return st;
+}
+
+Status AtomicFileWriter::Commit() {
+  if (!is_open()) {
+    return FailedPreconditionError("AtomicFileWriter::Commit before Open");
+  }
+  if (fail::Enabled()) {
+    const Status injected = fail::InjectStatus("atomic_io.fsync");
+    if (!injected.ok()) {
+      Abort();
+      return injected;
+    }
+  }
+  if (::fsync(fd_) != 0) {
+    const Status st =
+        IOError("fsync failed for " + temp_path_ + ": " + ErrnoMessage(errno));
+    Abort();
+    return st;
+  }
+  if (::close(fd_) != 0) {
+    const Status st =
+        IOError("close failed for " + temp_path_ + ": " + ErrnoMessage(errno));
+    fd_ = -1;
+    Abort();
+    return st;
+  }
+  fd_ = -1;
+  if (fail::Enabled()) {
+    const Status injected = fail::InjectStatus("atomic_io.rename");
+    if (!injected.ok()) {
+      Abort();
+      return injected;
+    }
+  }
+  if (::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    const Status st = IOError("rename " + temp_path_ + " -> " + path_ +
+                              " failed: " + ErrnoMessage(errno));
+    Abort();
+    return st;
+  }
+  const std::string dir = ParentDir(path_);
+  temp_path_.clear();
+  path_.clear();
+  return FsyncDir(dir);
+}
+
+void AtomicFileWriter::Abort() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!temp_path_.empty()) {
+    ::unlink(temp_path_.c_str());
+    temp_path_.clear();
+  }
+  path_.clear();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view content) {
+  AtomicFileWriter writer;
+  DMC_RETURN_IF_ERROR(writer.Open(path));
+  DMC_RETURN_IF_ERROR(writer.Write(content));
+  return writer.Commit();
+}
+
+}  // namespace dmc

@@ -1,0 +1,70 @@
+// Crash-safe file writes: temp file + fsync + rename.
+//
+// A reader never observes a partially written output: either the old
+// file (or nothing) is at `path`, or the complete new content is. The
+// sequence is the classic POSIX recipe — write to `path.tmp.<pid>.<n>`,
+// fsync the file, rename(2) over the target, fsync the directory so the
+// rename itself is durable.
+//
+// Every syscall boundary is a failpoint site (atomic_io.open / .write /
+// .fsync / .rename), so the fault-injection tests can prove the
+// "old-or-new, never torn" contract instead of assuming it.
+
+#ifndef DMC_UTIL_ATOMIC_IO_H_
+#define DMC_UTIL_ATOMIC_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace dmc {
+
+/// Streaming writer for one atomic file replacement.
+///
+///   AtomicFileWriter w;
+///   DMC_RETURN_IF_ERROR(w.Open(path));
+///   DMC_RETURN_IF_ERROR(w.Write(chunk));   // any number of times
+///   DMC_RETURN_IF_ERROR(w.Commit());       // fsync + rename
+///
+/// If Commit() is never reached (error, early return, destructor), the
+/// temp file is unlinked and the target path is untouched.
+class AtomicFileWriter {
+ public:
+  AtomicFileWriter() = default;
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Creates the temp file next to `path`. Fails if a writer is already
+  /// open.
+  [[nodiscard]] Status Open(const std::string& path);
+
+  /// Appends `data` to the temp file.
+  [[nodiscard]] Status Write(std::string_view data);
+
+  /// fsync + close + rename over the target + directory fsync. On any
+  /// failure the temp file is removed and the target is left as it was.
+  [[nodiscard]] Status Commit();
+
+  /// Discards the temp file; the target path is untouched. Safe to call
+  /// when not open.
+  void Abort();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  int fd_ = -1;
+};
+
+/// One-shot convenience: atomically replaces `path` with `content`.
+[[nodiscard]] Status AtomicWriteFile(const std::string& path,
+                                     std::string_view content);
+
+}  // namespace dmc
+
+#endif  // DMC_UTIL_ATOMIC_IO_H_

@@ -1,0 +1,40 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace dmc {
+
+bool RetryPolicy::IsRetryable(const Status& status) const {
+  switch (status.code()) {
+    case StatusCode::kIOError:
+      return retry_io_error;
+    case StatusCode::kResourceExhausted:
+      return retry_resource_exhausted;
+    default:
+      return false;
+  }
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy,
+                        const std::function<Status()>& op,
+                        const RetryObserver& on_retry) {
+  const int attempts = std::max(policy.max_attempts, 1);
+  double backoff = policy.initial_backoff_seconds;
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last = op();
+    if (last.ok()) return last;
+    if (attempt == attempts || !policy.IsRetryable(last)) return last;
+    if (on_retry) on_retry(attempt, last);
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+    backoff = std::min(backoff * policy.backoff_multiplier,
+                       policy.max_backoff_seconds);
+  }
+  return last;
+}
+
+}  // namespace dmc

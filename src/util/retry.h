@@ -1,0 +1,50 @@
+// Bounded retry-with-backoff for transient I/O failures.
+//
+// The DMC engines treat kIOError and kResourceExhausted as potentially
+// transient (a flaky mount, a disk that frees up, an allocation that
+// succeeds once a sibling shard finishes); everything else — malformed
+// input, corruption, cancellation — is permanent and is returned
+// immediately. Retries sleep with exponential backoff so a genuinely
+// down disk does not get hammered.
+
+#ifndef DMC_UTIL_RETRY_H_
+#define DMC_UTIL_RETRY_H_
+
+#include <functional>
+
+#include "util/status.h"
+
+namespace dmc {
+
+struct RetryPolicy {
+  /// Total attempts, including the first; 1 = no retries.
+  int max_attempts = 3;
+  /// Sleep before the first retry.
+  double initial_backoff_seconds = 0.001;
+  /// Backoff growth factor per retry.
+  double backoff_multiplier = 2.0;
+  /// Backoff ceiling.
+  double max_backoff_seconds = 0.050;
+  /// Retry StatusCode::kIOError.
+  bool retry_io_error = true;
+  /// Retry StatusCode::kResourceExhausted (ENOSPC / alloc pressure).
+  bool retry_resource_exhausted = true;
+
+  /// Whether `status` is worth another attempt under this policy.
+  bool IsRetryable(const Status& status) const;
+};
+
+/// Invoked before each re-attempt with the 1-based number of the attempt
+/// that just failed and its status; useful for metrics and logs.
+using RetryObserver = std::function<void(int failed_attempt, const Status&)>;
+
+/// Runs `op` up to policy.max_attempts times, sleeping between attempts.
+/// Returns the first success, or the last error once attempts are
+/// exhausted / the error is not retryable.
+[[nodiscard]] Status RetryWithBackoff(const RetryPolicy& policy,
+                                      const std::function<Status()>& op,
+                                      const RetryObserver& on_retry = nullptr);
+
+}  // namespace dmc
+
+#endif  // DMC_UTIL_RETRY_H_

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
@@ -57,6 +59,9 @@ Status UnimplementedError(std::string message) {
 }
 Status CancelledError(std::string message) {
   return Status(StatusCode::kCancelled, std::move(message));
+}
+Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
 }
 
 }  // namespace dmc

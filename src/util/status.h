@@ -24,6 +24,9 @@ enum class StatusCode {
   kInternal = 6,
   kUnimplemented = 7,
   kCancelled = 8,
+  /// Unrecoverable corruption or truncation of persisted data (bad
+  /// checksum, malformed checkpoint, torn file).
+  kDataLoss = 9,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
@@ -78,6 +81,7 @@ Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status CancelledError(std::string message);
+Status DataLossError(std::string message);
 
 /// Propagates a non-OK status to the caller. Usable only in functions
 /// returning Status.

@@ -1,0 +1,145 @@
+#include "util/atomic_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/failpoint.h"
+
+namespace dmc {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// No stray "path.tmp.*" files next to the target.
+bool NoTempLeftovers(const std::string& path) {
+  const std::filesystem::path target(path);
+  for (const auto& entry :
+       std::filesystem::directory_iterator(target.parent_path())) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(target.filename().string() + ".tmp.", 0) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class AtomicIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each case as its own parallel process; a per-case
+    // directory keeps them from clobbering each other.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = testing::TempDir() + "/" +
+           std::string(info->test_suite_name()) + "_" + info->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/out.txt";
+  }
+  void TearDown() override {
+    fail::Disable();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(AtomicIoTest, WriteCreatesFileWithExactContent) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "hello\nworld\n").ok());
+  EXPECT_EQ(ReadFileOrDie(path_), "hello\nworld\n");
+  EXPECT_TRUE(NoTempLeftovers(path_));
+}
+
+TEST_F(AtomicIoTest, WriteReplacesExistingFile) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "old").ok());
+  ASSERT_TRUE(AtomicWriteFile(path_, "new content").ok());
+  EXPECT_EQ(ReadFileOrDie(path_), "new content");
+}
+
+TEST_F(AtomicIoTest, StreamingWriterAccumulatesChunks) {
+  AtomicFileWriter w;
+  ASSERT_TRUE(w.Open(path_).ok());
+  ASSERT_TRUE(w.Write("a").ok());
+  ASSERT_TRUE(w.Write("bc").ok());
+  ASSERT_TRUE(w.Commit().ok());
+  EXPECT_EQ(ReadFileOrDie(path_), "abc");
+}
+
+TEST_F(AtomicIoTest, AbortLeavesTargetUntouched) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "original").ok());
+  AtomicFileWriter w;
+  ASSERT_TRUE(w.Open(path_).ok());
+  ASSERT_TRUE(w.Write("partial").ok());
+  w.Abort();
+  EXPECT_EQ(ReadFileOrDie(path_), "original");
+  EXPECT_TRUE(NoTempLeftovers(path_));
+}
+
+TEST_F(AtomicIoTest, DestructorWithoutCommitActsAsAbort) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "original").ok());
+  {
+    AtomicFileWriter w;
+    ASSERT_TRUE(w.Open(path_).ok());
+    ASSERT_TRUE(w.Write("half-done").ok());
+  }
+  EXPECT_EQ(ReadFileOrDie(path_), "original");
+  EXPECT_TRUE(NoTempLeftovers(path_));
+}
+
+TEST_F(AtomicIoTest, OpenFailsForUnwritableDirectory) {
+  const Status st = AtomicWriteFile(dir_ + "/no/such/dir/f.txt", "x");
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+// The crash-safety contract under injected faults: whatever step fails,
+// the target holds either the complete old content or the complete new
+// content, and no temp file survives.
+TEST_F(AtomicIoTest, InjectedFaultsNeverTearTheTarget) {
+  const std::string kOld = "old old old\n";
+  const std::string kNew = "brand new contents, longer than before\n";
+  for (const char* site :
+       {"atomic_io.open", "atomic_io.write", "atomic_io.fsync",
+        "atomic_io.rename"}) {
+    ASSERT_TRUE(AtomicWriteFile(path_, kOld).ok());
+    ASSERT_TRUE(fail::Configure(std::string(site) + "=error").ok());
+    const Status st = AtomicWriteFile(path_, kNew);
+    fail::Disable();
+    ASSERT_FALSE(st.ok()) << site;
+    EXPECT_TRUE(fail::IsInjectedFault(st)) << site;
+    EXPECT_EQ(ReadFileOrDie(path_), kOld) << site;
+    EXPECT_TRUE(NoTempLeftovers(path_)) << site;
+  }
+}
+
+TEST_F(AtomicIoTest, ShortWriteFaultAbortsCleanly) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "intact").ok());
+  ASSERT_TRUE(fail::Configure("atomic_io.write=short").ok());
+  const Status st = AtomicWriteFile(path_, "this would be truncated");
+  fail::Disable();
+  ASSERT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(ReadFileOrDie(path_), "intact");
+  EXPECT_TRUE(NoTempLeftovers(path_));
+}
+
+TEST_F(AtomicIoTest, NoSpaceFaultMapsToResourceExhausted) {
+  ASSERT_TRUE(fail::Configure("atomic_io.write=enospc").ok());
+  const Status st = AtomicWriteFile(path_, "x");
+  fail::Disable();
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(std::filesystem::exists(path_));
+  EXPECT_TRUE(NoTempLeftovers(path_));
+}
+
+}  // namespace
+}  // namespace dmc

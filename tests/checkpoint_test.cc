@@ -1,0 +1,176 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/atomic_io.h"
+
+namespace dmc {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+ExternalCheckpoint SampleCheckpoint() {
+  ExternalCheckpoint cp;
+  cp.input = {123, 0xDEADBEEFull};
+  cp.bucketed = true;
+  cp.num_columns = 4;
+  cp.num_rows = 9;
+  cp.column_ones = {3, 0, 5, 1};
+  cp.buckets.push_back({1, 4, 20});
+  cp.buckets.push_back({2, 5, 35});
+  return cp;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each case as its own parallel process; a per-case
+    // directory keeps them from clobbering each other.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = testing::TempDir() + "/" +
+           std::string(info->test_suite_name()) + "_" + info->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/ckpt.bin";
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, RoundTripPreservesEveryField) {
+  const ExternalCheckpoint cp = SampleCheckpoint();
+  ASSERT_TRUE(WriteCheckpointFile(cp, path_).ok());
+  auto read = ReadCheckpointFile(path_);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read->input == cp.input);
+  EXPECT_EQ(read->bucketed, cp.bucketed);
+  EXPECT_EQ(read->num_columns, cp.num_columns);
+  EXPECT_EQ(read->num_rows, cp.num_rows);
+  EXPECT_EQ(read->column_ones, cp.column_ones);
+  ASSERT_EQ(read->buckets.size(), cp.buckets.size());
+  for (size_t i = 0; i < cp.buckets.size(); ++i) {
+    EXPECT_EQ(read->buckets[i].id, cp.buckets[i].id);
+    EXPECT_EQ(read->buckets[i].rows, cp.buckets[i].rows);
+    EXPECT_EQ(read->buckets[i].bytes, cp.buckets[i].bytes);
+  }
+}
+
+TEST_F(CheckpointTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadCheckpointFile(dir_ + "/nope.bin").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(CheckpointTest, EveryTruncationIsDataLoss) {
+  ASSERT_TRUE(WriteCheckpointFile(SampleCheckpoint(), path_).ok());
+  const std::string whole = ReadFileOrDie(path_);
+  for (size_t len = 0; len < whole.size(); ++len) {
+    ASSERT_TRUE(AtomicWriteFile(path_, whole.substr(0, len)).ok());
+    const auto read = ReadCheckpointFile(path_);
+    ASSERT_FALSE(read.ok()) << "prefix length " << len;
+    EXPECT_EQ(read.status().code(), StatusCode::kDataLoss)
+        << "prefix length " << len;
+  }
+}
+
+TEST_F(CheckpointTest, EverySingleBitFlipIsDataLoss) {
+  ASSERT_TRUE(WriteCheckpointFile(SampleCheckpoint(), path_).ok());
+  const std::string whole = ReadFileOrDie(path_);
+  for (size_t i = 0; i < whole.size(); ++i) {
+    std::string mutated = whole;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x10);
+    ASSERT_TRUE(AtomicWriteFile(path_, mutated).ok());
+    const auto read = ReadCheckpointFile(path_);
+    ASSERT_FALSE(read.ok()) << "flipped byte " << i;
+    EXPECT_EQ(read.status().code(), StatusCode::kDataLoss)
+        << "flipped byte " << i;
+  }
+}
+
+TEST_F(CheckpointTest, TrailingGarbageIsDataLoss) {
+  ASSERT_TRUE(WriteCheckpointFile(SampleCheckpoint(), path_).ok());
+  ASSERT_TRUE(AtomicWriteFile(path_, ReadFileOrDie(path_) + "x").ok());
+  EXPECT_EQ(ReadCheckpointFile(path_).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(CheckpointTest, FingerprintTracksContent) {
+  const std::string input = dir_ + "/input.txt";
+  ASSERT_TRUE(AtomicWriteFile(input, "0 1 2\n3\n").ok());
+  auto a = FingerprintFile(input);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->bytes, 8u);
+  auto again = FingerprintFile(input);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(*a == *again);
+  ASSERT_TRUE(AtomicWriteFile(input, "0 1 2\n4\n").ok());
+  auto changed = FingerprintFile(input);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_FALSE(*a == *changed);
+}
+
+class ValidateCheckpointTest : public CheckpointTest {
+ protected:
+  void SetUp() override {
+    CheckpointTest::SetUp();
+    input_ = dir_ + "/input.txt";
+    ASSERT_TRUE(AtomicWriteFile(input_, "0 1\n2\n0 2\n").ok());
+    auto fp = FingerprintFile(input_);
+    ASSERT_TRUE(fp.ok());
+    cp_ = ExternalCheckpoint{};
+    cp_.input = *fp;
+    cp_.bucketed = true;
+    cp_.num_columns = 3;
+    cp_.num_rows = 3;
+    cp_.column_ones = {2, 1, 2};
+    const std::string low = ExternalBucketPath(dir_, 0);
+    ASSERT_TRUE(AtomicWriteFile(low, "2\n").ok());
+    cp_.buckets.push_back(
+        {0, 1, static_cast<uint64_t>(std::filesystem::file_size(low))});
+    const std::string high = ExternalBucketPath(dir_, 1);
+    ASSERT_TRUE(AtomicWriteFile(high, "0 1\n0 2\n").ok());
+    cp_.buckets.push_back(
+        {1, 2, static_cast<uint64_t>(std::filesystem::file_size(high))});
+  }
+
+  std::string input_;
+  ExternalCheckpoint cp_;
+};
+
+TEST_F(ValidateCheckpointTest, IntactStateValidates) {
+  EXPECT_TRUE(ValidateCheckpoint(cp_, input_, dir_).ok());
+}
+
+TEST_F(ValidateCheckpointTest, ChangedInputIsFailedPrecondition) {
+  ASSERT_TRUE(AtomicWriteFile(input_, "0 1\n2\n0 1\n").ok());
+  EXPECT_EQ(ValidateCheckpoint(cp_, input_, dir_).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ValidateCheckpointTest, MissingBucketFileIsDataLoss) {
+  std::filesystem::remove(ExternalBucketPath(dir_, 1));
+  EXPECT_EQ(ValidateCheckpoint(cp_, input_, dir_).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(ValidateCheckpointTest, ResizedBucketFileIsDataLoss) {
+  ASSERT_TRUE(AtomicWriteFile(ExternalBucketPath(dir_, 1), "2\n2\n").ok());
+  EXPECT_EQ(ValidateCheckpoint(cp_, input_, dir_).code(),
+            StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace dmc

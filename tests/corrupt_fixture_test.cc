@@ -1,0 +1,94 @@
+// Checked-in corrupt inputs (tests/testdata/corrupt/) must be rejected
+// with a structured Status — never a crash, never a silently wrong
+// matrix. The fixtures cover the text strictness rules and the binary
+// container's magic / truncation / checksum defenses.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "matrix/matrix_io.h"
+
+namespace dmc {
+namespace {
+
+std::string CorruptPath(const std::string& name) {
+  return std::string(DMC_TESTDATA_DIR) + "/corrupt/" + name;
+}
+
+TEST(CorruptFixtureTest, UnsortedTextRejected) {
+  auto parsed = ReadMatrixTextFile(CorruptPath("unsorted.txt"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("not sorted"), std::string::npos)
+      << parsed.status();
+}
+
+TEST(CorruptFixtureTest, DuplicateTextRejected) {
+  auto parsed = ReadMatrixTextFile(CorruptPath("duplicate.txt"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("duplicate column id"),
+            std::string::npos)
+      << parsed.status();
+}
+
+TEST(CorruptFixtureTest, OutOfRangeTextRejected) {
+  auto parsed = ReadMatrixTextFile(CorruptPath("out_of_range.txt"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("exceeds the configured maximum"),
+            std::string::npos)
+      << parsed.status();
+}
+
+TEST(CorruptFixtureTest, MalformedTokenRejected) {
+  auto parsed = ReadMatrixTextFile(CorruptPath("malformed_token.txt"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("malformed column id"),
+            std::string::npos)
+      << parsed.status();
+}
+
+TEST(CorruptFixtureTest, NormalizeModeStillRejectsMalformedToken) {
+  TextReadOptions options;
+  options.normalize = true;
+  auto parsed = ReadMatrixTextFile(CorruptPath("malformed_token.txt"), options);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CorruptFixtureTest, NormalizeModeAcceptsUnsortedFixture) {
+  TextReadOptions options;
+  options.normalize = true;
+  auto parsed = ReadMatrixTextFile(CorruptPath("unsorted.txt"), options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_rows(), 2u);
+  EXPECT_TRUE(parsed->Get(1, 3));
+  EXPECT_TRUE(parsed->Get(1, 5));
+}
+
+TEST(CorruptFixtureTest, BinaryBadMagicRejected) {
+  auto parsed = ReadMatrixBinaryFile(CorruptPath("bad_magic.bin"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(parsed.status().message().find("bad magic"), std::string::npos);
+}
+
+TEST(CorruptFixtureTest, BinaryTruncationRejected) {
+  auto parsed = ReadMatrixBinaryFile(CorruptPath("truncated.bin"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(parsed.status().message().find("truncated"), std::string::npos)
+      << parsed.status();
+}
+
+TEST(CorruptFixtureTest, BinaryBitFlipCaught) {
+  auto parsed = ReadMatrixBinaryFile(CorruptPath("bit_flip.bin"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace dmc

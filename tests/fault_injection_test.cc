@@ -1,0 +1,298 @@
+// Differential fault-injection sweep: enumerate every live failpoint
+// site via a record-only run, then force each one and prove the
+// robustness contract — a faulted run either fails with a clean Status
+// (leaving no partial artifacts) or recovers and produces *exactly* the
+// fault-free rule set. Plus the kill-between-passes / --resume
+// exactness check for the external miner's checkpoint.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/external_miner.h"
+#include "core/parallel_dmc.h"
+#include "matrix/binary_matrix.h"
+#include "matrix/matrix_io.h"
+#include "observe/metrics.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+
+namespace dmc {
+namespace {
+
+BinaryMatrix TestMatrix() {
+  Rng rng(0xFA17);
+  MatrixBuilder b(12);
+  std::vector<ColumnId> row;
+  for (uint32_t r = 0; r < 80; ++r) {
+    row.clear();
+    for (ColumnId c = 0; c < 12; ++c) {
+      if (rng.Bernoulli(0.25)) row.push_back(c);
+    }
+    // A planted implication: column 1 always accompanies column 0.
+    if (!row.empty() && row[0] == 0) row.insert(row.begin() + 1, 1);
+    b.AddRow(row);
+  }
+  return b.Build();
+}
+
+bool NoBucketFilesLeft(const std::string& dir) {
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("dmc_bucket_", 0) == 0) return false;
+  }
+  return true;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each case as its own parallel process; a per-case
+    // directory keeps them from clobbering each other.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = testing::TempDir() + "/" +
+           std::string(info->test_suite_name()) + "_" + info->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    input_ = dir_ + "/input.txt";
+    const BinaryMatrix m = TestMatrix();
+    ASSERT_TRUE(WriteMatrixTextFile(m, input_).ok());
+    options_.min_confidence = 0.9;
+    options_.policy.row_order = RowOrderPolicy::kDensityBuckets;
+    auto truth = MineImplications(m, options_);
+    ASSERT_TRUE(truth.ok());
+    truth_ = truth->Pairs();
+    ASSERT_FALSE(truth_.empty());
+  }
+  void TearDown() override {
+    fail::Disable();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+  std::string input_;
+  ImplicationMiningOptions options_;
+  std::vector<std::pair<ColumnId, ColumnId>> truth_;
+};
+
+// The heart of the PR: for every site the external pipeline actually
+// hits, under several fault modes, the result is all-or-nothing.
+TEST_F(FaultInjectionTest, ExternalSweepFailsCleanlyOrMatchesExactly) {
+  // Pass 1 of the sweep: record-only run to enumerate live sites.
+  ASSERT_TRUE(fail::Configure("").ok());
+  {
+    auto rules = MineImplicationsFromFile(input_, options_, dir_);
+    ASSERT_TRUE(rules.ok());
+    ASSERT_EQ(rules->Pairs(), truth_);
+  }
+  const std::vector<std::string> sites = fail::SitesSeen();
+  fail::Disable();
+  // The pipeline must expose at least its structural sites; a refactor
+  // that silently drops one weakens the sweep.
+  for (const char* expected :
+       {"external.pass1.open", "external.partition.open",
+        "external.spill.write", "external.replay.open",
+        "matrix.text.row", "streaming.imp.row"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
+        << "site not seen: " << expected;
+  }
+
+  for (const std::string& site : sites) {
+    for (const char* arm : {"=error", "=error@1", "=enospc@2",
+                            "=dataloss@1", "=error@p0.3;seed=9"}) {
+      ASSERT_TRUE(fail::Configure(site + arm).ok());
+      ExternalMiningStats stats;
+      auto rules = MineImplicationsFromFile(input_, options_, dir_,
+                                            ExternalIoOptions{}, &stats);
+      const uint64_t fires = fail::TotalFires();
+      fail::Disable();
+      if (rules.ok()) {
+        EXPECT_EQ(rules->Pairs(), truth_) << site << arm;
+      } else {
+        EXPECT_GT(fires, 0u) << site << arm;
+        EXPECT_FALSE(rules.status().message().empty()) << site << arm;
+      }
+      // Win or lose, a non-checkpointed run cleans up its spill files.
+      EXPECT_TRUE(NoBucketFilesLeft(dir_)) << site << arm;
+    }
+  }
+}
+
+// A transient open failure is absorbed by the retry policy: the run
+// succeeds, reports the retry, and the rules are exact.
+TEST_F(FaultInjectionTest, TransientOpenFaultIsRetriedToExactness) {
+  MetricsRegistry registry;
+  ImplicationMiningOptions options = options_;
+  options.policy.observe.metrics = &registry;
+  ASSERT_TRUE(fail::Configure("external.pass1.open=error@1").ok());
+  ExternalMiningStats stats;
+  auto rules = MineImplicationsFromFile(input_, options, dir_,
+                                        ExternalIoOptions{}, &stats);
+  fail::Disable();
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_EQ(rules->Pairs(), truth_);
+  EXPECT_GE(stats.io_retries, 1u);
+  EXPECT_GE(registry.counter("dmc.faults.injected"), 1u);
+  EXPECT_GE(registry.counter("dmc.faults.retried"), 1u);
+  EXPECT_GE(registry.counter("dmc.faults.recovered"), 1u);
+}
+
+// A persistent fault exhausts the bounded retries and surfaces.
+TEST_F(FaultInjectionTest, PersistentFaultExhaustsRetriesAndSurfaces) {
+  ASSERT_TRUE(fail::Configure("external.pass1.open=enospc").ok());
+  ExternalIoOptions io;
+  io.retry.max_attempts = 2;
+  io.retry.initial_backoff_seconds = 0.0;
+  ExternalMiningStats stats;
+  auto rules =
+      MineImplicationsFromFile(input_, options_, dir_, io, &stats);
+  fail::Disable();
+  ASSERT_FALSE(rules.ok());
+  EXPECT_EQ(rules.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(fail::IsInjectedFault(rules.status()));
+  EXPECT_EQ(stats.io_retries, 1u);
+}
+
+// Simulated kill between pass 1 and pass 2: the first run checkpoints,
+// then dies replaying (a persistent fault stands in for SIGKILL). The
+// checkpoint and bucket files survive, and a --resume run skips pass 1
+// and reproduces the fault-free rule set bit-for-bit.
+TEST_F(FaultInjectionTest, KillBetweenPassesThenResumeIsExact) {
+  const std::string ckpt = dir_ + "/ckpt.bin";
+  ExternalIoOptions io;
+  io.checkpoint_path = ckpt;
+  io.retry.max_attempts = 1;
+  io.retry.initial_backoff_seconds = 0.0;
+
+  ASSERT_TRUE(fail::Configure("external.replay.open=error").ok());
+  auto crashed = MineImplicationsFromFile(input_, options_, dir_, io);
+  fail::Disable();
+  ASSERT_FALSE(crashed.ok());
+  ASSERT_TRUE(std::filesystem::exists(ckpt));
+  ASSERT_FALSE(NoBucketFilesLeft(dir_));
+
+  io.resume = true;
+  ExternalMiningStats stats;
+  auto resumed =
+      MineImplicationsFromFile(input_, options_, dir_, io, &stats);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(stats.resumed);
+  EXPECT_EQ(resumed->Pairs(), truth_);
+}
+
+// Resume must refuse a stale checkpoint: if the input changed after the
+// crash, the run silently falls back to a fresh pass 1 and still mines
+// the *new* input correctly.
+TEST_F(FaultInjectionTest, ResumeWithChangedInputFallsBackToFreshRun) {
+  const std::string ckpt = dir_ + "/ckpt.bin";
+  ExternalIoOptions io;
+  io.checkpoint_path = ckpt;
+  {
+    auto first = MineImplicationsFromFile(input_, options_, dir_, io);
+    ASSERT_TRUE(first.ok());
+  }
+  // Grow the input; the old checkpoint no longer describes it.
+  Rng rng(0x5EED);
+  MatrixBuilder b(12);
+  for (uint32_t r = 0; r < 40; ++r) {
+    std::vector<ColumnId> row;
+    for (ColumnId c = 0; c < 12; ++c) {
+      if (rng.Bernoulli(0.4)) row.push_back(c);
+    }
+    b.AddRow(row);
+  }
+  const BinaryMatrix changed = b.Build();
+  ASSERT_TRUE(WriteMatrixTextFile(changed, input_).ok());
+  auto fresh_truth = MineImplications(changed, options_);
+  ASSERT_TRUE(fresh_truth.ok());
+
+  io.resume = true;
+  ExternalMiningStats stats;
+  auto resumed =
+      MineImplicationsFromFile(input_, options_, dir_, io, &stats);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(stats.resumed);
+  EXPECT_EQ(resumed->Pairs(), fresh_truth->Pairs());
+}
+
+// Parallel miner: a transient shard fault is retried in-thread (exact
+// result); a persistent one is contained by the serial degradation pass
+// only when that pass can actually succeed — with an always-on fault it
+// must surface, never emit a partial rule set.
+TEST_F(FaultInjectionTest, ParallelShardFaultsAreContained) {
+  const BinaryMatrix m = TestMatrix();
+  ParallelOptions par;
+  par.num_threads = 3;
+
+  {
+    ASSERT_TRUE(fail::Configure("parallel.shard.mine=error@1").ok());
+    ParallelMiningStats stats;
+    auto rules = MineImplicationsParallel(m, options_, par, &stats);
+    fail::Disable();
+    ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+    EXPECT_EQ(rules->Pairs(), truth_);
+    EXPECT_EQ(stats.shards_failed, 1u);
+    EXPECT_GE(stats.shard_retries, 1u);
+    ASSERT_FALSE(stats.shard_errors.empty());
+    EXPECT_NE(stats.shard_errors[0].find("injected"), std::string::npos);
+  }
+  {
+    // An always-on fault defeats retries and the degradation pass alike:
+    // the run must surface the injected error, never partial rules.
+    ASSERT_TRUE(fail::Configure("parallel.shard.mine=error").ok());
+    ParallelMiningStats stats;
+    auto rules = MineImplicationsParallel(m, options_, par, &stats);
+    fail::Disable();
+    ASSERT_FALSE(rules.ok());
+    EXPECT_TRUE(fail::IsInjectedFault(rules.status()));
+    EXPECT_EQ(stats.shards_failed, 3u);
+  }
+  {
+    // With retries disabled, a one-shot fault reaches the degradation
+    // pass, which rescues the shard serially.
+    ParallelOptions no_retry = par;
+    no_retry.max_shard_retries = 0;
+    ASSERT_TRUE(fail::Configure("parallel.shard.mine=error@1").ok());
+    ParallelMiningStats stats;
+    auto rules = MineImplicationsParallel(m, options_, no_retry, &stats);
+    fail::Disable();
+    ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+    EXPECT_EQ(rules->Pairs(), truth_);
+    EXPECT_EQ(stats.shards_failed, 1u);
+    EXPECT_EQ(stats.shards_degraded, 1u);
+  }
+  {
+    // Same one-shot fault with degradation off: the failure is final.
+    ParallelOptions strict = par;
+    strict.max_shard_retries = 0;
+    strict.degrade_to_serial = false;
+    ASSERT_TRUE(fail::Configure("parallel.shard.mine=error@1").ok());
+    auto rules = MineImplicationsParallel(m, options_, strict);
+    fail::Disable();
+    ASSERT_FALSE(rules.ok());
+    EXPECT_TRUE(fail::IsInjectedFault(rules.status()));
+  }
+}
+
+// Streaming row faults surface from Finish() as the injected status —
+// never as a truncated rule set. The external miner streams every row
+// through the site, so a mid-stream fault is guaranteed to fire.
+TEST_F(FaultInjectionTest, StreamingRowFaultSurfaces) {
+  ASSERT_TRUE(fail::Configure("streaming.imp.row=dataloss@17").ok());
+  auto rules = MineImplicationsFromFile(input_, options_, dir_);
+  const uint64_t fires = fail::TotalFires();
+  fail::Disable();
+  ASSERT_FALSE(rules.ok());
+  EXPECT_EQ(rules.status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(fail::IsInjectedFault(rules.status()));
+  EXPECT_EQ(fires, 1u);
+  EXPECT_TRUE(NoBucketFilesLeft(dir_));
+}
+
+}  // namespace
+}  // namespace dmc

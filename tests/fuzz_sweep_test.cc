@@ -7,11 +7,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
+#include <sstream>
+#include <string>
 
 #include "baselines/bruteforce.h"
 #include "core/engine.h"
 #include "core/streaming_imp.h"
 #include "core/streaming_sim.h"
+#include "matrix/matrix_io.h"
 #include "matrix/row_order.h"
 #include "util/random.h"
 
@@ -282,6 +286,80 @@ TEST(FuzzSweepTest, ImmediateCancellationAlwaysCancels) {
   auto sim = MineSimilarities(m, so);
   ASSERT_FALSE(sim.ok());
   EXPECT_EQ(sim.status().code(), StatusCode::kCancelled);
+}
+
+// Applies `flips` random byte mutations (or a truncation) to `data`.
+std::string Mutate(Rng& rng, std::string data) {
+  if (data.empty() || rng.Bernoulli(0.3)) {
+    return data.substr(0, rng.Uniform(data.size() + 1));
+  }
+  const uint32_t flips = 1 + static_cast<uint32_t>(rng.Uniform(4));
+  for (uint32_t i = 0; i < flips; ++i) {
+    const size_t pos = rng.Uniform(data.size());
+    data[pos] = static_cast<char>(data[pos] ^ (1u << rng.Uniform(8)));
+  }
+  return data;
+}
+
+// Text reader/scanner fuzz: random truncations and bit flips must yield
+// either a clean parse (a mutation can still be valid text) or a
+// structured error naming the line — never a crash or a hang. When the
+// strict reader accepts, the streaming scanner must agree with it.
+TEST(FuzzSweepTest, TextReaderSurvivesRandomMutations) {
+  Rng rng(0xF177);
+  for (int trial = 0; trial < 300; ++trial) {
+    const BinaryMatrix m = RandomMatrix(rng);
+    std::ostringstream serialized;
+    ASSERT_TRUE(WriteMatrixText(m, serialized).ok());
+    const std::string mutated = Mutate(rng, serialized.str());
+
+    std::istringstream read_in(mutated);
+    const auto parsed = ReadMatrixText(read_in);
+    std::istringstream count_in(mutated);
+    uint64_t rows_streamed = 0;
+    const Status streamed = ForEachRowText(
+        count_in,
+        [&rows_streamed](std::span<const ColumnId>) {
+          ++rows_streamed;
+          return Status::OK();
+        });
+    if (parsed.ok()) {
+      EXPECT_TRUE(streamed.ok()) << "trial " << trial;
+      EXPECT_EQ(rows_streamed, parsed->num_rows()) << "trial " << trial;
+    } else {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << "trial " << trial << ": " << parsed.status().ToString();
+      EXPECT_NE(parsed.status().message().find("line "), std::string::npos)
+          << "trial " << trial << ": " << parsed.status().ToString();
+      EXPECT_FALSE(streamed.ok()) << "trial " << trial;
+    }
+  }
+}
+
+// Binary reader fuzz: the checksummed container must reject every
+// mutation that changes the bytes, with kDataLoss and row/byte context.
+TEST(FuzzSweepTest, BinaryReaderSurvivesRandomMutations) {
+  Rng rng(0xF188);
+  for (int trial = 0; trial < 300; ++trial) {
+    const BinaryMatrix m = RandomMatrix(rng);
+    const std::string whole = SerializeMatrixBinary(m);
+    const std::string mutated = Mutate(rng, whole);
+    const auto parsed = ReadMatrixBinary(mutated);
+    if (mutated == whole) {
+      ASSERT_TRUE(parsed.ok()) << "trial " << trial;
+      EXPECT_EQ(parsed->num_rows(), m.num_rows());
+      EXPECT_EQ(parsed->num_columns(), m.num_columns());
+      continue;
+    }
+    ASSERT_FALSE(parsed.ok())
+        << "trial " << trial << ": corrupt input accepted";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss)
+        << "trial " << trial;
+    const std::string& msg = parsed.status().message();
+    EXPECT_TRUE(msg.find("row ") != std::string::npos ||
+                msg.find("byte") != std::string::npos)
+        << "trial " << trial << ": " << msg;
+  }
 }
 
 TEST(FuzzSweepTest, DegenerateMatrices) {

@@ -119,6 +119,15 @@ TEST(LintFixtureTest, BannedFileStreamFiresExactlyOnce) {
   EXPECT_NE(findings[0].message.find("observe"), std::string::npos);
 }
 
+TEST(LintFixtureTest, BannedRawUnlinkFiresExactlyOnce) {
+  const auto findings = LintFile("uses_unlink.cc",
+                                 ReadFile(FixturePath("uses_unlink.cc")), {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-raw-unlink");
+  EXPECT_EQ(findings[0].line, 14);
+  EXPECT_NE(findings[0].message.find("atomic_io"), std::string::npos);
+}
+
 TEST(LintFixtureTest, CleanFilesPass) {
   EXPECT_TRUE(
       LintFile("clean.h", ReadFile(FixturePath("clean.h")), {}).empty());
@@ -133,7 +142,8 @@ TEST(LintFixtureTest, TreeWalkFindsOnePerViolatingFixture) {
   EXPECT_EQ(CountRule(findings, "discarded-status"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-stdio"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-file-stream"), 1u);
-  EXPECT_EQ(findings.size(), 5u);
+  EXPECT_EQ(CountRule(findings, "banned-raw-unlink"), 1u);
+  EXPECT_EQ(findings.size(), 6u);
 }
 
 // --- rule details on inline content ---
@@ -180,6 +190,36 @@ TEST(LintRuleTest, FopenRequiresCallToFire) {
             1u);
   // A mention without a call (e.g. a symbol named fopen_mode) is legal.
   EXPECT_TRUE(LintFile("x.cc", "int fopen_mode = 0;\n", {}).empty());
+}
+
+TEST(LintRuleTest, RawUnlinkFormsAreBanned) {
+  EXPECT_EQ(LintFile("x.cc", "void F(){ unlink(\"a\"); }\n", {}).size(), 1u);
+  EXPECT_EQ(LintFile("x.cc", "void F(){ ::unlink(\"a\"); }\n", {}).size(),
+            1u);
+  EXPECT_EQ(
+      LintFile("x.cc", "void F(){ std::rename(\"a\", \"b\"); }\n", {}).size(),
+      1u);
+  EXPECT_EQ(LintFile("x.cc", "void F(){ std::remove(\"a\"); }\n", {}).size(),
+            1u);
+}
+
+TEST(LintRuleTest, DeliberateAndAlgorithmRemovesAreAllowed) {
+  EXPECT_TRUE(
+      LintFile("x.cc", "void F(){ std::filesystem::remove(p); }\n", {})
+          .empty());
+  EXPECT_TRUE(LintFile("x.cc", "void F(){ list.remove(7); }\n", {}).empty());
+  EXPECT_TRUE(
+      LintFile("x.cc",
+               "void F(){ std::remove(v.begin(), v.end(), 3); }\n", {})
+          .empty());
+  // A mention without a call is legal.
+  EXPECT_TRUE(LintFile("x.cc", "int unlink_count = 0;\n", {}).empty());
+}
+
+TEST(LintRuleTest, AtomicIoHelperMayUseRawFileOps) {
+  const std::string body = "void F(){ ::unlink(\"a\"); }\n";
+  EXPECT_TRUE(LintFile("src/util/atomic_io.cc", body, {}).empty());
+  EXPECT_EQ(LintFile("src/core/engine.cc", body, {}).size(), 1u);
 }
 
 TEST(LintRuleTest, QualifiedNonStdRandIsAllowed) {

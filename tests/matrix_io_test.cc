@@ -81,12 +81,120 @@ TEST(MatrixIoTest, ScanMatchesMaterializedStats) {
   }
 }
 
-TEST(MatrixIoTest, ScanDeduplicatesWithinRow) {
+TEST(MatrixIoTest, ScanDeduplicatesWithinRowWhenNormalizing) {
   std::stringstream ss("2 2 2\n");
-  auto stats = ScanMatrixText(ss);
+  TextReadOptions options;
+  options.normalize = true;
+  auto stats = ScanMatrixText(ss, options);
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->column_ones[2], 1u);
   EXPECT_EQ(stats->row_density[0], 1u);
+}
+
+TEST(MatrixIoTest, StrictScanRejectsDuplicateIds) {
+  std::stringstream ss("2 2 2\n");
+  auto stats = ScanMatrixText(ss);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stats.status().message().find("duplicate column id 2"),
+            std::string::npos)
+      << stats.status();
+  EXPECT_NE(stats.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(MatrixIoTest, StrictReadRejectsUnsortedIds) {
+  std::stringstream ss("0 1\n5 3\n");
+  auto parsed = ReadMatrixText(ss);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("not sorted"), std::string::npos)
+      << parsed.status();
+  // The error names line 2 and its byte offset (line 1 is "0 1\n" = 4 bytes).
+  EXPECT_NE(parsed.status().message().find("line 2 (byte 4)"),
+            std::string::npos)
+      << parsed.status();
+}
+
+TEST(MatrixIoTest, StrictReadRejectsOutOfRangeIds) {
+  std::stringstream ss("0 4000000000\n");
+  auto parsed = ReadMatrixText(ss);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("exceeds the configured maximum"),
+            std::string::npos)
+      << parsed.status();
+}
+
+TEST(MatrixIoTest, NormalizeAcceptsUnsortedAndSorts) {
+  std::stringstream ss("5 3 3 0\n");
+  TextReadOptions options;
+  options.normalize = true;
+  auto parsed = ReadMatrixText(ss, options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->RowSize(0), 3u);
+  EXPECT_TRUE(parsed->Get(0, 0));
+  EXPECT_TRUE(parsed->Get(0, 3));
+  EXPECT_TRUE(parsed->Get(0, 5));
+}
+
+TEST(MatrixIoTest, BinaryRoundTrip) {
+  const BinaryMatrix m =
+      BinaryMatrix::FromRows(7, {{0, 6}, {}, {1, 2, 3}, {4}});
+  const std::string path = testing::TempDir() + "/dmc_matrix_io_test.bin";
+  ASSERT_TRUE(WriteMatrixBinaryFile(m, path).ok());
+  auto parsed = ReadMatrixBinaryFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_columns(), 7u);
+  EXPECT_EQ(*parsed, m);
+}
+
+TEST(MatrixIoTest, BinaryMissingFileIsIOError) {
+  auto parsed = ReadMatrixBinaryFile("/nonexistent/dir/file.bin");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kIOError);
+}
+
+TEST(MatrixIoTest, BinaryRejectsBadMagic) {
+  std::string data = SerializeMatrixBinary(
+      BinaryMatrix::FromRows(3, {{0, 1}, {2}}));
+  data[0] = 'X';
+  auto parsed = ReadMatrixBinary(data);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(parsed.status().message().find("bad magic"), std::string::npos);
+}
+
+TEST(MatrixIoTest, BinaryRejectsBitFlipViaChecksum) {
+  const BinaryMatrix m = BinaryMatrix::FromRows(3, {{0, 1}, {2}});
+  std::string data = SerializeMatrixBinary(m);
+  // Flip one bit inside the header's row count; structure stays parseable
+  // for some flips, but the checksum must always catch it.
+  data[13] ^= 0x01;
+  auto parsed = ReadMatrixBinary(data);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(MatrixIoTest, BinaryRejectsTruncation) {
+  const BinaryMatrix m = BinaryMatrix::FromRows(4, {{0, 1, 2, 3}, {1, 3}});
+  const std::string data = SerializeMatrixBinary(m);
+  for (size_t len = 0; len < data.size(); ++len) {
+    auto parsed = ReadMatrixBinary(data.substr(0, len));
+    ASSERT_FALSE(parsed.ok()) << "prefix of " << len << " bytes parsed";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss) << len;
+  }
+}
+
+TEST(MatrixIoTest, BinaryErrorsCarryRowAndByteContext) {
+  const BinaryMatrix m = BinaryMatrix::FromRows(3, {{0, 1}, {2}});
+  std::string data = SerializeMatrixBinary(m);
+  // Truncate inside row 1's payload (header 20 bytes, row 0 = 12 bytes,
+  // row 1 count = 4 bytes => cut just after row 1's count field).
+  auto parsed = ReadMatrixBinary(data.substr(0, 36));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("row 1"), std::string::npos)
+      << parsed.status();
+  EXPECT_NE(parsed.status().message().find("byte"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,90 @@
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dmc {
+namespace {
+
+RetryPolicy FastPolicy(int attempts) {
+  RetryPolicy p;
+  p.max_attempts = attempts;
+  p.initial_backoff_seconds = 0.0;
+  p.max_backoff_seconds = 0.0;
+  return p;
+}
+
+TEST(RetryTest, SucceedsFirstTryWithoutRetrying) {
+  int calls = 0;
+  const Status st = RetryWithBackoff(FastPolicy(3), [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, RetriesTransientFailureUntilSuccess) {
+  int calls = 0;
+  std::vector<int> retried_attempts;
+  const Status st = RetryWithBackoff(
+      FastPolicy(5),
+      [&]() -> Status {
+        if (++calls < 3) return IOError("flaky");
+        return Status::OK();
+      },
+      [&](int attempt, const Status& s) {
+        retried_attempts.push_back(attempt);
+        EXPECT_EQ(s.code(), StatusCode::kIOError);
+      });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retried_attempts, (std::vector<int>{1, 2}));
+}
+
+TEST(RetryTest, ExhaustsAttemptsAndReturnsLastError) {
+  int calls = 0;
+  const Status st = RetryWithBackoff(FastPolicy(4), [&]() -> Status {
+    ++calls;
+    return ResourceExhaustedError("full " + std::to_string(calls));
+  });
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(st.message(), "full 4");
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, NonRetryableErrorReturnsImmediately) {
+  int calls = 0;
+  const Status st = RetryWithBackoff(FastPolicy(5), [&]() -> Status {
+    ++calls;
+    return InvalidArgumentError("bad input");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, RetryClassesAreConfigurable) {
+  RetryPolicy p = FastPolicy(3);
+  p.retry_io_error = false;
+  EXPECT_FALSE(p.IsRetryable(IOError("x")));
+  EXPECT_TRUE(p.IsRetryable(ResourceExhaustedError("x")));
+  p.retry_resource_exhausted = false;
+  EXPECT_FALSE(p.IsRetryable(ResourceExhaustedError("x")));
+  EXPECT_FALSE(p.IsRetryable(CancelledError("x")));
+  EXPECT_FALSE(p.IsRetryable(DataLossError("x")));
+  EXPECT_FALSE(p.IsRetryable(Status::OK()));
+}
+
+TEST(RetryTest, ZeroOrNegativeAttemptsStillRunsOnce) {
+  int calls = 0;
+  const Status st = RetryWithBackoff(FastPolicy(0), [&]() -> Status {
+    ++calls;
+    return IOError("x");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -32,6 +32,12 @@ TEST(StatusTest, FactoryCodes) {
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, DataLossToString) {
+  EXPECT_EQ(DataLossError("bad checksum").ToString(),
+            "DataLoss: bad checksum");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

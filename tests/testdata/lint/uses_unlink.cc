@@ -1,0 +1,24 @@
+// Fixture: exactly one banned-raw-unlink violation (the ::unlink call).
+// The std::filesystem::remove call, the member .remove() call and the
+// 3-arg <algorithm> remove are all legal.
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <list>
+#include <string>
+
+namespace dmc_fixture {
+
+void Cleanup(const std::string& path) {
+  ::unlink(path.c_str());
+}
+
+void LegalForms(std::list<int>& l, std::string& s,
+                const std::string& path) {
+  std::filesystem::remove(path);
+  l.remove(7);
+  s.erase(std::remove(s.begin(), s.end(), 'x'), s.end());
+}
+
+}  // namespace dmc_fixture

@@ -3,9 +3,10 @@
 #
 #   (a) warnings-as-errors build + full ctest        (preset: default)
 #   (b) ASan+UBSan build + full ctest                (preset: asan-ubsan)
-#   (c) TSan build + parallel/observe/cancellation tests   (preset: tsan)
+#   (c) TSan build + parallel/observe/cancellation/fault tests (preset: tsan)
 #   (d) dmc_lint over src/
 #   (e) metrics-schema smoke check (dmc_cli --metrics-out)
+#   (f) fault-injection sweep under ASan+UBSan (differential exactness)
 #
 # Exits nonzero on the first failure. Pass --fast to skip the sanitizer
 # stages (a + d only), e.g. for a pre-commit hook.
@@ -30,10 +31,10 @@ if [[ "${fast}" -eq 0 ]]; then
   cmake --build --preset asan-ubsan -j "${jobs}"
   ctest --preset asan-ubsan -j "${jobs}"
 
-  step "(c) tsan build + parallel/observe/cancellation tests"
+  step "(c) tsan build + parallel/observe/cancellation/fault tests"
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "${jobs}"
-  ctest --test-dir build-tsan -R 'Parallel|ColumnShards|Observe|Cancel' \
+  ctest --test-dir build-tsan -R 'Parallel|ColumnShards|Observe|Cancel|Fault' \
     -j "${jobs}" --output-on-failure
 fi
 
@@ -54,5 +55,24 @@ for field in '"schema_version": 1' '"mining"' '"peak_counter_bytes"' \
   }
 done
 echo "metrics schema OK"
+
+if [[ "${fast}" -eq 0 ]]; then
+  step "(f) fault-injection sweep under asan-ubsan"
+  # The differential sweep injects faults at every registered I/O site and
+  # proves each run either fails cleanly or reproduces the fault-free rule
+  # set exactly. Running it under ASan+UBSan additionally proves the error
+  # paths leak nothing and tear nothing.
+  sweep_log="$(mktemp)"
+  ctest --test-dir build-asan -R 'FaultInjection' \
+    -j "${jobs}" --output-on-failure | tee "${sweep_log}"
+  # ctest can exit 0 without running anything (e.g. bad --test-dir);
+  # insist the sweep actually executed tests.
+  grep -q 'tests passed' "${sweep_log}" || {
+    echo "fault-injection sweep did not run" >&2
+    rm -f "${sweep_log}"
+    exit 1
+  }
+  rm -f "${sweep_log}"
+fi
 
 step "all checks passed"

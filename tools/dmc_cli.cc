@@ -24,13 +24,28 @@
 //                                   mining phases (load in ui.perfetto.dev)
 //   --progress[=ROWS]               print progress to stderr every ROWS
 //                                   rows (default 65536)
+//
+// Robustness options:
+//   --checkpoint=FILE               external mining: write a pass-1
+//                                   checkpoint and keep bucket files
+//   --resume                        external mining: skip pass 1 when the
+//                                   checkpoint validates against the input
+//   --io-retries=N                  retry transient file-open failures up
+//                                   to N times (default 3)
+//   --failpoints=SPEC               arm fault-injection sites, e.g.
+//                                   "matrix.text.row=error@2" (testing)
+//   --failpoint-seed=N              seed for probabilistic failpoints
+//
+// All file outputs (--output, --metrics-out, --trace-out, generate
+// --output) are written atomically: a crash mid-write leaves the old
+// file (or no file), never a torn one.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "core/engine.h"
@@ -38,6 +53,8 @@
 #include "observe/metrics.h"
 #include "observe/stats_export.h"
 #include "observe/trace.h"
+#include "util/atomic_io.h"
+#include "util/failpoint.h"
 #include "datagen/dictionary_gen.h"
 #include "datagen/linkgraph_gen.h"
 #include "datagen/news_gen.h"
@@ -152,15 +169,12 @@ class Observability {
       std::fprintf(stderr, "wrote metrics to %s\n", metrics_out_.c_str());
     }
     if (!trace_out_.empty()) {
-      std::ofstream out(trace_out_);
-      if (!out) {
-        std::fprintf(stderr, "cannot open %s\n", trace_out_.c_str());
-        return 1;
-      }
-      trace_.WriteChromeJson(out);
-      if (!out) {
+      std::ostringstream buffer;
+      trace_.WriteChromeJson(buffer);
+      const Status st = AtomicWriteFile(trace_out_, buffer.str());
+      if (!st.ok()) {
         std::fprintf(stderr, "trace write failed: %s\n",
-                     trace_out_.c_str());
+                     st.ToString().c_str());
         return 1;
       }
       std::fprintf(stderr, "wrote trace to %s\n", trace_out_.c_str());
@@ -216,12 +230,13 @@ int EmitRules(const RuleSetT& sorted, const Flags& flags) {
   sorted.Print(std::cout, top);
   const std::string output = flags.Get("output");
   if (!output.empty()) {
-    std::ofstream out(output);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", output.c_str());
+    std::ostringstream buffer;
+    sorted.Print(buffer, 0);
+    const Status st = AtomicWriteFile(output, buffer.str());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
-    sorted.Print(out, 0);
     std::fprintf(stderr, "wrote %zu rules to %s\n", sorted.size(),
                  output.c_str());
   }
@@ -243,18 +258,24 @@ int MineImp(const Flags& flags) {
   if (flags.GetBool("external")) {
     const std::string input = flags.Get("input");
     const std::string work_dir = flags.Get("workdir", "/tmp");
+    ExternalIoOptions io;
+    io.checkpoint_path = flags.Get("checkpoint");
+    io.resume = flags.GetBool("resume");
+    io.retry.max_attempts =
+        static_cast<int>(flags.GetInt("io-retries", 3));
     ExternalMiningStats stats;
     auto rules =
-        MineImplicationsFromFile(input, options, work_dir, &stats);
+        MineImplicationsFromFile(input, options, work_dir, io, &stats);
     if (!rules.ok()) {
       std::fprintf(stderr, "%s\n", rules.status().ToString().c_str());
       return 1;
     }
     std::fprintf(stderr,
-                 "external: pass1 %.3fs, partition %.3fs (%zu buckets), "
+                 "external: pass1 %.3fs%s, partition %.3fs (%zu buckets), "
                  "mine %.3fs\n",
-                 stats.pass1_seconds, stats.partition_seconds,
-                 stats.bucket_files, stats.mine_seconds);
+                 stats.pass1_seconds, stats.resumed ? " (resumed)" : "",
+                 stats.partition_seconds, stats.bucket_files,
+                 stats.mine_seconds);
     std::fprintf(stderr, "%zu rules\n", rules->size());
     report.external = &stats;
     report.rules_total = static_cast<int64_t>(rules->size());
@@ -422,6 +443,19 @@ int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Flags flags(argc, argv);
+  if (flags.GetBool("failpoints")) {
+    std::string spec = flags.Get("failpoints");
+    if (spec == "1") spec.clear();  // bare --failpoints: record-only mode
+    if (flags.GetBool("failpoint-seed")) {
+      if (!spec.empty()) spec += ';';
+      spec += "seed=" + flags.Get("failpoint-seed");
+    }
+    const Status st = fail::Configure(spec);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--failpoints: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
   if (command == "mine-imp") return MineImp(flags);
   if (command == "mine-sim") return MineSim(flags);
   if (command == "stats") return Stats(flags);

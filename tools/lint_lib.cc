@@ -289,6 +289,86 @@ void CheckBannedTokens(const std::string& path, const std::string& scrubbed,
   }
 }
 
+// Bans raw unlink/rename/remove calls (std::, :: or unqualified): file
+// replacement must go through util/atomic_io.h so a crash can never
+// leave a torn output. std::filesystem::remove stays legal — it is a
+// deliberate delete, not a write-replace — and util/atomic_io.* itself
+// is the one place allowed to use the primitives.
+void CheckRawFileOps(const std::string& path, const std::string& scrubbed,
+                     const std::vector<bool>& suppressed,
+                     std::vector<Finding>* findings) {
+  if (path.find("util/atomic_io.") != std::string::npos) return;
+  struct Op {
+    const char* token;
+    /// `remove` is also the 3-arg <algorithm> erase-remove building
+    /// block; only the 1-arg <cstdio> form is a file operation.
+    bool one_arg_only;
+  };
+  static const Op kOps[] = {
+      {"unlink", false}, {"rename", false}, {"remove", true}};
+  for (const Op& op : kOps) {
+    const size_t len = std::strlen(op.token);
+    size_t pos = 0;
+    while ((pos = scrubbed.find(op.token, pos)) != std::string::npos) {
+      const size_t here = pos;
+      pos += len;
+      if (here > 0 && IsIdentChar(scrubbed[here - 1])) continue;
+      if (here + len < scrubbed.size() &&
+          IsIdentChar(scrubbed[here + len])) {
+        continue;
+      }
+      const size_t open = SkipSpace(scrubbed, here + len);
+      if (open >= scrubbed.size() || scrubbed[open] != '(') continue;
+      // Work out the qualifier: std:: and global :: are the raw libc
+      // forms; any other namespace (std::filesystem::remove) or a member
+      // call (list.remove) is something else entirely.
+      size_t q = here;
+      while (q > 0 &&
+             std::isspace(static_cast<unsigned char>(scrubbed[q - 1]))) {
+        --q;
+      }
+      if (q >= 2 && scrubbed[q - 1] == ':' && scrubbed[q - 2] == ':') {
+        size_t e = q - 2;
+        while (e > 0 &&
+               std::isspace(static_cast<unsigned char>(scrubbed[e - 1]))) {
+          --e;
+        }
+        size_t b = e;
+        while (b > 0 && IsIdentChar(scrubbed[b - 1])) --b;
+        const std::string qual = scrubbed.substr(b, e - b);
+        if (!qual.empty() && qual != "std") continue;
+      } else if (q > 0 &&
+                 (scrubbed[q - 1] == '.' ||
+                  (q >= 2 && scrubbed[q - 1] == '>' &&
+                   scrubbed[q - 2] == '-'))) {
+        continue;
+      }
+      if (op.one_arg_only) {
+        const size_t close = MatchParen(scrubbed, open);
+        if (close == std::string::npos) continue;
+        int depth = 0;
+        bool multi_arg = false;
+        for (size_t i = open; i <= close && !multi_arg; ++i) {
+          if (scrubbed[i] == '(') ++depth;
+          else if (scrubbed[i] == ')') --depth;
+          else if (scrubbed[i] == ',' && depth == 1) multi_arg = true;
+        }
+        if (multi_arg) continue;
+      }
+      const int line = LineOf(scrubbed, here);
+      if (static_cast<size_t>(line - 1) < suppressed.size() &&
+          suppressed[line - 1]) {
+        continue;
+      }
+      findings->push_back(
+          {path, line, "banned-raw-unlink",
+           "raw unlink/rename/remove is banned; replace files via "
+           "util/atomic_io.h (AtomicFileWriter) or delete deliberately "
+           "with std::filesystem::remove"});
+    }
+  }
+}
+
 void CheckDiscardedStatus(const std::string& path,
                           const std::string& scrubbed,
                           const std::vector<bool>& suppressed,
@@ -370,6 +450,7 @@ std::vector<Finding> LintFile(const std::string& path,
   const std::string scrubbed = ScrubSource(content);
   CheckIncludeGuard(path, scrubbed, suppressed, &findings);
   CheckBannedTokens(path, scrubbed, suppressed, &findings);
+  CheckRawFileOps(path, scrubbed, suppressed, &findings);
   CheckDiscardedStatus(path, scrubbed, suppressed, status_functions,
                        &findings);
   std::sort(findings.begin(), findings.end(),

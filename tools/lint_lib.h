@@ -13,6 +13,11 @@
 //   banned-file-stream  no std::ofstream/fopen in library code — file
 //                     exports go through src/observe (stats_export.h),
 //                     which is the one whitelisted component
+//   banned-raw-unlink no raw unlink/rename/remove (std::, :: or
+//                     unqualified) — file replacement goes through
+//                     util/atomic_io.h so outputs are never torn;
+//                     std::filesystem::remove stays legal for deliberate
+//                     deletes, and util/atomic_io.* is whitelisted
 //   discarded-status  a call to a Status/StatusOr-returning function used
 //                     as a bare statement (result ignored)
 //
