@@ -4,11 +4,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "datagen/dictionary_gen.h"
 #include "datagen/linkgraph_gen.h"
 #include "datagen/weblog_gen.h"
 #include "matrix/column_stats.h"
+#include "observe/json_writer.h"
+#include "util/atomic_io.h"
 
 namespace dmc {
 namespace bench {
@@ -29,6 +32,57 @@ std::string ParseMetricsJsonl(int argc, char** argv) {
     }
   }
   return "";
+}
+
+std::string ParseJsonOut(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      return argv[i] + 11;
+    }
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+bool WriteBenchJson(const std::vector<BenchRecord>& records,
+                    const std::string& path) {
+  if (path.empty()) return true;
+  std::ostringstream buffer;
+  {
+    JsonWriter w(buffer, /*indent=*/2);
+    w.BeginObject();
+    w.Key("schema_version");
+    w.Value(1);
+    w.Key("records");
+    w.BeginArray();
+    for (const BenchRecord& r : records) {
+      w.BeginObject();
+      w.Key("bench");
+      w.Value(r.bench);
+      w.Key("params");
+      w.Value(r.params);
+      w.Key("seconds");
+      w.Value(r.seconds);
+      w.Key("rows_per_sec");
+      w.Value(r.rows_per_sec);
+      w.Key("peak_counter_bytes");
+      w.Value(static_cast<uint64_t>(r.peak_counter_bytes));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  buffer << '\n';
+  const Status s = AtomicWriteFile(path, buffer.str());
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench json write failed: %s\n",
+                 s.ToString().c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote bench json to %s\n", path.c_str());
+  return true;
 }
 
 bool AppendMetricsJsonl(const MetricsRegistry& registry,

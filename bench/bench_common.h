@@ -24,6 +24,26 @@ double ParseScale(int argc, char** argv, double def = 1.0);
 /// Parses --metrics-jsonl=<path> from argv; empty when absent.
 std::string ParseMetricsJsonl(int argc, char** argv);
 
+/// Parses --json-out=<path> (or "--json-out <path>") from argv; empty
+/// when absent.
+std::string ParseJsonOut(int argc, char** argv);
+
+/// One machine-readable benchmark measurement for --json-out files.
+struct BenchRecord {
+  std::string bench;    ///< measurement name, e.g. "scan_imp_dense/simd"
+  std::string params;   ///< free-form parameter echo, e.g. "scale=1"
+  double seconds = 0.0;
+  double rows_per_sec = 0.0;
+  size_t peak_counter_bytes = 0;
+};
+
+/// Atomically writes `records` to `path` as a stable JSON document:
+///   {"schema_version": 1, "records": [{"bench", "params", "seconds",
+///    "rows_per_sec", "peak_counter_bytes"}, ...]}
+/// No-op (returning true) when `path` is empty; false on IO failure.
+bool WriteBenchJson(const std::vector<BenchRecord>& records,
+                    const std::string& path);
+
 /// Appends the registry's flat JSONL dump (one {"kind","name",...} object
 /// per line, see MetricsRegistry::WriteJsonl) to `path`, so repeated
 /// bench runs accumulate one machine-readable log. No-op when `path` is

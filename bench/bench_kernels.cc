@@ -1,0 +1,264 @@
+// Micro-benchmarks for the hot-path merge/intersection kernels
+// (core/kernels.h) and the arena-backed counter table:
+//
+//   * sorted-set intersection: scalar two-pointer vs AVX2 blocked probe,
+//   * MarkHits (the in-place merge primitive), scalar vs SIMD,
+//   * counter-table churn: Assign/Release cycles through the arena,
+//   * full dense-workload scans (imp + sim) under each MergeKernel,
+//     reporting the speedup of the in-place kernels over kLegacy.
+//
+// `--scale=<float>` sizes the dense workload; `--json-out=<path>` writes
+// the measurements as a stable JSON document (see bench_common.h).
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "core/kernels.h"
+#include "core/miss_counter_table.h"
+#include "matrix/binary_matrix.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace dmc {
+namespace {
+
+std::vector<ColumnId> SortedRandomIds(Rng& rng, size_t n, uint32_t universe) {
+  std::vector<uint8_t> member(universe, 0);
+  size_t placed = 0;
+  while (placed < n) {
+    const uint32_t v = static_cast<uint32_t>(rng.Uniform(universe));
+    if (!member[v]) {
+      member[v] = 1;
+      ++placed;
+    }
+  }
+  std::vector<ColumnId> out;
+  out.reserve(n);
+  for (uint32_t v = 0; v < universe; ++v) {
+    if (member[v]) out.push_back(v);
+  }
+  return out;
+}
+
+/// Dense correlated matrix: the regime where candidate lists stay long
+/// and the per-row merge dominates the scan. Columns come in blocks of
+/// 20 that co-occur with probability 0.9 when their block is selected
+/// (so high-confidence rules exist and their candidates survive the
+/// whole scan, exactly like real rule-bearing data), on top of 10%
+/// uniform background noise that feeds short-lived candidates.
+BinaryMatrix MakeDenseMatrix(double scale) {
+  const uint32_t rows = static_cast<uint32_t>(3000 * scale);
+  const uint32_t cols = static_cast<uint32_t>(500 * scale);
+  const uint32_t block = 20;
+  const uint32_t num_blocks = (cols + block - 1) / block;
+  Rng rng(42);
+  MatrixBuilder b(cols);
+  std::vector<uint8_t> on(cols);
+  std::vector<ColumnId> row;
+  for (uint32_t r = 0; r < rows; ++r) {
+    std::fill(on.begin(), on.end(), 0);
+    // Each row activates ~1/4 of the blocks and emits each member column
+    // of an active block with probability 0.9.
+    for (uint32_t g = 0; g < num_blocks; ++g) {
+      if (!rng.Bernoulli(0.25)) continue;
+      const uint32_t lo = g * block;
+      const uint32_t hi = std::min(cols, lo + block);
+      for (uint32_t c = lo; c < hi; ++c) {
+        if (rng.Bernoulli(0.9)) on[c] = 1;
+      }
+    }
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (!on[c] && rng.Bernoulli(0.1)) on[c] = 1;
+    }
+    row.clear();
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (on[c]) row.push_back(c);
+    }
+    b.AddRow(row);
+  }
+  return b.Build();
+}
+
+void BenchIntersect(std::vector<bench::BenchRecord>& records, double scale) {
+  bench::PrintSubHeader("sorted-set intersection (ids/sec)");
+  Rng rng(7);
+  const size_t n = static_cast<size_t>(100000 * scale);
+  const uint32_t universe = static_cast<uint32_t>(4 * n);
+  const auto a = SortedRandomIds(rng, n, universe);
+  const auto b = SortedRandomIds(rng, n, universe);
+  const int reps = 200;
+
+  for (const MergeKernel k : {MergeKernel::kScalar, MergeKernel::kSimd}) {
+    if (k == MergeKernel::kSimd && !SimdKernelAvailable()) continue;
+    Stopwatch sw;
+    size_t sink = 0;
+    for (int i = 0; i < reps; ++i) {
+      sink += kernels::IntersectCount(a.data(), a.size(), b.data(), b.size(), k);
+    }
+    const double secs = sw.ElapsedSeconds();
+    const double ids_per_sec = 2.0 * n * reps / secs;
+    std::printf("  intersect/%-6s  %10.3f ms   %12.0f ids/sec   (count=%zu)\n",
+                KernelName(k), secs * 1e3 / reps, ids_per_sec, sink / reps);
+    records.push_back({std::string("intersect/") + KernelName(k),
+                       "n=" + std::to_string(n), secs / reps, ids_per_sec, 0});
+  }
+}
+
+void BenchMarkHits(std::vector<bench::BenchRecord>& records, double scale) {
+  bench::PrintSubHeader("MarkHits merge primitive (ids/sec)");
+  Rng rng(11);
+  const size_t list_n = static_cast<size_t>(80000 * scale);
+  const size_t row_n = static_cast<size_t>(20000 * scale);
+  const uint32_t universe = static_cast<uint32_t>(4 * list_n);
+  const auto list = SortedRandomIds(rng, list_n, universe);
+  const auto row = SortedRandomIds(rng, row_n, universe);
+  std::vector<uint8_t> hit(list_n);
+  const int reps = 200;
+
+  for (const MergeKernel k : {MergeKernel::kScalar, MergeKernel::kSimd}) {
+    if (k == MergeKernel::kSimd && !SimdKernelAvailable()) continue;
+    Stopwatch sw;
+    for (int i = 0; i < reps; ++i) {
+      kernels::MarkHits(list.data(), list.size(), row.data(), row.size(),
+                        hit.data(), k);
+    }
+    const double secs = sw.ElapsedSeconds();
+    const double ids_per_sec = (list_n + row_n) * double(reps) / secs;
+    std::printf("  mark_hits/%-6s %10.3f ms   %12.0f ids/sec\n",
+                KernelName(k), secs * 1e3 / reps, ids_per_sec);
+    records.push_back({std::string("mark_hits/") + KernelName(k),
+                       "list=" + std::to_string(list_n) +
+                           ",row=" + std::to_string(row_n),
+                       secs / reps, ids_per_sec, 0});
+  }
+}
+
+void BenchTableChurn(std::vector<bench::BenchRecord>& records, double scale) {
+  bench::PrintSubHeader("counter-table Assign/Release churn (lists/sec)");
+  const ColumnId cols = 256;
+  const size_t list_len = static_cast<size_t>(200 * scale);
+  std::vector<ColumnId> cand(list_len);
+  std::vector<uint32_t> miss(list_len, 0);
+  for (size_t i = 0; i < list_len; ++i) cand[i] = static_cast<ColumnId>(i);
+  const int rounds = 2000;
+
+  MemoryTracker tracker;
+  MissCounterTable table(cols, MissCounterTable::kEntryBytesWithCounters,
+                         &tracker);
+  Stopwatch sw;
+  for (int r = 0; r < rounds; ++r) {
+    for (ColumnId c = 0; c < cols; ++c) {
+      table.Create(c);
+      table.Assign(c, cand.data(), miss.data(), list_len);
+    }
+    table.ReleaseEverything();
+  }
+  const double secs = sw.ElapsedSeconds();
+  const double lists_per_sec = double(rounds) * cols / secs;
+  std::printf("  table_churn      %10.3f ms/round  %12.0f lists/sec  "
+              "(arena %zu KiB)\n",
+              secs * 1e3 / rounds, lists_per_sec, table.arena_bytes() >> 10);
+  records.push_back({"table_churn", "lists=256,len=" + std::to_string(list_len),
+                     secs / rounds, lists_per_sec, 0});
+}
+
+struct ScanResult {
+  double seconds = 0.0;
+  size_t peak_counter_bytes = 0;
+  size_t rules = 0;
+};
+
+ScanResult RunImpScan(const BinaryMatrix& m, MergeKernel k) {
+  ImplicationMiningOptions o;
+  o.min_confidence = 0.6;
+  o.policy.kernel = k;
+  MiningStats stats;
+  Stopwatch sw;
+  auto rules = MineImplications(m, o, &stats);
+  ScanResult r;
+  r.seconds = sw.ElapsedSeconds();
+  r.peak_counter_bytes = stats.peak_counter_bytes;
+  r.rules = rules.ok() ? rules->size() : 0;
+  return r;
+}
+
+ScanResult RunSimScan(const BinaryMatrix& m, MergeKernel k) {
+  SimilarityMiningOptions o;
+  o.min_similarity = 0.55;
+  o.policy.kernel = k;
+  MiningStats stats;
+  Stopwatch sw;
+  auto pairs = MineSimilarities(m, o, &stats);
+  ScanResult r;
+  r.seconds = sw.ElapsedSeconds();
+  r.peak_counter_bytes = stats.peak_counter_bytes;
+  r.rules = pairs.ok() ? pairs->size() : 0;
+  return r;
+}
+
+void BenchDenseScans(std::vector<bench::BenchRecord>& records, double scale) {
+  bench::PrintSubHeader("dense-workload scans (rows/sec; speedup vs legacy)");
+  const BinaryMatrix m = MakeDenseMatrix(scale);
+  std::printf("  matrix: %u rows x %u cols, %zu ones\n", m.num_rows(),
+              m.num_columns(), size_t(m.num_ones()));
+
+  const MergeKernel kernels_to_run[] = {MergeKernel::kLegacy,
+                                        MergeKernel::kScalar,
+                                        MergeKernel::kSimd};
+  // Best-of-N per variant: full scans are long enough that scheduler noise
+  // dominates single-shot timings; the minimum is the stable estimator.
+  const int reps = 5;
+  for (const bool sim : {false, true}) {
+    const char* scan = sim ? "scan_sim_dense" : "scan_imp_dense";
+    double legacy_secs = 0.0;
+    for (const MergeKernel k : kernels_to_run) {
+      const MergeKernel resolved = ResolveKernel(k);
+      if (k == MergeKernel::kSimd && resolved != MergeKernel::kSimd) continue;
+      ScanResult r = sim ? RunSimScan(m, k) : RunImpScan(m, k);
+      for (int i = 1; i < reps; ++i) {
+        const ScanResult again = sim ? RunSimScan(m, k) : RunImpScan(m, k);
+        r.seconds = std::min(r.seconds, again.seconds);
+      }
+      if (k == MergeKernel::kLegacy) legacy_secs = r.seconds;
+      const double rows_per_sec = m.num_rows() / r.seconds;
+      std::printf("  %s/%-6s  %8.3f s  %10.0f rows/sec  %zu rules"
+                  "  peak=%zu B%s",
+                  scan, KernelName(k), r.seconds, rows_per_sec, r.rules,
+                  r.peak_counter_bytes, "");
+      if (k != MergeKernel::kLegacy && legacy_secs > 0.0) {
+        std::printf("  (%.2fx vs legacy)", legacy_secs / r.seconds);
+      }
+      std::printf("\n");
+      records.push_back({std::string(scan) + "/" + KernelName(k),
+                         "scale=" + std::to_string(scale), r.seconds,
+                         rows_per_sec, r.peak_counter_bytes});
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  const double scale = bench::ParseScale(argc, argv);
+  const std::string json_out = bench::ParseJsonOut(argc, argv);
+  bench::PrintHeader("Hot-path kernel micro-benchmarks");
+  std::printf("scale=%.2f  simd=%s\n", scale,
+              SimdKernelAvailable() ? "avx2" : "unavailable");
+
+  std::vector<bench::BenchRecord> records;
+  BenchIntersect(records, scale);
+  BenchMarkHits(records, scale);
+  BenchTableChurn(records, scale);
+  BenchDenseScans(records, scale);
+
+  if (!bench::WriteBenchJson(records, json_out)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace dmc
+
+int main(int argc, char** argv) { return dmc::Main(argc, argv); }

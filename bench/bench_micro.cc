@@ -1,8 +1,13 @@
 // Micro-benchmarks (google-benchmark) of the kernels the mining engines
 // sit on: bit-vector popcount kernels, candidate-list merging, min-hash
 // signature construction, and the workload generators.
+//
+// `--json-out=<path>` additionally writes every measurement in the
+// shared BENCH_*.json schema (see bench_common.h).
 
 #include <benchmark/benchmark.h>
+
+#include "bench_common.h"
 
 #include "baselines/minhash.h"
 #include "core/engine.h"
@@ -116,7 +121,44 @@ void BM_Transpose(benchmark::State& state) {
 }
 BENCHMARK(BM_Transpose);
 
+// Console reporter that also captures each run as a BenchRecord so the
+// google-benchmark binary can emit the shared --json-out schema.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(std::vector<bench::BenchRecord>* records)
+      : records_(records) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      bench::BenchRecord rec;
+      rec.bench = run.benchmark_name();
+      rec.params = "iterations=" + std::to_string(run.iterations);
+      rec.seconds = run.iterations > 0
+                        ? run.real_accumulated_time /
+                              static_cast<double>(run.iterations)
+                        : run.real_accumulated_time;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) rec.rows_per_sec = it->second.value;
+      records_->push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  std::vector<bench::BenchRecord>* records_;
+};
+
 }  // namespace
 }  // namespace dmc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_out = dmc::bench::ParseJsonOut(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  std::vector<dmc::bench::BenchRecord> records;
+  dmc::JsonCaptureReporter reporter(&records);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!dmc::bench::WriteBenchJson(records, json_out)) return 1;
+  return 0;
+}

@@ -1,8 +1,8 @@
 #include "core/dmc_base.h"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "core/kernels.h"
 #include "core/miss_counter_table.h"
 #include "observe/progress.h"
 #include "observe/trace.h"
@@ -24,6 +24,7 @@ class ImplicationScan {
         maxmis_(*in.max_misses),
         active_(*in.active),
         policy_(*in.policy),
+        kernel_(ResolveKernel(policy_.kernel)),
         cnt_(m_.num_columns(), 0),
         table_(m_.num_columns(), in.bytes_per_entry, in.tracker) {
     all_active_ = std::all_of(active_.begin(), active_.end(),
@@ -46,6 +47,7 @@ class ImplicationScan {
         result.cancelled = true;
         result.rows_processed = idx;
         result.base_seconds = base_sw.ElapsedSeconds();
+        result.peak_entries = table_.peak_entries();
         return result;
       }
       if (policy_.bitmap_fallback &&
@@ -55,6 +57,9 @@ class ImplicationScan {
         break;
       }
       const auto row = FilteredRow(in_.order[idx]);
+      if (kernel_ == MergeKernel::kSimd) {
+        scratch_.BeginRow(row, m_.num_columns());
+      }
       // Step 3(a): update/extend every candidate list touched by this row.
       for (ColumnId cj : row) {
         if (!LhsOk(cj)) continue;
@@ -69,8 +74,6 @@ class ImplicationScan {
         ++cnt_[cj];
         if (cnt_[cj] == ones_[cj] && table_.HasList(cj)) FlushColumn(cj);
       }
-      result.peak_entries =
-          std::max(result.peak_entries, table_.total_entries());
       RecordHistory();
     }
     result.base_seconds = base_sw.ElapsedSeconds();
@@ -87,6 +90,7 @@ class ImplicationScan {
       result.bitmap_rows = n - idx;
       result.bitmap_seconds = bitmap_sw.ElapsedSeconds();
     }
+    result.peak_entries = table_.peak_entries();
     if (check_progress) {
       // Final update so watchers see 100%; too late to cancel.
       (void)ReportProgress(obs, n, n);
@@ -119,68 +123,52 @@ class ImplicationScan {
     return scratch_row_;
   }
 
-  // Case cnt(cj) <= maxmis(cj): linear merge of cand(cj) with the row.
-  // Row-only qualifying columns join with miss = cnt(cj) (they missed all
-  // earlier occurrences of cj — exact, because a prior co-occurrence would
-  // have added them already); list-only entries take a miss and are
-  // dropped the moment they exceed the budget.
+  // Case cnt(cj) <= maxmis(cj): merge cand(cj) with the row. Row-only
+  // qualifying columns join with miss = cnt(cj) (they missed all earlier
+  // occurrences of cj — exact, because a prior co-occurrence would have
+  // added them already); list-only entries take a miss and are dropped
+  // the moment they exceed the budget.
   void MergeWithAdd(ColumnId cj, std::span<const ColumnId> row) {
-    if (!table_.HasList(cj)) table_.Create(cj);
-    const auto& list = table_.List(cj);
-    scratch_.clear();
     const uint32_t base_miss = cnt_[cj];
     const int64_t budget = maxmis_[cj];
-    size_t i = 0, j = 0;
-    while (i < row.size() || j < list.size()) {
-      if (j >= list.size() ||
-          (i < row.size() && row[i] < list[j].cand)) {
-        const ColumnId ck = row[i++];
-        if (ck != cj && Qualifies(ck, cj)) {
-          scratch_.push_back({ck, base_miss});
-        }
-      } else if (i >= row.size() || list[j].cand < row[i]) {
-        CandidateEntry e = list[j++];
-        if (static_cast<int64_t>(e.miss) + 1 <= budget) {
-          ++e.miss;
-          scratch_.push_back(e);
-        }
-      } else {  // in both: a hit, entry unchanged
-        scratch_.push_back(list[j]);
-        ++i;
-        ++j;
-      }
+    const auto accept_new = [this, cj](ColumnId ck) {
+      return Qualifies(ck, cj);
+    };
+    const auto keep_on_hit = [](ColumnId, uint32_t) { return true; };
+    const auto keep_on_miss = [budget](ColumnId, uint32_t new_miss) {
+      return static_cast<int64_t>(new_miss) <= budget;
+    };
+    if (kernel_ == MergeKernel::kLegacy) {
+      LegacyAddMerge(table_, cj, row, base_miss, scratch_, accept_new,
+                     keep_on_hit, keep_on_miss);
+    } else {
+      InPlaceAddMerge(table_, cj, row, base_miss, scratch_, kernel_,
+                      accept_new, keep_on_hit, keep_on_miss);
     }
-    table_.Replace(cj, scratch_);
   }
 
   // Case cnt(cj) > maxmis(cj): no additions are possible any more; only
   // count misses against existing candidates.
   void MergeMissOnly(ColumnId cj, std::span<const ColumnId> row) {
-    const auto& list = table_.List(cj);
-    if (list.empty()) return;
-    scratch_.clear();
     const int64_t budget = maxmis_[cj];
-    size_t i = 0;
-    for (size_t j = 0; j < list.size(); ++j) {
-      while (i < row.size() && row[i] < list[j].cand) ++i;
-      if (i < row.size() && row[i] == list[j].cand) {
-        scratch_.push_back(list[j]);
-      } else {
-        CandidateEntry e = list[j];
-        if (static_cast<int64_t>(e.miss) + 1 <= budget) {
-          ++e.miss;
-          scratch_.push_back(e);
-        }
-      }
+    const auto keep_on_hit = [](ColumnId, uint32_t) { return true; };
+    const auto keep_on_miss = [budget](ColumnId, uint32_t new_miss) {
+      return static_cast<int64_t>(new_miss) <= budget;
+    };
+    if (kernel_ == MergeKernel::kLegacy) {
+      LegacyMissMerge(table_, cj, row, scratch_, keep_on_hit, keep_on_miss);
+    } else {
+      InPlaceMissMerge(table_, cj, row, scratch_, kernel_, keep_on_hit,
+                       keep_on_miss);
     }
-    table_.Replace(cj, scratch_);
   }
 
   // cnt(cj) == ones(cj): every surviving candidate is a rule (its miss
   // count is final and within budget).
   void FlushColumn(ColumnId cj) {
-    for (const CandidateEntry& e : table_.List(cj)) {
-      EmitRule(cj, e.cand, e.miss);
+    const auto list = table_.List(cj);
+    for (size_t j = 0; j < list.size; ++j) {
+      EmitRule(cj, list.cand[j], list.miss[j]);
     }
     table_.Release(cj);
   }
@@ -211,7 +199,9 @@ class ImplicationScan {
       in_.memory_history->push_back(in_.tracker->TakeIntervalPeak());
     }
     if (in_.candidate_history != nullptr) {
-      in_.candidate_history->push_back(table_.total_entries());
+      // Same contract for candidates: the intra-row peak, so
+      // max(candidate_history) == peak_candidates holds exactly.
+      in_.candidate_history->push_back(table_.TakeEntriesIntervalPeak());
     }
   }
 
@@ -245,16 +235,17 @@ class ImplicationScan {
       if (!table_.HasList(c)) continue;
       if (static_cast<int64_t>(cnt_[c]) <= maxmis_[c]) continue;
       const BitVector* bj = bm_index[c] >= 0 ? &bitmaps[bm_index[c]] : nullptr;
-      for (const CandidateEntry& e : table_.List(c)) {
+      const auto list = table_.List(c);
+      for (size_t e = 0; e < list.size; ++e) {
         size_t extra = 0;
         if (bj != nullptr) {
-          extra = bm_index[e.cand] >= 0
-                      ? bj->AndNotCount(bitmaps[bm_index[e.cand]])
+          extra = bm_index[list.cand[e]] >= 0
+                      ? bj->AndNotCount(bitmaps[bm_index[list.cand[e]]])
                       : bj->Count();
         }
-        const int64_t total = static_cast<int64_t>(e.miss) + extra;
+        const int64_t total = static_cast<int64_t>(list.miss[e]) + extra;
         if (total <= maxmis_[c]) {
-          EmitRule(c, e.cand, static_cast<uint32_t>(total));
+          EmitRule(c, list.cand[e], static_cast<uint32_t>(total));
         }
       }
       table_.Release(c);
@@ -262,26 +253,45 @@ class ImplicationScan {
 
     // Phase 2: columns that may still gain candidates. Count hits over
     // the tail (seeded with the exact head hits of listed candidates) and
-    // test every qualifying partner.
-    std::unordered_map<ColumnId, uint32_t> hits;
+    // test every qualifying partner. Hit counts live in a dense
+    // per-column array with a touched list for O(touched) reset — the
+    // tail is small (<= bitmap_max_remaining_rows), so the sparse walk
+    // dominates and a hash map would only add overhead.
+    std::vector<uint32_t> hits(num_cols, 0);
+    std::vector<uint8_t> seen(num_cols, 0);
+    std::vector<ColumnId> touched;
+    const auto touch = [&](ColumnId ck) {
+      if (!seen[ck]) {
+        seen[ck] = 1;
+        touched.push_back(ck);
+      }
+    };
     for (ColumnId c = 0; c < num_cols; ++c) {
       if (!active_[c] || ones_[c] == 0 || !LhsOk(c)) continue;
       if (static_cast<int64_t>(cnt_[c]) > maxmis_[c]) continue;
-      hits.clear();
+      touched.clear();
       if (table_.HasList(c)) {
-        for (const CandidateEntry& e : table_.List(c)) {
-          hits[e.cand] = cnt_[c] - e.miss;
+        const auto list = table_.List(c);
+        for (size_t e = 0; e < list.size; ++e) {
+          touch(list.cand[e]);
+          hits[list.cand[e]] = cnt_[c] - list.miss[e];
         }
       }
       if (bm_index[c] >= 0) {
         for (uint32_t t : bitmaps[bm_index[c]].ToIndices()) {
           for (ColumnId ck : tail[t]) {
-            if (ck != c) ++hits[ck];
+            if (ck != c) {
+              touch(ck);
+              ++hits[ck];
+            }
           }
         }
       }
       const int64_t min_hits = static_cast<int64_t>(ones_[c]) - maxmis_[c];
-      for (const auto& [ck, h] : hits) {
+      for (ColumnId ck : touched) {
+        const uint32_t h = hits[ck];
+        seen[ck] = 0;
+        hits[ck] = 0;
         if (!Qualifies(ck, c)) continue;
         if (static_cast<int64_t>(h) >= min_hits) {
           EmitRule(c, ck, ones_[c] - h);
@@ -298,11 +308,12 @@ class ImplicationScan {
   const std::vector<int64_t>& maxmis_;
   const std::vector<uint8_t>& active_;
   const DmcPolicy& policy_;
+  const MergeKernel kernel_;
   bool all_active_ = false;
   std::vector<uint32_t> cnt_;
   MissCounterTable table_;
   std::vector<ColumnId> scratch_row_;
-  std::vector<CandidateEntry> scratch_;
+  MergeScratch scratch_;
 };
 
 }  // namespace

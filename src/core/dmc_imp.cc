@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/dmc_base.h"
+#include "core/kernels.h"
 #include "core/miss_counter_table.h"
 #include "core/thresholds.h"
 #include "matrix/row_order.h"
@@ -58,6 +59,7 @@ StatusOr<ImplicationRuleSet> MineImplicationsImpl(
     order = MakeOrder(matrix, policy.row_order);
   }
   stats->prescan_seconds = prescan_sw.ElapsedSeconds();
+  stats->kernel = KernelName(ResolveKernel(policy.kernel));
 
   MemoryTracker tracker;
   ImplicationRuleSet out;

@@ -19,6 +19,22 @@ enum class RowOrderPolicy {
   kExactSort,
 };
 
+/// Which merge/intersection kernel the hot-path scan uses (core/kernels.h).
+/// All choices produce byte-identical rule sets and accounting; the knob
+/// exists for hardware portability and for the differential parity tests.
+enum class MergeKernel {
+  /// Runtime dispatch: kSimd when the CPU supports AVX2, else kScalar.
+  kAuto,
+  /// The pre-arena merge that rebuilds each list into scratch on every
+  /// row. Kept as the differential baseline.
+  kLegacy,
+  /// In-place merge with scalar two-pointer intersection.
+  kScalar,
+  /// In-place merge with AVX2 sorted-set intersection (falls back to
+  /// kScalar on hardware without AVX2).
+  kSimd,
+};
+
 /// Policy knobs common to DMC-imp and DMC-sim. Defaults reproduce the
 /// paper's configuration (§4.4): density-bucket re-ordering, a 100%-rule
 /// pre-phase, and a switch to DMC-bitmap when <= 64 rows remain and the
@@ -44,6 +60,10 @@ struct DmcPolicy {
   bool column_density_pruning = true;
   /// DMC-sim only: §5.2 maximum-hits pruning.
   bool max_hits_pruning = true;
+
+  /// Hot-path merge/intersection kernel; kAuto picks the fastest one the
+  /// CPU supports. Every choice yields identical rules and accounting.
+  MergeKernel kernel = MergeKernel::kAuto;
 
   /// Record per-row memory/candidate history into MiningStats (Fig. 3 and
   /// the Example 3.1 traces). O(rows) extra memory; off by default.

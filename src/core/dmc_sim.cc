@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/dmc_sim_pass.h"
+#include "core/kernels.h"
 #include "core/miss_counter_table.h"
 #include "core/thresholds.h"
 #include "matrix/row_order.h"
@@ -55,6 +56,7 @@ StatusOr<SimilarityRuleSet> MineSimilaritiesImpl(
     order = MakeOrder(matrix, policy.row_order);
   }
   stats->prescan_seconds = prescan_sw.ElapsedSeconds();
+  stats->kernel = KernelName(ResolveKernel(policy.kernel));
 
   MemoryTracker tracker;
   SimilarityRuleSet out;

@@ -1,8 +1,9 @@
 #include "core/dmc_sim_pass.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
 
+#include "core/kernels.h"
 #include "core/miss_counter_table.h"
 #include "core/thresholds.h"
 #include "observe/progress.h"
@@ -25,13 +26,18 @@ class SimilarityScan {
         active_(*in.active),
         policy_(*in.policy),
         s_(in.min_similarity),
+        one_plus_s_(1.0 + in.min_similarity),
+        budget_eps_((1.0 + in.min_similarity) * kThresholdEpsilon),
+        kernel_(ResolveKernel(policy_.kernel)),
         cnt_(m_.num_columns(), 0),
         table_(m_.num_columns(), in.bytes_per_entry, in.tracker) {
     all_active_ = std::all_of(active_.begin(), active_.end(),
                               [](uint8_t a) { return a != 0; });
     col_budget_.resize(m_.num_columns());
+    s_ones_.resize(m_.num_columns());
     for (ColumnId c = 0; c < m_.num_columns(); ++c) {
       col_budget_[c] = ColumnMaxMissesForSimilarity(ones_[c], s_);
+      s_ones_[c] = s_ * static_cast<double>(ones_[c]);
     }
   }
 
@@ -51,6 +57,7 @@ class SimilarityScan {
         result.cancelled = true;
         result.rows_processed = idx;
         result.base_seconds = base_sw.ElapsedSeconds();
+        result.peak_entries = table_.peak_entries();
         return result;
       }
       if (policy_.bitmap_fallback &&
@@ -60,6 +67,9 @@ class SimilarityScan {
         break;
       }
       const auto row = FilteredRow(in_.order[idx]);
+      if (kernel_ == MergeKernel::kSimd) {
+        scratch_.BeginRow(row, m_.num_columns());
+      }
       for (ColumnId cj : row) {
         if (!LhsOk(cj)) continue;
         if (static_cast<int64_t>(cnt_[cj]) <= col_budget_[cj]) {
@@ -72,8 +82,6 @@ class SimilarityScan {
         ++cnt_[cj];
         if (cnt_[cj] == ones_[cj] && table_.HasList(cj)) FlushColumn(cj);
       }
-      result.peak_entries =
-          std::max(result.peak_entries, table_.total_entries());
       RecordHistory();
     }
     result.base_seconds = base_sw.ElapsedSeconds();
@@ -90,6 +98,7 @@ class SimilarityScan {
       result.bitmap_rows = n - idx;
       result.bitmap_seconds = bitmap_sw.ElapsedSeconds();
     }
+    result.peak_entries = table_.peak_entries();
     if (check_progress) {
       // Final update so watchers see 100%; too late to cancel.
       (void)ReportProgress(obs, n, n);
@@ -112,6 +121,18 @@ class SimilarityScan {
     return MaxMissesForSimilarity(ones_[ci], ones_[ck], s_);
   }
 
+  // mis <= MaxMissesForSimilarity(a, ones(ck), s_) in multiply form:
+  //   mis <= (a - s*b)/(1+s) + eps  <=>  (1+s)*mis <= a - s*b + (1+s)*eps,
+  // with s*b = s_ones_[ck] precomputed per scan. This hoists the
+  // per-entry floating divide (and floor) out of the merge predicates and
+  // leaves one int-to-double conversion per test; the kThresholdEpsilon
+  // guard band (thresholds.h) is orders of magnitude wider than the
+  // rounding difference between the forms, so they decide identically.
+  bool WithinPairBudget(uint32_t a, ColumnId ck, int64_t mis) const {
+    return one_plus_s_ * static_cast<double>(mis) <=
+           static_cast<double>(a) - s_ones_[ck] + budget_eps_;
+  }
+
   std::span<const ColumnId> FilteredRow(RowId r) {
     const auto row = m_.Row(r);
     if (all_active_) return row;
@@ -131,7 +152,12 @@ class SimilarityScan {
     const int64_t rem_k = static_cast<int64_t>(ones_[ck]) - cnt_[ck];
     const int64_t hits_so_far = static_cast<int64_t>(cnt_[cj]) - miss;
     const int64_t best_hits = hits_so_far + std::min(rem_j, rem_k);
-    return best_hits >= MinHitsForSimilarity(ones_[cj], ones_[ck], s_);
+    // best_hits >= MinHitsForSimilarity(a, b, s_) <=> a - best_hits is
+    // within the pair budget. Since best_hits <= a - miss, the floor
+    // a - best_hits is >= miss, so this single test also subsumes the
+    // plain pair-budget test of the current miss count.
+    return WithinPairBudget(ones_[cj], ck,
+                            static_cast<int64_t>(ones_[cj]) - best_hits);
   }
 
   // Same bound on a row where cj is present but ck is NOT (`new_miss`
@@ -144,91 +170,76 @@ class SimilarityScan {
     const int64_t hits_so_far =
         static_cast<int64_t>(cnt_[cj]) - (static_cast<int64_t>(new_miss) - 1);
     const int64_t best_hits = hits_so_far + std::min(rem_j, rem_k);
-    return best_hits >= MinHitsForSimilarity(ones_[cj], ones_[ck], s_);
+    // The floor a - best_hits is >= new_miss here (rem_j excludes the
+    // current row), so this subsumes the pair-budget test of new_miss.
+    return WithinPairBudget(ones_[cj], ck,
+                            static_cast<int64_t>(ones_[cj]) - best_hits);
   }
 
   void MergeWithAdd(ColumnId cj, std::span<const ColumnId> row) {
-    if (!table_.HasList(cj)) table_.Create(cj);
-    const auto& list = table_.List(cj);
-    scratch_.clear();
     const uint32_t base_miss = cnt_[cj];
-    size_t i = 0, j = 0;
-    while (i < row.size() || j < list.size()) {
-      if (j >= list.size() ||
-          (i < row.size() && row[i] < list[j].cand)) {
-        const ColumnId ck = row[i++];
-        if (ck == cj || !Qualifies(ck, cj)) continue;
-        // §5.1 column-density pruning: a negative budget means the ratio
-        // ones(cj)/ones(ck) is below s and the pair can never qualify; a
-        // budget below cnt(cj) means it is dead on arrival. With the
-        // pruning disabled (ablation) such pairs are still added and left
-        // to the regular miss counting + flush guard, costing memory but
-        // never changing the output.
-        if (policy_.column_density_pruning) {
-          const int64_t budget = PairBudget(cj, ck);
-          if (budget < 0 || static_cast<int64_t>(base_miss) > budget) {
-            continue;
-          }
-        }
-        if (policy_.max_hits_pruning &&
-            !SurvivesMaxHitsOnHit(cj, ck, base_miss)) {
-          continue;
-        }
-        scratch_.push_back({ck, base_miss});
-      } else if (i >= row.size() || list[j].cand < row[i]) {
-        CandidateEntry e = list[j++];
-        ++e.miss;
-        if (static_cast<int64_t>(e.miss) > PairBudget(cj, e.cand)) continue;
-        if (policy_.max_hits_pruning &&
-            !SurvivesMaxHitsOnMiss(cj, e.cand, e.miss)) {
-          continue;
-        }
-        scratch_.push_back(e);
-      } else {  // hit
-        const CandidateEntry e = list[j];
-        ++i;
-        ++j;
-        if (policy_.max_hits_pruning &&
-            !SurvivesMaxHitsOnHit(cj, e.cand, e.miss)) {
-          continue;
-        }
-        scratch_.push_back(e);
+    // §5.1 column-density pruning on joiners: a negative budget means the
+    // ratio ones(cj)/ones(ck) is below s and the pair can never qualify;
+    // a budget below cnt(cj) means it is dead on arrival. With the
+    // pruning disabled (ablation) such pairs are still added and left to
+    // the regular miss counting + flush guard, costing memory but never
+    // changing the output.
+    const auto accept_new = [this, cj, base_miss](ColumnId ck) {
+      if (!Qualifies(ck, cj)) return false;
+      // The max-hits test subsumes the density test (its miss floor is
+      // >= base_miss), so each branch is a single budget comparison.
+      if (policy_.max_hits_pruning) {
+        return SurvivesMaxHitsOnHit(cj, ck, base_miss);
       }
+      return !policy_.column_density_pruning ||
+             WithinPairBudget(ones_[cj], ck, base_miss);
+    };
+    const auto keep_on_hit = [this, cj](ColumnId ck, uint32_t miss) {
+      return !policy_.max_hits_pruning || SurvivesMaxHitsOnHit(cj, ck, miss);
+    };
+    const auto keep_on_miss = [this, cj](ColumnId ck, uint32_t new_miss) {
+      if (policy_.max_hits_pruning) {
+        return SurvivesMaxHitsOnMiss(cj, ck, new_miss);
+      }
+      return WithinPairBudget(ones_[cj], ck, new_miss);
+    };
+    if (kernel_ == MergeKernel::kLegacy) {
+      LegacyAddMerge(table_, cj, row, base_miss, scratch_, accept_new,
+                     keep_on_hit, keep_on_miss);
+    } else {
+      InPlaceAddMerge(table_, cj, row, base_miss, scratch_, kernel_,
+                      accept_new, keep_on_hit, keep_on_miss);
     }
-    table_.Replace(cj, scratch_);
   }
 
   void MergeMissOnly(ColumnId cj, std::span<const ColumnId> row) {
-    const auto& list = table_.List(cj);
-    if (list.empty()) return;
-    scratch_.clear();
-    size_t i = 0;
-    for (size_t j = 0; j < list.size(); ++j) {
-      while (i < row.size() && row[i] < list[j].cand) ++i;
-      CandidateEntry e = list[j];
-      const bool hit = i < row.size() && row[i] == e.cand;
-      if (!hit) {
-        ++e.miss;
-        if (static_cast<int64_t>(e.miss) > PairBudget(cj, e.cand)) continue;
-        if (policy_.max_hits_pruning &&
-            !SurvivesMaxHitsOnMiss(cj, e.cand, e.miss)) {
-          continue;
-        }
-      } else if (policy_.max_hits_pruning &&
-                 !SurvivesMaxHitsOnHit(cj, e.cand, e.miss)) {
-        continue;
+    const auto keep_on_hit = [this, cj](ColumnId ck, uint32_t miss) {
+      return !policy_.max_hits_pruning || SurvivesMaxHitsOnHit(cj, ck, miss);
+    };
+    const auto keep_on_miss = [this, cj](ColumnId ck, uint32_t new_miss) {
+      if (policy_.max_hits_pruning) {
+        return SurvivesMaxHitsOnMiss(cj, ck, new_miss);
       }
-      scratch_.push_back(e);
+      return WithinPairBudget(ones_[cj], ck, new_miss);
+    };
+    if (kernel_ == MergeKernel::kLegacy) {
+      LegacyMissMerge(table_, cj, row, scratch_, keep_on_hit, keep_on_miss);
+    } else {
+      InPlaceMissMerge(table_, cj, row, scratch_, kernel_, keep_on_hit,
+                       keep_on_miss);
     }
-    table_.Replace(cj, scratch_);
   }
 
   void FlushColumn(ColumnId cj) {
-    for (const CandidateEntry& e : table_.List(cj)) {
+    const auto list = table_.List(cj);
+    for (size_t j = 0; j < list.size; ++j) {
       // Guard for the ablation mode with density pruning off: a pair with
       // a negative budget may linger in the list if it never missed.
-      if (static_cast<int64_t>(e.miss) > PairBudget(cj, e.cand)) continue;
-      EmitPair(cj, e.cand, ones_[cj] - e.miss);
+      if (static_cast<int64_t>(list.miss[j]) >
+          PairBudget(cj, list.cand[j])) {
+        continue;
+      }
+      EmitPair(cj, list.cand[j], ones_[cj] - list.miss[j]);
     }
     table_.Release(cj);
   }
@@ -261,7 +272,9 @@ class SimilarityScan {
       in_.memory_history->push_back(in_.tracker->TakeIntervalPeak());
     }
     if (in_.candidate_history != nullptr) {
-      in_.candidate_history->push_back(table_.total_entries());
+      // Same contract for candidates: the intra-row peak, so
+      // max(candidate_history) == peak_candidates holds exactly.
+      in_.candidate_history->push_back(table_.TakeEntriesIntervalPeak());
     }
   }
 
@@ -291,16 +304,17 @@ class SimilarityScan {
       if (!table_.HasList(c)) continue;
       if (static_cast<int64_t>(cnt_[c]) <= col_budget_[c]) continue;
       const BitVector* bj = bm_index[c] >= 0 ? &bitmaps[bm_index[c]] : nullptr;
-      for (const CandidateEntry& e : table_.List(c)) {
+      const auto list = table_.List(c);
+      for (size_t e = 0; e < list.size; ++e) {
         size_t extra = 0;
         if (bj != nullptr) {
-          extra = bm_index[e.cand] >= 0
-                      ? bj->AndNotCount(bitmaps[bm_index[e.cand]])
+          extra = bm_index[list.cand[e]] >= 0
+                      ? bj->AndNotCount(bitmaps[bm_index[list.cand[e]]])
                       : bj->Count();
         }
-        const int64_t total = static_cast<int64_t>(e.miss) + extra;
-        if (total <= PairBudget(c, e.cand)) {
-          EmitPair(c, e.cand, ones_[c] - static_cast<uint32_t>(total));
+        const int64_t total = static_cast<int64_t>(list.miss[e]) + extra;
+        if (total <= PairBudget(c, list.cand[e])) {
+          EmitPair(c, list.cand[e], ones_[c] - static_cast<uint32_t>(total));
         }
       }
       table_.Release(c);
@@ -310,52 +324,80 @@ class SimilarityScan {
     // every phase-2 column has cnt = 0 (its column budget is 0), so its
     // support lies entirely in the tail and identical pairs are exactly
     // the equal-bitmap groups — "extract those column pairs that have the
-    // same bitmap instead of counting", as the paper prescribes.
+    // same bitmap instead of counting", as the paper prescribes. Grouping
+    // is sort-based ((hash, column) pairs), keeping the hot files free of
+    // hash maps.
     if (s_ == 1.0) {
-      std::unordered_map<uint64_t, std::vector<ColumnId>> by_hash;
+      std::vector<std::pair<uint64_t, ColumnId>> hashed;
       for (ColumnId c = 0; c < num_cols; ++c) {
         if (!active_[c] || ones_[c] == 0) continue;
         if (static_cast<int64_t>(cnt_[c]) > col_budget_[c]) continue;
         if (table_.HasList(c)) table_.Release(c);
         if (cnt_[c] != 0 || bm_index[c] < 0) continue;
-        by_hash[bitmaps[bm_index[c]].Hash()].push_back(c);
+        hashed.emplace_back(bitmaps[bm_index[c]].Hash(), c);
       }
-      for (const auto& [hash, cols] : by_hash) {
-        for (size_t i = 0; i < cols.size(); ++i) {
-          for (size_t j = i + 1; j < cols.size(); ++j) {
+      std::sort(hashed.begin(), hashed.end());
+      for (size_t lo = 0; lo < hashed.size();) {
+        size_t hi = lo + 1;
+        while (hi < hashed.size() && hashed[hi].first == hashed[lo].first) {
+          ++hi;
+        }
+        for (size_t i = lo; i < hi; ++i) {
+          for (size_t j = i + 1; j < hi; ++j) {
+            const ColumnId ci = hashed[i].second;
+            const ColumnId cj = hashed[j].second;
             // The canonical antecedent of an identical pair is the lower
             // id; in sharded runs only its owner emits the pair. Hash
             // collisions are possible, so confirm exact equality.
-            if (!LhsOk(std::min(cols[i], cols[j]))) continue;
-            if (bitmaps[bm_index[cols[i]]] == bitmaps[bm_index[cols[j]]]) {
-              EmitPair(cols[i], cols[j], ones_[cols[i]]);
+            if (!LhsOk(std::min(ci, cj))) continue;
+            if (bitmaps[bm_index[ci]] == bitmaps[bm_index[cj]]) {
+              EmitPair(ci, cj, ones_[ci]);
             }
           }
         }
+        lo = hi;
       }
       return;
     }
 
     // Phase 2: columns that may still gain candidates — count hits over
     // the tail, seeded with the exact head hits of listed candidates.
-    std::unordered_map<ColumnId, uint32_t> hits;
+    // Dense per-column hit counts with a touched list for O(touched)
+    // reset; see dmc_base.cc for the rationale.
+    std::vector<uint32_t> hits(num_cols, 0);
+    std::vector<uint8_t> seen(num_cols, 0);
+    std::vector<ColumnId> touched;
+    const auto touch = [&](ColumnId ck) {
+      if (!seen[ck]) {
+        seen[ck] = 1;
+        touched.push_back(ck);
+      }
+    };
     for (ColumnId c = 0; c < num_cols; ++c) {
       if (!active_[c] || ones_[c] == 0 || !LhsOk(c)) continue;
       if (static_cast<int64_t>(cnt_[c]) > col_budget_[c]) continue;
-      hits.clear();
+      touched.clear();
       if (table_.HasList(c)) {
-        for (const CandidateEntry& e : table_.List(c)) {
-          hits[e.cand] = cnt_[c] - e.miss;
+        const auto list = table_.List(c);
+        for (size_t e = 0; e < list.size; ++e) {
+          touch(list.cand[e]);
+          hits[list.cand[e]] = cnt_[c] - list.miss[e];
         }
       }
       if (bm_index[c] >= 0) {
         for (uint32_t t : bitmaps[bm_index[c]].ToIndices()) {
           for (ColumnId ck : tail[t]) {
-            if (ck != c) ++hits[ck];
+            if (ck != c) {
+              touch(ck);
+              ++hits[ck];
+            }
           }
         }
       }
-      for (const auto& [ck, h] : hits) {
+      for (ColumnId ck : touched) {
+        const uint32_t h = hits[ck];
+        seen[ck] = 0;
+        hits[ck] = 0;
         if (!Qualifies(ck, c)) continue;
         if (static_cast<int64_t>(h) >=
             MinHitsForSimilarity(ones_[c], ones_[ck], s_)) {
@@ -373,12 +415,16 @@ class SimilarityScan {
   const std::vector<uint8_t>& active_;
   const DmcPolicy& policy_;
   const double s_;
+  const double one_plus_s_;
+  const double budget_eps_;
+  const MergeKernel kernel_;
   bool all_active_ = false;
   std::vector<uint32_t> cnt_;
   std::vector<int64_t> col_budget_;
+  std::vector<double> s_ones_;  // s_ * ones_[c], for WithinPairBudget
   MissCounterTable table_;
   std::vector<ColumnId> scratch_row_;
-  std::vector<CandidateEntry> scratch_;
+  MergeScratch scratch_;
 };
 
 }  // namespace

@@ -1,0 +1,204 @@
+#include "core/kernels.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define DMC_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace dmc {
+
+namespace {
+
+bool DetectAvx2() {
+#ifdef DMC_KERNELS_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+// Scalar reference: linear two-pointer walk — the same comparison
+// sequence the pre-arena merge performed, so kScalar is a faithful
+// baseline for the SIMD variants.
+void MarkHitsScalar(const ColumnId* list, size_t n, const ColumnId* row,
+                    size_t m, uint8_t* hit, size_t i, size_t j) {
+  for (; j < n; ++j) {
+    const ColumnId v = list[j];
+    while (i < m && row[i] < v) ++i;
+    if (i < m && row[i] == v) {
+      hit[j] = 1;
+      ++i;
+    } else if (i >= m) {
+      return;  // hit[] was pre-zeroed; the rest are misses
+    }
+  }
+}
+
+size_t IntersectCountScalar(const ColumnId* a, size_t na, const ColumnId* b,
+                            size_t nb) {
+  size_t count = 0, i = 0, j = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+#ifdef DMC_KERNELS_X86
+
+// Both AVX2 variants process the longer side eight ids per load and
+// broadcast-compare each id of the shorter side against the block; a
+// block is abandoned as soon as the probe id exceeds its maximum. With
+// strictly ascending inputs at most one lane can match, so the movemask
+// pinpoints the hit directly.
+
+__attribute__((target("avx2"))) void MarkHitsAvx2(const ColumnId* list,
+                                                  size_t n,
+                                                  const ColumnId* row,
+                                                  size_t m, uint8_t* hit) {
+  size_t i = 0, j = 0;
+  if (n >= m) {
+    // Block the list, probe with row ids.
+    while (j + 8 <= n && i < m) {
+      const __m256i block = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(list + j));
+      const ColumnId block_max = list[j + 7];
+      while (i < m && row[i] <= block_max) {
+        const __m256i probe =
+            _mm256_set1_epi32(static_cast<int32_t>(row[i]));
+        const int mask = _mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(block, probe)));
+        if (mask != 0) {
+          hit[j + static_cast<size_t>(__builtin_ctz(
+                      static_cast<unsigned>(mask)))] = 1;
+        }
+        ++i;
+      }
+      j += 8;
+    }
+  } else {
+    // Block the row, probe with list ids.
+    while (i + 8 <= m && j < n) {
+      const __m256i block =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i));
+      const ColumnId block_max = row[i + 7];
+      while (j < n && list[j] <= block_max) {
+        const __m256i probe =
+            _mm256_set1_epi32(static_cast<int32_t>(list[j]));
+        const int mask = _mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(block, probe)));
+        if (mask != 0) hit[j] = 1;
+        ++j;
+      }
+      i += 8;
+    }
+  }
+  MarkHitsScalar(list, n, row, m, hit, i, j);
+}
+
+__attribute__((target("avx2"))) size_t IntersectCountAvx2(
+    const ColumnId* a, size_t na, const ColumnId* b, size_t nb) {
+  // Normalize so `a` is the longer (blocked) side.
+  if (na < nb) {
+    const ColumnId* t = a;
+    a = b;
+    b = t;
+    const size_t tn = na;
+    na = nb;
+    nb = tn;
+  }
+  size_t count = 0, i = 0, j = 0;
+  while (i + 8 <= na && j < nb) {
+    const __m256i block =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const ColumnId block_max = a[i + 7];
+    while (j < nb && b[j] <= block_max) {
+      const __m256i probe = _mm256_set1_epi32(static_cast<int32_t>(b[j]));
+      const int mask = _mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(block, probe)));
+      count += mask != 0 ? 1 : 0;
+      ++j;
+    }
+    i += 8;
+  }
+  return count + IntersectCountScalar(a + i, na - i, b + j, nb - j);
+}
+
+#endif  // DMC_KERNELS_X86
+
+}  // namespace
+
+bool SimdKernelAvailable() {
+  static const bool available = DetectAvx2();
+  return available;
+}
+
+MergeKernel ResolveKernel(MergeKernel requested) {
+  switch (requested) {
+    case MergeKernel::kAuto:
+      return SimdKernelAvailable() ? MergeKernel::kSimd
+                                   : MergeKernel::kScalar;
+    case MergeKernel::kSimd:
+      return SimdKernelAvailable() ? MergeKernel::kSimd
+                                   : MergeKernel::kScalar;
+    case MergeKernel::kLegacy:
+    case MergeKernel::kScalar:
+      return requested;
+  }
+  return MergeKernel::kScalar;
+}
+
+const char* KernelName(MergeKernel k) {
+  switch (k) {
+    case MergeKernel::kAuto:
+      return "auto";
+    case MergeKernel::kLegacy:
+      return "legacy";
+    case MergeKernel::kScalar:
+      return "scalar";
+    case MergeKernel::kSimd:
+      return "simd";
+  }
+  return "unknown";
+}
+
+namespace kernels {
+
+void MarkHits(const ColumnId* list, size_t n, const ColumnId* row, size_t m,
+              uint8_t* hit, MergeKernel kernel) {
+  std::memset(hit, 0, n);
+#ifdef DMC_KERNELS_X86
+  if (kernel == MergeKernel::kSimd && SimdKernelAvailable()) {
+    MarkHitsAvx2(list, n, row, m, hit);
+    return;
+  }
+#else
+  (void)kernel;
+#endif
+  MarkHitsScalar(list, n, row, m, hit, 0, 0);
+}
+
+size_t IntersectCount(const ColumnId* a, size_t na, const ColumnId* b,
+                      size_t nb, MergeKernel kernel) {
+#ifdef DMC_KERNELS_X86
+  if (kernel == MergeKernel::kSimd && SimdKernelAvailable()) {
+    return IntersectCountAvx2(a, na, b, nb);
+  }
+#else
+  (void)kernel;
+#endif
+  return IntersectCountScalar(a, na, b, nb);
+}
+
+}  // namespace kernels
+
+}  // namespace dmc

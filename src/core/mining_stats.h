@@ -5,6 +5,7 @@
 #define DMC_CORE_MINING_STATS_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace dmc {
@@ -49,6 +50,11 @@ struct MiningStats {
   bool sub_bitmap_triggered = false;
   /// Rows handled by the bitmap fallback in the sub-100% phase.
   size_t sub_bitmap_rows = 0;
+
+  // --- configuration echo ---
+  /// Resolved hot-path kernel the scan ran with ("legacy", "scalar",
+  /// "simd"); empty for engines that do not run the merge kernels.
+  std::string kernel;
 
   // --- output ---
   size_t rules_from_hundred_phase = 0;

@@ -9,11 +9,24 @@
 //   * a configurable cost per candidate entry — 8 bytes in the general
 //     case (column id + miss counter), 4 bytes when the phase needs no
 //     miss counters (the 100%-rule simplification of §4.3).
+//
+// Storage is an arena of SoA blocks: each list is one contiguous
+// allocation holding `capacity` candidate ids followed by `capacity` miss
+// counters, carved out of large slabs by a bump pointer and recycled
+// through per-size-class free lists on Release. The SoA split keeps the
+// id array dense for the SIMD/galloping intersection kernels
+// (core/kernels.h), and the arena removes the per-list malloc/free churn
+// of the old vector-of-vectors layout. Accounting stays logical-size
+// based (capacity is never charged), so the reported byte curves are
+// independent of the physical layout.
 
 #ifndef DMC_CORE_MISS_COUNTER_TABLE_H_
 #define DMC_CORE_MISS_COUNTER_TABLE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "matrix/binary_matrix.h"
@@ -22,11 +35,96 @@
 
 namespace dmc {
 
-/// One candidate in a column's list: the partner column and the number of
-/// misses counted against it so far.
-struct CandidateEntry {
-  ColumnId cand;
-  uint32_t miss;
+/// Bump-pointer arena of SoA candidate blocks. Capacities are powers of
+/// two (min 8) so a freed block is exactly reusable for any list of its
+/// size class; blocks are never returned to the OS until the arena dies.
+class CandidateArena {
+ public:
+  /// One list's storage: `capacity` ids followed by `capacity` counters.
+  struct Block {
+    ColumnId* cand = nullptr;
+    uint32_t* miss = nullptr;
+    uint32_t capacity = 0;
+  };
+
+  CandidateArena() = default;
+  CandidateArena(const CandidateArena&) = delete;
+  CandidateArena& operator=(const CandidateArena&) = delete;
+
+  /// A block with capacity >= max(min_capacity, 8), recycled from the
+  /// free list of its size class when possible.
+  Block Allocate(size_t min_capacity) {
+    const uint32_t cls = ClassFor(min_capacity);
+    if (cls < free_.size() && !free_[cls].empty()) {
+      const Block b = free_[cls].back();
+      free_[cls].pop_back();
+      return b;
+    }
+    const size_t cap = kMinCapacity << cls;
+    Block b;
+    b.cand = reinterpret_cast<ColumnId*>(
+        Carve(cap * (sizeof(ColumnId) + sizeof(uint32_t))));
+    b.miss = reinterpret_cast<uint32_t*>(b.cand + cap);
+    b.capacity = static_cast<uint32_t>(cap);
+    return b;
+  }
+
+  /// Returns a block to its size-class free list. Null blocks are a no-op.
+  void Release(const Block& b) {
+    if (b.capacity == 0) return;
+    const uint32_t cls = ClassFor(b.capacity);
+    if (free_.size() <= cls) free_.resize(cls + 1);
+    free_[cls].push_back(b);
+  }
+
+  /// Physical slab bytes owned (diagnostics only — the table's accounted
+  /// bytes stay logical-size based).
+  size_t slab_bytes() const {
+    size_t total = 0;
+    for (const Slab& s : slabs_) total += s.size;
+    return total;
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 8;
+  static constexpr size_t kSlabBytes = size_t{1} << 18;  // 256 KiB
+  static constexpr size_t kBlockAlign = 32;              // one AVX2 lane
+
+  static uint32_t ClassFor(size_t capacity) {
+    uint32_t cls = 0;
+    size_t cap = kMinCapacity;
+    while (cap < capacity) {
+      cap <<= 1;
+      ++cls;
+    }
+    return cls;
+  }
+
+  std::byte* Carve(size_t bytes) {
+    if (slabs_.empty() || slabs_.back().used + bytes + kBlockAlign >
+                              slabs_.back().size) {
+      Slab s;
+      s.size = bytes + kBlockAlign > kSlabBytes ? bytes + kBlockAlign
+                                                : kSlabBytes;
+      s.data = std::make_unique<std::byte[]>(s.size);
+      slabs_.push_back(std::move(s));
+    }
+    Slab& s = slabs_.back();
+    const uintptr_t base = reinterpret_cast<uintptr_t>(s.data.get());
+    const uintptr_t aligned =
+        (base + s.used + kBlockAlign - 1) & ~uintptr_t{kBlockAlign - 1};
+    s.used = aligned - base + bytes;
+    return reinterpret_cast<std::byte*>(aligned);
+  }
+
+  struct Slab {
+    std::unique_ptr<std::byte[]> data;
+    size_t used = 0;
+    size_t size = 0;
+  };
+
+  std::vector<Slab> slabs_;
+  std::vector<std::vector<Block>> free_;  // indexed by size class
 };
 
 /// Per-column candidate lists, kept sorted by candidate id so the DMC scan
@@ -34,12 +132,30 @@ struct CandidateEntry {
 /// until created, matching the paper's cand(c) = NULL initial state.
 class MissCounterTable {
  public:
-  /// Accounted per live list (vector header + table bookkeeping).
+  /// Accounted per live list (header + table bookkeeping).
   static constexpr size_t kPerListOverheadBytes = 32;
   /// Entry cost with miss counters (id + counter).
   static constexpr size_t kEntryBytesWithCounters = 8;
   /// Entry cost for 100%-rule phases (id only, §4.3).
   static constexpr size_t kEntryBytesIdOnly = 4;
+
+  /// Read view of one list (SoA: parallel id / miss-counter arrays).
+  struct ListView {
+    const ColumnId* cand = nullptr;
+    const uint32_t* miss = nullptr;
+    size_t size = 0;
+
+    bool empty() const { return size == 0; }
+  };
+
+  /// Mutable view for the in-place merge kernels. Writes within
+  /// [0, capacity) are legal; commit a new logical size with SetSize().
+  struct MutableList {
+    ColumnId* cand = nullptr;
+    uint32_t* miss = nullptr;
+    size_t size = 0;
+    size_t capacity = 0;
+  };
 
   /// `tracker` must outlive the table; it accumulates this table's bytes
   /// (several tables in one mining run may share one tracker, so peaks
@@ -67,34 +183,73 @@ class MissCounterTable {
   }
 
   /// The list for `c`; valid only when HasList(c).
-  const std::vector<CandidateEntry>& List(ColumnId c) const {
-    return lists_[c];
-  }
-
-  /// Replaces the list for `c` with `entries` (swapped in; `entries` is
-  /// left with the old contents). Updates accounting by the size delta.
-  void Replace(ColumnId c, std::vector<CandidateEntry>& entries) {
+  ListView List(ColumnId c) const {
     DMC_CHECK(created_[c]);
-    const size_t old_size = lists_[c].size();
-    const size_t new_size = entries.size();
-    lists_[c].swap(entries);
-    total_entries_ += new_size;
-    total_entries_ -= old_size;
-    if (new_size > old_size) {
-      tracker_->Add((new_size - old_size) * bytes_per_entry_);
-    } else {
-      tracker_->Sub((old_size - new_size) * bytes_per_entry_);
-    }
+    const Header& h = lists_[c];
+    return ListView{h.block.cand, h.block.miss, h.size};
   }
 
-  /// Frees the list for `c` (back to NULL).
+  /// Mutable view of `c`'s list; valid only when HasList(c).
+  MutableList Mutable(ColumnId c) {
+    DMC_CHECK(created_[c]);
+    Header& h = lists_[c];
+    return MutableList{h.block.cand, h.block.miss, h.size, h.block.capacity};
+  }
+
+  /// Grows `c`'s physical capacity to at least `capacity` (existing
+  /// entries are moved to the new block) and returns the updated view.
+  /// Pointers from earlier views are invalidated when a move happens.
+  MutableList Reserve(ColumnId c, size_t capacity) {
+    DMC_CHECK(created_[c]);
+    Header& h = lists_[c];
+    if (capacity > h.block.capacity) {
+      const CandidateArena::Block nb = arena_.Allocate(capacity);
+      if (h.size > 0) {
+        std::memcpy(nb.cand, h.block.cand, h.size * sizeof(ColumnId));
+        std::memcpy(nb.miss, h.block.miss, h.size * sizeof(uint32_t));
+      }
+      arena_.Release(h.block);
+      h.block = nb;
+    }
+    return MutableList{h.block.cand, h.block.miss, h.size, h.block.capacity};
+  }
+
+  /// Commits a new logical size after in-place edits through Mutable() /
+  /// Reserve(). One net accounting adjustment, like the old Replace().
+  void SetSize(ColumnId c, size_t new_size) {
+    DMC_CHECK(created_[c]);
+    Header& h = lists_[c];
+    DMC_CHECK_LE(new_size, h.block.capacity);
+    ApplySizeDelta(&h, new_size);
+  }
+
+  /// Replaces `c`'s list with a copy of the given SoA arrays (`miss` may
+  /// be null only when `n` == 0). One net accounting adjustment.
+  void Assign(ColumnId c, const ColumnId* cand, const uint32_t* miss,
+              size_t n) {
+    DMC_CHECK(created_[c]);
+    Header& h = lists_[c];
+    if (n > h.block.capacity) {
+      arena_.Release(h.block);
+      h.block = arena_.Allocate(n);
+    }
+    if (n > 0) {
+      std::memcpy(h.block.cand, cand, n * sizeof(ColumnId));
+      std::memcpy(h.block.miss, miss, n * sizeof(uint32_t));
+    }
+    ApplySizeDelta(&h, n);
+  }
+
+  /// Frees the list for `c` (back to NULL); its block returns to the
+  /// arena's free list for reuse.
   void Release(ColumnId c) {
     DMC_CHECK(created_[c]);
-    tracker_->Sub(lists_[c].size() * bytes_per_entry_ +
-                  kPerListOverheadBytes);
-    total_entries_ -= lists_[c].size();
+    Header& h = lists_[c];
+    tracker_->Sub(h.size * bytes_per_entry_ + kPerListOverheadBytes);
+    total_entries_ -= h.size;
     --live_lists_;
-    std::vector<CandidateEntry>().swap(lists_[c]);
+    arena_.Release(h.block);
+    h = Header{};
     created_[c] = 0;
   }
 
@@ -112,6 +267,18 @@ class MissCounterTable {
   /// Live candidate entries across all lists.
   size_t total_entries() const { return total_entries_; }
 
+  /// Largest total_entries() ever observed, including transient intra-row
+  /// states (the ImplicationPassResult::peak_entries source of truth).
+  size_t peak_entries() const { return peak_entries_; }
+
+  /// Peak total_entries() since the last call (mirrors
+  /// MemoryTracker::TakeIntervalPeak for the candidate-count history).
+  size_t TakeEntriesIntervalPeak() {
+    const size_t peak = interval_peak_entries_;
+    interval_peak_entries_ = total_entries_;
+    return peak;
+  }
+
   /// Accounted bytes for this table alone. O(1).
   size_t bytes() const {
     return live_lists_ * kPerListOverheadBytes +
@@ -121,14 +288,41 @@ class MissCounterTable {
   /// Number of live (non-NULL) lists.
   size_t live_lists() const { return live_lists_; }
 
+  /// Physical arena bytes (diagnostics; never part of bytes()).
+  size_t arena_bytes() const { return arena_.slab_bytes(); }
+
   MemoryTracker* tracker() const { return tracker_; }
 
  private:
-  std::vector<std::vector<CandidateEntry>> lists_;
+  struct Header {
+    CandidateArena::Block block;
+    uint32_t size = 0;
+  };
+
+  void ApplySizeDelta(Header* h, size_t new_size) {
+    const size_t old_size = h->size;
+    h->size = static_cast<uint32_t>(new_size);
+    total_entries_ += new_size;
+    total_entries_ -= old_size;
+    if (new_size > old_size) {
+      tracker_->Add((new_size - old_size) * bytes_per_entry_);
+    } else {
+      tracker_->Sub((old_size - new_size) * bytes_per_entry_);
+    }
+    if (total_entries_ > peak_entries_) peak_entries_ = total_entries_;
+    if (total_entries_ > interval_peak_entries_) {
+      interval_peak_entries_ = total_entries_;
+    }
+  }
+
+  CandidateArena arena_;
+  std::vector<Header> lists_;
   std::vector<uint8_t> created_;
   size_t bytes_per_entry_;
   size_t total_entries_ = 0;
   size_t live_lists_ = 0;
+  size_t peak_entries_ = 0;
+  size_t interval_peak_entries_ = 0;
   MemoryTracker* tracker_;
 };
 

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <string>
-#include <unordered_map>
 
+#include "core/kernels.h"
 #include "observe/progress.h"
 #include "util/bitvector.h"
 #include "util/failpoint.h"
@@ -13,6 +13,7 @@ namespace dmc {
 
 StreamingImplicationPass::StreamingImplicationPass(Config config)
     : config_(std::move(config)),
+      kernel_(ResolveKernel(config_.policy.kernel)),
       table_(config_.num_columns, config_.bytes_per_entry, &tracker_),
       cnt_(config_.num_columns, 0) {
   DMC_CHECK_EQ(config_.ones.size(), config_.num_columns);
@@ -90,6 +91,9 @@ void StreamingImplicationPass::ProcessRow(std::span<const ColumnId> row) {
     return;
   }
 
+  if (kernel_ == MergeKernel::kSimd) {
+    scratch_.BeginRow(filtered, config_.num_columns);
+  }
   for (ColumnId cj : filtered) {
     if (static_cast<int64_t>(cnt_[cj]) <= config_.max_misses[cj]) {
       MergeWithAdd(cj, filtered);
@@ -108,58 +112,43 @@ void StreamingImplicationPass::ProcessRow(std::span<const ColumnId> row) {
 
 void StreamingImplicationPass::MergeWithAdd(ColumnId cj,
                                             std::span<const ColumnId> row) {
-  if (!table_.HasList(cj)) table_.Create(cj);
-  const auto& list = table_.List(cj);
-  scratch_.clear();
   const uint32_t base_miss = cnt_[cj];
   const int64_t budget = config_.max_misses[cj];
-  size_t i = 0, j = 0;
-  while (i < row.size() || j < list.size()) {
-    if (j >= list.size() || (i < row.size() && row[i] < list[j].cand)) {
-      const ColumnId ck = row[i++];
-      if (ck != cj && Qualifies(ck, cj)) {
-        scratch_.push_back({ck, base_miss});
-      }
-    } else if (i >= row.size() || list[j].cand < row[i]) {
-      CandidateEntry e = list[j++];
-      if (static_cast<int64_t>(e.miss) + 1 <= budget) {
-        ++e.miss;
-        scratch_.push_back(e);
-      }
-    } else {
-      scratch_.push_back(list[j]);
-      ++i;
-      ++j;
-    }
+  const auto accept_new = [this, cj](ColumnId ck) {
+    return Qualifies(ck, cj);
+  };
+  const auto keep_on_hit = [](ColumnId, uint32_t) { return true; };
+  const auto keep_on_miss = [budget](ColumnId, uint32_t new_miss) {
+    return static_cast<int64_t>(new_miss) <= budget;
+  };
+  if (kernel_ == MergeKernel::kLegacy) {
+    LegacyAddMerge(table_, cj, row, base_miss, scratch_, accept_new,
+                   keep_on_hit, keep_on_miss);
+  } else {
+    InPlaceAddMerge(table_, cj, row, base_miss, scratch_, kernel_,
+                    accept_new, keep_on_hit, keep_on_miss);
   }
-  table_.Replace(cj, scratch_);
 }
 
 void StreamingImplicationPass::MergeMissOnly(ColumnId cj,
                                              std::span<const ColumnId> row) {
-  const auto& list = table_.List(cj);
-  if (list.empty()) return;
-  scratch_.clear();
   const int64_t budget = config_.max_misses[cj];
-  size_t i = 0;
-  for (size_t j = 0; j < list.size(); ++j) {
-    while (i < row.size() && row[i] < list[j].cand) ++i;
-    if (i < row.size() && row[i] == list[j].cand) {
-      scratch_.push_back(list[j]);
-    } else {
-      CandidateEntry e = list[j];
-      if (static_cast<int64_t>(e.miss) + 1 <= budget) {
-        ++e.miss;
-        scratch_.push_back(e);
-      }
-    }
+  const auto keep_on_hit = [](ColumnId, uint32_t) { return true; };
+  const auto keep_on_miss = [budget](ColumnId, uint32_t new_miss) {
+    return static_cast<int64_t>(new_miss) <= budget;
+  };
+  if (kernel_ == MergeKernel::kLegacy) {
+    LegacyMissMerge(table_, cj, row, scratch_, keep_on_hit, keep_on_miss);
+  } else {
+    InPlaceMissMerge(table_, cj, row, scratch_, kernel_, keep_on_hit,
+                     keep_on_miss);
   }
-  table_.Replace(cj, scratch_);
 }
 
 void StreamingImplicationPass::FlushColumn(ColumnId cj) {
-  for (const CandidateEntry& e : table_.List(cj)) {
-    EmitRule(cj, e.cand, e.miss);
+  const auto list = table_.List(cj);
+  for (size_t j = 0; j < list.size; ++j) {
+    EmitRule(cj, list.cand[j], list.miss[j]);
   }
   table_.Release(cj);
 }
@@ -189,42 +178,61 @@ void StreamingImplicationPass::RunBitmapPhases() {
     if (!table_.HasList(c)) continue;
     if (static_cast<int64_t>(cnt_[c]) <= config_.max_misses[c]) continue;
     const BitVector* bj = bm_index[c] >= 0 ? &bitmaps[bm_index[c]] : nullptr;
-    for (const CandidateEntry& e : table_.List(c)) {
+    const auto list = table_.List(c);
+    for (size_t e = 0; e < list.size; ++e) {
       size_t extra = 0;
       if (bj != nullptr) {
-        extra = bm_index[e.cand] >= 0
-                    ? bj->AndNotCount(bitmaps[bm_index[e.cand]])
+        extra = bm_index[list.cand[e]] >= 0
+                    ? bj->AndNotCount(bitmaps[bm_index[list.cand[e]]])
                     : bj->Count();
       }
-      const int64_t total = static_cast<int64_t>(e.miss) + extra;
+      const int64_t total = static_cast<int64_t>(list.miss[e]) + extra;
       if (total <= config_.max_misses[c]) {
-        EmitRule(c, e.cand, static_cast<uint32_t>(total));
+        EmitRule(c, list.cand[e], static_cast<uint32_t>(total));
       }
     }
     table_.Release(c);
   }
 
-  // Phase 2: columns that may still gain candidates.
-  std::unordered_map<ColumnId, uint32_t> hits;
+  // Phase 2: columns that may still gain candidates. Dense per-column
+  // hit counts with a touched list for O(touched) reset (the batch
+  // engine's layout; see dmc_base.cc).
+  std::vector<uint32_t> hits(config_.num_columns, 0);
+  std::vector<uint8_t> seen(config_.num_columns, 0);
+  std::vector<ColumnId> touched;
+  const auto touch = [&](ColumnId ck) {
+    if (!seen[ck]) {
+      seen[ck] = 1;
+      touched.push_back(ck);
+    }
+  };
   for (ColumnId c = 0; c < config_.num_columns; ++c) {
     if (!ActiveOk(c) || config_.ones[c] == 0) continue;
     if (static_cast<int64_t>(cnt_[c]) > config_.max_misses[c]) continue;
-    hits.clear();
+    touched.clear();
     if (table_.HasList(c)) {
-      for (const CandidateEntry& e : table_.List(c)) {
-        hits[e.cand] = cnt_[c] - e.miss;
+      const auto list = table_.List(c);
+      for (size_t e = 0; e < list.size; ++e) {
+        touch(list.cand[e]);
+        hits[list.cand[e]] = cnt_[c] - list.miss[e];
       }
     }
     if (bm_index[c] >= 0) {
       for (uint32_t t : bitmaps[bm_index[c]].ToIndices()) {
         for (ColumnId ck : tail_[t]) {
-          if (ck != c) ++hits[ck];
+          if (ck != c) {
+            touch(ck);
+            ++hits[ck];
+          }
         }
       }
     }
     const int64_t min_hits =
         static_cast<int64_t>(config_.ones[c]) - config_.max_misses[c];
-    for (const auto& [ck, h] : hits) {
+    for (ColumnId ck : touched) {
+      const uint32_t h = hits[ck];
+      seen[ck] = 0;
+      hits[ck] = 0;
       if (!Qualifies(ck, c)) continue;
       if (static_cast<int64_t>(h) >= min_hits) {
         EmitRule(c, ck, config_.ones[c] - h);

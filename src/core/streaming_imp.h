@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/dmc_options.h"
+#include "core/kernels.h"
 #include "core/mining_stats.h"
 #include "core/miss_counter_table.h"
 #include "core/thresholds.h"
@@ -103,6 +104,7 @@ class StreamingImplicationPass {
 
   Config config_;
   bool all_active_ = true;
+  MergeKernel kernel_;
   MemoryTracker tracker_;
   MissCounterTable table_;
   std::vector<uint32_t> cnt_;
@@ -114,7 +116,7 @@ class StreamingImplicationPass {
   std::vector<std::vector<ColumnId>> tail_;
   ImplicationRuleSet out_;
   std::vector<ColumnId> scratch_row_;
-  std::vector<CandidateEntry> scratch_;
+  MergeScratch scratch_;
 };
 
 /// Convenience driver: streams the full DMC-imp pipeline (100% phase +

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <string>
-#include <unordered_map>
+#include <utility>
 
+#include "core/kernels.h"
 #include "observe/progress.h"
 #include "util/bitvector.h"
 #include "util/failpoint.h"
@@ -13,6 +14,9 @@ namespace dmc {
 
 StreamingSimilarityPass::StreamingSimilarityPass(Config config)
     : config_(std::move(config)),
+      one_plus_s_(1.0 + config_.min_similarity),
+      budget_eps_((1.0 + config_.min_similarity) * kThresholdEpsilon),
+      kernel_(ResolveKernel(config_.policy.kernel)),
       table_(config_.num_columns, config_.bytes_per_entry, &tracker_),
       cnt_(config_.num_columns, 0) {
   DMC_CHECK_EQ(config_.ones.size(), config_.num_columns);
@@ -23,9 +27,12 @@ StreamingSimilarityPass::StreamingSimilarityPass(Config config)
       std::all_of(config_.active.begin(), config_.active.end(),
                   [](uint8_t a) { return a != 0; });
   col_budget_.resize(config_.num_columns);
+  s_ones_.resize(config_.num_columns);
   for (ColumnId c = 0; c < config_.num_columns; ++c) {
     col_budget_[c] =
         ColumnMaxMissesForSimilarity(config_.ones[c], config_.min_similarity);
+    s_ones_[c] =
+        config_.min_similarity * static_cast<double>(config_.ones[c]);
   }
 }
 
@@ -40,14 +47,31 @@ int64_t StreamingSimilarityPass::PairBudget(ColumnId ci,
                                 config_.min_similarity);
 }
 
+// mis <= MaxMissesForSimilarity(a, ones(ck), s) in multiply form:
+//   mis <= (a - s*b)/(1+s) + eps  <=>  (1+s)*mis <= a - s*b + (1+s)*eps,
+// with s*b = s_ones_[ck] precomputed per pass. Hoists the per-entry
+// floating divide (and floor) out of the merge predicates; the
+// kThresholdEpsilon guard band (thresholds.h) is orders of magnitude
+// wider than the rounding difference between the forms, so they decide
+// identically.
+bool StreamingSimilarityPass::WithinPairBudget(uint32_t a, ColumnId ck,
+                                               int64_t mis) const {
+  return one_plus_s_ * static_cast<double>(mis) <=
+         static_cast<double>(a) - s_ones_[ck] + budget_eps_;
+}
+
 bool StreamingSimilarityPass::SurvivesMaxHitsOnHit(ColumnId cj, ColumnId ck,
                                                    uint32_t miss) const {
   const int64_t rem_j = static_cast<int64_t>(config_.ones[cj]) - cnt_[cj];
   const int64_t rem_k = static_cast<int64_t>(config_.ones[ck]) - cnt_[ck];
   const int64_t hits_so_far = static_cast<int64_t>(cnt_[cj]) - miss;
-  return hits_so_far + std::min(rem_j, rem_k) >=
-         MinHitsForSimilarity(config_.ones[cj], config_.ones[ck],
-                              config_.min_similarity);
+  const int64_t best_hits = hits_so_far + std::min(rem_j, rem_k);
+  // best_hits >= MinHitsForSimilarity(a, b, s) <=> a - best_hits is
+  // within the pair budget. Since best_hits <= a - miss, the floor
+  // a - best_hits is >= miss, so this single test also subsumes the
+  // plain pair-budget test of the current miss count.
+  return WithinPairBudget(config_.ones[cj], ck,
+                          static_cast<int64_t>(config_.ones[cj]) - best_hits);
 }
 
 bool StreamingSimilarityPass::SurvivesMaxHitsOnMiss(
@@ -57,9 +81,11 @@ bool StreamingSimilarityPass::SurvivesMaxHitsOnMiss(
   const int64_t rem_k = static_cast<int64_t>(config_.ones[ck]) - cnt_[ck];
   const int64_t hits_so_far = static_cast<int64_t>(cnt_[cj]) -
                               (static_cast<int64_t>(new_miss) - 1);
-  return hits_so_far + std::min(rem_j, rem_k) >=
-         MinHitsForSimilarity(config_.ones[cj], config_.ones[ck],
-                              config_.min_similarity);
+  const int64_t best_hits = hits_so_far + std::min(rem_j, rem_k);
+  // The floor a - best_hits is >= new_miss here (rem_j excludes the
+  // current row), so this subsumes the pair-budget test of new_miss.
+  return WithinPairBudget(config_.ones[cj], ck,
+                          static_cast<int64_t>(config_.ones[cj]) - best_hits);
 }
 
 std::span<const ColumnId> StreamingSimilarityPass::FilteredRow(
@@ -124,6 +150,9 @@ void StreamingSimilarityPass::ProcessRow(std::span<const ColumnId> row) {
     return;
   }
 
+  if (kernel_ == MergeKernel::kSimd) {
+    scratch_.BeginRow(filtered, config_.num_columns);
+  }
   for (ColumnId cj : filtered) {
     if (static_cast<int64_t>(cnt_[cj]) <= col_budget_[cj]) {
       MergeWithAdd(cj, filtered);
@@ -142,79 +171,63 @@ void StreamingSimilarityPass::ProcessRow(std::span<const ColumnId> row) {
 
 void StreamingSimilarityPass::MergeWithAdd(ColumnId cj,
                                            std::span<const ColumnId> row) {
-  if (!table_.HasList(cj)) table_.Create(cj);
-  const auto& list = table_.List(cj);
-  scratch_.clear();
   const uint32_t base_miss = cnt_[cj];
-  size_t i = 0, j = 0;
-  while (i < row.size() || j < list.size()) {
-    if (j >= list.size() || (i < row.size() && row[i] < list[j].cand)) {
-      const ColumnId ck = row[i++];
-      if (ck == cj || !Qualifies(ck, cj)) continue;
-      if (config_.policy.column_density_pruning) {
-        const int64_t budget = PairBudget(cj, ck);
-        if (budget < 0 || static_cast<int64_t>(base_miss) > budget) {
-          continue;
-        }
-      }
-      if (config_.policy.max_hits_pruning &&
-          !SurvivesMaxHitsOnHit(cj, ck, base_miss)) {
-        continue;
-      }
-      scratch_.push_back({ck, base_miss});
-    } else if (i >= row.size() || list[j].cand < row[i]) {
-      CandidateEntry e = list[j++];
-      ++e.miss;
-      if (static_cast<int64_t>(e.miss) > PairBudget(cj, e.cand)) continue;
-      if (config_.policy.max_hits_pruning &&
-          !SurvivesMaxHitsOnMiss(cj, e.cand, e.miss)) {
-        continue;
-      }
-      scratch_.push_back(e);
-    } else {
-      const CandidateEntry e = list[j];
-      ++i;
-      ++j;
-      if (config_.policy.max_hits_pruning &&
-          !SurvivesMaxHitsOnHit(cj, e.cand, e.miss)) {
-        continue;
-      }
-      scratch_.push_back(e);
+  const auto accept_new = [this, cj, base_miss](ColumnId ck) {
+    if (!Qualifies(ck, cj)) return false;
+    // The max-hits test subsumes the density test (its miss floor is
+    // >= base_miss), so each branch is a single budget comparison.
+    if (config_.policy.max_hits_pruning) {
+      return SurvivesMaxHitsOnHit(cj, ck, base_miss);
     }
+    return !config_.policy.column_density_pruning ||
+           WithinPairBudget(config_.ones[cj], ck, base_miss);
+  };
+  const auto keep_on_hit = [this, cj](ColumnId ck, uint32_t miss) {
+    return !config_.policy.max_hits_pruning ||
+           SurvivesMaxHitsOnHit(cj, ck, miss);
+  };
+  const auto keep_on_miss = [this, cj](ColumnId ck, uint32_t new_miss) {
+    if (config_.policy.max_hits_pruning) {
+      return SurvivesMaxHitsOnMiss(cj, ck, new_miss);
+    }
+    return WithinPairBudget(config_.ones[cj], ck, new_miss);
+  };
+  if (kernel_ == MergeKernel::kLegacy) {
+    LegacyAddMerge(table_, cj, row, base_miss, scratch_, accept_new,
+                   keep_on_hit, keep_on_miss);
+  } else {
+    InPlaceAddMerge(table_, cj, row, base_miss, scratch_, kernel_,
+                    accept_new, keep_on_hit, keep_on_miss);
   }
-  table_.Replace(cj, scratch_);
 }
 
 void StreamingSimilarityPass::MergeMissOnly(ColumnId cj,
                                             std::span<const ColumnId> row) {
-  const auto& list = table_.List(cj);
-  if (list.empty()) return;
-  scratch_.clear();
-  size_t i = 0;
-  for (size_t j = 0; j < list.size(); ++j) {
-    while (i < row.size() && row[i] < list[j].cand) ++i;
-    CandidateEntry e = list[j];
-    const bool hit = i < row.size() && row[i] == e.cand;
-    if (!hit) {
-      ++e.miss;
-      if (static_cast<int64_t>(e.miss) > PairBudget(cj, e.cand)) continue;
-      if (config_.policy.max_hits_pruning &&
-          !SurvivesMaxHitsOnMiss(cj, e.cand, e.miss)) {
-        continue;
-      }
-    } else if (config_.policy.max_hits_pruning &&
-               !SurvivesMaxHitsOnHit(cj, e.cand, e.miss)) {
-      continue;
+  const auto keep_on_hit = [this, cj](ColumnId ck, uint32_t miss) {
+    return !config_.policy.max_hits_pruning ||
+           SurvivesMaxHitsOnHit(cj, ck, miss);
+  };
+  const auto keep_on_miss = [this, cj](ColumnId ck, uint32_t new_miss) {
+    if (config_.policy.max_hits_pruning) {
+      return SurvivesMaxHitsOnMiss(cj, ck, new_miss);
     }
-    scratch_.push_back(e);
+    return WithinPairBudget(config_.ones[cj], ck, new_miss);
+  };
+  if (kernel_ == MergeKernel::kLegacy) {
+    LegacyMissMerge(table_, cj, row, scratch_, keep_on_hit, keep_on_miss);
+  } else {
+    InPlaceMissMerge(table_, cj, row, scratch_, kernel_, keep_on_hit,
+                     keep_on_miss);
   }
-  table_.Replace(cj, scratch_);
 }
 
 void StreamingSimilarityPass::FlushColumn(ColumnId cj) {
-  for (const CandidateEntry& e : table_.List(cj)) {
-    if (static_cast<int64_t>(e.miss) > PairBudget(cj, e.cand)) continue;
-    EmitPair(cj, e.cand, config_.ones[cj] - e.miss);
+  const auto list = table_.List(cj);
+  for (size_t j = 0; j < list.size; ++j) {
+    if (static_cast<int64_t>(list.miss[j]) > PairBudget(cj, list.cand[j])) {
+      continue;
+    }
+    EmitPair(cj, list.cand[j], config_.ones[cj] - list.miss[j]);
   }
   table_.Release(cj);
 }
@@ -246,16 +259,17 @@ void StreamingSimilarityPass::RunBitmapPhases() {
     if (!table_.HasList(c)) continue;
     if (static_cast<int64_t>(cnt_[c]) <= col_budget_[c]) continue;
     const BitVector* bj = bm_index[c] >= 0 ? &bitmaps[bm_index[c]] : nullptr;
-    for (const CandidateEntry& e : table_.List(c)) {
+    const auto list = table_.List(c);
+    for (size_t e = 0; e < list.size; ++e) {
       size_t extra = 0;
       if (bj != nullptr) {
-        extra = bm_index[e.cand] >= 0
-                    ? bj->AndNotCount(bitmaps[bm_index[e.cand]])
+        extra = bm_index[list.cand[e]] >= 0
+                    ? bj->AndNotCount(bitmaps[bm_index[list.cand[e]]])
                     : bj->Count();
       }
-      const int64_t total = static_cast<int64_t>(e.miss) + extra;
-      if (total <= PairBudget(c, e.cand)) {
-        EmitPair(c, e.cand,
+      const int64_t total = static_cast<int64_t>(list.miss[e]) + extra;
+      if (total <= PairBudget(c, list.cand[e])) {
+        EmitPair(c, list.cand[e],
                  config_.ones[c] - static_cast<uint32_t>(total));
       }
     }
@@ -263,45 +277,72 @@ void StreamingSimilarityPass::RunBitmapPhases() {
   }
 
   if (config_.min_similarity == 1.0) {
-    // Identical-column fast path (Algorithm 5.1 step 2).
-    std::unordered_map<uint64_t, std::vector<ColumnId>> by_hash;
+    // Identical-column fast path (Algorithm 5.1 step 2); sort-based
+    // grouping of (hash, column) pairs, as in the batch engine.
+    std::vector<std::pair<uint64_t, ColumnId>> hashed;
     for (ColumnId c = 0; c < config_.num_columns; ++c) {
       if (!ActiveOk(c) || config_.ones[c] == 0) continue;
       if (static_cast<int64_t>(cnt_[c]) > col_budget_[c]) continue;
       if (table_.HasList(c)) table_.Release(c);
       if (cnt_[c] != 0 || bm_index[c] < 0) continue;
-      by_hash[bitmaps[bm_index[c]].Hash()].push_back(c);
+      hashed.emplace_back(bitmaps[bm_index[c]].Hash(), c);
     }
-    for (const auto& [hash, cols] : by_hash) {
-      for (size_t i = 0; i < cols.size(); ++i) {
-        for (size_t j = i + 1; j < cols.size(); ++j) {
-          if (bitmaps[bm_index[cols[i]]] == bitmaps[bm_index[cols[j]]]) {
-            EmitPair(cols[i], cols[j], config_.ones[cols[i]]);
+    std::sort(hashed.begin(), hashed.end());
+    for (size_t lo = 0; lo < hashed.size();) {
+      size_t hi = lo + 1;
+      while (hi < hashed.size() && hashed[hi].first == hashed[lo].first) {
+        ++hi;
+      }
+      for (size_t i = lo; i < hi; ++i) {
+        for (size_t j = i + 1; j < hi; ++j) {
+          const ColumnId ci = hashed[i].second;
+          const ColumnId cj = hashed[j].second;
+          if (bitmaps[bm_index[ci]] == bitmaps[bm_index[cj]]) {
+            EmitPair(ci, cj, config_.ones[ci]);
           }
         }
       }
+      lo = hi;
     }
     return;
   }
 
-  std::unordered_map<ColumnId, uint32_t> hits;
+  // Dense per-column hit counts with a touched list for O(touched)
+  // reset (the batch engine's layout; see dmc_base.cc).
+  std::vector<uint32_t> hits(config_.num_columns, 0);
+  std::vector<uint8_t> seen(config_.num_columns, 0);
+  std::vector<ColumnId> touched;
+  const auto touch = [&](ColumnId ck) {
+    if (!seen[ck]) {
+      seen[ck] = 1;
+      touched.push_back(ck);
+    }
+  };
   for (ColumnId c = 0; c < config_.num_columns; ++c) {
     if (!ActiveOk(c) || config_.ones[c] == 0) continue;
     if (static_cast<int64_t>(cnt_[c]) > col_budget_[c]) continue;
-    hits.clear();
+    touched.clear();
     if (table_.HasList(c)) {
-      for (const CandidateEntry& e : table_.List(c)) {
-        hits[e.cand] = cnt_[c] - e.miss;
+      const auto list = table_.List(c);
+      for (size_t e = 0; e < list.size; ++e) {
+        touch(list.cand[e]);
+        hits[list.cand[e]] = cnt_[c] - list.miss[e];
       }
     }
     if (bm_index[c] >= 0) {
       for (uint32_t t : bitmaps[bm_index[c]].ToIndices()) {
         for (ColumnId ck : tail_[t]) {
-          if (ck != c) ++hits[ck];
+          if (ck != c) {
+            touch(ck);
+            ++hits[ck];
+          }
         }
       }
     }
-    for (const auto& [ck, h] : hits) {
+    for (ColumnId ck : touched) {
+      const uint32_t h = hits[ck];
+      seen[ck] = 0;
+      hits[ck] = 0;
       if (!Qualifies(ck, c)) continue;
       if (static_cast<int64_t>(h) >=
           MinHitsForSimilarity(config_.ones[c], config_.ones[ck],

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/dmc_options.h"
+#include "core/kernels.h"
 #include "core/miss_counter_table.h"
 #include "core/thresholds.h"
 #include "matrix/binary_matrix.h"
@@ -64,6 +65,7 @@ class StreamingSimilarityPass {
   }
   bool Qualifies(ColumnId ck, ColumnId cj) const;
   int64_t PairBudget(ColumnId ci, ColumnId ck) const;
+  bool WithinPairBudget(uint32_t a, ColumnId ck, int64_t mis) const;
   bool SurvivesMaxHitsOnHit(ColumnId cj, ColumnId ck, uint32_t miss) const;
   bool SurvivesMaxHitsOnMiss(ColumnId cj, ColumnId ck,
                              uint32_t new_miss) const;
@@ -76,10 +78,14 @@ class StreamingSimilarityPass {
 
   Config config_;
   bool all_active_ = true;
+  double one_plus_s_ = 2.0;
+  double budget_eps_ = 0.0;
+  MergeKernel kernel_;
   MemoryTracker tracker_;
   MissCounterTable table_;
   std::vector<uint32_t> cnt_;
   std::vector<int64_t> col_budget_;
+  std::vector<double> s_ones_;  // min_similarity * ones[c]
   uint64_t rows_seen_ = 0;
   bool bitmap_mode_ = false;
   bool finished_ = false;
@@ -88,7 +94,7 @@ class StreamingSimilarityPass {
   std::vector<std::vector<ColumnId>> tail_;
   SimilarityRuleSet out_;
   std::vector<ColumnId> scratch_row_;
-  std::vector<CandidateEntry> scratch_;
+  MergeScratch scratch_;
 };
 
 /// Streams the full DMC-sim pipeline (identical phase + cutoff +

@@ -41,6 +41,10 @@ void WriteJson(JsonWriter& w, const MiningStats& stats) {
   w.Value(stats.rules_from_sub_phase);
   w.Key("columns_cut_off");
   w.Value(stats.columns_cut_off);
+  if (!stats.kernel.empty()) {
+    w.Key("kernel");
+    w.Value(stats.kernel);
+  }
   if (!stats.memory_history.empty()) {
     w.Key("memory_history");
     w.BeginArray();

@@ -21,11 +21,19 @@ TEST(EdgeDeathTest, TableCreateTwiceAborts) {
   EXPECT_DEATH(t.Create(0), "Check failed");
 }
 
-TEST(EdgeDeathTest, TableReplaceWithoutCreateAborts) {
+TEST(EdgeDeathTest, TableAssignWithoutCreateAborts) {
   MemoryTracker tracker;
   MissCounterTable t(4, 8, &tracker);
-  std::vector<CandidateEntry> e{{1, 0}};
-  EXPECT_DEATH(t.Replace(0, e), "Check failed");
+  const ColumnId cand[] = {1};
+  const uint32_t miss[] = {0};
+  EXPECT_DEATH(t.Assign(0, cand, miss, 1), "Check failed");
+}
+
+TEST(EdgeDeathTest, TableSetSizeBeyondCapacityAborts) {
+  MemoryTracker tracker;
+  MissCounterTable t(4, 8, &tracker);
+  t.Create(0);
+  EXPECT_DEATH(t.SetSize(0, 1), "Check failed");  // capacity still 0
 }
 
 TEST(EdgeDeathTest, TableReleaseWithoutCreateAborts) {

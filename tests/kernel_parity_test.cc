@@ -1,0 +1,187 @@
+// Differential parity: every MergeKernel choice must produce the same
+// rules AND the same byte-level accounting. The in-place/SIMD kernels are
+// pure layout/speed changes — any divergence from kLegacy in rule sets,
+// peak_counter_bytes, peak_candidates, or the per-row history curves is a
+// bug, and this harness is the tripwire.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/kernels.h"
+#include "matrix/binary_matrix.h"
+#include "util/random.h"
+
+namespace dmc {
+namespace {
+
+BinaryMatrix RandomMatrix(uint64_t seed, uint32_t rows, uint32_t cols,
+                          double density) {
+  Rng rng(seed);
+  MatrixBuilder b(cols);
+  std::vector<ColumnId> row;
+  for (uint32_t r = 0; r < rows; ++r) {
+    row.clear();
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (rng.Bernoulli(density)) row.push_back(c);
+    }
+    b.AddRow(row);
+  }
+  return b.Build();
+}
+
+const MergeKernel kAllKernels[] = {MergeKernel::kLegacy, MergeKernel::kScalar,
+                                   MergeKernel::kSimd, MergeKernel::kAuto};
+
+struct ImpRun {
+  ImplicationRuleSet rules;
+  MiningStats stats;
+};
+
+ImpRun RunImp(const BinaryMatrix& m, MergeKernel kernel, RowOrderPolicy order,
+              double conf, const DmcPolicy* base = nullptr) {
+  ImplicationMiningOptions o;
+  if (base != nullptr) o.policy = *base;
+  o.min_confidence = conf;
+  o.policy.kernel = kernel;
+  o.policy.row_order = order;
+  o.policy.record_history = true;
+  ImpRun run;
+  auto rules = MineImplications(m, o, &run.stats);
+  EXPECT_TRUE(rules.ok());
+  if (rules.ok()) run.rules = std::move(*rules);
+  run.rules.Canonicalize();
+  return run;
+}
+
+struct SimRun {
+  SimilarityRuleSet pairs;
+  MiningStats stats;
+};
+
+SimRun RunSim(const BinaryMatrix& m, MergeKernel kernel, RowOrderPolicy order,
+              double sim, const DmcPolicy* base = nullptr) {
+  SimilarityMiningOptions o;
+  if (base != nullptr) o.policy = *base;
+  o.min_similarity = sim;
+  o.policy.kernel = kernel;
+  o.policy.row_order = order;
+  o.policy.record_history = true;
+  SimRun run;
+  auto pairs = MineSimilarities(m, o, &run.stats);
+  EXPECT_TRUE(pairs.ok());
+  if (pairs.ok()) run.pairs = std::move(*pairs);
+  run.pairs.Canonicalize();
+  return run;
+}
+
+// Rules, accounting peaks, AND per-row history must all match. Exact
+// struct equality on rules also compares the underlying counts.
+void ExpectStatsEqual(const MiningStats& want, const MiningStats& got,
+                      const char* label) {
+  EXPECT_EQ(want.peak_counter_bytes, got.peak_counter_bytes) << label;
+  EXPECT_EQ(want.peak_candidates, got.peak_candidates) << label;
+  EXPECT_EQ(want.memory_history, got.memory_history) << label;
+  EXPECT_EQ(want.candidate_history, got.candidate_history) << label;
+  EXPECT_EQ(want.hundred_bitmap_triggered, got.hundred_bitmap_triggered)
+      << label;
+  EXPECT_EQ(want.sub_bitmap_triggered, got.sub_bitmap_triggered) << label;
+  EXPECT_EQ(want.sub_bitmap_rows, got.sub_bitmap_rows) << label;
+}
+
+TEST(KernelParityTest, ImplicationsAcrossSeedsDensitiesAndOrders) {
+  for (const uint64_t seed : {1u, 2u}) {
+    for (const double density : {0.05, 0.30}) {
+      const BinaryMatrix m = RandomMatrix(seed, 300, 60, density);
+      for (const RowOrderPolicy order :
+           {RowOrderPolicy::kIdentity, RowOrderPolicy::kDensityBuckets}) {
+        const ImpRun ref =
+            RunImp(m, MergeKernel::kLegacy, order, /*conf=*/0.7);
+        for (const MergeKernel k : kAllKernels) {
+          const ImpRun got = RunImp(m, k, order, /*conf=*/0.7);
+          EXPECT_EQ(ref.rules.rules(), got.rules.rules())
+              << "kernel=" << KernelName(k) << " seed=" << seed
+              << " density=" << density;
+          ExpectStatsEqual(ref.stats, got.stats, KernelName(k));
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, SimilaritiesAcrossSeedsDensitiesAndOrders) {
+  for (const uint64_t seed : {3u, 4u}) {
+    for (const double density : {0.05, 0.30}) {
+      const BinaryMatrix m = RandomMatrix(seed, 300, 60, density);
+      for (const RowOrderPolicy order :
+           {RowOrderPolicy::kIdentity, RowOrderPolicy::kDensityBuckets}) {
+        const SimRun ref =
+            RunSim(m, MergeKernel::kLegacy, order, /*sim=*/0.4);
+        for (const MergeKernel k : kAllKernels) {
+          const SimRun got = RunSim(m, k, order, /*sim=*/0.4);
+          EXPECT_EQ(ref.pairs.pairs(), got.pairs.pairs())
+              << "kernel=" << KernelName(k) << " seed=" << seed
+              << " density=" << density;
+          ExpectStatsEqual(ref.stats, got.stats, KernelName(k));
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, ImplicationsWithForcedBitmapSwitch) {
+  // Force the DMC-bitmap fallback (§4.2): threshold 0 makes the switch
+  // fire as soon as few enough rows remain, exercising the
+  // kernel-independent tail path plus the FlushColumn boundary.
+  DmcPolicy base;
+  base.memory_threshold_bytes = 0;
+  base.bitmap_max_remaining_rows = 128;
+  const BinaryMatrix m = RandomMatrix(9, 200, 40, 0.25);
+  const ImpRun ref = RunImp(m, MergeKernel::kLegacy,
+                            RowOrderPolicy::kDensityBuckets, 0.7, &base);
+  EXPECT_TRUE(ref.stats.sub_bitmap_triggered);
+  for (const MergeKernel k : kAllKernels) {
+    const ImpRun got =
+        RunImp(m, k, RowOrderPolicy::kDensityBuckets, 0.7, &base);
+    EXPECT_EQ(ref.rules.rules(), got.rules.rules()) << KernelName(k);
+    ExpectStatsEqual(ref.stats, got.stats, KernelName(k));
+  }
+}
+
+TEST(KernelParityTest, SimilaritiesWithForcedBitmapSwitch) {
+  DmcPolicy base;
+  base.memory_threshold_bytes = 0;
+  base.bitmap_max_remaining_rows = 128;
+  const BinaryMatrix m = RandomMatrix(10, 200, 40, 0.25);
+  const SimRun ref = RunSim(m, MergeKernel::kLegacy,
+                            RowOrderPolicy::kDensityBuckets, 0.4, &base);
+  for (const MergeKernel k : kAllKernels) {
+    const SimRun got =
+        RunSim(m, k, RowOrderPolicy::kDensityBuckets, 0.4, &base);
+    EXPECT_EQ(ref.pairs.pairs(), got.pairs.pairs()) << KernelName(k);
+    ExpectStatsEqual(ref.stats, got.stats, KernelName(k));
+  }
+}
+
+TEST(KernelParityTest, ResolveKernelNeverReturnsAutoOrUnsupported) {
+  for (const MergeKernel k : kAllKernels) {
+    const MergeKernel r = ResolveKernel(k);
+    EXPECT_NE(r, MergeKernel::kAuto);
+    if (r == MergeKernel::kSimd) {
+      EXPECT_TRUE(SimdKernelAvailable());
+    }
+  }
+  EXPECT_EQ(ResolveKernel(MergeKernel::kLegacy), MergeKernel::kLegacy);
+  EXPECT_EQ(ResolveKernel(MergeKernel::kScalar), MergeKernel::kScalar);
+}
+
+TEST(KernelParityTest, KernelNameIsStable) {
+  EXPECT_STREQ(KernelName(MergeKernel::kAuto), "auto");
+  EXPECT_STREQ(KernelName(MergeKernel::kLegacy), "legacy");
+  EXPECT_STREQ(KernelName(MergeKernel::kScalar), "scalar");
+  EXPECT_STREQ(KernelName(MergeKernel::kSimd), "simd");
+}
+
+}  // namespace
+}  // namespace dmc

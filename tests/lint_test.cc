@@ -128,6 +128,16 @@ TEST(LintFixtureTest, BannedRawUnlinkFiresExactlyOnce) {
   EXPECT_NE(findings[0].message.find("atomic_io"), std::string::npos);
 }
 
+TEST(LintFixtureTest, BannedHotPathMapFiresExactlyOnce) {
+  const auto findings =
+      LintFile("core/dmc_sim_pass.cc",
+               ReadFile(FixturePath("core/dmc_sim_pass.cc")), {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-hot-path-map");
+  EXPECT_EQ(findings[0].line, 12);
+  EXPECT_NE(findings[0].message.find("dense vectors"), std::string::npos);
+}
+
 TEST(LintFixtureTest, CleanFilesPass) {
   EXPECT_TRUE(
       LintFile("clean.h", ReadFile(FixturePath("clean.h")), {}).empty());
@@ -143,7 +153,8 @@ TEST(LintFixtureTest, TreeWalkFindsOnePerViolatingFixture) {
   EXPECT_EQ(CountRule(findings, "banned-stdio"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-file-stream"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-raw-unlink"), 1u);
-  EXPECT_EQ(findings.size(), 6u);
+  EXPECT_EQ(CountRule(findings, "banned-hot-path-map"), 1u);
+  EXPECT_EQ(findings.size(), 7u);
 }
 
 // --- rule details on inline content ---
@@ -225,6 +236,33 @@ TEST(LintRuleTest, AtomicIoHelperMayUseRawFileOps) {
 TEST(LintRuleTest, QualifiedNonStdRandIsAllowed) {
   EXPECT_TRUE(LintFile("x.cc", "int v = Legacy::rand();\n", {}).empty());
   EXPECT_EQ(LintFile("x.cc", "int v = std::rand();\n", {}).size(), 1u);
+}
+
+TEST(LintRuleTest, HotPathMapIsPathConditional) {
+  const std::string body =
+      "#include <map>\nvoid F(){ std::map<int, int> m; (void)m; }\n";
+  EXPECT_EQ(LintFile("src/core/dmc_base.cc", body, {}).size(), 1u);
+  EXPECT_EQ(LintFile("src/core/kernels.cc", body, {}).size(), 1u);
+  // Everywhere else node-based containers stay legal.
+  EXPECT_TRUE(LintFile("src/core/dmc_imp.cc", body, {}).empty());
+  EXPECT_TRUE(LintFile("src/observe/metrics.cc", body, {}).empty());
+}
+
+TEST(LintRuleTest, HotPathMapRequiresStdQualifier) {
+  // A project type or member named map is not the banned container.
+  EXPECT_TRUE(LintFile("src/core/dmc_base.cc",
+                       "void F(){ ColumnMap map; map.Clear(); }\n", {})
+                  .empty());
+  EXPECT_EQ(LintFile("src/core/dmc_base.cc",
+                     "void F(){ std::unordered_map<int, int> m; }\n", {})
+                .size(),
+            1u);
+}
+
+TEST(LintRuleTest, HotPathMapSuppressionWorks) {
+  const std::string body =
+      "void F(){ std::map<int, int> m; }  // dmc_lint: ignore\n";
+  EXPECT_TRUE(LintFile("src/core/dmc_base.cc", body, {}).empty());
 }
 
 TEST(LintRuleTest, DiscardInsideIfBodyIsFlagged) {

@@ -18,10 +18,12 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 # Every timing field ends in "seconds" (the stats_export.h contract);
-# mask their numeric values, plus the free-form dataset path.
+# mask their numeric values, plus the free-form dataset path and the
+# machine-dependent resolved merge kernel ("simd" vs "scalar").
 mask() {
   sed -e 's/\("[A-Za-z0-9_.]*seconds"\): [0-9.e+-]*/\1: 0/' \
-      -e 's|"dataset": ".*"|"dataset": "<input>"|' "$1"
+      -e 's|"dataset": ".*"|"dataset": "<input>"|' \
+      -e 's/"kernel": "[a-z]*"/"kernel": "<kernel>"/' "$1"
 }
 
 fail=0

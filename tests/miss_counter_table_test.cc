@@ -1,9 +1,18 @@
 #include "core/miss_counter_table.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace dmc {
 namespace {
+
+// Convenience: install entries {cand[i], miss[i]} into column `c`.
+void Fill(MissCounterTable& t, ColumnId c,
+          const std::vector<ColumnId>& cand,
+          const std::vector<uint32_t>& miss) {
+  t.Assign(c, cand.data(), miss.data(), cand.size());
+}
 
 TEST(MissCounterTableTest, StartsEmpty) {
   MemoryTracker tracker;
@@ -24,20 +33,19 @@ TEST(MissCounterTableTest, CreateAccountsOverhead) {
   EXPECT_EQ(t.live_lists(), 1u);
 }
 
-TEST(MissCounterTableTest, ReplaceTracksEntryDelta) {
+TEST(MissCounterTableTest, AssignTracksEntryDelta) {
   MemoryTracker tracker;
   MissCounterTable t(4, 8, &tracker);
   t.Create(0);
-  std::vector<CandidateEntry> entries{{1, 0}, {2, 1}, {3, 0}};
-  t.Replace(0, entries);
+  Fill(t, 0, {1, 2, 3}, {0, 1, 0});
   EXPECT_EQ(t.total_entries(), 3u);
   EXPECT_EQ(t.bytes(), MissCounterTable::kPerListOverheadBytes + 3 * 8);
-  ASSERT_EQ(t.List(0).size(), 3u);
-  EXPECT_EQ(t.List(0)[1].cand, 2u);
-  EXPECT_EQ(t.List(0)[1].miss, 1u);
+  const auto list = t.List(0);
+  ASSERT_EQ(list.size, 3u);
+  EXPECT_EQ(list.cand[1], 2u);
+  EXPECT_EQ(list.miss[1], 1u);
 
-  std::vector<CandidateEntry> smaller{{2, 2}};
-  t.Replace(0, smaller);
+  Fill(t, 0, {2}, {2});
   EXPECT_EQ(t.total_entries(), 1u);
   EXPECT_EQ(t.bytes(), MissCounterTable::kPerListOverheadBytes + 8);
   EXPECT_EQ(tracker.current_bytes(), t.bytes());
@@ -46,12 +54,91 @@ TEST(MissCounterTableTest, ReplaceTracksEntryDelta) {
             MissCounterTable::kPerListOverheadBytes + 3 * 8);
 }
 
+TEST(MissCounterTableTest, SetSizeCommitsInPlaceEdits) {
+  MemoryTracker tracker;
+  MissCounterTable t(4, 8, &tracker);
+  t.Create(0);
+  auto m = t.Reserve(0, 4);
+  ASSERT_GE(m.capacity, 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    m.cand[i] = i + 10;
+    m.miss[i] = i;
+  }
+  t.SetSize(0, 4);
+  EXPECT_EQ(t.total_entries(), 4u);
+  EXPECT_EQ(t.bytes(), MissCounterTable::kPerListOverheadBytes + 4 * 8);
+  EXPECT_EQ(tracker.current_bytes(), t.bytes());
+
+  // Compact in place to 2 survivors.
+  auto m2 = t.Mutable(0);
+  m2.cand[0] = m2.cand[1];
+  m2.miss[0] = m2.miss[1];
+  m2.cand[1] = m2.cand[3];
+  m2.miss[1] = m2.miss[3];
+  t.SetSize(0, 2);
+  const auto list = t.List(0);
+  ASSERT_EQ(list.size, 2u);
+  EXPECT_EQ(list.cand[0], 11u);
+  EXPECT_EQ(list.cand[1], 13u);
+  EXPECT_EQ(tracker.current_bytes(),
+            MissCounterTable::kPerListOverheadBytes + 2 * 8);
+}
+
+TEST(MissCounterTableTest, ReserveGrowthPreservesContents) {
+  MemoryTracker tracker;
+  MissCounterTable t(4, 8, &tracker);
+  t.Create(0);
+  Fill(t, 0, {5, 6, 7}, {1, 2, 3});
+  const size_t bytes_before = tracker.current_bytes();
+  auto m = t.Reserve(0, 100);  // forces a move to a bigger block
+  ASSERT_GE(m.capacity, 100u);
+  EXPECT_EQ(m.size, 3u);
+  EXPECT_EQ(m.cand[0], 5u);
+  EXPECT_EQ(m.cand[2], 7u);
+  EXPECT_EQ(m.miss[2], 3u);
+  // Capacity is physical only: accounted bytes are unchanged until
+  // SetSize commits a new logical size.
+  EXPECT_EQ(tracker.current_bytes(), bytes_before);
+}
+
+TEST(MissCounterTableTest, ArenaRecyclesReleasedBlocks) {
+  MemoryTracker tracker;
+  MissCounterTable t(4, 8, &tracker);
+  t.Create(0);
+  Fill(t, 0, {1, 2, 3, 4}, {0, 0, 0, 0});
+  const size_t slabs_after_first = t.arena_bytes();
+  EXPECT_GT(slabs_after_first, 0u);
+  t.Release(0);
+  // A same-size-class list must reuse the freed block: no slab growth.
+  t.Create(1);
+  Fill(t, 1, {9, 10, 11, 12}, {0, 0, 0, 0});
+  EXPECT_EQ(t.arena_bytes(), slabs_after_first);
+}
+
+TEST(MissCounterTableTest, PeakEntriesTracksTransientHighWaterMark) {
+  MemoryTracker tracker;
+  MissCounterTable t(4, 8, &tracker);
+  t.Create(0);
+  Fill(t, 0, {1, 2, 3, 4, 5}, {0, 0, 0, 0, 0});
+  Fill(t, 0, {1}, {0});
+  EXPECT_EQ(t.total_entries(), 1u);
+  EXPECT_EQ(t.peak_entries(), 5u);
+
+  // The interval peak mirrors MemoryTracker::TakeIntervalPeak: it reports
+  // the max since the last call, then re-arms at the current level.
+  EXPECT_EQ(t.TakeEntriesIntervalPeak(), 5u);
+  EXPECT_EQ(t.TakeEntriesIntervalPeak(), 1u);
+  Fill(t, 0, {1, 2, 3}, {0, 0, 0});
+  Fill(t, 0, {1, 2}, {0, 0});
+  EXPECT_EQ(t.TakeEntriesIntervalPeak(), 3u);
+  EXPECT_EQ(t.peak_entries(), 5u);
+}
+
 TEST(MissCounterTableTest, ReleaseFreesEverything) {
   MemoryTracker tracker;
   MissCounterTable t(4, 8, &tracker);
   t.Create(1);
-  std::vector<CandidateEntry> entries{{2, 0}, {3, 0}};
-  t.Replace(1, entries);
+  Fill(t, 1, {2, 3}, {0, 0});
   t.Release(1);
   EXPECT_FALSE(t.HasList(1));
   EXPECT_EQ(t.total_entries(), 0u);
@@ -63,8 +150,7 @@ TEST(MissCounterTableTest, IdOnlyEntryCost) {
   MemoryTracker tracker;
   MissCounterTable t(4, MissCounterTable::kEntryBytesIdOnly, &tracker);
   t.Create(0);
-  std::vector<CandidateEntry> entries{{1, 0}, {2, 0}};
-  t.Replace(0, entries);
+  Fill(t, 0, {1, 2}, {0, 0});
   EXPECT_EQ(t.bytes(), MissCounterTable::kPerListOverheadBytes + 2 * 4);
 }
 
@@ -73,8 +159,7 @@ TEST(MissCounterTableTest, SharedTrackerComposesPeaks) {
   {
     MissCounterTable a(4, 8, &tracker);
     a.Create(0);
-    std::vector<CandidateEntry> e{{1, 0}};
-    a.Replace(0, e);
+    Fill(a, 0, {1}, {0});
   }  // destructor releases a's bytes
   EXPECT_EQ(tracker.current_bytes(), 0u);
   MissCounterTable b(4, 8, &tracker);
@@ -90,8 +175,7 @@ TEST(MissCounterTableTest, ReleaseEverything) {
   MissCounterTable t(8, 8, &tracker);
   for (ColumnId c = 0; c < 8; c += 2) {
     t.Create(c);
-    std::vector<CandidateEntry> e{{ColumnId(c + 1), 0}};
-    t.Replace(c, e);
+    Fill(t, c, {ColumnId(c + 1)}, {0});
   }
   EXPECT_EQ(t.live_lists(), 4u);
   t.ReleaseEverything();

@@ -7,9 +7,10 @@
 #   (d) dmc_lint over src/
 #   (e) metrics-schema smoke check (dmc_cli --metrics-out)
 #   (f) fault-injection sweep under ASan+UBSan (differential exactness)
+#   (g) perf smoke: release-native build + bench_kernels --json-out schema
 #
 # Exits nonzero on the first failure. Pass --fast to skip the sanitizer
-# stages (a + d only), e.g. for a pre-commit hook.
+# and perf stages, e.g. for a pre-commit hook.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -31,10 +32,11 @@ if [[ "${fast}" -eq 0 ]]; then
   cmake --build --preset asan-ubsan -j "${jobs}"
   ctest --preset asan-ubsan -j "${jobs}"
 
-  step "(c) tsan build + parallel/observe/cancellation/fault tests"
+  step "(c) tsan build + parallel/observe/cancellation/fault/kernel tests"
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "${jobs}"
-  ctest --test-dir build-tsan -R 'Parallel|ColumnShards|Observe|Cancel|Fault' \
+  ctest --test-dir build-tsan \
+    -R 'Parallel|ColumnShards|Observe|Cancel|Fault|Kernel' \
     -j "${jobs}" --output-on-failure
 fi
 
@@ -73,6 +75,25 @@ if [[ "${fast}" -eq 0 ]]; then
     exit 1
   }
   rm -f "${sweep_log}"
+
+  step "(g) perf smoke: release-native bench_kernels --json-out"
+  # Builds the host-tuned release preset and runs the kernel microbench at a
+  # tiny scale, then checks the emitted JSON carries the committed schema
+  # (schema_version / records / bench / rows_per_sec / peak_counter_bytes).
+  # This is a plumbing check, not a performance gate: it proves the preset
+  # configures, the SIMD dispatch links, and --json-out round-trips.
+  cmake --preset release-native >/dev/null
+  cmake --build --preset release-native -j "${jobs}" --target bench_kernels
+  "${repo_root}/build-native/bench/bench_kernels" --scale=0.25 \
+    --json-out="${metrics_tmp}/bench.json" >/dev/null
+  for field in '"schema_version": 1' '"records"' '"bench"' '"rows_per_sec"' \
+               '"peak_counter_bytes"'; do
+    grep -qF "${field}" "${metrics_tmp}/bench.json" || {
+      echo "bench json schema smoke check failed: missing ${field}" >&2
+      exit 1
+    }
+  done
+  echo "bench json schema OK"
 fi
 
 step "all checks passed"

@@ -289,6 +289,68 @@ void CheckBannedTokens(const std::string& path, const std::string& scrubbed,
   }
 }
 
+// True when the identifier at `pos` is written with an explicit std::
+// qualifier (possibly spaced: `std :: map`).
+bool IsStdQualified(const std::string& s, size_t pos) {
+  size_t j = pos;
+  while (j > 0 && std::isspace(static_cast<unsigned char>(s[j - 1]))) --j;
+  if (j < 2 || s[j - 1] != ':' || s[j - 2] != ':') return false;
+  j -= 2;
+  while (j > 0 && std::isspace(static_cast<unsigned char>(s[j - 1]))) --j;
+  size_t end = j;
+  while (j > 0 && IsIdentChar(s[j - 1])) --j;
+  return s.substr(j, end - j) == "std";
+}
+
+// The hot-path translation units — the per-row merge loops and their
+// kernels — must stay free of node-based associative containers:
+// std::map / std::unordered_map allocate per element and chase pointers,
+// exactly the behaviour the arena/SoA layout exists to avoid. Dense
+// vectors with a touched-list reset are the sanctioned replacement (see
+// the bitmap hit-counting phase in dmc_base.cc).
+void CheckHotPathMap(const std::string& path, const std::string& scrubbed,
+                     const std::vector<bool>& suppressed,
+                     std::vector<Finding>* findings) {
+  static const char* kHotPathSuffixes[] = {
+      "core/dmc_base.cc", "core/dmc_sim_pass.cc", "core/kernels.cc"};
+  bool is_hot_path = false;
+  for (const char* suffix : kHotPathSuffixes) {
+    const size_t n = std::strlen(suffix);
+    if (path.size() >= n && path.compare(path.size() - n, n, suffix) == 0) {
+      is_hot_path = true;
+      break;
+    }
+  }
+  if (!is_hot_path) return;
+  static const char* kTokens[] = {"map", "unordered_map", "multimap",
+                                  "unordered_multimap"};
+  for (const char* token : kTokens) {
+    const size_t len = std::strlen(token);
+    size_t pos = 0;
+    while ((pos = scrubbed.find(token, pos)) != std::string::npos) {
+      const size_t here = pos;
+      pos += len;
+      if (here > 0 && IsIdentChar(scrubbed[here - 1])) continue;
+      if (here + len < scrubbed.size() && IsIdentChar(scrubbed[here + len])) {
+        continue;
+      }
+      // Only the std:: containers are banned; a member `.map(...)` or a
+      // project type named map is something else.
+      if (!IsStdQualified(scrubbed, here)) continue;
+      const int line = LineOf(scrubbed, here);
+      if (static_cast<size_t>(line - 1) < suppressed.size() &&
+          suppressed[line - 1]) {
+        continue;
+      }
+      findings->push_back(
+          {path, line, "banned-hot-path-map",
+           "std::map/std::unordered_map are banned in hot-path mining "
+           "code; use dense vectors with a touched-list reset (see the "
+           "bitmap hit-counting in core/dmc_base.cc)"});
+    }
+  }
+}
+
 // Bans raw unlink/rename/remove calls (std::, :: or unqualified): file
 // replacement must go through util/atomic_io.h so a crash can never
 // leave a torn output. std::filesystem::remove stays legal — it is a
@@ -450,6 +512,7 @@ std::vector<Finding> LintFile(const std::string& path,
   const std::string scrubbed = ScrubSource(content);
   CheckIncludeGuard(path, scrubbed, suppressed, &findings);
   CheckBannedTokens(path, scrubbed, suppressed, &findings);
+  CheckHotPathMap(path, scrubbed, suppressed, &findings);
   CheckRawFileOps(path, scrubbed, suppressed, &findings);
   CheckDiscardedStatus(path, scrubbed, suppressed, status_functions,
                        &findings);

@@ -18,6 +18,12 @@
 //                     util/atomic_io.h so outputs are never torn;
 //                     std::filesystem::remove stays legal for deliberate
 //                     deletes, and util/atomic_io.* is whitelisted
+//   banned-hot-path-map  no std::map/std::unordered_map (or multimap
+//                     variants) in the hot-path mining TUs
+//                     (core/dmc_base.cc, core/dmc_sim_pass.cc,
+//                     core/kernels.cc) — node-based containers allocate
+//                     per element and chase pointers; use dense vectors
+//                     with a touched-list reset instead
 //   discarded-status  a call to a Status/StatusOr-returning function used
 //                     as a bare statement (result ignored)
 //
