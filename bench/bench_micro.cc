@@ -1,11 +1,16 @@
 // Micro-benchmarks (google-benchmark) of the kernels the mining engines
 // sit on: bit-vector popcount kernels, candidate-list merging, min-hash
-// signature construction, and the workload generators.
+// signature construction, and the workload generators — plus the
+// append-batch scenario comparing an incremental 1%-row append against a
+// full re-mine on the correlated block workload.
 //
 // `--json-out=<path>` additionally writes every measurement in the
 // shared BENCH_*.json schema (see bench_common.h).
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
 
 #include "bench_common.h"
 
@@ -15,8 +20,10 @@
 #include "datagen/news_gen.h"
 #include "datagen/quest_gen.h"
 #include "datagen/weblog_gen.h"
+#include "incr/incr_miner.h"
 #include "util/bitvector.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 #include "util/zipf.h"
 
 namespace dmc {
@@ -121,6 +128,106 @@ void BM_Transpose(benchmark::State& state) {
 }
 BENCHMARK(BM_Transpose);
 
+// Correlated block workload (the bench_kernels dense-matrix shape):
+// columns come in blocks of 20 that co-occur with probability 0.9 when
+// their block activates (p=0.25 per row), over 10% background noise —
+// the regime where high-confidence rules exist and survive the scan.
+BinaryMatrix MakeCorrelatedBlockMatrix(uint32_t rows, uint32_t cols) {
+  const uint32_t block = 20;
+  const uint32_t num_blocks = (cols + block - 1) / block;
+  Rng rng(42);
+  MatrixBuilder b(cols);
+  std::vector<uint8_t> on(cols);
+  std::vector<ColumnId> row;
+  for (uint32_t r = 0; r < rows; ++r) {
+    std::fill(on.begin(), on.end(), 0);
+    for (uint32_t g = 0; g < num_blocks; ++g) {
+      if (!rng.Bernoulli(0.25)) continue;
+      const uint32_t lo = g * block;
+      const uint32_t hi = std::min(cols, lo + block);
+      for (uint32_t c = lo; c < hi; ++c) {
+        if (rng.Bernoulli(0.9)) on[c] = 1;
+      }
+    }
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (!on[c] && rng.Bernoulli(0.1)) on[c] = 1;
+    }
+    row.clear();
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (on[c]) row.push_back(c);
+    }
+    b.AddRow(row);
+  }
+  return b.Build();
+}
+
+BinaryMatrix SliceRows(const BinaryMatrix& m, uint32_t start,
+                       uint32_t count) {
+  MatrixBuilder b(m.num_columns());
+  for (uint32_t r = start; r < start + count; ++r) {
+    const auto row = m.Row(r);
+    b.AddRow(std::vector<ColumnId>(row.begin(), row.end()));
+  }
+  return b.Build();
+}
+
+// Append-batch scenario: absorbing the last 1% of rows through the
+// incremental engine vs re-mining the whole matrix. Records both
+// timings (best of N) plus the ratio; the check tracked in ISSUE 5 is
+// append < 25% of the full re-mine.
+void BenchAppendBatch(std::vector<bench::BenchRecord>& records) {
+  const uint32_t rows = 3000;
+  const uint32_t cols = 300;
+  const BinaryMatrix full = MakeCorrelatedBlockMatrix(rows, cols);
+  const uint32_t delta_rows = rows / 100;
+  const BinaryMatrix base = SliceRows(full, 0, rows - delta_rows);
+  const BinaryMatrix delta = SliceRows(full, rows - delta_rows, delta_rows);
+
+  ImplicationMiningOptions options;
+  options.min_confidence = 0.6;
+  const int reps = 3;
+
+  double full_secs = 1e300;
+  size_t full_rules = 0;
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch sw;
+    auto rules = MineImplications(full, options);
+    full_secs = std::min(full_secs, sw.ElapsedSeconds());
+    full_rules = rules.ok() ? rules->size() : 0;
+  }
+
+  auto seeded = IncrementalImplicationMiner::FromBatchMine(base, options);
+  if (!seeded.ok()) {
+    std::fprintf(stderr, "append scenario seed failed: %s\n",
+                 seeded.status().ToString().c_str());
+    return;
+  }
+  double append_secs = 1e300;
+  size_t incr_rules = 0;
+  for (int i = 0; i < reps; ++i) {
+    IncrementalImplicationMiner miner = *seeded;  // fresh state per rep
+    Stopwatch sw;
+    if (!miner.AppendBatch(delta).ok()) return;
+    append_secs = std::min(append_secs, sw.ElapsedSeconds());
+    incr_rules = miner.rules().size();
+  }
+
+  const double ratio = append_secs / full_secs;
+  std::printf("incr_append_1pct: full re-mine %.3fs (%zu rules), append "
+              "%u rows %.3fs (%zu rules) — %.1f%% of a re-mine\n",
+              full_secs, full_rules, delta_rows, append_secs, incr_rules,
+              100.0 * ratio);
+  char params[96];
+  std::snprintf(params, sizeof(params), "rows=%u,cols=%u,minconf=0.6", rows,
+                cols);
+  records.push_back({"incr_append_1pct/full_remine", params, full_secs,
+                     rows / full_secs, 0});
+  std::snprintf(params, sizeof(params),
+                "delta_rows=%u,append_vs_full=%.4f", delta_rows, ratio);
+  records.push_back({"incr_append_1pct/append", params, append_secs,
+                     delta_rows / append_secs, 0});
+}
+
 // Console reporter that also captures each run as a BenchRecord so the
 // google-benchmark binary can emit the shared --json-out schema.
 class JsonCaptureReporter : public benchmark::ConsoleReporter {
@@ -159,6 +266,7 @@ int main(int argc, char** argv) {
   dmc::JsonCaptureReporter reporter(&records);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  dmc::BenchAppendBatch(records);
   if (!dmc::bench::WriteBenchJson(records, json_out)) return 1;
   return 0;
 }

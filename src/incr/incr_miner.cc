@@ -1,0 +1,346 @@
+#include "incr/incr_miner.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/dmc_imp.h"
+#include "core/dmc_sim.h"
+#include "core/kernels.h"
+#include "core/thresholds.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
+#include "rules/rule.h"
+#include "util/failpoint.h"
+#include "util/stopwatch.h"
+
+namespace dmc {
+
+namespace {
+
+// Unordered pair {u, v} (u != v) packed as (min << 32) | max, so pair
+// sets are plain sorted uint64 vectors — deterministic and binary-
+// searchable without hash containers.
+uint64_t PairKey(ColumnId u, ColumnId v) {
+  const ColumnId lo = u < v ? u : v;
+  const ColumnId hi = u < v ? v : u;
+  return (uint64_t{lo} << 32) | hi;
+}
+
+// Distinct unordered column pairs co-occurring in some delta row,
+// ascending. Quadratic in row length — the delta is the small side of an
+// append, and the batch engines remain the right tool for bulk loads.
+std::vector<uint64_t> CoOccurringDeltaPairs(const BinaryMatrix& delta) {
+  std::vector<uint64_t> keys;
+  for (RowId r = 0; r < delta.num_rows(); ++r) {
+    const auto row = delta.Row(r);
+    for (size_t i = 0; i < row.size(); ++i) {
+      for (size_t j = i + 1; j < row.size(); ++j) {
+        keys.push_back(PairKey(row[i], row[j]));
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+bool Contains(const std::vector<uint64_t>& sorted, uint64_t key) {
+  return std::binary_search(sorted.begin(), sorted.end(), key);
+}
+
+void RecordAppendMetrics(MetricsRegistry* metrics,
+                         const IncrAppendStats& stats) {
+  if (metrics == nullptr) return;
+  metrics->IncrCounter("dmc.incr.batches");
+  metrics->IncrCounter("dmc.incr.rows_appended", stats.rows_appended);
+  metrics->IncrCounter("dmc.incr.candidates_killed",
+                       stats.candidates_killed);
+  metrics->IncrCounter("dmc.incr.candidates_revived",
+                       stats.candidates_revived);
+  metrics->RecordTimer("dmc.incr.append_seconds", stats.seconds);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Implications
+// ---------------------------------------------------------------------
+
+IncrementalImplicationMiner::IncrementalImplicationMiner(
+    ImplicationMiningOptions options, ColumnId num_columns)
+    : options_(std::move(options)),
+      kernel_(ResolveKernel(options_.policy.kernel)),
+      postings_(num_columns) {}
+
+StatusOr<IncrementalImplicationMiner>
+IncrementalImplicationMiner::FromBatchMine(
+    const BinaryMatrix& initial, const ImplicationMiningOptions& options,
+    MiningStats* stats) {
+  DMC_ASSIGN_OR_RETURN(ImplicationRuleSet rules,
+                       MineImplications(initial, options, stats));
+  IncrementalImplicationMiner miner(options, initial.num_columns());
+  miner.postings_.Append(initial);
+  miner.rules_ = std::move(rules);
+  miner.cumulative_.rows_total = initial.num_rows();
+  return miner;
+}
+
+Status IncrementalImplicationMiner::AppendBatch(const BinaryMatrix& delta,
+                                                IncrAppendStats* stats) {
+  const double minconf = options_.min_confidence;
+  if (!(minconf > 0.0) || minconf > 1.0) {
+    return InvalidArgumentError("min_confidence must be in (0, 1]");
+  }
+  if (fail::Enabled()) {
+    DMC_RETURN_IF_ERROR(fail::InjectStatus("incr.append"));
+  }
+  const ObserveContext& obs = options_.policy.observe;
+  ScopedSpan batch_span(obs.trace, "incr/append_batch", obs.trace_lane);
+  Stopwatch timer;
+  IncrAppendStats local;
+  local.rows_appended = delta.num_rows();
+
+  // Snapshot the per-column posting sizes: the entries past these
+  // boundaries are exactly the delta's contribution.
+  const ColumnId width =
+      std::max(postings_.num_columns(), delta.num_columns());
+  std::vector<uint32_t> old_ones(width);
+  for (ColumnId c = 0; c < width; ++c) old_ones[c] = postings_.ones(c);
+  postings_.Append(delta);
+
+  // Update pass: re-decide every held rule under the new counts. The
+  // stored rule carries the exact previous-boundary counts, so the new
+  // intersection is old intersection + |delta co-occurrences|, and the
+  // suffix intersection touches only the delta's rows.
+  std::vector<uint64_t> decided;
+  decided.reserve(rules_.size());
+  ImplicationRuleSet next;
+  {
+    ScopedSpan span(obs.trace, "incr/update", obs.trace_lane);
+    for (const ImplicationRule& r : rules_) {
+      ++local.rules_updated;
+      decided.push_back(PairKey(r.lhs, r.rhs));
+      const uint32_t delta_inter = IntersectPostings(
+          postings_.suffix(r.lhs, old_ones[r.lhs]),
+          postings_.suffix(r.rhs, old_ones[r.rhs]), kernel_);
+      const uint32_t inter = r.hits() + delta_inter;
+      ColumnId lhs = r.lhs;
+      ColumnId rhs = r.rhs;
+      if (!SparserFirst(postings_.ones(lhs), lhs, postings_.ones(rhs),
+                        rhs)) {
+        std::swap(lhs, rhs);
+      }
+      const uint32_t lhs_ones = postings_.ones(lhs);
+      const uint32_t misses = lhs_ones - inter;
+      if (misses <= MaxMissesForConfidence(lhs_ones, minconf)) {
+        next.Add(ImplicationRule{lhs, rhs, lhs_ones, misses});
+      } else {
+        ++local.candidates_killed;
+      }
+    }
+  }
+  std::sort(decided.begin(), decided.end());
+
+  // Regeneration pass: only pairs with a delta co-occurrence can newly
+  // clear the threshold (miss monotonicity; see incr_miner.h), and the
+  // update pass already decided the held ones exactly.
+  {
+    ScopedSpan span(obs.trace, "incr/regen", obs.trace_lane);
+    for (const uint64_t key : CoOccurringDeltaPairs(delta)) {
+      if (Contains(decided, key)) continue;
+      ++local.delta_pairs_examined;
+      const ColumnId u = static_cast<ColumnId>(key >> 32);
+      const ColumnId v = static_cast<ColumnId>(key & 0xffffffffu);
+      ColumnId lhs = u;
+      ColumnId rhs = v;
+      if (!SparserFirst(postings_.ones(lhs), lhs, postings_.ones(rhs),
+                        rhs)) {
+        std::swap(lhs, rhs);
+      }
+      const uint32_t lhs_ones = postings_.ones(lhs);
+      const int64_t budget = MaxMissesForConfidence(lhs_ones, minconf);
+      // A pair needs at least lhs_ones - budget hits; with fewer total
+      // rows in the denser column it can never qualify.
+      const int64_t required_new = static_cast<int64_t>(lhs_ones) - budget;
+      if (required_new > static_cast<int64_t>(postings_.ones(rhs))) {
+        continue;
+      }
+      // Miss-monotonicity screen: the pair was NOT held at the previous
+      // boundary, so its old intersection was at most
+      // required_old - 1 hits (required(n) = n - budget(n) is the exact
+      // hit floor for min-ones n, and required >= 1 whenever n >= 1).
+      // Only the delta's co-occurrences can close the gap to the new
+      // floor, and those are countable from the posting suffixes alone —
+      // so most pairs skip the full-list intersection entirely.
+      const uint32_t m_old = std::min(old_ones[u], old_ones[v]);
+      const int64_t required_old =
+          m_old == 0 ? 0
+                     : static_cast<int64_t>(m_old) -
+                           MaxMissesForConfidence(m_old, minconf);
+      const uint32_t delta_inter = IntersectPostings(
+          postings_.suffix(u, old_ones[u]), postings_.suffix(v, old_ones[v]),
+          kernel_);
+      if (static_cast<int64_t>(delta_inter) <
+          required_new - required_old + (m_old > 0 ? 1 : 0)) {
+        continue;
+      }
+      const uint32_t inter = IntersectPostings(
+          postings_.rows(lhs), postings_.rows(rhs), kernel_);
+      const uint32_t misses = lhs_ones - inter;
+      if (misses <= budget) {
+        next.Add(ImplicationRule{lhs, rhs, lhs_ones, misses});
+        ++local.candidates_revived;
+      }
+    }
+  }
+
+  next.Canonicalize();
+  rules_ = std::move(next);
+
+  ++cumulative_.batches;
+  cumulative_.rows_total += local.rows_appended;
+  cumulative_.candidates_killed += local.candidates_killed;
+  cumulative_.candidates_revived += local.candidates_revived;
+  local.seconds = timer.ElapsedSeconds();
+  RecordAppendMetrics(obs.metrics, local);
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Similarities
+// ---------------------------------------------------------------------
+
+IncrementalSimilarityMiner::IncrementalSimilarityMiner(
+    SimilarityMiningOptions options, ColumnId num_columns)
+    : options_(std::move(options)),
+      kernel_(ResolveKernel(options_.policy.kernel)),
+      postings_(num_columns) {}
+
+StatusOr<IncrementalSimilarityMiner> IncrementalSimilarityMiner::FromBatchMine(
+    const BinaryMatrix& initial, const SimilarityMiningOptions& options,
+    MiningStats* stats) {
+  DMC_ASSIGN_OR_RETURN(SimilarityRuleSet pairs,
+                       MineSimilarities(initial, options, stats));
+  IncrementalSimilarityMiner miner(options, initial.num_columns());
+  miner.postings_.Append(initial);
+  miner.pairs_ = std::move(pairs);
+  miner.cumulative_.rows_total = initial.num_rows();
+  return miner;
+}
+
+Status IncrementalSimilarityMiner::AppendBatch(const BinaryMatrix& delta,
+                                               IncrAppendStats* stats) {
+  const double minsim = options_.min_similarity;
+  if (!(minsim > 0.0) || minsim > 1.0) {
+    return InvalidArgumentError("min_similarity must be in (0, 1]");
+  }
+  if (fail::Enabled()) {
+    DMC_RETURN_IF_ERROR(fail::InjectStatus("incr.append"));
+  }
+  const ObserveContext& obs = options_.policy.observe;
+  ScopedSpan batch_span(obs.trace, "incr/append_batch", obs.trace_lane);
+  Stopwatch timer;
+  IncrAppendStats local;
+  local.rows_appended = delta.num_rows();
+
+  const ColumnId width =
+      std::max(postings_.num_columns(), delta.num_columns());
+  std::vector<uint32_t> old_ones(width);
+  for (ColumnId c = 0; c < width; ++c) old_ones[c] = postings_.ones(c);
+  postings_.Append(delta);
+
+  std::vector<uint64_t> decided;
+  decided.reserve(pairs_.size());
+  SimilarityRuleSet next;
+  {
+    ScopedSpan span(obs.trace, "incr/update", obs.trace_lane);
+    for (const SimilarityPair& p : pairs_) {
+      ++local.rules_updated;
+      decided.push_back(PairKey(p.a, p.b));
+      const uint32_t delta_inter = IntersectPostings(
+          postings_.suffix(p.a, old_ones[p.a]),
+          postings_.suffix(p.b, old_ones[p.b]), kernel_);
+      const uint32_t inter = p.intersection + delta_inter;
+      ColumnId a = p.a;
+      ColumnId b = p.b;
+      if (!SparserFirst(postings_.ones(a), a, postings_.ones(b), b)) {
+        std::swap(a, b);
+      }
+      const uint32_t ones_a = postings_.ones(a);
+      const uint32_t ones_b = postings_.ones(b);
+      const uint32_t misses = ones_a - inter;
+      if (static_cast<int64_t>(misses) <=
+          MaxMissesForSimilarity(ones_a, ones_b, minsim)) {
+        next.Add(SimilarityPair{a, b, ones_a, ones_b, inter});
+      } else {
+        ++local.candidates_killed;
+      }
+    }
+  }
+  std::sort(decided.begin(), decided.end());
+
+  {
+    ScopedSpan span(obs.trace, "incr/regen", obs.trace_lane);
+    for (const uint64_t key : CoOccurringDeltaPairs(delta)) {
+      if (Contains(decided, key)) continue;
+      ++local.delta_pairs_examined;
+      const ColumnId u = static_cast<ColumnId>(key >> 32);
+      const ColumnId v = static_cast<ColumnId>(key & 0xffffffffu);
+      ColumnId a = u;
+      ColumnId b = v;
+      if (!SparserFirst(postings_.ones(a), a, postings_.ones(b), b)) {
+        std::swap(a, b);
+      }
+      const uint32_t ones_a = postings_.ones(a);
+      const uint32_t ones_b = postings_.ones(b);
+      const int64_t budget = MaxMissesForSimilarity(ones_a, ones_b, minsim);
+      // §5.1 density screen: a negative budget means ones_a/ones_b is
+      // already below the threshold — no intersection needed.
+      if (budget < 0) continue;
+      // Miss-monotonicity screen, Jaccard flavor: the pair failed the
+      // previous boundary, so its old intersection was below the old
+      // required-hit floor (computed under the old sparser-first
+      // orientation, exactly as the engine decided it back then); only
+      // delta co-occurrences can close the gap to the new floor.
+      const int64_t required_new = static_cast<int64_t>(ones_a) - budget;
+      uint32_t old_a = old_ones[u];
+      uint32_t old_b = old_ones[v];
+      if (!SparserFirst(old_a, u, old_b, v)) std::swap(old_a, old_b);
+      const int64_t required_old =
+          old_a + old_b == 0
+              ? 0
+              : static_cast<int64_t>(old_a) -
+                    MaxMissesForSimilarity(old_a, old_b, minsim);
+      const uint32_t delta_inter = IntersectPostings(
+          postings_.suffix(u, old_ones[u]), postings_.suffix(v, old_ones[v]),
+          kernel_);
+      if (static_cast<int64_t>(delta_inter) <
+          required_new - required_old + (old_a + old_b > 0 ? 1 : 0)) {
+        continue;
+      }
+      const uint32_t inter = IntersectPostings(postings_.rows(a),
+                                               postings_.rows(b), kernel_);
+      const uint32_t misses = ones_a - inter;
+      if (static_cast<int64_t>(misses) <= budget) {
+        next.Add(SimilarityPair{a, b, ones_a, ones_b, inter});
+        ++local.candidates_revived;
+      }
+    }
+  }
+
+  next.Canonicalize();
+  pairs_ = std::move(next);
+
+  ++cumulative_.batches;
+  cumulative_.rows_total += local.rows_appended;
+  cumulative_.candidates_killed += local.candidates_killed;
+  cumulative_.candidates_revived += local.candidates_revived;
+  local.seconds = timer.ElapsedSeconds();
+  RecordAppendMetrics(obs.metrics, local);
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace dmc

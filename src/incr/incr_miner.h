@@ -1,0 +1,166 @@
+// Incremental append-batch mining (DESIGN §5.5).
+//
+// The paper's miss-counting invariant — miss(c_i => c_j) only grows as
+// rows arrive, and a candidate dies permanently once it exceeds its
+// budget — makes the mined rule set *incrementally maintainable*: after
+// a batch mine, keep (a) the column postings (incr/postings.h) and
+// (b) the current rule set with its exact counts, and an appended batch
+// of rows can be absorbed without re-reading the old data.
+//
+// AppendBatch(delta) runs the paper's two-pass structure per batch:
+//
+//   1. UPDATE — every currently-held rule's unordered column pair gains
+//      exactly |delta rows where both columns are 1| intersections,
+//      computed by intersecting the two posting-list *suffixes* that the
+//      batch appended (the stored rule already carries the exact counts
+//      at the previous boundary). The pair is re-oriented sparser-first
+//      under the new 1-counts and re-tested against the exact integer
+//      budget (core/thresholds.h); a pair over budget is killed on the
+//      spot and never resurrected.
+//   2. REGENERATE — rules that newly clear the threshold can only come
+//      from pairs that co-occur in the delta (proof below), so one pass
+//      enumerates the 2-subsets of the delta rows, deduplicates them,
+//      skips the pairs step 1 already decided, and evaluates the rest
+//      exactly against the full posting lists. DMC-sim's §5.1 density
+//      screen (negative pair budget) prunes hopeless pairs before any
+//      intersection is computed.
+//
+// Why the delta pass is exact (miss monotonicity): consider an unordered
+// pair at two boundaries t < t'. Appending one row changes the pair's
+// state in only three ways — a row where neither column is 1 changes
+// nothing; a row where exactly one is 1 adds a miss for one direction
+// (and shrinks Jaccard: the union grows, the intersection does not); a
+// row where both are 1 is the only event that adds an intersection. For
+// implications the sparser-first direction needs at least
+// g(n) = n - floor((1-minconf)*n + eps) hits with n = min(ones_i,
+// ones_j), and g is non-decreasing in n while n itself never shrinks —
+// so a pair failing at t (I_t < g(n_t)) and holding at t'
+// (I_t' >= g(n_t') >= g(n_t)) must have I_t' > I_t: it co-occurred in
+// the delta. For similarity the same holds directly on Jaccard, which
+// only increases via co-occurrence rows. Hence step 2's candidate set
+// (pairs co-occurring in the delta) covers every possible resurrection,
+// and both steps evaluate the exact predicate — the final rule set is
+// byte-identical to a fresh batch mine of the concatenated matrix
+// (tests/incr_differential_test.cc proves this property).
+//
+// Determinism: all state lives in sorted vectors (postings, canonical
+// rule sets, sorted/uniqued pair keys) — no hash containers — so equal
+// inputs give byte-identical outputs, run to run.
+
+#ifndef DMC_INCR_INCR_MINER_H_
+#define DMC_INCR_INCR_MINER_H_
+
+#include <cstdint>
+
+#include "core/dmc_options.h"
+#include "core/mining_stats.h"
+#include "incr/postings.h"
+#include "matrix/binary_matrix.h"
+#include "rules/rule_set.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace dmc {
+
+/// Per-AppendBatch breakdown.
+struct IncrAppendStats {
+  uint64_t rows_appended = 0;
+  /// Previously-held rules re-evaluated by the update pass.
+  uint64_t rules_updated = 0;
+  /// Rules dropped because the batch pushed them over budget.
+  uint64_t candidates_killed = 0;
+  /// Rules added by the regeneration pass (pairs that newly clear the
+  /// threshold thanks to delta co-occurrences).
+  uint64_t candidates_revived = 0;
+  /// Distinct co-occurring delta pairs the regeneration pass examined.
+  uint64_t delta_pairs_examined = 0;
+  double seconds = 0.0;
+};
+
+/// Running totals across every AppendBatch since construction.
+struct IncrCumulativeStats {
+  uint64_t batches = 0;
+  uint64_t rows_total = 0;
+  uint64_t candidates_killed = 0;
+  uint64_t candidates_revived = 0;
+};
+
+/// Incrementally maintained implication-rule miner. Construct empty (or
+/// seed from a batch mine), then AppendBatch row deltas; rules() is
+/// always exactly MineImplications over the concatenation of everything
+/// appended so far.
+class IncrementalImplicationMiner {
+ public:
+  /// Empty state: zero rows, no rules. `num_columns` may be 0 — the
+  /// column count grows to fit the widest appended batch.
+  explicit IncrementalImplicationMiner(ImplicationMiningOptions options,
+                                       ColumnId num_columns = 0);
+
+  /// Seeds from a batch mine of `initial` (the snapshot-after-batch-mine
+  /// entry point): runs MineImplications with `options`, keeps its rule
+  /// set as the live candidate state and builds the postings in one row
+  /// sweep. `stats`, when non-null, receives the batch engine's
+  /// breakdown.
+  static StatusOr<IncrementalImplicationMiner> FromBatchMine(
+      const BinaryMatrix& initial, const ImplicationMiningOptions& options,
+      MiningStats* stats = nullptr);
+
+  /// Absorbs `delta` (its rows become rows [num_rows(),
+  /// num_rows() + delta rows)). On error (invalid options, injected
+  /// fault at site "incr.append") the state is untouched. Observability:
+  /// spans incr/append_batch, incr/update, incr/regen and counters
+  /// dmc.incr.batches / dmc.incr.rows_appended /
+  /// dmc.incr.candidates_killed / dmc.incr.candidates_revived flow
+  /// through options.policy.observe.
+  [[nodiscard]] Status AppendBatch(const BinaryMatrix& delta,
+                                   IncrAppendStats* stats = nullptr);
+
+  /// The current rule set, canonical, with exact counts.
+  const ImplicationRuleSet& rules() const { return rules_; }
+
+  uint64_t num_rows() const { return postings_.num_rows(); }
+  ColumnId num_columns() const { return postings_.num_columns(); }
+  const IncrCumulativeStats& cumulative() const { return cumulative_; }
+  /// Heap bytes of the persistent counting state.
+  size_t MemoryBytes() const { return postings_.MemoryBytes(); }
+
+ private:
+  ImplicationMiningOptions options_;
+  MergeKernel kernel_;
+  ColumnPostings postings_;
+  ImplicationRuleSet rules_;
+  IncrCumulativeStats cumulative_;
+};
+
+/// Incrementally maintained similarity-pair miner; same contract as
+/// IncrementalImplicationMiner with MineSimilarities as the reference.
+class IncrementalSimilarityMiner {
+ public:
+  explicit IncrementalSimilarityMiner(SimilarityMiningOptions options,
+                                      ColumnId num_columns = 0);
+
+  static StatusOr<IncrementalSimilarityMiner> FromBatchMine(
+      const BinaryMatrix& initial, const SimilarityMiningOptions& options,
+      MiningStats* stats = nullptr);
+
+  [[nodiscard]] Status AppendBatch(const BinaryMatrix& delta,
+                                   IncrAppendStats* stats = nullptr);
+
+  const SimilarityRuleSet& pairs() const { return pairs_; }
+
+  uint64_t num_rows() const { return postings_.num_rows(); }
+  ColumnId num_columns() const { return postings_.num_columns(); }
+  const IncrCumulativeStats& cumulative() const { return cumulative_; }
+  size_t MemoryBytes() const { return postings_.MemoryBytes(); }
+
+ private:
+  SimilarityMiningOptions options_;
+  MergeKernel kernel_;
+  ColumnPostings postings_;
+  SimilarityRuleSet pairs_;
+  IncrCumulativeStats cumulative_;
+};
+
+}  // namespace dmc
+
+#endif  // DMC_INCR_INCR_MINER_H_

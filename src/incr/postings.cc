@@ -1,0 +1,34 @@
+#include "incr/postings.h"
+
+#include "core/kernels.h"
+
+namespace dmc {
+
+void ColumnPostings::Append(const BinaryMatrix& delta) {
+  if (delta.num_columns() > postings_.size()) {
+    postings_.resize(delta.num_columns());
+  }
+  for (RowId r = 0; r < delta.num_rows(); ++r) {
+    const RowId global = static_cast<RowId>(num_rows_ + r);
+    for (const ColumnId c : delta.Row(r)) {
+      postings_[c].push_back(global);
+    }
+  }
+  num_rows_ += delta.num_rows();
+}
+
+size_t ColumnPostings::MemoryBytes() const {
+  size_t bytes = postings_.capacity() * sizeof(std::vector<RowId>);
+  for (const auto& list : postings_) {
+    bytes += list.capacity() * sizeof(RowId);
+  }
+  return bytes;
+}
+
+uint32_t IntersectPostings(std::span<const RowId> a, std::span<const RowId> b,
+                           MergeKernel kernel) {
+  return static_cast<uint32_t>(kernels::IntersectCount(
+      a.data(), a.size(), b.data(), b.size(), kernel));
+}
+
+}  // namespace dmc

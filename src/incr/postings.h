@@ -1,0 +1,75 @@
+// Column postings — the counting state the incremental engine persists
+// between batches.
+//
+// For every column, the sorted list of global row ids carrying a 1. This
+// is the matrix in column-major (inverted-index) form: appending a batch
+// extends each touched column's list with strictly larger row ids, so a
+// list stays sorted by construction and any suffix of it is exactly the
+// rows contributed by the batches appended after a recorded boundary.
+// Intersections of two lists (or two suffixes) therefore reuse the
+// sorted-set kernels from core/kernels.h unchanged — RowId and ColumnId
+// are the same integer type.
+
+#ifndef DMC_INCR_POSTINGS_H_
+#define DMC_INCR_POSTINGS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dmc_options.h"
+#include "matrix/binary_matrix.h"
+
+namespace dmc {
+
+class ColumnPostings {
+ public:
+  ColumnPostings() = default;
+  explicit ColumnPostings(ColumnId num_columns) : postings_(num_columns) {}
+
+  /// Appends every row of `delta`; row r becomes global row
+  /// num_rows() + r. Grows the column count when the batch is wider.
+  void Append(const BinaryMatrix& delta);
+
+  ColumnId num_columns() const {
+    return static_cast<ColumnId>(postings_.size());
+  }
+  uint64_t num_rows() const { return num_rows_; }
+
+  /// ones(c): rows with a 1 in column c.
+  uint32_t ones(ColumnId c) const {
+    return c < postings_.size()
+               ? static_cast<uint32_t>(postings_[c].size())
+               : 0;
+  }
+
+  /// All row ids of column c, ascending.
+  std::span<const RowId> rows(ColumnId c) const {
+    if (c >= postings_.size()) return {};
+    return std::span<const RowId>(postings_[c]);
+  }
+
+  /// The rows of column c past a recorded boundary: entries at index
+  /// >= `from` (an earlier ones(c) value). Exactly the rows appended
+  /// since that boundary.
+  std::span<const RowId> suffix(ColumnId c, uint32_t from) const {
+    const std::span<const RowId> all = rows(c);
+    return from >= all.size() ? std::span<const RowId>{} : all.subspan(from);
+  }
+
+  /// Heap bytes held by the posting lists.
+  size_t MemoryBytes() const;
+
+ private:
+  uint64_t num_rows_ = 0;
+  std::vector<std::vector<RowId>> postings_;
+};
+
+/// |rows(a) ∩ rows(b)| via the core sorted-set kernels. `kernel` must be
+/// resolved (no kAuto); kLegacy counts as kScalar, as in the batch scan.
+uint32_t IntersectPostings(std::span<const RowId> a, std::span<const RowId> b,
+                           MergeKernel kernel);
+
+}  // namespace dmc
+
+#endif  // DMC_INCR_POSTINGS_H_

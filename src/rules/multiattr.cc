@@ -24,7 +24,13 @@ std::vector<MultiAttributeGroup> SummarizeRuleGroups(
           g.min_rule_confidence, rules.rules()[idx].confidence());
     }
 
-    if (g.columns.size() > options.max_exact_group) {
+    // A rule set from a different matrix can reference columns this
+    // matrix does not have; summarize such groups without touching the
+    // bitmaps instead of reading out of range.
+    const bool in_range =
+        std::all_of(g.columns.begin(), g.columns.end(),
+                    [&matrix](ColumnId c) { return c < matrix.num_columns(); });
+    if (!in_range || g.columns.size() > options.max_exact_group) {
       g.joint_support = 0;
       g.cohesion = -1.0;
       out.push_back(std::move(g));

@@ -37,7 +37,8 @@ struct MultiAttributeGroup {
 struct MultiAttributeOptions {
   /// Groups larger than this are summarized without the (expensive)
   /// joint-support intersection; their joint_support is 0 and cohesion
-  /// is -1 to mark the skip.
+  /// is -1 to mark the skip. Groups referencing columns the matrix does
+  /// not have are skipped the same way.
   size_t max_exact_group = 32;
 };
 

@@ -1,0 +1,245 @@
+#include "rules/rule_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "util/atomic_io.h"
+#include "util/failpoint.h"
+
+namespace dmc {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'M', 'C', 'R', 'I', 'D', 'X', '\n'};
+constexpr char kEndMagic[4] = {'D', 'M', 'C', 'E'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kRecordBytes = 4 * sizeof(uint32_t);
+
+uint64_t Fnv1aInit() { return 1469598103934665603ULL; }
+
+uint64_t Fnv1aUpdate(uint64_t h, const char* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <typename T>
+void AppendLE(std::string* out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool ReadLE(const std::string& data, size_t* offset, T* value) {
+  if (data.size() - *offset < sizeof(T)) return false;
+  std::memcpy(value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+Status Corrupt(const std::string& context, const std::string& what) {
+  return DataLossError("rule index " + context + ": " + what);
+}
+
+}  // namespace
+
+bool HigherConfidence(const ImplicationRule& a, const ImplicationRule& b) {
+  // Clamp so a malformed rule (misses > lhs_ones) orders as confidence 0
+  // instead of wrapping around.
+  const uint64_t nx = a.misses > a.lhs_ones ? 0 : a.lhs_ones - a.misses;
+  const uint64_t ny = b.misses > b.lhs_ones ? 0 : b.lhs_ones - b.misses;
+  const uint64_t dx = a.lhs_ones == 0 ? 1 : a.lhs_ones;
+  const uint64_t dy = b.lhs_ones == 0 ? 1 : b.lhs_ones;
+  // nx/dx > ny/dy, exactly: counts are uint32, so the products fit.
+  const uint64_t lhs = nx * dy;
+  const uint64_t rhs = ny * dx;
+  if (lhs != rhs) return lhs > rhs;
+  return std::tie(a.lhs, a.rhs) < std::tie(b.lhs, b.rhs);
+}
+
+std::shared_ptr<const RuleIndexSnapshot> RuleIndexSnapshot::Build(
+    const ImplicationRuleSet& rules, uint64_t generation) {
+  ImplicationRuleSet canonical = rules;
+  canonical.Canonicalize();
+
+  auto snapshot = std::shared_ptr<RuleIndexSnapshot>(new RuleIndexSnapshot());
+  snapshot->generation_ = generation;
+  snapshot->by_lhs_ = canonical.rules();
+  std::sort(snapshot->by_lhs_.begin(), snapshot->by_lhs_.end(),
+            [](const ImplicationRule& a, const ImplicationRule& b) {
+              if (a.lhs != b.lhs) return a.lhs < b.lhs;
+              return HigherConfidence(a, b);
+            });
+
+  const uint32_t n = static_cast<uint32_t>(snapshot->by_lhs_.size());
+  snapshot->by_rhs_.resize(n);
+  snapshot->by_conf_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    snapshot->by_rhs_[i] = i;
+    snapshot->by_conf_[i] = i;
+  }
+  const std::vector<ImplicationRule>& all = snapshot->by_lhs_;
+  std::sort(snapshot->by_rhs_.begin(), snapshot->by_rhs_.end(),
+            [&all](uint32_t x, uint32_t y) {
+              if (all[x].rhs != all[y].rhs) return all[x].rhs < all[y].rhs;
+              return HigherConfidence(all[x], all[y]);
+            });
+  std::sort(snapshot->by_conf_.begin(), snapshot->by_conf_.end(),
+            [&all](uint32_t x, uint32_t y) {
+              return HigherConfidence(all[x], all[y]);
+            });
+  return snapshot;
+}
+
+std::vector<ImplicationRule> RuleIndexSnapshot::QueryByAntecedent(
+    ColumnId lhs) const {
+  const auto first = std::lower_bound(
+      by_lhs_.begin(), by_lhs_.end(), lhs,
+      [](const ImplicationRule& r, ColumnId value) { return r.lhs < value; });
+  const auto last = std::upper_bound(
+      by_lhs_.begin(), by_lhs_.end(), lhs,
+      [](ColumnId value, const ImplicationRule& r) { return value < r.lhs; });
+  return std::vector<ImplicationRule>(first, last);
+}
+
+std::vector<ImplicationRule> RuleIndexSnapshot::QueryByConsequent(
+    ColumnId rhs) const {
+  const auto first = std::lower_bound(
+      by_rhs_.begin(), by_rhs_.end(), rhs,
+      [this](uint32_t idx, ColumnId value) { return by_lhs_[idx].rhs < value; });
+  const auto last = std::upper_bound(
+      by_rhs_.begin(), by_rhs_.end(), rhs,
+      [this](ColumnId value, uint32_t idx) { return value < by_lhs_[idx].rhs; });
+  std::vector<ImplicationRule> out;
+  out.reserve(static_cast<size_t>(last - first));
+  for (auto it = first; it != last; ++it) out.push_back(by_lhs_[*it]);
+  return out;
+}
+
+std::vector<ImplicationRule> RuleIndexSnapshot::TopK(size_t k) const {
+  const size_t n = k == 0 ? by_conf_.size() : std::min(k, by_conf_.size());
+  std::vector<ImplicationRule> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(by_lhs_[by_conf_[i]]);
+  return out;
+}
+
+std::string RuleIndexSnapshot::Serialize() const {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendLE<uint32_t>(&out, kVersion);
+  AppendLE<uint64_t>(&out, generation_);
+  AppendLE<uint64_t>(&out, static_cast<uint64_t>(by_lhs_.size()));
+  for (const ImplicationRule& r : by_lhs_) {
+    AppendLE<uint32_t>(&out, r.lhs);
+    AppendLE<uint32_t>(&out, r.rhs);
+    AppendLE<uint32_t>(&out, r.lhs_ones);
+    AppendLE<uint32_t>(&out, r.misses);
+  }
+  AppendLE<uint64_t>(&out, Fnv1aUpdate(Fnv1aInit(), out.data(), out.size()));
+  out.append(kEndMagic, sizeof(kEndMagic));
+  return out;
+}
+
+StatusOr<std::shared_ptr<const RuleIndexSnapshot>> RuleIndexSnapshot::Deserialize(
+    const std::string& data, const std::string& context) {
+  constexpr size_t kMinBytes =
+      sizeof(kMagic) + 4 + 8 + 8 + 8 + sizeof(kEndMagic);
+  if (data.size() < kMinBytes) {
+    return Corrupt(context,
+                   "truncated (" + std::to_string(data.size()) + " bytes)");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt(context, "bad magic");
+  }
+  if (std::memcmp(data.data() + data.size() - sizeof(kEndMagic), kEndMagic,
+                  sizeof(kEndMagic)) != 0) {
+    return Corrupt(context, "missing end marker");
+  }
+  const size_t body_size = data.size() - sizeof(kEndMagic) - sizeof(uint64_t);
+  size_t offset = sizeof(kMagic);
+  uint32_t version = 0;
+  (void)ReadLE(data, &offset, &version);
+  if (version != kVersion) {
+    return Corrupt(context, "unsupported version " + std::to_string(version));
+  }
+  uint64_t generation = 0;
+  uint64_t count = 0;
+  if (!ReadLE(data, &offset, &generation) || !ReadLE(data, &offset, &count)) {
+    return Corrupt(context, "truncated header");
+  }
+  if (count * kRecordBytes != body_size - offset) {
+    return Corrupt(context, "rule count " + std::to_string(count) +
+                                " does not match file size");
+  }
+  uint64_t stored_checksum = 0;
+  {
+    size_t checksum_offset = body_size;
+    (void)ReadLE(data, &checksum_offset, &stored_checksum);
+  }
+  const uint64_t actual =
+      Fnv1aUpdate(Fnv1aInit(), data.data(), body_size);
+  if (actual != stored_checksum) {
+    return Corrupt(context, "checksum mismatch");
+  }
+
+  ImplicationRuleSet rules;
+  for (uint64_t i = 0; i < count; ++i) {
+    ImplicationRule r;
+    (void)ReadLE(data, &offset, &r.lhs);
+    (void)ReadLE(data, &offset, &r.rhs);
+    (void)ReadLE(data, &offset, &r.lhs_ones);
+    (void)ReadLE(data, &offset, &r.misses);
+    rules.Add(r);
+  }
+  return Build(rules, generation);
+}
+
+RuleIndex::RuleIndex()
+    : snapshot_(RuleIndexSnapshot::Build(ImplicationRuleSet(), 0)) {}
+
+std::shared_ptr<const RuleIndexSnapshot> RuleIndex::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+void RuleIndex::Publish(const ImplicationRuleSet& rules) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_ = RuleIndexSnapshot::Build(rules, snapshot_->generation() + 1);
+}
+
+Status RuleIndex::Save(const std::string& path) const {
+  if (fail::Enabled()) {
+    DMC_RETURN_IF_ERROR(fail::InjectStatus("rule_index.save"));
+  }
+  const std::string image = snapshot()->Serialize();
+  AtomicFileWriter writer;
+  DMC_RETURN_IF_ERROR(writer.Open(path));
+  DMC_RETURN_IF_ERROR(writer.Write(image));
+  return writer.Commit();
+}
+
+Status RuleIndex::Load(const std::string& path) {
+  if (fail::Enabled()) {
+    DMC_RETURN_IF_ERROR(fail::InjectStatus("rule_index.load"));
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IOError("cannot open rule index: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return IOError("read failed for rule index: " + path);
+  DMC_ASSIGN_OR_RETURN(std::shared_ptr<const RuleIndexSnapshot> snapshot,
+                       RuleIndexSnapshot::Deserialize(buffer.str(), path));
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_ = std::move(snapshot);
+  return Status::OK();
+}
+
+}  // namespace dmc

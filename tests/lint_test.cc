@@ -154,7 +154,18 @@ TEST(LintFixtureTest, TreeWalkFindsOnePerViolatingFixture) {
   EXPECT_EQ(CountRule(findings, "banned-file-stream"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-raw-unlink"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-hot-path-map"), 1u);
-  EXPECT_EQ(findings.size(), 7u);
+  EXPECT_EQ(CountRule(findings, "banned-ruleset-mutation"), 1u);
+  EXPECT_EQ(findings.size(), 8u);
+}
+
+TEST(LintFixtureTest, BannedRuleSetMutationFiresExactlyOnce) {
+  const auto findings =
+      LintFile("bad_ruleset_mutation.cc",
+               ReadFile(FixturePath("bad_ruleset_mutation.cc")), {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-ruleset-mutation");
+  EXPECT_EQ(findings[0].line, 15);
+  EXPECT_NE(findings[0].message.find("immutable"), std::string::npos);
 }
 
 // --- rule details on inline content ---
@@ -187,6 +198,21 @@ TEST(LintRuleTest, ObserveExportMayOpenFileStreams) {
   const auto findings = LintFile("src/core/engine.cc", body, {});
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "banned-file-stream");
+}
+
+TEST(LintRuleTest, RuleSetMutationAllowedOnlyInRulesAndIncr) {
+  const std::string body =
+      "void F(RuleSet& r){ r.mutable_rules(); }\n"
+      "void G(RuleSet* r){ r->mutable_pairs(); }\n";
+  EXPECT_TRUE(LintFile("src/rules/rule_set_fuzz.cc", body, {}).empty());
+  EXPECT_TRUE(LintFile("src/incr/incr_miner.cc", body, {}).empty());
+  const auto findings = LintFile("src/core/engine.cc", body, {});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "banned-ruleset-mutation");
+  // Declarations are not calls: defining the accessors is legal anywhere.
+  EXPECT_TRUE(LintFile("src/core/engine.cc",
+                       "struct S { int* mutable_rules(); };\n", {})
+                  .empty());
 }
 
 TEST(LintRuleTest, FileStreamLineSuppressionWorks) {

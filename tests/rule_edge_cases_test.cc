@@ -1,0 +1,98 @@
+// Edge cases for the rule-consumption layer: empty rule sets, zero-row
+// and zero-column matrices, and rule sets that do not belong to the
+// matrix they are checked against. These paths sit downstream of every
+// engine (the verifier is the test oracle, the group summarizer feeds
+// reports), so they must degrade to clean answers, not crashes.
+
+#include <gtest/gtest.h>
+
+#include "matrix/binary_matrix.h"
+#include "rules/multiattr.h"
+#include "rules/rule_set.h"
+#include "rules/verifier.h"
+
+namespace dmc {
+namespace {
+
+BinaryMatrix ZeroRowMatrix(ColumnId cols) {
+  return MatrixBuilder(cols).Build();
+}
+
+TEST(VerifierEdgeTest, EmptyRuleSetsVerifyAgainstAnyMatrix) {
+  const BinaryMatrix zero_rows = ZeroRowMatrix(4);
+  const BinaryMatrix zero_cols = ZeroRowMatrix(0);
+  for (const BinaryMatrix* m : {&zero_rows, &zero_cols}) {
+    RuleVerifier v(*m);
+    EXPECT_TRUE(v.VerifyImplications(ImplicationRuleSet(), 0.9).ok());
+    EXPECT_TRUE(v.VerifySimilarities(SimilarityRuleSet(), 0.9).ok());
+  }
+}
+
+TEST(VerifierEdgeTest, ZeroRowMatrixAnswersExactQueries) {
+  RuleVerifier v(ZeroRowMatrix(3));
+  EXPECT_EQ(v.Intersection(0, 1), 0u);
+  EXPECT_EQ(v.Confidence(0, 1), 0.0);
+  EXPECT_EQ(v.Similarity(0, 1), 0.0);
+  EXPECT_EQ(v.ones(2), 0u);
+}
+
+TEST(VerifierEdgeTest, RulesOnZeroRowMatrixReportMismatchNotCrash) {
+  RuleVerifier v(ZeroRowMatrix(3));
+  ImplicationRuleSet rules;
+  rules.Add(ImplicationRule{0, 1, 5, 0});  // claims ones(0) == 5
+  const Status s = v.VerifyImplications(rules, 0.9);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+
+  SimilarityRuleSet pairs;
+  pairs.Add(SimilarityPair{0, 1, 5, 5, 5});
+  EXPECT_EQ(v.VerifySimilarities(pairs, 0.9).code(), StatusCode::kInternal);
+}
+
+TEST(VerifierEdgeTest, OutOfRangeColumnsAreInvalidArgument) {
+  MatrixBuilder b(2);
+  b.AddRow({0, 1});
+  RuleVerifier v(b.Build());
+  ImplicationRuleSet rules;
+  rules.Add(ImplicationRule{0, 7, 1, 0});
+  EXPECT_EQ(v.VerifyImplications(rules, 0.5).code(),
+            StatusCode::kInvalidArgument);
+  SimilarityRuleSet pairs;
+  pairs.Add(SimilarityPair{7, 0, 1, 1, 1});
+  EXPECT_EQ(v.VerifySimilarities(pairs, 0.5).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MultiAttrEdgeTest, EmptyRuleSetYieldsNoGroups) {
+  const BinaryMatrix zero_rows = ZeroRowMatrix(4);
+  EXPECT_TRUE(SummarizeRuleGroups(zero_rows, ImplicationRuleSet()).empty());
+  MatrixBuilder b(2);
+  b.AddRow({0, 1});
+  EXPECT_TRUE(SummarizeRuleGroups(b.Build(), ImplicationRuleSet()).empty());
+}
+
+TEST(MultiAttrEdgeTest, ZeroRowMatrixGroupsHaveZeroCohesion) {
+  ImplicationRuleSet rules;
+  rules.Add(ImplicationRule{0, 1, 0, 0});
+  rules.Add(ImplicationRule{1, 2, 0, 0});
+  const auto groups = SummarizeRuleGroups(ZeroRowMatrix(3), rules);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].columns.size(), 3u);
+  EXPECT_EQ(groups[0].joint_support, 0u);
+  EXPECT_EQ(groups[0].cohesion, 0.0);
+}
+
+// Regression: rules referencing columns the matrix does not have used to
+// read bitmaps out of range; they must be summarized as skipped groups.
+TEST(MultiAttrEdgeTest, OutOfRangeColumnsAreSkippedNotCrashed) {
+  MatrixBuilder b(2);
+  b.AddRow({0, 1});
+  ImplicationRuleSet rules;
+  rules.Add(ImplicationRule{0, 9, 1, 0});
+  const auto groups = SummarizeRuleGroups(b.Build(), rules);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].joint_support, 0u);
+  EXPECT_EQ(groups[0].cohesion, -1.0);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,24 @@
+// Fixture: exactly one banned-ruleset-mutation violation (the
+// mutable_rules() call). The suppressed call, the bare identifier, and
+// a member named mutable_pairs that is never called are all legal.
+#include <cstddef>
+
+namespace dmc_fixture {
+
+struct FakeRuleSet {
+  int* mutable_rules() { return nullptr; }
+  int* mutable_pairs() { return nullptr; }
+  size_t mutable_pairs_count = 0;
+};
+
+void Mutates(FakeRuleSet& rules) {
+  rules.mutable_rules();
+}
+
+void LegalForms(FakeRuleSet& rules) {
+  rules.mutable_pairs();  // dmc_lint: ignore
+  auto member = &FakeRuleSet::mutable_pairs_count;
+  (void)member;
+}
+
+}  // namespace dmc_fixture

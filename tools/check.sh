@@ -3,14 +3,16 @@
 #
 #   (a) warnings-as-errors build + full ctest        (preset: default)
 #   (b) ASan+UBSan build + full ctest                (preset: asan-ubsan)
-#   (c) TSan build + parallel/observe/cancellation/fault tests (preset: tsan)
+#   (c) TSan build + parallel/observe/cancellation/fault/rule-index tests
 #   (d) dmc_lint over src/
 #   (e) metrics-schema smoke check (dmc_cli --metrics-out)
 #   (f) fault-injection sweep under ASan+UBSan (differential exactness)
-#   (g) perf smoke: release-native build + bench_kernels --json-out schema
+#   (g) incremental-vs-batch differential sweep under ASan+UBSan
+#   (h) coverage build + gate against tools/coverage_floor.txt
+#   (i) perf smoke: release-native build + bench_kernels --json-out schema
 #
-# Exits nonzero on the first failure. Pass --fast to skip the sanitizer
-# and perf stages, e.g. for a pre-commit hook.
+# Exits nonzero on the first failure. Pass --fast to skip the sanitizer,
+# coverage and perf stages, e.g. for a pre-commit hook.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -32,11 +34,12 @@ if [[ "${fast}" -eq 0 ]]; then
   cmake --build --preset asan-ubsan -j "${jobs}"
   ctest --preset asan-ubsan -j "${jobs}"
 
-  step "(c) tsan build + parallel/observe/cancellation/fault/kernel tests"
+  step "(c) tsan build + parallel/observe/cancellation/fault/rule-index tests"
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "${jobs}"
+  # RuleIndexConcurrency races queries against Publish/Load snapshot swaps.
   ctest --test-dir build-tsan \
-    -R 'Parallel|ColumnShards|Observe|Cancel|Fault|Kernel' \
+    -R 'Parallel|ColumnShards|Observe|Cancel|Fault|Kernel|RuleIndex' \
     -j "${jobs}" --output-on-failure
 fi
 
@@ -76,7 +79,26 @@ if [[ "${fast}" -eq 0 ]]; then
   }
   rm -f "${sweep_log}"
 
-  step "(g) perf smoke: release-native bench_kernels --json-out"
+  step "(g) incremental-vs-batch differential sweep under asan-ubsan"
+  # The battery appends randomized batch schedules (empty batches,
+  # single rows, all-zero rows, widening deltas) and insists the
+  # incremental rule set is byte-identical to a fresh batch mine of the
+  # concatenation, across every merge kernel. Under ASan+UBSan it also
+  # proves the append hot path stays clean.
+  incr_log="$(mktemp)"
+  ctest --test-dir build-asan -R 'Incr|RuleIndex|SeedStability' \
+    -j "${jobs}" --output-on-failure | tee "${incr_log}"
+  grep -q 'tests passed' "${incr_log}" || {
+    echo "incremental differential sweep did not run" >&2
+    rm -f "${incr_log}"
+    exit 1
+  }
+  rm -f "${incr_log}"
+
+  step "(h) coverage build + floor gate"
+  "${repo_root}/tools/coverage.sh"
+
+  step "(i) perf smoke: release-native bench_kernels --json-out"
   # Builds the host-tuned release preset and runs the kernel microbench at a
   # tiny scale, then checks the emitted JSON carries the committed schema
   # (schema_version / records / bench / rows_per_sec / peak_counter_bytes).

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# coverage.sh — line-coverage gate for the mining core.
+#
+# Builds the `coverage` preset (--coverage instrumentation, -O0), runs
+# the full test suite, aggregates gcov line rates for src/core/ and
+# src/incr/, writes an lcov-style per-file summary to
+# build-coverage/coverage_summary.txt, and fails if the aggregate line
+# coverage drops below the floor recorded in tools/coverage_floor.txt.
+#
+# Uses the stock `gcov` text output only — no lcov/gcovr dependency.
+#
+# Usage:
+#   tools/coverage.sh              # build + test + gate
+#   tools/coverage.sh --no-build   # reuse an existing instrumented build
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+build_dir="${repo_root}/build-coverage"
+jobs="$(nproc 2>/dev/null || echo 4)"
+floor_file="${repo_root}/tools/coverage_floor.txt"
+
+if [[ "${1:-}" != "--no-build" ]]; then
+  cmake --preset coverage >/dev/null
+  cmake --build --preset coverage -j "${jobs}"
+  # Stale counters from earlier runs would double-count.
+  find "${build_dir}" -name '*.gcda' -delete
+  ctest --preset coverage -j "${jobs}"
+fi
+
+# Every .gcda under the instrumented core/incr object dirs feeds one gcov
+# invocation; `gcov -n` prints per-source "File/Lines executed" pairs
+# without dropping .gcov files anywhere.
+summary="${build_dir}/coverage_summary.txt"
+gcda_list="$(find "${build_dir}/src/core" "${build_dir}/src/incr" \
+             -name '*.gcda' 2>/dev/null | sort)"
+if [[ -z "${gcda_list}" ]]; then
+  echo "coverage.sh: no .gcda files under ${build_dir}/src/{core,incr}" >&2
+  echo "(build with the coverage preset and run ctest first)" >&2
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+gcov -n ${gcda_list} 2>/dev/null | awk -v repo="${repo_root}/" '
+  # gcov output alternates: File <q>path<q> / Lines executed:PP% of N.
+  /^File / {
+    file = substr($0, 7, length($0) - 7)   # strip File + quotes
+    sub(repo, "", file)
+    keep = (file ~ /^src\/(core|incr)\//)
+  }
+  /^Lines executed:/ {
+    if (keep) {
+      line = $0
+      sub(/^Lines executed:/, "", line)
+      split(line, parts, "% of ")
+      covered[file] += (parts[1] + 0) * (parts[2] + 0) / 100.0
+      total[file] += parts[2] + 0
+      keep = 0
+    }
+  }
+  END {
+    grand_cov = 0
+    grand_tot = 0
+    for (f in total) {
+      printf "%-52s %7.2f%% of %5d lines\n", f, \
+             total[f] ? 100.0 * covered[f] / total[f] : 0, total[f]
+      grand_cov += covered[f]
+      grand_tot += total[f]
+    }
+    printf "TOTAL %.2f %d\n", \
+           grand_tot ? 100.0 * grand_cov / grand_tot : 0, grand_tot
+  }' | sort > "${summary}"
+
+total_line="$(grep '^TOTAL ' "${summary}")"
+pct="$(echo "${total_line}" | awk '{print $2}')"
+lines="$(echo "${total_line}" | awk '{print $3}')"
+floor="$(grep -v '^#' "${floor_file}" | head -1 | tr -d '[:space:]')"
+
+echo "---- coverage summary (src/core + src/incr) ----"
+grep -v '^TOTAL ' "${summary}"
+echo "TOTAL: ${pct}% of ${lines} instrumented lines (floor: ${floor}%)"
+
+awk -v pct="${pct}" -v floor="${floor}" 'BEGIN { exit !(pct+0 >= floor+0) }' || {
+  echo "coverage gate FAILED: ${pct}% < floor ${floor}%" >&2
+  echo "(raise tests or, if a deliberate trade-off, lower ${floor_file})" >&2
+  exit 1
+}
+echo "coverage gate OK"

@@ -16,6 +16,22 @@
 //   --top=N                         print only the N strongest rules
 //   --output=FILE                   write all rules to FILE
 //
+// Incremental mining & serving options (mine-imp / mine-sim):
+//   --append=FILE[,FILE...]         mine --input as the initial batch,
+//                                   then absorb each FILE as an append
+//                                   batch with the incremental engine
+//                                   (src/incr/; exact — the final rule
+//                                   set equals a fresh mine of the
+//                                   concatenation). Single-threaded,
+//                                   in-memory path only.
+//   --serve-index=FILE              mine-imp: publish the mined rules
+//                                   into a RuleIndex and save its
+//                                   checksummed snapshot to FILE
+//   --query-lhs=COL                 with --serve-index: reload the saved
+//                                   index and print rules COL => *
+//   --query-rhs=COL                 with --serve-index: reload the saved
+//                                   index and print rules * => COL
+//
 // Observability options (mine-imp / mine-sim):
 //   --metrics-out=FILE              write the run's metrics document
 //                                   (schema_version 1 JSON; see
@@ -47,9 +63,12 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/external_miner.h"
+#include "incr/incr_miner.h"
+#include "rules/rule_index.h"
 #include "observe/metrics.h"
 #include "observe/stats_export.h"
 #include "observe/trace.h"
@@ -243,6 +262,91 @@ int EmitRules(const RuleSetT& sorted, const Flags& flags) {
   return 0;
 }
 
+std::vector<std::string> SplitCsv(const std::string& list) {
+  std::vector<std::string> out;
+  std::istringstream in(list);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+// Folds each --append file into `miner`, narrating per-batch work.
+template <typename MinerT>
+int AppendBatches(const std::string& append_list, MinerT* miner) {
+  for (const std::string& path : SplitCsv(append_list)) {
+    auto delta = ReadMatrixTextFile(path);
+    if (!delta.ok()) {
+      std::fprintf(stderr, "%s\n", delta.status().ToString().c_str());
+      return 1;
+    }
+    IncrAppendStats astats;
+    const Status st = miner->AppendBatch(*delta, &astats);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "append %s: +%llu rows | %llu updated, %llu killed, "
+                 "%llu revived | %llu delta pairs | %.3fs\n",
+                 path.c_str(), (unsigned long long)astats.rows_appended,
+                 (unsigned long long)astats.rules_updated,
+                 (unsigned long long)astats.candidates_killed,
+                 (unsigned long long)astats.candidates_revived,
+                 (unsigned long long)astats.delta_pairs_examined,
+                 astats.seconds);
+  }
+  std::fprintf(stderr,
+               "incremental totals: %llu batches, %llu rows, "
+               "%llu killed, %llu revived, %.2f MB postings\n",
+               (unsigned long long)miner->cumulative().batches,
+               (unsigned long long)miner->cumulative().rows_total,
+               (unsigned long long)miner->cumulative().candidates_killed,
+               (unsigned long long)miner->cumulative().candidates_revived,
+               miner->MemoryBytes() / (1024.0 * 1024.0));
+  return 0;
+}
+
+// --serve-index=FILE: publish `rules` into a RuleIndex, persist its
+// snapshot, then answer any --query-lhs / --query-rhs probes from a
+// fresh Load of the saved file — the full save/load/query round trip.
+int ServeIndex(const ImplicationRuleSet& rules, const Flags& flags) {
+  const std::string path = flags.Get("serve-index");
+  RuleIndex index;
+  index.Publish(rules);
+  Status st = index.Save(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote rule index (%zu rules, generation %llu) to %s\n",
+               index.snapshot()->size(),
+               (unsigned long long)index.snapshot()->generation(),
+               path.c_str());
+  if (!flags.GetBool("query-lhs") && !flags.GetBool("query-rhs")) return 0;
+  RuleIndex served;
+  st = served.Load(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const auto snapshot = served.snapshot();
+  if (flags.GetBool("query-lhs")) {
+    const ColumnId lhs = static_cast<ColumnId>(flags.GetInt("query-lhs", 0));
+    for (const ImplicationRule& r : snapshot->QueryByAntecedent(lhs)) {
+      std::printf("%s\n", r.ToString().c_str());
+    }
+  }
+  if (flags.GetBool("query-rhs")) {
+    const ColumnId rhs = static_cast<ColumnId>(flags.GetInt("query-rhs", 0));
+    for (const ImplicationRule& r : snapshot->QueryByConsequent(rhs)) {
+      std::printf("%s\n", r.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
 int MineImp(const Flags& flags) {
   ImplicationMiningOptions options;
   options.min_confidence = flags.GetDouble("minconf", 0.9);
@@ -254,6 +358,14 @@ int MineImp(const Flags& flags) {
   report.tool = "dmc_cli";
   report.dataset = flags.Get("input");
   report.labels["command"] = "mine-imp";
+
+  if (flags.GetBool("append") &&
+      (flags.GetBool("external") || flags.GetInt("threads", 1) > 1)) {
+    std::fprintf(stderr,
+                 "--append uses the in-memory incremental engine; it is "
+                 "incompatible with --external and --threads\n");
+    return 2;
+  }
 
   if (flags.GetBool("external")) {
     const std::string input = flags.Get("input");
@@ -294,7 +406,20 @@ int MineImp(const Flags& flags) {
   MiningStats stats;
   ParallelMiningStats pstats;
   StatusOr<ImplicationRuleSet> rules = ImplicationRuleSet{};
-  if (threads > 1) {
+  const std::string append = flags.Get("append");
+  if (!append.empty()) {
+    auto miner =
+        IncrementalImplicationMiner::FromBatchMine(*matrix, options, &stats);
+    if (!miner.ok()) {
+      std::fprintf(stderr, "%s\n", miner.status().ToString().c_str());
+      return 1;
+    }
+    ReportStats(stats);
+    report.mining = &stats;
+    const int append_rc = AppendBatches(append, &*miner);
+    if (append_rc != 0) return append_rc;
+    rules = miner->rules();
+  } else if (threads > 1) {
     ParallelOptions p;
     p.num_threads = threads;
     rules = MineImplicationsParallel(*matrix, options, p, &pstats);
@@ -314,7 +439,10 @@ int MineImp(const Flags& flags) {
   std::fprintf(stderr, "%zu rules at confidence >= %.3f\n", rules->size(),
                options.min_confidence);
   report.rules_total = static_cast<int64_t>(rules->size());
-  const int rc = EmitRules(rules->SortedByConfidence(), flags);
+  int rc = EmitRules(rules->SortedByConfidence(), flags);
+  if (rc == 0 && flags.GetBool("serve-index")) {
+    rc = ServeIndex(*rules, flags);
+  }
   const int observe_rc = observe.Finish(report);
   return rc != 0 ? rc : observe_rc;
 }
@@ -331,6 +459,13 @@ int MineSim(const Flags& flags) {
   report.dataset = flags.Get("input");
   report.labels["command"] = "mine-sim";
 
+  if (flags.GetBool("append") && flags.GetInt("threads", 1) > 1) {
+    std::fprintf(stderr,
+                 "--append uses the in-memory incremental engine; it is "
+                 "incompatible with --threads\n");
+    return 2;
+  }
+
   auto matrix = LoadInput(flags);
   if (!matrix.ok()) {
     std::fprintf(stderr, "%s\n", matrix.status().ToString().c_str());
@@ -341,7 +476,20 @@ int MineSim(const Flags& flags) {
   MiningStats stats;
   ParallelMiningStats pstats;
   StatusOr<SimilarityRuleSet> pairs = SimilarityRuleSet{};
-  if (threads > 1) {
+  const std::string append = flags.Get("append");
+  if (!append.empty()) {
+    auto miner =
+        IncrementalSimilarityMiner::FromBatchMine(*matrix, options, &stats);
+    if (!miner.ok()) {
+      std::fprintf(stderr, "%s\n", miner.status().ToString().c_str());
+      return 1;
+    }
+    ReportStats(stats);
+    report.mining = &stats;
+    const int append_rc = AppendBatches(append, &*miner);
+    if (append_rc != 0) return append_rc;
+    pairs = miner->pairs();
+  } else if (threads > 1) {
     ParallelOptions p;
     p.num_threads = threads;
     pairs = MineSimilaritiesParallel(*matrix, options, p, &pstats);

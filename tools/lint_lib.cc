@@ -431,6 +431,55 @@ void CheckRawFileOps(const std::string& path, const std::string& scrubbed,
   }
 }
 
+// Bans mutable_rules()/mutable_pairs() calls outside src/rules/ and
+// src/incr/: every other layer must treat a RuleSet as immutable once
+// mined, or the incremental engine's snapshots and the serving index
+// could silently drift from the counts they were built on.
+void CheckRuleSetMutation(const std::string& path,
+                          const std::string& scrubbed,
+                          const std::vector<bool>& suppressed,
+                          std::vector<Finding>* findings) {
+  if (path.find("rules/") != std::string::npos ||
+      path.find("incr/") != std::string::npos) {
+    return;
+  }
+  static const char* kTokens[] = {"mutable_rules", "mutable_pairs"};
+  for (const char* token : kTokens) {
+    const size_t len = std::strlen(token);
+    size_t pos = 0;
+    while ((pos = scrubbed.find(token, pos)) != std::string::npos) {
+      const size_t here = pos;
+      pos += len;
+      if (here > 0 && IsIdentChar(scrubbed[here - 1])) continue;
+      if (here + len < scrubbed.size() && IsIdentChar(scrubbed[here + len])) {
+        continue;
+      }
+      // Only a member call (x.mutable_rules(...) / p->mutable_pairs(...))
+      // is a mutation; the accessor declarations themselves and bare
+      // identifiers are not.
+      const size_t open = SkipSpace(scrubbed, here + len);
+      if (open >= scrubbed.size() || scrubbed[open] != '(') continue;
+      if (here == 0) continue;
+      const char prev = scrubbed[here - 1];
+      const bool member_call =
+          prev == '.' ||
+          (here >= 2 && prev == '>' && scrubbed[here - 2] == '-');
+      if (!member_call) continue;
+      const int line = LineOf(scrubbed, here);
+      if (static_cast<size_t>(line - 1) < suppressed.size() &&
+          suppressed[line - 1]) {
+        continue;
+      }
+      findings->push_back(
+          {path, line, "banned-ruleset-mutation",
+           "mutable_rules()/mutable_pairs() are banned outside src/rules/ "
+           "and src/incr/; mined rule sets are immutable downstream — "
+           "build a new set (or go through the incremental engine) "
+           "instead of editing one in place"});
+    }
+  }
+}
+
 void CheckDiscardedStatus(const std::string& path,
                           const std::string& scrubbed,
                           const std::vector<bool>& suppressed,
@@ -514,6 +563,7 @@ std::vector<Finding> LintFile(const std::string& path,
   CheckBannedTokens(path, scrubbed, suppressed, &findings);
   CheckHotPathMap(path, scrubbed, suppressed, &findings);
   CheckRawFileOps(path, scrubbed, suppressed, &findings);
+  CheckRuleSetMutation(path, scrubbed, suppressed, &findings);
   CheckDiscardedStatus(path, scrubbed, suppressed, status_functions,
                        &findings);
   std::sort(findings.begin(), findings.end(),

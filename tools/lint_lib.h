@@ -24,6 +24,11 @@
 //                     core/kernels.cc) — node-based containers allocate
 //                     per element and chase pointers; use dense vectors
 //                     with a touched-list reset instead
+//   banned-ruleset-mutation  no mutable_rules()/mutable_pairs() calls
+//                     outside src/rules/ and src/incr/ — mined rule sets
+//                     are immutable downstream so the incremental
+//                     engine's snapshots and the serving index cannot
+//                     drift from the counts they were built on
 //   discarded-status  a call to a Status/StatusOr-returning function used
 //                     as a bare statement (result ignored)
 //
