@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <numeric>
 #include <thread>
 
@@ -13,6 +12,7 @@
 #include "observe/trace.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace dmc {
 
@@ -99,13 +99,16 @@ StatusOr<RuleSetT> RunSharded(const std::vector<uint32_t>& column_ones,
   std::vector<StatusOr<RuleSetT>> results(num_threads,
                                           StatusOr<RuleSetT>(RuleSetT{}));
   std::vector<MiningStats> shard_stats(num_threads);
-  std::mutex errors_mu;
+  // Guards shard_errors; worker threads append concurrently. A local
+  // capability, so the RAII guard (not DMC_GUARDED_BY, which needs a
+  // member) is the whole discipline.
+  Mutex errors_mu;
   std::vector<std::string> shard_errors;
   std::atomic<uint64_t> retries{0};
   std::atomic<uint32_t> failed{0};
 
   auto record_error = [&](uint32_t t, const Status& st) {
-    std::lock_guard<std::mutex> lock(errors_mu);
+    MutexLock lock(errors_mu);
     shard_errors.push_back("shard " + std::to_string(t) + ": " +
                            st.ToString());
   };

@@ -24,17 +24,17 @@ std::vector<double> DefaultBuckets() {
 }  // namespace
 
 void MetricsRegistry::IncrCounter(const std::string& name, uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_[name] += delta;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_[name] = value;
 }
 
 void MetricsRegistry::MaxGauge(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_[name] = value;
@@ -44,7 +44,7 @@ void MetricsRegistry::MaxGauge(const std::string& name, double value) {
 }
 
 void MetricsRegistry::RecordTimer(const std::string& name, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TimerStat& t = timers_[name];
   ++t.count;
   t.total_seconds += seconds;
@@ -54,7 +54,7 @@ void MetricsRegistry::RecordTimer(const std::string& name, double seconds) {
 void MetricsRegistry::DefineHistogram(const std::string& name,
                                       std::vector<double> upper_bounds) {
   std::sort(upper_bounds.begin(), upper_bounds.end());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   HistogramStat& h = histograms_[name];
   h.upper_bounds = std::move(upper_bounds);
   h.counts.assign(h.upper_bounds.size() + 1, 0);
@@ -63,7 +63,7 @@ void MetricsRegistry::DefineHistogram(const std::string& name,
 }
 
 void MetricsRegistry::RecordHistogram(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   HistogramStat& h = histograms_[name];
   if (h.counts.empty()) {
     h.upper_bounds = DefaultBuckets();
@@ -77,46 +77,46 @@ void MetricsRegistry::RecordHistogram(const std::string& name, double value) {
 }
 
 uint64_t MetricsRegistry::counter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 double MetricsRegistry::gauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 TimerStat MetricsRegistry::timer(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = timers_.find(name);
   return it == timers_.end() ? TimerStat{} : it->second;
 }
 
 HistogramStat MetricsRegistry::histogram(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? HistogramStat{} : it->second;
 }
 
 std::map<std::string, uint64_t> MetricsRegistry::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 
 std::map<std::string, double> MetricsRegistry::gauges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return gauges_;
 }
 
 std::map<std::string, TimerStat> MetricsRegistry::timers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return timers_;
 }
 
 std::map<std::string, HistogramStat> MetricsRegistry::histograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return histograms_;
 }
 
@@ -247,7 +247,7 @@ void MetricsRegistry::WriteJsonl(std::ostream& os) const {
 }
 
 void MetricsRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   timers_.clear();

@@ -17,12 +17,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace dmc {
 
@@ -85,11 +85,11 @@ class MetricsRegistry {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, uint64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, TimerStat> timers_;
-  std::map<std::string, HistogramStat> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, uint64_t> counters_ DMC_GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ DMC_GUARDED_BY(mu_);
+  std::map<std::string, TimerStat> timers_ DMC_GUARDED_BY(mu_);
+  std::map<std::string, HistogramStat> histograms_ DMC_GUARDED_BY(mu_);
 };
 
 /// RAII timer recording into `registry` on destruction; a null registry

@@ -16,12 +16,12 @@ int64_t TraceSink::NowMicros() const {
 }
 
 void TraceSink::AddCompleteEvent(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> TraceSink::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 

@@ -16,10 +16,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace dmc {
 
@@ -55,8 +56,8 @@ class TraceSink {
  private:
   using Clock = std::chrono::steady_clock;
   const Clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ DMC_GUARDED_BY(mu_);
 };
 
 /// RAII span: records a complete event covering its lifetime. With a

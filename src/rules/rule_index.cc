@@ -206,12 +206,12 @@ RuleIndex::RuleIndex()
     : snapshot_(RuleIndexSnapshot::Build(ImplicationRuleSet(), 0)) {}
 
 std::shared_ptr<const RuleIndexSnapshot> RuleIndex::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snapshot_;
 }
 
 void RuleIndex::Publish(const ImplicationRuleSet& rules) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snapshot_ = RuleIndexSnapshot::Build(rules, snapshot_->generation() + 1);
 }
 
@@ -237,7 +237,7 @@ Status RuleIndex::Load(const std::string& path) {
   if (in.bad()) return IOError("read failed for rule index: " + path);
   DMC_ASSIGN_OR_RETURN(std::shared_ptr<const RuleIndexSnapshot> snapshot,
                        RuleIndexSnapshot::Deserialize(buffer.str(), path));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snapshot_ = std::move(snapshot);
   return Status::OK();
 }

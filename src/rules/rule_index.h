@@ -24,13 +24,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "rules/rule_set.h"
 #include "util/status.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace dmc {
 
@@ -116,8 +116,11 @@ class RuleIndex {
   [[nodiscard]] Status Load(const std::string& path);
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const RuleIndexSnapshot> snapshot_;
+  /// Guards only the pointer: the pointed-to snapshot is immutable, so
+  /// readers that copied the shared_ptr need no capability (this is the
+  /// capability model for the snapshot swap — DESIGN §5.6).
+  mutable Mutex mu_;
+  std::shared_ptr<const RuleIndexSnapshot> snapshot_ DMC_GUARDED_BY(mu_);
 };
 
 }  // namespace dmc

@@ -5,6 +5,8 @@
 #include <map>
 #include <mutex>
 
+#include "util/thread_annotations.h"
+
 namespace dmc {
 namespace fail {
 
@@ -21,11 +23,11 @@ struct Arm {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, Arm> arms;
-  std::map<std::string, SiteStats> stats;
-  uint64_t seed = 0;
-  uint64_t total_fires = 0;
+  Mutex mu;
+  std::map<std::string, Arm> arms DMC_GUARDED_BY(mu);
+  std::map<std::string, SiteStats> stats DMC_GUARDED_BY(mu);
+  uint64_t seed DMC_GUARDED_BY(mu) = 0;
+  uint64_t total_fires DMC_GUARDED_BY(mu) = 0;
 };
 
 std::atomic<bool> g_enabled{false};
@@ -61,7 +63,8 @@ bool CoinFlip(uint64_t seed, const char* site, uint64_t hit, double p) {
          p * static_cast<double>(UINT64_MAX);
 }
 
-Status ConfigureLocked(Registry& reg, const std::string& spec);
+Status ConfigureLocked(Registry& reg, const std::string& spec)
+    DMC_REQUIRES(reg.mu);
 
 // One-time pickup of DMC_FAILPOINTS so library users (tests, benches)
 // get injection without any CLI plumbing.
@@ -70,7 +73,7 @@ void InitFromEnvOnce() {
     const char* env = std::getenv("DMC_FAILPOINTS");
     if (env == nullptr || *env == '\0') return;
     Registry& reg = GetRegistry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     // A malformed env spec must not crash the host process; it simply
     // stays disabled (Configure reports the error to CLI users).
     (void)ConfigureLocked(reg, env);
@@ -111,7 +114,8 @@ bool ParseTrigger(const std::string& word, Arm* arm) {
   return arm->n >= 1;
 }
 
-Status ConfigureLocked(Registry& reg, const std::string& spec) {
+Status ConfigureLocked(Registry& reg, const std::string& spec)
+    DMC_REQUIRES(reg.mu) {
   std::map<std::string, Arm> arms;
   uint64_t seed = 0;
   size_t pos = 0;
@@ -168,7 +172,7 @@ bool Enabled() {
 Status Configure(const std::string& spec) {
   InitFromEnvOnce();
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   const Status st = ConfigureLocked(reg, spec);
   if (!st.ok()) g_enabled.store(false, std::memory_order_release);
   return st;
@@ -177,7 +181,7 @@ Status Configure(const std::string& spec) {
 void Disable() {
   InitFromEnvOnce();
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   reg.arms.clear();
   reg.stats.clear();
   reg.total_fires = 0;
@@ -187,7 +191,7 @@ void Disable() {
 Mode Fire(const char* site) {
   if (!Enabled()) return Mode::kOff;
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   if (!g_enabled.load(std::memory_order_relaxed)) return Mode::kOff;
   SiteStats& stats = reg.stats[site];
   const uint64_t hit = ++stats.hits;  // 1-based
@@ -241,7 +245,7 @@ bool IsInjectedFault(const Status& status) {
 
 std::vector<std::string> SitesSeen() {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   std::vector<std::string> sites;
   sites.reserve(reg.stats.size());
   for (const auto& [site, stats] : reg.stats) sites.push_back(site);
@@ -250,14 +254,14 @@ std::vector<std::string> SitesSeen() {
 
 SiteStats GetSiteStats(const std::string& site) {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   const auto it = reg.stats.find(site);
   return it == reg.stats.end() ? SiteStats{} : it->second;
 }
 
 uint64_t TotalFires() {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   return reg.total_fires;
 }
 

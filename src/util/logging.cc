@@ -5,10 +5,17 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/thread_annotations.h"
+
 namespace dmc {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes stderr emission so log lines from parallel shards can
+// never interleave. Constant-initialized (std::mutex ctor is constexpr),
+// so it is usable from any static destructor ordering.
+Mutex g_stderr_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -51,8 +58,9 @@ LogMessage::~LogMessage() {
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "%9.3f %s\n", SecondsSinceStart(),
-               stream_.str().c_str());
+  const double elapsed = SecondsSinceStart();
+  MutexLock lock(g_stderr_mu);
+  std::fprintf(stderr, "%9.3f %s\n", elapsed, stream_.str().c_str());
 }
 
 FatalLogMessage::FatalLogMessage(const char* file, int line,
@@ -62,7 +70,10 @@ FatalLogMessage::FatalLogMessage(const char* file, int line,
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  {
+    MutexLock lock(g_stderr_mu);
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
   std::abort();
 }
 

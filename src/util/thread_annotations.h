@@ -1,0 +1,129 @@
+// Clang Thread Safety Analysis annotations + annotated mutex wrappers.
+//
+// The DMC_* macros expand to Clang's capability attributes when the
+// compiler supports them (-Wthread-safety) and to nothing everywhere
+// else, so GCC builds see plain C++. The `thread-safety` CMake preset
+// builds the whole tree with clang -Wthread-safety -Werror, turning the
+// lock discipline documented by these annotations into a compile error
+// on every schedule — the static complement to the dynamic TSan suite,
+// which can only prove absence of races on exercised schedules.
+//
+// libstdc++'s std::mutex carries no capability attributes, so the
+// analysis cannot see through std::lock_guard<std::mutex>. dmc::Mutex
+// wraps std::mutex as an annotated capability and dmc::MutexLock is the
+// annotated RAII guard; they are the project-sanctioned spellings (the
+// dmc_lint `banned-raw-lock` rule forbids bare .lock()/.unlock() calls
+// outside src/util/, and `unannotated-mutex` forbids std::mutex members
+// that no DMC_GUARDED_BY references).
+//
+// Annotation policy (DESIGN §5.6): every mutex-guarded member is marked
+// DMC_GUARDED_BY(mu_); functions that run with a lock already held take
+// DMC_REQUIRES(mu); lock-acquiring/releasing helpers are DMC_ACQUIRE /
+// DMC_RELEASE. Shared state published by pointer swap (RuleIndex
+// snapshots) guards only the pointer — the pointee is immutable.
+
+#ifndef DMC_UTIL_THREAD_ANNOTATIONS_H_
+#define DMC_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define DMC_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define DMC_THREAD_ANNOTATION_IMPL(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a lockable capability (e.g. a mutex type).
+#define DMC_CAPABILITY(x) DMC_THREAD_ANNOTATION_IMPL(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define DMC_SCOPED_CAPABILITY DMC_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define DMC_GUARDED_BY(x) DMC_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+/// Pointer member whose pointee is protected by `x`.
+#define DMC_PT_GUARDED_BY(x) DMC_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+/// Function that must be called with the listed capabilities held.
+#define DMC_REQUIRES(...) \
+  DMC_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the capabilities held shared.
+#define DMC_REQUIRES_SHARED(...) \
+  DMC_THREAD_ANNOTATION_IMPL(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and does not release
+/// them before returning.
+#define DMC_ACQUIRE(...) \
+  DMC_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+
+#define DMC_ACQUIRE_SHARED(...) \
+  DMC_THREAD_ANNOTATION_IMPL(acquire_shared_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities.
+#define DMC_RELEASE(...) \
+  DMC_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+
+#define DMC_RELEASE_SHARED(...) \
+  DMC_THREAD_ANNOTATION_IMPL(release_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns `result`.
+#define DMC_TRY_ACQUIRE(result, ...) \
+  DMC_THREAD_ANNOTATION_IMPL(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function that must NOT be called with the listed capabilities held
+/// (deadlock prevention for non-reentrant locks).
+#define DMC_EXCLUDES(...) \
+  DMC_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the calling thread holds the capability.
+#define DMC_ASSERT_CAPABILITY(x) \
+  DMC_THREAD_ANNOTATION_IMPL(assert_capability(x))
+
+/// Function returning a reference to the capability guarding its result.
+#define DMC_RETURN_CAPABILITY(x) DMC_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function.
+#define DMC_NO_THREAD_SAFETY_ANALYSIS \
+  DMC_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+namespace dmc {
+
+/// std::mutex as an annotated capability. Same cost, same semantics —
+/// the wrapper only exists so -Wthread-safety can track acquisition.
+/// Default-constructible as a constant-initialized global (std::mutex's
+/// constructor is constexpr).
+class DMC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DMC_ACQUIRE() { mu_.lock(); }
+  void Unlock() DMC_RELEASE() { mu_.unlock(); }
+  bool TryLock() DMC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over dmc::Mutex — the one sanctioned way to hold a lock
+/// (see the dmc_lint banned-raw-lock rule). Equivalent to
+/// std::lock_guard, plus the scoped-capability annotation.
+class DMC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DMC_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() DMC_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace dmc
+
+#endif  // DMC_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,215 @@
+#include "tools/lint_lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace dmc {
+namespace lint {
+namespace {
+
+std::vector<Token> CodeTokens(const std::string& src) {
+  std::vector<Token> out;
+  for (Token& t : LexSource(src)) {
+    if (t.kind != TokenKind::kComment) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<std::string> Texts(const std::vector<Token>& toks) {
+  std::vector<std::string> out;
+  for (const Token& t : toks) out.push_back(t.text);
+  return out;
+}
+
+const Token* FindKind(const std::vector<Token>& toks, TokenKind kind) {
+  for (const Token& t : toks) {
+    if (t.kind == kind) return &t;
+  }
+  return nullptr;
+}
+
+TEST(LexerTest, BasicTokenKinds) {
+  const auto toks = LexSource("int x = 42; // note\n");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[2].kind, TokenKind::kPunct);
+  EXPECT_EQ(toks[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[3].text, "42");
+  EXPECT_EQ(toks[5].kind, TokenKind::kComment);
+  EXPECT_EQ(toks[5].text, "// note");
+}
+
+TEST(LexerTest, OffsetsSpanOriginalBytes) {
+  const std::string src = "ab + cd";
+  const auto toks = LexSource(src);
+  ASSERT_EQ(toks.size(), 3u);
+  for (const Token& t : toks) {
+    EXPECT_EQ(src.substr(t.offset, t.end_offset - t.offset), t.text);
+  }
+}
+
+TEST(LexerTest, LineNumbersAreOneBased) {
+  const auto toks = LexSource("a\nb\n\nc\n");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+// --- raw strings ---
+
+TEST(LexerTest, RawStringIsOneToken) {
+  const auto toks = LexSource("auto s = R\"(a \" b rand() c)\";");
+  const Token* str = FindKind(toks, TokenKind::kString);
+  ASSERT_NE(str, nullptr);
+  EXPECT_EQ(str->text, "R\"(a \" b rand() c)\"");
+  // Nothing inside the literal leaks out as an identifier.
+  for (const Token& t : toks) {
+    EXPECT_NE(t.text, "rand");
+  }
+}
+
+TEST(LexerTest, RawStringCustomDelimiter) {
+  // The )" inside the body is content; only )xy" closes it.
+  const auto toks = LexSource("auto s = R\"xy(quote )\" inside)xy\";");
+  const Token* str = FindKind(toks, TokenKind::kString);
+  ASSERT_NE(str, nullptr);
+  EXPECT_EQ(str->text, "R\"xy(quote )\" inside)xy\"");
+}
+
+TEST(LexerTest, RawStringBodyIgnoresBackslashNewline) {
+  // A backslash-newline inside a raw string is two content bytes, not a
+  // splice; the literal still ends at its delimiter.
+  const auto toks = LexSource("auto s = R\"(tail\\\nmore)\"; int z;");
+  const Token* str = FindKind(toks, TokenKind::kString);
+  ASSERT_NE(str, nullptr);
+  EXPECT_NE(str->text.find("\\\n"), std::string::npos);
+  const auto texts = Texts(toks);
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "z"), texts.end());
+}
+
+TEST(LexerTest, EncodingPrefixedLiterals) {
+  const auto toks = LexSource("auto a = u8\"x\"; auto b = L'y'; uR\"(q)\";");
+  size_t strings = 0;
+  size_t chars = 0;
+  for (const Token& t : toks) {
+    if (t.kind == TokenKind::kString) ++strings;
+    if (t.kind == TokenKind::kCharLiteral) ++chars;
+  }
+  EXPECT_EQ(strings, 2u);
+  EXPECT_EQ(chars, 1u);
+}
+
+// --- line splices ---
+
+TEST(LexerTest, SpliceInsideIdentifier) {
+  const auto toks = LexSource("in\\\nt x;");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "int");
+  // The span still covers the original bytes including the splice.
+  EXPECT_EQ(toks[0].offset, 0u);
+  EXPECT_EQ(toks[0].end_offset, 5u);
+}
+
+TEST(LexerTest, SpliceExtendsLineComment) {
+  const auto toks = LexSource("// still comment \\\nsrand(42);\nint x;");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].kind, TokenKind::kComment);
+  EXPECT_NE(toks[0].text.find("srand"), std::string::npos);
+  const auto texts = Texts(toks);
+  EXPECT_EQ(std::count(texts.begin(), texts.end(), "srand"), 0);
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "x"), texts.end());
+  // The token after the spliced comment knows its true physical line.
+  EXPECT_EQ(toks.back().line, 3);
+}
+
+TEST(LexerTest, CarriageReturnSplice) {
+  const auto toks = LexSource("in\\\r\nt x;");
+  ASSERT_GE(toks.size(), 1u);
+  EXPECT_EQ(toks[0].text, "int");
+}
+
+// --- comments ---
+
+TEST(LexerTest, BlockCommentsDoNotNest) {
+  const auto toks = LexSource("/* outer /* inner */ int x;");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kComment);
+  EXPECT_EQ(toks[0].text, "/* outer /* inner */");
+  EXPECT_EQ(toks[1].text, "int");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentExtendsToEof) {
+  const auto toks = LexSource("int x; /* no close");
+  EXPECT_EQ(toks.back().kind, TokenKind::kComment);
+}
+
+// --- pp-numbers ---
+
+TEST(LexerTest, DigitSeparatorsStayInOneNumber) {
+  const auto toks = LexSource("long n = 1'000'000; char c = 'x';");
+  const Token* num = FindKind(toks, TokenKind::kNumber);
+  ASSERT_NE(num, nullptr);
+  EXPECT_EQ(num->text, "1'000'000");
+  // The separators did not open a char literal early; 'x' still lexes.
+  const Token* ch = FindKind(toks, TokenKind::kCharLiteral);
+  ASSERT_NE(ch, nullptr);
+  EXPECT_EQ(ch->text, "'x'");
+}
+
+TEST(LexerTest, ExponentSignsAndHexFloats) {
+  const auto a = LexSource("x = 1e+5;");
+  const Token* na = FindKind(a, TokenKind::kNumber);
+  ASSERT_NE(na, nullptr);
+  EXPECT_EQ(na->text, "1e+5");
+  const auto b = LexSource("y = 0x1p-3;");
+  const Token* nb = FindKind(b, TokenKind::kNumber);
+  ASSERT_NE(nb, nullptr);
+  EXPECT_EQ(nb->text, "0x1p-3");
+}
+
+TEST(LexerTest, SuffixedAndFloatNumbers) {
+  const auto toks = CodeTokens("a = 0xFFull; b = .5f; c = 3.14;");
+  std::vector<std::string> nums;
+  for (const Token& t : toks) {
+    if (t.kind == TokenKind::kNumber) nums.push_back(t.text);
+  }
+  ASSERT_EQ(nums.size(), 3u);
+  EXPECT_EQ(nums[0], "0xFFull");
+  EXPECT_EQ(nums[1], ".5f");
+  EXPECT_EQ(nums[2], "3.14");
+}
+
+// --- punctuators ---
+
+TEST(LexerTest, OnlyScopeAndArrowCombine) {
+  const auto texts = Texts(CodeTokens("a::b->c << d >> e"));
+  const std::vector<std::string> expected = {"a", "::", "b", "->", "c", "<",
+                                             "<", "d",  ">", ">",  "e"};
+  EXPECT_EQ(texts, expected);
+}
+
+// --- scrubber ---
+
+TEST(LexerTest, ScrubBlanksRawStringsAndSplicedComments) {
+  const std::string src =
+      "auto s = R\"(a \" rand() b)\";\n"
+      "// gone \\\nsrand(7);\n"
+      "int keep;\n";
+  const std::string out = ScrubWithLexer(src);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("srand"), std::string::npos);
+  EXPECT_NE(out.find("int keep;"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(out.size(), src.size());
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace dmc

@@ -155,7 +155,54 @@ TEST(LintFixtureTest, TreeWalkFindsOnePerViolatingFixture) {
   EXPECT_EQ(CountRule(findings, "banned-raw-unlink"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-hot-path-map"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-ruleset-mutation"), 1u);
-  EXPECT_EQ(findings.size(), 8u);
+  EXPECT_EQ(CountRule(findings, "banned-raw-lock"), 2u);
+  EXPECT_EQ(CountRule(findings, "unannotated-mutex"), 1u);
+  EXPECT_EQ(CountRule(findings, "atomic-ordering-audit"), 1u);
+  EXPECT_EQ(findings.size(), 12u);
+}
+
+TEST(LintFixtureTest, BannedRawLockFiresPerPrimitiveCall) {
+  const auto findings = LintFile(
+      "bad_raw_lock.cc", ReadFile(FixturePath("bad_raw_lock.cc")), {});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "banned-raw-lock");
+  EXPECT_EQ(findings[0].line, 10);
+  EXPECT_NE(findings[0].message.find("MutexLock"), std::string::npos);
+  EXPECT_EQ(findings[1].rule, "banned-raw-lock");
+  EXPECT_EQ(findings[1].line, 12);
+}
+
+TEST(LintFixtureTest, UnannotatedMutexFiresExactlyOnce) {
+  const auto findings =
+      LintFile("bad_mutex_member.h",
+               ReadFile(FixturePath("bad_mutex_member.h")), {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unannotated-mutex");
+  EXPECT_EQ(findings[0].line, 19);
+  EXPECT_NE(findings[0].message.find("mu_"), std::string::npos);
+}
+
+TEST(LintFixtureTest, AtomicOrderingAuditFiresExactlyOnce) {
+  const auto findings = LintFile(
+      "core/kernels.cc", ReadFile(FixturePath("core/kernels.cc")), {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "atomic-ordering-audit");
+  EXPECT_EQ(findings[0].line, 11);
+  EXPECT_NE(findings[0].message.find("memory_order"), std::string::npos);
+}
+
+TEST(LintFixtureTest, RegressionFixturesAreCleanUnderTokenEngine) {
+  // Raw strings and line-spliced comments produced phantom findings
+  // under the v1 substring engine; the token engine must stay silent.
+  EXPECT_TRUE(LintFile("regression/raw_string_decoy.cc",
+                       ReadFile(FixturePath("regression/raw_string_decoy.cc")),
+                       {})
+                  .empty());
+  EXPECT_TRUE(
+      LintFile("regression/comment_splice_decoy.cc",
+               ReadFile(FixturePath("regression/comment_splice_decoy.cc")),
+               {})
+          .empty());
 }
 
 TEST(LintFixtureTest, BannedRuleSetMutationFiresExactlyOnce) {
@@ -289,6 +336,78 @@ TEST(LintRuleTest, HotPathMapSuppressionWorks) {
   const std::string body =
       "void F(){ std::map<int, int> m; }  // dmc_lint: ignore\n";
   EXPECT_TRUE(LintFile("src/core/dmc_base.cc", body, {}).empty());
+}
+
+TEST(LintRuleTest, RawLockAllowedOnlyUnderUtil) {
+  const std::string body = "void F(M& mu){ mu.lock(); mu.unlock(); }\n";
+  EXPECT_TRUE(LintFile("src/util/spin.cc", body, {}).empty());
+  EXPECT_EQ(LintFile("src/core/engine.cc", body, {}).size(), 2u);
+  EXPECT_EQ(LintFile("src/core/engine.cc",
+                     "void G(M* mu){ mu->lock(); }\n", {})
+                .size(),
+            1u);
+}
+
+TEST(LintRuleTest, RawLockNeedsMemberCall) {
+  // Free functions and plain identifiers named lock are not the
+  // primitive.
+  EXPECT_TRUE(LintFile("src/core/engine.cc",
+                       "void F(){ lock(); int lock = 0; (void)lock; }\n", {})
+                  .empty());
+  const std::string body =
+      "void F(M& mu){ mu.lock(); }  // dmc_lint: ignore\n";
+  EXPECT_TRUE(LintFile("src/core/engine.cc", body, {}).empty());
+}
+
+TEST(LintRuleTest, UnannotatedMutexAcceptsGuardedByReference) {
+  const std::string referenced =
+      "#pragma once\n"
+      "class C { std::mutex mu_; int x_ DMC_GUARDED_BY(mu_); };\n";
+  EXPECT_TRUE(LintFile("src/core/engine.h", referenced, {}).empty());
+  const std::string bare =
+      "#pragma once\nclass C { std::mutex mu_; };\n";
+  EXPECT_EQ(LintFile("src/core/engine.h", bare, {}).size(), 1u);
+  // A DMC_REQUIRES contract also ties the mutex into the graph.
+  const std::string required =
+      "#pragma once\n"
+      "struct R { std::mutex mu; };\n"
+      "void G(R& r) DMC_REQUIRES(r.mu);\n";
+  EXPECT_TRUE(LintFile("src/core/engine.h", required, {}).empty());
+}
+
+TEST(LintRuleTest, UnannotatedMutexIgnoresNonDeclarations) {
+  // Mentions that are not `std::mutex name;` declarations: references,
+  // template arguments, lock types.
+  EXPECT_TRUE(LintFile("src/core/engine.cc",
+                       "void F(std::mutex& mu);\n"
+                       "std::lock_guard<std::mutex> g(mu);\n",
+                       {})
+                  .empty());
+  // dmc::Mutex is the annotated capability; never flagged.
+  EXPECT_TRUE(LintFile("src/core/engine.cc",
+                       "class C { Mutex mu_; };\n", {})
+                  .empty());
+}
+
+TEST(LintRuleTest, AtomicOrderingAuditIsPathConditional) {
+  const std::string body = "long F(A& a){ return a.load(); }\n";
+  EXPECT_EQ(LintFile("src/core/parallel_dmc.cc", body, {}).size(), 1u);
+  EXPECT_EQ(LintFile("src/util/failpoint.cc", body, {}).size(), 1u);
+  // Outside the audited TUs a defaulted order is left to review.
+  EXPECT_TRUE(LintFile("src/observe/metrics.cc", body, {}).empty());
+}
+
+TEST(LintRuleTest, AtomicOrderingAcceptsExplicitOrder) {
+  const std::string body =
+      "void F(A& a){ a.store(1, std::memory_order_release); "
+      "a.fetch_add(2, std::memory_order_relaxed); }\n";
+  EXPECT_TRUE(LintFile("src/core/parallel_dmc.cc", body, {}).empty());
+  // C++20 scoped form counts too.
+  EXPECT_TRUE(LintFile("src/core/parallel_dmc.cc",
+                       "void G(A& a){ a.store(1, std::memory_order::release); "
+                       "}\n",
+                       {})
+                  .empty());
 }
 
 TEST(LintRuleTest, DiscardInsideIfBodyIsFlagged) {

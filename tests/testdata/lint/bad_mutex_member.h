@@ -1,0 +1,26 @@
+// Fixture: a raw std::mutex member that no annotation references must
+// fire unannotated-mutex exactly once (line 19). The second mutex is
+// tied into the annotation graph by the DMC_GUARDED_BY reference below
+// and stays legal.
+
+#ifndef DMC_TESTS_TESTDATA_LINT_BAD_MUTEX_MEMBER_H_
+#define DMC_TESTS_TESTDATA_LINT_BAD_MUTEX_MEMBER_H_
+
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+class Counters {
+ public:
+  void Bump();
+
+ private:
+  std::mutex mu_;
+  std::mutex annotated_mu_;
+  std::vector<int> counts_ DMC_GUARDED_BY(annotated_mu_);
+};
+
+}  // namespace fixture
+
+#endif  // DMC_TESTS_TESTDATA_LINT_BAD_MUTEX_MEMBER_H_

@@ -1,0 +1,17 @@
+// Fixture: bare .lock()/.unlock() member calls outside src/util/ must
+// fire banned-raw-lock once each (lines 10 and 12). A symbol merely
+// named lock stays legal.
+
+#include <mutex>
+
+namespace fixture {
+
+inline void Critical(std::mutex& mu, int* v) {
+  mu.lock();
+  ++*v;
+  mu.unlock();
+}
+
+inline int LockFree(int lock) { return lock + 1; }
+
+}  // namespace fixture

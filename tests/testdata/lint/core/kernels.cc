@@ -1,0 +1,17 @@
+// Fixture: the path ends with core/kernels.cc, an audited hot-path TU,
+// so every named atomic operation must spell its memory order. The
+// defaulted .load() on line 11 fires atomic-ordering-audit exactly
+// once; the explicit operations around it stay legal.
+
+#include <atomic>
+
+namespace fixture {
+
+inline long Drain(std::atomic<long>& pending) {
+  const long seen = pending.load();
+  pending.fetch_add(1, std::memory_order_relaxed);
+  pending.store(0, std::memory_order_release);
+  return seen;
+}
+
+}  // namespace fixture

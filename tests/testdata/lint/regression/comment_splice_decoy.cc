@@ -1,0 +1,14 @@
+// Fixture (regression): a line comment whose trailing backslash splices
+// the next physical line into the comment. v1 ended the comment at the
+// newline and scanned the continuation as code — phantom banned-rand
+// and banned-stdio findings on commented-out text. The token engine
+// removes the splice first; this file must be completely clean.
+
+namespace fixture {
+
+inline int Seed() { return 1; }
+
+// everything on the next physical line is still this comment \
+   srand(42); std::cout << seed;
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture (regression): banned identifiers inside a raw string literal.
+// The v1 substring scrubber only understood plain "..." quoting, so the
+// lone inner quote below flipped it out of string state and the rest of
+// the literal scanned as code — phantom banned-rand and banned-stdio
+// findings on data. The token engine lexes the whole raw string as one
+// literal; this file must be completely clean.
+
+#include <string>
+
+namespace fixture {
+
+inline std::string LintManualExcerpt() {
+  return R"(say "no to rand() and srand(7) and std::cout in library code)";
+}
+
+}  // namespace fixture

@@ -4,15 +4,21 @@
 #   (a) warnings-as-errors build + full ctest        (preset: default)
 #   (b) ASan+UBSan build + full ctest                (preset: asan-ubsan)
 #   (c) TSan build + parallel/observe/cancellation/fault/rule-index tests
-#   (d) dmc_lint over src/
+#   (d) dmc_lint over src/ + tools/
 #   (e) metrics-schema smoke check (dmc_cli --metrics-out)
 #   (f) fault-injection sweep under ASan+UBSan (differential exactness)
 #   (g) incremental-vs-batch differential sweep under ASan+UBSan
 #   (h) coverage build + gate against tools/coverage_floor.txt
 #   (i) perf smoke: release-native build + bench_kernels --json-out schema
+#   (j) clang -Wthread-safety -Werror build          (preset: thread-safety)
+#   (k) clang-tidy over the concurrency-sensitive TUs (.clang-tidy profile)
+#
+# Stages (j) and (k) need clang++ / clang-tidy on PATH and are skipped
+# with a notice when the toolchain lacks them (the annotations compile to
+# nothing on GCC, so the default build still exercises the same sources).
 #
 # Exits nonzero on the first failure. Pass --fast to skip the sanitizer,
-# coverage and perf stages, e.g. for a pre-commit hook.
+# coverage, perf and clang-analysis stages, e.g. for a pre-commit hook.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -43,7 +49,7 @@ if [[ "${fast}" -eq 0 ]]; then
     -j "${jobs}" --output-on-failure
 fi
 
-step "(d) dmc_lint over src/"
+step "(d) dmc_lint over src/ + tools/"
 DMC_BUILD_DIR="${repo_root}/build" "${repo_root}/tools/dmc_check.sh"
 
 step "(e) metrics-schema smoke check"
@@ -116,6 +122,35 @@ if [[ "${fast}" -eq 0 ]]; then
     }
   done
   echo "bench json schema OK"
+
+  step "(j) clang -Wthread-safety -Werror build"
+  # The DMC_GUARDED_BY/DMC_REQUIRES annotations (util/thread_annotations.h)
+  # only carry analysis weight under Clang; this stage proves every
+  # annotated mutex-guarded member is accessed under its lock.
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake --preset thread-safety >/dev/null
+    cmake --build --preset thread-safety -j "${jobs}"
+    echo "thread-safety analysis OK"
+  else
+    echo "clang++ not on PATH; skipping thread-safety analysis"
+  fi
+
+  step "(k) clang-tidy concurrency profile"
+  # .clang-tidy pins the check list (bugprone/performance/concurrency);
+  # run it over the TUs that own locks, atomics, or shared state.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    clang-tidy -p "${repo_root}/build" --quiet \
+      "${repo_root}"/src/core/parallel_dmc.cc \
+      "${repo_root}"/src/observe/metrics.cc \
+      "${repo_root}"/src/observe/trace.cc \
+      "${repo_root}"/src/rules/rule_index.cc \
+      "${repo_root}"/src/util/failpoint.cc \
+      "${repo_root}"/src/util/logging.cc \
+      "${repo_root}"/src/util/atomic_io.cc
+    echo "clang-tidy OK"
+  else
+    echo "clang-tidy not on PATH; skipping clang-tidy stage"
+  fi
 fi
 
 step "all checks passed"

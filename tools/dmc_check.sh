@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # dmc_check.sh — build (if needed) and run the dmc_lint static checker
-# over the library tree. Usage:
+# over the library tree and the tools themselves. Usage:
 #
-#   tools/dmc_check.sh [path ...]      # default path: src/
+#   tools/dmc_check.sh [path ...]      # default paths: src/ tools/
 #
 # Exits nonzero when any lint rule fires. See tools/lint_lib.h for the
 # rule list and the suppression syntax.
@@ -18,7 +18,7 @@ fi
 
 targets=("$@")
 if [[ ${#targets[@]} -eq 0 ]]; then
-  targets=("${repo_root}/src")
+  targets=("${repo_root}/src" "${repo_root}/tools")
 fi
 
 exec "${build_dir}/tools/dmc_lint" "${targets[@]}"

@@ -19,7 +19,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: dmc_lint <file-or-dir> [<file-or-dir> ...]\n"
                  "rules: include-guard banned-rand banned-stdio "
+                 "banned-file-stream banned-raw-unlink\n"
+                 "       banned-hot-path-map banned-ruleset-mutation "
                  "discarded-status\n"
+                 "       banned-raw-lock unannotated-mutex "
+                 "atomic-ordering-audit\n"
                  "suppress one line with `// dmc_lint: ignore`, a file "
                  "with `dmc_lint: ignore-file`\n");
     return 2;

@@ -1,0 +1,46 @@
+// dmc_lint v1 — the original line/substring rule engine, frozen.
+//
+// Kept verbatim (modulo namespacing) as the reference implementation
+// for the v1-vs-v2 differential parity test: the token-based engine in
+// lint_lib.{h,cc} must reproduce these verdicts byte-for-byte over the
+// whole src/ tree and the non-regression fixture corpus. The one class
+// of intentional divergence is the v1 scrubber's blind spots — raw
+// string literals and line-spliced comments — where v1 misfires on
+// banned identifiers that are really data; those inputs live under
+// tests/testdata/lint/regression/ and are asserted clean under v2 only.
+//
+// Do not add rules here; new rules go in the token engine.
+
+#ifndef DMC_TOOLS_LINT_LEGACY_H_
+#define DMC_TOOLS_LINT_LEGACY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint_lib.h"
+
+namespace dmc {
+namespace lint {
+namespace legacy {
+
+/// v1 scrubber: blanks //, /* */ comments and plain "..."/'...' literals
+/// (no raw-string or line-splice awareness — that is the point).
+std::string ScrubSource(const std::string& content);
+
+/// v1 Status/StatusOr function-name harvest over scrubbed text.
+std::set<std::string> CollectStatusFunctions(const std::string& content);
+
+/// v1 rule engine over one file (the eight original rules).
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& content,
+                              const std::set<std::string>& status_functions);
+
+/// v1 tree walk: harvest registry, lint every .h/.cc/.cpp under root.
+std::vector<Finding> LintTree(const std::string& root);
+
+}  // namespace legacy
+}  // namespace lint
+}  // namespace dmc
+
+#endif  // DMC_TOOLS_LINT_LEGACY_H_

@@ -1,0 +1,305 @@
+#include "tools/lint_lexer.h"
+
+#include <cctype>
+
+namespace dmc {
+namespace lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Splice-aware cursor over the original text. The "effective" stream
+/// is the source with every backslash-newline (and backslash-CR-LF)
+/// removed, as in translation phase 2; Peek/Get operate on that stream
+/// while `pos()` always reports original byte offsets. Raw-string
+/// bodies bypass the splice logic via the Raw* methods.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) {}
+
+  size_t pos() const { return i_; }
+  int line() const { return line_; }
+
+  bool AtEnd() {
+    SkipSplices();
+    return i_ >= s_.size();
+  }
+
+  /// Effective character `ahead` positions from here ('\0' past the end).
+  char Peek(size_t ahead = 0) {
+    size_t j = i_;
+    int dummy = 0;
+    for (size_t k = 0; k <= ahead; ++k) {
+      SkipSplicesAt(&j, &dummy);
+      if (j >= s_.size()) return '\0';
+      if (k == ahead) return s_[j];
+      if (s_[j] == '\n') ++dummy;
+      ++j;
+    }
+    return '\0';
+  }
+
+  /// Consumes and returns the current effective character.
+  char Get() {
+    SkipSplices();
+    const char c = s_[i_];
+    if (c == '\n') ++line_;
+    ++i_;
+    return c;
+  }
+
+  // Raw access (no splice removal) for raw-string bodies.
+  bool RawAtEnd() const { return i_ >= s_.size(); }
+  char RawPeek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  char RawGet() {
+    const char c = s_[i_];
+    if (c == '\n') ++line_;
+    ++i_;
+    return c;
+  }
+
+ private:
+  void SkipSplices() { SkipSplicesAt(&i_, &line_); }
+
+  void SkipSplicesAt(size_t* j, int* line) const {
+    while (*j + 1 < s_.size() && s_[*j] == '\\') {
+      if (s_[*j + 1] == '\n') {
+        *j += 2;
+        ++*line;
+      } else if (s_[*j + 1] == '\r' && *j + 2 < s_.size() &&
+                 s_[*j + 2] == '\n') {
+        *j += 3;
+        ++*line;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& s_;
+  size_t i_ = 0;
+  int line_ = 1;
+};
+
+/// True when `prefix` is a valid string-literal encoding prefix.
+bool IsEncodingPrefix(const std::string& prefix) {
+  return prefix == "u8" || prefix == "u" || prefix == "U" || prefix == "L";
+}
+
+/// True when `prefix` marks a raw string (R with optional encoding).
+bool IsRawPrefix(const std::string& prefix) {
+  return prefix == "R" || prefix == "uR" || prefix == "u8R" ||
+         prefix == "UR" || prefix == "LR";
+}
+
+}  // namespace
+
+std::vector<Token> LexSource(const std::string& content) {
+  std::vector<Token> tokens;
+  Cursor cur(content);
+
+  auto begin_token = [&](TokenKind kind) {
+    Token t;
+    t.kind = kind;
+    t.offset = cur.pos();
+    t.line = cur.line();
+    return t;
+  };
+  auto finish = [&](Token t) {
+    t.end_offset = cur.pos();
+    tokens.push_back(std::move(t));
+  };
+
+  // Consumes a quoted literal body (after the opening quote is already in
+  // `t.text`) up to the matching unescaped quote. Newlines are tolerated
+  // (unterminated literals extend; the engine never crashes on bad input).
+  auto lex_quoted = [&](Token& t, char quote) {
+    while (!cur.AtEnd()) {
+      const char c = cur.Get();
+      t.text.push_back(c);
+      if (c == '\\' && !cur.AtEnd()) {
+        t.text.push_back(cur.Get());  // escape: next char is content
+        continue;
+      }
+      if (c == quote) break;
+    }
+  };
+
+  // Consumes R"delim( ... )delim" starting at the opening quote (prefix
+  // already in t.text). Raw bodies read original bytes: no splices.
+  auto lex_raw_string = [&](Token& t) {
+    t.text.push_back(cur.Get());  // the opening '"'
+    std::string delim;
+    while (!cur.RawAtEnd()) {
+      const char c = cur.RawPeek();
+      if (c == '(' || c == ')' || c == '"' || c == '\\' || c == '\n' ||
+          delim.size() >= 16) {
+        break;
+      }
+      delim.push_back(cur.RawGet());
+      t.text.push_back(delim.back());
+    }
+    if (cur.RawAtEnd() || cur.RawPeek() != '(') return;  // malformed; stop
+    t.text.push_back(cur.RawGet());                      // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string window;
+    while (!cur.RawAtEnd()) {
+      const char c = cur.RawGet();
+      t.text.push_back(c);
+      window.push_back(c);
+      if (window.size() > closer.size()) {
+        window.erase(window.begin());
+      }
+      if (window == closer) return;
+    }
+  };
+
+  while (!cur.AtEnd()) {
+    const char c = cur.Peek();
+
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      cur.Get();
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && cur.Peek(1) == '/') {
+      Token t = begin_token(TokenKind::kComment);
+      t.text.push_back(cur.Get());
+      t.text.push_back(cur.Get());
+      // A line splice inside the comment extends it — Peek sees the
+      // effective stream, so the spliced newline never terminates it.
+      while (!cur.AtEnd() && cur.Peek() != '\n') t.text.push_back(cur.Get());
+      finish(std::move(t));
+      continue;
+    }
+    if (c == '/' && cur.Peek(1) == '*') {
+      Token t = begin_token(TokenKind::kComment);
+      t.text.push_back(cur.Get());
+      t.text.push_back(cur.Get());
+      // C++ block comments do not nest: the first */ ends it.
+      while (!cur.AtEnd()) {
+        if (cur.Peek() == '*' && cur.Peek(1) == '/') {
+          t.text.push_back(cur.Get());
+          t.text.push_back(cur.Get());
+          break;
+        }
+        t.text.push_back(cur.Get());
+      }
+      finish(std::move(t));
+      continue;
+    }
+
+    // Identifiers — possibly a string/char literal encoding prefix.
+    if (IsIdentStart(c)) {
+      Token t = begin_token(TokenKind::kIdentifier);
+      while (!cur.AtEnd() && IsIdentChar(cur.Peek())) {
+        t.text.push_back(cur.Get());
+      }
+      if (cur.Peek() == '"' && IsRawPrefix(t.text)) {
+        t.kind = TokenKind::kString;
+        lex_raw_string(t);
+        finish(std::move(t));
+        continue;
+      }
+      if (cur.Peek() == '"' && IsEncodingPrefix(t.text)) {
+        t.kind = TokenKind::kString;
+        t.text.push_back(cur.Get());
+        lex_quoted(t, '"');
+        finish(std::move(t));
+        continue;
+      }
+      if (cur.Peek() == '\'' && IsEncodingPrefix(t.text)) {
+        t.kind = TokenKind::kCharLiteral;
+        t.text.push_back(cur.Get());
+        lex_quoted(t, '\'');
+        finish(std::move(t));
+        continue;
+      }
+      finish(std::move(t));
+      continue;
+    }
+
+    // pp-numbers (also covers `.5`); the `'` digit separator is part of
+    // the number when followed by an alphanumeric, so it never opens a
+    // character literal.
+    if (IsDigit(c) || (c == '.' && IsDigit(cur.Peek(1)))) {
+      Token t = begin_token(TokenKind::kNumber);
+      t.text.push_back(cur.Get());
+      while (!cur.AtEnd()) {
+        const char n = cur.Peek();
+        if (IsIdentChar(n) || n == '.') {
+          t.text.push_back(cur.Get());
+          if ((n == 'e' || n == 'E' || n == 'p' || n == 'P') &&
+              (cur.Peek() == '+' || cur.Peek() == '-')) {
+            t.text.push_back(cur.Get());
+          }
+          continue;
+        }
+        if (n == '\'' && IsIdentChar(cur.Peek(1))) {
+          t.text.push_back(cur.Get());
+          t.text.push_back(cur.Get());
+          continue;
+        }
+        break;
+      }
+      finish(std::move(t));
+      continue;
+    }
+
+    // Plain string / char literals.
+    if (c == '"') {
+      Token t = begin_token(TokenKind::kString);
+      t.text.push_back(cur.Get());
+      lex_quoted(t, '"');
+      finish(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      Token t = begin_token(TokenKind::kCharLiteral);
+      t.text.push_back(cur.Get());
+      lex_quoted(t, '\'');
+      finish(std::move(t));
+      continue;
+    }
+
+    // Punctuators: combine only `::` and `->` (the lint rules need
+    // them whole); every other byte is one token, matching the v1
+    // engine's per-character template/paren walks.
+    Token t = begin_token(TokenKind::kPunct);
+    const char first = cur.Get();
+    t.text.push_back(first);
+    if ((first == ':' && cur.Peek() == ':') ||
+        (first == '-' && cur.Peek() == '>')) {
+      t.text.push_back(cur.Get());
+    }
+    finish(std::move(t));
+  }
+  return tokens;
+}
+
+std::string ScrubWithLexer(const std::string& content) {
+  std::string out = content;
+  for (const Token& t : LexSource(content)) {
+    if (t.kind != TokenKind::kComment && t.kind != TokenKind::kString &&
+        t.kind != TokenKind::kCharLiteral) {
+      continue;
+    }
+    for (size_t i = t.offset; i < t.end_offset && i < out.size(); ++i) {
+      if (out[i] != '\n') out[i] = ' ';
+    }
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace dmc

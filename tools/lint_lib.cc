@@ -1,21 +1,18 @@
 #include "tools/lint_lib.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <tuple>
 
+#include "tools/lint_lexer.h"
+
 namespace dmc {
 namespace lint {
 
 namespace {
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
 
 bool HasExtension(const std::string& path, const char* ext) {
   const size_t n = std::strlen(ext);
@@ -43,183 +40,126 @@ std::vector<std::string> SplitLines(const std::string& content) {
   return lines;
 }
 
-// 1-based line number of offset `pos` in `content`.
-int LineOf(const std::string& content, size_t pos) {
-  return 1 + static_cast<int>(
-                 std::count(content.begin(), content.begin() + pos, '\n'));
+bool IsIdent(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
 }
 
-// True when the identifier at [pos, pos+len) is qualified as std::.
-// Walks left over an optional `::` and reads the qualifier word.
-bool QualifierAllowsBan(const std::string& s, size_t pos) {
-  size_t j = pos;
-  while (j > 0 && std::isspace(static_cast<unsigned char>(s[j - 1]))) --j;
-  if (j < 2 || s[j - 1] != ':' || s[j - 2] != ':') return true;  // unqualified
-  j -= 2;
-  while (j > 0 && std::isspace(static_cast<unsigned char>(s[j - 1]))) --j;
-  size_t end = j;
-  while (j > 0 && IsIdentChar(s[j - 1])) --j;
-  return s.substr(j, end - j) == "std";  // std::rand banned, Foo::rand not
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
 }
 
-// Index of the matching ')' for the '(' at `open`, or npos.
-size_t MatchParen(const std::string& s, size_t open) {
+/// Tokens touch with no whitespace/comment between them. The receiver
+/// chain walk in discarded-status is adjacency-sensitive (as the v1
+/// character walk was): `state.Frob()` is one chain, `return Frob()`
+/// is not.
+bool Adjacent(const Token& a, const Token& b) {
+  return a.end_offset == b.offset;
+}
+
+/// Index of the token holding the ')' matching the '(' at `open`,
+/// or npos. Parens inside literals are literal content, not tokens.
+size_t MatchParen(const std::vector<Token>& code, size_t open) {
   int depth = 0;
-  for (size_t i = open; i < s.size(); ++i) {
-    if (s[i] == '(') ++depth;
-    if (s[i] == ')' && --depth == 0) return i;
+  for (size_t i = open; i < code.size(); ++i) {
+    if (IsPunct(code[i], "(")) ++depth;
+    if (IsPunct(code[i], ")") && --depth == 0) return i;
   }
   return std::string::npos;
 }
 
-size_t SkipSpace(const std::string& s, size_t i) {
-  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
-  return i;
+/// True when the ban on the identifier at code[i] applies: the name is
+/// unqualified (including member access — `obj.printf(...)` is still
+/// banned) or qualified exactly `std::`. A global `::rand` or a foreign
+/// `Foo::rand` names something else and is left alone.
+bool BanQualifierApplies(const std::vector<Token>& code, size_t i) {
+  if (i >= 1 && IsPunct(code[i - 1], "::")) {
+    return i >= 2 && IsIdent(code[i - 2], "std");
+  }
+  return true;
 }
 
-std::string Trim(const std::string& s) {
-  size_t b = 0;
-  size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return s.substr(b, e - b);
+/// True when code[i] is written with an explicit std:: qualifier.
+bool IsStdQualified(const std::vector<Token>& code, size_t i) {
+  return i >= 2 && IsPunct(code[i - 1], "::") && IsIdent(code[i - 2], "std");
 }
 
-}  // namespace
+/// Per-file context shared by every rule: the comment-free token
+/// stream, plus the raw-line suppression map.
+struct FileCtx {
+  const std::string& path;
+  std::vector<Token> code;       // comments dropped; literals kept
+  std::vector<bool> suppressed;  // `// dmc_lint: ignore` per raw line
 
-std::string ScrubSource(const std::string& content) {
-  std::string out = content;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-          out[i] = ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out[i] = ' ';
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar: {
-        const char quote = state == State::kString ? '"' : '\'';
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == quote) {
-          out[i] = ' ';
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      }
+  bool Suppressed(int line) const {
+    return line >= 1 && static_cast<size_t>(line - 1) < suppressed.size() &&
+           suppressed[line - 1];
+  }
+  bool PathContains(const char* s) const {
+    return path.find(s) != std::string::npos;
+  }
+  bool PathEndsWith(const char* s) const { return HasExtension(path, s); }
+};
+
+void CheckIncludeGuard(const FileCtx& ctx, std::vector<Finding>* findings) {
+  if (!ctx.PathEndsWith(".h")) return;
+  if (!ctx.suppressed.empty() && ctx.suppressed[0]) return;
+  // First two significant lines: a line counts once it carries a token
+  // that is neither comment (already dropped) nor literal — matching
+  // the v1 notion of "non-blank after scrubbing".
+  std::vector<std::vector<Token>> lines;
+  int cur_line = -1;
+  bool cur_significant = false;
+  auto flush = [&](std::vector<Token>&& toks) {
+    if (cur_significant && lines.size() < 2) lines.push_back(std::move(toks));
+  };
+  std::vector<Token> cur;
+  for (const Token& t : ctx.code) {
+    if (t.line != cur_line) {
+      flush(std::move(cur));
+      cur.clear();
+      cur_line = t.line;
+      cur_significant = false;
     }
-  }
-  return out;
-}
-
-std::set<std::string> CollectStatusFunctions(const std::string& content) {
-  const std::string s = ScrubSource(content);
-  std::set<std::string> names;
-  for (size_t i = 0; i + 6 <= s.size(); ++i) {
-    if (s.compare(i, 6, "Status") != 0) continue;
-    if (i > 0 && IsIdentChar(s[i - 1])) continue;
-    size_t j = i + 6;
-    if (j + 2 <= s.size() && s.compare(j, 2, "Or") == 0) {
-      j += 2;
-      j = SkipSpace(s, j);
-      if (j >= s.size() || s[j] != '<') continue;
-      int depth = 0;  // skip the (possibly nested) template argument
-      while (j < s.size()) {
-        if (s[j] == '<') ++depth;
-        if (s[j] == '>' && --depth == 0) {
-          ++j;
-          break;
-        }
-        ++j;
-      }
-    } else if (j < s.size() && IsIdentChar(s[j])) {
-      continue;  // StatusCode, StatusXyz, ...
+    if (t.kind != TokenKind::kString && t.kind != TokenKind::kCharLiteral) {
+      cur_significant = true;
     }
-    j = SkipSpace(s, j);
-    const size_t name_begin = j;
-    while (j < s.size() && IsIdentChar(s[j])) ++j;
-    if (j == name_begin) continue;
-    const std::string name = s.substr(name_begin, j - name_begin);
-    j = SkipSpace(s, j);
-    if (j < s.size() && s[j] == '(' && name != "operator") {
-      names.insert(name);
+    cur.push_back(t);
+  }
+  flush(std::move(cur));
+
+  auto rest_of_line = [](const std::vector<Token>& toks, size_t from) {
+    std::string joined;
+    for (size_t i = from; i < toks.size(); ++i) {
+      if (!joined.empty()) joined.push_back(' ');
+      joined += toks[i].text;
     }
-    i = j;
-  }
-  return names;
-}
+    return joined;
+  };
 
-namespace {
-
-void CheckIncludeGuard(const std::string& path, const std::string& scrubbed,
-                       const std::vector<bool>& suppressed,
-                       std::vector<Finding>* findings) {
-  if (!HasExtension(path, ".h")) return;
-  const auto lines = SplitLines(scrubbed);
-  // First two non-blank (post-scrub) lines must be `#pragma once` or a
-  // matching #ifndef/#define pair.
-  std::vector<std::pair<int, std::string>> significant;
-  for (size_t i = 0; i < lines.size() && significant.size() < 2; ++i) {
-    const std::string t = Trim(lines[i]);
-    if (!t.empty()) significant.emplace_back(static_cast<int>(i + 1), t);
-  }
-  if (!suppressed.empty() && suppressed[0]) return;
-  if (!significant.empty() &&
-      significant[0].second.rfind("#pragma once", 0) == 0) {
-    return;
-  }
-  if (significant.size() == 2) {
-    const std::string& a = significant[0].second;
-    const std::string& b = significant[1].second;
-    if (a.rfind("#ifndef ", 0) == 0 && b.rfind("#define ", 0) == 0 &&
-        Trim(a.substr(8)) == Trim(b.substr(8)) && !Trim(a.substr(8)).empty()) {
+  if (!lines.empty()) {
+    const auto& l1 = lines[0];
+    if (l1.size() >= 3 && IsPunct(l1[0], "#") && IsIdent(l1[1], "pragma") &&
+        IsIdent(l1[2], "once")) {
       return;
+    }
+    if (lines.size() == 2) {
+      const auto& l2 = lines[1];
+      if (l1.size() >= 3 && IsPunct(l1[0], "#") && IsIdent(l1[1], "ifndef") &&
+          l2.size() >= 3 && IsPunct(l2[0], "#") && IsIdent(l2[1], "define") &&
+          rest_of_line(l1, 2) == rest_of_line(l2, 2)) {
+        return;
+      }
     }
   }
   findings->push_back(
-      {path, 1, "include-guard",
+      {ctx.path, 1, "include-guard",
        "header must start with #pragma once or a matching "
        "#ifndef/#define include guard"});
 }
 
-void CheckBannedTokens(const std::string& path, const std::string& scrubbed,
-                       const std::vector<bool>& suppressed,
-                       std::vector<Finding>* findings) {
+void CheckBannedTokens(const FileCtx& ctx, std::vector<Finding>* findings) {
   struct Ban {
     const char* token;
     bool needs_call;  // must be followed by '('
@@ -248,58 +188,32 @@ void CheckBannedTokens(const std::string& path, const std::string& scrubbed,
        "opening output streams in library code is banned; route exports "
        "through src/observe (stats_export.h)"},
   };
-  // The logging backend is the one translation unit allowed to write to
-  // stderr directly.
-  const bool is_logging_backend =
-      path.find("util/logging.") != std::string::npos;
-  // The observe export layer is the one library component allowed to open
-  // output files; everything else must hand data to it.
-  const bool is_observe_export =
-      path.find("observe/") != std::string::npos;
+  // The logging backend is the one library translation unit allowed to
+  // write to stderr directly; command-line front ends under tools/
+  // write to their own stdout by design.
+  const bool stdio_exempt =
+      ctx.PathContains("util/logging.") || ctx.PathContains("tools/");
+  // The observe export layer is the one library component allowed to
+  // open output files; tools/ CLIs own their output files too.
+  const bool file_stream_exempt =
+      ctx.PathContains("observe/") || ctx.PathContains("tools/");
   for (const Ban& ban : kBans) {
-    if (is_logging_backend &&
-        std::string(ban.rule) == "banned-stdio") {
+    if (stdio_exempt && std::strcmp(ban.rule, "banned-stdio") == 0) continue;
+    if (file_stream_exempt &&
+        std::strcmp(ban.rule, "banned-file-stream") == 0) {
       continue;
     }
-    if (is_observe_export &&
-        std::string(ban.rule) == "banned-file-stream") {
-      continue;
-    }
-    const size_t len = std::strlen(ban.token);
-    size_t pos = 0;
-    while ((pos = scrubbed.find(ban.token, pos)) != std::string::npos) {
-      const size_t here = pos;
-      pos += len;
-      if (here > 0 && IsIdentChar(scrubbed[here - 1])) continue;
-      if (here + len < scrubbed.size() && IsIdentChar(scrubbed[here + len])) {
+    for (size_t i = 0; i < ctx.code.size(); ++i) {
+      if (!IsIdent(ctx.code[i], ban.token)) continue;
+      if (ban.needs_call &&
+          (i + 1 >= ctx.code.size() || !IsPunct(ctx.code[i + 1], "("))) {
         continue;
       }
-      if (ban.needs_call) {
-        const size_t after = SkipSpace(scrubbed, here + len);
-        if (after >= scrubbed.size() || scrubbed[after] != '(') continue;
-      }
-      if (!QualifierAllowsBan(scrubbed, here)) continue;
-      const int line = LineOf(scrubbed, here);
-      if (static_cast<size_t>(line - 1) < suppressed.size() &&
-          suppressed[line - 1]) {
-        continue;
-      }
-      findings->push_back({path, line, ban.rule, ban.message});
+      if (!BanQualifierApplies(ctx.code, i)) continue;
+      if (ctx.Suppressed(ctx.code[i].line)) continue;
+      findings->push_back({ctx.path, ctx.code[i].line, ban.rule, ban.message});
     }
   }
-}
-
-// True when the identifier at `pos` is written with an explicit std::
-// qualifier (possibly spaced: `std :: map`).
-bool IsStdQualified(const std::string& s, size_t pos) {
-  size_t j = pos;
-  while (j > 0 && std::isspace(static_cast<unsigned char>(s[j - 1]))) --j;
-  if (j < 2 || s[j - 1] != ':' || s[j - 2] != ':') return false;
-  j -= 2;
-  while (j > 0 && std::isspace(static_cast<unsigned char>(s[j - 1]))) --j;
-  size_t end = j;
-  while (j > 0 && IsIdentChar(s[j - 1])) --j;
-  return s.substr(j, end - j) == "std";
 }
 
 // The hot-path translation units — the per-row merge loops and their
@@ -308,15 +222,12 @@ bool IsStdQualified(const std::string& s, size_t pos) {
 // exactly the behaviour the arena/SoA layout exists to avoid. Dense
 // vectors with a touched-list reset are the sanctioned replacement (see
 // the bitmap hit-counting phase in dmc_base.cc).
-void CheckHotPathMap(const std::string& path, const std::string& scrubbed,
-                     const std::vector<bool>& suppressed,
-                     std::vector<Finding>* findings) {
+void CheckHotPathMap(const FileCtx& ctx, std::vector<Finding>* findings) {
   static const char* kHotPathSuffixes[] = {
       "core/dmc_base.cc", "core/dmc_sim_pass.cc", "core/kernels.cc"};
   bool is_hot_path = false;
   for (const char* suffix : kHotPathSuffixes) {
-    const size_t n = std::strlen(suffix);
-    if (path.size() >= n && path.compare(path.size() - n, n, suffix) == 0) {
+    if (ctx.PathEndsWith(suffix)) {
       is_hot_path = true;
       break;
     }
@@ -324,30 +235,23 @@ void CheckHotPathMap(const std::string& path, const std::string& scrubbed,
   if (!is_hot_path) return;
   static const char* kTokens[] = {"map", "unordered_map", "multimap",
                                   "unordered_multimap"};
-  for (const char* token : kTokens) {
-    const size_t len = std::strlen(token);
-    size_t pos = 0;
-    while ((pos = scrubbed.find(token, pos)) != std::string::npos) {
-      const size_t here = pos;
-      pos += len;
-      if (here > 0 && IsIdentChar(scrubbed[here - 1])) continue;
-      if (here + len < scrubbed.size() && IsIdentChar(scrubbed[here + len])) {
-        continue;
+  for (size_t i = 0; i < ctx.code.size(); ++i) {
+    bool hit = false;
+    for (const char* token : kTokens) {
+      if (IsIdent(ctx.code[i], token)) {
+        hit = true;
+        break;
       }
-      // Only the std:: containers are banned; a member `.map(...)` or a
-      // project type named map is something else.
-      if (!IsStdQualified(scrubbed, here)) continue;
-      const int line = LineOf(scrubbed, here);
-      if (static_cast<size_t>(line - 1) < suppressed.size() &&
-          suppressed[line - 1]) {
-        continue;
-      }
-      findings->push_back(
-          {path, line, "banned-hot-path-map",
-           "std::map/std::unordered_map are banned in hot-path mining "
-           "code; use dense vectors with a touched-list reset (see the "
-           "bitmap hit-counting in core/dmc_base.cc)"});
     }
+    // Only the std:: containers are banned; a member `.map(...)` or a
+    // project type named map is something else.
+    if (!hit || !IsStdQualified(ctx.code, i)) continue;
+    if (ctx.Suppressed(ctx.code[i].line)) continue;
+    findings->push_back(
+        {ctx.path, ctx.code[i].line, "banned-hot-path-map",
+         "std::map/std::unordered_map are banned in hot-path mining "
+         "code; use dense vectors with a touched-list reset (see the "
+         "bitmap hit-counting in core/dmc_base.cc)"});
   }
 }
 
@@ -356,10 +260,8 @@ void CheckHotPathMap(const std::string& path, const std::string& scrubbed,
 // leave a torn output. std::filesystem::remove stays legal — it is a
 // deliberate delete, not a write-replace — and util/atomic_io.* itself
 // is the one place allowed to use the primitives.
-void CheckRawFileOps(const std::string& path, const std::string& scrubbed,
-                     const std::vector<bool>& suppressed,
-                     std::vector<Finding>* findings) {
-  if (path.find("util/atomic_io.") != std::string::npos) return;
+void CheckRawFileOps(const FileCtx& ctx, std::vector<Finding>* findings) {
+  if (ctx.PathContains("util/atomic_io.")) return;
   struct Op {
     const char* token;
     /// `remove` is also the 3-arg <algorithm> erase-remove building
@@ -368,62 +270,38 @@ void CheckRawFileOps(const std::string& path, const std::string& scrubbed,
   };
   static const Op kOps[] = {
       {"unlink", false}, {"rename", false}, {"remove", true}};
+  const auto& code = ctx.code;
   for (const Op& op : kOps) {
-    const size_t len = std::strlen(op.token);
-    size_t pos = 0;
-    while ((pos = scrubbed.find(op.token, pos)) != std::string::npos) {
-      const size_t here = pos;
-      pos += len;
-      if (here > 0 && IsIdentChar(scrubbed[here - 1])) continue;
-      if (here + len < scrubbed.size() &&
-          IsIdentChar(scrubbed[here + len])) {
-        continue;
-      }
-      const size_t open = SkipSpace(scrubbed, here + len);
-      if (open >= scrubbed.size() || scrubbed[open] != '(') continue;
+    for (size_t i = 0; i < code.size(); ++i) {
+      if (!IsIdent(code[i], op.token)) continue;
+      if (i + 1 >= code.size() || !IsPunct(code[i + 1], "(")) continue;
       // Work out the qualifier: std:: and global :: are the raw libc
       // forms; any other namespace (std::filesystem::remove) or a member
       // call (list.remove) is something else entirely.
-      size_t q = here;
-      while (q > 0 &&
-             std::isspace(static_cast<unsigned char>(scrubbed[q - 1]))) {
-        --q;
-      }
-      if (q >= 2 && scrubbed[q - 1] == ':' && scrubbed[q - 2] == ':') {
-        size_t e = q - 2;
-        while (e > 0 &&
-               std::isspace(static_cast<unsigned char>(scrubbed[e - 1]))) {
-          --e;
-        }
-        size_t b = e;
-        while (b > 0 && IsIdentChar(scrubbed[b - 1])) --b;
-        const std::string qual = scrubbed.substr(b, e - b);
-        if (!qual.empty() && qual != "std") continue;
-      } else if (q > 0 &&
-                 (scrubbed[q - 1] == '.' ||
-                  (q >= 2 && scrubbed[q - 1] == '>' &&
-                   scrubbed[q - 2] == '-'))) {
+      if (i >= 1 && IsPunct(code[i - 1], "::")) {
+        const bool named_qualifier =
+            i >= 2 && (IsIdent(code[i - 2]) ||
+                       code[i - 2].kind == TokenKind::kNumber);
+        if (named_qualifier && code[i - 2].text != "std") continue;
+      } else if (i >= 1 && (IsPunct(code[i - 1], ".") ||
+                            IsPunct(code[i - 1], "->"))) {
         continue;
       }
       if (op.one_arg_only) {
-        const size_t close = MatchParen(scrubbed, open);
+        const size_t close = MatchParen(code, i + 1);
         if (close == std::string::npos) continue;
         int depth = 0;
         bool multi_arg = false;
-        for (size_t i = open; i <= close && !multi_arg; ++i) {
-          if (scrubbed[i] == '(') ++depth;
-          else if (scrubbed[i] == ')') --depth;
-          else if (scrubbed[i] == ',' && depth == 1) multi_arg = true;
+        for (size_t j = i + 1; j <= close && !multi_arg; ++j) {
+          if (IsPunct(code[j], "(")) ++depth;
+          else if (IsPunct(code[j], ")")) --depth;
+          else if (IsPunct(code[j], ",") && depth == 1) multi_arg = true;
         }
         if (multi_arg) continue;
       }
-      const int line = LineOf(scrubbed, here);
-      if (static_cast<size_t>(line - 1) < suppressed.size() &&
-          suppressed[line - 1]) {
-        continue;
-      }
+      if (ctx.Suppressed(code[i].line)) continue;
       findings->push_back(
-          {path, line, "banned-raw-unlink",
+          {ctx.path, code[i].line, "banned-raw-unlink",
            "raw unlink/rename/remove is banned; replace files via "
            "util/atomic_io.h (AtomicFileWriter) or delete deliberately "
            "with std::filesystem::remove"});
@@ -435,43 +313,24 @@ void CheckRawFileOps(const std::string& path, const std::string& scrubbed,
 // src/incr/: every other layer must treat a RuleSet as immutable once
 // mined, or the incremental engine's snapshots and the serving index
 // could silently drift from the counts they were built on.
-void CheckRuleSetMutation(const std::string& path,
-                          const std::string& scrubbed,
-                          const std::vector<bool>& suppressed,
-                          std::vector<Finding>* findings) {
-  if (path.find("rules/") != std::string::npos ||
-      path.find("incr/") != std::string::npos) {
-    return;
-  }
+void CheckRuleSetMutation(const FileCtx& ctx, std::vector<Finding>* findings) {
+  if (ctx.PathContains("rules/") || ctx.PathContains("incr/")) return;
   static const char* kTokens[] = {"mutable_rules", "mutable_pairs"};
+  const auto& code = ctx.code;
   for (const char* token : kTokens) {
-    const size_t len = std::strlen(token);
-    size_t pos = 0;
-    while ((pos = scrubbed.find(token, pos)) != std::string::npos) {
-      const size_t here = pos;
-      pos += len;
-      if (here > 0 && IsIdentChar(scrubbed[here - 1])) continue;
-      if (here + len < scrubbed.size() && IsIdentChar(scrubbed[here + len])) {
-        continue;
-      }
+    for (size_t i = 0; i < code.size(); ++i) {
+      if (!IsIdent(code[i], token)) continue;
       // Only a member call (x.mutable_rules(...) / p->mutable_pairs(...))
       // is a mutation; the accessor declarations themselves and bare
       // identifiers are not.
-      const size_t open = SkipSpace(scrubbed, here + len);
-      if (open >= scrubbed.size() || scrubbed[open] != '(') continue;
-      if (here == 0) continue;
-      const char prev = scrubbed[here - 1];
-      const bool member_call =
-          prev == '.' ||
-          (here >= 2 && prev == '>' && scrubbed[here - 2] == '-');
-      if (!member_call) continue;
-      const int line = LineOf(scrubbed, here);
-      if (static_cast<size_t>(line - 1) < suppressed.size() &&
-          suppressed[line - 1]) {
+      if (i + 1 >= code.size() || !IsPunct(code[i + 1], "(")) continue;
+      if (i == 0 ||
+          (!IsPunct(code[i - 1], ".") && !IsPunct(code[i - 1], "->"))) {
         continue;
       }
+      if (ctx.Suppressed(code[i].line)) continue;
       findings->push_back(
-          {path, line, "banned-ruleset-mutation",
+          {ctx.path, code[i].line, "banned-ruleset-mutation",
            "mutable_rules()/mutable_pairs() are banned outside src/rules/ "
            "and src/incr/; mined rule sets are immutable downstream — "
            "build a new set (or go through the incremental engine) "
@@ -480,71 +339,253 @@ void CheckRuleSetMutation(const std::string& path,
   }
 }
 
-void CheckDiscardedStatus(const std::string& path,
-                          const std::string& scrubbed,
-                          const std::vector<bool>& suppressed,
+void CheckDiscardedStatus(const FileCtx& ctx,
                           const std::set<std::string>& status_functions,
                           std::vector<Finding>* findings) {
-  for (const std::string& name : status_functions) {
-    size_t pos = 0;
-    while ((pos = scrubbed.find(name, pos)) != std::string::npos) {
-      const size_t here = pos;
-      pos += name.size();
-      if (here > 0 && IsIdentChar(scrubbed[here - 1])) continue;
-      const size_t after_name = here + name.size();
-      if (after_name < scrubbed.size() && IsIdentChar(scrubbed[after_name])) {
-        continue;
-      }
-      // Must be a call: next significant char is '('.
-      const size_t open = SkipSpace(scrubbed, after_name);
-      if (open >= scrubbed.size() || scrubbed[open] != '(') continue;
-      // Walk left over the receiver chain (obj.  obj->  ns::) to the
-      // start of the expression.
-      size_t j = here;
-      while (j > 0) {
-        const char c = scrubbed[j - 1];
-        if (IsIdentChar(c) || c == '.' || c == ':') {
-          --j;
-        } else if (c == '>' && j >= 2 && scrubbed[j - 2] == '-') {
-          j -= 2;
-        } else {
-          break;
-        }
-      }
-      // The previous significant character decides statement context.
-      size_t k = j;
-      while (k > 0 &&
-             std::isspace(static_cast<unsigned char>(scrubbed[k - 1]))) {
-        --k;
-      }
-      const char prev = k == 0 ? ';' : scrubbed[k - 1];
-      bool statement_start = prev == ';' || prev == '{' || prev == '}';
-      if (prev == ')') {
-        // `if (cond) Foo();` discards; `(void)Foo();` does not.
-        std::string before = scrubbed.substr(0, k);
-        const size_t v = before.rfind("(void)");
-        statement_start = !(v != std::string::npos && v + 6 == k);
-      }
-      if (!statement_start) continue;
-      // The whole statement must be the call: `Foo(...);`.
-      const size_t close = MatchParen(scrubbed, open);
-      if (close == std::string::npos) continue;
-      const size_t semi = SkipSpace(scrubbed, close + 1);
-      if (semi >= scrubbed.size() || scrubbed[semi] != ';') continue;
-      const int line = LineOf(scrubbed, here);
-      if (static_cast<size_t>(line - 1) < suppressed.size() &&
-          suppressed[line - 1]) {
-        continue;
-      }
-      findings->push_back(
-          {path, line, "discarded-status",
-           "result of Status-returning call '" + name +
-               "' is discarded; check it or cast to (void) with a reason"});
+  const auto& code = ctx.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!IsIdent(code[i]) || status_functions.count(code[i].text) == 0) {
+      continue;
     }
+    // Must be a call: the next token is '('.
+    if (i + 1 >= code.size() || !IsPunct(code[i + 1], "(")) continue;
+    // Walk left over the receiver chain (obj.  obj->  ns::). Each hop
+    // must be whitespace-free — `state.Frob()` walks to `state`, while
+    // `return Frob()` stops at `Frob` and sees `return` as context.
+    size_t start = i;
+    while (start >= 1) {
+      const Token& p = code[start - 1];
+      const bool connector =
+          IsPunct(p, ".") || IsPunct(p, "->") || IsPunct(p, "::");
+      if (!connector || !Adjacent(p, code[start])) break;
+      if (start >= 2 && IsIdent(code[start - 2]) &&
+          Adjacent(code[start - 2], p)) {
+        start -= 2;
+        continue;
+      }
+      start -= 1;  // chain opens with the connector itself (e.g. `).Foo`)
+      break;
+    }
+    // The previous token decides statement context.
+    bool statement_start;
+    if (start == 0) {
+      statement_start = true;
+    } else {
+      const Token& prev = code[start - 1];
+      if (IsPunct(prev, ";") || IsPunct(prev, "{") || IsPunct(prev, "}")) {
+        statement_start = true;
+      } else if (IsPunct(prev, ")")) {
+        // `if (cond) Foo();` discards; `(void)Foo();` does not.
+        const bool void_cast =
+            start >= 3 && IsPunct(code[start - 3], "(") &&
+            IsIdent(code[start - 2], "void") &&
+            Adjacent(code[start - 3], code[start - 2]) &&
+            Adjacent(code[start - 2], code[start - 1]);
+        statement_start = !void_cast;
+      } else {
+        statement_start = false;
+      }
+    }
+    if (!statement_start) continue;
+    // The whole statement must be the call: `Foo(...);`.
+    const size_t close = MatchParen(code, i + 1);
+    if (close == std::string::npos) continue;
+    if (close + 1 >= code.size() || !IsPunct(code[close + 1], ";")) continue;
+    if (ctx.Suppressed(code[i].line)) continue;
+    findings->push_back(
+        {ctx.path, code[i].line, "discarded-status",
+         "result of Status-returning call '" + code[i].text +
+             "' is discarded; check it or cast to (void) with a reason"});
+  }
+}
+
+// Bans bare .lock()/.unlock() member calls outside src/util/: a raw
+// critical section is invisible to clang's -Wthread-safety analysis.
+// dmc::MutexLock (util/thread_annotations.h) is the sanctioned guard;
+// the wrapper's own implementation under src/util/ is the one place
+// the primitives may appear.
+void CheckRawLock(const FileCtx& ctx, std::vector<Finding>* findings) {
+  if (ctx.PathContains("util/")) return;
+  const auto& code = ctx.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!IsIdent(code[i], "lock") && !IsIdent(code[i], "unlock")) continue;
+    if (i == 0 ||
+        (!IsPunct(code[i - 1], ".") && !IsPunct(code[i - 1], "->"))) {
+      continue;
+    }
+    if (i + 1 >= code.size() || !IsPunct(code[i + 1], "(")) continue;
+    if (ctx.Suppressed(code[i].line)) continue;
+    findings->push_back(
+        {ctx.path, code[i].line, "banned-raw-lock",
+         "bare ." + code[i].text +
+             "() is banned outside src/util/; hold critical sections via "
+             "dmc::MutexLock (util/thread_annotations.h) so thread-safety "
+             "analysis can see them"});
+  }
+}
+
+// Flags declarations of std:: mutex types: libstdc++ mutexes carry no
+// capability attributes, so clang's analysis cannot track them. Either
+// declare dmc::Mutex (an annotated capability), or — for the rare case
+// where a raw std::mutex is unavoidable — tie it into the annotation
+// graph by referencing its name from DMC_GUARDED_BY/DMC_REQUIRES.
+void CheckUnannotatedMutex(const FileCtx& ctx,
+                           std::vector<Finding>* findings) {
+  // The annotated wrapper itself is the one sanctioned home for a raw
+  // std::mutex.
+  if (ctx.PathContains("util/thread_annotations.h")) return;
+  static const char* kMutexTypes[] = {
+      "mutex",       "shared_mutex",           "recursive_mutex",
+      "timed_mutex", "recursive_timed_mutex", "shared_timed_mutex"};
+  static const char* kAnnotations[] = {
+      "DMC_GUARDED_BY", "DMC_PT_GUARDED_BY", "DMC_REQUIRES",
+      "DMC_REQUIRES_SHARED", "DMC_ACQUIRE", "DMC_ACQUIRE_SHARED",
+      "DMC_RELEASE", "DMC_RELEASE_SHARED", "DMC_EXCLUDES",
+      "DMC_ASSERT_CAPABILITY"};
+  const auto& code = ctx.code;
+
+  // Names referenced from any annotation argument list.
+  std::set<std::string> referenced;
+  for (size_t i = 0; i + 1 < code.size(); ++i) {
+    bool is_annotation = false;
+    for (const char* a : kAnnotations) {
+      if (IsIdent(code[i], a)) {
+        is_annotation = true;
+        break;
+      }
+    }
+    if (!is_annotation || !IsPunct(code[i + 1], "(")) continue;
+    const size_t close = MatchParen(code, i + 1);
+    if (close == std::string::npos) continue;
+    for (size_t j = i + 2; j < close; ++j) {
+      if (IsIdent(code[j])) referenced.insert(code[j].text);
+    }
+  }
+
+  for (size_t i = 0; i + 4 < code.size(); ++i) {
+    if (!IsIdent(code[i], "std") || !IsPunct(code[i + 1], "::")) continue;
+    bool is_mutex_type = false;
+    for (const char* t : kMutexTypes) {
+      if (IsIdent(code[i + 2], t)) {
+        is_mutex_type = true;
+        break;
+      }
+    }
+    if (!is_mutex_type) continue;
+    // A declaration, not a mention: `std::mutex name;`.
+    if (!IsIdent(code[i + 3]) || !IsPunct(code[i + 4], ";")) continue;
+    const std::string& name = code[i + 3].text;
+    if (referenced.count(name) != 0) continue;
+    if (ctx.Suppressed(code[i].line)) continue;
+    findings->push_back(
+        {ctx.path, code[i].line, "unannotated-mutex",
+         "std::" + code[i + 2].text + " '" + name +
+             "' is invisible to thread-safety analysis; declare it as "
+             "dmc::Mutex (util/thread_annotations.h) or reference it "
+             "from DMC_GUARDED_BY/DMC_REQUIRES"});
+  }
+}
+
+// In the audited hot-path TUs, every named atomic operation must spell
+// its std::memory_order. A defaulted seq_cst on a hot path is treated
+// as "ordering not thought about", not "strongest therefore safe" —
+// the sweep that relaxed these counters is easy to silently regress.
+void CheckAtomicOrdering(const FileCtx& ctx, std::vector<Finding>* findings) {
+  static const char* kAuditedSuffixes[] = {
+      "core/dmc_base.cc",     "core/dmc_sim_pass.cc", "core/kernels.cc",
+      "core/parallel_dmc.cc", "util/failpoint.cc",    "util/logging.cc",
+      "util/atomic_io.cc"};
+  bool audited = false;
+  for (const char* suffix : kAuditedSuffixes) {
+    if (ctx.PathEndsWith(suffix)) {
+      audited = true;
+      break;
+    }
+  }
+  if (!audited) return;
+  static const char* kAtomicOps[] = {
+      "load",        "store",       "exchange",
+      "fetch_add",   "fetch_sub",   "fetch_and",
+      "fetch_or",    "fetch_xor",   "compare_exchange_weak",
+      "compare_exchange_strong",    "test_and_set"};
+  const auto& code = ctx.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    bool is_op = false;
+    for (const char* op : kAtomicOps) {
+      if (IsIdent(code[i], op)) {
+        is_op = true;
+        break;
+      }
+    }
+    if (!is_op) continue;
+    if (i == 0 ||
+        (!IsPunct(code[i - 1], ".") && !IsPunct(code[i - 1], "->"))) {
+      continue;
+    }
+    if (i + 1 >= code.size() || !IsPunct(code[i + 1], "(")) continue;
+    const size_t close = MatchParen(code, i + 1);
+    if (close == std::string::npos) continue;
+    bool has_order = false;
+    for (size_t j = i + 2; j < close; ++j) {
+      if (IsIdent(code[j]) &&
+          code[j].text.rfind("memory_order", 0) == 0) {
+        has_order = true;
+        break;
+      }
+    }
+    if (has_order) continue;
+    if (ctx.Suppressed(code[i].line)) continue;
+    findings->push_back(
+        {ctx.path, code[i].line, "atomic-ordering-audit",
+         "atomic ." + code[i].text +
+             "() without an explicit std::memory_order in an audited "
+             "hot-path TU; spell the ordering (memory_order_relaxed if "
+             "that is what you mean)"});
   }
 }
 
 }  // namespace
+
+std::string ScrubSource(const std::string& content) {
+  return ScrubWithLexer(content);
+}
+
+std::set<std::string> CollectStatusFunctions(const std::string& content) {
+  std::vector<Token> code;
+  for (Token& t : LexSource(content)) {
+    if (t.kind != TokenKind::kComment) code.push_back(std::move(t));
+  }
+  std::set<std::string> names;
+  for (size_t i = 0; i < code.size(); ++i) {
+    size_t j;
+    if (IsIdent(code[i], "StatusOr")) {
+      // Skip the (possibly nested) template argument. `<`/`>` are
+      // single-char tokens, so `>>` closes two levels, as it should.
+      if (i + 1 >= code.size() || !IsPunct(code[i + 1], "<")) continue;
+      int depth = 0;
+      j = i + 1;
+      while (j < code.size()) {
+        if (IsPunct(code[j], "<")) ++depth;
+        if (IsPunct(code[j], ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+        ++j;
+      }
+    } else if (IsIdent(code[i], "Status")) {
+      j = i + 1;
+    } else {
+      continue;
+    }
+    if (j >= code.size() || !IsIdent(code[j])) continue;
+    const std::string& name = code[j].text;
+    if (j + 1 < code.size() && IsPunct(code[j + 1], "(") &&
+        name != "operator") {
+      names.insert(name);
+    }
+  }
+  return names;
+}
 
 std::vector<Finding> LintFile(const std::string& path,
                               const std::string& content,
@@ -558,18 +599,23 @@ std::vector<Finding> LintFile(const std::string& path,
   for (size_t i = 0; i < raw_lines.size(); ++i) {
     suppressed[i] = raw_lines[i].find("dmc_lint: ignore") != std::string::npos;
   }
-  const std::string scrubbed = ScrubSource(content);
-  CheckIncludeGuard(path, scrubbed, suppressed, &findings);
-  CheckBannedTokens(path, scrubbed, suppressed, &findings);
-  CheckHotPathMap(path, scrubbed, suppressed, &findings);
-  CheckRawFileOps(path, scrubbed, suppressed, &findings);
-  CheckRuleSetMutation(path, scrubbed, suppressed, &findings);
-  CheckDiscardedStatus(path, scrubbed, suppressed, status_functions,
-                       &findings);
+  FileCtx ctx{path, {}, std::move(suppressed)};
+  for (Token& t : LexSource(content)) {
+    if (t.kind != TokenKind::kComment) ctx.code.push_back(std::move(t));
+  }
+  CheckIncludeGuard(ctx, &findings);
+  CheckBannedTokens(ctx, &findings);
+  CheckHotPathMap(ctx, &findings);
+  CheckRawFileOps(ctx, &findings);
+  CheckRuleSetMutation(ctx, &findings);
+  CheckDiscardedStatus(ctx, status_functions, &findings);
+  CheckRawLock(ctx, &findings);
+  CheckUnannotatedMutex(ctx, &findings);
+  CheckAtomicOrdering(ctx, &findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
             });
   return findings;
 }
@@ -598,7 +644,8 @@ std::vector<Finding> LintTree(const std::string& root) {
     std::ostringstream buf;
     buf << in.rdbuf();
     contents.emplace_back(p, buf.str());
-    for (const std::string& name : CollectStatusFunctions(contents.back().second)) {
+    for (const std::string& name :
+         CollectStatusFunctions(contents.back().second)) {
       registry.insert(name);
     }
   }

@@ -1,7 +1,13 @@
-// Project-invariant static checker ("dmc_lint") — rule engine.
+// Project-invariant static checker ("dmc_lint") — token-based rule
+// engine (v2).
 //
 // Lints the DMC source tree for invariants the compiler cannot (or does
-// not, on every toolchain) enforce:
+// not, on every toolchain) enforce. Rules run over a real C++ token
+// stream (tools/lint_lexer.h) rather than substring scans, so raw
+// string literals, line-spliced comments, encoding prefixes and digit
+// separators can never produce phantom matches. The original v1
+// substring engine is frozen in tools/lint_legacy.h as the reference
+// for the differential parity test.
 //
 //   include-guard     every header has #pragma once or a matching
 //                     #ifndef/#define guard near the top
@@ -9,10 +15,10 @@
 //                     dmc::Rng (util/random.h) so runs are reproducible
 //   banned-stdio      no std::cout/std::cerr/printf-family output in
 //                     library code — use DMC_LOG (util/logging.h); the
-//                     logging backend itself is whitelisted
+//                     logging backend and tools/ CLIs are whitelisted
 //   banned-file-stream  no std::ofstream/fopen in library code — file
-//                     exports go through src/observe (stats_export.h),
-//                     which is the one whitelisted component
+//                     exports go through src/observe (stats_export.h);
+//                     src/observe and tools/ CLIs are whitelisted
 //   banned-raw-unlink no raw unlink/rename/remove (std::, :: or
 //                     unqualified) — file replacement goes through
 //                     util/atomic_io.h so outputs are never torn;
@@ -31,6 +37,19 @@
 //                     drift from the counts they were built on
 //   discarded-status  a call to a Status/StatusOr-returning function used
 //                     as a bare statement (result ignored)
+//   banned-raw-lock   no bare .lock()/.unlock() member calls outside
+//                     src/util/ — critical sections must use
+//                     dmc::MutexLock (util/thread_annotations.h) so
+//                     clang -Wthread-safety can see them
+//   unannotated-mutex a member or variable of a std:: mutex type is
+//                     invisible to thread-safety analysis; declare it as
+//                     dmc::Mutex, or reference it from a
+//                     DMC_GUARDED_BY/DMC_REQUIRES annotation
+//   atomic-ordering-audit  in the audited hot-path TUs every named
+//                     atomic operation (.load/.store/.fetch_*/...)
+//                     must spell an explicit std::memory_order —
+//                     a defaulted seq_cst is treated as "not thought
+//                     about", not "strongest therefore safe"
 //
 // Suppression: append `// dmc_lint: ignore` to a line to skip it, or put
 // `dmc_lint: ignore-file` anywhere in a file to skip the whole file.
@@ -60,16 +79,19 @@ struct Finding {
 
 /// Returns `content` with comments and string/char literals blanked out
 /// (replaced by spaces, newlines preserved) so token scans cannot match
-/// inside them. Exposed for tests.
+/// inside them. Built on the lexer, so raw strings and line-spliced
+/// comments are blanked correctly. Exposed for tests.
 std::string ScrubSource(const std::string& content);
 
 /// Harvests the names of functions declared to return Status or
-/// StatusOr<...> from (scrubbed or raw) source text.
+/// StatusOr<...> from source text (token scan; literals and comments
+/// can never contribute names).
 std::set<std::string> CollectStatusFunctions(const std::string& content);
 
 /// Lints one file's content. `path` selects which rules apply (header
-/// rules for .h, stdio rules outside the logging backend, ...);
-/// `status_functions` is the registry used by the discarded-status rule.
+/// rules for .h, stdio rules outside the logging backend, audited-TU
+/// rules by suffix, ...); `status_functions` is the registry used by
+/// the discarded-status rule.
 std::vector<Finding> LintFile(const std::string& path,
                               const std::string& content,
                               const std::set<std::string>& status_functions);
