@@ -211,8 +211,19 @@ std::shared_ptr<const RuleIndexSnapshot> RuleIndex::snapshot() const {
 }
 
 void RuleIndex::Publish(const ImplicationRuleSet& rules) {
+  // publish_mu_ serializes writers so the generation read below cannot
+  // be stale; building outside mu_ keeps the O(n log n) Build off the
+  // readers' lock — snapshot() only ever waits for the pointer swap.
+  MutexLock publish_lock(publish_mu_);
+  uint64_t next_generation = 0;
+  {
+    MutexLock lock(mu_);
+    next_generation = snapshot_->generation() + 1;
+  }
+  std::shared_ptr<const RuleIndexSnapshot> built =
+      RuleIndexSnapshot::Build(rules, next_generation);
   MutexLock lock(mu_);
-  snapshot_ = RuleIndexSnapshot::Build(rules, snapshot_->generation() + 1);
+  snapshot_ = std::move(built);
 }
 
 Status RuleIndex::Save(const std::string& path) const {
@@ -237,6 +248,7 @@ Status RuleIndex::Load(const std::string& path) {
   if (in.bad()) return IOError("read failed for rule index: " + path);
   DMC_ASSIGN_OR_RETURN(std::shared_ptr<const RuleIndexSnapshot> snapshot,
                        RuleIndexSnapshot::Deserialize(buffer.str(), path));
+  MutexLock publish_lock(publish_mu_);
   MutexLock lock(mu_);
   snapshot_ = std::move(snapshot);
   return Status::OK();

@@ -103,7 +103,9 @@ class RuleIndex {
   std::shared_ptr<const RuleIndexSnapshot> snapshot() const;
 
   /// Builds a snapshot of `rules` with the next generation number and
-  /// swaps it in. In-flight readers keep the snapshot they hold.
+  /// swaps it in. In-flight readers keep the snapshot they hold; the
+  /// build itself runs outside the readers' mutex, so snapshot() never
+  /// waits longer than a pointer swap.
   void Publish(const ImplicationRuleSet& rules);
 
   /// Persists the current snapshot (AtomicFileWriter: old-or-new, never
@@ -116,6 +118,10 @@ class RuleIndex {
   [[nodiscard]] Status Load(const std::string& path);
 
  private:
+  /// Serializes writers (Publish, Load) so concurrent publishes cannot
+  /// both read generation g and race to install g+1 twice. Always
+  /// acquired before mu_; never held by readers.
+  Mutex publish_mu_ DMC_ACQUIRED_BEFORE(mu_);
   /// Guards only the pointer: the pointed-to snapshot is immutable, so
   /// readers that copied the shared_ptr need no capability (this is the
   /// capability model for the snapshot swap — DESIGN §5.6).

@@ -1,0 +1,68 @@
+// RuleClient — blocking client for the dmc_serve wire protocol.
+//
+// One client == one TCP connection == one thread. The convenience
+// calls (QueryByAntecedent, ..., AppendRows) are strict request/reply; the
+// lower-level SendRequest/ReadReply pair lets a load generator pipeline
+// many requests down the socket before reading the replies back, which
+// is how bench_serve reaches tens of thousands of requests per second
+// over a single connection.
+
+#ifndef DMC_SERVE_CLIENT_H_
+#define DMC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/binary_matrix.h"
+#include "rules/rule.h"
+#include "serve/protocol.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace dmc {
+namespace serve {
+
+class RuleClient {
+ public:
+  RuleClient() = default;
+  ~RuleClient();
+
+  RuleClient(const RuleClient&) = delete;
+  RuleClient& operator=(const RuleClient&) = delete;
+  RuleClient(RuleClient&& other) noexcept;
+  RuleClient& operator=(RuleClient&& other) noexcept;
+
+  /// Connects to `address:port` with send/receive timeouts of
+  /// `timeout_seconds`, so a wedged server yields kIOError, not a hang.
+  [[nodiscard]] Status Connect(const std::string& address, uint16_t port,
+                               double timeout_seconds = 10.0);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Strict request/reply convenience calls. An error reply from the
+  /// server is surfaced as its embedded Status.
+  [[nodiscard]] StatusOr<Reply> QueryByAntecedent(ColumnId lhs);
+  [[nodiscard]] StatusOr<Reply> QueryByConsequent(ColumnId rhs);
+  [[nodiscard]] StatusOr<Reply> TopK(uint32_t k);
+  [[nodiscard]] StatusOr<ServeStats> Stats();
+  /// Returns the server's ingest-queue depth after parking the batch.
+  [[nodiscard]] StatusOr<uint64_t> AppendRows(
+      uint32_t num_columns, const std::vector<std::vector<ColumnId>>& rows);
+
+  /// Pipelining primitives: write one encoded frame / read one reply
+  /// frame. Callers must read exactly one reply per request sent, in
+  /// order.
+  [[nodiscard]] Status SendRequest(const std::string& frame);
+  [[nodiscard]] StatusOr<Reply> ReadReply();
+
+ private:
+  [[nodiscard]] StatusOr<Reply> RoundTrip(const std::string& frame);
+
+  int fd_ = -1;
+};
+
+}  // namespace serve
+}  // namespace dmc
+
+#endif  // DMC_SERVE_CLIENT_H_

@@ -1,0 +1,220 @@
+#include "serve/net_socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cmath>
+
+namespace dmc {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return IOError(what + ": " + std::string(strerror(errno)));
+}
+
+StatusOr<sockaddr_in> MakeAddr(const std::string& address, uint16_t port) {
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("not a numeric IPv4 address: " + address);
+  }
+  return addr;
+}
+
+}  // namespace
+
+StatusOr<int> ListenTcp(const std::string& address, uint16_t port,
+                        int backlog) {
+  DMC_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(address, port));
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    const Status st = Errno("setsockopt(SO_REUSEADDR)");
+    CloseFd(fd);
+    return st;
+  }
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Errno("bind " + address + ":" + std::to_string(port));
+    CloseFd(fd);
+    return st;
+  }
+  if (listen(fd, backlog) != 0) {
+    const Status st = Errno("listen");
+    CloseFd(fd);
+    return st;
+  }
+  return fd;
+}
+
+StatusOr<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+StatusOr<int> AcceptConn(int listen_fd) {
+  for (;;) {
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return static_cast<int>(kWouldBlock);
+    }
+    return Errno("accept");
+  }
+}
+
+StatusOr<int> ConnectTcp(const std::string& address, uint16_t port) {
+  DMC_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(address, port));
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  for (;;) {
+    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    const Status st =
+        Errno("connect " + address + ":" + std::to_string(port));
+    CloseFd(fd);
+    return st;
+  }
+  // Request/reply frames are small; never trade latency for Nagle.
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Status SetIoTimeout(int fd, double seconds) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  if (setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  if (setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_SNDTIMEO)");
+  }
+  return Status::OK();
+}
+
+StatusOr<int64_t> ReadSome(int fd, char* buf, size_t n) {
+  for (;;) {
+    const ssize_t r = recv(fd, buf, n, 0);
+    if (r >= 0) return static_cast<int64_t>(r);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return Errno("recv");
+  }
+}
+
+StatusOr<int64_t> WriteSome(int fd, const char* buf, size_t n) {
+  for (;;) {
+    const ssize_t r = send(fd, buf, n, MSG_NOSIGNAL);
+    if (r >= 0) return static_cast<int64_t>(r);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return Errno("send");
+  }
+}
+
+Status SendAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    DMC_ASSIGN_OR_RETURN(int64_t w, WriteSome(fd, data + off, n - off));
+    if (w == kWouldBlock) {
+      // A blocking socket only reports would-block when SO_SNDTIMEO
+      // expired with the peer's window closed.
+      return IOError("send timed out");
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, char* buf, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    DMC_ASSIGN_OR_RETURN(int64_t r, ReadSome(fd, buf + off, n - off));
+    if (r == kWouldBlock) return IOError("recv timed out");
+    if (r == 0) {
+      if (off == 0) return NotFoundError("connection closed");
+      return IOError("connection closed mid-frame (" + std::to_string(off) +
+                     " of " + std::to_string(n) + " bytes)");
+    }
+    off += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+void ShutdownWrite(int fd) {
+  if (fd >= 0) shutdown(fd, SHUT_WR);
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) close(fd);
+}
+
+StatusOr<std::pair<int, int>> CreateWakePipe() {
+  int fds[2];
+  if (pipe(fds) != 0) return Errno("pipe");
+  for (int fd : fds) {
+    const Status st = SetNonBlocking(fd);
+    if (!st.ok()) {
+      CloseFd(fds[0]);
+      CloseFd(fds[1]);
+      return st;
+    }
+  }
+  return std::make_pair(fds[0], fds[1]);
+}
+
+void WakeUp(int write_fd, char flag) {
+  // Async-signal-safe: write(2) only. EAGAIN means the pipe already
+  // holds unread wakeups; the reader drains everything anyway. The
+  // shutdown flag always fits: it is sent at most twice per server
+  // lifetime, against a 64 KiB pipe buffer.
+  (void)!write(write_fd, &flag, 1);
+}
+
+bool DrainWakePipe(int read_fd, char flag) {
+  char buf[64];
+  bool saw_flag = false;
+  for (;;) {
+    const ssize_t r = read(read_fd, buf, sizeof(buf));
+    if (r <= 0) break;  // EAGAIN (drained), EOF, or EINTR — retry is moot
+    for (ssize_t i = 0; i < r; ++i) {
+      if (buf[i] == flag) saw_flag = true;
+    }
+  }
+  return saw_flag;
+}
+
+}  // namespace net
+}  // namespace dmc

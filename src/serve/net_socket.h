@@ -1,0 +1,94 @@
+// Thin Status-returning wrappers over the BSD socket syscalls.
+//
+// This is deliberately the *only* translation unit in the tree that may
+// call socket/accept/recv/send directly — the dmc_lint
+// `banned-raw-socket` rule confines the raw primitives to
+// src/serve/net_* files, the same way atomic_io.cc owns unlink/rename.
+// Everything above this layer (event loop, client, tools, tests, bench)
+// speaks fds through these helpers, so error mapping (errno -> Status),
+// EINTR retries and non-blocking semantics live in exactly one place.
+//
+// Only numeric IPv4 addresses are supported ("127.0.0.1"): the daemon
+// serves loopback and explicit bind addresses; name resolution is a CLI
+// concern, not a serving-layer one.
+
+#ifndef DMC_SERVE_NET_SOCKET_H_
+#define DMC_SERVE_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace dmc {
+namespace net {
+
+/// Sentinel returned by ReadSome/WriteSome/AcceptConn when the
+/// operation would block on a non-blocking fd.
+inline constexpr int64_t kWouldBlock = -1;
+
+/// Creates, binds and listens a TCP socket on `address:port`
+/// (SO_REUSEADDR set; port 0 picks an ephemeral port — read it back
+/// with LocalPort). Returns the listening fd.
+[[nodiscard]] StatusOr<int> ListenTcp(const std::string& address,
+                                      uint16_t port, int backlog);
+
+/// The port a bound socket actually listens on.
+[[nodiscard]] StatusOr<uint16_t> LocalPort(int fd);
+
+/// Accepts one pending connection from a non-blocking listener.
+/// Returns the connection fd, or kWouldBlock (as an int) when no
+/// connection is pending.
+[[nodiscard]] StatusOr<int> AcceptConn(int listen_fd);
+
+/// Blocking connect to `address:port`. Returns the connected fd.
+[[nodiscard]] StatusOr<int> ConnectTcp(const std::string& address,
+                                       uint16_t port);
+
+[[nodiscard]] Status SetNonBlocking(int fd);
+
+/// Send/receive timeouts for a blocking client socket, so a wedged or
+/// draining server turns into a clean kIOError instead of a hang.
+[[nodiscard]] Status SetIoTimeout(int fd, double seconds);
+
+/// recv() once. >0 bytes were read; 0 = orderly EOF; kWouldBlock on a
+/// non-blocking fd with nothing pending. EINTR retries internally.
+[[nodiscard]] StatusOr<int64_t> ReadSome(int fd, char* buf, size_t n);
+
+/// send() once (MSG_NOSIGNAL — a dead peer yields a Status, never
+/// SIGPIPE). Returns bytes written or kWouldBlock.
+[[nodiscard]] StatusOr<int64_t> WriteSome(int fd, const char* buf, size_t n);
+
+/// Blocking send of the whole buffer (for the client side).
+[[nodiscard]] Status SendAll(int fd, const char* data, size_t n);
+
+/// Blocking receive of exactly `n` bytes. EOF before the first byte is
+/// kNotFound ("connection closed"); EOF mid-buffer is kIOError.
+[[nodiscard]] Status RecvAll(int fd, char* buf, size_t n);
+
+/// Half-close: shutdown(SHUT_WR), signalling EOF to the peer while the
+/// read side stays open for its remaining replies.
+void ShutdownWrite(int fd);
+
+/// close(), ignoring errors (used on teardown paths only).
+void CloseFd(int fd);
+
+/// A non-blocking self-pipe {read_fd, write_fd}: the wakeup primitive
+/// for the event loop and the ingest thread. The write end is safe to
+/// use from a signal handler.
+[[nodiscard]] StatusOr<std::pair<int, int>> CreateWakePipe();
+
+/// write() one `flag` byte to a wake pipe; async-signal-safe, never
+/// blocks (a full pipe already guarantees a pending wakeup).
+void WakeUp(int write_fd, char flag);
+
+/// Drains every pending byte from a wake pipe's read end; returns true
+/// iff any byte equals `flag` (used for the shutdown marker).
+bool DrainWakePipe(int read_fd, char flag);
+
+}  // namespace net
+}  // namespace dmc
+
+#endif  // DMC_SERVE_NET_SOCKET_H_

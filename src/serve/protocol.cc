@@ -1,0 +1,329 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace dmc {
+namespace serve {
+
+namespace {
+
+template <typename T>
+void AppendLE(std::string* out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool ReadLE(std::string_view data, size_t* offset, T* value) {
+  if (data.size() - *offset < sizeof(T)) return false;
+  std::memcpy(value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+Status Malformed(const std::string& what) {
+  return InvalidArgumentError("protocol: " + what);
+}
+
+/// Wraps a finished payload into a frame by prefixing its length.
+std::string Frame(std::string payload) {
+  std::string out;
+  out.reserve(payload.size() + sizeof(uint32_t));
+  AppendLE<uint32_t>(&out, static_cast<uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+void AppendPayloadHeader(std::string* out, Op op, uint8_t reserved) {
+  AppendLE<uint16_t>(out, kProtocolVersion);
+  AppendLE<uint8_t>(out, static_cast<uint8_t>(op));
+  AppendLE<uint8_t>(out, reserved);
+}
+
+/// Shared header check for both directions. On success *op / *reserved
+/// hold the decoded fields and *offset points at the body.
+Status DecodeHeader(std::string_view payload, size_t* offset, uint8_t* op,
+                    uint8_t* reserved) {
+  uint16_t version = 0;
+  if (!ReadLE(payload, offset, &version) || !ReadLE(payload, offset, op) ||
+      !ReadLE(payload, offset, reserved)) {
+    return Malformed("payload shorter than the 4-byte header");
+  }
+  if (version != kProtocolVersion) {
+    return Malformed("unsupported version " + std::to_string(version));
+  }
+  return Status::OK();
+}
+
+bool IsRequestOp(uint8_t op) {
+  switch (static_cast<Op>(op)) {
+    case Op::kQueryByAntecedent:
+    case Op::kQueryByConsequent:
+    case Op::kTopK:
+    case Op::kStats:
+    case Op::kAppend:
+      return true;
+    case Op::kError:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string EncodeQueryRequest(Op op, uint32_t arg) {
+  std::string payload;
+  AppendPayloadHeader(&payload, op, 0);
+  AppendLE<uint32_t>(&payload, arg);
+  return Frame(std::move(payload));
+}
+
+std::string EncodeStatsRequest() {
+  std::string payload;
+  AppendPayloadHeader(&payload, Op::kStats, 0);
+  return Frame(std::move(payload));
+}
+
+std::string EncodeAppendRequest(
+    uint32_t num_columns, const std::vector<std::vector<ColumnId>>& rows) {
+  std::string payload;
+  AppendPayloadHeader(&payload, Op::kAppend, 0);
+  AppendLE<uint32_t>(&payload, num_columns);
+  AppendLE<uint32_t>(&payload, static_cast<uint32_t>(rows.size()));
+  for (const std::vector<ColumnId>& row : rows) {
+    AppendLE<uint32_t>(&payload, static_cast<uint32_t>(row.size()));
+    for (ColumnId c : row) AppendLE<uint32_t>(&payload, c);
+  }
+  return Frame(std::move(payload));
+}
+
+StatusOr<Request> DecodeRequestPayload(std::string_view payload) {
+  size_t offset = 0;
+  uint8_t op = 0;
+  uint8_t reserved = 0;
+  DMC_RETURN_IF_ERROR(DecodeHeader(payload, &offset, &op, &reserved));
+  if (!IsRequestOp(op)) {
+    return Malformed("unknown request op " + std::to_string(op));
+  }
+  if (reserved != 0) {
+    return Malformed("nonzero reserved byte on a request");
+  }
+
+  Request request;
+  request.op = static_cast<Op>(op);
+  switch (request.op) {
+    case Op::kQueryByAntecedent:
+    case Op::kQueryByConsequent:
+    case Op::kTopK:
+      if (!ReadLE(payload, &offset, &request.arg)) {
+        return Malformed("query body truncated");
+      }
+      break;
+    case Op::kStats:
+      break;
+    case Op::kAppend: {
+      uint32_t num_rows = 0;
+      if (!ReadLE(payload, &offset, &request.append_num_columns) ||
+          !ReadLE(payload, &offset, &num_rows)) {
+        return Malformed("append header truncated");
+      }
+      if (num_rows > kMaxAppendRows) {
+        return Malformed("append batch of " + std::to_string(num_rows) +
+                         " rows exceeds the " +
+                         std::to_string(kMaxAppendRows) + "-row cap");
+      }
+      // Each announced row needs at least its 4-byte count, so a hostile
+      // num_rows can never make us reserve more than the payload holds.
+      if (static_cast<uint64_t>(num_rows) * sizeof(uint32_t) >
+          payload.size() - offset) {
+        return Malformed("append row count exceeds payload size");
+      }
+      request.append_rows.resize(num_rows);
+      for (uint32_t r = 0; r < num_rows; ++r) {
+        uint32_t n = 0;
+        if (!ReadLE(payload, &offset, &n)) {
+          return Malformed("append row " + std::to_string(r) + " truncated");
+        }
+        if (static_cast<uint64_t>(n) * sizeof(uint32_t) >
+            payload.size() - offset) {
+          return Malformed("append row " + std::to_string(r) +
+                           " longer than the remaining payload");
+        }
+        std::vector<ColumnId>& row = request.append_rows[r];
+        row.resize(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          (void)ReadLE(payload, &offset, &row[i]);
+          if (row[i] >= request.append_num_columns) {
+            return Malformed("append row " + std::to_string(r) +
+                             " references column " + std::to_string(row[i]) +
+                             " outside num_columns");
+          }
+          if (i > 0 && row[i] <= row[i - 1]) {
+            return Malformed("append row " + std::to_string(r) +
+                             " not strictly ascending");
+          }
+        }
+      }
+      break;
+    }
+    case Op::kError:
+      return Malformed("kError is reply-only");
+  }
+  if (offset != payload.size()) {
+    return Malformed(std::to_string(payload.size() - offset) +
+                     " trailing bytes after the request body");
+  }
+  return request;
+}
+
+std::string EncodeRulesReply(Op op, uint64_t generation,
+                             const std::vector<ImplicationRule>& rules) {
+  std::string payload;
+  AppendPayloadHeader(&payload, op, 0);
+  AppendLE<uint64_t>(&payload, generation);
+  AppendLE<uint32_t>(&payload, static_cast<uint32_t>(rules.size()));
+  for (const ImplicationRule& r : rules) {
+    AppendLE<uint32_t>(&payload, r.lhs);
+    AppendLE<uint32_t>(&payload, r.rhs);
+    AppendLE<uint32_t>(&payload, r.lhs_ones);
+    AppendLE<uint32_t>(&payload, r.misses);
+  }
+  return Frame(std::move(payload));
+}
+
+std::string EncodeStatsReply(const ServeStats& stats) {
+  std::string payload;
+  AppendPayloadHeader(&payload, Op::kStats, 0);
+  AppendLE<uint64_t>(&payload, stats.generation);
+  AppendLE<uint64_t>(&payload, stats.num_rules);
+  AppendLE<uint64_t>(&payload, stats.rows_mined);
+  AppendLE<uint64_t>(&payload, stats.batches_ingested);
+  AppendLE<uint64_t>(&payload, stats.rows_ingested);
+  AppendLE<uint64_t>(&payload, stats.pending_batches);
+  AppendLE<uint64_t>(&payload, stats.snapshots_published);
+  AppendLE<uint64_t>(&payload, stats.requests_served);
+  AppendLE<uint64_t>(&payload, stats.connections_accepted);
+  AppendLE<uint64_t>(&payload, stats.connections_active);
+  AppendLE<uint64_t>(&payload, stats.protocol_errors);
+  AppendLE<uint64_t>(&payload, stats.io_errors);
+  return Frame(std::move(payload));
+}
+
+std::string EncodeAppendReply(uint64_t pending_batches) {
+  std::string payload;
+  AppendPayloadHeader(&payload, Op::kAppend, 0);
+  AppendLE<uint64_t>(&payload, pending_batches);
+  return Frame(std::move(payload));
+}
+
+std::string EncodeErrorReply(Op op, const Status& status) {
+  std::string payload;
+  AppendPayloadHeader(&payload, op, static_cast<uint8_t>(status.code()));
+  const std::string& message = status.message();
+  AppendLE<uint32_t>(&payload, static_cast<uint32_t>(message.size()));
+  payload += message;
+  return Frame(std::move(payload));
+}
+
+StatusOr<Reply> DecodeReplyPayload(std::string_view payload) {
+  size_t offset = 0;
+  uint8_t op = 0;
+  uint8_t code = 0;
+  DMC_RETURN_IF_ERROR(DecodeHeader(payload, &offset, &op, &code));
+  if (!IsRequestOp(op) && static_cast<Op>(op) != Op::kError) {
+    return Malformed("unknown reply op " + std::to_string(op));
+  }
+
+  Reply reply;
+  reply.op = static_cast<Op>(op);
+  if (code != 0) {
+    if (code > static_cast<uint8_t>(StatusCode::kDataLoss)) {
+      return Malformed("unknown status code " + std::to_string(code));
+    }
+    uint32_t msg_len = 0;
+    if (!ReadLE(payload, &offset, &msg_len) ||
+        msg_len != payload.size() - offset) {
+      return Malformed("error reply message truncated");
+    }
+    reply.status = Status(static_cast<StatusCode>(code),
+                          std::string(payload.substr(offset, msg_len)));
+    return reply;
+  }
+
+  switch (reply.op) {
+    case Op::kQueryByAntecedent:
+    case Op::kQueryByConsequent:
+    case Op::kTopK: {
+      uint32_t count = 0;
+      if (!ReadLE(payload, &offset, &reply.generation) ||
+          !ReadLE(payload, &offset, &count)) {
+        return Malformed("rules reply header truncated");
+      }
+      if (static_cast<uint64_t>(count) * 4 * sizeof(uint32_t) !=
+          payload.size() - offset) {
+        return Malformed("rules reply count does not match payload size");
+      }
+      reply.rules.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        ImplicationRule& r = reply.rules[i];
+        (void)ReadLE(payload, &offset, &r.lhs);
+        (void)ReadLE(payload, &offset, &r.rhs);
+        (void)ReadLE(payload, &offset, &r.lhs_ones);
+        (void)ReadLE(payload, &offset, &r.misses);
+      }
+      return reply;
+    }
+    case Op::kStats: {
+      ServeStats& s = reply.stats;
+      uint64_t* const fields[] = {
+          &s.generation,       &s.num_rules,          &s.rows_mined,
+          &s.batches_ingested, &s.rows_ingested,      &s.pending_batches,
+          &s.snapshots_published, &s.requests_served,
+          &s.connections_accepted, &s.connections_active,
+          &s.protocol_errors,  &s.io_errors};
+      for (uint64_t* field : fields) {
+        if (!ReadLE(payload, &offset, field)) {
+          return Malformed("stats reply truncated");
+        }
+      }
+      if (offset != payload.size()) {
+        return Malformed("trailing bytes after the stats reply");
+      }
+      reply.generation = s.generation;
+      return reply;
+    }
+    case Op::kAppend:
+      if (!ReadLE(payload, &offset, &reply.pending_batches) ||
+          offset != payload.size()) {
+        return Malformed("append reply truncated");
+      }
+      return reply;
+    case Op::kError:
+      return Malformed("kError reply with OK status");
+  }
+  return Malformed("unreachable reply op");
+}
+
+FrameBuffer::Poll FrameBuffer::Next(std::string* payload) {
+  // Reclaim consumed bytes once they dominate the buffer, so a
+  // long-lived pipelining connection cannot grow the buffer unboundedly.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < sizeof(uint32_t)) return Poll::kNeedMore;
+  uint32_t len = 0;
+  std::memcpy(&len, buffer_.data() + consumed_, sizeof(uint32_t));
+  if (len < kMinFramePayloadBytes || len > max_payload_bytes_) {
+    return Poll::kBadFrame;
+  }
+  if (available - sizeof(uint32_t) < len) return Poll::kNeedMore;
+  payload->assign(buffer_, consumed_ + sizeof(uint32_t), len);
+  consumed_ += sizeof(uint32_t) + len;
+  return Poll::kFrame;
+}
+
+}  // namespace serve
+}  // namespace dmc

@@ -46,6 +46,15 @@
 /// Pointer member whose pointee is protected by `x`.
 #define DMC_PT_GUARDED_BY(x) DMC_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
 
+/// Declares lock-ordering: this mutex is always acquired before `...`.
+/// Violations of the declared order are diagnosed at compile time.
+#define DMC_ACQUIRED_BEFORE(...) \
+  DMC_THREAD_ANNOTATION_IMPL(acquired_before(__VA_ARGS__))
+
+/// Declares lock-ordering: this mutex is always acquired after `...`.
+#define DMC_ACQUIRED_AFTER(...) \
+  DMC_THREAD_ANNOTATION_IMPL(acquired_after(__VA_ARGS__))
+
 /// Function that must be called with the listed capabilities held.
 #define DMC_REQUIRES(...) \
   DMC_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))

@@ -156,9 +156,10 @@ TEST(LintFixtureTest, TreeWalkFindsOnePerViolatingFixture) {
   EXPECT_EQ(CountRule(findings, "banned-hot-path-map"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-ruleset-mutation"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-raw-lock"), 2u);
+  EXPECT_EQ(CountRule(findings, "banned-raw-socket"), 4u);
   EXPECT_EQ(CountRule(findings, "unannotated-mutex"), 1u);
   EXPECT_EQ(CountRule(findings, "atomic-ordering-audit"), 1u);
-  EXPECT_EQ(findings.size(), 12u);
+  EXPECT_EQ(findings.size(), 16u);
 }
 
 TEST(LintFixtureTest, BannedRawLockFiresPerPrimitiveCall) {
@@ -170,6 +171,26 @@ TEST(LintFixtureTest, BannedRawLockFiresPerPrimitiveCall) {
   EXPECT_NE(findings[0].message.find("MutexLock"), std::string::npos);
   EXPECT_EQ(findings[1].rule, "banned-raw-lock");
   EXPECT_EQ(findings[1].line, 12);
+}
+
+TEST(LintFixtureTest, BannedRawSocketFiresPerPrimitiveCall) {
+  const auto findings = LintFile(
+      "uses_socket.cc", ReadFile(FixturePath("uses_socket.cc")), {});
+  ASSERT_EQ(findings.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(findings[i].rule, "banned-raw-socket");
+    EXPECT_EQ(findings[i].line, 11 + i);
+    EXPECT_NE(findings[i].message.find("serve/net_socket.h"),
+              std::string::npos);
+  }
+}
+
+TEST(LintFixtureTest, BannedRawSocketExemptsNetSocketFiles) {
+  // The same content under the sanctioned path must stay silent.
+  const auto findings =
+      LintFile("src/serve/net_socket.cc",
+               ReadFile(FixturePath("uses_socket.cc")), {});
+  EXPECT_TRUE(findings.empty());
 }
 
 TEST(LintFixtureTest, UnannotatedMutexFiresExactlyOnce) {

@@ -1,0 +1,234 @@
+// Seeded protocol fuzzing against a live server: random frame
+// mutations — truncations, hostile length prefixes, bad versions and
+// ops, flipped payload bytes, garbage pipelined behind valid frames —
+// must each produce a clean protocol-error reply or an orderly close,
+// and must never crash, hang, or wedge the daemon (the suite runs in
+// the ASan stage of tools/check.sh, so "no leak" is part of the
+// contract: a connection the server forgets to reap shows up there).
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/net_socket.h"
+#include "serve/protocol.h"
+#include "util/random.h"
+
+namespace dmc {
+namespace {
+
+using serve::Op;
+
+class ServeProtocolFuzzTest : public ::testing::Test {
+ protected:
+  static constexpr ColumnId kColumns = 24;
+
+  void SetUp() override {
+    Rng rng(71);
+    std::vector<std::vector<ColumnId>> rows(300);
+    for (auto& row : rows) {
+      const ColumnId base = static_cast<ColumnId>(rng.Uniform(kColumns - 1));
+      row = {base, static_cast<ColumnId>(base + 1)};
+    }
+    ServeOptions options;
+    options.mining.min_confidence = 0.5;
+    server_ = std::make_unique<RuleServer>(std::move(options));
+    ASSERT_TRUE(
+        server_->SeedFromMatrix(BinaryMatrix::FromRows(kColumns, rows)).ok());
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Shutdown(); }
+
+  /// The health probe: a fresh, well-formed connection must still get
+  /// exact answers no matter what the fuzz connection just sent.
+  void AssertServerHealthy() {
+    serve::RuleClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    const StatusOr<serve::Reply> reply = client.QueryByAntecedent(0);
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(reply->rules,
+              server_->index().snapshot()->QueryByAntecedent(0));
+  }
+
+  /// Opens a raw connection, sends `bytes`, then reads until the server
+  /// closes or the 5s timeout trips. Returns what came back.
+  struct RawResult {
+    bool closed = false;     // orderly EOF observed
+    bool timed_out = false;  // server neither answered nor closed
+    std::string data;
+  };
+  RawResult SendRaw(const std::string& bytes) {
+    RawResult result;
+    const StatusOr<int> fd = net::ConnectTcp("127.0.0.1", server_->port());
+    EXPECT_TRUE(fd.ok());
+    if (!fd.ok()) return result;
+    EXPECT_TRUE(net::SetIoTimeout(*fd, 5.0).ok());
+    EXPECT_TRUE(net::SendAll(*fd, bytes.data(), bytes.size()).ok());
+    // Half-close: the server sees EOF after the mutation, so a healthy
+    // daemon always answers what it can and then closes — a timeout
+    // here means the connection was left dangling (a wedge).
+    net::ShutdownWrite(*fd);
+    char buf[4096];
+    for (;;) {
+      const StatusOr<int64_t> r = net::ReadSome(*fd, buf, sizeof(buf));
+      if (!r.ok() || *r == net::kWouldBlock) {
+        result.timed_out = true;
+        break;
+      }
+      if (*r == 0) {
+        result.closed = true;
+        break;
+      }
+      result.data.append(buf, static_cast<size_t>(*r));
+    }
+    net::CloseFd(*fd);
+    return result;
+  }
+
+  /// True iff `data` is exactly whole frames and the last one decodes
+  /// to an error reply (nonzero status).
+  static bool EndsWithErrorReply(const std::string& data) {
+    serve::FrameBuffer frames(serve::kMaxFramePayloadBytes);
+    frames.Append(data.data(), data.size());
+    std::string payload;
+    bool saw_error = false;
+    for (;;) {
+      const auto poll = frames.Next(&payload);
+      if (poll != serve::FrameBuffer::Poll::kFrame) {
+        return saw_error && poll == serve::FrameBuffer::Poll::kNeedMore &&
+               frames.buffered_bytes() == 0;
+      }
+      const StatusOr<serve::Reply> reply =
+          serve::DecodeReplyPayload(payload);
+      if (!reply.ok()) return false;
+      saw_error = !reply->status.ok();
+    }
+  }
+
+  std::unique_ptr<RuleServer> server_;
+};
+
+std::string ValidFrame(Rng& rng, ColumnId num_columns) {
+  switch (rng.Uniform(4)) {
+    case 0:
+      return serve::EncodeQueryRequest(
+          Op::kQueryByAntecedent,
+          static_cast<ColumnId>(rng.Uniform(num_columns)));
+    case 1:
+      return serve::EncodeQueryRequest(
+          Op::kQueryByConsequent,
+          static_cast<ColumnId>(rng.Uniform(num_columns)));
+    case 2:
+      return serve::EncodeStatsRequest();
+    default:
+      return serve::EncodeQueryRequest(
+          Op::kTopK, static_cast<uint32_t>(rng.Uniform(64)));
+  }
+}
+
+TEST_F(ServeProtocolFuzzTest, HostileLengthPrefixGetsErrorReplyAndClose) {
+  for (const uint32_t len : {0u, 1u, 3u,  // below the 4-byte header
+                             serve::kMaxFramePayloadBytes + 1,
+                             0xFFFFFFFFu}) {
+    std::string bytes(sizeof(uint32_t), '\0');
+    std::memcpy(bytes.data(), &len, sizeof(len));
+    bytes += "trailing garbage the server must never wait for";
+    const RawResult result = SendRaw(bytes);
+    EXPECT_TRUE(result.closed) << "len=" << len;
+    EXPECT_FALSE(result.timed_out) << "len=" << len;
+    EXPECT_TRUE(EndsWithErrorReply(result.data)) << "len=" << len;
+    AssertServerHealthy();
+  }
+}
+
+TEST_F(ServeProtocolFuzzTest, BadVersionAndOpGetErrorReplyAndClose) {
+  // version 2 (unknown), op 0x42 (unknown), reserved != 0.
+  const std::string frames[] = {
+      std::string("\x04\x00\x00\x00\x02\x00\x01\x00", 8),
+      std::string("\x04\x00\x00\x00\x01\x00\x42\x00", 8),
+      std::string("\x04\x00\x00\x00\x01\x00\x04\x07", 8),
+  };
+  for (const std::string& frame : frames) {
+    const RawResult result = SendRaw(frame);
+    EXPECT_TRUE(result.closed);
+    EXPECT_TRUE(EndsWithErrorReply(result.data));
+    AssertServerHealthy();
+  }
+}
+
+TEST_F(ServeProtocolFuzzTest, TruncatedFrameNeverWedgesTheServer) {
+  Rng rng(101);
+  for (int i = 0; i < 32; ++i) {
+    std::string frame = ValidFrame(rng, kColumns);
+    frame.resize(rng.Uniform(frame.size()));  // strictly shorter
+    // An incomplete frame is not an error — the server waits for the
+    // rest. Closing our end instead must reap the connection without
+    // fuss, and the daemon must stay healthy throughout.
+    const StatusOr<int> fd = net::ConnectTcp("127.0.0.1", server_->port());
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(net::SendAll(*fd, frame.data(), frame.size()).ok());
+    net::CloseFd(*fd);
+  }
+  AssertServerHealthy();
+}
+
+TEST_F(ServeProtocolFuzzTest, SeededMutationSweepErrorsOrClosesCleanly) {
+  Rng rng(2026);
+  int error_replies = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::string bytes = ValidFrame(rng, kColumns);
+    switch (rng.Uniform(5)) {
+      case 0:  // flip one byte anywhere (length prefix included)
+        bytes[rng.Uniform(bytes.size())] ^=
+            static_cast<char>(1u << rng.Uniform(8));
+        break;
+      case 1:  // splice random garbage behind a valid frame
+        for (int j = 0; j < 16; ++j) {
+          bytes.push_back(static_cast<char>(rng.Uniform(256)));
+        }
+        break;
+      case 2: {  // declare a bigger payload than is sent, then garbage
+        uint32_t len = 0;
+        std::memcpy(&len, bytes.data(), sizeof(len));
+        len += static_cast<uint32_t>(1 + rng.Uniform(64));
+        std::memcpy(bytes.data(), &len, sizeof(len));
+        for (int j = 0; j < 80; ++j) {
+          bytes.push_back(static_cast<char>(rng.Uniform(256)));
+        }
+        break;
+      }
+      case 3:  // pure noise, no framing at all
+        bytes.assign(4 + rng.Uniform(120), '\0');
+        for (char& c : bytes) c = static_cast<char>(rng.Uniform(256));
+        break;
+      default:  // pipeline: valid, then corrupted copy of another frame
+        bytes += ValidFrame(rng, kColumns);
+        bytes[bytes.size() - 1 - rng.Uniform(4)] ^= 0x5A;
+        break;
+    }
+    const RawResult result = SendRaw(bytes);
+    // The one hard rule: the server answered what it could and closed;
+    // it never left the half-closed connection dangling past the
+    // timeout.
+    EXPECT_TRUE(result.closed) << "iteration " << i;
+    EXPECT_FALSE(result.timed_out) << "iteration " << i;
+    if (EndsWithErrorReply(result.data)) ++error_replies;
+    if (i % 20 == 0) AssertServerHealthy();
+  }
+  AssertServerHealthy();
+  // The sweep must actually exercise the error path, not just luck into
+  // 200 valid mutations.
+  EXPECT_GT(error_replies, 20);
+
+  const serve::ServeStats stats = server_->StatsSnapshot();
+  EXPECT_GT(stats.protocol_errors, 0u);
+}
+
+}  // namespace
+}  // namespace dmc

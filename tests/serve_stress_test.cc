@@ -1,0 +1,243 @@
+// Concurrency stress for the serving daemon, built to run under TSan
+// (tools/check.sh runs every test whose name matches "Serve" in its
+// TSan stage): many wire-reader threads race a publisher that drives
+// rapid AppendBatch + Publish cycles, so the event thread, the ingest
+// thread, and the RuleIndex snapshot swap are all exercised against
+// each other.
+//
+// The second half is the fault-injection arm: with the serve.* sites
+// armed probabilistically, injected accept/read/write/publish failures
+// must degrade the affected connection (or skip the affected publish) —
+// the process, the listener, and every healthy connection keep working.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+
+namespace dmc {
+namespace {
+
+using serve::Reply;
+using serve::RuleClient;
+
+constexpr ColumnId kColumns = 32;
+
+BinaryMatrix MakeMatrix(uint32_t seed, size_t rows) {
+  Rng rng(seed);
+  std::vector<std::vector<ColumnId>> out(rows);
+  for (auto& row : out) {
+    const ColumnId base = static_cast<ColumnId>(rng.Uniform(kColumns - 1));
+    row.push_back(base);
+    row.push_back(base + 1);
+  }
+  return BinaryMatrix::FromRows(kColumns, out);
+}
+
+std::vector<std::vector<ColumnId>> MatrixRows(const BinaryMatrix& m) {
+  std::vector<std::vector<ColumnId>> rows(m.num_rows());
+  for (RowId r = 0; r < m.num_rows(); ++r) {
+    const auto row = m.Row(r);
+    rows[r].assign(row.begin(), row.end());
+  }
+  return rows;
+}
+
+TEST(ServeStressTest, ReadersRacePublisherWithoutTearing) {
+  constexpr size_t kReaders = 4;
+  constexpr size_t kBatches = 30;
+
+  ServeOptions options;
+  options.mining.min_confidence = 0.5;
+  RuleServer server(std::move(options));
+  ASSERT_TRUE(server.SeedFromMatrix(MakeMatrix(3, 400)).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reader_errors{0};
+  std::atomic<uint64_t> queries{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      RuleClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        reader_errors.fetch_add(1);
+        return;
+      }
+      Rng rng(static_cast<uint32_t>(100 + t));
+      uint64_t last_generation = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ColumnId c = static_cast<ColumnId>(rng.Uniform(kColumns));
+        const StatusOr<Reply> reply = rng.Uniform(2) == 0
+                                          ? client.QueryByAntecedent(c)
+                                          : client.QueryByConsequent(c);
+        if (!reply.ok()) {
+          reader_errors.fetch_add(1);
+          return;
+        }
+        // Generations are monotone per connection: one publish per
+        // batch, and replies come back in request order.
+        if (reply->generation < last_generation) {
+          reader_errors.fetch_add(1);
+          return;
+        }
+        last_generation = reply->generation;
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Publisher: rapid-fire appends over the wire, no pacing — the ingest
+  // thread publishes as fast as it can mine.
+  RuleClient publisher;
+  ASSERT_TRUE(publisher.Connect("127.0.0.1", server.port()).ok());
+  for (size_t b = 0; b < kBatches; ++b) {
+    const auto rows =
+        MatrixRows(MakeMatrix(static_cast<uint32_t>(500 + b), 100));
+    const StatusOr<uint64_t> depth = publisher.AppendRows(kColumns, rows);
+    ASSERT_TRUE(depth.ok()) << depth.status();
+  }
+  // Wait until every batch is mined and published.
+  StatusOr<serve::ServeStats> stats = publisher.Stats();
+  ASSERT_TRUE(stats.ok());
+  while (stats->snapshots_published < kBatches + 1) {
+    stats = publisher.Stats();
+    ASSERT_TRUE(stats.ok());
+  }
+
+  stop.store(true);
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_EQ(reader_errors.load(), 0u);
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_EQ(stats->batches_ingested, kBatches);
+  EXPECT_EQ(stats->io_errors, 0u);
+  EXPECT_EQ(stats->protocol_errors, 0u);
+
+  server.Shutdown();
+  const serve::ServeStats final_stats = server.StatsSnapshot();
+  EXPECT_EQ(final_stats.connections_active, 0u);
+  EXPECT_EQ(final_stats.generation, kBatches + 1);
+}
+
+TEST(ServeStressTest, GracefulDrainUnderLoad) {
+  ServeOptions options;
+  options.mining.min_confidence = 0.5;
+  RuleServer server(std::move(options));
+  ASSERT_TRUE(server.SeedFromMatrix(MakeMatrix(7, 300)).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Readers keep querying until the drain kicks them off; every error
+  // they see must be a connection-level close, never a crash.
+  std::atomic<uint64_t> queries{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      RuleClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+      Rng rng(static_cast<uint32_t>(200 + t));
+      while (true) {
+        const StatusOr<Reply> reply = client.QueryByAntecedent(
+            static_cast<ColumnId>(rng.Uniform(kColumns)));
+        if (!reply.ok()) return;  // drained: server closed on us
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Let the readers get going, then pull the plug mid-flight.
+  while (queries.load(std::memory_order_relaxed) < 200) {
+    std::this_thread::yield();
+  }
+  server.Shutdown();
+  for (std::thread& r : readers) r.join();
+  EXPECT_GE(queries.load(), 200u);
+
+  // The drain left no connection behind and the port is released: a
+  // fresh server can bind an ephemeral port and the old one is gone.
+  const serve::ServeStats stats = server.StatsSnapshot();
+  EXPECT_EQ(stats.connections_active, 0u);
+  RuleClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", server.port(), 1.0).ok());
+}
+
+TEST(ServeStressTest, InjectedServeFaultsDegradePerConnection) {
+  ServeOptions options;
+  options.mining.min_confidence = 0.5;
+  RuleServer server(std::move(options));
+  ASSERT_TRUE(server.SeedFromMatrix(MakeMatrix(13, 300)).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Arm every serve.* site probabilistically: accepts, reads, writes
+  // and publishes all fail ~20% of the time, deterministically seeded.
+  ASSERT_TRUE(fail::Configure("serve.accept=error@p0.2;"
+                              "serve.read=error@p0.2;"
+                              "serve.write=error@p0.2;"
+                              "serve.publish=error@p0.2;seed=17")
+                  .ok());
+
+  uint64_t ok_queries = 0;
+  uint64_t dropped_connections = 0;
+  uint64_t appends_acked = 0;
+  Rng rng(19);
+  for (int round = 0; round < 60; ++round) {
+    RuleClient client;
+    if (!client.Connect("127.0.0.1", server.port(), 2.0).ok()) {
+      // Injected accept failure: that connection is gone, the listener
+      // must keep accepting new ones.
+      ++dropped_connections;
+      continue;
+    }
+    bool alive = true;
+    for (int q = 0; q < 10 && alive; ++q) {
+      const StatusOr<Reply> reply = client.QueryByAntecedent(
+          static_cast<ColumnId>(rng.Uniform(kColumns)));
+      if (reply.ok()) {
+        ++ok_queries;
+      } else {
+        // Injected read/write failure: this connection dies cleanly.
+        alive = false;
+        ++dropped_connections;
+      }
+    }
+    if (alive && round % 4 == 0) {
+      const auto rows =
+          MatrixRows(MakeMatrix(static_cast<uint32_t>(900 + round), 50));
+      if (client.AppendRows(kColumns, rows).ok()) ++appends_acked;
+    }
+  }
+  fail::Disable();
+
+  // Fault amnesty over: the process survived, and a fresh connection
+  // gets exact service — including the faults' own bookkeeping.
+  RuleClient healthy;
+  ASSERT_TRUE(healthy.Connect("127.0.0.1", server.port()).ok());
+  const StatusOr<Reply> reply = healthy.QueryByAntecedent(0);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->rules, server.index().snapshot()->QueryByAntecedent(0));
+
+  const StatusOr<serve::ServeStats> stats = healthy.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(ok_queries, 0u);
+  EXPECT_GT(dropped_connections, 0u);  // the sweep must have injected
+  EXPECT_GT(stats->io_errors, 0u);
+  // Skipped publishes (serve.publish) lose no data: every acked batch
+  // was still ingested; a skipped publish only means the generation
+  // lags the batch count until the next successful one.
+  EXPECT_LE(stats->snapshots_published - 1, stats->batches_ingested);
+
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace dmc

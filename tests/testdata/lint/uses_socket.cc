@@ -1,0 +1,32 @@
+// Fixture: raw BSD socket primitives outside src/serve/net_* must fire
+// banned-raw-socket once each (lines 11 through 14). Member calls,
+// wrapper namespaces and plain identifiers named like the primitives
+// stay legal.
+
+#include <sys/socket.h>
+
+namespace fixture {
+
+inline void TalkRaw(int listen_fd, char* buf) {
+  const int fd = socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0);
+  const int conn = accept(listen_fd, nullptr, nullptr);
+  static_cast<void>(::recv(conn, buf, 16, 0));
+  static_cast<void>(::send(fd, buf, 16, 0));
+}
+
+struct Wrapper {
+  int Dispatch(const char* data, int n);
+};
+
+inline int ViaWrapper(Wrapper& w, const char* data) {
+  return w.Dispatch(data, 4);
+}
+
+int ViaNamespace(int fd, const char* data);
+inline int CallViaNamespace(int fd, const char* data) {
+  return fixture::ViaNamespace(fd, data) + net::send(fd, data, 4);
+}
+
+inline int accept_rate(int accept) { return accept + 1; }  // not a call
+
+}  // namespace fixture

@@ -3,9 +3,10 @@
 #
 #   (a) warnings-as-errors build + full ctest        (preset: default)
 #   (b) ASan+UBSan build + full ctest                (preset: asan-ubsan)
-#   (c) TSan build + parallel/observe/cancellation/fault/rule-index tests
+#   (c) TSan build + parallel/observe/cancellation/fault/rule-index/serve
 #   (d) dmc_lint over src/ + tools/
 #   (e) metrics-schema smoke check (dmc_cli --metrics-out)
+#   (e2) serve smoke: dmc_serve daemon round-trip over a real socket
 #   (f) fault-injection sweep under ASan+UBSan (differential exactness)
 #   (g) incremental-vs-batch differential sweep under ASan+UBSan
 #   (h) coverage build + gate against tools/coverage_floor.txt
@@ -40,12 +41,13 @@ if [[ "${fast}" -eq 0 ]]; then
   cmake --build --preset asan-ubsan -j "${jobs}"
   ctest --preset asan-ubsan -j "${jobs}"
 
-  step "(c) tsan build + parallel/observe/cancellation/fault/rule-index tests"
+  step "(c) tsan build + parallel/observe/cancellation/fault/rule-index/serve"
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "${jobs}"
-  # RuleIndexConcurrency races queries against Publish/Load snapshot swaps.
+  # RuleIndexConcurrency races queries against Publish/Load snapshot swaps;
+  # ServeStressTest races wire readers against the ingest thread's publishes.
   ctest --test-dir build-tsan \
-    -R 'Parallel|ColumnShards|Observe|Cancel|Fault|Kernel|RuleIndex' \
+    -R 'Parallel|ColumnShards|Observe|Cancel|Fault|Kernel|RuleIndex|Serve' \
     -j "${jobs}" --output-on-failure
 fi
 
@@ -66,6 +68,65 @@ for field in '"schema_version": 1' '"mining"' '"peak_counter_bytes"' \
   }
 done
 echo "metrics schema OK"
+
+step "(e2) serve smoke: dmc_serve daemon round-trip"
+# Boots the daemon on an ephemeral port against the fixture matrix, then
+# drives it with the client subcommands: stats must show the seed
+# generation, a query must answer, an append must get mined and
+# published (generation bump), and SIGTERM must drain to a clean exit.
+serve_log="${metrics_tmp}/serve.log"
+fixture="${repo_root}/tests/testdata/metrics/fixture_matrix.txt"
+dmc_serve="${repo_root}/build/tools/dmc_serve"
+"${dmc_serve}" serve --input="${fixture}" --minconf=0.5 --port=0 \
+  >"${serve_log}" &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "${serve_log}")"
+  [[ -n "${port}" ]] && break
+  sleep 0.05
+done
+if [[ -z "${port}" ]]; then
+  echo "dmc_serve never announced its port" >&2
+  kill "${serve_pid}" 2>/dev/null || true
+  exit 1
+fi
+stats_out="$("${dmc_serve}" stats --port="${port}")"
+grep -q '^generation 1$' <<<"${stats_out}" || {
+  echo "serve smoke: unexpected seed stats" >&2
+  kill -TERM "${serve_pid}"
+  exit 1
+}
+query_out="$("${dmc_serve}" query --port="${port}" --top=5)"
+grep -q '^generation 1,' <<<"${query_out}" || {
+  echo "serve smoke: query against the seed snapshot failed" >&2
+  kill -TERM "${serve_pid}"
+  exit 1
+}
+"${dmc_serve}" append --port="${port}" --input="${fixture}" >/dev/null
+gen=""
+for _ in $(seq 1 100); do
+  gen="$("${dmc_serve}" stats --port="${port}" \
+    | sed -n 's/^generation \([0-9][0-9]*\)$/\1/p')"
+  [[ "${gen}" == "2" ]] && break
+  sleep 0.05
+done
+if [[ "${gen}" != "2" ]]; then
+  echo "serve smoke: appended batch was never published" >&2
+  kill -TERM "${serve_pid}"
+  exit 1
+fi
+kill -TERM "${serve_pid}"
+wait "${serve_pid}"
+grep -q '^drained:' "${serve_log}" || {
+  echo "serve smoke: daemon did not drain cleanly" >&2
+  exit 1
+}
+# In-process load smoke: bench_serve spins up its own server and fails
+# itself on errors, zero published snapshots, or absurdly low throughput.
+cmake --build --preset default -j "${jobs}" --target bench_serve >/dev/null
+"${repo_root}/build/bench/bench_serve" --smoke >/dev/null
+echo "serve smoke OK"
 
 if [[ "${fast}" -eq 0 ]]; then
   step "(f) fault-injection sweep under asan-ubsan"

@@ -399,6 +399,44 @@ void CheckDiscardedStatus(const FileCtx& ctx,
   }
 }
 
+// Confines the raw BSD socket primitives to src/serve/net_*: every
+// other layer speaks fds through the Status-returning wrappers in
+// serve/net_socket.h, the same way atomic_io.cc owns unlink/rename, so
+// errno mapping, EINTR retries and non-blocking semantics cannot fork.
+// Only socket/accept/recv/send are listed — bind/listen/connect would
+// false-positive on std::bind and friends, and a socket obtained
+// without socket()/accept() has nothing to recv on anyway.
+void CheckRawSocket(const FileCtx& ctx, std::vector<Finding>* findings) {
+  if (ctx.PathContains("serve/net_")) return;
+  static const char* kCalls[] = {"socket", "accept", "recv", "send"};
+  const auto& code = ctx.code;
+  for (const char* call : kCalls) {
+    for (size_t i = 0; i < code.size(); ++i) {
+      if (!IsIdent(code[i], call)) continue;
+      if (i + 1 >= code.size() || !IsPunct(code[i + 1], "(")) continue;
+      // The libc primitives are unqualified or global-:: qualified. A
+      // member call (conn.send) or any named namespace (net::, asio::)
+      // is a wrapper, which is exactly what the rule wants callers on.
+      if (i >= 1 && IsPunct(code[i - 1], "::")) {
+        const bool named_qualifier =
+            i >= 2 && (IsIdent(code[i - 2]) ||
+                       code[i - 2].kind == TokenKind::kNumber);
+        if (named_qualifier) continue;
+      } else if (i >= 1 && (IsPunct(code[i - 1], ".") ||
+                            IsPunct(code[i - 1], "->"))) {
+        continue;
+      }
+      if (ctx.Suppressed(code[i].line)) continue;
+      findings->push_back(
+          {ctx.path, code[i].line, "banned-raw-socket",
+           "raw " + code[i].text +
+               "() is banned outside src/serve/net_*; speak to sockets "
+               "through the Status-returning wrappers in "
+               "serve/net_socket.h"});
+    }
+  }
+}
+
 // Bans bare .lock()/.unlock() member calls outside src/util/: a raw
 // critical section is invisible to clang's -Wthread-safety analysis.
 // dmc::MutexLock (util/thread_annotations.h) is the sanctioned guard;
@@ -609,6 +647,7 @@ std::vector<Finding> LintFile(const std::string& path,
   CheckRawFileOps(ctx, &findings);
   CheckRuleSetMutation(ctx, &findings);
   CheckDiscardedStatus(ctx, status_functions, &findings);
+  CheckRawSocket(ctx, &findings);
   CheckRawLock(ctx, &findings);
   CheckUnannotatedMutex(ctx, &findings);
   CheckAtomicOrdering(ctx, &findings);

@@ -37,6 +37,12 @@
 //                     drift from the counts they were built on
 //   discarded-status  a call to a Status/StatusOr-returning function used
 //                     as a bare statement (result ignored)
+//   banned-raw-socket no raw socket/accept/recv/send calls (:: or
+//                     unqualified) outside src/serve/net_* — the BSD
+//                     socket primitives live behind the Status-returning
+//                     wrappers in serve/net_socket.h, the same way
+//                     atomic_io.cc owns unlink/rename; member calls and
+//                     namespace-qualified wrappers stay legal
 //   banned-raw-lock   no bare .lock()/.unlock() member calls outside
 //                     src/util/ — critical sections must use
 //                     dmc::MutexLock (util/thread_annotations.h) so
