@@ -128,6 +128,12 @@ StatusOr<Request> DecodeRequestPayload(std::string_view payload) {
           !ReadLE(payload, &offset, &num_rows)) {
         return Malformed("append header truncated");
       }
+      if (request.append_num_columns > kMaxAppendColumns) {
+        return Malformed("append num_columns " +
+                         std::to_string(request.append_num_columns) +
+                         " exceeds the " +
+                         std::to_string(kMaxAppendColumns) + "-column cap");
+      }
       if (num_rows > kMaxAppendRows) {
         return Malformed("append batch of " + std::to_string(num_rows) +
                          " rows exceeds the " +
@@ -207,6 +213,7 @@ std::string EncodeStatsReply(const ServeStats& stats) {
   AppendLE<uint64_t>(&payload, stats.connections_active);
   AppendLE<uint64_t>(&payload, stats.protocol_errors);
   AppendLE<uint64_t>(&payload, stats.io_errors);
+  AppendLE<uint64_t>(&payload, stats.batches_dropped);
   return Frame(std::move(payload));
 }
 
@@ -281,7 +288,8 @@ StatusOr<Reply> DecodeReplyPayload(std::string_view payload) {
           &s.batches_ingested, &s.rows_ingested,      &s.pending_batches,
           &s.snapshots_published, &s.requests_served,
           &s.connections_accepted, &s.connections_active,
-          &s.protocol_errors,  &s.io_errors};
+          &s.protocol_errors,  &s.io_errors,
+          &s.batches_dropped};
       for (uint64_t* field : fields) {
         if (!ReadLE(payload, &offset, field)) {
           return Malformed("stats reply truncated");

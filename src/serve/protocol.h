@@ -27,7 +27,9 @@
 //                        declaration order
 //   kAppend              u64 pending_batches (ingest-queue depth after
 //                        the enqueue — appends are acknowledged before
-//                        they are mined)
+//                        they are mined; a batch the ingest thread
+//                        later fails to mine is counted in the
+//                        batches_dropped stat)
 // An error reply (reserved byte != 0) carries u32 msg_len + msg bytes
 // instead; an unparseable request is answered with op kError and
 // StatusCode::kInvalidArgument, after which the server closes the
@@ -36,8 +38,12 @@
 // Bounds: payload_len must be in [4, kMaxFramePayloadBytes]. A length
 // prefix outside that range is a protocol error the receiver detects
 // *before* buffering the body, so an adversarial 4 GiB announcement
-// costs nothing. Append batches are additionally capped by
-// kMaxAppendRows rows.
+// costs nothing. Append batches are additionally capped at
+// kMaxAppendRows rows and kMaxAppendColumns columns — the column cap
+// matters even for a zero-row batch, because num_columns alone sizes
+// per-column state downstream (BinaryMatrix::FromRows and the miner's
+// posting lists), so a 16-byte frame must never be able to announce a
+// multi-GiB width.
 //
 // All encode/decode helpers are pure functions over std::string buffers
 // shared by the server, the client, the fuzz battery and the bench — a
@@ -66,6 +72,11 @@ inline constexpr uint32_t kMaxFramePayloadBytes = 4u << 20;
 inline constexpr uint32_t kMinFramePayloadBytes = 4;
 /// Per-batch row cap for kAppend (defense against hostile headers).
 inline constexpr uint32_t kMaxAppendRows = 1u << 20;
+/// Cap on kAppend's num_columns. Decode rejects anything wider before
+/// the server allocates per-column state, bounding the allocation a
+/// hostile header can force to a few MiB instead of ~16 GiB at the
+/// u32 maximum.
+inline constexpr uint32_t kMaxAppendColumns = 1u << 20;
 
 enum class Op : uint8_t {
   kQueryByAntecedent = 1,
@@ -94,6 +105,10 @@ struct ServeStats {
   uint64_t connections_active = 0;
   uint64_t protocol_errors = 0;
   uint64_t io_errors = 0;
+  /// Acknowledged append batches the ingest thread later failed to
+  /// mine (appends are acked at enqueue time, so this is how a client
+  /// detects that acked data was lost).
+  uint64_t batches_dropped = 0;
 
   friend bool operator==(const ServeStats&, const ServeStats&) = default;
 };

@@ -36,6 +36,10 @@ struct RuleServer::Connection {
   FrameBuffer in;
   std::string out;
   size_t out_offset = 0;
+  /// Last moment this connection either had no pending output or made
+  /// write progress; the stall reaper measures against it.
+  std::chrono::steady_clock::time_point stall_start =
+      std::chrono::steady_clock::now();
   /// Flush `out`, then close (set after a protocol error so the error
   /// reply still reaches the peer).
   bool closing = false;
@@ -280,12 +284,21 @@ void RuleServer::EventLoop() {
       }
       if (*w == net::kWouldBlock) return true;
       conn->out_offset += static_cast<size_t>(*w);
+      conn->stall_start = std::chrono::steady_clock::now();
       Count("dmc.serve.bytes_written", static_cast<uint64_t>(*w));
     }
     conn->out.clear();
     conn->out_offset = 0;
     return true;
   };
+
+  const auto stall_timeout =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              std::max(options_.write_stall_timeout_seconds, 0.0)));
+  constexpr auto kAcceptErrorBackoff = std::chrono::milliseconds(200);
+  // Epoch-initialized: no backoff until an accept actually fails.
+  std::chrono::steady_clock::time_point accept_backoff_until{};
 
   int listen_fd = listen_fd_;
   for (;;) {
@@ -299,11 +312,25 @@ void RuleServer::EventLoop() {
                            std::chrono::duration<double>(
                                options_.drain_timeout_seconds));
     }
+    const auto now = std::chrono::steady_clock::now();
     if (draining) {
-      const bool past_deadline =
-          std::chrono::steady_clock::now() >= drain_deadline;
+      const bool past_deadline = now >= drain_deadline;
       for (auto& conn : conns) {
         if (conn->pending_out() == 0 || past_deadline) conn->dead = true;
+      }
+    }
+    if (stall_timeout.count() > 0) {
+      // Reap connections whose peer stopped reading: with output
+      // pending, POLLOUT never fires and backpressure pauses reads, so
+      // no event will ever touch them again — without this sweep each
+      // one pins its buffer (and a max_connections slot) forever.
+      for (auto& conn : conns) {
+        if (conn->pending_out() == 0) {
+          conn->stall_start = now;
+        } else if (!conn->dead && now - conn->stall_start >= stall_timeout) {
+          conn->dead = true;
+          record_io_error("dmc.serve.write_stalls");
+        }
       }
     }
 
@@ -330,11 +357,15 @@ void RuleServer::EventLoop() {
     std::vector<size_t> conn_of;
     fds.push_back(pollfd{event_wake_r_, POLLIN, 0});
     conn_of.push_back(SIZE_MAX);
-    if (listen_fd >= 0) {
+    // While backing off after an accept failure the listener stays out
+    // of the poll set: a persistent failure (e.g. EMFILE) leaves it
+    // readable, and polling it would turn the loop into a busy-spin.
+    const bool poll_listener = listen_fd >= 0 && now >= accept_backoff_until;
+    if (poll_listener) {
       fds.push_back(pollfd{listen_fd, POLLIN, 0});
       conn_of.push_back(SIZE_MAX);
     }
-    const size_t listen_slot = listen_fd >= 0 ? 1 : SIZE_MAX;
+    const size_t listen_slot = poll_listener ? 1 : SIZE_MAX;
     for (size_t i = 0; i < conns.size(); ++i) {
       Connection* conn = conns[i].get();
       short events = 0;
@@ -361,6 +392,8 @@ void RuleServer::EventLoop() {
         const StatusOr<int> accepted = net::AcceptConn(listen_fd);
         if (!accepted.ok()) {
           record_io_error("dmc.serve.accept_errors");
+          accept_backoff_until =
+              std::chrono::steady_clock::now() + kAcceptErrorBackoff;
           break;
         }
         if (*accepted == net::kWouldBlock) break;
@@ -483,9 +516,12 @@ void RuleServer::IngestLoop() {
       if (!st.ok()) {
         DMC_LOG(Warning) << "serve ingest: AppendBatch failed, batch "
                          << "dropped: " << st;
+        // The batch was already acked at enqueue time, so the loss is
+        // surfaced through its own kStats counter — clients watching
+        // batches_dropped can detect that acked data never landed.
         {
           MutexLock lock(mu_);
-          ++counters_.io_errors;
+          ++counters_.batches_dropped;
         }
         Count("dmc.serve.ingest_errors");
         continue;

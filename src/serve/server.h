@@ -8,7 +8,9 @@
 //     FrameBuffer, complete requests are answered immediately, replies
 //     queue in a per-connection output buffer drained by non-blocking
 //     writes (POLLOUT only while data is pending; reading pauses while
-//     a slow consumer's buffer is over the backpressure cap).
+//     a slow consumer's buffer is over the backpressure cap; a
+//     connection whose peer stops reading altogether is reaped after
+//     write_stall_timeout_seconds without write progress).
 //     Queries resolve against the current immutable RuleIndexSnapshot
 //     via one shared_ptr acquire — the event thread never waits on the
 //     miner, so readers are wait-free with respect to publishes.
@@ -70,6 +72,11 @@ struct ServeOptions {
   size_t max_output_buffer_bytes = 8u << 20;
   /// How long a graceful drain may spend flushing pending replies.
   double drain_timeout_seconds = 5.0;
+  /// A connection with pending output that makes no write progress for
+  /// this long is closed (its peer stopped reading: POLLOUT never
+  /// fires and backpressure pauses reads, so nothing else would ever
+  /// reap it or its buffered output). Non-positive disables the reaper.
+  double write_stall_timeout_seconds = 30.0;
   /// Mining configuration for the ingest-side incremental miner; its
   /// policy.observe hooks also apply to the mining work.
   ImplicationMiningOptions mining;

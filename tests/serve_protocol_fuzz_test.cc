@@ -162,6 +162,53 @@ TEST_F(ServeProtocolFuzzTest, BadVersionAndOpGetErrorReplyAndClose) {
   }
 }
 
+/// A complete kAppend frame that announces `num_columns` x `num_rows`
+/// but carries no row data — with zero rows every per-row check is
+/// vacuous, so only the header caps stand between a 16-byte frame and
+/// a multi-GiB per-column allocation.
+std::string RawAppendHeaderFrame(uint32_t num_columns, uint32_t num_rows) {
+  std::string payload("\x01\x00\x05\x00", 4);  // version 1, op kAppend
+  const auto le32 = [&payload](uint32_t v) {
+    char buf[sizeof(v)];
+    std::memcpy(buf, &v, sizeof(v));
+    payload.append(buf, sizeof(v));
+  };
+  le32(num_columns);
+  le32(num_rows);
+  std::string frame(sizeof(uint32_t), '\0');
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(frame.data(), &len, sizeof(len));
+  return frame + payload;
+}
+
+TEST_F(ServeProtocolFuzzTest, HostileAppendHeaderGetsErrorReplyAndClose) {
+  // Decode-level: the caps are enforced before any allocation sized by
+  // the header, and the largest legal header still decodes.
+  EXPECT_FALSE(serve::DecodeRequestPayload(
+                   RawAppendHeaderFrame(0xFFFFFFFFu, 0).substr(4))
+                   .ok());
+  EXPECT_FALSE(serve::DecodeRequestPayload(
+                   RawAppendHeaderFrame(serve::kMaxAppendColumns + 1, 0)
+                       .substr(4))
+                   .ok());
+  EXPECT_TRUE(serve::DecodeRequestPayload(
+                  RawAppendHeaderFrame(serve::kMaxAppendColumns, 0).substr(4))
+                  .ok());
+
+  // Wire-level: the live server answers each hostile header with an
+  // error reply and a close, and keeps serving exactly.
+  for (const std::string& frame :
+       {RawAppendHeaderFrame(0xFFFFFFFFu, 0),
+        RawAppendHeaderFrame(serve::kMaxAppendColumns + 1, 0),
+        RawAppendHeaderFrame(16, serve::kMaxAppendRows + 1)}) {
+    const RawResult result = SendRaw(frame);
+    EXPECT_TRUE(result.closed);
+    EXPECT_FALSE(result.timed_out);
+    EXPECT_TRUE(EndsWithErrorReply(result.data));
+    AssertServerHealthy();
+  }
+}
+
 TEST_F(ServeProtocolFuzzTest, TruncatedFrameNeverWedgesTheServer) {
   Rng rng(101);
   for (int i = 0; i < 32; ++i) {

@@ -13,13 +13,16 @@
 #include "serve/server.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/client.h"
+#include "serve/net_socket.h"
 #include "serve/protocol.h"
 #include "util/failpoint.h"
 #include "util/random.h"
@@ -169,6 +172,63 @@ TEST(ServeStressTest, GracefulDrainUnderLoad) {
   EXPECT_EQ(stats.connections_active, 0u);
   RuleClient late;
   EXPECT_FALSE(late.Connect("127.0.0.1", server.port(), 1.0).ok());
+}
+
+TEST(ServeStressTest, StalledReaderConnectionIsReaped) {
+  ServeOptions options;
+  options.mining.min_confidence = 0.5;
+  options.write_stall_timeout_seconds = 0.25;
+  options.max_output_buffer_bytes = 256 * 1024;
+  RuleServer server(std::move(options));
+  ASSERT_TRUE(server.SeedFromMatrix(MakeMatrix(23, 400)).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // A slowloris reader: pipeline thousands of top-k queries, then never
+  // read a byte. The replies overrun the kernel buffers, POLLOUT stops
+  // firing, and backpressure pauses reads — only the write-stall reaper
+  // can reclaim the connection and its buffered output.
+  const StatusOr<int> fd = net::ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok());
+  // Clamp our receive buffer so the kernel cannot quietly absorb the
+  // whole backlog (rcvbuf auto-tuning can otherwise grow to tens of
+  // MiB and the server would simply finish writing).
+  const int rcvbuf = 4096;
+  ::setsockopt(*fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  std::string burst;
+  for (int i = 0; i < 15000; ++i) {
+    burst += serve::EncodeQueryRequest(serve::Op::kTopK, 0);
+  }
+  ASSERT_TRUE(net::SendAll(*fd, burst.data(), burst.size()).ok());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  // First wait for the server to accept us (the stats read races the
+  // accept otherwise), then for the reaper — not our close — to take
+  // the connection down.
+  while (server.StatsSnapshot().connections_accepted == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now() - deadline,
+              std::chrono::seconds(0))
+        << "connection was never accepted";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  while (server.StatsSnapshot().connections_active != 0) {
+    ASSERT_LT(std::chrono::steady_clock::now() - deadline,
+              std::chrono::seconds(0))
+        << "stalled connection was never reaped";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GT(server.StatsSnapshot().io_errors, 0u);
+
+  // The slot and the buffer are free again: a fresh connection gets
+  // exact service.
+  RuleClient healthy;
+  ASSERT_TRUE(healthy.Connect("127.0.0.1", server.port()).ok());
+  const StatusOr<Reply> reply = healthy.QueryByAntecedent(0);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->rules, server.index().snapshot()->QueryByAntecedent(0));
+
+  net::CloseFd(*fd);
+  server.Shutdown();
 }
 
 TEST(ServeStressTest, InjectedServeFaultsDegradePerConnection) {

@@ -250,6 +250,7 @@ int RunStats(const Flags& flags) {
       {"connections_active", stats->connections_active},
       {"protocol_errors", stats->protocol_errors},
       {"io_errors", stats->io_errors},
+      {"batches_dropped", stats->batches_dropped},
   };
   for (const Row& row : rows) {
     std::printf("%s %llu\n", row.name, (unsigned long long)row.value);
