@@ -30,243 +30,6 @@ int BucketIndex(size_t density) {
   return b;
 }
 
-// Shared setup/teardown of the two-pass disk pipeline.
-class ExternalRun {
- public:
-  ExternalRun(std::string path, std::string work_dir, bool bucketed,
-              const ExternalIoOptions& io, const ObserveContext& obs,
-              ExternalMiningStats* stats)
-      : path_(std::move(path)),
-        work_dir_(std::move(work_dir)),
-        bucketed_(bucketed),
-        io_(io),
-        obs_(obs),
-        stats_(stats) {}
-
-  ~ExternalRun() {
-    // Artifacts survive when checkpointing (a later run resumes from
-    // them) or when the caller asked to keep them; otherwise every exit
-    // path — success or failure — cleans up.
-    if (io_.keep_artifacts || !io_.checkpoint_path.empty()) return;
-    for (int b : used_buckets_) {
-      std::error_code ec;
-      std::filesystem::remove(ExternalBucketPath(work_dir_, b), ec);
-    }
-  }
-
-  ExternalRun(const ExternalRun&) = delete;
-  ExternalRun& operator=(const ExternalRun&) = delete;
-
-  /// Pass 1 + (optional) bucket partitioning, or a checkpoint resume.
-  Status Prepare() {
-    if (io_.resume && !io_.checkpoint_path.empty() && TryResume()) {
-      return Status::OK();
-    }
-
-    Stopwatch pass1_sw;
-    {
-      std::ifstream in;
-      DMC_RETURN_IF_ERROR(OpenForRead("external.pass1.open", path_, &in));
-      auto scanned = ScanMatrixText(in);
-      if (!scanned.ok()) return scanned.status();
-      first_pass_ = std::move(scanned).value();
-    }
-    stats_->pass1_seconds = pass1_sw.ElapsedSeconds();
-    stats_->rows = first_pass_.num_rows;
-    stats_->columns = first_pass_.num_columns;
-
-    Stopwatch partition_sw;
-    if (bucketed_) {
-      DMC_RETURN_IF_ERROR(Partition());
-      stats_->bucket_files = used_buckets_.size();
-    }
-    stats_->partition_seconds = partition_sw.ElapsedSeconds();
-
-    if (!io_.checkpoint_path.empty()) {
-      DMC_RETURN_IF_ERROR(WriteCheckpoint());
-    }
-    return Status::OK();
-  }
-
-  const FirstPassStats& first_pass() const { return first_pass_; }
-
-  /// One replay over the data in mining order; sets `status` on IO error.
-  template <typename Sink>
-  void Replay(Sink&& sink, Status* status) {
-    if (!status->ok()) return;
-    if (!bucketed_) {
-      std::ifstream in;
-      *status = OpenForRead("external.replay.open", path_, &in);
-      if (!status->ok()) return;
-      *status = ForEachRowText(in, [&sink](std::span<const ColumnId> row) {
-        sink(row);
-        return Status::OK();
-      });
-      return;
-    }
-    for (int b : used_buckets_) {
-      std::ifstream in;
-      *status =
-          OpenForRead("external.replay.open", ExternalBucketPath(work_dir_, b),
-                      &in);
-      if (!status->ok()) return;
-      *status = ForEachRowText(in, [&sink](std::span<const ColumnId> row) {
-        sink(row);
-        return Status::OK();
-      });
-      if (!status->ok()) return;
-    }
-  }
-
- private:
-  /// Opens `file_path` for reading, retrying transient failures under the
-  /// configured policy; `site` is the failpoint checked per attempt.
-  Status OpenForRead(const char* site, const std::string& file_path,
-                     std::ifstream* in) {
-    return RetryOp([&]() -> Status {
-      if (fail::Enabled()) {
-        DMC_RETURN_IF_ERROR(fail::InjectStatus(site));
-      }
-      if (in->is_open()) in->close();
-      in->clear();
-      in->open(file_path);
-      if (!*in) return IOError("cannot open " + file_path);
-      return Status::OK();
-    });
-  }
-
-  /// Runs `op` under the retry policy, counting retries and recoveries
-  /// into the stats and the metrics registry.
-  Status RetryOp(const std::function<Status()>& op) {
-    uint64_t retries = 0;
-    const Status st =
-        RetryWithBackoff(io_.retry, op, [&](int, const Status& failed) {
-          ++retries;
-          if (obs_.metrics != nullptr) {
-            obs_.metrics->IncrCounter("dmc.faults.retried");
-            if (fail::IsInjectedFault(failed)) {
-              obs_.metrics->IncrCounter("dmc.faults.injected");
-            }
-          }
-        });
-    stats_->io_retries += retries;
-    if (st.ok() && retries > 0 && obs_.metrics != nullptr) {
-      obs_.metrics->IncrCounter("dmc.faults.recovered");
-    }
-    return st;
-  }
-
-  /// Streams the input once more, spilling each row into its density
-  /// bucket file. Bucket writes carry a failpoint site and are verified
-  /// through the stream state after every row.
-  Status Partition() {
-    constexpr int kMaxBuckets = 33;
-    // The bucket partitioner is the one core component that genuinely
-    // writes files (the paper's disk pipeline).
-    std::vector<std::ofstream> outs(kMaxBuckets);  // dmc_lint: ignore
-    std::vector<uint8_t> seen(kMaxBuckets, 0);
-    std::vector<uint64_t> rows_in_bucket(kMaxBuckets, 0);
-    std::ifstream in;
-    DMC_RETURN_IF_ERROR(OpenForRead("external.partition.open", path_, &in));
-    const bool inject = fail::Enabled();
-    const Status scan = ForEachRowText(
-        in, [&](std::span<const ColumnId> row) -> Status {
-          if (inject) {
-            DMC_RETURN_IF_ERROR(fail::InjectStatus("external.spill.write"));
-          }
-          const int b = BucketIndex(row.size());
-          if (!seen[b]) {
-            seen[b] = 1;
-            outs[b].open(ExternalBucketPath(work_dir_, b));
-            if (!outs[b]) {
-              return IOError("cannot create bucket file in " + work_dir_);
-            }
-            used_buckets_.push_back(b);
-          }
-          bool first = true;
-          for (ColumnId c : row) {
-            if (!first) outs[b] << ' ';
-            outs[b] << c;
-            first = false;
-          }
-          outs[b] << '\n';
-          if (!outs[b]) {
-            return IOError("write failed for bucket " + std::to_string(b) +
-                           " in " + work_dir_);
-          }
-          ++rows_in_bucket[b];
-          return Status::OK();
-        });
-    if (!scan.ok()) return scan;
-    for (int b : used_buckets_) {
-      outs[b].close();
-      if (!outs[b]) {
-        return IOError("bucket close failed for bucket " + std::to_string(b));
-      }
-    }
-    std::sort(used_buckets_.begin(), used_buckets_.end());
-    bucket_rows_.assign(kMaxBuckets, 0);
-    for (int b : used_buckets_) bucket_rows_[b] = rows_in_bucket[b];
-    return Status::OK();
-  }
-
-  /// Captures pass-1 state into the checkpoint file (atomic write).
-  Status WriteCheckpoint() {
-    ExternalCheckpoint cp;
-    auto fp = FingerprintFile(path_);
-    if (!fp.ok()) return fp.status();
-    cp.input = *fp;
-    cp.bucketed = bucketed_;
-    cp.num_columns = first_pass_.num_columns;
-    cp.num_rows = first_pass_.num_rows;
-    cp.column_ones = first_pass_.column_ones;
-    for (int b : used_buckets_) {
-      const std::string bucket_path = ExternalBucketPath(work_dir_, b);
-      std::error_code ec;
-      const uint64_t size = std::filesystem::file_size(bucket_path, ec);
-      if (ec) {
-        return IOError("cannot stat bucket file " + bucket_path);
-      }
-      cp.buckets.push_back(
-          {b, bucket_rows_.empty() ? 0 : bucket_rows_[b], size});
-    }
-    return WriteCheckpointFile(cp, io_.checkpoint_path);
-  }
-
-  /// Attempts a checkpoint resume. Returns true (and fills first-pass
-  /// state) only when the checkpoint reads cleanly and validates against
-  /// the current input and bucket files; anything else means "run
-  /// fresh".
-  bool TryResume() {
-    auto cp = ReadCheckpointFile(io_.checkpoint_path);
-    if (!cp.ok()) return false;
-    if (cp->bucketed != bucketed_) return false;
-    if (!ValidateCheckpoint(*cp, path_, work_dir_).ok()) return false;
-    first_pass_ = FirstPassStats{};
-    first_pass_.num_columns = cp->num_columns;
-    first_pass_.num_rows = static_cast<RowId>(cp->num_rows);
-    first_pass_.column_ones = cp->column_ones;
-    used_buckets_.clear();
-    for (const auto& b : cp->buckets) used_buckets_.push_back(b.id);
-    std::sort(used_buckets_.begin(), used_buckets_.end());
-    stats_->rows = cp->num_rows;
-    stats_->columns = cp->num_columns;
-    stats_->bucket_files = used_buckets_.size();
-    stats_->resumed = true;
-    return true;
-  }
-
-  std::string path_;
-  std::string work_dir_;
-  bool bucketed_;
-  ExternalIoOptions io_;
-  const ObserveContext& obs_;
-  ExternalMiningStats* stats_;
-  FirstPassStats first_pass_;
-  std::vector<int> used_buckets_;
-  std::vector<uint64_t> bucket_rows_;
-};
-
 // Counts a surfaced injected fault so dashboards can tell "engine error"
 // from "fault-injection harness did its job".
 void CountInjected(const ObserveContext& obs, const Status& status) {
@@ -276,6 +39,228 @@ void CountInjected(const ObserveContext& obs, const Status& status) {
 }
 
 }  // namespace
+
+ExternalInput::ExternalInput(std::string path, std::string work_dir,
+                             bool bucketed, const ExternalIoOptions& io,
+                             const ObserveContext& obs,
+                             ExternalMiningStats* stats)
+    : path_(std::move(path)),
+      work_dir_(std::move(work_dir)),
+      bucketed_(bucketed),
+      io_(io),
+      obs_(obs),
+      stats_(stats) {}
+
+ExternalInput::~ExternalInput() {
+  // Artifacts survive when checkpointing (a later run resumes from
+  // them), when the caller asked to keep them, or when they were
+  // adopted from another process that owns them; otherwise every exit
+  // path — success or failure — cleans up.
+  if (borrowed_ || io_.keep_artifacts || !io_.checkpoint_path.empty()) {
+    return;
+  }
+  for (int b : used_buckets_) {
+    std::error_code ec;
+    std::filesystem::remove(ExternalBucketPath(work_dir_, b), ec);
+  }
+}
+
+Status ExternalInput::Prepare() {
+  if (io_.resume && !io_.checkpoint_path.empty() && TryResume()) {
+    return Status::OK();
+  }
+
+  Stopwatch pass1_sw;
+  {
+    std::ifstream in;
+    DMC_RETURN_IF_ERROR(OpenForRead("external.pass1.open", path_, &in));
+    auto scanned = ScanMatrixText(in);
+    if (!scanned.ok()) return scanned.status();
+    first_pass_ = std::move(scanned).value();
+  }
+  if (stats_ != nullptr) {
+    stats_->pass1_seconds = pass1_sw.ElapsedSeconds();
+    stats_->rows = first_pass_.num_rows;
+    stats_->columns = first_pass_.num_columns;
+  }
+
+  Stopwatch partition_sw;
+  if (bucketed_) {
+    DMC_RETURN_IF_ERROR(Partition());
+    if (stats_ != nullptr) stats_->bucket_files = used_buckets_.size();
+  }
+  if (stats_ != nullptr) {
+    stats_->partition_seconds = partition_sw.ElapsedSeconds();
+  }
+
+  if (!io_.checkpoint_path.empty()) {
+    DMC_RETURN_IF_ERROR(WriteCheckpoint());
+  }
+  return Status::OK();
+}
+
+void ExternalInput::AdoptPlan(FirstPassStats first_pass,
+                              std::vector<int> buckets) {
+  first_pass_ = std::move(first_pass);
+  used_buckets_ = std::move(buckets);
+  std::sort(used_buckets_.begin(), used_buckets_.end());
+  borrowed_ = true;
+  if (stats_ != nullptr) {
+    stats_->rows = first_pass_.num_rows;
+    stats_->columns = first_pass_.num_columns;
+    stats_->bucket_files = used_buckets_.size();
+  }
+}
+
+Status ExternalInput::Replay(const RowSink& sink) {
+  if (!bucketed_) {
+    std::ifstream in;
+    DMC_RETURN_IF_ERROR(OpenForRead("external.replay.open", path_, &in));
+    return ForEachRowText(in, [&sink](std::span<const ColumnId> row) {
+      sink(row);
+      return Status::OK();
+    });
+  }
+  for (int b : used_buckets_) {
+    std::ifstream in;
+    DMC_RETURN_IF_ERROR(OpenForRead("external.replay.open",
+                                    ExternalBucketPath(work_dir_, b), &in));
+    DMC_RETURN_IF_ERROR(
+        ForEachRowText(in, [&sink](std::span<const ColumnId> row) {
+          sink(row);
+          return Status::OK();
+        }));
+  }
+  return Status::OK();
+}
+
+Status ExternalInput::OpenForRead(const char* site,
+                                  const std::string& file_path,
+                                  std::ifstream* in) {
+  return RetryOp([&]() -> Status {
+    if (fail::Enabled()) {
+      DMC_RETURN_IF_ERROR(fail::InjectStatus(site));
+    }
+    if (in->is_open()) in->close();
+    in->clear();
+    in->open(file_path);
+    if (!*in) return IOError("cannot open " + file_path);
+    return Status::OK();
+  });
+}
+
+Status ExternalInput::RetryOp(const std::function<Status()>& op) {
+  uint64_t retries = 0;
+  const Status st =
+      RetryWithBackoff(io_.retry, op, [&](int, const Status& failed) {
+        ++retries;
+        if (obs_.metrics != nullptr) {
+          obs_.metrics->IncrCounter("dmc.faults.retried");
+          if (fail::IsInjectedFault(failed)) {
+            obs_.metrics->IncrCounter("dmc.faults.injected");
+          }
+        }
+      });
+  if (stats_ != nullptr) stats_->io_retries += retries;
+  if (st.ok() && retries > 0 && obs_.metrics != nullptr) {
+    obs_.metrics->IncrCounter("dmc.faults.recovered");
+  }
+  return st;
+}
+
+Status ExternalInput::Partition() {
+  constexpr int kMaxBuckets = 33;
+  // The bucket partitioner is the one core component that genuinely
+  // writes files (the paper's disk pipeline).
+  std::vector<std::ofstream> outs(kMaxBuckets);  // dmc_lint: ignore
+  std::vector<uint8_t> seen(kMaxBuckets, 0);
+  std::vector<uint64_t> rows_in_bucket(kMaxBuckets, 0);
+  std::ifstream in;
+  DMC_RETURN_IF_ERROR(OpenForRead("external.partition.open", path_, &in));
+  const bool inject = fail::Enabled();
+  const Status scan = ForEachRowText(
+      in, [&](std::span<const ColumnId> row) -> Status {
+        if (inject) {
+          DMC_RETURN_IF_ERROR(fail::InjectStatus("external.spill.write"));
+        }
+        const int b = BucketIndex(row.size());
+        if (!seen[b]) {
+          seen[b] = 1;
+          outs[b].open(ExternalBucketPath(work_dir_, b));
+          if (!outs[b]) {
+            return IOError("cannot create bucket file in " + work_dir_);
+          }
+          used_buckets_.push_back(b);
+        }
+        bool first = true;
+        for (ColumnId c : row) {
+          if (!first) outs[b] << ' ';
+          outs[b] << c;
+          first = false;
+        }
+        outs[b] << '\n';
+        if (!outs[b]) {
+          return IOError("write failed for bucket " + std::to_string(b) +
+                         " in " + work_dir_);
+        }
+        ++rows_in_bucket[b];
+        return Status::OK();
+      });
+  if (!scan.ok()) return scan;
+  for (int b : used_buckets_) {
+    outs[b].close();
+    if (!outs[b]) {
+      return IOError("bucket close failed for bucket " + std::to_string(b));
+    }
+  }
+  std::sort(used_buckets_.begin(), used_buckets_.end());
+  bucket_rows_.assign(kMaxBuckets, 0);
+  for (int b : used_buckets_) bucket_rows_[b] = rows_in_bucket[b];
+  return Status::OK();
+}
+
+Status ExternalInput::WriteCheckpoint() {
+  ExternalCheckpoint cp;
+  auto fp = FingerprintFile(path_);
+  if (!fp.ok()) return fp.status();
+  cp.input = *fp;
+  cp.bucketed = bucketed_;
+  cp.num_columns = first_pass_.num_columns;
+  cp.num_rows = first_pass_.num_rows;
+  cp.column_ones = first_pass_.column_ones;
+  for (int b : used_buckets_) {
+    const std::string bucket_path = ExternalBucketPath(work_dir_, b);
+    std::error_code ec;
+    const uint64_t size = std::filesystem::file_size(bucket_path, ec);
+    if (ec) {
+      return IOError("cannot stat bucket file " + bucket_path);
+    }
+    cp.buckets.push_back(
+        {b, bucket_rows_.empty() ? 0 : bucket_rows_[b], size});
+  }
+  return WriteCheckpointFile(cp, io_.checkpoint_path);
+}
+
+bool ExternalInput::TryResume() {
+  auto cp = ReadCheckpointFile(io_.checkpoint_path);
+  if (!cp.ok()) return false;
+  if (cp->bucketed != bucketed_) return false;
+  if (!ValidateCheckpoint(*cp, path_, work_dir_).ok()) return false;
+  first_pass_ = FirstPassStats{};
+  first_pass_.num_columns = cp->num_columns;
+  first_pass_.num_rows = static_cast<RowId>(cp->num_rows);
+  first_pass_.column_ones = cp->column_ones;
+  used_buckets_.clear();
+  for (const auto& b : cp->buckets) used_buckets_.push_back(b.id);
+  std::sort(used_buckets_.begin(), used_buckets_.end());
+  if (stats_ != nullptr) {
+    stats_->rows = cp->num_rows;
+    stats_->columns = cp->num_columns;
+    stats_->bucket_files = used_buckets_.size();
+    stats_->resumed = true;
+  }
+  return true;
+}
 
 StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
     const std::string& path, const ImplicationMiningOptions& options,
@@ -287,9 +272,9 @@ StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
   Stopwatch total_sw;
 
   const ObserveContext& obs = options.policy.observe;
-  ExternalRun run(path, work_dir,
-                  options.policy.row_order != RowOrderPolicy::kIdentity, io,
-                  obs, stats);
+  ExternalInput run(path, work_dir,
+                    options.policy.row_order != RowOrderPolicy::kIdentity, io,
+                    obs, stats);
   {
     ScopedSpan span(obs.trace, "external/prepare", obs.trace_lane);
     const Status prepared = run.Prepare();
@@ -304,7 +289,8 @@ StatusOr<ImplicationRuleSet> MineImplicationsFromFile(
   auto rules = StreamImplications(
       run.first_pass().num_columns, run.first_pass().column_ones,
       run.first_pass().num_rows, options, [&](auto&& sink) {
-        run.Replay(sink, &replay_status);
+        if (!replay_status.ok()) return;
+        replay_status = run.Replay(sink);
       });
   stats->mine_seconds = mine_sw.ElapsedSeconds();
   if (!replay_status.ok()) {
@@ -337,9 +323,9 @@ StatusOr<SimilarityRuleSet> MineSimilaritiesFromFile(
   Stopwatch total_sw;
 
   const ObserveContext& obs = options.policy.observe;
-  ExternalRun run(path, work_dir,
-                  options.policy.row_order != RowOrderPolicy::kIdentity, io,
-                  obs, stats);
+  ExternalInput run(path, work_dir,
+                    options.policy.row_order != RowOrderPolicy::kIdentity, io,
+                    obs, stats);
   {
     ScopedSpan span(obs.trace, "external/prepare", obs.trace_lane);
     const Status prepared = run.Prepare();
@@ -354,7 +340,8 @@ StatusOr<SimilarityRuleSet> MineSimilaritiesFromFile(
   auto pairs = StreamSimilarities(
       run.first_pass().num_columns, run.first_pass().column_ones,
       run.first_pass().num_rows, options, [&](auto&& sink) {
-        run.Replay(sink, &replay_status);
+        if (!replay_status.ok()) return;
+        replay_status = run.Replay(sink);
       });
   stats->mine_seconds = mine_sw.ElapsedSeconds();
   if (!replay_status.ok()) {

@@ -20,9 +20,14 @@
 #ifndef DMC_CORE_EXTERNAL_MINER_H_
 #define DMC_CORE_EXTERNAL_MINER_H_
 
+#include <functional>
+#include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/dmc_options.h"
+#include "matrix/matrix_io.h"
 #include "rules/rule_set.h"
 #include "util/retry.h"
 #include "util/statusor.h"
@@ -59,6 +64,69 @@ struct ExternalMiningStats {
   bool resumed = false;
   /// Transient I/O failures that were retried (see ExternalIoOptions).
   uint64_t io_retries = 0;
+};
+
+/// Shared setup/replay of the two-pass disk pipeline, exposed so the
+/// multi-process shard coordinator (src/shard/) can run pass 1 once and
+/// hand the resulting bucket inventory to worker processes, which replay
+/// the same artifacts without re-scanning the input.
+///
+/// Two construction paths:
+///   * Prepare(): pass 1 + (optional) bucket partitioning, or a
+///     checkpoint resume — what the single-process miners do.
+///   * AdoptPlan(): trust an externally supplied first-pass result and
+///     bucket inventory (a shard worker receiving the coordinator's
+///     kInit frame). No scan, no partitioning, no checkpointing.
+///
+/// The destructor removes the bucket files unless checkpointing or
+/// keep_artifacts is set (AdoptPlan implies keep: the coordinator owns
+/// the artifacts, its workers must not delete them).
+class ExternalInput {
+ public:
+  ExternalInput(std::string path, std::string work_dir, bool bucketed,
+                const ExternalIoOptions& io, const ObserveContext& obs,
+                ExternalMiningStats* stats);
+  ~ExternalInput();
+
+  ExternalInput(const ExternalInput&) = delete;
+  ExternalInput& operator=(const ExternalInput&) = delete;
+
+  /// Pass 1 + (optional) bucket partitioning, or a checkpoint resume.
+  [[nodiscard]] Status Prepare();
+
+  /// Adopts an externally computed plan: first-pass stats plus the ids
+  /// of the bucket files already present under work_dir (ignored when
+  /// !bucketed). Artifacts are treated as borrowed and never removed.
+  void AdoptPlan(FirstPassStats first_pass, std::vector<int> buckets);
+
+  const FirstPassStats& first_pass() const { return first_pass_; }
+  /// Ascending ids of the non-empty bucket files (replay order).
+  const std::vector<int>& buckets() const { return used_buckets_; }
+
+  /// One replay over the data in mining order. `sink` sees each row as
+  /// sorted, deduplicated column ids.
+  using RowSink = std::function<void(std::span<const ColumnId>)>;
+  [[nodiscard]] Status Replay(const RowSink& sink);
+
+ private:
+  Status OpenForRead(const char* site, const std::string& file_path,
+                     std::ifstream* in);
+  Status RetryOp(const std::function<Status()>& op);
+  Status Partition();
+  Status WriteCheckpoint();
+  bool TryResume();
+
+  std::string path_;
+  std::string work_dir_;
+  bool bucketed_;
+  ExternalIoOptions io_;
+  ObserveContext obs_;
+  ExternalMiningStats* stats_;
+  FirstPassStats first_pass_;
+  std::vector<int> used_buckets_;
+  std::vector<uint64_t> bucket_rows_;
+  /// Artifacts adopted via AdoptPlan are never removed.
+  bool borrowed_ = false;
 };
 
 /// Mines implication rules from a transaction text file at `path`.

@@ -18,6 +18,9 @@ StreamingImplicationPass::StreamingImplicationPass(Config config)
       cnt_(config_.num_columns, 0) {
   DMC_CHECK_EQ(config_.ones.size(), config_.num_columns);
   DMC_CHECK_EQ(config_.max_misses.size(), config_.num_columns);
+  if (!config_.lhs_shard.empty()) {
+    DMC_CHECK_EQ(config_.lhs_shard.size(), config_.num_columns);
+  }
   all_active_ =
       config_.active.empty() ||
       std::all_of(config_.active.begin(), config_.active.end(),
@@ -95,6 +98,7 @@ void StreamingImplicationPass::ProcessRow(std::span<const ColumnId> row) {
     scratch_.BeginRow(filtered, config_.num_columns);
   }
   for (ColumnId cj : filtered) {
+    if (!LhsOk(cj)) continue;  // not this shard's antecedent
     if (static_cast<int64_t>(cnt_[cj]) <= config_.max_misses[cj]) {
       MergeWithAdd(cj, filtered);
     } else if (table_.HasList(cj)) {
@@ -207,7 +211,7 @@ void StreamingImplicationPass::RunBitmapPhases() {
     }
   };
   for (ColumnId c = 0; c < config_.num_columns; ++c) {
-    if (!ActiveOk(c) || config_.ones[c] == 0) continue;
+    if (!LhsOk(c) || !ActiveOk(c) || config_.ones[c] == 0) continue;
     if (static_cast<int64_t>(cnt_[c]) > config_.max_misses[c]) continue;
     touched.clear();
     if (table_.HasList(c)) {

@@ -43,6 +43,14 @@ class StreamingImplicationPass {
     std::vector<int64_t> max_misses;
     /// Active columns; empty = all active.
     std::vector<uint8_t> active;
+    /// Antecedent shard: only columns with a nonzero entry own candidate
+    /// lists and emit rules (rhs candidates still span every active
+    /// column). Empty = all columns. The union of the rule sets produced
+    /// by a partition of the columns equals the unsharded result exactly
+    /// — the same invariant the batch engine's lhs_shard carries
+    /// (dmc_base.cc), now available to multi-process workers that each
+    /// stream the same bucket files.
+    std::vector<uint8_t> lhs_shard;
     bool emit_zero_miss = true;
     size_t bytes_per_entry = MissCounterTable::kEntryBytesWithCounters;
     /// Bitmap-fallback policy (row_order is ignored — the caller owns
@@ -90,7 +98,9 @@ class StreamingImplicationPass {
   size_t peak_counter_bytes() const { return tracker_.peak_bytes(); }
 
  private:
-  bool LhsOk(ColumnId /*c*/) const { return true; }
+  bool LhsOk(ColumnId c) const {
+    return config_.lhs_shard.empty() || config_.lhs_shard[c] != 0;
+  }
   bool ActiveOk(ColumnId c) const {
     return config_.active.empty() || config_.active[c] != 0;
   }
@@ -124,12 +134,14 @@ class StreamingImplicationPass {
 /// functor `replay(sink)` must invoke `sink(std::span<const ColumnId>)`
 /// once per row, in the same order on every call; it is invoked once per
 /// phase (the paper's implementation likewise re-reads the bucketed data
-/// for each phase).
+/// for each phase). `lhs_shard` (optional) restricts antecedents to the
+/// marked columns; the union over a partition of the columns is exactly
+/// the unsharded rule set.
 template <typename Replay>
 [[nodiscard]] StatusOr<ImplicationRuleSet> StreamImplications(
     ColumnId num_columns, const std::vector<uint32_t>& ones,
     uint64_t total_rows, const ImplicationMiningOptions& options,
-    Replay&& replay) {
+    Replay&& replay, const std::vector<uint8_t>* lhs_shard = nullptr) {
   if (!(options.min_confidence > 0.0) || options.min_confidence > 1.0) {
     return InvalidArgumentError("min_confidence must be in (0, 1]");
   }
@@ -148,6 +160,7 @@ template <typename Replay>
     for (ColumnId c = 0; c < num_columns; ++c) cfg.active[c] = ones[c] > 0;
     cfg.emit_zero_miss = true;
     cfg.bytes_per_entry = MissCounterTable::kEntryBytesIdOnly;
+    if (lhs_shard != nullptr) cfg.lhs_shard = *lhs_shard;
     cfg.policy = options.policy;
     cfg.phase = "hundred_phase";
     StreamingImplicationPass pass(std::move(cfg));
@@ -174,6 +187,7 @@ template <typename Replay>
     }
     cfg.emit_zero_miss = !run_hundred;
     cfg.bytes_per_entry = MissCounterTable::kEntryBytesWithCounters;
+    if (lhs_shard != nullptr) cfg.lhs_shard = *lhs_shard;
     cfg.policy = options.policy;
     cfg.phase = "sub_phase";
     StreamingImplicationPass pass(std::move(cfg));

@@ -20,6 +20,9 @@ StreamingSimilarityPass::StreamingSimilarityPass(Config config)
       table_(config_.num_columns, config_.bytes_per_entry, &tracker_),
       cnt_(config_.num_columns, 0) {
   DMC_CHECK_EQ(config_.ones.size(), config_.num_columns);
+  if (!config_.lhs_shard.empty()) {
+    DMC_CHECK_EQ(config_.lhs_shard.size(), config_.num_columns);
+  }
   DMC_CHECK_GT(config_.min_similarity, 0.0);
   DMC_CHECK_LE(config_.min_similarity, 1.0);
   all_active_ =
@@ -154,6 +157,7 @@ void StreamingSimilarityPass::ProcessRow(std::span<const ColumnId> row) {
     scratch_.BeginRow(filtered, config_.num_columns);
   }
   for (ColumnId cj : filtered) {
+    if (!LhsOk(cj)) continue;  // not this shard's antecedent
     if (static_cast<int64_t>(cnt_[cj]) <= col_budget_[cj]) {
       MergeWithAdd(cj, filtered);
     } else if (table_.HasList(cj)) {
@@ -297,6 +301,10 @@ void StreamingSimilarityPass::RunBitmapPhases() {
         for (size_t j = i + 1; j < hi; ++j) {
           const ColumnId ci = hashed[i].second;
           const ColumnId cj = hashed[j].second;
+          // The canonical antecedent of an identical pair is the lower
+          // id; in sharded runs only its owner emits the pair (mirrors
+          // dmc_sim_pass.cc).
+          if (!LhsOk(std::min(ci, cj))) continue;
           if (bitmaps[bm_index[ci]] == bitmaps[bm_index[cj]]) {
             EmitPair(ci, cj, config_.ones[ci]);
           }
@@ -319,7 +327,7 @@ void StreamingSimilarityPass::RunBitmapPhases() {
     }
   };
   for (ColumnId c = 0; c < config_.num_columns; ++c) {
-    if (!ActiveOk(c) || config_.ones[c] == 0) continue;
+    if (!LhsOk(c) || !ActiveOk(c) || config_.ones[c] == 0) continue;
     if (static_cast<int64_t>(cnt_[c]) > col_budget_[c]) continue;
     touched.clear();
     if (table_.HasList(c)) {

@@ -32,6 +32,10 @@ class StreamingSimilarityPass {
     double min_similarity = 1.0;
     /// Active columns; empty = all active.
     std::vector<uint8_t> active;
+    /// Antecedent shard (see StreamingImplicationPass::Config): only
+    /// marked columns own candidate lists; an identical pair belongs to
+    /// the shard of its lower-id column.
+    std::vector<uint8_t> lhs_shard;
     bool emit_identical = true;
     size_t bytes_per_entry = MissCounterTable::kEntryBytesWithCounters;
     DmcPolicy policy;
@@ -60,6 +64,9 @@ class StreamingSimilarityPass {
   [[nodiscard]] StatusOr<SimilarityRuleSet> Finish();
 
  private:
+  bool LhsOk(ColumnId c) const {
+    return config_.lhs_shard.empty() || config_.lhs_shard[c] != 0;
+  }
   bool ActiveOk(ColumnId c) const {
     return config_.active.empty() || config_.active[c] != 0;
   }
@@ -99,12 +106,13 @@ class StreamingSimilarityPass {
 
 /// Streams the full DMC-sim pipeline (identical phase + cutoff +
 /// sub-100% phase); `replay(sink)` is invoked once per phase and must
-/// deliver the same rows in the same order each time.
+/// deliver the same rows in the same order each time. `lhs_shard`
+/// (optional) restricts antecedents as in StreamImplications.
 template <typename Replay>
 [[nodiscard]] StatusOr<SimilarityRuleSet> StreamSimilarities(
     ColumnId num_columns, const std::vector<uint32_t>& ones,
     uint64_t total_rows, const SimilarityMiningOptions& options,
-    Replay&& replay) {
+    Replay&& replay, const std::vector<uint8_t>* lhs_shard = nullptr) {
   if (!(options.min_similarity > 0.0) || options.min_similarity > 1.0) {
     return InvalidArgumentError("min_similarity must be in (0, 1]");
   }
@@ -123,6 +131,7 @@ template <typename Replay>
     for (ColumnId c = 0; c < num_columns; ++c) cfg.active[c] = ones[c] > 0;
     cfg.emit_identical = true;
     cfg.bytes_per_entry = MissCounterTable::kEntryBytesIdOnly;
+    if (lhs_shard != nullptr) cfg.lhs_shard = *lhs_shard;
     cfg.policy = options.policy;
     cfg.phase = "hundred_phase";
     StreamingSimilarityPass pass(std::move(cfg));
@@ -148,6 +157,7 @@ template <typename Replay>
     }
     cfg.emit_identical = !run_hundred;
     cfg.bytes_per_entry = MissCounterTable::kEntryBytesWithCounters;
+    if (lhs_shard != nullptr) cfg.lhs_shard = *lhs_shard;
     cfg.policy = options.policy;
     cfg.phase = "sub_phase";
     StreamingSimilarityPass pass(std::move(cfg));

@@ -1,14 +1,23 @@
 #include "datagen/quest_gen.h"
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
+#include "util/atomic_io.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/zipf.h"
 
 namespace dmc {
+namespace {
 
-BinaryMatrix GenerateQuest(const QuestOptions& options) {
+// The one row generator both output modes share. `fn` receives each
+// transaction's raw item draw — possibly unsorted, possibly duplicated,
+// exactly what MatrixBuilder::AddRow historically received — so the
+// in-memory and streaming paths consume the RNG identically.
+template <typename RowFn>
+Status ForEachQuestRow(const QuestOptions& options, RowFn&& fn) {
   DMC_CHECK_GE(options.num_patterns, 1u);
   Rng rng(options.seed);
 
@@ -27,7 +36,6 @@ BinaryMatrix GenerateQuest(const QuestOptions& options) {
     }
   }
 
-  MatrixBuilder builder(options.num_items);
   std::vector<ColumnId> row;
   for (uint32_t t = 0; t < options.num_transactions; ++t) {
     row.clear();
@@ -41,9 +49,68 @@ BinaryMatrix GenerateQuest(const QuestOptions& options) {
         if (!rng.Bernoulli(options.corruption)) row.push_back(item);
       }
     }
-    builder.AddRow(row);
+    DMC_RETURN_IF_ERROR(fn(row));
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+BinaryMatrix GenerateQuest(const QuestOptions& options) {
+  MatrixBuilder builder(options.num_items);
+  const Status st =
+      ForEachQuestRow(options, [&](const std::vector<ColumnId>& row) {
+        builder.AddRow(row);
+        return Status::OK();
+      });
+  DMC_CHECK(st.ok());  // the builder sink never fails
   return builder.Build();
+}
+
+Status GenerateQuestStream(
+    const QuestOptions& options,
+    const std::function<Status(std::span<const ColumnId>)>& sink) {
+  std::vector<ColumnId> sorted;
+  return ForEachQuestRow(options, [&](const std::vector<ColumnId>& row) {
+    sorted.assign(row.begin(), row.end());
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    return sink(std::span<const ColumnId>(sorted));
+  });
+}
+
+Status GenerateQuestFile(const QuestOptions& options,
+                         const std::string& path) {
+  AtomicFileWriter writer;
+  DMC_RETURN_IF_ERROR(writer.Open(path));
+  // Matches WriteMatrixText's header; the dimensions are known up front
+  // (the builder's column count is fixed at num_items).
+  std::string buffer;
+  constexpr size_t kFlushBytes = 1 << 20;
+  buffer.reserve(kFlushBytes + 4096);
+  buffer += "# dmc matrix: rows=";
+  buffer += std::to_string(options.num_transactions);
+  buffer += " columns=";
+  buffer += std::to_string(options.num_items);
+  buffer += '\n';
+  const Status gen = GenerateQuestStream(
+      options, [&](std::span<const ColumnId> row) -> Status {
+        bool first = true;
+        for (ColumnId c : row) {
+          if (!first) buffer += ' ';
+          buffer += std::to_string(c);
+          first = false;
+        }
+        buffer += '\n';
+        if (buffer.size() >= kFlushBytes) {
+          DMC_RETURN_IF_ERROR(writer.Write(buffer));
+          buffer.clear();
+        }
+        return Status::OK();
+      });
+  DMC_RETURN_IF_ERROR(gen);  // writer's destructor discards the temp file
+  DMC_RETURN_IF_ERROR(writer.Write(buffer));
+  return writer.Commit();
 }
 
 }  // namespace dmc

@@ -4,13 +4,25 @@
 // "potentially large itemsets" (patterns); each transaction draws a few
 // patterns and keeps each item with (1 - corruption) probability. Used by
 // the comparison benches and the a-priori tests.
+//
+// Two output modes share one row generator (same RNG call sequence):
+//
+//   * GenerateQuest materializes a BinaryMatrix in memory.
+//   * GenerateQuestStream / GenerateQuestFile emit rows one at a time,
+//     so a 100M+-row matrix can be written to disk in O(row) memory.
+//     For equal options, GenerateQuestFile's output is byte-identical
+//     to WriteMatrixTextFile(GenerateQuest(options), path).
 
 #ifndef DMC_DATAGEN_QUEST_GEN_H_
 #define DMC_DATAGEN_QUEST_GEN_H_
 
 #include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
 
 #include "matrix/binary_matrix.h"
+#include "util/status.h"
 
 namespace dmc {
 
@@ -26,6 +38,21 @@ struct QuestOptions {
 };
 
 BinaryMatrix GenerateQuest(const QuestOptions& options);
+
+/// Streams the transactions GenerateQuest would materialize, one row at
+/// a time, without ever holding the matrix: `sink` is called once per
+/// transaction with the row's sorted, deduplicated column ids (the same
+/// normalization MatrixBuilder applies). A non-OK return from the sink
+/// aborts generation and is passed through.
+[[nodiscard]] Status GenerateQuestStream(
+    const QuestOptions& options,
+    const std::function<Status(std::span<const ColumnId>)>& sink);
+
+/// Streams a Quest matrix straight to `path` in transaction text format
+/// with bounded memory. Crash-safe (temp file + fsync + rename) like
+/// every other writer; a failure leaves the previous file untouched.
+[[nodiscard]] Status GenerateQuestFile(const QuestOptions& options,
+                                       const std::string& path);
 
 }  // namespace dmc
 

@@ -7,6 +7,7 @@
 #include "core/parallel_dmc.h"
 #include "observe/json_writer.h"
 #include "observe/metrics.h"
+#include "shard/shard_stats.h"
 #include "util/atomic_io.h"
 
 namespace dmc {
@@ -118,6 +119,33 @@ void WriteJson(JsonWriter& w, const ExternalMiningStats& stats) {
   w.EndObject();
 }
 
+void WriteJson(JsonWriter& w, const shard::ShardMiningStats& stats) {
+  w.BeginObject();
+  w.Key("tasks_total");
+  w.Value(stats.tasks_total);
+  w.Key("workers_spawned");
+  w.Value(stats.workers_spawned);
+  w.Key("workers_died");
+  w.Value(stats.workers_died);
+  w.Key("tasks_reassigned");
+  w.Value(stats.tasks_reassigned);
+  w.Key("heartbeats");
+  w.Value(stats.heartbeats);
+  w.Key("checkpoint_hits");
+  w.Value(stats.checkpoint_hits);
+  w.Key("degraded_tasks");
+  w.Value(stats.degraded_tasks);
+  w.Key("pass1_seconds");
+  w.Value(stats.pass1_seconds);
+  w.Key("mine_seconds");
+  w.Value(stats.mine_seconds);
+  w.Key("total_seconds");
+  w.Value(stats.total_seconds);
+  w.Key("resumed");
+  w.Value(stats.resumed);
+  w.EndObject();
+}
+
 Status ExportMetricsJson(const MetricsReport& report, std::ostream& os) {
   JsonWriter w(os, /*indent=*/2);
   w.BeginObject();
@@ -149,6 +177,10 @@ Status ExportMetricsJson(const MetricsReport& report, std::ostream& os) {
   if (report.external != nullptr) {
     w.Key("external");
     WriteJson(w, *report.external);
+  }
+  if (report.shard != nullptr) {
+    w.Key("shard");
+    WriteJson(w, *report.shard);
   }
   if (report.metrics != nullptr) {
     w.Key("metrics");
@@ -231,6 +263,22 @@ void RecordToRegistry(MetricsRegistry* registry, const std::string& prefix,
                      static_cast<double>(stats.bucket_files));
   registry->SetGauge(prefix + ".resumed", stats.resumed ? 1.0 : 0.0);
   registry->IncrCounter(prefix + ".io_retries", stats.io_retries);
+}
+
+void RecordToRegistry(MetricsRegistry* registry, const std::string& prefix,
+                      const shard::ShardMiningStats& stats) {
+  if (registry == nullptr) return;
+  registry->SetGauge(prefix + ".tasks_total", stats.tasks_total);
+  registry->IncrCounter(prefix + ".workers_spawned", stats.workers_spawned);
+  registry->IncrCounter(prefix + ".workers_died", stats.workers_died);
+  registry->IncrCounter(prefix + ".tasks_reassigned", stats.tasks_reassigned);
+  registry->IncrCounter(prefix + ".heartbeats", stats.heartbeats);
+  registry->IncrCounter(prefix + ".checkpoint_hits", stats.checkpoint_hits);
+  registry->IncrCounter(prefix + ".degraded_tasks", stats.degraded_tasks);
+  registry->RecordTimer(prefix + ".pass1_seconds", stats.pass1_seconds);
+  registry->RecordTimer(prefix + ".mine_seconds", stats.mine_seconds);
+  registry->RecordTimer(prefix + ".total_seconds", stats.total_seconds);
+  registry->SetGauge(prefix + ".resumed", stats.resumed ? 1.0 : 0.0);
 }
 
 }  // namespace dmc

@@ -12,14 +12,15 @@
 //     "parallel": { ...ParallelMiningStats...,
 //                   "per_shard": [ {MiningStats}, ... ] },
 //     "external": { ...ExternalMiningStats... },
+//     "shard":    { ...shard::ShardMiningStats... },
 //     "metrics":  { "counters": {...}, "gauges": {...},
 //                   "timers": {...}, "histograms": {...} }
 //   }
 //
 // Field names inside each section match the struct members one-to-one,
 // so the schema is documented by mining_stats.h / parallel_dmc.h /
-// external_miner.h. Timing fields all end in "seconds"; golden tests
-// mask exactly those.
+// external_miner.h / shard/shard_stats.h. Timing fields all end in
+// "seconds"; golden tests mask exactly those.
 
 #ifndef DMC_OBSERVE_STATS_EXPORT_H_
 #define DMC_OBSERVE_STATS_EXPORT_H_
@@ -37,12 +38,16 @@ class MetricsRegistry;
 struct MiningStats;
 struct ParallelMiningStats;
 struct ExternalMiningStats;
+namespace shard {
+struct ShardMiningStats;
+}  // namespace shard
 
 /// Writers for the individual sections, exposed so tests can check one
 /// struct's serialization in isolation.
 void WriteJson(JsonWriter& w, const MiningStats& stats);
 void WriteJson(JsonWriter& w, const ParallelMiningStats& stats);
 void WriteJson(JsonWriter& w, const ExternalMiningStats& stats);
+void WriteJson(JsonWriter& w, const shard::ShardMiningStats& stats);
 
 /// Everything one metrics document can carry; null pointers omit their
 /// section. The pointed-to objects must outlive the export call.
@@ -55,6 +60,7 @@ struct MetricsReport {
   const MiningStats* mining = nullptr;
   const ParallelMiningStats* parallel = nullptr;
   const ExternalMiningStats* external = nullptr;
+  const shard::ShardMiningStats* shard = nullptr;
   const MetricsRegistry* metrics = nullptr;
 };
 
@@ -74,6 +80,8 @@ void RecordToRegistry(MetricsRegistry* registry, const std::string& prefix,
                       const ParallelMiningStats& stats);
 void RecordToRegistry(MetricsRegistry* registry, const std::string& prefix,
                       const ExternalMiningStats& stats);
+void RecordToRegistry(MetricsRegistry* registry, const std::string& prefix,
+                      const shard::ShardMiningStats& stats);
 
 }  // namespace dmc
 

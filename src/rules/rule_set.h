@@ -26,6 +26,10 @@ class ImplicationRuleSet {
   bool empty() const { return rules_.empty(); }
   const std::vector<ImplicationRule>& rules() const { return rules_; }
   std::vector<ImplicationRule>& mutable_rules() { return rules_; }
+  /// Destructively moves the rules out, leaving the set empty — the
+  /// sanctioned way for pipeline stages (e.g. the shard merge) to
+  /// re-own mined rules without mutating a set in place.
+  std::vector<ImplicationRule> TakeRules() { return std::move(rules_); }
 
   auto begin() const { return rules_.begin(); }
   auto end() const { return rules_.end(); }
@@ -62,6 +66,8 @@ class SimilarityRuleSet {
   bool empty() const { return pairs_.empty(); }
   const std::vector<SimilarityPair>& pairs() const { return pairs_; }
   std::vector<SimilarityPair>& mutable_pairs() { return pairs_; }
+  /// Destructive move-out, mirroring ImplicationRuleSet::TakeRules().
+  std::vector<SimilarityPair> TakePairs() { return std::move(pairs_); }
 
   auto begin() const { return pairs_.begin(); }
   auto end() const { return pairs_.end(); }

@@ -1,0 +1,34 @@
+// Accounting for one sharded (multi-process) mining run. Kept in its
+// own dependency-free header so observe/stats_export.cc can serialize
+// the struct without pulling in the whole coordinator.
+
+#ifndef DMC_SHARD_SHARD_STATS_H_
+#define DMC_SHARD_SHARD_STATS_H_
+
+#include <cstdint>
+
+namespace dmc {
+namespace shard {
+
+/// Accounting for one sharded run.
+struct ShardMiningStats {
+  int tasks_total = 0;
+  int workers_spawned = 0;
+  int workers_died = 0;
+  uint64_t tasks_reassigned = 0;
+  uint64_t heartbeats = 0;
+  /// Tasks satisfied from a valid checkpoint instead of mining.
+  int checkpoint_hits = 0;
+  /// Tasks mined in-process after the process fleet gave out.
+  int degraded_tasks = 0;
+  double pass1_seconds = 0.0;
+  double mine_seconds = 0.0;
+  double total_seconds = 0.0;
+  /// True when pass 1 was resumed from an external-miner checkpoint.
+  bool resumed = false;
+};
+
+}  // namespace shard
+}  // namespace dmc
+
+#endif  // DMC_SHARD_SHARD_STATS_H_

@@ -1,0 +1,46 @@
+// The shard worker: one child process of the coordinator, speaking the
+// shard protocol over two inherited pipe descriptors. A worker is a thin
+// loop — receive the plan, mine whatever tasks arrive with the task's
+// lhs-shard mask, stream heartbeats from the progress callback, send the
+// canonical per-shard rule set back — and is deliberately stateless
+// across tasks so the coordinator can hand any task to any worker.
+//
+// Failure behavior: a mining error (including an injected
+// "shard.worker" failpoint) is reported as kTaskError and the worker
+// stays alive for the next task; only transport failure (coordinator
+// gone) or kShutdown ends the loop. Two environment hooks exist for the
+// kill-a-worker tests: DMC_SHARD_TEST_CRASH_AFTER_ROWS=<n> calls _exit
+// mid-mine after n rows, DMC_SHARD_TEST_HANG_AFTER_ROWS=<n> stops
+// processing (and heartbeating) forever — the coordinator must detect
+// both and reassign.
+
+#ifndef DMC_SHARD_SHARD_WORKER_H_
+#define DMC_SHARD_SHARD_WORKER_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace dmc {
+namespace shard {
+
+struct WorkerOptions {
+  /// Descriptor carrying coordinator -> worker frames (blocking).
+  int in_fd = -1;
+  /// Descriptor carrying worker -> coordinator frames (blocking).
+  int out_fd = -1;
+  /// When non-empty, the worker's full metrics registry is atomically
+  /// rewritten as JSONL here after every task, so the coordinator can
+  /// merge worker metrics even when the worker later dies.
+  std::string metrics_out;
+};
+
+/// Runs the worker loop until kShutdown or EOF on in_fd. Returns non-OK
+/// only on transport or protocol failure (the exit code of
+/// dmc_shard_worker).
+[[nodiscard]] Status RunShardWorker(const WorkerOptions& options);
+
+}  // namespace shard
+}  // namespace dmc
+
+#endif  // DMC_SHARD_SHARD_WORKER_H_

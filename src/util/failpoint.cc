@@ -28,6 +28,7 @@ struct Registry {
   std::map<std::string, SiteStats> stats DMC_GUARDED_BY(mu);
   uint64_t seed DMC_GUARDED_BY(mu) = 0;
   uint64_t total_fires DMC_GUARDED_BY(mu) = 0;
+  std::string spec DMC_GUARDED_BY(mu);
 };
 
 std::atomic<bool> g_enabled{false};
@@ -158,6 +159,7 @@ Status ConfigureLocked(Registry& reg, const std::string& spec)
   reg.stats.clear();
   reg.seed = seed;
   reg.total_fires = 0;
+  reg.spec = spec;
   g_enabled.store(true, std::memory_order_release);
   return Status::OK();
 }
@@ -185,7 +187,15 @@ void Disable() {
   reg.arms.clear();
   reg.stats.clear();
   reg.total_fires = 0;
+  reg.spec.clear();
   g_enabled.store(false, std::memory_order_release);
+}
+
+std::string CurrentSpec() {
+  if (!Enabled()) return "";
+  Registry& reg = GetRegistry();
+  MutexLock lock(reg.mu);
+  return reg.spec;
 }
 
 Mode Fire(const char* site) {

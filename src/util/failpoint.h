@@ -72,6 +72,12 @@ bool Enabled();
 /// Disarms everything and clears counters and recorded sites.
 void Disable();
 
+/// The spec most recently passed to Configure() (or picked up from
+/// DMC_FAILPOINTS), verbatim; "" when disabled or record-only. Lets a
+/// parent process propagate its injection config to children it spawns
+/// (the shard coordinator forwards this via the child environment).
+std::string CurrentSpec();
+
 /// Records a hit at `site` and decides whether to fire. Returns kOff
 /// when the registry is disabled, the site is not armed, or the trigger
 /// does not match this hit.

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
+
+#include "util/random.h"
 
 namespace dmc {
 
@@ -17,22 +20,47 @@ bool RetryPolicy::IsRetryable(const Status& status) const {
   }
 }
 
+double BackoffForAttempt(const RetryPolicy& policy, int failed_attempt) {
+  if (failed_attempt < 1) return 0.0;
+  double base = policy.initial_backoff_seconds;
+  for (int i = 1; i < failed_attempt; ++i) {
+    base = std::min(base * policy.backoff_multiplier,
+                    policy.max_backoff_seconds);
+  }
+  base = std::min(base, policy.max_backoff_seconds);
+  if (base <= 0.0) return 0.0;
+  if (!policy.full_jitter) return base;
+  // Uniform in [0, base), deterministic in (jitter_seed, attempt). The
+  // odd constant keys the attempt number away from the seed so nearby
+  // seeds do not produce shifted copies of the same schedule.
+  const uint64_t h =
+      Mix64(policy.jitter_seed ^
+            (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(failed_attempt)));
+  const double unit =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // 53-bit mantissa in [0,1)
+  return base * unit;
+}
+
 Status RetryWithBackoff(const RetryPolicy& policy,
                         const std::function<Status()>& op,
                         const RetryObserver& on_retry) {
   const int attempts = std::max(policy.max_attempts, 1);
-  double backoff = policy.initial_backoff_seconds;
+  double slept = 0.0;
   Status last = Status::OK();
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     last = op();
     if (last.ok()) return last;
     if (attempt == attempts || !policy.IsRetryable(last)) return last;
+    const double backoff = BackoffForAttempt(policy, attempt);
+    if (policy.max_total_backoff_seconds > 0.0 &&
+        slept + backoff > policy.max_total_backoff_seconds) {
+      return last;
+    }
     if (on_retry) on_retry(attempt, last);
     if (backoff > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      slept += backoff;
     }
-    backoff = std::min(backoff * policy.backoff_multiplier,
-                       policy.max_backoff_seconds);
   }
   return last;
 }

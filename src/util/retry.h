@@ -29,10 +29,31 @@ struct RetryPolicy {
   bool retry_io_error = true;
   /// Retry StatusCode::kResourceExhausted (ENOSPC / alloc pressure).
   bool retry_resource_exhausted = true;
+  /// Full-jitter backoff: each sleep is drawn uniformly from
+  /// [0, exponential backoff] instead of the exponential value itself,
+  /// decorrelating a fleet of retriers (the shard coordinator respawning
+  /// several dead workers at once) so they do not stampede in lockstep.
+  /// The draw is a pure function of (jitter_seed, attempt number), so a
+  /// given policy always produces the same schedule — seed-stable runs
+  /// stay seed-stable.
+  bool full_jitter = false;
+  uint64_t jitter_seed = 0;
+  /// Cap on the *sum* of sleeps across one RetryWithBackoff call;
+  /// 0 disables the cap. Once the next sleep would push the total past
+  /// the cap, the call gives up and returns the last error instead of
+  /// sleeping — a respawn loop is bounded in wall-clock, not just in
+  /// attempt count.
+  double max_total_backoff_seconds = 0.0;
 
   /// Whether `status` is worth another attempt under this policy.
   bool IsRetryable(const Status& status) const;
 };
+
+/// The exact sleep RetryWithBackoff performs after attempt
+/// `failed_attempt` (1-based) fails, before the total-wait cap is
+/// applied. Pure function of the policy, exposed so tests can pin the
+/// whole schedule without sleeping through it.
+double BackoffForAttempt(const RetryPolicy& policy, int failed_attempt);
 
 /// Invoked before each re-attempt with the 1-based number of the attempt
 /// that just failed and its status; useful for metrics and logs.

@@ -107,6 +107,28 @@ TEST_F(CheckpointTest, TrailingGarbageIsDataLoss) {
             StatusCode::kDataLoss);
 }
 
+TEST_F(CheckpointTest, FutureVersionIsDataLossEvenWithValidChecksum) {
+  // A checkpoint from a *newer* build is structurally sound and
+  // checksums clean; only the version check can keep this build from
+  // misparsing it. Bump the version and re-seal the checksum so that
+  // check is the one being exercised.
+  ASSERT_TRUE(WriteCheckpointFile(SampleCheckpoint(), path_).ok());
+  std::string bytes = ReadFileOrDie(path_);
+  ASSERT_GT(bytes.size(), 12u);
+  bytes[8] = 2;  // u32 version lives right after the 8-byte magic
+  uint64_t h = 14695981039346656037ull;  // FNV-1a over all bytes above
+  for (size_t i = 0; i + 12 < bytes.size(); ++i) {
+    h = (h ^ static_cast<unsigned char>(bytes[i])) * 1099511628211ull;
+  }
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 12 + i] = static_cast<char>(h >> (8 * i));
+  }
+  ASSERT_TRUE(AtomicWriteFile(path_, bytes).ok());
+  const auto read = ReadCheckpointFile(path_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+}
+
 TEST_F(CheckpointTest, FingerprintTracksContent) {
   const std::string input = dir_ + "/input.txt";
   ASSERT_TRUE(AtomicWriteFile(input, "0 1 2\n3\n").ok());

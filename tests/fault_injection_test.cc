@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -218,6 +219,80 @@ TEST_F(FaultInjectionTest, ResumeWithChangedInputFallsBackToFreshRun) {
   ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
   EXPECT_FALSE(stats.resumed);
   EXPECT_EQ(resumed->Pairs(), fresh_truth->Pairs());
+}
+
+// A valid checkpoint naming a bucket file that was truncated after the
+// crash must degrade to a fresh run (never mine the torn bucket), and
+// the fresh run must still be exact.
+TEST_F(FaultInjectionTest, ResumeWithTruncatedBucketFallsBackToFreshRun) {
+  const std::string ckpt = dir_ + "/ckpt.bin";
+  ExternalIoOptions io;
+  io.checkpoint_path = ckpt;
+  {
+    auto first = MineImplicationsFromFile(input_, options_, dir_, io);
+    ASSERT_TRUE(first.ok());
+  }
+  // Truncate the first surviving bucket file to half its size.
+  std::string bucket;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("dmc_bucket_", 0) == 0) {
+      bucket = entry.path().string();
+      break;
+    }
+  }
+  ASSERT_FALSE(bucket.empty());
+  const auto size = std::filesystem::file_size(bucket);
+  ASSERT_GT(size, 1u);
+  std::filesystem::resize_file(bucket, size / 2);
+
+  io.resume = true;
+  ExternalMiningStats stats;
+  auto resumed =
+      MineImplicationsFromFile(input_, options_, dir_, io, &stats);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(stats.resumed);
+  EXPECT_EQ(resumed->Pairs(), truth_);
+}
+
+// A checkpoint written by a future build (higher schema version, valid
+// structure) must be refused and degrade to a fresh, exact run.
+TEST_F(FaultInjectionTest, ResumeWithFutureVersionFallsBackToFreshRun) {
+  const std::string ckpt = dir_ + "/ckpt.bin";
+  ExternalIoOptions io;
+  io.checkpoint_path = ckpt;
+  {
+    auto first = MineImplicationsFromFile(input_, options_, dir_, io);
+    ASSERT_TRUE(first.ok());
+  }
+  // Bump the version field and re-seal the trailing FNV-1a checksum so
+  // only the version check stands between resume and a misparse.
+  std::string bytes;
+  {
+    std::ifstream in(ckpt, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_GT(bytes.size(), 12u);
+  bytes[8] = 9;
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i + 12 < bytes.size(); ++i) {
+    h = (h ^ static_cast<unsigned char>(bytes[i])) * 1099511628211ull;
+  }
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 12 + i] = static_cast<char>(h >> (8 * i));
+  }
+  {
+    std::ofstream out(ckpt, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  io.resume = true;
+  ExternalMiningStats stats;
+  auto resumed =
+      MineImplicationsFromFile(input_, options_, dir_, io, &stats);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(stats.resumed);
+  EXPECT_EQ(resumed->Pairs(), truth_);
 }
 
 // Parallel miner: a transient shard fault is retried in-thread (exact

@@ -157,9 +157,10 @@ TEST(LintFixtureTest, TreeWalkFindsOnePerViolatingFixture) {
   EXPECT_EQ(CountRule(findings, "banned-ruleset-mutation"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-raw-lock"), 2u);
   EXPECT_EQ(CountRule(findings, "banned-raw-socket"), 4u);
+  EXPECT_EQ(CountRule(findings, "banned-raw-process"), 5u);
   EXPECT_EQ(CountRule(findings, "unannotated-mutex"), 1u);
   EXPECT_EQ(CountRule(findings, "atomic-ordering-audit"), 1u);
-  EXPECT_EQ(findings.size(), 16u);
+  EXPECT_EQ(findings.size(), 21u);
 }
 
 TEST(LintFixtureTest, BannedRawLockFiresPerPrimitiveCall) {
@@ -183,6 +184,26 @@ TEST(LintFixtureTest, BannedRawSocketFiresPerPrimitiveCall) {
     EXPECT_NE(findings[i].message.find("serve/net_socket.h"),
               std::string::npos);
   }
+}
+
+TEST(LintFixtureTest, BannedRawProcessFiresPerPrimitiveCall) {
+  const auto findings = LintFile(
+      "uses_process.cc", ReadFile(FixturePath("uses_process.cc")), {});
+  ASSERT_EQ(findings.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(findings[i].rule, "banned-raw-process");
+    EXPECT_EQ(findings[i].line, 12 + i);
+    EXPECT_NE(findings[i].message.find("shard/process_control.h"),
+              std::string::npos);
+  }
+}
+
+TEST(LintFixtureTest, BannedRawProcessExemptsProcessControlFiles) {
+  // The same content under the sanctioned path must stay silent.
+  const auto findings =
+      LintFile("src/shard/process_control.cc",
+               ReadFile(FixturePath("uses_process.cc")), {});
+  EXPECT_TRUE(findings.empty());
 }
 
 TEST(LintFixtureTest, BannedRawSocketExemptsNetSocketFiles) {

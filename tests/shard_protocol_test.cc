@@ -1,0 +1,460 @@
+// Shard wire protocol, per-task checkpoints and the k-way rule-set
+// merge (src/shard/). Pure library tests: every frame round-trips
+// exactly or decodes to kInvalidArgument, every torn checkpoint reads
+// as kDataLoss, and the merge reproduces Canonicalize(union) byte for
+// byte — the invariants the multi-process differential sweep leans on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "rules/rule_set.h"
+#include "shard/merge.h"
+#include "shard/shard_checkpoint.h"
+#include "shard/shard_protocol.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dmc {
+namespace shard {
+namespace {
+
+// Frames carry a u32-LE length prefix; DecodeMessagePayload wants the
+// payload alone.
+std::string_view PayloadOf(const std::string& frame) {
+  EXPECT_GE(frame.size(), 4u);
+  return std::string_view(frame).substr(4);
+}
+
+ShardPlan SamplePlan() {
+  ShardPlan plan;
+  plan.engine = Engine::kSimilarities;
+  plan.threshold = 0.625;
+  plan.row_order = 1;
+  plan.hundred_percent_phase = false;
+  plan.bitmap_fallback = true;
+  plan.column_density_pruning = false;
+  plan.max_hits_pruning = true;
+  plan.kernel = 2;
+  plan.memory_threshold_bytes = 7777;
+  plan.bitmap_max_remaining_rows = 96;
+  plan.progress_interval_rows = 512;
+  plan.input_path = "/tmp/quest.txt";
+  plan.work_dir = "/tmp/work";
+  plan.num_columns = 5;  // the decoder insists column_ones covers it
+  plan.num_rows = 4242;
+  plan.column_ones = {0, 3, 9, 4242, 1u << 20};
+  plan.buckets = {0, 2, 5};
+  return plan;
+}
+
+ShardResult SampleImpResult() {
+  ShardResult r;
+  r.task_id = 7;
+  r.engine = Engine::kImplications;
+  r.imp_rules = {{1, 2, 30, 3}, {4, 5, 100, 0}, {9, 0, 12, 1}};
+  r.mine_seconds = 1.5;
+  r.peak_counter_bytes = 1u << 22;
+  return r;
+}
+
+ShardResult SampleSimResult() {
+  ShardResult r;
+  r.task_id = 11;
+  r.engine = Engine::kSimilarities;
+  r.sim_pairs = {{1, 2, 30, 40, 25}, {3, 8, 12, 12, 12}};
+  r.mine_seconds = 0.25;
+  r.peak_counter_bytes = 512;
+  return r;
+}
+
+TEST(ShardProtocolTest, HelloAndShutdownRoundTrip) {
+  auto hello = DecodeMessagePayload(PayloadOf(EncodeHello()));
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->op, Op::kHello);
+
+  auto bye = DecodeMessagePayload(PayloadOf(EncodeShutdown()));
+  ASSERT_TRUE(bye.ok());
+  EXPECT_EQ(bye->op, Op::kShutdown);
+}
+
+TEST(ShardProtocolTest, InitRoundTripPreservesEveryPlanField) {
+  const ShardPlan plan = SamplePlan();
+  auto msg = DecodeMessagePayload(PayloadOf(EncodeInit(plan)));
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->op, Op::kInit);
+  const ShardPlan& p = msg->plan;
+  EXPECT_EQ(p.engine, plan.engine);
+  EXPECT_EQ(p.threshold, plan.threshold);
+  EXPECT_EQ(p.row_order, plan.row_order);
+  EXPECT_EQ(p.hundred_percent_phase, plan.hundred_percent_phase);
+  EXPECT_EQ(p.bitmap_fallback, plan.bitmap_fallback);
+  EXPECT_EQ(p.column_density_pruning, plan.column_density_pruning);
+  EXPECT_EQ(p.max_hits_pruning, plan.max_hits_pruning);
+  EXPECT_EQ(p.kernel, plan.kernel);
+  EXPECT_EQ(p.memory_threshold_bytes, plan.memory_threshold_bytes);
+  EXPECT_EQ(p.bitmap_max_remaining_rows, plan.bitmap_max_remaining_rows);
+  EXPECT_EQ(p.progress_interval_rows, plan.progress_interval_rows);
+  EXPECT_EQ(p.input_path, plan.input_path);
+  EXPECT_EQ(p.work_dir, plan.work_dir);
+  EXPECT_EQ(p.num_columns, plan.num_columns);
+  EXPECT_EQ(p.num_rows, plan.num_rows);
+  EXPECT_EQ(p.column_ones, plan.column_ones);
+  EXPECT_EQ(p.buckets, plan.buckets);
+}
+
+TEST(ShardProtocolTest, TaskRoundTripPreservesMask) {
+  const std::vector<uint8_t> mask = {1, 0, 0, 1, 1, 0, 1};
+  auto msg = DecodeMessagePayload(PayloadOf(EncodeTask(42, mask)));
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->op, Op::kTask);
+  EXPECT_EQ(msg->task_id, 42u);
+  EXPECT_EQ(msg->shard_mask, mask);
+}
+
+TEST(ShardProtocolTest, HeartbeatRoundTrip) {
+  auto msg = DecodeMessagePayload(
+      PayloadOf(EncodeHeartbeat(3, uint64_t{1} << 40)));
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->op, Op::kHeartbeat);
+  EXPECT_EQ(msg->task_id, 3u);
+  EXPECT_EQ(msg->rows_processed, uint64_t{1} << 40);
+}
+
+TEST(ShardProtocolTest, ResultRoundTripBothEngines) {
+  for (const ShardResult& r : {SampleImpResult(), SampleSimResult()}) {
+    auto msg = DecodeMessagePayload(PayloadOf(EncodeResult(r)));
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg->op, Op::kResult);
+    EXPECT_EQ(msg->result.task_id, r.task_id);
+    EXPECT_EQ(msg->result.engine, r.engine);
+    EXPECT_EQ(msg->result.imp_rules, r.imp_rules);
+    EXPECT_EQ(msg->result.sim_pairs, r.sim_pairs);
+    EXPECT_EQ(msg->result.mine_seconds, r.mine_seconds);
+    EXPECT_EQ(msg->result.peak_counter_bytes, r.peak_counter_bytes);
+  }
+}
+
+TEST(ShardProtocolTest, TaskErrorRoundTripKeepsCodeAndMessage) {
+  const Status err = DataLossError("bucket 3 went missing");
+  auto msg = DecodeMessagePayload(PayloadOf(EncodeTaskError(9, err)));
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->op, Op::kTaskError);
+  EXPECT_EQ(msg->task_id, 9u);
+  EXPECT_EQ(msg->task_status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(msg->task_status.message().find("bucket 3"),
+            std::string::npos);
+}
+
+TEST(ShardProtocolTest, EveryTruncationOfEveryOpIsInvalidArgument) {
+  const std::string frames[] = {
+      EncodeHello(),
+      EncodeInit(SamplePlan()),
+      EncodeTask(1, {1, 0, 1}),
+      EncodeHeartbeat(2, 77),
+      EncodeResult(SampleImpResult()),
+      EncodeResult(SampleSimResult()),
+      EncodeTaskError(3, IOError("boom")),
+      EncodeShutdown(),
+  };
+  for (const std::string& frame : frames) {
+    const std::string_view payload = PayloadOf(frame);
+    for (size_t len = 0; len < payload.size(); ++len) {
+      auto msg = DecodeMessagePayload(payload.substr(0, len));
+      EXPECT_FALSE(msg.ok()) << "truncation to " << len << " of "
+                             << payload.size() << " decoded";
+      if (!msg.ok()) {
+        EXPECT_EQ(msg.status().code(), StatusCode::kInvalidArgument);
+      }
+    }
+  }
+}
+
+TEST(ShardProtocolTest, TrailingGarbageIsInvalidArgument) {
+  std::string frame = EncodeHeartbeat(1, 2);
+  std::string payload(PayloadOf(frame));
+  payload.push_back('\0');
+  auto msg = DecodeMessagePayload(payload);
+  ASSERT_FALSE(msg.ok());
+  EXPECT_EQ(msg.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardProtocolTest, VersionSkewAndUnknownOpAreRejected) {
+  // Payload header: u16 version, u8 op, u8 reserved.
+  std::string payload(PayloadOf(EncodeHello()));
+  payload[0] = static_cast<char>(kShardProtocolVersion + 1);
+  auto skew = DecodeMessagePayload(payload);
+  ASSERT_FALSE(skew.ok());
+  EXPECT_EQ(skew.status().code(), StatusCode::kInvalidArgument);
+
+  std::string bad_op(PayloadOf(EncodeHello()));
+  bad_op[2] = static_cast<char>(0xEE);
+  auto unknown = DecodeMessagePayload(bad_op);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardProtocolTest, HostileCountsAreRejectedBeforeAllocation) {
+  // kTask layout: 4-byte header, u32 task_id, u32 mask_len, mask bytes.
+  // A 16-byte frame announcing a 4 GiB mask must bounce off the bounds
+  // check, not size a vector.
+  std::string payload(PayloadOf(EncodeTask(1, {1, 0, 1})));
+  const uint32_t huge = 0xFFFFFFFFu;
+  payload.replace(8, 4, reinterpret_cast<const char*>(&huge), 4);
+  auto msg = DecodeMessagePayload(payload);
+  ASSERT_FALSE(msg.ok());
+  EXPECT_EQ(msg.status().code(), StatusCode::kInvalidArgument);
+
+  // Same for a kResult rule count: 4-byte header + u32 task_id +
+  // u8 engine + f64 + u64 puts the count at offset 25.
+  std::string rp(PayloadOf(EncodeResult(SampleImpResult())));
+  rp.replace(25, 4, reinterpret_cast<const char*>(&huge), 4);
+  auto rmsg = DecodeMessagePayload(rp);
+  ASSERT_FALSE(rmsg.ok());
+  EXPECT_EQ(rmsg.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Per-task checkpoints.
+
+class ShardCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = testing::TempDir() + "/" +
+           std::string(info->test_suite_name()) + "_" + info->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string ReadAll(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+  void WriteAll(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ShardCheckpointTest, RoundTripPreservesResultAndFingerprint) {
+  const std::string path = ShardCheckpointPath(dir_, 7);
+  const ShardResult want = SampleImpResult();
+  ASSERT_TRUE(WriteShardCheckpoint(want, 0xDEADBEEFu, path).ok());
+  auto got = ReadShardCheckpoint(path);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->fingerprint, 0xDEADBEEFu);
+  EXPECT_EQ(got->result.task_id, want.task_id);
+  EXPECT_EQ(got->result.engine, want.engine);
+  EXPECT_EQ(got->result.imp_rules, want.imp_rules);
+
+  const ShardResult sim = SampleSimResult();
+  const std::string sim_path = ShardCheckpointPath(dir_, 11);
+  ASSERT_TRUE(WriteShardCheckpoint(sim, 1, sim_path).ok());
+  auto sim_got = ReadShardCheckpoint(sim_path);
+  ASSERT_TRUE(sim_got.ok());
+  EXPECT_EQ(sim_got->result.sim_pairs, sim.sim_pairs);
+}
+
+TEST_F(ShardCheckpointTest, MissingFileIsIOError) {
+  auto got = ReadShardCheckpoint(dir_ + "/absent.ckpt");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(ShardCheckpointTest, EveryTruncationIsDataLoss) {
+  const std::string path = ShardCheckpointPath(dir_, 1);
+  ASSERT_TRUE(WriteShardCheckpoint(SampleImpResult(), 99, path).ok());
+  const std::string bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 16u);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteAll(path, bytes.substr(0, len));
+    auto got = ReadShardCheckpoint(path);
+    ASSERT_FALSE(got.ok()) << "truncation to " << len << " read OK";
+    EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST_F(ShardCheckpointTest, BitFlipsAreDataLoss) {
+  const std::string path = ShardCheckpointPath(dir_, 1);
+  ASSERT_TRUE(WriteShardCheckpoint(SampleSimResult(), 99, path).ok());
+  const std::string bytes = ReadAll(path);
+  Rng rng(0x5AD);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::string corrupt = bytes;
+    const size_t pos = rng.Uniform(corrupt.size());
+    corrupt[pos] = static_cast<char>(
+        corrupt[pos] ^ (1 << rng.Uniform(8)));
+    if (corrupt == bytes) continue;
+    WriteAll(path, corrupt);
+    auto got = ReadShardCheckpoint(path);
+    ASSERT_FALSE(got.ok()) << "bit flip at byte " << pos << " read OK";
+    EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST_F(ShardCheckpointTest, FutureVersionIsDataLoss) {
+  const std::string path = ShardCheckpointPath(dir_, 1);
+  ASSERT_TRUE(WriteShardCheckpoint(SampleImpResult(), 99, path).ok());
+  std::string bytes = ReadAll(path);
+  // u32 version lives at offset 8, after the 8-byte magic.
+  bytes[8] = 2;
+  WriteAll(path, bytes);
+  auto got = ReadShardCheckpoint(path);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(TaskFingerprintTest, EveryConfigInputChangesTheFingerprint) {
+  const FileFingerprint input{1234, 0xABCD};
+  const std::vector<uint8_t> mask = {1, 0, 1, 1};
+  const uint64_t base = TaskFingerprint(input, Engine::kImplications,
+                                        0.9, 4, mask, 0);
+
+  FileFingerprint other_input{1234, 0xABCE};
+  EXPECT_NE(base, TaskFingerprint(other_input, Engine::kImplications,
+                                  0.9, 4, mask, 0));
+  EXPECT_NE(base, TaskFingerprint(input, Engine::kSimilarities, 0.9, 4,
+                                  mask, 0));
+  EXPECT_NE(base, TaskFingerprint(input, Engine::kImplications, 0.91, 4,
+                                  mask, 0));
+  EXPECT_NE(base, TaskFingerprint(input, Engine::kImplications, 0.9, 5,
+                                  mask, 0));
+  std::vector<uint8_t> other_mask = {1, 1, 1, 1};
+  EXPECT_NE(base, TaskFingerprint(input, Engine::kImplications, 0.9, 4,
+                                  other_mask, 0));
+  EXPECT_NE(base, TaskFingerprint(input, Engine::kImplications, 0.9, 4,
+                                  mask, 1));
+  // And it is a pure function: same inputs, same hash.
+  EXPECT_EQ(base, TaskFingerprint(input, Engine::kImplications, 0.9, 4,
+                                  mask, 0));
+}
+
+// ---------------------------------------------------------------------
+// K-way merge vs Canonicalize(union).
+
+TEST(ShardMergeTest, MergeCanonicalEqualsCanonicalizeOfUnion) {
+  Rng rng(0x3A6D);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int num_shards = 1 + static_cast<int>(rng.Uniform(5));
+    const ColumnId cols = 24;
+    std::vector<ImplicationRule> all;
+    std::vector<ImplicationRuleSet> parts(num_shards);
+    const size_t n = rng.Uniform(200);
+    for (size_t i = 0; i < n; ++i) {
+      ImplicationRule r;
+      r.lhs = static_cast<ColumnId>(rng.Uniform(cols));
+      do {
+        r.rhs = static_cast<ColumnId>(rng.Uniform(cols));
+      } while (r.rhs == r.lhs);
+      // Counts are a pure function of (lhs, rhs): a real mine never
+      // produces the same rule with different counts, and Canonicalize
+      // dedups by key alone — ambiguous duplicates would be testing a
+      // state the pipeline cannot reach.
+      r.lhs_ones = 5 + (r.lhs * 37 + r.rhs * 11) % 90;
+      r.misses = (r.lhs * 7 + r.rhs * 3) % r.lhs_ones;
+      all.push_back(r);
+      // Owner = the antecedent's shard, exactly like the coordinator.
+      parts[r.lhs % num_shards].Add(r);
+    }
+    for (auto& p : parts) p.Canonicalize();
+    ImplicationRuleSet expect(all);
+    expect.Canonicalize();
+    const ImplicationRuleSet got = MergeCanonical(std::move(parts));
+    EXPECT_EQ(got.rules(), expect.rules()) << "trial " << trial;
+  }
+}
+
+TEST(ShardMergeTest, MergeCanonicalSimEqualsCanonicalizeOfUnion) {
+  Rng rng(0x51AB);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int num_shards = 1 + static_cast<int>(rng.Uniform(4));
+    std::vector<SimilarityPair> all;
+    std::vector<SimilarityRuleSet> parts(num_shards);
+    std::set<std::pair<ColumnId, ColumnId>> seen;
+    const size_t n = rng.Uniform(150);
+    for (size_t i = 0; i < n; ++i) {
+      SimilarityPair p;
+      p.a = static_cast<ColumnId>(rng.Uniform(16));
+      do {
+        p.b = static_cast<ColumnId>(rng.Uniform(16));
+      } while (p.b == p.a);
+      // Each unordered pair appears at most once, with counts that are
+      // pure (symmetric) functions of the ids — shards must stay
+      // pairwise disjoint after canonical reorientation, exactly as the
+      // coordinator's owner partition guarantees.
+      const ColumnId lo = std::min(p.a, p.b), hi = std::max(p.a, p.b);
+      if (!seen.insert({lo, hi}).second) continue;
+      p.ones_a = 5 + (p.a * 37) % 50;
+      p.ones_b = 5 + (p.b * 37) % 50;
+      p.intersection = 1 + ((lo + hi) * 13) % std::min(p.ones_a, p.ones_b);
+      all.push_back(p);
+      parts[lo % num_shards].Add(p);
+    }
+    for (auto& part : parts) part.Canonicalize();
+    SimilarityRuleSet expect(all);
+    expect.Canonicalize();
+    const SimilarityRuleSet got = MergeCanonicalSim(std::move(parts));
+    EXPECT_EQ(got.pairs(), expect.pairs()) << "trial " << trial;
+  }
+}
+
+TEST(ShardMergeTest, MergeByConfidenceMatchesSortedByConfidence) {
+  Rng rng(0xC04F);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int num_shards = 2 + static_cast<int>(rng.Uniform(3));
+    std::vector<ImplicationRuleSet> parts(num_shards);
+    std::vector<ImplicationRule> all;
+    const size_t n = 1 + rng.Uniform(120);
+    for (size_t i = 0; i < n; ++i) {
+      ImplicationRule r;
+      r.lhs = static_cast<ColumnId>(rng.Uniform(20));
+      r.rhs = static_cast<ColumnId>((r.lhs + 1 + rng.Uniform(19)) % 20);
+      // Small denominators force exact-rational ties (2/4 == 1/2) that
+      // the uint64 cross-multiply comparator must break by ids; counts
+      // stay a pure function of the key (see above).
+      r.lhs_ones = 1 + (r.lhs * 3 + r.rhs) % 6;
+      r.misses = (r.lhs + r.rhs) % (r.lhs_ones + 1);
+      all.push_back(r);
+      parts[r.lhs % num_shards].Add(r);
+    }
+    for (auto& p : parts) p.Canonicalize();
+    ImplicationRuleSet expect(all);
+    expect.Canonicalize();
+    expect = expect.SortedByConfidence();
+    const ImplicationRuleSet got = MergeByConfidence(std::move(parts));
+    EXPECT_EQ(got.rules(), expect.rules()) << "trial " << trial;
+  }
+}
+
+TEST(ShardMergeTest, EmptyAndSingletonPartsAreFine) {
+  EXPECT_TRUE(MergeCanonical({}).empty());
+  EXPECT_TRUE(MergeCanonicalSim({}).empty());
+  EXPECT_TRUE(MergeByConfidence({}).empty());
+
+  ImplicationRuleSet one;
+  one.Add({1, 2, 10, 1});
+  one.Canonicalize();
+  std::vector<ImplicationRuleSet> parts;
+  parts.push_back(one);
+  parts.emplace_back();  // empty shard: a worker whose mask matched no rules
+  const ImplicationRuleSet got = MergeCanonical(std::move(parts));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got.rules()[0].lhs, 1u);
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace dmc

@@ -1,0 +1,35 @@
+// Fixture: raw process-control primitives outside src/shard/process_*
+// must fire banned-raw-process once each (lines 12 through 16). Member
+// calls, wrapper namespaces and plain identifiers named like the
+// primitives stay legal.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace fixture {
+
+inline int SpawnRaw(char** argv, char** envp) {
+  const int pid = fork();
+  if (pid == 0) execve(argv[0], argv, envp);
+  if (pid == 0) execvp(argv[0], argv);
+  static_cast<void>(::kill(pid, 9));
+  static_cast<void>(::waitpid(pid, nullptr, 0));
+  return pid;
+}
+
+struct Child {
+  int Signal(int sig);
+};
+
+// Member calls and named-namespace wrappers are exactly what the rule
+// routes callers onto; neither may fire.
+inline int ViaWrapper(Child& c) { return c.kill(9) + c.Signal(15); }
+
+int ViaNamespace(int pid);
+inline int CallViaNamespace(int pid) {
+  return fixture::ViaNamespace(pid) + proc::kill(pid, 9);
+}
+
+inline int fork_count(int fork) { return fork + 1; }  // not a call
+
+}  // namespace fixture

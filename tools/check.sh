@@ -3,11 +3,14 @@
 #
 #   (a) warnings-as-errors build + full ctest        (preset: default)
 #   (b) ASan+UBSan build + full ctest                (preset: asan-ubsan)
-#   (c) TSan build + parallel/observe/cancellation/fault/rule-index/serve
+#   (c) TSan build + parallel/observe/cancellation/fault/rule-index/
+#       serve/shard-coordinator stress
 #   (d) dmc_lint over src/ + tools/
 #   (e) metrics-schema smoke check (dmc_cli --metrics-out)
 #   (e2) serve smoke: dmc_serve daemon round-trip over a real socket
 #   (f) fault-injection sweep under ASan+UBSan (differential exactness)
+#   (f2) kill-a-worker shard sweep under ASan+UBSan (byte-identity under
+#        SIGKILL/crash/hang/failpoints, sanitized coordinator AND workers)
 #   (g) incremental-vs-batch differential sweep under ASan+UBSan
 #   (h) coverage build + gate against tools/coverage_floor.txt
 #   (i) perf smoke: release-native build + bench_kernels --json-out schema
@@ -41,13 +44,15 @@ if [[ "${fast}" -eq 0 ]]; then
   cmake --build --preset asan-ubsan -j "${jobs}"
   ctest --preset asan-ubsan -j "${jobs}"
 
-  step "(c) tsan build + parallel/observe/cancellation/fault/rule-index/serve"
+  step "(c) tsan build + parallel/observe/cancellation/fault/rule-index/serve/shard"
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "${jobs}"
   # RuleIndexConcurrency races queries against Publish/Load snapshot swaps;
-  # ServeStressTest races wire readers against the ingest thread's publishes.
+  # ServeStressTest races wire readers against the ingest thread's publishes;
+  # ShardStressTest races concurrent shard coordinators (fork/exec fleets)
+  # over one shared MetricsRegistry.
   ctest --test-dir build-tsan \
-    -R 'Parallel|ColumnShards|Observe|Cancel|Fault|Kernel|RuleIndex|Serve' \
+    -R 'Parallel|ColumnShards|Observe|Cancel|Fault|Kernel|RuleIndex|Serve|ShardStress' \
     -j "${jobs}" --output-on-failure
 fi
 
@@ -145,6 +150,23 @@ if [[ "${fast}" -eq 0 ]]; then
     exit 1
   }
   rm -f "${sweep_log}"
+
+  step "(f2) kill-a-worker shard sweep under asan-ubsan"
+  # The shard differential battery SIGKILLs workers, arms crash/hang
+  # hooks in every child, points the coordinator at an unexecutable
+  # binary, forces the shard.* failpoints, and tears task checkpoints —
+  # every run must end byte-identical to the single-process miner or
+  # with a clean Status. The worker binary is compile-defined from the
+  # same build tree, so the forked children are sanitized too.
+  shard_log="$(mktemp)"
+  ctest --test-dir build-asan -R 'ShardDifferential|ShardProtocol|ShardCheckpoint|TaskFingerprint|ShardMerge' \
+    -j "${jobs}" --output-on-failure | tee "${shard_log}"
+  grep -q 'tests passed' "${shard_log}" || {
+    echo "shard kill-a-worker sweep did not run" >&2
+    rm -f "${shard_log}"
+    exit 1
+  }
+  rm -f "${shard_log}"
 
   step "(g) incremental-vs-batch differential sweep under asan-ubsan"
   # The battery appends randomized batch schedules (empty batches,

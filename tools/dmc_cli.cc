@@ -5,6 +5,10 @@
 //   dmc_cli stats     --input=FILE
 //   dmc_cli generate  --kind=weblog|linkgraph|news|dictionary|quest
 //                     --output=FILE [--rows=N] [--cols=N] [--seed=N]
+//                     [--stream]  (quest only: stream rows straight to
+//                     disk in bounded memory — the scale mode for
+//                     100M+-row matrices; output is byte-identical to
+//                     the in-memory path)
 //
 // Common mining options:
 //   --order=buckets|identity|sort   row order for the second pass
@@ -31,6 +35,25 @@
 //                                   index and print rules COL => *
 //   --query-rhs=COL                 with --serve-index: reload the saved
 //                                   index and print rules * => COL
+//
+// Sharded (multi-process) mining options (mine-imp / mine-sim):
+//   --shard-workers=N               mine across N worker processes over
+//                                   the disk-based two-pass pipeline
+//                                   (src/shard/); byte-identical to a
+//                                   single-process mine
+//   --shard-tasks-per-worker=N      over-partitioning factor (default 2):
+//                                   finer tasks reassign with less waste
+//                                   when a worker dies
+//   --shard-checkpoint-dir=DIR      write per-task result checkpoints;
+//                                   with --resume, finished tasks are
+//                                   loaded instead of re-mined
+//   --shard-worker-metrics-dir=DIR  per-worker metrics JSONL, merged into
+//                                   the --metrics-out document
+//   --shard-no-degrade              fail cleanly instead of mining
+//                                   leftover tasks in-process when the
+//                                   worker fleet gives out
+//   --shard-heartbeat-timeout=SECS  declare a silent worker dead after
+//                                   this long (default 30)
 //
 // Observability options (mine-imp / mine-sim):
 //   --metrics-out=FILE              write the run's metrics document
@@ -67,6 +90,7 @@
 
 #include "core/engine.h"
 #include "core/external_miner.h"
+#include "shard/coordinator.h"
 #include "incr/incr_miner.h"
 #include "rules/rule_index.h"
 #include "observe/metrics.h"
@@ -347,6 +371,39 @@ int ServeIndex(const ImplicationRuleSet& rules, const Flags& flags) {
   return 0;
 }
 
+shard::ShardOptions ShardOptionsFromFlags(const Flags& flags) {
+  shard::ShardOptions s;
+  s.num_workers = static_cast<int>(flags.GetInt("shard-workers", 2));
+  s.tasks_per_worker =
+      static_cast<int>(flags.GetInt("shard-tasks-per-worker", 2));
+  s.heartbeat_timeout_seconds =
+      flags.GetDouble("shard-heartbeat-timeout", 30.0);
+  s.degrade_to_in_process = !flags.GetBool("shard-no-degrade");
+  s.checkpoint_dir = flags.Get("shard-checkpoint-dir");
+  // --resume covers both checkpoint layers: the external miner's pass-1
+  // checkpoint (--checkpoint=FILE) and the per-task result checkpoints.
+  s.resume = flags.GetBool("resume") && !s.checkpoint_dir.empty();
+  s.worker_metrics_dir = flags.Get("shard-worker-metrics-dir");
+  s.io.checkpoint_path = flags.Get("checkpoint");
+  s.io.resume = flags.GetBool("resume");
+  s.io.retry.max_attempts = static_cast<int>(flags.GetInt("io-retries", 3));
+  return s;
+}
+
+void ReportShardStats(const shard::ShardMiningStats& s) {
+  std::fprintf(stderr,
+               "sharded: %d tasks, %d workers spawned, pass1 %.3fs%s, "
+               "mine %.3fs, total %.3fs\n"
+               "fleet: %d died, %llu reassigned, %llu heartbeats, "
+               "%d checkpoint hits, %d degraded to in-process\n",
+               s.tasks_total, s.workers_spawned, s.pass1_seconds,
+               s.resumed ? " (resumed)" : "", s.mine_seconds,
+               s.total_seconds, s.workers_died,
+               (unsigned long long)s.tasks_reassigned,
+               (unsigned long long)s.heartbeats, s.checkpoint_hits,
+               s.degraded_tasks);
+}
+
 int MineImp(const Flags& flags) {
   ImplicationMiningOptions options;
   options.min_confidence = flags.GetDouble("minconf", 0.9);
@@ -360,11 +417,39 @@ int MineImp(const Flags& flags) {
   report.labels["command"] = "mine-imp";
 
   if (flags.GetBool("append") &&
-      (flags.GetBool("external") || flags.GetInt("threads", 1) > 1)) {
+      (flags.GetBool("external") || flags.GetBool("shard-workers") ||
+       flags.GetInt("threads", 1) > 1)) {
     std::fprintf(stderr,
                  "--append uses the in-memory incremental engine; it is "
-                 "incompatible with --external and --threads\n");
+                 "incompatible with --external, --shard-workers and "
+                 "--threads\n");
     return 2;
+  }
+
+  if (flags.GetBool("shard-workers")) {
+    if (flags.GetInt("threads", 1) > 1) {
+      std::fprintf(stderr,
+                   "--shard-workers and --threads are incompatible; the "
+                   "sharded pipeline parallelizes across processes\n");
+      return 2;
+    }
+    const std::string input = flags.Get("input");
+    const std::string work_dir = flags.Get("workdir", "/tmp");
+    shard::ShardOptions sopts = ShardOptionsFromFlags(flags);
+    shard::ShardMiningStats sstats;
+    auto rules = shard::MineImplicationsSharded(input, options, work_dir,
+                                                sopts, &sstats);
+    if (!rules.ok()) {
+      std::fprintf(stderr, "%s\n", rules.status().ToString().c_str());
+      return 1;
+    }
+    ReportShardStats(sstats);
+    std::fprintf(stderr, "%zu rules\n", rules->size());
+    report.shard = &sstats;
+    report.rules_total = static_cast<int64_t>(rules->size());
+    const int rc = EmitRules(rules->SortedByConfidence(), flags);
+    const int observe_rc = observe.Finish(report);
+    return rc != 0 ? rc : observe_rc;
   }
 
   if (flags.GetBool("external")) {
@@ -459,11 +544,38 @@ int MineSim(const Flags& flags) {
   report.dataset = flags.Get("input");
   report.labels["command"] = "mine-sim";
 
-  if (flags.GetBool("append") && flags.GetInt("threads", 1) > 1) {
+  if (flags.GetBool("append") &&
+      (flags.GetBool("shard-workers") || flags.GetInt("threads", 1) > 1)) {
     std::fprintf(stderr,
                  "--append uses the in-memory incremental engine; it is "
-                 "incompatible with --threads\n");
+                 "incompatible with --shard-workers and --threads\n");
     return 2;
+  }
+
+  if (flags.GetBool("shard-workers")) {
+    if (flags.GetInt("threads", 1) > 1) {
+      std::fprintf(stderr,
+                   "--shard-workers and --threads are incompatible; the "
+                   "sharded pipeline parallelizes across processes\n");
+      return 2;
+    }
+    const std::string input = flags.Get("input");
+    const std::string work_dir = flags.Get("workdir", "/tmp");
+    shard::ShardOptions sopts = ShardOptionsFromFlags(flags);
+    shard::ShardMiningStats sstats;
+    auto pairs = shard::MineSimilaritiesSharded(input, options, work_dir,
+                                                sopts, &sstats);
+    if (!pairs.ok()) {
+      std::fprintf(stderr, "%s\n", pairs.status().ToString().c_str());
+      return 1;
+    }
+    ReportShardStats(sstats);
+    std::fprintf(stderr, "%zu pairs\n", pairs->size());
+    report.shard = &sstats;
+    report.rules_total = static_cast<int64_t>(pairs->size());
+    const int rc = EmitRules(pairs->SortedBySimilarity(), flags);
+    const int observe_rc = observe.Finish(report);
+    return rc != 0 ? rc : observe_rc;
   }
 
   auto matrix = LoadInput(flags);
@@ -542,6 +654,26 @@ int Generate(const Flags& flags) {
   const uint64_t rows = flags.GetInt("rows", 10000);
   const uint64_t cols = flags.GetInt("cols", 2000);
   const uint64_t seed = flags.GetInt("seed", 42);
+
+  if (flags.GetBool("stream")) {
+    if (kind != "quest") {
+      std::fprintf(stderr, "--stream supports --kind=quest only\n");
+      return 2;
+    }
+    QuestOptions o;
+    o.num_transactions = static_cast<uint32_t>(rows);
+    o.num_items = static_cast<uint32_t>(cols);
+    o.seed = seed;
+    const Status st = GenerateQuestFile(o, output);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "streamed %llu x %llu quest matrix to %s\n",
+                 (unsigned long long)rows, (unsigned long long)cols,
+                 output.c_str());
+    return 0;
+  }
 
   BinaryMatrix m;
   if (kind == "weblog") {

@@ -437,6 +437,46 @@ void CheckRawSocket(const FileCtx& ctx, std::vector<Finding>* findings) {
   }
 }
 
+// Confines the raw process-control primitives to src/shard/process_*:
+// the coordinator's fork/exec plumbing owns pid lifetimes, signal
+// delivery and EINTR-safe reaping, the same way serve/net_* owns
+// sockets and atomic_io.cc owns unlink/rename. Everything else spawns
+// and signals workers through the Status-returning wrappers in
+// shard/process_control.h, so a stray kill(2) or unreaped child cannot
+// appear outside the one audited TU.
+void CheckRawProcess(const FileCtx& ctx, std::vector<Finding>* findings) {
+  if (ctx.PathContains("shard/process_")) return;
+  static const char* kCalls[] = {"fork",   "vfork", "execv",   "execve",
+                                 "execvp", "execl", "execlp",  "waitpid",
+                                 "wait4",  "kill"};
+  const auto& code = ctx.code;
+  for (const char* call : kCalls) {
+    for (size_t i = 0; i < code.size(); ++i) {
+      if (!IsIdent(code[i], call)) continue;
+      if (i + 1 >= code.size() || !IsPunct(code[i + 1], "(")) continue;
+      // Same qualifier logic as banned-raw-socket: the libc primitives
+      // are unqualified or global-:: qualified; member calls and named
+      // namespaces are wrappers.
+      if (i >= 1 && IsPunct(code[i - 1], "::")) {
+        const bool named_qualifier =
+            i >= 2 && (IsIdent(code[i - 2]) ||
+                       code[i - 2].kind == TokenKind::kNumber);
+        if (named_qualifier) continue;
+      } else if (i >= 1 && (IsPunct(code[i - 1], ".") ||
+                            IsPunct(code[i - 1], "->"))) {
+        continue;
+      }
+      if (ctx.Suppressed(code[i].line)) continue;
+      findings->push_back(
+          {ctx.path, code[i].line, "banned-raw-process",
+           "raw " + code[i].text +
+               "() is banned outside src/shard/process_*; spawn, signal "
+               "and reap workers through the wrappers in "
+               "shard/process_control.h"});
+    }
+  }
+}
+
 // Bans bare .lock()/.unlock() member calls outside src/util/: a raw
 // critical section is invisible to clang's -Wthread-safety analysis.
 // dmc::MutexLock (util/thread_annotations.h) is the sanctioned guard;
@@ -648,6 +688,7 @@ std::vector<Finding> LintFile(const std::string& path,
   CheckRuleSetMutation(ctx, &findings);
   CheckDiscardedStatus(ctx, status_functions, &findings);
   CheckRawSocket(ctx, &findings);
+  CheckRawProcess(ctx, &findings);
   CheckRawLock(ctx, &findings);
   CheckUnannotatedMutex(ctx, &findings);
   CheckAtomicOrdering(ctx, &findings);

@@ -43,6 +43,13 @@
 //                     wrappers in serve/net_socket.h, the same way
 //                     atomic_io.cc owns unlink/rename; member calls and
 //                     namespace-qualified wrappers stay legal
+//   banned-raw-process  no raw fork/vfork/execv*/execl*/waitpid/wait4/
+//                     kill calls (:: or unqualified) outside
+//                     src/shard/process_* — pid lifetimes, signal
+//                     delivery and EINTR reaping live behind the
+//                     wrappers in shard/process_control.h, the same way
+//                     serve/net_* owns sockets; member calls and
+//                     namespace-qualified wrappers stay legal
 //   banned-raw-lock   no bare .lock()/.unlock() member calls outside
 //                     src/util/ — critical sections must use
 //                     dmc::MutexLock (util/thread_annotations.h) so
