@@ -6,6 +6,14 @@
 #include <fstream>
 #include <sstream>
 
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define DMC_BENCH_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 #include "datagen/dictionary_gen.h"
 #include "datagen/linkgraph_gen.h"
 #include "datagen/weblog_gen.h"
@@ -69,6 +77,10 @@ bool WriteBenchJson(const std::vector<BenchRecord>& records,
       w.Value(r.rows_per_sec);
       w.Key("peak_counter_bytes");
       w.Value(static_cast<uint64_t>(r.peak_counter_bytes));
+      w.Key("instructions");
+      w.Value(r.instructions);
+      w.Key("cache_misses");
+      w.Value(r.cache_misses);
       w.EndObject();
     }
     w.EndArray();
@@ -101,6 +113,69 @@ bool AppendMetricsJsonl(const MetricsRegistry& registry,
   std::fprintf(stderr, "appended metrics to %s\n", path.c_str());
   return true;
 }
+
+#ifdef DMC_BENCH_HAVE_PERF_EVENT
+namespace {
+
+int OpenHardwareCounter(uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0));
+}
+
+uint64_t ReadCounter(int fd) {
+  if (fd < 0) return 0;
+  uint64_t value = 0;
+  if (read(fd, &value, sizeof(value)) != sizeof(value)) return 0;
+  return value;
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  instructions_fd_ =
+      OpenHardwareCounter(PERF_COUNT_HW_INSTRUCTIONS, /*group_fd=*/-1);
+  if (instructions_fd_ < 0) return;
+  // Grouped with the leader so both cover the exact same interval.
+  cache_misses_fd_ =
+      OpenHardwareCounter(PERF_COUNT_HW_CACHE_MISSES, instructions_fd_);
+}
+
+PerfCounters::~PerfCounters() {
+  if (cache_misses_fd_ >= 0) close(cache_misses_fd_);
+  if (instructions_fd_ >= 0) close(instructions_fd_);
+}
+
+void PerfCounters::Start() {
+  instructions_ = 0;
+  cache_misses_ = 0;
+  if (instructions_fd_ < 0) return;
+  ioctl(instructions_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(instructions_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfCounters::Stop() {
+  if (instructions_fd_ < 0) return;
+  ioctl(instructions_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  instructions_ = ReadCounter(instructions_fd_);
+  cache_misses_ = ReadCounter(cache_misses_fd_);
+}
+#else  // !DMC_BENCH_HAVE_PERF_EVENT
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::Start() {
+  instructions_ = 0;
+  cache_misses_ = 0;
+}
+void PerfCounters::Stop() {}
+#endif  // DMC_BENCH_HAVE_PERF_EVENT
 
 Dataset MakeWlog(double scale) {
   WebLogOptions o;

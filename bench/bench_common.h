@@ -8,6 +8,7 @@
 #ifndef DMC_BENCH_BENCH_COMMON_H_
 #define DMC_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,14 +36,50 @@ struct BenchRecord {
   double seconds = 0.0;
   double rows_per_sec = 0.0;
   size_t peak_counter_bytes = 0;
+  /// Hardware counters for the measured interval (see PerfCounters).
+  /// Zero when the counters are unavailable on the host.
+  uint64_t instructions = 0;
+  uint64_t cache_misses = 0;
 };
 
 /// Atomically writes `records` to `path` as a stable JSON document:
 ///   {"schema_version": 1, "records": [{"bench", "params", "seconds",
-///    "rows_per_sec", "peak_counter_bytes"}, ...]}
+///    "rows_per_sec", "peak_counter_bytes", "instructions",
+///    "cache_misses"}, ...]}
 /// No-op (returning true) when `path` is empty; false on IO failure.
 bool WriteBenchJson(const std::vector<BenchRecord>& records,
                     const std::string& path);
+
+/// Hardware instruction / last-level-cache-miss counters over an
+/// interval, via perf_event_open. Degrades gracefully: when the kernel
+/// interface is unavailable (non-Linux build, seccomp'd container,
+/// perf_event_paranoid lockdown) `available()` is false and the readings
+/// stay zero, so benches always run and the JSON simply reports 0.
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True when both counters opened successfully at construction.
+  bool available() const { return instructions_fd_ >= 0; }
+
+  /// Resets and enables the counters; pairs with Stop().
+  void Start();
+  /// Disables the counters and latches the readings for the interval
+  /// since the matching Start(). Zero when !available().
+  void Stop();
+
+  uint64_t instructions() const { return instructions_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  int instructions_fd_ = -1;
+  int cache_misses_fd_ = -1;
+  uint64_t instructions_ = 0;
+  uint64_t cache_misses_ = 0;
+};
 
 /// Appends the registry's flat JSONL dump (one {"kind","name",...} object
 /// per line, see MetricsRegistry::WriteJsonl) to `path`, so repeated

@@ -8,11 +8,17 @@
 //     reporting the speedup of the in-place kernels over kLegacy.
 //
 // `--scale=<float>` sizes the dense workload; `--json-out=<path>` writes
-// the measurements as a stable JSON document (see bench_common.h).
+// the measurements as a stable JSON document (see bench_common.h);
+// `--baseline=<path>` compares the dense-scan throughput against a
+// previously committed bench JSON and exits nonzero on a >10% drop.
 
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -204,14 +210,18 @@ ScanResult RunSimScan(const BinaryMatrix& m, MergeKernel k) {
 void BenchDenseScans(std::vector<bench::BenchRecord>& records, double scale) {
   bench::PrintSubHeader("dense-workload scans (rows/sec; speedup vs legacy)");
   const BinaryMatrix m = MakeDenseMatrix(scale);
-  std::printf("  matrix: %u rows x %u cols, %zu ones\n", m.num_rows(),
-              m.num_columns(), size_t(m.num_ones()));
+  bench::PerfCounters perf;
+  std::printf("  matrix: %u rows x %u cols, %zu ones  (hw counters: %s)\n",
+              m.num_rows(), m.num_columns(), size_t(m.num_ones()),
+              perf.available() ? "on" : "unavailable");
 
   const MergeKernel kernels_to_run[] = {MergeKernel::kLegacy,
                                         MergeKernel::kScalar,
                                         MergeKernel::kSimd};
   // Best-of-N per variant: full scans are long enough that scheduler noise
   // dominates single-shot timings; the minimum is the stable estimator.
+  // Hardware counters are captured per rep and reported for the fastest
+  // rep, so instructions/cache_misses describe the same run as `seconds`.
   const int reps = 5;
   for (const bool sim : {false, true}) {
     const char* scan = sim ? "scan_sim_dense" : "scan_imp_dense";
@@ -219,31 +229,106 @@ void BenchDenseScans(std::vector<bench::BenchRecord>& records, double scale) {
     for (const MergeKernel k : kernels_to_run) {
       const MergeKernel resolved = ResolveKernel(k);
       if (k == MergeKernel::kSimd && resolved != MergeKernel::kSimd) continue;
+      perf.Start();
       ScanResult r = sim ? RunSimScan(m, k) : RunImpScan(m, k);
+      perf.Stop();
+      uint64_t instructions = perf.instructions();
+      uint64_t cache_misses = perf.cache_misses();
       for (int i = 1; i < reps; ++i) {
+        perf.Start();
         const ScanResult again = sim ? RunSimScan(m, k) : RunImpScan(m, k);
-        r.seconds = std::min(r.seconds, again.seconds);
+        perf.Stop();
+        if (again.seconds < r.seconds) {
+          r.seconds = again.seconds;
+          instructions = perf.instructions();
+          cache_misses = perf.cache_misses();
+        }
       }
       if (k == MergeKernel::kLegacy) legacy_secs = r.seconds;
       const double rows_per_sec = m.num_rows() / r.seconds;
       std::printf("  %s/%-6s  %8.3f s  %10.0f rows/sec  %zu rules"
-                  "  peak=%zu B%s",
+                  "  peak=%zu B",
                   scan, KernelName(k), r.seconds, rows_per_sec, r.rules,
-                  r.peak_counter_bytes, "");
+                  r.peak_counter_bytes);
+      if (perf.available()) {
+        std::printf("  %" PRIu64 "M insn  %" PRIu64 "k LLC-miss",
+                    instructions / 1000000, cache_misses / 1000);
+      }
       if (k != MergeKernel::kLegacy && legacy_secs > 0.0) {
         std::printf("  (%.2fx vs legacy)", legacy_secs / r.seconds);
       }
       std::printf("\n");
       records.push_back({std::string(scan) + "/" + KernelName(k),
                          "scale=" + std::to_string(scale), r.seconds,
-                         rows_per_sec, r.peak_counter_bytes});
+                         rows_per_sec, r.peak_counter_bytes, instructions,
+                         cache_misses});
     }
   }
+}
+
+std::string ParseBaselinePath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--baseline=", 11) == 0) return argv[i] + 11;
+  }
+  return "";
+}
+
+/// rows_per_sec recorded for `bench` in the baseline JSON text, or -1
+/// when absent. A targeted string scan is enough here: the file is our
+/// own WriteBenchJson output, whose key order is fixed.
+double BaselineRowsPerSec(const std::string& json, const std::string& bench) {
+  const std::string name = "\"bench\": \"" + bench + "\"";
+  const size_t at = json.find(name);
+  if (at == std::string::npos) return -1.0;
+  const std::string key = "\"rows_per_sec\": ";
+  const size_t val = json.find(key, at);
+  if (val == std::string::npos) return -1.0;
+  return std::atof(json.c_str() + val + key.size());
+}
+
+/// Compares the dense-scan records against `path`; returns the number of
+/// variants whose throughput dropped below 90% of the baseline.
+int CheckAgainstBaseline(const std::vector<bench::BenchRecord>& records,
+                         const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "baseline: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  bench::PrintSubHeader("dense-scan regression gate vs " + path);
+  int compared = 0;
+  int failures = 0;
+  for (const bench::BenchRecord& r : records) {
+    if (r.bench.rfind("scan_", 0) != 0) continue;
+    const double base = BaselineRowsPerSec(json, r.bench);
+    if (base <= 0.0) {
+      std::printf("  %-24s  no baseline record; skipped\n", r.bench.c_str());
+      continue;
+    }
+    ++compared;
+    const double ratio = r.rows_per_sec / base;
+    const bool ok = ratio >= 0.9;
+    std::printf("  %-24s  %10.0f vs %10.0f rows/sec  (%.2fx)  %s\n",
+                r.bench.c_str(), r.rows_per_sec, base, ratio,
+                ok ? "ok" : "REGRESSED");
+    if (!ok) ++failures;
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "baseline: no comparable scan_* records in %s\n",
+                 path.c_str());
+    return 1;
+  }
+  return failures;
 }
 
 int Main(int argc, char** argv) {
   const double scale = bench::ParseScale(argc, argv);
   const std::string json_out = bench::ParseJsonOut(argc, argv);
+  const std::string baseline = ParseBaselinePath(argc, argv);
   bench::PrintHeader("Hot-path kernel micro-benchmarks");
   std::printf("scale=%.2f  simd=%s\n", scale,
               SimdKernelAvailable() ? "avx2" : "unavailable");
@@ -255,6 +340,11 @@ int Main(int argc, char** argv) {
   BenchDenseScans(records, scale);
 
   if (!bench::WriteBenchJson(records, json_out)) return 1;
+  if (!baseline.empty() && CheckAgainstBaseline(records, baseline) != 0) {
+    std::fprintf(stderr, "dense-scan throughput regressed >10%% vs %s\n",
+                 baseline.c_str());
+    return 1;
+  }
   return 0;
 }
 

@@ -6,7 +6,7 @@
 #include "core/miss_counter_table.h"
 #include "observe/progress.h"
 #include "observe/trace.h"
-#include "util/bitvector.h"
+#include "postings/posting_container.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -29,6 +29,11 @@ class ImplicationScan {
         table_(m_.num_columns(), in.bytes_per_entry, in.tracker) {
     all_active_ = std::all_of(active_.begin(), active_.end(),
                               [](uint8_t a) { return a != 0; });
+    use_vector_ = kernel_ == MergeKernel::kSimd &&
+                  kernels::VectorSweepAvailable() &&
+                  m_.num_columns() <= kernels::kVectorSweepMaxColumns &&
+                  m_.num_rows() < kernels::kVectorSweepMaxRows;
+    if (use_vector_) table_.EnableSidecars();
   }
 
   ImplicationPassResult Run() {
@@ -131,6 +136,10 @@ class ImplicationScan {
   void MergeWithAdd(ColumnId cj, std::span<const ColumnId> row) {
     const uint32_t base_miss = cnt_[cj];
     const int64_t budget = maxmis_[cj];
+    if (use_vector_) {
+      VectorAddMerge(cj, row, base_miss, ClampBudget(budget));
+      return;
+    }
     const auto accept_new = [this, cj](ColumnId ck) {
       return Qualifies(ck, cj);
     };
@@ -151,6 +160,15 @@ class ImplicationScan {
   // count misses against existing candidates.
   void MergeMissOnly(ColumnId cj, std::span<const ColumnId> row) {
     const int64_t budget = maxmis_[cj];
+    if (use_vector_) {
+      const MissCounterTable::MutableList list = table_.Mutable(cj);
+      if (list.size == 0) return;
+      const size_t w = kernels::ImpVectorSweep(
+          list.cand, list.miss, list.size, scratch_.row_mask.data(),
+          ClampBudget(budget), table_.Sidecar(cj));
+      if (w != list.size) table_.SetSize(cj, w);
+      return;
+    }
     const auto keep_on_hit = [](ColumnId, uint32_t) { return true; };
     const auto keep_on_miss = [budget](ColumnId, uint32_t new_miss) {
       return static_cast<int64_t>(new_miss) <= budget;
@@ -161,6 +179,71 @@ class ImplicationScan {
       InPlaceMissMerge(table_, cj, row, scratch_, kernel_, keep_on_hit,
                        keep_on_miss);
     }
+  }
+
+  // A per-column miss budget as the unsigned 32-bit value the vector
+  // sweep compares against. Negative budgets (possible only while no
+  // list exists) clamp to 0: a miss then always kills, a hit never does
+  // — the same decisions the int64 comparison makes.
+  static uint32_t ClampBudget(int64_t budget) {
+    if (budget < 0) return 0;
+    if (budget > static_cast<int64_t>(UINT32_MAX)) return UINT32_MAX;
+    return static_cast<uint32_t>(budget);
+  }
+
+  // MergeWithAdd on the block-typed vector path: the entry sweep runs in
+  // kernels::ImpVectorSweep and joiners are found with the per-list
+  // presence sidecar instead of the row-mask 1 -> 2 flagging (gathers
+  // can't scatter the flag back). An implication entry never dies on a
+  // hit, so a row column is a joiner iff its presence bit is clear.
+  void VectorAddMerge(ColumnId cj, std::span<const ColumnId> row,
+                      uint32_t base_miss, uint32_t budget) {
+    if (!table_.HasList(cj)) {
+      scratch_.fresh.clear();
+      for (const ColumnId ck : row) {
+        if (ck != cj && Qualifies(ck, cj)) scratch_.fresh.push_back(ck);
+      }
+      if (scratch_.fresh.empty()) return;
+      table_.Create(cj);
+      const MissCounterTable::MutableList list =
+          table_.Reserve(cj, scratch_.fresh.size());
+      uint64_t* sc = table_.Sidecar(cj);
+      for (size_t k = 0; k < scratch_.fresh.size(); ++k) {
+        list.cand[k] = scratch_.fresh[k];
+        list.miss[k] = base_miss;
+        MissCounterTable::SidecarSetBit(sc, scratch_.fresh[k]);
+      }
+      table_.SetSize(cj, scratch_.fresh.size());
+      return;
+    }
+    const MissCounterTable::MutableList list = table_.Mutable(cj);
+    uint64_t* sc = table_.Sidecar(cj);
+    const size_t w =
+        kernels::ImpVectorSweep(list.cand, list.miss, list.size,
+                                scratch_.row_mask.data(), budget, sc);
+    // Joiners word-wise: row columns whose presence bit is clear. cj's
+    // own bit is pending too (a column never lists itself) — skipped by
+    // the cr != cj test.
+    scratch_.fresh.clear();
+    const uint64_t* rb = scratch_.row_bits.data();
+    const size_t words = scratch_.row_bits.size();
+    for (size_t wd = 0; wd < words; ++wd) {
+      uint64_t pending = rb[wd] & ~sc[wd];
+      while (pending != 0) {
+        const ColumnId cr = static_cast<ColumnId>(
+            (wd << 6) + static_cast<unsigned>(__builtin_ctzll(pending)));
+        pending &= pending - 1;
+        if (cr != cj && Qualifies(cr, cj)) scratch_.fresh.push_back(cr);
+      }
+    }
+    if (scratch_.fresh.empty()) {
+      if (w != list.size) table_.SetSize(cj, w);
+      return;
+    }
+    for (const ColumnId f : scratch_.fresh) {
+      MissCounterTable::SidecarSetBit(sc, f);
+    }
+    MergeJoinersFromBack(table_, cj, w, scratch_.fresh, base_miss);
   }
 
   // cnt(cj) == ones(cj): every surviving candidate is a rule (its miss
@@ -211,22 +294,24 @@ class ImplicationScan {
     const size_t n = in_.order.size();
     const size_t tn = n - start;
     // Materialize the tail rows (active columns only) and per-column
-    // bitmaps over them.
+    // posting sets over them. The tail indices are appended ascending, so
+    // each container seals itself into its cheapest chunk format.
     std::vector<std::vector<ColumnId>> tail;
     tail.reserve(tn);
     std::vector<int32_t> bm_index(m_.num_columns(), -1);
-    std::vector<BitVector> bitmaps;
+    std::vector<PostingContainer> bitmaps;
     for (size_t t = 0; t < tn; ++t) {
       const auto row = FilteredRow(in_.order[start + t]);
       tail.emplace_back(row.begin(), row.end());
       for (ColumnId c : row) {
         if (bm_index[c] < 0) {
           bm_index[c] = static_cast<int32_t>(bitmaps.size());
-          bitmaps.emplace_back(tn);
+          bitmaps.emplace_back();
         }
-        bitmaps[bm_index[c]].Set(t);
+        bitmaps[bm_index[c]].Append(static_cast<uint32_t>(t));
       }
     }
+    for (PostingContainer& p : bitmaps) p.Optimize();
 
     const ColumnId num_cols = m_.num_columns();
     // Phase 1: columns that can no longer gain candidates. Finish their
@@ -234,14 +319,15 @@ class ImplicationScan {
     for (ColumnId c = 0; c < num_cols; ++c) {
       if (!table_.HasList(c)) continue;
       if (static_cast<int64_t>(cnt_[c]) <= maxmis_[c]) continue;
-      const BitVector* bj = bm_index[c] >= 0 ? &bitmaps[bm_index[c]] : nullptr;
+      const PostingContainer* bj =
+          bm_index[c] >= 0 ? &bitmaps[bm_index[c]] : nullptr;
       const auto list = table_.List(c);
       for (size_t e = 0; e < list.size; ++e) {
         size_t extra = 0;
         if (bj != nullptr) {
           extra = bm_index[list.cand[e]] >= 0
                       ? bj->AndNotCount(bitmaps[bm_index[list.cand[e]]])
-                      : bj->Count();
+                      : bj->cardinality();
         }
         const int64_t total = static_cast<int64_t>(list.miss[e]) + extra;
         if (total <= maxmis_[c]) {
@@ -278,14 +364,14 @@ class ImplicationScan {
         }
       }
       if (bm_index[c] >= 0) {
-        for (uint32_t t : bitmaps[bm_index[c]].ToIndices()) {
+        bitmaps[bm_index[c]].ForEach([&](uint32_t t) {
           for (ColumnId ck : tail[t]) {
             if (ck != c) {
               touch(ck);
               ++hits[ck];
             }
           }
-        }
+        });
       }
       const int64_t min_hits = static_cast<int64_t>(ones_[c]) - maxmis_[c];
       for (ColumnId ck : touched) {
@@ -310,6 +396,7 @@ class ImplicationScan {
   const DmcPolicy& policy_;
   const MergeKernel kernel_;
   bool all_active_ = false;
+  bool use_vector_ = false;
   std::vector<uint32_t> cnt_;
   MissCounterTable table_;
   std::vector<ColumnId> scratch_row_;

@@ -8,7 +8,7 @@
 #include "core/thresholds.h"
 #include "observe/progress.h"
 #include "observe/trace.h"
-#include "util/bitvector.h"
+#include "postings/posting_container.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -38,6 +38,19 @@ class SimilarityScan {
     for (ColumnId c = 0; c < m_.num_columns(); ++c) {
       col_budget_[c] = ColumnMaxMissesForSimilarity(ones_[c], s_);
       s_ones_[c] = s_ * static_cast<double>(ones_[c]);
+    }
+    // The vector sweep hard-codes the default §5.2 maximum-hits
+    // predicates; the ablation modes keep the generic kSimd path.
+    use_vector_ = kernel_ == MergeKernel::kSimd &&
+                  kernels::VectorSweepAvailable() &&
+                  policy_.max_hits_pruning &&
+                  m_.num_columns() <= kernels::kVectorSweepMaxColumns &&
+                  m_.num_rows() < kernels::kVectorSweepMaxRows;
+    if (use_vector_) {
+      table_.EnableSidecars();
+      // rem_[c] = ones[c] - cnt[c], kept current in step 3(b) so the
+      // sweep gathers one array per candidate.
+      rem_.assign(ones_.begin(), ones_.end());
     }
   }
 
@@ -80,6 +93,7 @@ class SimilarityScan {
       }
       for (ColumnId cj : row) {
         ++cnt_[cj];
+        if (use_vector_) --rem_[cj];
         if (cnt_[cj] == ones_[cj] && table_.HasList(cj)) FlushColumn(cj);
       }
       RecordHistory();
@@ -178,6 +192,10 @@ class SimilarityScan {
 
   void MergeWithAdd(ColumnId cj, std::span<const ColumnId> row) {
     const uint32_t base_miss = cnt_[cj];
+    if (use_vector_) {
+      VectorAddMerge(cj, row, base_miss);
+      return;
+    }
     // §5.1 column-density pruning on joiners: a negative budget means the
     // ratio ones(cj)/ones(ck) is below s and the pair can never qualify;
     // a budget below cnt(cj) means it is dead on arrival. With the
@@ -213,6 +231,21 @@ class SimilarityScan {
   }
 
   void MergeMissOnly(ColumnId cj, std::span<const ColumnId> row) {
+    if (use_vector_) {
+      const MissCounterTable::MutableList list = table_.Mutable(cj);
+      if (list.size == 0) return;
+      uint64_t* sc = table_.Sidecar(cj);
+      scratch_.dead_hits.clear();
+      const size_t w = kernels::SimVectorSweep(
+          list.cand, list.miss, list.size, scratch_.row_mask.data(),
+          MakeSweepParams(cj), sc, &scratch_.dead_hits);
+      // No joiner walk here, so dying hits can be cleared right away.
+      for (const ColumnId d : scratch_.dead_hits) {
+        MissCounterTable::SidecarClearBit(sc, d);
+      }
+      if (w != list.size) table_.SetSize(cj, w);
+      return;
+    }
     const auto keep_on_hit = [this, cj](ColumnId ck, uint32_t miss) {
       return !policy_.max_hits_pruning || SurvivesMaxHitsOnHit(cj, ck, miss);
     };
@@ -228,6 +261,82 @@ class SimilarityScan {
       InPlaceMissMerge(table_, cj, row, scratch_, kernel_, keep_on_hit,
                        keep_on_miss);
     }
+  }
+
+  kernels::SimSweepParams MakeSweepParams(ColumnId cj) const {
+    kernels::SimSweepParams p;
+    p.rem = rem_.data();
+    p.s_ones = s_ones_.data();
+    p.ones_j = static_cast<int32_t>(ones_[cj]);
+    p.rem_j = rem_[cj];
+    p.one_plus_s = one_plus_s_;
+    p.budget_eps = budget_eps_;
+    return p;
+  }
+
+  // MergeWithAdd on the block-typed vector path (see dmc_base.cc for the
+  // sidecar-vs-mask rationale). Unlike implication, a similarity entry
+  // can die on a hit; its presence bit must survive the joiner row-walk
+  // — it was in the list on this row and must not rejoin — and is
+  // cleared just after.
+  void VectorAddMerge(ColumnId cj, std::span<const ColumnId> row,
+                      uint32_t base_miss) {
+    if (!table_.HasList(cj)) {
+      scratch_.fresh.clear();
+      for (const ColumnId ck : row) {
+        if (ck != cj && Qualifies(ck, cj) &&
+            SurvivesMaxHitsOnHit(cj, ck, base_miss)) {
+          scratch_.fresh.push_back(ck);
+        }
+      }
+      if (scratch_.fresh.empty()) return;
+      table_.Create(cj);
+      const MissCounterTable::MutableList list =
+          table_.Reserve(cj, scratch_.fresh.size());
+      uint64_t* sc = table_.Sidecar(cj);
+      for (size_t k = 0; k < scratch_.fresh.size(); ++k) {
+        list.cand[k] = scratch_.fresh[k];
+        list.miss[k] = base_miss;
+        MissCounterTable::SidecarSetBit(sc, scratch_.fresh[k]);
+      }
+      table_.SetSize(cj, scratch_.fresh.size());
+      return;
+    }
+    const MissCounterTable::MutableList list = table_.Mutable(cj);
+    uint64_t* sc = table_.Sidecar(cj);
+    scratch_.dead_hits.clear();
+    const size_t w = kernels::SimVectorSweep(
+        list.cand, list.miss, list.size, scratch_.row_mask.data(),
+        MakeSweepParams(cj), sc, &scratch_.dead_hits);
+    // Joiners word-wise: row columns whose presence bit is clear. The
+    // dead-hit bits are still set here, so a candidate that died on this
+    // row's hit cannot rejoin.
+    scratch_.fresh.clear();
+    const uint64_t* rb = scratch_.row_bits.data();
+    const size_t words = scratch_.row_bits.size();
+    for (size_t wd = 0; wd < words; ++wd) {
+      uint64_t pending = rb[wd] & ~sc[wd];
+      while (pending != 0) {
+        const ColumnId cr = static_cast<ColumnId>(
+            (wd << 6) + static_cast<unsigned>(__builtin_ctzll(pending)));
+        pending &= pending - 1;
+        if (cr != cj && Qualifies(cr, cj) &&
+            SurvivesMaxHitsOnHit(cj, cr, base_miss)) {
+          scratch_.fresh.push_back(cr);
+        }
+      }
+    }
+    for (const ColumnId d : scratch_.dead_hits) {
+      MissCounterTable::SidecarClearBit(sc, d);
+    }
+    if (scratch_.fresh.empty()) {
+      if (w != list.size) table_.SetSize(cj, w);
+      return;
+    }
+    for (const ColumnId f : scratch_.fresh) {
+      MissCounterTable::SidecarSetBit(sc, f);
+    }
+    MergeJoinersFromBack(table_, cj, w, scratch_.fresh, base_miss);
   }
 
   void FlushColumn(ColumnId cj) {
@@ -284,18 +393,19 @@ class SimilarityScan {
     std::vector<std::vector<ColumnId>> tail;
     tail.reserve(tn);
     std::vector<int32_t> bm_index(m_.num_columns(), -1);
-    std::vector<BitVector> bitmaps;
+    std::vector<PostingContainer> bitmaps;
     for (size_t t = 0; t < tn; ++t) {
       const auto row = FilteredRow(in_.order[start + t]);
       tail.emplace_back(row.begin(), row.end());
       for (ColumnId c : row) {
         if (bm_index[c] < 0) {
           bm_index[c] = static_cast<int32_t>(bitmaps.size());
-          bitmaps.emplace_back(tn);
+          bitmaps.emplace_back();
         }
-        bitmaps[bm_index[c]].Set(t);
+        bitmaps[bm_index[c]].Append(static_cast<uint32_t>(t));
       }
     }
+    for (PostingContainer& p : bitmaps) p.Optimize();
 
     const ColumnId num_cols = m_.num_columns();
     // Phase 1: columns past their column-level budget — finish the listed
@@ -303,14 +413,15 @@ class SimilarityScan {
     for (ColumnId c = 0; c < num_cols; ++c) {
       if (!table_.HasList(c)) continue;
       if (static_cast<int64_t>(cnt_[c]) <= col_budget_[c]) continue;
-      const BitVector* bj = bm_index[c] >= 0 ? &bitmaps[bm_index[c]] : nullptr;
+      const PostingContainer* bj =
+          bm_index[c] >= 0 ? &bitmaps[bm_index[c]] : nullptr;
       const auto list = table_.List(c);
       for (size_t e = 0; e < list.size; ++e) {
         size_t extra = 0;
         if (bj != nullptr) {
           extra = bm_index[list.cand[e]] >= 0
                       ? bj->AndNotCount(bitmaps[bm_index[list.cand[e]]])
-                      : bj->Count();
+                      : bj->cardinality();
         }
         const int64_t total = static_cast<int64_t>(list.miss[e]) + extra;
         if (total <= PairBudget(c, list.cand[e])) {
@@ -385,14 +496,14 @@ class SimilarityScan {
         }
       }
       if (bm_index[c] >= 0) {
-        for (uint32_t t : bitmaps[bm_index[c]].ToIndices()) {
+        bitmaps[bm_index[c]].ForEach([&](uint32_t t) {
           for (ColumnId ck : tail[t]) {
             if (ck != c) {
               touch(ck);
               ++hits[ck];
             }
           }
-        }
+        });
       }
       for (ColumnId ck : touched) {
         const uint32_t h = hits[ck];
@@ -419,9 +530,11 @@ class SimilarityScan {
   const double budget_eps_;
   const MergeKernel kernel_;
   bool all_active_ = false;
+  bool use_vector_ = false;
   std::vector<uint32_t> cnt_;
   std::vector<int64_t> col_budget_;
   std::vector<double> s_ones_;  // s_ * ones_[c], for WithinPairBudget
+  std::vector<int32_t> rem_;    // ones_[c] - cnt_[c] (vector path only)
   MissCounterTable table_;
   std::vector<ColumnId> scratch_row_;
   MergeScratch scratch_;

@@ -56,6 +56,62 @@ const char* KernelName(MergeKernel k);
 
 namespace kernels {
 
+/// Limits under which the block-typed vector merge sweeps below are
+/// enabled: the presence sidecar stays one cache-friendly bitset
+/// (<= 8 KiB) per live list, and every intermediate of the 8-wide epi32
+/// arithmetic provably fits in int32.
+inline constexpr uint32_t kVectorSweepMaxColumns = 65536;
+inline constexpr uint32_t kVectorSweepMaxRows = uint32_t{1} << 30;
+
+/// True when ImpVectorSweep / SimVectorSweep run their AVX2 bodies on
+/// this CPU (gather + permute-compress). When false the portable scalar
+/// bodies run instead — same results, no reason to prefer them over the
+/// generic merges.
+bool VectorSweepAvailable();
+
+/// The implication-pass entry sweep (keep_on_hit = always,
+/// keep_on_miss = new_miss <= budget), 8 entries per step: gather the
+/// row-mask byte per candidate, bump misses, drop over-budget entries
+/// with a permute-compress, and clear the presence-sidecar bit of every
+/// death (implication deaths are always miss-deaths). Returns the new
+/// list size; the caller commits it with SetSize. Byte-identical to the
+/// scalar predicates in core/dmc_base.cc.
+size_t ImpVectorSweep(ColumnId* cand, uint32_t* miss, size_t n,
+                      const uint8_t* row_mask, uint32_t budget,
+                      uint64_t* sidecar);
+
+/// Per-merge constants for the similarity entry sweep. `ones`, `cnt` and
+/// `s_ones` are the scan's dense per-column arrays (gathered per entry);
+/// the scalars are the §5.2 maximum-hits bound inputs for the
+/// list-keeping column cj, with rem_j = ones_j - cnt_j.
+struct SimSweepParams {
+  /// rem[c] = ones[c] - cnt[c], maintained incrementally by the scan
+  /// (cnt is stable during a row's merges), so the sweep gathers one
+  /// array instead of ones and cnt separately.
+  const int32_t* rem = nullptr;
+  const double* s_ones = nullptr;  // s * ones[c], precomputed by the scan
+  int32_t ones_j = 0;
+  int32_t rem_j = 0;
+  double one_plus_s = 0.0;
+  double budget_eps = 0.0;
+};
+
+/// The similarity-pass entry sweep with §5.2 maximum-hits pruning, 8
+/// entries per step. For each candidate ck with old miss count m and row
+/// hit h, the unified survival argument is
+///   arg = rem_j + m - min(rem_j - 1 + h, rem_k)
+/// (equal to ones_j - best_hits of SurvivesMaxHitsOnHit/OnMiss), tested
+/// as one_plus_s * arg <= ones_j - s_ones[ck] + budget_eps with the
+/// exact operand values and operation order of the scalar
+/// WithinPairBudget, so the float decisions are bit-identical. Deaths on
+/// a miss clear their sidecar bit immediately; deaths on a hit are
+/// appended to `dead_hits` so the caller can clear them after the joiner
+/// row-walk (a dying hit was in the list on this row and must not
+/// rejoin). Returns the new list size.
+size_t SimVectorSweep(ColumnId* cand, uint32_t* miss, size_t n,
+                      const uint8_t* row_mask, const SimSweepParams& p,
+                      uint64_t* sidecar, std::vector<ColumnId>* dead_hits);
+
 /// Sets hit[j] = 1 iff list[j] is in row, else 0, for j in [0, n). Both
 /// inputs are strictly ascending. `kernel` selects the intersection
 /// implementation (kLegacy counts as kScalar here).
@@ -78,20 +134,68 @@ struct MergeScratch {
   /// Dense membership mask of the current row, shared by every merge of
   /// that row (kSimd paths): row_mask[c] == 1 while c is in the row, 2
   /// transiently while a hit is being consumed mid-merge, 0 otherwise.
+  /// Sized num_columns + 3 so the vector sweeps' 32-bit gathers may read
+  /// up to 3 bytes past the last column.
   std::vector<uint8_t> row_mask;
   std::vector<ColumnId> marked;  // columns set in row_mask (for O(|row|) reset)
+  /// Word bitmap of the current row (same membership as row_mask). The
+  /// vector add-merges AND-NOT it against a list's presence sidecar to
+  /// find joiners word-wise instead of testing every row column.
+  std::vector<uint64_t> row_bits;
+  /// Candidates that died on a hit during a SimVectorSweep; their sidecar
+  /// bits are cleared only after the joiner row-walk.
+  std::vector<ColumnId> dead_hits;
 
   /// Installs `row` as the current row. Scans using MergeKernel::kSimd
   /// must call this once per row before merging; cost is
   /// O(|previous row| + |row|), amortized across every column merge of
   /// the row.
   void BeginRow(std::span<const ColumnId> row, size_t num_columns) {
-    if (row_mask.size() < num_columns) row_mask.assign(num_columns, 0);
-    for (const ColumnId c : marked) row_mask[c] = 0;
+    if (row_mask.size() < num_columns + 3) row_mask.assign(num_columns + 3, 0);
+    if (row_bits.size() < (num_columns + 63) / 64) {
+      row_bits.assign((num_columns + 63) / 64, 0);
+    }
+    // Word-granular clear: every bit of the previous row lives in a word
+    // that held some marked column, so clearing those words clears all.
+    for (const ColumnId c : marked) {
+      row_mask[c] = 0;
+      row_bits[c >> 6] = 0;
+    }
     marked.assign(row.begin(), row.end());
-    for (const ColumnId c : row) row_mask[c] = 1;
+    for (const ColumnId c : row) {
+      row_mask[c] = 1;
+      row_bits[c >> 6] |= uint64_t{1} << (c & 63);
+    }
   }
 };
+
+/// Merges `fresh` (strictly ascending, disjoint from the surviving
+/// entries) into cj's list from the back, after a sweep has compacted
+/// the survivors to [0, w). One Reserve + one SetSize, so every merge
+/// strategy issues the same net accounting adjustment. dst never
+/// overtakes the surviving source slot, so the merge is safe in place.
+inline void MergeJoinersFromBack(MissCounterTable& table, ColumnId cj,
+                                 size_t w,
+                                 const std::vector<ColumnId>& fresh,
+                                 uint32_t base_miss) {
+  const size_t fn = fresh.size();
+  const MissCounterTable::MutableList grown = table.Reserve(cj, w + fn);
+  size_t a = w, b = fn, dst = w + fn;
+  while (b > 0) {
+    if (a > 0 && grown.cand[a - 1] > fresh[b - 1]) {
+      --dst;
+      --a;
+      grown.cand[dst] = grown.cand[a];
+      grown.miss[dst] = grown.miss[a];
+    } else {
+      --dst;
+      --b;
+      grown.cand[dst] = fresh[b];
+      grown.miss[dst] = base_miss;
+    }
+  }
+  table.SetSize(cj, w + fn);
+}
 
 /// The cnt > maxmis merge: no additions are possible, so the list is
 /// updated strictly in place. The kSimd kernel tests each entry against
@@ -284,30 +388,13 @@ void InPlaceAddMerge(MissCounterTable& table, ColumnId cj,
     }
   }
 
-  const size_t fn = scratch.fresh.size();
-  if (fn == 0) {
+  if (scratch.fresh.empty()) {
     if (w != list.size) table.SetSize(cj, w);
     return;
   }
-  // Reserve preserves the survivors in [0, w); merge the joiners in from
-  // the back (dst never overtakes the surviving source slot, so this is
-  // safe in place). Entries past the last joiner are already in position.
-  const MissCounterTable::MutableList grown = table.Reserve(cj, w + fn);
-  size_t a = w, b = fn, dst = w + fn;
-  while (b > 0) {
-    if (a > 0 && grown.cand[a - 1] > scratch.fresh[b - 1]) {
-      --dst;
-      --a;
-      grown.cand[dst] = grown.cand[a];
-      grown.miss[dst] = grown.miss[a];
-    } else {
-      --dst;
-      --b;
-      grown.cand[dst] = scratch.fresh[b];
-      grown.miss[dst] = base_miss;
-    }
-  }
-  table.SetSize(cj, w + fn);
+  // Reserve preserves the survivors in [0, w); entries past the last
+  // joiner are already in position.
+  MergeJoinersFromBack(table, cj, w, scratch.fresh, base_miss);
 }
 
 /// The pre-arena cnt <= maxmis merge: one linear pass rebuilds the whole

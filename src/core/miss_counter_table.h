@@ -5,10 +5,17 @@
 // (§4.4). Its byte footprint is what the 50 MB bitmap-switch rule and the
 // memory figures (Fig. 3, Fig. 6(g,h)) measure, so the table keeps its own
 // accounting through a MemoryTracker:
-//   * a fixed overhead per live (non-NULL) list, and
-//   * a configurable cost per candidate entry — 8 bytes in the general
-//     case (column id + miss counter), 4 bytes when the phase needs no
-//     miss counters (the 100%-rule simplification of §4.3).
+//   * a fixed overhead per live (non-NULL) list,
+//   * a per-entry miss-counter cost — 4 bytes in the general case, 0 when
+//     the phase needs no miss counters (the 100%-rule simplification of
+//     §4.3), selected via bytes_per_entry (8 or 4), and
+//   * the candidate-id set itself at its hybrid posting-container cost:
+//     4 bytes per id, capped at PostingContainer::BitmapCostBytes(cols) —
+//     a list denser than one packed bitmap never costs more than that
+//     bitmap (postings/posting_container.h). The cap is what turns the
+//     paper's global 50 MB bitmap-switch budget into a per-list bound;
+//     it is monotone in the list size, so per-row peaks and the exported
+//     memory histories stay invariant under DmcPolicy::kernel.
 //
 // Storage is an arena of SoA blocks: each list is one contiguous
 // allocation holding `capacity` candidate ids followed by `capacity` miss
@@ -23,6 +30,7 @@
 #ifndef DMC_CORE_MISS_COUNTER_TABLE_H_
 #define DMC_CORE_MISS_COUNTER_TABLE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -30,6 +38,7 @@
 #include <vector>
 
 #include "matrix/binary_matrix.h"
+#include "postings/posting_container.h"
 #include "util/logging.h"
 #include "util/memory_tracker.h"
 
@@ -165,7 +174,10 @@ class MissCounterTable {
       : lists_(num_columns),
         created_(num_columns, 0),
         bytes_per_entry_(bytes_per_entry),
-        tracker_(tracker) {}
+        id_bytes_cap_(PostingContainer::BitmapCostBytes(num_columns)),
+        tracker_(tracker) {
+    DMC_CHECK_GE(bytes_per_entry, kEntryBytesIdOnly);
+  }
 
   ~MissCounterTable() { ReleaseEverything(); }
 
@@ -180,6 +192,54 @@ class MissCounterTable {
     created_[c] = 1;
     ++live_lists_;
     tracker_->Add(kPerListOverheadBytes);
+    if (sidecars_enabled_) {
+      Header& h = lists_[c];
+      if (!sidecar_free_.empty()) {
+        h.sidecar = sidecar_free_.back();
+        sidecar_free_.pop_back();
+      } else {
+        sidecar_pool_.push_back(std::make_unique<uint64_t[]>(sidecar_words_));
+        h.sidecar = sidecar_pool_.back().get();
+      }
+      std::memset(h.sidecar, 0, sidecar_words_ * sizeof(uint64_t));
+    }
+  }
+
+  /// Turns on per-list presence sidecars: one bit per column, bit k set
+  /// iff column k is currently in the list. The vector merge sweeps use
+  /// them for O(1) "already a candidate?" tests without mutating the
+  /// shared row mask. Storage is pool-recycled across Release/Create and
+  /// is physical acceleration state only — never charged to the tracker.
+  /// Must be called before any list is created; callers that enable
+  /// sidecars own bit maintenance through the merge kernels (Assign
+  /// rebuilds them wholesale as a safety net for the legacy path).
+  void EnableSidecars() {
+    DMC_CHECK_EQ(live_lists_, size_t{0});
+    sidecars_enabled_ = true;
+    sidecar_words_ = (static_cast<size_t>(num_columns()) + 63) / 64;
+  }
+
+  bool sidecars_enabled() const { return sidecars_enabled_; }
+
+  /// The presence bitmap for `c`'s list; valid only when HasList(c) and
+  /// sidecars are enabled.
+  uint64_t* Sidecar(ColumnId c) {
+    DMC_CHECK(created_[c]);
+    return lists_[c].sidecar;
+  }
+  const uint64_t* Sidecar(ColumnId c) const {
+    DMC_CHECK(created_[c]);
+    return lists_[c].sidecar;
+  }
+
+  static void SidecarSetBit(uint64_t* sc, ColumnId c) {
+    sc[c >> 6] |= uint64_t{1} << (c & 63);
+  }
+  static void SidecarClearBit(uint64_t* sc, ColumnId c) {
+    sc[c >> 6] &= ~(uint64_t{1} << (c & 63));
+  }
+  static bool SidecarTestBit(const uint64_t* sc, ColumnId c) {
+    return ((sc[c >> 6] >> (c & 63)) & 1) != 0;
   }
 
   /// The list for `c`; valid only when HasList(c).
@@ -237,6 +297,10 @@ class MissCounterTable {
       std::memcpy(h.block.cand, cand, n * sizeof(ColumnId));
       std::memcpy(h.block.miss, miss, n * sizeof(uint32_t));
     }
+    if (h.sidecar != nullptr) {
+      std::memset(h.sidecar, 0, sidecar_words_ * sizeof(uint64_t));
+      for (size_t i = 0; i < n; ++i) SidecarSetBit(h.sidecar, cand[i]);
+    }
     ApplySizeDelta(&h, n);
   }
 
@@ -245,10 +309,13 @@ class MissCounterTable {
   void Release(ColumnId c) {
     DMC_CHECK(created_[c]);
     Header& h = lists_[c];
-    tracker_->Sub(h.size * bytes_per_entry_ + kPerListOverheadBytes);
+    const size_t entry_bytes = EntryBytes(h.size);
+    tracker_->Sub(entry_bytes + kPerListOverheadBytes);
+    charged_entry_bytes_ -= entry_bytes;
     total_entries_ -= h.size;
     --live_lists_;
     arena_.Release(h.block);
+    if (h.sidecar != nullptr) sidecar_free_.push_back(h.sidecar);
     h = Header{};
     created_[c] = 0;
   }
@@ -279,10 +346,19 @@ class MissCounterTable {
     return peak;
   }
 
-  /// Accounted bytes for this table alone. O(1).
+  /// Accounted bytes for this table alone. O(1): the per-list id-set cap
+  /// makes the sum non-decomposable from totals, so it is maintained
+  /// incrementally as lists resize.
   size_t bytes() const {
-    return live_lists_ * kPerListOverheadBytes +
-           total_entries_ * bytes_per_entry_;
+    return live_lists_ * kPerListOverheadBytes + charged_entry_bytes_;
+  }
+
+  /// Accounted bytes for one list of `n` entries, excluding the per-list
+  /// overhead: miss counters at (bytes_per_entry - 4) each plus the id
+  /// set at its posting-container cost, min(4n, BitmapCostBytes(cols)).
+  size_t EntryBytes(size_t n) const {
+    return n * (bytes_per_entry_ - kEntryBytesIdOnly) +
+           std::min(n * kEntryBytesIdOnly, id_bytes_cap_);
   }
 
   /// Number of live (non-NULL) lists.
@@ -296,6 +372,7 @@ class MissCounterTable {
  private:
   struct Header {
     CandidateArena::Block block;
+    uint64_t* sidecar = nullptr;
     uint32_t size = 0;
   };
 
@@ -304,10 +381,14 @@ class MissCounterTable {
     h->size = static_cast<uint32_t>(new_size);
     total_entries_ += new_size;
     total_entries_ -= old_size;
-    if (new_size > old_size) {
-      tracker_->Add((new_size - old_size) * bytes_per_entry_);
+    const size_t old_bytes = EntryBytes(old_size);
+    const size_t new_bytes = EntryBytes(new_size);
+    charged_entry_bytes_ += new_bytes;
+    charged_entry_bytes_ -= old_bytes;
+    if (new_bytes > old_bytes) {
+      tracker_->Add(new_bytes - old_bytes);
     } else {
-      tracker_->Sub((old_size - new_size) * bytes_per_entry_);
+      tracker_->Sub(old_bytes - new_bytes);
     }
     if (total_entries_ > peak_entries_) peak_entries_ = total_entries_;
     if (total_entries_ > interval_peak_entries_) {
@@ -319,10 +400,16 @@ class MissCounterTable {
   std::vector<Header> lists_;
   std::vector<uint8_t> created_;
   size_t bytes_per_entry_;
+  size_t id_bytes_cap_;
   size_t total_entries_ = 0;
+  size_t charged_entry_bytes_ = 0;
   size_t live_lists_ = 0;
   size_t peak_entries_ = 0;
   size_t interval_peak_entries_ = 0;
+  bool sidecars_enabled_ = false;
+  size_t sidecar_words_ = 0;
+  std::vector<std::unique_ptr<uint64_t[]>> sidecar_pool_;
+  std::vector<uint64_t*> sidecar_free_;
   MemoryTracker* tracker_;
 };
 

@@ -6,7 +6,7 @@
 
 #include "core/kernels.h"
 #include "observe/progress.h"
-#include "util/bitvector.h"
+#include "postings/posting_container.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 
@@ -248,28 +248,30 @@ void StreamingSimilarityPass::EmitPair(ColumnId ci, ColumnId ck,
 void StreamingSimilarityPass::RunBitmapPhases() {
   const size_t tn = tail_.size();
   std::vector<int32_t> bm_index(config_.num_columns, -1);
-  std::vector<BitVector> bitmaps;
+  std::vector<PostingContainer> bitmaps;
   for (size_t t = 0; t < tn; ++t) {
     for (ColumnId c : tail_[t]) {
       if (bm_index[c] < 0) {
         bm_index[c] = static_cast<int32_t>(bitmaps.size());
-        bitmaps.emplace_back(tn);
+        bitmaps.emplace_back();
       }
-      bitmaps[bm_index[c]].Set(t);
+      bitmaps[bm_index[c]].Append(static_cast<uint32_t>(t));
     }
   }
+  for (PostingContainer& p : bitmaps) p.Optimize();
 
   for (ColumnId c = 0; c < config_.num_columns; ++c) {
     if (!table_.HasList(c)) continue;
     if (static_cast<int64_t>(cnt_[c]) <= col_budget_[c]) continue;
-    const BitVector* bj = bm_index[c] >= 0 ? &bitmaps[bm_index[c]] : nullptr;
+    const PostingContainer* bj =
+        bm_index[c] >= 0 ? &bitmaps[bm_index[c]] : nullptr;
     const auto list = table_.List(c);
     for (size_t e = 0; e < list.size; ++e) {
       size_t extra = 0;
       if (bj != nullptr) {
         extra = bm_index[list.cand[e]] >= 0
                     ? bj->AndNotCount(bitmaps[bm_index[list.cand[e]]])
-                    : bj->Count();
+                    : bj->cardinality();
       }
       const int64_t total = static_cast<int64_t>(list.miss[e]) + extra;
       if (total <= PairBudget(c, list.cand[e])) {
@@ -338,14 +340,14 @@ void StreamingSimilarityPass::RunBitmapPhases() {
       }
     }
     if (bm_index[c] >= 0) {
-      for (uint32_t t : bitmaps[bm_index[c]].ToIndices()) {
+      bitmaps[bm_index[c]].ForEach([&](uint32_t t) {
         for (ColumnId ck : tail_[t]) {
           if (ck != c) {
             touch(ck);
             ++hits[ck];
           }
         }
-      }
+      });
     }
     for (ColumnId ck : touched) {
       const uint32_t h = hits[ck];

@@ -69,9 +69,7 @@ void RecordAppendMetrics(MetricsRegistry* metrics,
 
 IncrementalImplicationMiner::IncrementalImplicationMiner(
     ImplicationMiningOptions options, ColumnId num_columns)
-    : options_(std::move(options)),
-      kernel_(ResolveKernel(options_.policy.kernel)),
-      postings_(num_columns) {}
+    : options_(std::move(options)), postings_(num_columns) {}
 
 StatusOr<IncrementalImplicationMiner>
 IncrementalImplicationMiner::FromBatchMine(
@@ -121,9 +119,8 @@ Status IncrementalImplicationMiner::AppendBatch(const BinaryMatrix& delta,
     for (const ImplicationRule& r : rules_) {
       ++local.rules_updated;
       decided.push_back(PairKey(r.lhs, r.rhs));
-      const uint32_t delta_inter = IntersectPostings(
-          postings_.suffix(r.lhs, old_ones[r.lhs]),
-          postings_.suffix(r.rhs, old_ones[r.rhs]), kernel_);
+      const uint32_t delta_inter = postings_.SuffixIntersectOnes(
+          r.lhs, old_ones[r.lhs], r.rhs, old_ones[r.rhs]);
       const uint32_t inter = r.hits() + delta_inter;
       ColumnId lhs = r.lhs;
       ColumnId rhs = r.rhs;
@@ -178,15 +175,13 @@ Status IncrementalImplicationMiner::AppendBatch(const BinaryMatrix& delta,
           m_old == 0 ? 0
                      : static_cast<int64_t>(m_old) -
                            MaxMissesForConfidence(m_old, minconf);
-      const uint32_t delta_inter = IntersectPostings(
-          postings_.suffix(u, old_ones[u]), postings_.suffix(v, old_ones[v]),
-          kernel_);
+      const uint32_t delta_inter = postings_.SuffixIntersectOnes(
+          u, old_ones[u], v, old_ones[v]);
       if (static_cast<int64_t>(delta_inter) <
           required_new - required_old + (m_old > 0 ? 1 : 0)) {
         continue;
       }
-      const uint32_t inter = IntersectPostings(
-          postings_.rows(lhs), postings_.rows(rhs), kernel_);
+      const uint32_t inter = postings_.IntersectOnes(lhs, rhs);
       const uint32_t misses = lhs_ones - inter;
       if (misses <= budget) {
         next.Add(ImplicationRule{lhs, rhs, lhs_ones, misses});
@@ -214,9 +209,7 @@ Status IncrementalImplicationMiner::AppendBatch(const BinaryMatrix& delta,
 
 IncrementalSimilarityMiner::IncrementalSimilarityMiner(
     SimilarityMiningOptions options, ColumnId num_columns)
-    : options_(std::move(options)),
-      kernel_(ResolveKernel(options_.policy.kernel)),
-      postings_(num_columns) {}
+    : options_(std::move(options)), postings_(num_columns) {}
 
 StatusOr<IncrementalSimilarityMiner> IncrementalSimilarityMiner::FromBatchMine(
     const BinaryMatrix& initial, const SimilarityMiningOptions& options,
@@ -259,9 +252,8 @@ Status IncrementalSimilarityMiner::AppendBatch(const BinaryMatrix& delta,
     for (const SimilarityPair& p : pairs_) {
       ++local.rules_updated;
       decided.push_back(PairKey(p.a, p.b));
-      const uint32_t delta_inter = IntersectPostings(
-          postings_.suffix(p.a, old_ones[p.a]),
-          postings_.suffix(p.b, old_ones[p.b]), kernel_);
+      const uint32_t delta_inter = postings_.SuffixIntersectOnes(
+          p.a, old_ones[p.a], p.b, old_ones[p.b]);
       const uint32_t inter = p.intersection + delta_inter;
       ColumnId a = p.a;
       ColumnId b = p.b;
@@ -313,15 +305,13 @@ Status IncrementalSimilarityMiner::AppendBatch(const BinaryMatrix& delta,
               ? 0
               : static_cast<int64_t>(old_a) -
                     MaxMissesForSimilarity(old_a, old_b, minsim);
-      const uint32_t delta_inter = IntersectPostings(
-          postings_.suffix(u, old_ones[u]), postings_.suffix(v, old_ones[v]),
-          kernel_);
+      const uint32_t delta_inter = postings_.SuffixIntersectOnes(
+          u, old_ones[u], v, old_ones[v]);
       if (static_cast<int64_t>(delta_inter) <
           required_new - required_old + (old_a + old_b > 0 ? 1 : 0)) {
         continue;
       }
-      const uint32_t inter = IntersectPostings(postings_.rows(a),
-                                               postings_.rows(b), kernel_);
+      const uint32_t inter = postings_.IntersectOnes(a, b);
       const uint32_t misses = ones_a - inter;
       if (static_cast<int64_t>(misses) <= budget) {
         next.Add(SimilarityPair{a, b, ones_a, ones_b, inter});

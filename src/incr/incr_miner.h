@@ -126,7 +126,6 @@ class IncrementalImplicationMiner {
 
  private:
   ImplicationMiningOptions options_;
-  MergeKernel kernel_;
   ColumnPostings postings_;
   ImplicationRuleSet rules_;
   IncrCumulativeStats cumulative_;
@@ -155,7 +154,6 @@ class IncrementalSimilarityMiner {
 
  private:
   SimilarityMiningOptions options_;
-  MergeKernel kernel_;
   ColumnPostings postings_;
   SimilarityRuleSet pairs_;
   IncrCumulativeStats cumulative_;

@@ -1,7 +1,5 @@
 #include "incr/postings.h"
 
-#include "core/kernels.h"
-
 namespace dmc {
 
 void ColumnPostings::Append(const BinaryMatrix& delta) {
@@ -11,24 +9,29 @@ void ColumnPostings::Append(const BinaryMatrix& delta) {
   for (RowId r = 0; r < delta.num_rows(); ++r) {
     const RowId global = static_cast<RowId>(num_rows_ + r);
     for (const ColumnId c : delta.Row(r)) {
-      postings_[c].push_back(global);
+      postings_[c].Append(global);
     }
   }
   num_rows_ += delta.num_rows();
 }
 
-size_t ColumnPostings::MemoryBytes() const {
-  size_t bytes = postings_.capacity() * sizeof(std::vector<RowId>);
-  for (const auto& list : postings_) {
-    bytes += list.capacity() * sizeof(RowId);
-  }
-  return bytes;
+uint32_t ColumnPostings::IntersectOnes(ColumnId a, ColumnId b) const {
+  if (a >= postings_.size() || b >= postings_.size()) return 0;
+  return static_cast<uint32_t>(postings_[a].IntersectCount(postings_[b]));
 }
 
-uint32_t IntersectPostings(std::span<const RowId> a, std::span<const RowId> b,
-                           MergeKernel kernel) {
-  return static_cast<uint32_t>(kernels::IntersectCount(
-      a.data(), a.size(), b.data(), b.size(), kernel));
+uint32_t ColumnPostings::SuffixIntersectOnes(ColumnId a, uint32_t from_a,
+                                             ColumnId b,
+                                             uint32_t from_b) const {
+  if (a >= postings_.size() || b >= postings_.size()) return 0;
+  return static_cast<uint32_t>(
+      postings_[a].SuffixIntersectCount(from_a, postings_[b], from_b));
+}
+
+size_t ColumnPostings::MemoryBytes() const {
+  size_t bytes = postings_.capacity() * sizeof(PostingContainer);
+  for (const auto& list : postings_) bytes += list.MemoryBytes();
+  return bytes;
 }
 
 }  // namespace dmc

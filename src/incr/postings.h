@@ -1,24 +1,23 @@
 // Column postings — the counting state the incremental engine persists
 // between batches.
 //
-// For every column, the sorted list of global row ids carrying a 1. This
-// is the matrix in column-major (inverted-index) form: appending a batch
-// extends each touched column's list with strictly larger row ids, so a
-// list stays sorted by construction and any suffix of it is exactly the
-// rows contributed by the batches appended after a recorded boundary.
-// Intersections of two lists (or two suffixes) therefore reuse the
-// sorted-set kernels from core/kernels.h unchanged — RowId and ColumnId
-// are the same integer type.
+// For every column, the set of global row ids carrying a 1, held as a
+// hybrid PostingContainer (array/bitmap/run chunks). This is the matrix
+// in column-major (inverted-index) form: appending a batch extends each
+// touched column's container with strictly larger row ids, so dense
+// regions compress to bitmap or run chunks while sparse regions stay
+// arrays. Any index suffix of a container is exactly the rows
+// contributed by the batches appended after a recorded boundary, which
+// SuffixIntersectOnes exploits via rank/select instead of re-decoding.
 
 #ifndef DMC_INCR_POSTINGS_H_
 #define DMC_INCR_POSTINGS_H_
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
-#include "core/dmc_options.h"
 #include "matrix/binary_matrix.h"
+#include "postings/posting_container.h"
 
 namespace dmc {
 
@@ -39,36 +38,29 @@ class ColumnPostings {
   /// ones(c): rows with a 1 in column c.
   uint32_t ones(ColumnId c) const {
     return c < postings_.size()
-               ? static_cast<uint32_t>(postings_[c].size())
+               ? static_cast<uint32_t>(postings_[c].cardinality())
                : 0;
   }
 
-  /// All row ids of column c, ascending.
-  std::span<const RowId> rows(ColumnId c) const {
-    if (c >= postings_.size()) return {};
-    return std::span<const RowId>(postings_[c]);
-  }
+  /// The full posting set of column c.
+  const PostingContainer& rows(ColumnId c) const { return postings_[c]; }
 
-  /// The rows of column c past a recorded boundary: entries at index
-  /// >= `from` (an earlier ones(c) value). Exactly the rows appended
-  /// since that boundary.
-  std::span<const RowId> suffix(ColumnId c, uint32_t from) const {
-    const std::span<const RowId> all = rows(c);
-    return from >= all.size() ? std::span<const RowId>{} : all.subspan(from);
-  }
+  /// |rows(a) ∩ rows(b)|.
+  uint32_t IntersectOnes(ColumnId a, ColumnId b) const;
 
-  /// Heap bytes held by the posting lists.
+  /// Intersection of the two columns restricted to their suffixes past
+  /// recorded boundaries: entries at index >= `from_*` (earlier ones()
+  /// values) — exactly the rows appended since those boundaries.
+  uint32_t SuffixIntersectOnes(ColumnId a, uint32_t from_a, ColumnId b,
+                               uint32_t from_b) const;
+
+  /// Heap bytes held by the posting containers.
   size_t MemoryBytes() const;
 
  private:
   uint64_t num_rows_ = 0;
-  std::vector<std::vector<RowId>> postings_;
+  std::vector<PostingContainer> postings_;
 };
-
-/// |rows(a) ∩ rows(b)| via the core sorted-set kernels. `kernel` must be
-/// resolved (no kAuto); kLegacy counts as kScalar, as in the batch scan.
-uint32_t IntersectPostings(std::span<const RowId> a, std::span<const RowId> b,
-                           MergeKernel kernel);
 
 }  // namespace dmc
 

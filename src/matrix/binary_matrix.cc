@@ -66,6 +66,27 @@ std::vector<BitVector> BinaryMatrix::AllColumnBitmaps() const {
   return bitmaps;
 }
 
+PostingContainer BinaryMatrix::ColumnPosting(ColumnId c) const {
+  DMC_CHECK_LT(c, num_columns_);
+  PostingContainer p;
+  const RowId n = num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    if (Get(r, c)) p.Append(r);
+  }
+  p.Optimize();
+  return p;
+}
+
+std::vector<PostingContainer> BinaryMatrix::AllColumnPostings() const {
+  std::vector<PostingContainer> postings(num_columns_);
+  const RowId n = num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    for (ColumnId c : Row(r)) postings[c].Append(r);
+  }
+  for (PostingContainer& p : postings) p.Optimize();
+  return postings;
+}
+
 void MatrixBuilder::AddRow(std::vector<ColumnId> cols) {
   for (ColumnId c : cols) {
     if (fixed_columns_) {

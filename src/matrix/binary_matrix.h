@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "postings/posting_container.h"
 #include "util/bitvector.h"
 
 namespace dmc {
@@ -71,6 +72,14 @@ class BinaryMatrix {
 
   /// Bitmaps for every column, built in one row sweep.
   std::vector<BitVector> AllColumnBitmaps() const;
+
+  /// Hybrid posting container of column `c` over all rows (sealed).
+  /// O(num_ones) per call if used for every column — prefer
+  /// AllColumnPostings for bulk use.
+  PostingContainer ColumnPosting(ColumnId c) const;
+
+  /// Posting containers for every column, built in one row sweep.
+  std::vector<PostingContainer> AllColumnPostings() const;
 
   /// Approximate heap bytes held by the matrix.
   size_t MemoryBytes() const {

@@ -4,7 +4,7 @@
 #include <limits>
 
 #include "rules/grouping.h"
-#include "util/bitvector.h"
+#include "postings/posting_container.h"
 
 namespace dmc {
 
@@ -37,24 +37,18 @@ std::vector<MultiAttributeGroup> SummarizeRuleGroups(
       continue;
     }
 
-    // Exact joint support: intersect member bitmaps, sparsest first so
-    // the running intersection shrinks quickly.
+    // Exact joint support: intersect member posting sets, sparsest first
+    // so the running intersection shrinks quickly.
     std::vector<ColumnId> by_ones = g.columns;
     std::sort(by_ones.begin(), by_ones.end(),
               [&matrix](ColumnId a, ColumnId b) {
                 return matrix.column_ones()[a] < matrix.column_ones()[b];
               });
-    BitVector joint = matrix.ColumnBitmap(by_ones.front());
-    for (size_t i = 1; i < by_ones.size() && joint.Count() > 0; ++i) {
-      const BitVector other = matrix.ColumnBitmap(by_ones[i]);
-      // joint &= other, via AND-count-preserving rebuild.
-      BitVector next(joint.size());
-      for (uint32_t r : joint.ToIndices()) {
-        if (other.Test(r)) next.Set(r);
-      }
-      joint = std::move(next);
+    PostingContainer joint = matrix.ColumnPosting(by_ones.front());
+    for (size_t i = 1; i < by_ones.size() && !joint.empty(); ++i) {
+      joint = joint.Intersect(matrix.ColumnPosting(by_ones[i]));
     }
-    g.joint_support = static_cast<uint32_t>(joint.Count());
+    g.joint_support = static_cast<uint32_t>(joint.cardinality());
     const uint32_t sparsest = matrix.column_ones()[by_ones.front()];
     g.cohesion =
         sparsest == 0 ? 0.0 : double(g.joint_support) / double(sparsest);

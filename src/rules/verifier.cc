@@ -5,10 +5,10 @@
 namespace dmc {
 
 RuleVerifier::RuleVerifier(const BinaryMatrix& m)
-    : bitmaps_(m.AllColumnBitmaps()), ones_(m.column_ones()) {}
+    : postings_(m.AllColumnPostings()), ones_(m.column_ones()) {}
 
 uint32_t RuleVerifier::Intersection(ColumnId i, ColumnId j) const {
-  return static_cast<uint32_t>(bitmaps_[i].AndCount(bitmaps_[j]));
+  return static_cast<uint32_t>(postings_[i].IntersectCount(postings_[j]));
 }
 
 double RuleVerifier::Confidence(ColumnId i, ColumnId j) const {

@@ -11,14 +11,14 @@
 #include <vector>
 
 #include "matrix/binary_matrix.h"
+#include "postings/posting_container.h"
 #include "rules/rule_set.h"
-#include "util/bitvector.h"
 #include "util/status.h"
 
 namespace dmc {
 
-/// Answers exact pairwise queries via per-column bitmaps (built once,
-/// O(rows/64) per query).
+/// Answers exact pairwise queries via per-column hybrid posting
+/// containers (built once; each query is a typed chunk intersection).
 class RuleVerifier {
  public:
   explicit RuleVerifier(const BinaryMatrix& m);
@@ -51,7 +51,7 @@ class RuleVerifier {
   SimilarityPair MakeSimilarity(ColumnId i, ColumnId j) const;
 
  private:
-  std::vector<BitVector> bitmaps_;
+  std::vector<PostingContainer> postings_;
   std::vector<uint32_t> ones_;
 };
 

@@ -155,12 +155,13 @@ TEST(LintFixtureTest, TreeWalkFindsOnePerViolatingFixture) {
   EXPECT_EQ(CountRule(findings, "banned-raw-unlink"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-hot-path-map"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-ruleset-mutation"), 1u);
+  EXPECT_EQ(CountRule(findings, "banned-raw-posting"), 1u);
   EXPECT_EQ(CountRule(findings, "banned-raw-lock"), 2u);
   EXPECT_EQ(CountRule(findings, "banned-raw-socket"), 4u);
   EXPECT_EQ(CountRule(findings, "banned-raw-process"), 5u);
   EXPECT_EQ(CountRule(findings, "unannotated-mutex"), 1u);
   EXPECT_EQ(CountRule(findings, "atomic-ordering-audit"), 1u);
-  EXPECT_EQ(findings.size(), 21u);
+  EXPECT_EQ(findings.size(), 22u);
 }
 
 TEST(LintFixtureTest, BannedRawLockFiresPerPrimitiveCall) {
@@ -255,6 +256,23 @@ TEST(LintFixtureTest, BannedRuleSetMutationFiresExactlyOnce) {
   EXPECT_EQ(findings[0].rule, "banned-ruleset-mutation");
   EXPECT_EQ(findings[0].line, 15);
   EXPECT_NE(findings[0].message.find("immutable"), std::string::npos);
+}
+
+TEST(LintFixtureTest, BannedRawPostingFiresExactlyOnce) {
+  const auto findings = LintFile(
+      "bad_raw_posting.cc", ReadFile(FixturePath("bad_raw_posting.cc")), {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-raw-posting");
+  EXPECT_EQ(findings[0].line, 16);
+  EXPECT_NE(findings[0].message.find("PostingContainer"), std::string::npos);
+}
+
+TEST(LintFixtureTest, BannedRawPostingExemptsContainerAndWhitelist) {
+  const std::string content = ReadFile(FixturePath("bad_raw_posting.cc"));
+  EXPECT_TRUE(
+      LintFile("src/postings/posting_container.cc", content, {}).empty());
+  EXPECT_TRUE(LintFile("src/matrix/row_order.cc", content, {}).empty());
+  EXPECT_TRUE(LintFile("src/datagen/dictionary_gen.cc", content, {}).empty());
 }
 
 // --- rule details on inline content ---

@@ -1,0 +1,21 @@
+// Fixture: exactly one banned-raw-posting violation (the nested RowId
+// vector on line 16). Row-major ColumnId rows, a flat RowId vector, the
+// suppressed declaration and a nested vector of a non-id type are all
+// legal.
+#include <cstdint>
+#include <vector>
+
+namespace dmc_fixture {
+
+using RowId = uint32_t;
+using ColumnId = uint32_t;
+
+struct FakePostings {
+  std::vector<std::vector<ColumnId>> rows;
+  std::vector<RowId> scratch;
+  std::vector<std::vector<RowId>> per_column;
+  std::vector<std::vector<uint32_t>> also_ids;  // dmc_lint: ignore
+  std::vector<std::vector<double>> weights;
+};
+
+}  // namespace dmc_fixture

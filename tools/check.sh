@@ -14,6 +14,8 @@
 #   (g) incremental-vs-batch differential sweep under ASan+UBSan
 #   (h) coverage build + gate against tools/coverage_floor.txt
 #   (i) perf smoke: release-native build + bench_kernels --json-out schema
+#   (i2) dense-scan bench regression gate vs the committed BENCH_bitmap.json
+#        (>10% rows_per_sec drop on any scan_*_dense variant fails)
 #   (j) clang -Wthread-safety -Werror build          (preset: thread-safety)
 #   (k) clang-tidy over the concurrency-sensitive TUs (.clang-tidy profile)
 #
@@ -205,6 +207,21 @@ if [[ "${fast}" -eq 0 ]]; then
     }
   done
   echo "bench json schema OK"
+
+  step "(i2) dense-scan bench regression gate vs BENCH_bitmap.json"
+  # Re-runs the dense scans at the committed baseline's scale and lets
+  # bench_kernels compare rows_per_sec per kernel variant against
+  # BENCH_bitmap.json (the curve recorded with the hybrid posting
+  # substrate); any variant dropping below 90% of the committed
+  # throughput fails the gate. This one IS a performance gate — noise on
+  # a loaded machine can trip it, in which case rerun on a quiet one.
+  "${repo_root}/build-native/bench/bench_kernels" --scale=1 \
+    --json-out="${metrics_tmp}/bench_full.json" \
+    --baseline="${repo_root}/BENCH_bitmap.json" >/dev/null || {
+    echo "dense-scan throughput regression vs BENCH_bitmap.json" >&2
+    exit 1
+  }
+  echo "dense-scan regression gate OK"
 
   step "(j) clang -Wthread-safety -Werror build"
   # The DMC_GUARDED_BY/DMC_REQUIRES annotations (util/thread_annotations.h)

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
                  "       banned-hot-path-map banned-ruleset-mutation "
                  "discarded-status\n"
                  "       banned-raw-lock unannotated-mutex "
-                 "atomic-ordering-audit\n"
+                 "atomic-ordering-audit banned-raw-posting\n"
                  "suppress one line with `// dmc_lint: ignore`, a file "
                  "with `dmc_lint: ignore-file`\n");
     return 2;

@@ -255,6 +255,41 @@ void CheckHotPathMap(const FileCtx& ctx, std::vector<Finding>* findings) {
   }
 }
 
+// Bans nested row-id posting collections (std::vector<std::vector<RowId>>
+// or the raw uint32_t spelling) outside src/postings/: per-column posting
+// lists live in PostingContainer (postings/posting_container.h), which
+// picks array/bitmap/run storage per 64Ki chunk. Before the container,
+// the matrix, the counter arena and the incremental miner each grew
+// their own copy of this shape; the ban keeps the duplication from
+// coming back. Row-major data (vector<vector<ColumnId>>) is a different
+// shape and stays legal, as do the whitelisted non-posting users:
+// matrix/row_order.cc's radix buckets and the datagen builders.
+void CheckRawPosting(const FileCtx& ctx, std::vector<Finding>* findings) {
+  if (ctx.PathContains("postings/") || ctx.PathContains("matrix/row_order.") ||
+      ctx.PathContains("datagen/")) {
+    return;
+  }
+  const auto& code = ctx.code;
+  for (size_t i = 0; i + 7 < code.size(); ++i) {
+    if (!IsIdent(code[i], "vector") || !IsStdQualified(code, i)) continue;
+    if (!IsPunct(code[i + 1], "<")) continue;
+    if (!IsIdent(code[i + 2], "std") || !IsPunct(code[i + 3], "::") ||
+        !IsIdent(code[i + 4], "vector") || !IsPunct(code[i + 5], "<")) {
+      continue;
+    }
+    const bool row_id_element =
+        IsIdent(code[i + 6], "RowId") || IsIdent(code[i + 6], "uint32_t");
+    if (!row_id_element || !IsPunct(code[i + 7], ">")) continue;
+    if (ctx.Suppressed(code[i].line)) continue;
+    findings->push_back(
+        {ctx.path, code[i].line, "banned-raw-posting",
+         "nested row-id vectors re-create the per-column posting-list "
+         "representation; use PostingContainer "
+         "(postings/posting_container.h) so every layer shares one "
+         "compressed substrate"});
+  }
+}
+
 // Bans raw unlink/rename/remove calls (std::, :: or unqualified): file
 // replacement must go through util/atomic_io.h so a crash can never
 // leave a torn output. std::filesystem::remove stays legal — it is a
@@ -684,6 +719,7 @@ std::vector<Finding> LintFile(const std::string& path,
   CheckIncludeGuard(ctx, &findings);
   CheckBannedTokens(ctx, &findings);
   CheckHotPathMap(ctx, &findings);
+  CheckRawPosting(ctx, &findings);
   CheckRawFileOps(ctx, &findings);
   CheckRuleSetMutation(ctx, &findings);
   CheckDiscardedStatus(ctx, status_functions, &findings);

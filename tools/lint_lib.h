@@ -30,6 +30,16 @@
 //                     core/kernels.cc) — node-based containers allocate
 //                     per element and chase pointers; use dense vectors
 //                     with a touched-list reset instead
+//   banned-raw-posting  no std::vector<std::vector<RowId>> (or the raw
+//                     uint32_t spelling) outside src/postings/ — nested
+//                     row-id vectors are the hand-rolled posting-list
+//                     shape that used to be duplicated across the
+//                     matrix, the counter arena and the incremental
+//                     miner; per-column postings go through
+//                     PostingContainer (postings/posting_container.h).
+//                     Row-major vector<vector<ColumnId>> data stays
+//                     legal; matrix/row_order.cc's radix buckets and
+//                     datagen/ are whitelisted
 //   banned-ruleset-mutation  no mutable_rules()/mutable_pairs() calls
 //                     outside src/rules/ and src/incr/ — mined rule sets
 //                     are immutable downstream so the incremental
