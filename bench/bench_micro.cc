@@ -11,6 +11,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "bench_common.h"
 
@@ -21,6 +24,7 @@
 #include "datagen/quest_gen.h"
 #include "datagen/weblog_gen.h"
 #include "incr/incr_miner.h"
+#include "incr/window_miner.h"
 #include "util/bitvector.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -228,6 +232,123 @@ void BenchAppendBatch(std::vector<bench::BenchRecord>& records) {
                      delta_rows / append_secs, 0});
 }
 
+// Window-slide scenario: one steady-state slide step (append `step`
+// rows into a full count-bounded window, auto-evicting the oldest
+// `step`) vs a fresh batch mine of the resulting window contents.
+// Records both timings (best of N) plus the ratio; the check tracked in
+// ISSUE 10 is slide < 30% of the fresh window mine.
+void BenchWindowSlide(std::vector<bench::BenchRecord>& records) {
+  const uint32_t window = 4000;
+  const uint32_t step = 100;
+  const uint32_t cols = 300;
+  const BinaryMatrix full = MakeCorrelatedBlockMatrix(window + step, cols);
+  const BinaryMatrix base = SliceRows(full, 0, window);
+  const BinaryMatrix delta = SliceRows(full, window, step);
+  const BinaryMatrix slid = SliceRows(full, step, window);
+
+  ImplicationMiningOptions options;
+  options.min_confidence = 0.6;
+  const int reps = 3;
+
+  double fresh_secs = 1e300;
+  size_t fresh_rules = 0;
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch sw;
+    auto rules = MineImplications(slid, options);
+    fresh_secs = std::min(fresh_secs, sw.ElapsedSeconds());
+    fresh_rules = rules.ok() ? rules->size() : 0;
+  }
+
+  auto seeded =
+      WindowedImplicationMiner::FromBatchMine(base, options, window);
+  if (!seeded.ok()) {
+    std::fprintf(stderr, "window scenario seed failed: %s\n",
+                 seeded.status().ToString().c_str());
+    return;
+  }
+  double slide_secs = 1e300;
+  size_t slid_rules = 0;
+  for (int i = 0; i < reps; ++i) {
+    WindowedImplicationMiner miner = *seeded;  // fresh state per rep
+    Stopwatch sw;
+    if (!miner.AppendBatch(delta).ok()) return;
+    slide_secs = std::min(slide_secs, sw.ElapsedSeconds());
+    slid_rules = miner.rules().size();
+  }
+
+  const double ratio = slide_secs / fresh_secs;
+  std::printf("window_slide: fresh window mine %.3fs (%zu rules), slide "
+              "%u rows %.3fs (%zu rules) — %.1f%% of a fresh mine\n",
+              fresh_secs, fresh_rules, step, slide_secs, slid_rules,
+              100.0 * ratio);
+  char params[96];
+  std::snprintf(params, sizeof(params), "window=%u,cols=%u,minconf=0.6",
+                window, cols);
+  records.push_back({"window_slide/full_window_remine", params, fresh_secs,
+                     window / fresh_secs, 0});
+  std::snprintf(params, sizeof(params),
+                "step_rows=%u,slide_vs_full=%.4f", step, ratio);
+  records.push_back({"window_slide/slide_step", params, slide_secs,
+                     step / slide_secs, 0});
+}
+
+std::string ParseBaselinePath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--baseline=", 11) == 0) return argv[i] + 11;
+  }
+  return "";
+}
+
+/// rows_per_sec recorded for `bench` in the baseline JSON text, or -1
+/// when absent (same targeted scan as bench_kernels: the file is our own
+/// WriteBenchJson output, whose key order is fixed).
+double BaselineRowsPerSec(const std::string& json, const std::string& bench) {
+  const std::string name = "\"bench\": \"" + bench + "\"";
+  const size_t at = json.find(name);
+  if (at == std::string::npos) return -1.0;
+  const std::string key = "\"rows_per_sec\": ";
+  const size_t val = json.find(key, at);
+  if (val == std::string::npos) return -1.0;
+  return std::atof(json.c_str() + val + key.size());
+}
+
+/// Compares the scenario records (incr_append_*, window_slide/*) against
+/// `path`; returns the number of records whose throughput dropped below
+/// 90% of the baseline.
+int CheckAgainstBaseline(const std::vector<bench::BenchRecord>& records,
+                         const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "baseline: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  std::printf("scenario regression gate vs %s\n", path.c_str());
+  int compared = 0;
+  int failures = 0;
+  for (const bench::BenchRecord& r : records) {
+    if (r.rows_per_sec <= 0.0) continue;
+    const double base = BaselineRowsPerSec(json, r.bench);
+    if (base <= 0.0) continue;  // not a gated scenario record
+    ++compared;
+    const double ratio = r.rows_per_sec / base;
+    const bool ok = ratio >= 0.9;
+    std::printf("  %-32s  %10.0f vs %10.0f rows/sec  (%.2fx)  %s\n",
+                r.bench.c_str(), r.rows_per_sec, base, ratio,
+                ok ? "ok" : "REGRESSED");
+    if (!ok) ++failures;
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "baseline: no comparable records in %s\n",
+                 path.c_str());
+    return 1;
+  }
+  return failures;
+}
+
 // Console reporter that also captures each run as a BenchRecord so the
 // google-benchmark binary can emit the shared --json-out schema.
 class JsonCaptureReporter : public benchmark::ConsoleReporter {
@@ -267,6 +388,13 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   dmc::BenchAppendBatch(records);
+  dmc::BenchWindowSlide(records);
   if (!dmc::bench::WriteBenchJson(records, json_out)) return 1;
+  const std::string baseline = dmc::ParseBaselinePath(argc, argv);
+  if (!baseline.empty() && dmc::CheckAgainstBaseline(records, baseline) != 0) {
+    std::fprintf(stderr, "scenario throughput regressed >10%% vs %s\n",
+                 baseline.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "core/thresholds.h"
 #include "observe/metrics.h"
 #include "observe/trace.h"
+#include "util/bitvector.h"
 #include "rules/rule.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
@@ -27,11 +28,32 @@ uint64_t PairKey(ColumnId u, ColumnId v) {
   return (uint64_t{lo} << 32) | hi;
 }
 
-// Distinct unordered column pairs co-occurring in some delta row,
-// ascending. Quadratic in row length — the delta is the small side of an
-// append, and the batch engines remain the right tool for bulk loads.
+// Distinct unordered column pairs co-occurring in some delta row, in
+// first-seen order. Quadratic in row length — the delta is the small
+// side of an append, and the batch engines remain the right tool for
+// bulk loads. Dense deltas repeat the same pairs across rows, so for
+// narrow matrices a width x width seen-byte table dedups in O(1) per
+// occurrence; sorting the raw occurrence list would dominate the whole
+// append on correlated data.
 std::vector<uint64_t> CoOccurringDeltaPairs(const BinaryMatrix& delta) {
   std::vector<uint64_t> keys;
+  const size_t width = delta.num_columns();
+  constexpr size_t kSeenTableMaxColumns = 4096;  // 16 MB of flags
+  if (width <= kSeenTableMaxColumns) {
+    std::vector<uint8_t> seen(width * width, 0);
+    for (RowId r = 0; r < delta.num_rows(); ++r) {
+      const auto row = delta.Row(r);
+      for (size_t i = 0; i < row.size(); ++i) {
+        for (size_t j = i + 1; j < row.size(); ++j) {
+          uint8_t& flag = seen[row[i] * width + row[j]];
+          if (flag) continue;
+          flag = 1;
+          keys.push_back(PairKey(row[i], row[j]));
+        }
+      }
+    }
+    return keys;
+  }
   for (RowId r = 0; r < delta.num_rows(); ++r) {
     const auto row = delta.Row(r);
     for (size_t i = 0; i < row.size(); ++i) {
@@ -45,8 +67,64 @@ std::vector<uint64_t> CoOccurringDeltaPairs(const BinaryMatrix& delta) {
   return keys;
 }
 
-bool Contains(const std::vector<uint64_t>& sorted, uint64_t key) {
-  return std::binary_search(sorted.begin(), sorted.end(), key);
+// Membership set for the pairs the update pass already decided, probed
+// once per regen candidate. Narrow matrices get a width x width byte
+// table (one predictable load per probe); wide ones fall back to a
+// sorted key vector + binary search to keep memory bounded.
+class DecidedPairs {
+ public:
+  static constexpr ColumnId kTableMaxColumns = 4096;  // 16 MB of flags
+
+  DecidedPairs(ColumnId width, size_t expected) : width_(width) {
+    if (width_ <= kTableMaxColumns) {
+      table_.assign(size_t{width_} * width_, 0);
+    } else {
+      keys_.reserve(expected);
+    }
+  }
+
+  void Add(ColumnId u, ColumnId v) {
+    if (!table_.empty()) {
+      table_[Index(u, v)] = 1;
+    } else {
+      keys_.push_back(PairKey(u, v));
+    }
+  }
+
+  /// Call once between the update pass (Add) and the regen pass
+  /// (Contains); no-op for the table representation.
+  void Seal() {
+    if (table_.empty()) std::sort(keys_.begin(), keys_.end());
+  }
+
+  bool Contains(ColumnId u, ColumnId v) const {
+    if (!table_.empty()) return table_[Index(u, v)] != 0;
+    return std::binary_search(keys_.begin(), keys_.end(), PairKey(u, v));
+  }
+
+ private:
+  size_t Index(ColumnId u, ColumnId v) const {
+    const ColumnId lo = u < v ? u : v;
+    const ColumnId hi = u < v ? v : u;
+    return size_t{lo} * width_ + hi;
+  }
+
+  ColumnId width_;
+  std::vector<uint8_t> table_;
+  std::vector<uint64_t> keys_;
+};
+
+// MaxMissesForConfidence for every reachable ones count: the implication
+// regen passes evaluate two budgets per examined pair, and on dense
+// windows that is T x width floating-point floors per batch — one small
+// table turns them into indexed loads.
+std::vector<int64_t> ConfidenceBudgetTable(uint64_t max_ones,
+                                           double minconf) {
+  std::vector<int64_t> table(max_ones + 1);
+  for (uint64_t n = 0; n <= max_ones; ++n) {
+    table[n] = MaxMissesForConfidence(static_cast<uint32_t>(n), minconf);
+  }
+  return table;
 }
 
 void RecordAppendMetrics(MetricsRegistry* metrics,
@@ -60,6 +138,100 @@ void RecordAppendMetrics(MetricsRegistry* metrics,
                        stats.candidates_revived);
   metrics->RecordTimer("dmc.incr.append_seconds", stats.seconds);
 }
+
+void RecordEvictMetrics(MetricsRegistry* metrics,
+                        const IncrEvictStats& stats) {
+  if (metrics == nullptr) return;
+  metrics->IncrCounter("dmc.incr.evict.batches");
+  metrics->IncrCounter("dmc.incr.evict.rows_evicted", stats.rows_evicted);
+  metrics->IncrCounter("dmc.incr.evict.candidates_killed",
+                       stats.candidates_killed);
+  metrics->IncrCounter("dmc.incr.evict.candidates_regenerated",
+                       stats.candidates_regenerated);
+  metrics->RecordTimer("dmc.incr.evict.seconds", stats.seconds);
+}
+
+// Distinct unordered pairs with at least one column losing ones to the
+// evicted prefix. Only such pairs can resurrect: evicting a row where
+// neither column is 1 changes nothing for the pair, and evicting both-1
+// rows can never flip a failing pair to passing (DESIGN §5.10) — a
+// resurrection needs an evicted row where exactly one column is 1, i.e.
+// one column with prefix ones. Each pair is emitted exactly once (a
+// pair losing ones on both sides comes from its lower endpoint), so no
+// sort/unique dedup pass is needed — on dense windows nearly every
+// column loses ones and that sort would dominate the eviction.
+std::vector<uint64_t> EvictCandidatePairs(
+    const std::vector<uint32_t>& prefix_ones, ColumnId width) {
+  std::vector<uint64_t> keys;
+  for (ColumnId t = 0; t < width; ++t) {
+    if (prefix_ones[t] == 0) continue;
+    for (ColumnId c = 0; c < width; ++c) {
+      if (c == t) continue;
+      if (c < t && prefix_ones[c] > 0) continue;
+      keys.push_back(PairKey(t, c));
+    }
+  }
+  return keys;
+}
+
+// Lazily-built per-column bitmaps of the rows at index >= bound (bit i
+// == row bound + i): the surviving window during EvictBatch, the fresh
+// delta during AppendBatch. Each per-pair exact count collapses to one
+// word-parallel AndNotCount instead of a posting merge — the update and
+// regen passes together push tens of thousands of pairs through those
+// counts on dense windows. The transposition is worth it only while the
+// full-width estimate stays small; past the budget (or on an empty
+// suffix) the passes fall back to posting merges.
+class SuffixBitmapCache {
+ public:
+  static constexpr size_t kBudgetBytes = size_t{32} << 20;
+
+  SuffixBitmapCache(const ColumnPostings& postings, uint32_t bound,
+                    uint64_t new_rows)
+      : postings_(postings), bound_(bound), new_rows_(new_rows) {
+    const size_t words = (new_rows + 63) / 64;
+    usable_ =
+        new_rows > 0 && words * 8 * postings.num_columns() <= kBudgetBytes;
+    if (usable_) {
+      bitmaps_.resize(postings.num_columns());
+      built_.assign(postings.num_columns(), 0);
+    }
+  }
+
+  bool usable() const { return usable_; }
+
+  /// Misses of the oriented pair over the surviving window:
+  /// |suffix(lhs) \ suffix(rhs)|.
+  uint32_t SuffixMisses(ColumnId lhs, ColumnId rhs) {
+    return static_cast<uint32_t>(Get(lhs).AndNotCount(Get(rhs)));
+  }
+
+  /// SuffixMisses with an early exit once the count exceeds `cap`;
+  /// exact when the result is <= cap (see BitVector::AndNotCountCapped).
+  uint32_t SuffixMissesCapped(ColumnId lhs, ColumnId rhs, uint32_t cap) {
+    return static_cast<uint32_t>(Get(lhs).AndNotCountCapped(Get(rhs), cap));
+  }
+
+ private:
+  const BitVector& Get(ColumnId c) {
+    if (!built_[c]) {
+      BitVector bits(new_rows_);
+      postings_.rows(c).ForEach([&](uint32_t id) {
+        if (id >= bound_) bits.Set(id - bound_);
+      });
+      bitmaps_[c] = std::move(bits);
+      built_[c] = 1;
+    }
+    return bitmaps_[c];
+  }
+
+  const ColumnPostings& postings_;
+  uint32_t bound_;
+  uint64_t new_rows_;
+  bool usable_ = false;
+  std::vector<BitVector> bitmaps_;
+  std::vector<uint8_t> built_;
+};
 
 }  // namespace
 
@@ -105,22 +277,28 @@ Status IncrementalImplicationMiner::AppendBatch(const BinaryMatrix& delta,
       std::max(postings_.num_columns(), delta.num_columns());
   std::vector<uint32_t> old_ones(width);
   for (ColumnId c = 0; c < width; ++c) old_ones[c] = postings_.ones(c);
+  const uint32_t rows_before = static_cast<uint32_t>(postings_.num_rows());
   postings_.Append(delta);
+  SuffixBitmapCache bitmaps(postings_, rows_before,
+                            postings_.num_rows() - rows_before);
 
   // Update pass: re-decide every held rule under the new counts. The
   // stored rule carries the exact previous-boundary counts, so the new
   // intersection is old intersection + |delta co-occurrences|, and the
   // suffix intersection touches only the delta's rows.
-  std::vector<uint64_t> decided;
-  decided.reserve(rules_.size());
+  DecidedPairs decided(width, rules_.size());
   ImplicationRuleSet next;
   {
     ScopedSpan span(obs.trace, "incr/update", obs.trace_lane);
     for (const ImplicationRule& r : rules_) {
       ++local.rules_updated;
-      decided.push_back(PairKey(r.lhs, r.rhs));
-      const uint32_t delta_inter = postings_.SuffixIntersectOnes(
-          r.lhs, old_ones[r.lhs], r.rhs, old_ones[r.rhs]);
+      decided.Add(r.lhs, r.rhs);
+      const uint32_t delta_inter =
+          bitmaps.usable()
+              ? postings_.ones(r.lhs) - old_ones[r.lhs] -
+                    bitmaps.SuffixMisses(r.lhs, r.rhs)
+              : postings_.SuffixIntersectOnes(r.lhs, old_ones[r.lhs], r.rhs,
+                                              old_ones[r.rhs]);
       const uint32_t inter = r.hits() + delta_inter;
       ColumnId lhs = r.lhs;
       ColumnId rhs = r.rhs;
@@ -137,18 +315,20 @@ Status IncrementalImplicationMiner::AppendBatch(const BinaryMatrix& delta,
       }
     }
   }
-  std::sort(decided.begin(), decided.end());
+  decided.Seal();
 
   // Regeneration pass: only pairs with a delta co-occurrence can newly
   // clear the threshold (miss monotonicity; see incr_miner.h), and the
   // update pass already decided the held ones exactly.
   {
     ScopedSpan span(obs.trace, "incr/regen", obs.trace_lane);
+    const std::vector<int64_t> budgets =
+        ConfidenceBudgetTable(num_rows(), minconf);
     for (const uint64_t key : CoOccurringDeltaPairs(delta)) {
-      if (Contains(decided, key)) continue;
-      ++local.delta_pairs_examined;
       const ColumnId u = static_cast<ColumnId>(key >> 32);
       const ColumnId v = static_cast<ColumnId>(key & 0xffffffffu);
+      if (decided.Contains(u, v)) continue;
+      ++local.delta_pairs_examined;
       ColumnId lhs = u;
       ColumnId rhs = v;
       if (!SparserFirst(postings_.ones(lhs), lhs, postings_.ones(rhs),
@@ -156,7 +336,7 @@ Status IncrementalImplicationMiner::AppendBatch(const BinaryMatrix& delta,
         std::swap(lhs, rhs);
       }
       const uint32_t lhs_ones = postings_.ones(lhs);
-      const int64_t budget = MaxMissesForConfidence(lhs_ones, minconf);
+      const int64_t budget = budgets[lhs_ones];
       // A pair needs at least lhs_ones - budget hits; with fewer total
       // rows in the denser column it can never qualify.
       const int64_t required_new = static_cast<int64_t>(lhs_ones) - budget;
@@ -173,10 +353,11 @@ Status IncrementalImplicationMiner::AppendBatch(const BinaryMatrix& delta,
       const uint32_t m_old = std::min(old_ones[u], old_ones[v]);
       const int64_t required_old =
           m_old == 0 ? 0
-                     : static_cast<int64_t>(m_old) -
-                           MaxMissesForConfidence(m_old, minconf);
-      const uint32_t delta_inter = postings_.SuffixIntersectOnes(
-          u, old_ones[u], v, old_ones[v]);
+                     : static_cast<int64_t>(m_old) - budgets[m_old];
+      const uint32_t delta_inter =
+          bitmaps.usable()
+              ? postings_.ones(u) - old_ones[u] - bitmaps.SuffixMisses(u, v)
+              : postings_.SuffixIntersectOnes(u, old_ones[u], v, old_ones[v]);
       if (static_cast<int64_t>(delta_inter) <
           required_new - required_old + (m_old > 0 ? 1 : 0)) {
         continue;
@@ -199,6 +380,141 @@ Status IncrementalImplicationMiner::AppendBatch(const BinaryMatrix& delta,
   cumulative_.candidates_revived += local.candidates_revived;
   local.seconds = timer.ElapsedSeconds();
   RecordAppendMetrics(obs.metrics, local);
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status IncrementalImplicationMiner::EvictBatch(uint64_t k,
+                                               IncrEvictStats* stats) {
+  const double minconf = options_.min_confidence;
+  if (!(minconf > 0.0) || minconf > 1.0) {
+    return InvalidArgumentError("min_confidence must be in (0, 1]");
+  }
+  if (k > num_rows()) {
+    return InvalidArgumentError("EvictBatch: cannot evict more rows than "
+                                "the window holds");
+  }
+  if (fail::Enabled()) {
+    DMC_RETURN_IF_ERROR(fail::InjectStatus("incr.evict"));
+  }
+  IncrEvictStats local;
+  local.rows_evicted = k;
+  if (k == 0) {
+    if (stats != nullptr) *stats = local;
+    return Status::OK();
+  }
+  const ObserveContext& obs = options_.policy.observe;
+  ScopedSpan batch_span(obs.trace, "incr/evict_batch", obs.trace_lane);
+  Stopwatch timer;
+
+  // All decisions run against the pre-trim postings: the prefix below
+  // `bound` is exactly the evicted rows' contribution, and the suffix at
+  // index >= prefix_ones[c] is exactly the surviving window.
+  const uint32_t bound = static_cast<uint32_t>(k);
+  const ColumnId width = postings_.num_columns();
+  std::vector<uint32_t> old_ones(width);
+  std::vector<uint32_t> prefix_ones(width);
+  std::vector<uint32_t> new_ones(width);
+  for (ColumnId c = 0; c < width; ++c) {
+    old_ones[c] = postings_.ones(c);
+    prefix_ones[c] = postings_.PrefixOnes(c, bound);
+    new_ones[c] = old_ones[c] - prefix_ones[c];
+  }
+  SuffixBitmapCache bitmaps(postings_, bound, num_rows() - k);
+
+  // Update pass: every held rule loses exactly the evicted prefix's
+  // co-occurrences, then is re-oriented and re-tested under the new
+  // counts.
+  DecidedPairs decided(width, rules_.size());
+  ImplicationRuleSet next;
+  {
+    ScopedSpan span(obs.trace, "incr/evict_update", obs.trace_lane);
+    for (const ImplicationRule& r : rules_) {
+      ++local.rules_updated;
+      decided.Add(r.lhs, r.rhs);
+      const uint32_t inter =
+          bitmaps.usable()
+              ? new_ones[r.lhs] - bitmaps.SuffixMisses(r.lhs, r.rhs)
+              : r.hits() - postings_.PrefixIntersectOnes(r.lhs, r.rhs, bound);
+      ColumnId lhs = r.lhs;
+      ColumnId rhs = r.rhs;
+      if (!SparserFirst(new_ones[lhs], lhs, new_ones[rhs], rhs)) {
+        std::swap(lhs, rhs);
+      }
+      const uint32_t lhs_ones = new_ones[lhs];
+      const uint32_t misses = lhs_ones - inter;
+      // inter >= 1 mirrors the batch engines' candidate seeding: columns
+      // that no longer co-occur in the window never form a rule there.
+      if (inter >= 1 && misses <= MaxMissesForConfidence(lhs_ones, minconf)) {
+        next.Add(ImplicationRule{lhs, rhs, lhs_ones, misses});
+      } else {
+        ++local.candidates_killed;
+      }
+    }
+  }
+  decided.Seal();
+
+  // Regeneration pass: only pairs with an evicted one in at least one
+  // column can newly clear the threshold (the dual of append-side miss
+  // monotonicity; see the header), and the update pass already decided
+  // the held ones exactly.
+  {
+    ScopedSpan span(obs.trace, "incr/evict_regen", obs.trace_lane);
+    const std::vector<int64_t> budgets =
+        ConfidenceBudgetTable(num_rows(), minconf);
+    for (const uint64_t key : EvictCandidatePairs(prefix_ones, width)) {
+      const ColumnId u = static_cast<ColumnId>(key >> 32);
+      const ColumnId v = static_cast<ColumnId>(key & 0xffffffffu);
+      if (decided.Contains(u, v)) continue;
+      ++local.regen_pairs_examined;
+      if (new_ones[u] == 0 || new_ones[v] == 0) continue;
+      ColumnId lhs = u;
+      ColumnId rhs = v;
+      if (!SparserFirst(new_ones[lhs], lhs, new_ones[rhs], rhs)) {
+        std::swap(lhs, rhs);
+      }
+      const uint32_t lhs_ones = new_ones[lhs];
+      const int64_t budget = budgets[lhs_ones];
+      const int64_t required_new = static_cast<int64_t>(lhs_ones) - budget;
+      if (required_new > static_cast<int64_t>(new_ones[rhs])) continue;
+      // Dual monotonicity screen: the pair was NOT held before, so its
+      // intersection was at most max(required_old, 1) - 1 — and eviction
+      // only shrinks intersections. It can qualify now only if eviction
+      // lowered the effective hit floor, a counts-only test.
+      const uint32_t m_old = std::min(old_ones[u], old_ones[v]);
+      const int64_t required_old =
+          m_old == 0 ? 0
+                     : static_cast<int64_t>(m_old) - budgets[m_old];
+      if (std::max<int64_t>(required_new, 1) >
+          std::max<int64_t>(required_old, 1) - 1) {
+        continue;
+      }
+      // The capped form is exact whenever the pair qualifies (misses <=
+      // budget); an over-cap partial count only feeds the failing branch.
+      const uint32_t misses =
+          bitmaps.usable()
+              ? bitmaps.SuffixMissesCapped(lhs, rhs,
+                                           static_cast<uint32_t>(budget))
+              : lhs_ones - postings_.SuffixIntersectOnes(u, prefix_ones[u],
+                                                         v, prefix_ones[v]);
+      const uint32_t inter = lhs_ones - misses;
+      if (inter >= 1 && static_cast<int64_t>(misses) <= budget) {
+        next.Add(ImplicationRule{lhs, rhs, lhs_ones, misses});
+        ++local.candidates_regenerated;
+      }
+    }
+  }
+
+  next.Canonicalize();
+  postings_.EvictPrefix(k);
+  rules_ = std::move(next);
+
+  ++cumulative_.evict_batches;
+  cumulative_.rows_evicted += k;
+  cumulative_.candidates_killed += local.candidates_killed;
+  cumulative_.candidates_revived += local.candidates_regenerated;
+  local.seconds = timer.ElapsedSeconds();
+  RecordEvictMetrics(obs.metrics, local);
   if (stats != nullptr) *stats = local;
   return Status::OK();
 }
@@ -242,18 +558,24 @@ Status IncrementalSimilarityMiner::AppendBatch(const BinaryMatrix& delta,
       std::max(postings_.num_columns(), delta.num_columns());
   std::vector<uint32_t> old_ones(width);
   for (ColumnId c = 0; c < width; ++c) old_ones[c] = postings_.ones(c);
+  const uint32_t rows_before = static_cast<uint32_t>(postings_.num_rows());
   postings_.Append(delta);
+  SuffixBitmapCache bitmaps(postings_, rows_before,
+                            postings_.num_rows() - rows_before);
 
-  std::vector<uint64_t> decided;
-  decided.reserve(pairs_.size());
+  DecidedPairs decided(width, pairs_.size());
   SimilarityRuleSet next;
   {
     ScopedSpan span(obs.trace, "incr/update", obs.trace_lane);
     for (const SimilarityPair& p : pairs_) {
       ++local.rules_updated;
-      decided.push_back(PairKey(p.a, p.b));
-      const uint32_t delta_inter = postings_.SuffixIntersectOnes(
-          p.a, old_ones[p.a], p.b, old_ones[p.b]);
+      decided.Add(p.a, p.b);
+      const uint32_t delta_inter =
+          bitmaps.usable()
+              ? postings_.ones(p.a) - old_ones[p.a] -
+                    bitmaps.SuffixMisses(p.a, p.b)
+              : postings_.SuffixIntersectOnes(p.a, old_ones[p.a], p.b,
+                                              old_ones[p.b]);
       const uint32_t inter = p.intersection + delta_inter;
       ColumnId a = p.a;
       ColumnId b = p.b;
@@ -271,15 +593,15 @@ Status IncrementalSimilarityMiner::AppendBatch(const BinaryMatrix& delta,
       }
     }
   }
-  std::sort(decided.begin(), decided.end());
+  decided.Seal();
 
   {
     ScopedSpan span(obs.trace, "incr/regen", obs.trace_lane);
     for (const uint64_t key : CoOccurringDeltaPairs(delta)) {
-      if (Contains(decided, key)) continue;
-      ++local.delta_pairs_examined;
       const ColumnId u = static_cast<ColumnId>(key >> 32);
       const ColumnId v = static_cast<ColumnId>(key & 0xffffffffu);
+      if (decided.Contains(u, v)) continue;
+      ++local.delta_pairs_examined;
       ColumnId a = u;
       ColumnId b = v;
       if (!SparserFirst(postings_.ones(a), a, postings_.ones(b), b)) {
@@ -305,8 +627,10 @@ Status IncrementalSimilarityMiner::AppendBatch(const BinaryMatrix& delta,
               ? 0
               : static_cast<int64_t>(old_a) -
                     MaxMissesForSimilarity(old_a, old_b, minsim);
-      const uint32_t delta_inter = postings_.SuffixIntersectOnes(
-          u, old_ones[u], v, old_ones[v]);
+      const uint32_t delta_inter =
+          bitmaps.usable()
+              ? postings_.ones(u) - old_ones[u] - bitmaps.SuffixMisses(u, v)
+              : postings_.SuffixIntersectOnes(u, old_ones[u], v, old_ones[v]);
       if (static_cast<int64_t>(delta_inter) <
           required_new - required_old + (old_a + old_b > 0 ? 1 : 0)) {
         continue;
@@ -329,6 +653,137 @@ Status IncrementalSimilarityMiner::AppendBatch(const BinaryMatrix& delta,
   cumulative_.candidates_revived += local.candidates_revived;
   local.seconds = timer.ElapsedSeconds();
   RecordAppendMetrics(obs.metrics, local);
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status IncrementalSimilarityMiner::EvictBatch(uint64_t k,
+                                              IncrEvictStats* stats) {
+  const double minsim = options_.min_similarity;
+  if (!(minsim > 0.0) || minsim > 1.0) {
+    return InvalidArgumentError("min_similarity must be in (0, 1]");
+  }
+  if (k > num_rows()) {
+    return InvalidArgumentError("EvictBatch: cannot evict more rows than "
+                                "the window holds");
+  }
+  if (fail::Enabled()) {
+    DMC_RETURN_IF_ERROR(fail::InjectStatus("incr.evict"));
+  }
+  IncrEvictStats local;
+  local.rows_evicted = k;
+  if (k == 0) {
+    if (stats != nullptr) *stats = local;
+    return Status::OK();
+  }
+  const ObserveContext& obs = options_.policy.observe;
+  ScopedSpan batch_span(obs.trace, "incr/evict_batch", obs.trace_lane);
+  Stopwatch timer;
+
+  const uint32_t bound = static_cast<uint32_t>(k);
+  const ColumnId width = postings_.num_columns();
+  std::vector<uint32_t> old_ones(width);
+  std::vector<uint32_t> prefix_ones(width);
+  std::vector<uint32_t> new_ones(width);
+  for (ColumnId c = 0; c < width; ++c) {
+    old_ones[c] = postings_.ones(c);
+    prefix_ones[c] = postings_.PrefixOnes(c, bound);
+    new_ones[c] = old_ones[c] - prefix_ones[c];
+  }
+  SuffixBitmapCache bitmaps(postings_, bound, num_rows() - k);
+
+  DecidedPairs decided(width, pairs_.size());
+  SimilarityRuleSet next;
+  {
+    ScopedSpan span(obs.trace, "incr/evict_update", obs.trace_lane);
+    for (const SimilarityPair& p : pairs_) {
+      ++local.rules_updated;
+      decided.Add(p.a, p.b);
+      const uint32_t inter =
+          bitmaps.usable()
+              ? new_ones[p.a] - bitmaps.SuffixMisses(p.a, p.b)
+              : p.intersection - postings_.PrefixIntersectOnes(p.a, p.b, bound);
+      ColumnId a = p.a;
+      ColumnId b = p.b;
+      if (!SparserFirst(new_ones[a], a, new_ones[b], b)) {
+        std::swap(a, b);
+      }
+      const uint32_t ones_a = new_ones[a];
+      const uint32_t ones_b = new_ones[b];
+      const uint32_t misses = ones_a - inter;
+      if (inter >= 1 &&
+          static_cast<int64_t>(misses) <=
+              MaxMissesForSimilarity(ones_a, ones_b, minsim)) {
+        next.Add(SimilarityPair{a, b, ones_a, ones_b, inter});
+      } else {
+        ++local.candidates_killed;
+      }
+    }
+  }
+  decided.Seal();
+
+  {
+    ScopedSpan span(obs.trace, "incr/evict_regen", obs.trace_lane);
+    for (const uint64_t key : EvictCandidatePairs(prefix_ones, width)) {
+      const ColumnId u = static_cast<ColumnId>(key >> 32);
+      const ColumnId v = static_cast<ColumnId>(key & 0xffffffffu);
+      if (decided.Contains(u, v)) continue;
+      ++local.regen_pairs_examined;
+      if (new_ones[u] == 0 || new_ones[v] == 0) continue;
+      ColumnId a = u;
+      ColumnId b = v;
+      if (!SparserFirst(new_ones[a], a, new_ones[b], b)) {
+        std::swap(a, b);
+      }
+      const uint32_t ones_a = new_ones[a];
+      const uint32_t ones_b = new_ones[b];
+      const int64_t budget = MaxMissesForSimilarity(ones_a, ones_b, minsim);
+      // §5.1 density screen, unchanged under eviction.
+      if (budget < 0) continue;
+      // Dual monotonicity screen (Jaccard flavor): the pair failed
+      // before, so its intersection was below the old effective hit
+      // floor (computed under the old sparser-first orientation, exactly
+      // as the engine decided it back then) — and eviction only shrinks
+      // intersections.
+      const int64_t required_new = static_cast<int64_t>(ones_a) - budget;
+      uint32_t old_a = old_ones[u];
+      uint32_t old_b = old_ones[v];
+      if (!SparserFirst(old_a, u, old_b, v)) std::swap(old_a, old_b);
+      const int64_t required_old =
+          old_a + old_b == 0
+              ? 0
+              : static_cast<int64_t>(old_a) -
+                    MaxMissesForSimilarity(old_a, old_b, minsim);
+      if (std::max<int64_t>(required_new, 1) >
+          std::max<int64_t>(required_old, 1) - 1) {
+        continue;
+      }
+      // The capped form is exact whenever the pair qualifies (misses <=
+      // budget); an over-cap partial count only feeds the failing branch.
+      const uint32_t misses =
+          bitmaps.usable()
+              ? bitmaps.SuffixMissesCapped(a, b,
+                                           static_cast<uint32_t>(budget))
+              : ones_a - postings_.SuffixIntersectOnes(u, prefix_ones[u], v,
+                                                       prefix_ones[v]);
+      const uint32_t inter = ones_a - misses;
+      if (inter >= 1 && static_cast<int64_t>(misses) <= budget) {
+        next.Add(SimilarityPair{a, b, ones_a, ones_b, inter});
+        ++local.candidates_regenerated;
+      }
+    }
+  }
+
+  next.Canonicalize();
+  postings_.EvictPrefix(k);
+  pairs_ = std::move(next);
+
+  ++cumulative_.evict_batches;
+  cumulative_.rows_evicted += k;
+  cumulative_.candidates_killed += local.candidates_killed;
+  cumulative_.candidates_revived += local.candidates_regenerated;
+  local.seconds = timer.ElapsedSeconds();
+  RecordEvictMetrics(obs.metrics, local);
   if (stats != nullptr) *stats = local;
   return Status::OK();
 }

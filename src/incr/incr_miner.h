@@ -43,6 +43,18 @@
 // byte-identical to a fresh batch mine of the concatenated matrix
 // (tests/incr_differential_test.cc proves this property).
 //
+// EvictBatch(k) extends the invariant to deletions with the mirror-image
+// two-pass structure: every held rule's counts lose exactly the evicted
+// prefix's contribution (|{rows < k where both columns are 1}|, counted
+// from the posting prefixes), and the regeneration pass only needs pairs
+// with at least one evicted one — evicting a row where neither or both
+// columns are 1 can never flip a failing pair to passing (the dual of
+// miss monotonicity; proof sketch in DESIGN §5.10). All decisions are
+// made against the pre-trim postings, then the prefix is trimmed and the
+// surviving row ids renumbered down by k, so the state is byte-identical
+// — rules and memory accounting — to a fresh mine of the window contents
+// (tests/window_differential_test.cc proves this property).
+//
 // Determinism: all state lives in sorted vectors (postings, canonical
 // rule sets, sorted/uniqued pair keys) — no hash containers — so equal
 // inputs give byte-identical outputs, run to run.
@@ -77,12 +89,33 @@ struct IncrAppendStats {
   double seconds = 0.0;
 };
 
-/// Running totals across every AppendBatch since construction.
+/// Per-EvictBatch breakdown (the append stats' mirror image).
+struct IncrEvictStats {
+  uint64_t rows_evicted = 0;
+  /// Previously-held rules re-decided by the eviction update pass.
+  uint64_t rules_updated = 0;
+  /// Rules dropped because eviction took their last co-occurrences (or
+  /// tightened the sparser column under them).
+  uint64_t candidates_killed = 0;
+  /// Pairs resurrected because eviction removed misses faster than hits
+  /// (the dual of the append pass's revivals).
+  uint64_t candidates_regenerated = 0;
+  /// Candidate pairs the eviction regeneration pass examined.
+  uint64_t regen_pairs_examined = 0;
+  double seconds = 0.0;
+};
+
+/// Running totals across every AppendBatch/EvictBatch since
+/// construction. Evict-side kills and regenerations fold into
+/// candidates_killed / candidates_revived: they mutate the same
+/// candidate state.
 struct IncrCumulativeStats {
   uint64_t batches = 0;
   uint64_t rows_total = 0;
   uint64_t candidates_killed = 0;
   uint64_t candidates_revived = 0;
+  uint64_t evict_batches = 0;
+  uint64_t rows_evicted = 0;
 };
 
 /// Incrementally maintained implication-rule miner. Construct empty (or
@@ -115,11 +148,22 @@ class IncrementalImplicationMiner {
   [[nodiscard]] Status AppendBatch(const BinaryMatrix& delta,
                                    IncrAppendStats* stats = nullptr);
 
+  /// Evicts the oldest `k` rows (the window's prefix) and renumbers the
+  /// survivors, leaving rules() exactly MineImplications over the
+  /// surviving rows. k == 0 is a no-op; k > num_rows() is an error and,
+  /// like an injected fault at site "incr.evict", leaves the state
+  /// untouched. The column count is sticky (never shrinks).
+  /// Observability: spans incr/evict_batch, incr/evict_update,
+  /// incr/evict_regen and counters dmc.incr.evict.*.
+  [[nodiscard]] Status EvictBatch(uint64_t k,
+                                  IncrEvictStats* stats = nullptr);
+
   /// The current rule set, canonical, with exact counts.
   const ImplicationRuleSet& rules() const { return rules_; }
 
   uint64_t num_rows() const { return postings_.num_rows(); }
   ColumnId num_columns() const { return postings_.num_columns(); }
+  const ImplicationMiningOptions& options() const { return options_; }
   const IncrCumulativeStats& cumulative() const { return cumulative_; }
   /// Heap bytes of the persistent counting state.
   size_t MemoryBytes() const { return postings_.MemoryBytes(); }
@@ -145,10 +189,16 @@ class IncrementalSimilarityMiner {
   [[nodiscard]] Status AppendBatch(const BinaryMatrix& delta,
                                    IncrAppendStats* stats = nullptr);
 
+  /// Same contract as IncrementalImplicationMiner::EvictBatch with
+  /// MineSimilarities as the reference.
+  [[nodiscard]] Status EvictBatch(uint64_t k,
+                                  IncrEvictStats* stats = nullptr);
+
   const SimilarityRuleSet& pairs() const { return pairs_; }
 
   uint64_t num_rows() const { return postings_.num_rows(); }
   ColumnId num_columns() const { return postings_.num_columns(); }
+  const SimilarityMiningOptions& options() const { return options_; }
   const IncrCumulativeStats& cumulative() const { return cumulative_; }
   size_t MemoryBytes() const { return postings_.MemoryBytes(); }
 

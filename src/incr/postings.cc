@@ -4,7 +4,15 @@ namespace dmc {
 
 void ColumnPostings::Append(const BinaryMatrix& delta) {
   if (delta.num_columns() > postings_.size()) {
-    postings_.resize(delta.num_columns());
+    // Widen with exact capacity (a plain resize() grows geometrically):
+    // the container vector's footprint must depend only on the current
+    // column count, never the widening history, so a windowed miner's
+    // MemoryBytes() stays byte-identical to a fresh mine of the window.
+    std::vector<PostingContainer> wider;
+    wider.reserve(delta.num_columns());
+    for (PostingContainer& p : postings_) wider.push_back(std::move(p));
+    wider.resize(delta.num_columns());
+    postings_ = std::move(wider);
   }
   for (RowId r = 0; r < delta.num_rows(); ++r) {
     const RowId global = static_cast<RowId>(num_rows_ + r);
@@ -13,6 +21,20 @@ void ColumnPostings::Append(const BinaryMatrix& delta) {
     }
   }
   num_rows_ += delta.num_rows();
+}
+
+void ColumnPostings::EvictPrefix(uint64_t k) {
+  if (k == 0) return;
+  const uint32_t bound = static_cast<uint32_t>(k);
+  for (PostingContainer& p : postings_) p.EvictBelowAndShift(bound);
+  num_rows_ -= k;
+}
+
+uint32_t ColumnPostings::PrefixIntersectOnes(ColumnId a, ColumnId b,
+                                             uint32_t bound) const {
+  if (a >= postings_.size() || b >= postings_.size()) return 0;
+  return static_cast<uint32_t>(
+      postings_[a].IntersectCountBelow(bound, postings_[b]));
 }
 
 uint32_t ColumnPostings::IntersectOnes(ColumnId a, ColumnId b) const {

@@ -30,6 +30,12 @@ class ColumnPostings {
   /// num_rows() + r. Grows the column count when the batch is wider.
   void Append(const BinaryMatrix& delta);
 
+  /// Evicts the oldest `k` rows (global ids < k) and renumbers the
+  /// survivors down by k, so ids stay 0..num_rows()-1. The column count
+  /// is sticky: a column whose every row was evicted keeps its (empty)
+  /// container. Precondition: k <= num_rows().
+  void EvictPrefix(uint64_t k);
+
   ColumnId num_columns() const {
     return static_cast<ColumnId>(postings_.size());
   }
@@ -41,6 +47,18 @@ class ColumnPostings {
                ? static_cast<uint32_t>(postings_[c].cardinality())
                : 0;
   }
+
+  /// |{rows(c) < bound}| — how many of column c's ones fall in the
+  /// window prefix an eviction would drop.
+  uint32_t PrefixOnes(ColumnId c, uint32_t bound) const {
+    return c < postings_.size()
+               ? static_cast<uint32_t>(postings_[c].Rank(bound))
+               : 0;
+  }
+
+  /// |{rows(a) ∩ rows(b) : row < bound}| — the co-occurrences an
+  /// eviction of rows [0, bound) removes from the pair.
+  uint32_t PrefixIntersectOnes(ColumnId a, ColumnId b, uint32_t bound) const;
 
   /// The full posting set of column c.
   const PostingContainer& rows(ColumnId c) const { return postings_[c]; }

@@ -1,0 +1,110 @@
+#include "incr/window_miner.h"
+
+#include <utility>
+
+#include "observe/metrics.h"
+
+namespace dmc {
+
+namespace {
+
+void RecordSlide(MetricsRegistry* metrics, uint64_t rows_evicted) {
+  if (metrics == nullptr) return;
+  metrics->IncrCounter("dmc.window.slides");
+  metrics->IncrCounter("dmc.window.rows_evicted", rows_evicted);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Implications
+// ---------------------------------------------------------------------
+
+WindowedImplicationMiner::WindowedImplicationMiner(
+    ImplicationMiningOptions options, uint64_t window_rows,
+    ColumnId num_columns)
+    : window_rows_(window_rows),
+      miner_(std::move(options), num_columns) {}
+
+StatusOr<WindowedImplicationMiner> WindowedImplicationMiner::FromBatchMine(
+    const BinaryMatrix& initial, const ImplicationMiningOptions& options,
+    uint64_t window_rows, MiningStats* stats) {
+  DMC_ASSIGN_OR_RETURN(
+      IncrementalImplicationMiner inner,
+      IncrementalImplicationMiner::FromBatchMine(initial, options, stats));
+  WindowedImplicationMiner miner(options, window_rows,
+                                 initial.num_columns());
+  miner.miner_ = std::move(inner);
+  DMC_RETURN_IF_ERROR(miner.SlideToWindow(nullptr));
+  return miner;
+}
+
+Status WindowedImplicationMiner::SlideToWindow(IncrEvictStats* stats) {
+  IncrEvictStats local;
+  if (window_rows_ > 0 && miner_.num_rows() > window_rows_) {
+    const uint64_t overflow = miner_.num_rows() - window_rows_;
+    DMC_RETURN_IF_ERROR(miner_.EvictBatch(overflow, &local));
+    RecordSlide(miner_.options().policy.observe.metrics, overflow);
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status WindowedImplicationMiner::AppendBatch(const BinaryMatrix& delta,
+                                             IncrAppendStats* append_stats,
+                                             IncrEvictStats* evict_stats) {
+  DMC_RETURN_IF_ERROR(miner_.AppendBatch(delta, append_stats));
+  return SlideToWindow(evict_stats);
+}
+
+Status WindowedImplicationMiner::EvictBatch(uint64_t k,
+                                            IncrEvictStats* stats) {
+  return miner_.EvictBatch(k, stats);
+}
+
+// ---------------------------------------------------------------------
+// Similarities
+// ---------------------------------------------------------------------
+
+WindowedSimilarityMiner::WindowedSimilarityMiner(
+    SimilarityMiningOptions options, uint64_t window_rows,
+    ColumnId num_columns)
+    : window_rows_(window_rows),
+      miner_(std::move(options), num_columns) {}
+
+StatusOr<WindowedSimilarityMiner> WindowedSimilarityMiner::FromBatchMine(
+    const BinaryMatrix& initial, const SimilarityMiningOptions& options,
+    uint64_t window_rows, MiningStats* stats) {
+  DMC_ASSIGN_OR_RETURN(
+      IncrementalSimilarityMiner inner,
+      IncrementalSimilarityMiner::FromBatchMine(initial, options, stats));
+  WindowedSimilarityMiner miner(options, window_rows, initial.num_columns());
+  miner.miner_ = std::move(inner);
+  DMC_RETURN_IF_ERROR(miner.SlideToWindow(nullptr));
+  return miner;
+}
+
+Status WindowedSimilarityMiner::SlideToWindow(IncrEvictStats* stats) {
+  IncrEvictStats local;
+  if (window_rows_ > 0 && miner_.num_rows() > window_rows_) {
+    const uint64_t overflow = miner_.num_rows() - window_rows_;
+    DMC_RETURN_IF_ERROR(miner_.EvictBatch(overflow, &local));
+    RecordSlide(miner_.options().policy.observe.metrics, overflow);
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status WindowedSimilarityMiner::AppendBatch(const BinaryMatrix& delta,
+                                            IncrAppendStats* append_stats,
+                                            IncrEvictStats* evict_stats) {
+  DMC_RETURN_IF_ERROR(miner_.AppendBatch(delta, append_stats));
+  return SlideToWindow(evict_stats);
+}
+
+Status WindowedSimilarityMiner::EvictBatch(uint64_t k,
+                                           IncrEvictStats* stats) {
+  return miner_.EvictBatch(k, stats);
+}
+
+}  // namespace dmc

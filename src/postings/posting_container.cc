@@ -338,6 +338,45 @@ bool PostingContainer::ChunkContains(const Chunk& c, uint16_t lo) {
   return false;
 }
 
+uint64_t PostingContainer::ChunkCountBelow(const Chunk& c, uint16_t lo) {
+  if (lo == 0) return 0;
+  switch (c.format) {
+    case PostingChunkFormat::kArray:
+      return static_cast<uint64_t>(
+          std::lower_bound(c.slots.begin(), c.slots.end(), lo) -
+          c.slots.begin());
+    case PostingChunkFormat::kBitmap:
+      return CountBitsInRange(c.words.data(), 0,
+                              static_cast<uint32_t>(lo) - 1);
+    case PostingChunkFormat::kRun: {
+      uint64_t n = 0;
+      for (size_t i = 0; i + 1 < c.slots.size(); i += 2) {
+        if (c.slots[i] >= lo) break;
+        const uint16_t last = std::min<uint16_t>(
+            c.slots[i + 1], static_cast<uint16_t>(lo - 1));
+        n += static_cast<uint64_t>(last) - c.slots[i] + 1;
+      }
+      return n;
+    }
+  }
+  return 0;
+}
+
+uint64_t PostingContainer::Rank(uint32_t bound) const {
+  const uint32_t bound_key = bound >> kChunkShift;
+  const uint16_t bound_low = static_cast<uint16_t>(bound & kLowMask);
+  uint64_t n = 0;
+  for (const Chunk& c : chunks_) {
+    if (c.key < bound_key) {
+      n += c.card;
+      continue;
+    }
+    if (c.key == bound_key) n += ChunkCountBelow(c, bound_low);
+    break;
+  }
+  return n;
+}
+
 bool PostingContainer::Contains(uint32_t id) const {
   const uint32_t key = id >> kChunkShift;
   const auto it = std::partition_point(
@@ -542,6 +581,51 @@ uint64_t PostingContainer::IntersectCountFrom(uint32_t lo,
     }
   }
   return n;
+}
+
+uint64_t PostingContainer::IntersectCountBelow(
+    uint32_t hi, const PostingContainer& b) const {
+  const uint32_t hi_key = hi >> kChunkShift;
+  const uint16_t hi_low = static_cast<uint16_t>(hi & kLowMask);
+  uint64_t n = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < chunks_.size() && j < b.chunks_.size()) {
+    const uint32_t ka = chunks_[i].key;
+    const uint32_t kb = b.chunks_[j].key;
+    if (ka > hi_key || kb > hi_key) break;
+    if (ka == kb) {
+      if (ka < hi_key) {
+        n += ChunkIntersect(chunks_[i], b.chunks_[j]);
+      } else if (hi_low != 0) {
+        // Only the boundary chunk needs a partial count: everything in
+        // the chunk minus the suffix at/above hi_low.
+        n += ChunkIntersect(chunks_[i], b.chunks_[j]) -
+             ChunkIntersectFrom(chunks_[i], b.chunks_[j], hi_low);
+      }
+      ++i;
+      ++j;
+    } else if (ka < kb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return n;
+}
+
+void PostingContainer::EvictBelowAndShift(uint32_t bound) {
+  // Rebuild rather than edit in place: a fresh container appended from
+  // the shifted survivors reproduces, bit for bit, the layout of a
+  // container that never saw the evicted prefix (chunk splits, format
+  // upgrades, and vector capacities all depend only on the appended
+  // sequence). That is what makes windowed MemoryBytes() byte-identical
+  // to a fresh mine of the window contents.
+  PostingContainer out;
+  ForEach([bound, &out](uint32_t id) {
+    if (id >= bound) out.Append(id - bound);
+  });
+  *this = std::move(out);
 }
 
 uint64_t PostingContainer::SuffixIntersectCount(uint64_t skip_a,

@@ -74,11 +74,22 @@ class PostingContainer {
   void Optimize();
   void Clear();
 
+  /// Drops every id < bound and renumbers the survivors down by `bound`
+  /// (id -> id - bound) — the sliding window's prefix trim. The
+  /// container is rebuilt by appending the shifted survivors into a
+  /// fresh instance, so its physical layout (chunk formats, vector
+  /// capacities, MemoryBytes) is identical to a container that only
+  /// ever held the surviving window.
+  void EvictBelowAndShift(uint32_t bound);
+
   uint64_t cardinality() const { return cardinality_; }
   bool empty() const { return cardinality_ == 0; }
   bool Contains(uint32_t id) const;
   /// k-th smallest id, 0-based. Precondition: k < cardinality().
   uint32_t Select(uint64_t k) const;
+  /// |{x ∈ this : x < bound}| — the index the sliding window's evicted
+  /// prefix ends at. O(chunks below bound).
+  uint64_t Rank(uint32_t bound) const;
 
   std::vector<uint32_t> ToVector() const;
 
@@ -92,6 +103,9 @@ class PostingContainer {
   uint64_t IntersectCount(const PostingContainer& b) const;
   /// |{x ∈ this ∩ b : x >= lo}|.
   uint64_t IntersectCountFrom(uint32_t lo, const PostingContainer& b) const;
+  /// |{x ∈ this ∩ b : x < hi}| — the evicted-prefix intersection the
+  /// windowed miner subtracts from held counts. O(chunks below hi).
+  uint64_t IntersectCountBelow(uint32_t hi, const PostingContainer& b) const;
   /// |this \ b| = cardinality() - |this ∩ b|.
   uint64_t AndNotCount(const PostingContainer& b) const {
     return cardinality_ - IntersectCount(b);
@@ -137,6 +151,7 @@ class PostingContainer {
   static void SealChunk(Chunk* c);
   static void ArrayToBitmap(Chunk* c);
   static bool ChunkContains(const Chunk& c, uint16_t lo);
+  static uint64_t ChunkCountBelow(const Chunk& c, uint16_t lo);
   static uint64_t ChunkIntersect(const Chunk& a, const Chunk& b);
   static uint64_t ChunkIntersectFrom(const Chunk& a, const Chunk& b,
                                      uint16_t lo);

@@ -92,5 +92,14 @@ StatusOr<uint64_t> RuleClient::AppendRows(
   return reply.pending_batches;
 }
 
+StatusOr<uint64_t> RuleClient::EvictRows(uint64_t rows) {
+  DMC_ASSIGN_OR_RETURN(Reply reply, RoundTrip(EncodeEvictRequest(rows)));
+  if (reply.op != Op::kEvict) {
+    return InvalidArgumentError("protocol: expected an evict reply");
+  }
+  if (!reply.status.ok()) return reply.status;
+  return reply.pending_batches;
+}
+
 }  // namespace serve
 }  // namespace dmc

@@ -49,6 +49,10 @@ class RuleClient {
   /// Returns the server's ingest-queue depth after parking the batch.
   [[nodiscard]] StatusOr<uint64_t> AppendRows(
       uint32_t num_columns, const std::vector<std::vector<ColumnId>>& rows);
+  /// Evicts the server's oldest `rows` rows; returns the ingest-queue
+  /// depth after parking the op. Over-evicting yields the server's
+  /// kInvalidArgument (and the server closes the connection).
+  [[nodiscard]] StatusOr<uint64_t> EvictRows(uint64_t rows);
 
   /// Pipelining primitives: write one encoded frame / read one reply
   /// frame. Callers must read exactly one reply per request sent, in

@@ -63,6 +63,7 @@ bool IsRequestOp(uint8_t op) {
     case Op::kTopK:
     case Op::kStats:
     case Op::kAppend:
+    case Op::kEvict:
       return true;
     case Op::kError:
       return false;
@@ -95,6 +96,13 @@ std::string EncodeAppendRequest(
     AppendLE<uint32_t>(&payload, static_cast<uint32_t>(row.size()));
     for (ColumnId c : row) AppendLE<uint32_t>(&payload, c);
   }
+  return Frame(std::move(payload));
+}
+
+std::string EncodeEvictRequest(uint64_t rows) {
+  std::string payload;
+  AppendPayloadHeader(&payload, Op::kEvict, 0);
+  AppendLE<uint64_t>(&payload, rows);
   return Frame(std::move(payload));
 }
 
@@ -173,6 +181,11 @@ StatusOr<Request> DecodeRequestPayload(std::string_view payload) {
       }
       break;
     }
+    case Op::kEvict:
+      if (!ReadLE(payload, &offset, &request.evict_rows)) {
+        return Malformed("evict body truncated");
+      }
+      break;
     case Op::kError:
       return Malformed("kError is reply-only");
   }
@@ -214,12 +227,22 @@ std::string EncodeStatsReply(const ServeStats& stats) {
   AppendLE<uint64_t>(&payload, stats.protocol_errors);
   AppendLE<uint64_t>(&payload, stats.io_errors);
   AppendLE<uint64_t>(&payload, stats.batches_dropped);
+  AppendLE<uint64_t>(&payload, stats.batches_evicted);
+  AppendLE<uint64_t>(&payload, stats.rows_evicted);
+  AppendLE<uint64_t>(&payload, stats.evicts_dropped);
   return Frame(std::move(payload));
 }
 
 std::string EncodeAppendReply(uint64_t pending_batches) {
   std::string payload;
   AppendPayloadHeader(&payload, Op::kAppend, 0);
+  AppendLE<uint64_t>(&payload, pending_batches);
+  return Frame(std::move(payload));
+}
+
+std::string EncodeEvictReply(uint64_t pending_batches) {
+  std::string payload;
+  AppendPayloadHeader(&payload, Op::kEvict, 0);
   AppendLE<uint64_t>(&payload, pending_batches);
   return Frame(std::move(payload));
 }
@@ -289,7 +312,8 @@ StatusOr<Reply> DecodeReplyPayload(std::string_view payload) {
           &s.snapshots_published, &s.requests_served,
           &s.connections_accepted, &s.connections_active,
           &s.protocol_errors,  &s.io_errors,
-          &s.batches_dropped};
+          &s.batches_dropped,  &s.batches_evicted,
+          &s.rows_evicted,     &s.evicts_dropped};
       for (uint64_t* field : fields) {
         if (!ReadLE(payload, &offset, field)) {
           return Malformed("stats reply truncated");
@@ -302,6 +326,7 @@ StatusOr<Reply> DecodeReplyPayload(std::string_view payload) {
       return reply;
     }
     case Op::kAppend:
+    case Op::kEvict:
       if (!ReadLE(payload, &offset, &reply.pending_batches) ||
           offset != payload.size()) {
         return Malformed("append reply truncated");

@@ -7,7 +7,7 @@
 //
 // and every payload starts with the same 4-byte header:
 //
-//   u16  version       kProtocolVersion (1)
+//   u16  version       kProtocolVersion (2)
 //   u8   op            Op below (replies echo the request op)
 //   u8   reserved      0 on requests; the Status code on replies
 //
@@ -18,6 +18,8 @@
 //   kStats               (empty)             server counters
 //   kAppend              u32 num_columns, u32 num_rows,
 //                        per row: u32 n, n ascending u32 column ids
+//   kEvict               u64 rows (oldest rows to drop; must not
+//                        exceed the rows the server logically holds)
 //
 // Reply bodies (reserved byte == 0, i.e. OK):
 //   queries              u64 generation, u32 count,
@@ -30,6 +32,10 @@
 //                        they are mined; a batch the ingest thread
 //                        later fails to mine is counted in the
 //                        batches_dropped stat)
+//   kEvict               u64 pending ops (same queue as kAppend;
+//                        evicts are acknowledged before they are
+//                        applied — a failed one is counted in the
+//                        evicts_dropped stat)
 // An error reply (reserved byte != 0) carries u32 msg_len + msg bytes
 // instead; an unparseable request is answered with op kError and
 // StatusCode::kInvalidArgument, after which the server closes the
@@ -65,7 +71,7 @@
 namespace dmc {
 namespace serve {
 
-inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr uint16_t kProtocolVersion = 2;
 /// Hard cap on one frame's payload; covers a ~64k-row append batch.
 inline constexpr uint32_t kMaxFramePayloadBytes = 4u << 20;
 /// Smallest meaningful payload: the 4-byte payload header.
@@ -84,6 +90,7 @@ enum class Op : uint8_t {
   kTopK = 3,
   kStats = 4,
   kAppend = 5,
+  kEvict = 6,
   /// Reply-only: the request could not be decoded far enough to echo
   /// its op.
   kError = 0x7F,
@@ -109,6 +116,13 @@ struct ServeStats {
   /// mine (appends are acked at enqueue time, so this is how a client
   /// detects that acked data was lost).
   uint64_t batches_dropped = 0;
+  /// kEvict requests applied (explicit plus automatic window slides).
+  uint64_t batches_evicted = 0;
+  /// Rows those evictions dropped from the front of the window.
+  uint64_t rows_evicted = 0;
+  /// Acknowledged evicts the ingest thread later failed to apply (the
+  /// evict-side mirror of batches_dropped).
+  uint64_t evicts_dropped = 0;
 
   friend bool operator==(const ServeStats&, const ServeStats&) = default;
 };
@@ -121,6 +135,8 @@ struct Request {
   /// kAppend only.
   uint32_t append_num_columns = 0;
   std::vector<std::vector<ColumnId>> append_rows;
+  /// kEvict only: oldest rows to drop.
+  uint64_t evict_rows = 0;
 };
 
 /// One decoded reply. `status` carries the server-side verdict; the
@@ -131,7 +147,7 @@ struct Reply {
   uint64_t generation = 0;
   std::vector<ImplicationRule> rules;  // query replies
   ServeStats stats;                    // kStats replies
-  uint64_t pending_batches = 0;        // kAppend replies
+  uint64_t pending_batches = 0;        // kAppend / kEvict replies
 };
 
 // Requests. Encoders produce a complete frame (length prefix included).
@@ -139,6 +155,7 @@ std::string EncodeQueryRequest(Op op, uint32_t arg);
 std::string EncodeStatsRequest();
 std::string EncodeAppendRequest(uint32_t num_columns,
                                 const std::vector<std::vector<ColumnId>>& rows);
+std::string EncodeEvictRequest(uint64_t rows);
 
 /// Decodes one request *payload* (frame prefix already stripped).
 /// Version skew, unknown op, short/trailing bytes, or append bodies
@@ -150,6 +167,7 @@ std::string EncodeRulesReply(Op op, uint64_t generation,
                              const std::vector<ImplicationRule>& rules);
 std::string EncodeStatsReply(const ServeStats& stats);
 std::string EncodeAppendReply(uint64_t pending_batches);
+std::string EncodeEvictReply(uint64_t pending_batches);
 /// `op` is the request op when known, Op::kError otherwise. `status`
 /// must not be OK.
 std::string EncodeErrorReply(Op op, const Status& status);

@@ -50,7 +50,8 @@ struct RuleServer::Connection {
 };
 
 RuleServer::RuleServer(ServeOptions options)
-    : options_(std::move(options)), miner_(options_.mining) {}
+    : options_(std::move(options)),
+      miner_(options_.mining, options_.window_rows) {}
 
 RuleServer::~RuleServer() {
   Shutdown();
@@ -67,12 +68,13 @@ Status RuleServer::SeedFromMatrix(const BinaryMatrix& initial) {
         "the miner afterwards");
   }
   DMC_ASSIGN_OR_RETURN(
-      miner_, IncrementalImplicationMiner::FromBatchMine(initial,
-                                                         options_.mining));
+      miner_, WindowedImplicationMiner::FromBatchMine(
+                  initial, options_.mining, options_.window_rows));
   index_.Publish(miner_.rules());
   MutexLock lock(mu_);
   counters_.rows_mined = miner_.num_rows();
   counters_.snapshots_published += 1;
+  logical_rows_ = miner_.num_rows();
   return Status::OK();
 }
 
@@ -199,14 +201,54 @@ void RuleServer::HandleRequest(const serve::Request& request,
       uint64_t pending = 0;
       {
         MutexLock lock(mu_);
-        pending_.push_back(std::move(batch));
+        pending_.push_back(PendingOp{std::move(batch), 0});
         pending = pending_.size();
         counters_.pending_batches = pending;
+        logical_rows_ += request.append_rows.size();
+        if (options_.window_rows > 0 &&
+            logical_rows_ > options_.window_rows) {
+          logical_rows_ = options_.window_rows;  // auto-slide trims it
+        }
       }
       net::WakeUp(ingest_wake_w_, 'b');
       Count("dmc.serve.append_batches");
       Count("dmc.serve.append_rows", request.append_rows.size());
       conn->out += serve::EncodeAppendReply(pending);
+      break;
+    }
+    case Op::kEvict: {
+      uint64_t pending = 0;
+      uint64_t held = 0;
+      bool rejected = false;
+      {
+        MutexLock lock(mu_);
+        if (request.evict_rows > logical_rows_) {
+          ++counters_.protocol_errors;
+          rejected = true;
+          held = logical_rows_;
+        } else {
+          logical_rows_ -= request.evict_rows;
+          pending_.push_back(PendingOp{BinaryMatrix(), request.evict_rows});
+          pending = pending_.size();
+          counters_.pending_batches = pending;
+        }
+      }
+      if (rejected) {
+        // A hostile over-eviction poisons trust in the stream the same
+        // way an unparseable frame does: reply, then close.
+        Count("dmc.serve.protocol_errors");
+        conn->out += serve::EncodeErrorReply(
+            Op::kEvict,
+            InvalidArgumentError(
+                "evict of " + std::to_string(request.evict_rows) +
+                " rows exceeds the " + std::to_string(held) +
+                " rows the window holds"));
+        conn->closing = true;
+        break;
+      }
+      net::WakeUp(ingest_wake_w_, 'b');
+      Count("dmc.serve.evict_requests");
+      conn->out += serve::EncodeEvictReply(pending);
       break;
     }
     case Op::kError:
@@ -502,37 +544,69 @@ void RuleServer::IngestLoop() {
     if (net::DrainWakePipe(ingest_wake_r_, 'q')) quit = true;
 
     for (;;) {
-      BinaryMatrix batch;
+      PendingOp op;
       {
         MutexLock lock(mu_);
         if (pending_.empty()) break;
-        batch = std::move(pending_.front());
+        op = std::move(pending_.front());
         pending_.pop_front();
         counters_.pending_batches = pending_.size();
       }
-      ScopedSpan span(options_.trace, "serve/ingest_batch");
-      IncrAppendStats astats;
-      const Status st = miner_.AppendBatch(batch, &astats);
-      if (!st.ok()) {
-        DMC_LOG(Warning) << "serve ingest: AppendBatch failed, batch "
-                         << "dropped: " << st;
-        // The batch was already acked at enqueue time, so the loss is
-        // surfaced through its own kStats counter — clients watching
-        // batches_dropped can detect that acked data never landed.
+      if (op.evict_rows > 0) {
+        ScopedSpan span(options_.trace, "serve/ingest_evict");
+        IncrEvictStats estats;
+        const Status st = miner_.EvictBatch(op.evict_rows, &estats);
+        if (!st.ok()) {
+          DMC_LOG(Warning) << "serve ingest: EvictBatch failed, evict "
+                           << "dropped: " << st;
+          // Acked at enqueue time, so the loss is surfaced through its
+          // own kStats counter, mirroring batches_dropped.
+          {
+            MutexLock lock(mu_);
+            ++counters_.evicts_dropped;
+          }
+          Count("dmc.serve.ingest_errors");
+          continue;
+        }
         {
           MutexLock lock(mu_);
-          ++counters_.batches_dropped;
+          ++counters_.batches_evicted;
+          counters_.rows_evicted += estats.rows_evicted;
+          counters_.rows_mined = miner_.num_rows();
         }
-        Count("dmc.serve.ingest_errors");
-        continue;
+        Count("dmc.serve.batches_evicted");
+      } else {
+        ScopedSpan span(options_.trace, "serve/ingest_batch");
+        IncrAppendStats astats;
+        IncrEvictStats slide;
+        const Status st = miner_.AppendBatch(op.batch, &astats, &slide);
+        if (!st.ok()) {
+          DMC_LOG(Warning) << "serve ingest: AppendBatch failed, batch "
+                           << "dropped: " << st;
+          // The batch was already acked at enqueue time, so the loss is
+          // surfaced through its own kStats counter — clients watching
+          // batches_dropped can detect that acked data never landed.
+          {
+            MutexLock lock(mu_);
+            ++counters_.batches_dropped;
+          }
+          Count("dmc.serve.ingest_errors");
+          continue;
+        }
+        {
+          MutexLock lock(mu_);
+          ++counters_.batches_ingested;
+          counters_.rows_ingested += op.batch.num_rows();
+          counters_.rows_mined = miner_.num_rows();
+          if (slide.rows_evicted > 0) {
+            // The window auto-slide is an eviction too; fold it into
+            // the same counters an explicit kEvict feeds.
+            ++counters_.batches_evicted;
+            counters_.rows_evicted += slide.rows_evicted;
+          }
+        }
+        Count("dmc.serve.batches_ingested");
       }
-      {
-        MutexLock lock(mu_);
-        ++counters_.batches_ingested;
-        counters_.rows_ingested += batch.num_rows();
-        counters_.rows_mined = miner_.num_rows();
-      }
-      Count("dmc.serve.batches_ingested");
 
       if (fail::Enabled() &&
           !fail::InjectStatus("serve.publish").ok()) {

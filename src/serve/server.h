@@ -14,13 +14,19 @@
 //     Queries resolve against the current immutable RuleIndexSnapshot
 //     via one shared_ptr acquire — the event thread never waits on the
 //     miner, so readers are wait-free with respect to publishes.
-//   * The *ingest thread* owns the IncrementalImplicationMiner. Append
-//     requests are acknowledged as soon as the batch is parked on the
-//     ingest queue; the ingest thread pops one batch at a time, runs
-//     AppendBatch, and atomically Publishes a fresh snapshot. Exactly
-//     one publish per batch, in arrival order, so generation g always
-//     serves the rules of "seed + first (g - seed_generation) batches"
-//     — the invariant the differential battery checks.
+//   * The *ingest thread* owns the WindowedImplicationMiner. Append and
+//     evict requests are acknowledged as soon as the op is parked on
+//     the ingest queue; the ingest thread pops one op at a time, runs
+//     AppendBatch / EvictBatch, and atomically Publishes a fresh
+//     snapshot. Exactly one publish per op, in arrival order, so
+//     generation g always serves the rules of "seed + first
+//     (g - seed_generation) ops" — the invariant the differential
+//     battery checks. Evict row counts are validated against the
+//     server's logical row tally (rows after every queued op applies)
+//     at request time: an over-eviction gets an error reply and the
+//     connection closes, and the op is never queued. With
+//     ServeOptions::window_rows set, every append auto-evicts its
+//     overflow, so the server mines a count-bounded sliding window.
 //
 // Shutdown (RequestShutdown — async-signal-safe — or Shutdown): the
 // listener closes first, pending replies flush (bounded by
@@ -47,6 +53,7 @@
 
 #include "core/dmc_options.h"
 #include "incr/incr_miner.h"
+#include "incr/window_miner.h"
 #include "matrix/binary_matrix.h"
 #include "rules/rule_index.h"
 #include "serve/protocol.h"
@@ -80,6 +87,9 @@ struct ServeOptions {
   /// Mining configuration for the ingest-side incremental miner; its
   /// policy.observe hooks also apply to the mining work.
   ImplicationMiningOptions mining;
+  /// Sliding-window row budget: appends past this auto-evict the
+  /// overflow from the front (0 = unbounded; kEvict still works).
+  uint64_t window_rows = 0;
   /// dmc.serve.* counters land here (null = disabled).
   MetricsRegistry* metrics = nullptr;
   /// serve/* spans land here (null = disabled).
@@ -156,11 +166,21 @@ class RuleServer {
 
   RuleIndex index_;
   /// Owned by the caller before Start, by the ingest thread after.
-  IncrementalImplicationMiner miner_;
+  WindowedImplicationMiner miner_;
+
+  /// One queued ingest op: an append batch or a prefix eviction.
+  struct PendingOp {
+    BinaryMatrix batch;       ///< append payload (empty for evicts)
+    uint64_t evict_rows = 0;  ///< > 0 marks an evict op
+  };
 
   mutable Mutex mu_;
-  /// Batches parked by the event thread, mined by the ingest thread.
-  std::deque<BinaryMatrix> pending_ DMC_GUARDED_BY(mu_);
+  /// Ops parked by the event thread, applied by the ingest thread.
+  std::deque<PendingOp> pending_ DMC_GUARDED_BY(mu_);
+  /// Rows the miner will hold once every queued op has applied — the
+  /// value kEvict requests are validated against, so an evict racing
+  /// queued appends is judged against the rows it will actually see.
+  uint64_t logical_rows_ DMC_GUARDED_BY(mu_) = 0;
   /// The counters kStats serves (generation/num_rules come from the
   /// snapshot at reply time instead).
   serve::ServeStats counters_ DMC_GUARDED_BY(mu_);

@@ -10,51 +10,6 @@ namespace dmc {
 BitVector::BitVector(size_t num_bits)
     : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
 
-void BitVector::Set(size_t i) {
-  DMC_CHECK_LT(i, num_bits_);
-  words_[i >> 6] |= uint64_t{1} << (i & 63);
-}
-
-void BitVector::Clear(size_t i) {
-  DMC_CHECK_LT(i, num_bits_);
-  words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
-}
-
-bool BitVector::Test(size_t i) const {
-  DMC_CHECK_LT(i, num_bits_);
-  return (words_[i >> 6] >> (i & 63)) & 1;
-}
-
-size_t BitVector::Count() const {
-  size_t total = 0;
-  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
-  return total;
-}
-
-size_t BitVector::AndCount(const BitVector& other) const {
-  DMC_CHECK_EQ(num_bits_, other.num_bits_);
-  size_t total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
-  }
-  return total;
-}
-
-size_t BitVector::AndNotCount(const BitVector& other) const {
-  DMC_CHECK_EQ(num_bits_, other.num_bits_);
-  size_t total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total +=
-        static_cast<size_t>(std::popcount(words_[i] & ~other.words_[i]));
-  }
-  return total;
-}
-
-void BitVector::OrWith(const BitVector& other) {
-  DMC_CHECK_EQ(num_bits_, other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
-}
-
 void BitVector::Reset() {
   for (auto& w : words_) w = 0;
 }

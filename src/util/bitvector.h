@@ -4,9 +4,12 @@
 #ifndef DMC_UTIL_BITVECTOR_H_
 #define DMC_UTIL_BITVECTOR_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "util/logging.h"
 
 namespace dmc {
 
@@ -28,22 +31,80 @@ class BitVector {
   size_t size() const { return num_bits_; }
   bool empty() const { return num_bits_ == 0; }
 
-  void Set(size_t i);
-  void Clear(size_t i);
-  bool Test(size_t i) const;
+  // The single-bit accessors and the word-parallel counting kernels are
+  // defined inline: they sit in the innermost loops of both the batch
+  // bitmap kernel and the incremental update/regen passes, where the
+  // per-call overhead of an out-of-line body rivals the body itself
+  // (a window's column fits in a handful of words).
+  void Set(size_t i) {
+    DMC_CHECK_LT(i, num_bits_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  void Clear(size_t i) {
+    DMC_CHECK_LT(i, num_bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  bool Test(size_t i) const {
+    DMC_CHECK_LT(i, num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
 
   /// Number of set bits.
-  size_t Count() const;
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+    return total;
+  }
 
   /// popcount(*this & other). Sizes must match.
-  size_t AndCount(const BitVector& other) const;
+  size_t AndCount(const BitVector& other) const {
+    DMC_CHECK_EQ(num_bits_, other.num_bits_);
+    size_t total = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      total +=
+          static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+    }
+    return total;
+  }
 
   /// popcount(*this & ~other) — the DMC-bitmap "miss count" kernel
   /// (rows where this column is 1 and the other is 0). Sizes must match.
-  size_t AndNotCount(const BitVector& other) const;
+  size_t AndNotCount(const BitVector& other) const {
+    DMC_CHECK_EQ(num_bits_, other.num_bits_);
+    size_t total = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      total +=
+          static_cast<size_t>(std::popcount(words_[i] & ~other.words_[i]));
+    }
+    return total;
+  }
+
+  /// AndNotCount with a budget: early-exits once the running count
+  /// exceeds `cap` and returns that partial total. The result is exact
+  /// whenever it is <= cap; any return value > cap only certifies that
+  /// the true count also exceeds cap. Lets miss-budget checks on long
+  /// vectors stop as soon as a pair is disqualified.
+  size_t AndNotCountCapped(const BitVector& other, size_t cap) const {
+    DMC_CHECK_EQ(num_bits_, other.num_bits_);
+    size_t total = 0;
+    const size_t n = words_.size();
+    size_t i = 0;
+    while (i < n) {
+      const size_t stop = i + 8 < n ? i + 8 : n;
+      for (; i < stop; ++i) {
+        total +=
+            static_cast<size_t>(std::popcount(words_[i] & ~other.words_[i]));
+      }
+      if (total > cap) return total;
+    }
+    return total;
+  }
 
   /// In-place OR. Sizes must match.
-  void OrWith(const BitVector& other);
+  void OrWith(const BitVector& other) {
+    DMC_CHECK_EQ(num_bits_, other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
 
   /// Resets all bits to 0.
   void Reset();

@@ -16,6 +16,7 @@
 #include "core/engine.h"
 #include "core/external_miner.h"
 #include "core/parallel_dmc.h"
+#include "incr/window_miner.h"
 #include "matrix/binary_matrix.h"
 #include "matrix/matrix_io.h"
 #include "observe/metrics.h"
@@ -357,6 +358,88 @@ TEST_F(FaultInjectionTest, ParallelShardFaultsAreContained) {
 // Streaming row faults surface from Finish() as the injected status —
 // never as a truncated rule set. The external miner streams every row
 // through the site, so a mid-stream fault is guaranteed to fire.
+// Eviction-path fault arm: drive a windowed miner through an
+// append/evict schedule with faults forced at the incr.evict site.
+// After every op, faulted or not, the rule set must be exactly a fresh
+// mine of the rows the miner actually holds — a fault may abort an
+// evict (or the auto-slide half of an append), but it must never leave
+// a corrupted window.
+TEST_F(FaultInjectionTest, WindowEvictFaultLeavesExactWindowOrFailsCleanly) {
+  Rng rng(0xE71C);
+  std::vector<std::vector<ColumnId>> feed;
+  for (int r = 0; r < 120; ++r) {
+    std::vector<ColumnId> row;
+    for (ColumnId c = 0; c < 10; ++c) {
+      if (rng.Bernoulli(0.3)) row.push_back(c);
+    }
+    feed.push_back(std::move(row));
+  }
+  ImplicationMiningOptions o;
+  o.min_confidence = 0.85;
+
+  const auto fresh_rules =
+      [&o](const std::vector<std::vector<ColumnId>>& rows) {
+        auto mined = MineImplications(BinaryMatrix::FromRows(10, rows), o);
+        EXPECT_TRUE(mined.ok());
+        ImplicationRuleSet out =
+            mined.ok() ? std::move(*mined) : ImplicationRuleSet();
+        out.Canonicalize();
+        return out.rules();
+      };
+
+  for (const char* arm :
+       {"incr.evict=error@1", "incr.evict=enospc@2",
+        "incr.evict=dataloss@3", "incr.evict=error@5",
+        "incr.evict=error@p0.4;seed=7", "incr.evict=error"}) {
+    ASSERT_TRUE(fail::Configure(arm).ok());
+    WindowedImplicationMiner miner(o, 30);
+    size_t absorbed = 0;  // rows successfully appended, in feed order
+    size_t pos = 0;
+    int op = 0;
+    bool saw_fault = false;
+    while (pos < feed.size()) {
+      const uint64_t rows_before = miner.num_rows();
+      Status st = Status::OK();
+      size_t n = 0;
+      if (op % 3 == 2 && miner.num_rows() >= 7) {
+        st = miner.EvictBatch(7);
+      } else {
+        n = std::min<size_t>(10, feed.size() - pos);
+        st = miner.AppendBatch(BinaryMatrix::FromRows(
+            10, std::vector<std::vector<ColumnId>>(
+                    feed.begin() + pos, feed.begin() + pos + n)));
+      }
+      ++op;
+      if (st.ok()) {
+        if (n > 0) {
+          pos += n;
+          absorbed += n;
+        }
+      } else {
+        saw_fault = true;
+        EXPECT_TRUE(fail::IsInjectedFault(st)) << arm;
+        // A faulted windowed append may have absorbed its rows and
+        // failed only in the auto-slide; the row count says which.
+        if (n > 0 && miner.num_rows() == rows_before + n) {
+          pos += n;
+          absorbed += n;
+        }
+      }
+      // The contract: the miner holds exactly the newest num_rows() of
+      // the absorbed feed, mined exactly.
+      ASSERT_LE(miner.num_rows(), absorbed);
+      const std::vector<std::vector<ColumnId>> held(
+          feed.begin() + (absorbed - miner.num_rows()),
+          feed.begin() + absorbed);
+      ASSERT_EQ(miner.rules().rules(), fresh_rules(held))
+          << arm << " op=" << op;
+    }
+    const uint64_t fires = fail::TotalFires();
+    fail::Disable();
+    EXPECT_EQ(saw_fault, fires > 0) << arm;
+  }
+}
+
 TEST_F(FaultInjectionTest, StreamingRowFaultSurfaces) {
   ASSERT_TRUE(fail::Configure("streaming.imp.row=dataloss@17").ok());
   auto rules = MineImplicationsFromFile(input_, options_, dir_);

@@ -284,6 +284,52 @@ TEST(IncrWidthGrowthTest, WideningAppendMatchesBatch) {
   EXPECT_EQ(sim.pairs().pairs(), BatchSim(full, 0.6, MergeKernel::kAuto).pairs());
 }
 
+// Widening, evicting the pre-widening prefix, then appending more must
+// still match a batch mine of the surviving rows at the widened width —
+// the id renumbering must splice cleanly into the append path.
+TEST(IncrWidthGrowthTest, AppendAfterWideningThenEvictMatchesBatch) {
+  const ColumnId narrow = 6;
+  const ColumnId wide = 14;
+  const BinaryMatrix head = RandomMatrix(41, 30, narrow, 0.4);
+  const BinaryMatrix mid = RandomMatrix(42, 25, wide, 0.3);
+  const BinaryMatrix tail = RandomMatrix(43, 20, wide, 0.35);
+  const uint32_t evicted = 18;  // most of the narrow head
+
+  MatrixBuilder b(wide);
+  for (RowId r = evicted; r < head.num_rows(); ++r) {
+    const auto row = head.Row(r);
+    b.AddRow(std::vector<ColumnId>(row.begin(), row.end()));
+  }
+  for (const BinaryMatrix* m : {&mid, &tail}) {
+    for (RowId r = 0; r < m->num_rows(); ++r) {
+      const auto row = m->Row(r);
+      b.AddRow(std::vector<ColumnId>(row.begin(), row.end()));
+    }
+  }
+  const BinaryMatrix survivors = b.Build();
+
+  ImplicationMiningOptions io;
+  io.min_confidence = 0.8;
+  IncrementalImplicationMiner imp(io);
+  ASSERT_TRUE(imp.AppendBatch(head).ok());
+  ASSERT_TRUE(imp.AppendBatch(mid).ok());
+  ASSERT_TRUE(imp.EvictBatch(evicted).ok());
+  ASSERT_TRUE(imp.AppendBatch(tail).ok());
+  EXPECT_EQ(imp.num_columns(), wide);
+  EXPECT_EQ(imp.rules().rules(),
+            BatchImp(survivors, 0.8, MergeKernel::kAuto).rules());
+
+  SimilarityMiningOptions so;
+  so.min_similarity = 0.6;
+  IncrementalSimilarityMiner sim(so);
+  ASSERT_TRUE(sim.AppendBatch(head).ok());
+  ASSERT_TRUE(sim.AppendBatch(mid).ok());
+  ASSERT_TRUE(sim.EvictBatch(evicted).ok());
+  ASSERT_TRUE(sim.AppendBatch(tail).ok());
+  EXPECT_EQ(sim.pairs().pairs(),
+            BatchSim(survivors, 0.6, MergeKernel::kAuto).pairs());
+}
+
 // Stats plumbing: kills and revivals are reported and accumulate.
 TEST(IncrStatsTest, KillAndReviveAreCounted) {
   // Columns 0 and 1 always co-occur in the head -> rule at conf 1.0.

@@ -220,6 +220,75 @@ TEST(PostingContainerTest, FuzzEqualityAndConversionStability) {
   }
 }
 
+// The eviction primitives (Rank / IntersectCountBelow /
+// EvictBelowAndShift) against the vector oracle, with bounds placed on
+// chunk boundaries and mid-chunk, plus 0 and past-the-end.
+TEST(PostingContainerTest, FuzzEvictionPrimitivesAgainstOracle) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 20; ++iter) {
+    const uint32_t universe =
+        static_cast<uint32_t>(20000 + rng.Uniform(250000));
+    const Ids a = RandomSet(rng, universe);
+    const Ids b = RandomSet(rng, universe);
+    const PostingContainer pa = PostingContainer::FromSorted(a);
+    const PostingContainer pb = PostingContainer::FromSorted(b);
+
+    std::vector<uint32_t> bounds = {0, 1, 65535, 65536, 65537,
+                                    universe, universe + 10};
+    for (int probe = 0; probe < 12; ++probe) {
+      bounds.push_back(static_cast<uint32_t>(rng.Uniform(universe + 1)));
+    }
+    for (const uint32_t bound : bounds) {
+      const size_t below = static_cast<size_t>(
+          std::lower_bound(a.begin(), a.end(), bound) - a.begin());
+      ASSERT_EQ(pa.Rank(bound), below) << "iter=" << iter
+                                       << " bound=" << bound;
+      // IntersectCountBelow(hi, b) counts this ∩ b over ids < hi.
+      Ids pre_a(a.begin(), a.begin() + below);
+      Ids pre_b(b.begin(), std::lower_bound(b.begin(), b.end(), bound));
+      ASSERT_EQ(pa.IntersectCountBelow(bound, pb),
+                OracleIntersect(pre_a, pre_b).size())
+          << "iter=" << iter << " bound=" << bound;
+
+      PostingContainer evicted = pa;
+      evicted.EvictBelowAndShift(bound);
+      Ids want;
+      for (size_t k = below; k < a.size(); ++k) want.push_back(a[k] - bound);
+      ASSERT_EQ(evicted.ToVector(), want) << "iter=" << iter
+                                          << " bound=" << bound;
+      ASSERT_EQ(evicted.cardinality(), want.size());
+      // Memory accounting must match a fresh append of the shifted ids —
+      // the windowed miner's byte-parity invariant rests on this.
+      PostingContainer fresh;
+      for (const uint32_t id : want) fresh.Append(id);
+      ASSERT_TRUE(evicted == fresh);
+      ASSERT_EQ(evicted.MemoryBytes(), fresh.MemoryBytes())
+          << "iter=" << iter << " bound=" << bound;
+    }
+  }
+}
+
+TEST(PostingContainerTest, EvictionPrimitiveEdgeCases) {
+  PostingContainer empty;
+  EXPECT_EQ(empty.Rank(0), 0u);
+  EXPECT_EQ(empty.Rank(1 << 20), 0u);
+  EXPECT_EQ(empty.IntersectCountBelow(1 << 20, empty), 0u);
+  empty.EvictBelowAndShift(12345);
+  EXPECT_TRUE(empty.empty());
+
+  // Evicting everything leaves a container byte-equal to a fresh one.
+  const Ids three = {5, 10, 70000};
+  PostingContainer p = PostingContainer::FromSorted(three);
+  p.EvictBelowAndShift(70001);
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.MemoryBytes(), PostingContainer().MemoryBytes());
+
+  // Evicting nothing (bound 0) is an identity on contents.
+  PostingContainer q = PostingContainer::FromSorted(three);
+  q.EvictBelowAndShift(0);
+  EXPECT_EQ(q.ToVector(), three);
+}
+
 TEST(PostingContainerTest, LogicalBytesFollowsCostModel) {
   // 10 ids in one chunk: array = 20 bytes of data.
   Ids few = {1, 5, 9, 100, 2000, 3000, 40000, 50000, 60000, 65535};

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "incr/incr_miner.h"
+#include "incr/window_miner.h"
 #include "matrix/binary_matrix.h"
 #include "rules/rule_index.h"
 #include "serve/client.h"
@@ -203,6 +204,128 @@ TEST_F(ServeDifferentialTest, GenerationPinsExactSnapshotDuringPublishes) {
   EXPECT_EQ(stats->batches_ingested, kBatches);
   EXPECT_EQ(stats->snapshots_published, kBatches + 1);
   EXPECT_EQ(stats->rows_mined, 500u + kBatches * kBatchRows);
+
+  server.Shutdown();
+}
+
+TEST_F(ServeDifferentialTest, EvictOverWireMatchesDirectEvictBatch) {
+  // kEvict round-trip: each evict must bump the generation by exactly
+  // one and serve what a direct EvictBatch on a mirror miner yields —
+  // interleaved with appends so the id renumbering is exercised on the
+  // wire path too.
+  const BinaryMatrix seed = MakeSeed(53, 300);
+  Rng rng(57);
+  const std::vector<std::vector<ColumnId>> batch_rows =
+      RandomRows(rng, 150, kColumns);
+
+  auto mirror = IncrementalImplicationMiner::FromBatchMine(seed, Options());
+  ASSERT_TRUE(mirror.ok());
+
+  ServeOptions options;
+  options.mining = Options();
+  RuleServer server(std::move(options));
+  ASSERT_TRUE(server.SeedFromMatrix(seed).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  RuleClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Await a given generation, returning its full rule set.
+  const auto rules_at = [&client](uint64_t generation) {
+    StatusOr<Reply> top = client.TopK(1u << 20);
+    EXPECT_TRUE(top.ok());
+    while (top.ok() && top->generation < generation) {
+      top = client.TopK(1u << 20);
+    }
+    EXPECT_TRUE(top.ok());
+    EXPECT_EQ(top->generation, generation);
+    return top->rules;
+  };
+
+  // Evict 120 of the 300 seeded rows: generation 1 -> 2.
+  ASSERT_TRUE(mirror->EvictBatch(120).ok());
+  ASSERT_TRUE(client.EvictRows(120).ok());
+  EXPECT_EQ(rules_at(2),
+            RuleIndexSnapshot::Build(mirror->rules(), 2)->TopK(1u << 20));
+
+  // Append a batch on top of the trimmed window: generation 3.
+  ASSERT_TRUE(mirror->AppendBatch(
+                  BinaryMatrix::FromRows(kColumns, batch_rows)).ok());
+  ASSERT_TRUE(client.AppendRows(kColumns, batch_rows).ok());
+  EXPECT_EQ(rules_at(3),
+            RuleIndexSnapshot::Build(mirror->rules(), 3)->TopK(1u << 20));
+
+  // Evict across the old/new boundary: generation 4.
+  ASSERT_TRUE(mirror->EvictBatch(200).ok());
+  ASSERT_TRUE(client.EvictRows(200).ok());
+  EXPECT_EQ(rules_at(4),
+            RuleIndexSnapshot::Build(mirror->rules(), 4)->TopK(1u << 20));
+
+  const StatusOr<serve::ServeStats> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->batches_evicted, 2u);
+  EXPECT_EQ(stats->rows_evicted, 320u);
+  EXPECT_EQ(stats->evicts_dropped, 0u);
+  EXPECT_EQ(stats->rows_mined, 300u - 120u + 150u - 200u);
+  EXPECT_EQ(stats->snapshots_published, 4u);
+
+  server.Shutdown();
+}
+
+TEST_F(ServeDifferentialTest, WindowedServerSlidesLikeWindowedMiner) {
+  // --window-rows end to end: a server with a row budget must serve, at
+  // every generation, exactly what a WindowedImplicationMiner fed the
+  // same batches holds — the auto-slide happens inside the ingest
+  // thread's publish cycle.
+  constexpr uint64_t kWindow = 250;
+  constexpr size_t kBatches = 6;
+  constexpr size_t kBatchRows = 100;
+
+  const BinaryMatrix seed = MakeSeed(61, 400);
+  Rng rng(67);
+  std::vector<std::vector<std::vector<ColumnId>>> batches;
+  for (size_t b = 0; b < kBatches; ++b) {
+    batches.push_back(RandomRows(rng, kBatchRows, kColumns));
+  }
+
+  auto mirror =
+      WindowedImplicationMiner::FromBatchMine(seed, Options(), kWindow);
+  ASSERT_TRUE(mirror.ok());
+
+  ServeOptions options;
+  options.mining = Options();
+  options.window_rows = kWindow;
+  RuleServer server(std::move(options));
+  ASSERT_TRUE(server.SeedFromMatrix(seed).ok());
+  ASSERT_TRUE(server.Start().ok());
+  // The seed itself is over-full: the publish-1 snapshot already
+  // reflects the trimmed window.
+  EXPECT_EQ(server.index().snapshot()->TopK(1u << 20),
+            RuleIndexSnapshot::Build(mirror->rules(), 1)->TopK(1u << 20));
+
+  RuleClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  for (size_t b = 0; b < kBatches; ++b) {
+    ASSERT_TRUE(mirror->AppendBatch(
+                    BinaryMatrix::FromRows(kColumns, batches[b])).ok());
+    ASSERT_TRUE(client.AppendRows(kColumns, batches[b]).ok());
+    StatusOr<Reply> top = client.TopK(1u << 20);
+    ASSERT_TRUE(top.ok());
+    while (top->generation < b + 2) {
+      top = client.TopK(1u << 20);
+      ASSERT_TRUE(top.ok());
+    }
+    EXPECT_EQ(top->rules,
+              RuleIndexSnapshot::Build(mirror->rules(), b + 2)->TopK(1u << 20))
+        << "batch " << b;
+  }
+
+  const StatusOr<serve::ServeStats> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows_mined, kWindow);
+  // Every append overflowed the full window, so every ingest slid.
+  EXPECT_EQ(stats->batches_evicted, kBatches);
+  EXPECT_EQ(stats->rows_evicted, kBatches * kBatchRows);
 
   server.Shutdown();
 }

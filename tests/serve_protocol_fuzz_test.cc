@@ -148,11 +148,13 @@ TEST_F(ServeProtocolFuzzTest, HostileLengthPrefixGetsErrorReplyAndClose) {
 }
 
 TEST_F(ServeProtocolFuzzTest, BadVersionAndOpGetErrorReplyAndClose) {
-  // version 2 (unknown), op 0x42 (unknown), reserved != 0.
+  // version 3 (unknown), version 1 (superseded), op 0x42 (unknown),
+  // reserved != 0.
   const std::string frames[] = {
-      std::string("\x04\x00\x00\x00\x02\x00\x01\x00", 8),
-      std::string("\x04\x00\x00\x00\x01\x00\x42\x00", 8),
-      std::string("\x04\x00\x00\x00\x01\x00\x04\x07", 8),
+      std::string("\x04\x00\x00\x00\x03\x00\x01\x00", 8),
+      std::string("\x04\x00\x00\x00\x01\x00\x01\x00", 8),
+      std::string("\x04\x00\x00\x00\x02\x00\x42\x00", 8),
+      std::string("\x04\x00\x00\x00\x02\x00\x04\x07", 8),
   };
   for (const std::string& frame : frames) {
     const RawResult result = SendRaw(frame);
@@ -167,7 +169,7 @@ TEST_F(ServeProtocolFuzzTest, BadVersionAndOpGetErrorReplyAndClose) {
 /// vacuous, so only the header caps stand between a 16-byte frame and
 /// a multi-GiB per-column allocation.
 std::string RawAppendHeaderFrame(uint32_t num_columns, uint32_t num_rows) {
-  std::string payload("\x01\x00\x05\x00", 4);  // version 1, op kAppend
+  std::string payload("\x02\x00\x05\x00", 4);  // version 2, op kAppend
   const auto le32 = [&payload](uint32_t v) {
     char buf[sizeof(v)];
     std::memcpy(buf, &v, sizeof(v));
@@ -207,6 +209,50 @@ TEST_F(ServeProtocolFuzzTest, HostileAppendHeaderGetsErrorReplyAndClose) {
     EXPECT_TRUE(EndsWithErrorReply(result.data));
     AssertServerHealthy();
   }
+}
+
+/// A complete kEvict frame announcing `rows` — used to probe counts the
+/// decoder accepts but the server must reject against its window.
+std::string RawEvictFrame(uint64_t rows) {
+  std::string payload("\x02\x00\x06\x00", 4);  // version 2, op kEvict
+  char buf[sizeof(rows)];
+  std::memcpy(buf, &rows, sizeof(rows));
+  payload.append(buf, sizeof(buf));
+  std::string frame(sizeof(uint32_t), '\0');
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(frame.data(), &len, sizeof(len));
+  return frame + payload;
+}
+
+TEST_F(ServeProtocolFuzzTest, HostileEvictCountGetsErrorReplyAndClose) {
+  // Decode-level: the body is a plain u64, so any count decodes — the
+  // window bound is the server's to enforce. A truncated body is the
+  // decoder's problem.
+  EXPECT_TRUE(serve::DecodeRequestPayload(RawEvictFrame(1).substr(4)).ok());
+  EXPECT_FALSE(
+      serve::DecodeRequestPayload(RawEvictFrame(1).substr(4, 8)).ok());
+
+  // Wire-level: counts past the 300 seeded rows (including the u64
+  // extremes) get an error reply and a close, and the server keeps
+  // serving the untouched window exactly.
+  for (const uint64_t rows :
+       {uint64_t{301}, uint64_t{1} << 32, ~uint64_t{0}}) {
+    const RawResult result = SendRaw(RawEvictFrame(rows));
+    EXPECT_TRUE(result.closed) << "rows=" << rows;
+    EXPECT_FALSE(result.timed_out) << "rows=" << rows;
+    EXPECT_TRUE(EndsWithErrorReply(result.data)) << "rows=" << rows;
+    AssertServerHealthy();
+  }
+  const serve::ServeStats stats = server_->StatsSnapshot();
+  EXPECT_EQ(stats.rows_evicted, 0u);
+  EXPECT_EQ(stats.batches_evicted, 0u);
+  EXPECT_GE(stats.protocol_errors, 3u);
+
+  // A legal evict on the same server still round-trips.
+  serve::RuleClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  const StatusOr<uint64_t> depth = client.EvictRows(10);
+  ASSERT_TRUE(depth.ok()) << depth.status();
 }
 
 TEST_F(ServeProtocolFuzzTest, TruncatedFrameNeverWedgesTheServer) {

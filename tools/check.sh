@@ -12,10 +12,14 @@
 #   (f2) kill-a-worker shard sweep under ASan+UBSan (byte-identity under
 #        SIGKILL/crash/hang/failpoints, sanitized coordinator AND workers)
 #   (g) incremental-vs-batch differential sweep under ASan+UBSan
+#   (g2) sliding-window differential sweep under ASan+UBSan (append/evict
+#        schedules byte-identical to fresh window mines)
 #   (h) coverage build + gate against tools/coverage_floor.txt
 #   (i) perf smoke: release-native build + bench_kernels --json-out schema
 #   (i2) dense-scan bench regression gate vs the committed BENCH_bitmap.json
 #        (>10% rows_per_sec drop on any scan_*_dense variant fails)
+#   (i3) incremental/window scenario gate vs the committed BENCH_window.json
+#        (>10% rows_per_sec drop on any append/slide scenario fails)
 #   (j) clang -Wthread-safety -Werror build          (preset: thread-safety)
 #   (k) clang-tidy over the concurrency-sensitive TUs (.clang-tidy profile)
 #
@@ -46,15 +50,16 @@ if [[ "${fast}" -eq 0 ]]; then
   cmake --build --preset asan-ubsan -j "${jobs}"
   ctest --preset asan-ubsan -j "${jobs}"
 
-  step "(c) tsan build + parallel/observe/cancellation/fault/rule-index/serve/shard"
+  step "(c) tsan build + parallel/observe/cancellation/fault/rule-index/serve/shard/window"
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "${jobs}"
   # RuleIndexConcurrency races queries against Publish/Load snapshot swaps;
   # ServeStressTest races wire readers against the ingest thread's publishes;
   # ShardStressTest races concurrent shard coordinators (fork/exec fleets)
-  # over one shared MetricsRegistry.
+  # over one shared MetricsRegistry; WindowStressTest races wire readers
+  # against interleaved append/evict publishes and window auto-slides.
   ctest --test-dir build-tsan \
-    -R 'Parallel|ColumnShards|Observe|Cancel|Fault|Kernel|RuleIndex|Serve|ShardStress' \
+    -R 'Parallel|ColumnShards|Observe|Cancel|Fault|Kernel|RuleIndex|Serve|ShardStress|WindowStress' \
     -j "${jobs}" --output-on-failure
 fi
 
@@ -186,6 +191,23 @@ if [[ "${fast}" -eq 0 ]]; then
   }
   rm -f "${incr_log}"
 
+  step "(g2) sliding-window differential sweep under asan-ubsan"
+  # The battery drives randomized append/evict schedules (plus the
+  # count-bounded auto-slide) through the windowed miners and insists
+  # rules AND memory accounting stay byte-identical to a fresh batch
+  # mine of the surviving window, across every merge kernel. Under
+  # ASan+UBSan it also proves the eviction hot path stays clean.
+  window_log="$(mktemp)"
+  ctest --test-dir build-asan \
+    -R 'WindowDifferential|WindowWidening|WindowedMiner|WindowEdge' \
+    -j "${jobs}" --output-on-failure | tee "${window_log}"
+  grep -q 'tests passed' "${window_log}" || {
+    echo "sliding-window differential sweep did not run" >&2
+    rm -f "${window_log}"
+    exit 1
+  }
+  rm -f "${window_log}"
+
   step "(h) coverage build + floor gate"
   "${repo_root}/tools/coverage.sh"
 
@@ -222,6 +244,21 @@ if [[ "${fast}" -eq 0 ]]; then
     exit 1
   }
   echo "dense-scan regression gate OK"
+
+  step "(i3) incremental/window scenario gate vs BENCH_window.json"
+  # Re-runs the append-batch and window-slide scenarios (google-benchmark
+  # microbenches filtered out) and compares each scenario's rows_per_sec
+  # against the committed BENCH_window.json; any scenario dropping below
+  # 90% of the committed throughput fails. Like (i2) this IS a
+  # performance gate — rerun on a quiet machine if noise trips it.
+  cmake --build --preset release-native -j "${jobs}" --target bench_micro
+  "${repo_root}/build-native/bench/bench_micro" --benchmark_filter='^$' \
+    --json-out="${metrics_tmp}/bench_window.json" \
+    --baseline="${repo_root}/BENCH_window.json" >/dev/null || {
+    echo "incremental/window scenario regression vs BENCH_window.json" >&2
+    exit 1
+  }
+  echo "incremental/window scenario gate OK"
 
   step "(j) clang -Wthread-safety -Werror build"
   # The DMC_GUARDED_BY/DMC_REQUIRES annotations (util/thread_annotations.h)

@@ -28,6 +28,18 @@
 //                                   set equals a fresh mine of the
 //                                   concatenation). Single-threaded,
 //                                   in-memory path only.
+//   --evict=N[,N...]                interleave explicit evictions with
+//                                   the appends: after append batch i,
+//                                   evict the oldest N_i rows; leftover
+//                                   counts run after the last append.
+//                                   Usable alone (evict straight from
+//                                   the initial mine) — exact either
+//                                   way, like --append.
+//   --window-rows=N                 cap the mined window at the newest
+//                                   N rows: the initial mine is trimmed
+//                                   to N and every append auto-evicts
+//                                   its overflow (the sliding-window
+//                                   mode of src/incr/window_miner.h)
 //   --serve-index=FILE              mine-imp: publish the mined rules
 //                                   into a RuleIndex and save its
 //                                   checksummed snapshot to FILE
@@ -92,6 +104,7 @@
 #include "core/external_miner.h"
 #include "shard/coordinator.h"
 #include "incr/incr_miner.h"
+#include "incr/window_miner.h"
 #include "rules/rule_index.h"
 #include "observe/metrics.h"
 #include "observe/stats_export.h"
@@ -296,38 +309,85 @@ std::vector<std::string> SplitCsv(const std::string& list) {
   return out;
 }
 
-// Folds each --append file into `miner`, narrating per-batch work.
+// Narrates one EvictBatch (explicit --evict entry or window slide).
 template <typename MinerT>
-int AppendBatches(const std::string& append_list, MinerT* miner) {
-  for (const std::string& path : SplitCsv(append_list)) {
-    auto delta = ReadMatrixTextFile(path);
-    if (!delta.ok()) {
-      std::fprintf(stderr, "%s\n", delta.status().ToString().c_str());
-      return 1;
+int EvictOnce(uint64_t k, MinerT* miner) {
+  IncrEvictStats estats;
+  const Status st = miner->EvictBatch(k, &estats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "evict -%llu rows | %llu updated, %llu killed, "
+               "%llu regenerated | %llu regen pairs | %.3fs\n",
+               (unsigned long long)estats.rows_evicted,
+               (unsigned long long)estats.rules_updated,
+               (unsigned long long)estats.candidates_killed,
+               (unsigned long long)estats.candidates_regenerated,
+               (unsigned long long)estats.regen_pairs_examined,
+               estats.seconds);
+  return 0;
+}
+
+// Folds each --append file into `miner`, interleaved with the --evict
+// counts (append batch i, then evict count i; leftover counts run after
+// the last append), narrating per-op work.
+template <typename MinerT>
+int AppendBatches(const std::string& append_list,
+                  const std::string& evict_list, MinerT* miner) {
+  const std::vector<std::string> appends = SplitCsv(append_list);
+  const std::vector<std::string> evicts = SplitCsv(evict_list);
+  for (size_t i = 0; i < appends.size() || i < evicts.size(); ++i) {
+    if (i < appends.size()) {
+      const std::string& path = appends[i];
+      auto delta = ReadMatrixTextFile(path);
+      if (!delta.ok()) {
+        std::fprintf(stderr, "%s\n", delta.status().ToString().c_str());
+        return 1;
+      }
+      IncrAppendStats astats;
+      IncrEvictStats slide;
+      const Status st = miner->AppendBatch(*delta, &astats, &slide);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "append %s: +%llu rows | %llu updated, %llu killed, "
+                   "%llu revived | %llu delta pairs | %.3fs\n",
+                   path.c_str(), (unsigned long long)astats.rows_appended,
+                   (unsigned long long)astats.rules_updated,
+                   (unsigned long long)astats.candidates_killed,
+                   (unsigned long long)astats.candidates_revived,
+                   (unsigned long long)astats.delta_pairs_examined,
+                   astats.seconds);
+      if (slide.rows_evicted > 0) {
+        std::fprintf(stderr,
+                     "  window slide: -%llu rows | %llu killed, "
+                     "%llu regenerated\n",
+                     (unsigned long long)slide.rows_evicted,
+                     (unsigned long long)slide.candidates_killed,
+                     (unsigned long long)slide.candidates_regenerated);
+      }
     }
-    IncrAppendStats astats;
-    const Status st = miner->AppendBatch(*delta, &astats);
-    if (!st.ok()) {
-      std::fprintf(stderr, "%s\n", st.ToString().c_str());
-      return 1;
+    if (i < evicts.size()) {
+      const uint64_t k =
+          static_cast<uint64_t>(std::atoll(evicts[i].c_str()));
+      const int rc = EvictOnce(k, miner);
+      if (rc != 0) return rc;
     }
-    std::fprintf(stderr,
-                 "append %s: +%llu rows | %llu updated, %llu killed, "
-                 "%llu revived | %llu delta pairs | %.3fs\n",
-                 path.c_str(), (unsigned long long)astats.rows_appended,
-                 (unsigned long long)astats.rules_updated,
-                 (unsigned long long)astats.candidates_killed,
-                 (unsigned long long)astats.candidates_revived,
-                 (unsigned long long)astats.delta_pairs_examined,
-                 astats.seconds);
   }
   std::fprintf(stderr,
                "incremental totals: %llu batches, %llu rows, "
-               "%llu killed, %llu revived, %.2f MB postings\n",
+               "%llu killed, %llu revived, %llu evict batches, "
+               "%llu rows evicted, %.2f MB postings\n",
                (unsigned long long)miner->cumulative().batches,
                (unsigned long long)miner->cumulative().rows_total,
                (unsigned long long)miner->cumulative().candidates_killed,
                (unsigned long long)miner->cumulative().candidates_revived,
+               (unsigned long long)miner->cumulative().evict_batches,
+               (unsigned long long)miner->cumulative().rows_evicted,
                miner->MemoryBytes() / (1024.0 * 1024.0));
   return 0;
 }
@@ -416,13 +476,14 @@ int MineImp(const Flags& flags) {
   report.dataset = flags.Get("input");
   report.labels["command"] = "mine-imp";
 
-  if (flags.GetBool("append") &&
+  if ((flags.GetBool("append") || flags.GetBool("evict") ||
+       flags.GetBool("window-rows")) &&
       (flags.GetBool("external") || flags.GetBool("shard-workers") ||
        flags.GetInt("threads", 1) > 1)) {
     std::fprintf(stderr,
-                 "--append uses the in-memory incremental engine; it is "
-                 "incompatible with --external, --shard-workers and "
-                 "--threads\n");
+                 "--append/--evict/--window-rows use the in-memory "
+                 "incremental engine; they are incompatible with "
+                 "--external, --shard-workers and --threads\n");
     return 2;
   }
 
@@ -492,16 +553,23 @@ int MineImp(const Flags& flags) {
   ParallelMiningStats pstats;
   StatusOr<ImplicationRuleSet> rules = ImplicationRuleSet{};
   const std::string append = flags.Get("append");
-  if (!append.empty()) {
-    auto miner =
-        IncrementalImplicationMiner::FromBatchMine(*matrix, options, &stats);
+  const std::string evict = flags.Get("evict");
+  const uint64_t window_rows = flags.GetInt("window-rows", 0);
+  if (!append.empty() || !evict.empty() || window_rows > 0) {
+    auto miner = WindowedImplicationMiner::FromBatchMine(*matrix, options,
+                                                         window_rows, &stats);
     if (!miner.ok()) {
       std::fprintf(stderr, "%s\n", miner.status().ToString().c_str());
       return 1;
     }
+    if (window_rows > 0) {
+      std::fprintf(stderr, "window: newest %llu rows (holding %llu)\n",
+                   (unsigned long long)window_rows,
+                   (unsigned long long)miner->num_rows());
+    }
     ReportStats(stats);
     report.mining = &stats;
-    const int append_rc = AppendBatches(append, &*miner);
+    const int append_rc = AppendBatches(append, evict, &*miner);
     if (append_rc != 0) return append_rc;
     rules = miner->rules();
   } else if (threads > 1) {
@@ -544,11 +612,13 @@ int MineSim(const Flags& flags) {
   report.dataset = flags.Get("input");
   report.labels["command"] = "mine-sim";
 
-  if (flags.GetBool("append") &&
+  if ((flags.GetBool("append") || flags.GetBool("evict") ||
+       flags.GetBool("window-rows")) &&
       (flags.GetBool("shard-workers") || flags.GetInt("threads", 1) > 1)) {
     std::fprintf(stderr,
-                 "--append uses the in-memory incremental engine; it is "
-                 "incompatible with --shard-workers and --threads\n");
+                 "--append/--evict/--window-rows use the in-memory "
+                 "incremental engine; they are incompatible with "
+                 "--shard-workers and --threads\n");
     return 2;
   }
 
@@ -589,16 +659,23 @@ int MineSim(const Flags& flags) {
   ParallelMiningStats pstats;
   StatusOr<SimilarityRuleSet> pairs = SimilarityRuleSet{};
   const std::string append = flags.Get("append");
-  if (!append.empty()) {
-    auto miner =
-        IncrementalSimilarityMiner::FromBatchMine(*matrix, options, &stats);
+  const std::string evict = flags.Get("evict");
+  const uint64_t window_rows = flags.GetInt("window-rows", 0);
+  if (!append.empty() || !evict.empty() || window_rows > 0) {
+    auto miner = WindowedSimilarityMiner::FromBatchMine(*matrix, options,
+                                                        window_rows, &stats);
     if (!miner.ok()) {
       std::fprintf(stderr, "%s\n", miner.status().ToString().c_str());
       return 1;
     }
+    if (window_rows > 0) {
+      std::fprintf(stderr, "window: newest %llu rows (holding %llu)\n",
+                   (unsigned long long)window_rows,
+                   (unsigned long long)miner->num_rows());
+    }
     ReportStats(stats);
     report.mining = &stats;
-    const int append_rc = AppendBatches(append, &*miner);
+    const int append_rc = AppendBatches(append, evict, &*miner);
     if (append_rc != 0) return append_rc;
     pairs = miner->pairs();
   } else if (threads > 1) {

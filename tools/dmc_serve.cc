@@ -2,11 +2,14 @@
 //
 //   dmc_serve serve  --input=FILE [--port=0] [--bind=127.0.0.1]
 //                    [--minconf=0.9] [--drain-timeout=5]
-//                    [--failpoints=SPEC] [--metrics-out=FILE]
+//                    [--window-rows=N] [--failpoints=SPEC]
+//                    [--metrics-out=FILE]
 //       Batch-mines FILE, publishes it as generation 1 and serves the
 //       wire protocol (src/serve/protocol.h) until SIGTERM/SIGINT,
-//       which triggers a graceful drain. --port=0 picks an ephemeral
-//       port; the bound address is announced on stdout as
+//       which triggers a graceful drain. --window-rows bounds the
+//       mined window: appends past N rows auto-evict the oldest.
+//       --port=0 picks an ephemeral port; the bound address is
+//       announced on stdout as
 //           listening on HOST:PORT
 //       so scripts (tools/check.sh) can parse it.
 //
@@ -18,6 +21,10 @@
 //   dmc_serve append --port=N [--host=127.0.0.1] --input=FILE
 //       Sends FILE's rows as one append batch; prints the server's
 //       ingest-queue depth at acknowledgment time.
+//
+//   dmc_serve evict  --port=N [--host=127.0.0.1] --rows=N
+//       Evicts the server's oldest N rows from the mined window;
+//       prints the ingest-queue depth at acknowledgment time.
 //
 //   dmc_serve stats  --port=N [--host=127.0.0.1]
 //       Prints the server's counters, one "name value" line each.
@@ -80,7 +87,7 @@ class Flags {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dmc_serve <serve|query|append|stats> "
+               "usage: dmc_serve <serve|query|append|evict|stats> "
                "[--flag=value ...]\n(see the header of tools/dmc_serve.cc "
                "for the full flag list)\n");
   return 2;
@@ -121,6 +128,7 @@ int RunServe(const Flags& flags) {
   options.bind_address = flags.Get("bind", "127.0.0.1");
   options.drain_timeout_seconds = flags.GetDouble("drain-timeout", 5.0);
   options.mining.min_confidence = flags.GetDouble("minconf", 0.9);
+  options.window_rows = flags.GetInt("window-rows", 0);
   options.metrics = &metrics;
 
   RuleServer server(std::move(options));
@@ -228,6 +236,21 @@ int RunAppend(const Flags& flags) {
   return 0;
 }
 
+int RunEvict(const Flags& flags) {
+  if (!flags.Has("rows")) {
+    std::fprintf(stderr, "dmc_serve evict: --rows=N is required\n");
+    return 2;
+  }
+  auto client = Connect(flags);
+  if (!client.ok()) return Fail(client.status());
+  const uint64_t rows = flags.GetInt("rows", 0);
+  const StatusOr<uint64_t> depth = client->EvictRows(rows);
+  if (!depth.ok()) return Fail(depth.status());
+  std::printf("evicting %llu rows, ingest queue depth %llu\n",
+              (unsigned long long)rows, (unsigned long long)*depth);
+  return 0;
+}
+
 int RunStats(const Flags& flags) {
   auto client = Connect(flags);
   if (!client.ok()) return Fail(client.status());
@@ -251,6 +274,9 @@ int RunStats(const Flags& flags) {
       {"protocol_errors", stats->protocol_errors},
       {"io_errors", stats->io_errors},
       {"batches_dropped", stats->batches_dropped},
+      {"batches_evicted", stats->batches_evicted},
+      {"rows_evicted", stats->rows_evicted},
+      {"evicts_dropped", stats->evicts_dropped},
   };
   for (const Row& row : rows) {
     std::printf("%s %llu\n", row.name, (unsigned long long)row.value);
@@ -265,6 +291,7 @@ int Run(int argc, char** argv) {
   if (command == "serve") return RunServe(flags);
   if (command == "query") return RunQuery(flags);
   if (command == "append") return RunAppend(flags);
+  if (command == "evict") return RunEvict(flags);
   if (command == "stats") return RunStats(flags);
   return Usage();
 }
